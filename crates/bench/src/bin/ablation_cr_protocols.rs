@@ -1,0 +1,4 @@
+//! Ablation: cr_protocols. See DESIGN.md §4.
+fn main() {
+    starfish_bench::ablations::cr_protocols();
+}

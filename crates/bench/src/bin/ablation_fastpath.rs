@@ -1,0 +1,4 @@
+//! Ablation: fastpath. See DESIGN.md §4.
+fn main() {
+    starfish_bench::ablations::fastpath();
+}

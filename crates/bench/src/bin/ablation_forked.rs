@@ -1,0 +1,4 @@
+//! Ablation: forked (copy-on-write) checkpoints. See DESIGN.md §4.
+fn main() {
+    starfish_bench::ablations::forked();
+}

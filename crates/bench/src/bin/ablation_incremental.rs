@@ -1,0 +1,4 @@
+//! Ablation: incremental. See DESIGN.md §4.
+fn main() {
+    starfish_bench::ablations::incremental();
+}

@@ -1,0 +1,4 @@
+//! Ablation: lwgroups. See DESIGN.md §4.
+fn main() {
+    starfish_bench::ablations::lwgroups();
+}

@@ -1,0 +1,4 @@
+//! Ablation: polling. See DESIGN.md §4.
+fn main() {
+    starfish_bench::ablations::polling();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's overhead_1pct experiment. See EXPERIMENTS.md.
+fn main() {
+    starfish_bench::figures::claim_overhead();
+}

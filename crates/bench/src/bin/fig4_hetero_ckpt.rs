@@ -1,0 +1,4 @@
+//! Regenerates the paper's hetero_ckpt experiment. See EXPERIMENTS.md.
+fn main() {
+    starfish_bench::figures::fig4();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's roundtrip experiment. See EXPERIMENTS.md.
+fn main() {
+    starfish_bench::figures::fig5();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's message_audit experiment. See EXPERIMENTS.md.
+fn main() {
+    starfish_bench::figures::table1();
+}

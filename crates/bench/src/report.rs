@@ -1,0 +1,56 @@
+//! Plain-text reporting helpers for the figure harnesses.
+
+/// Print a framed experiment banner.
+pub fn print_banner(title: &str, subtitle: &str) {
+    let width = title.len().max(subtitle.len()) + 4;
+    println!("\n{}", "=".repeat(width));
+    println!("  {title}");
+    if !subtitle.is_empty() {
+        println!("  {subtitle}");
+    }
+    println!("{}", "=".repeat(width));
+}
+
+/// Print an aligned table: `headers` then `rows` (already formatted cells).
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        out
+    };
+    println!(
+        "{}",
+        line(headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Simple ASCII sparkline chart of one series (value vs index).
+pub fn ascii_chart(label: &str, points: &[(f64, f64)]) {
+    if points.is_empty() {
+        return;
+    }
+    let max_y = points.iter().map(|(_, y)| *y).fold(f64::MIN, f64::max);
+    println!("{label}:");
+    for (x, y) in points {
+        let bars = if max_y > 0.0 {
+            ((y / max_y) * 50.0).round() as usize
+        } else {
+            0
+        };
+        println!("  {:>12.3}  {:>12.5}  {}", x, y, "#".repeat(bars.max(1)));
+    }
+}

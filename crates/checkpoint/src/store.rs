@@ -1,0 +1,223 @@
+//! The stable checkpoint store.
+//!
+//! Models the cluster's shared stable storage (the NFS-mounted checkpoint
+//! directory of the paper's testbed): it survives node crashes, so a process
+//! restarted on a *different* node finds its images. All daemons share one
+//! handle.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use starfish_util::{AppId, Rank};
+
+use crate::image::CkptImage;
+use crate::recovery::MsgDep;
+
+#[derive(Default)]
+struct StoreInner {
+    images: HashMap<(AppId, Rank), Vec<CkptImage>>,
+    /// Message-dependency log for uncoordinated checkpointing, per app.
+    deps: HashMap<AppId, Vec<MsgDep>>,
+}
+
+/// Shared, thread-safe checkpoint storage. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct CkptStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl CkptStore {
+    pub fn new() -> Self {
+        CkptStore::default()
+    }
+
+    /// Persist an image. Images of one process are kept sorted by index;
+    /// re-putting an index replaces it (idempotent retry).
+    pub fn put(&self, img: CkptImage) {
+        let mut g = self.inner.lock();
+        let v = g.images.entry((img.app, img.rank)).or_default();
+        match v.binary_search_by_key(&img.index, |i| i.index) {
+            Ok(pos) => v[pos] = img,
+            Err(pos) => v.insert(pos, img),
+        }
+    }
+
+    /// Latest image of a process, if any.
+    pub fn latest(&self, app: AppId, rank: Rank) -> Option<CkptImage> {
+        self.inner
+            .lock()
+            .images
+            .get(&(app, rank))
+            .and_then(|v| v.last())
+            .cloned()
+    }
+
+    /// A specific image by index.
+    pub fn get(&self, app: AppId, rank: Rank, index: u64) -> Option<CkptImage> {
+        self.inner.lock().images.get(&(app, rank)).and_then(|v| {
+            v.binary_search_by_key(&index, |i| i.index)
+                .ok()
+                .map(|pos| v[pos].clone())
+        })
+    }
+
+    /// Index 0 means "initial state" (no stored image); this returns the
+    /// highest stored index, or 0.
+    pub fn latest_index(&self, app: AppId, rank: Rank) -> u64 {
+        self.latest(app, rank).map(|i| i.index).unwrap_or(0)
+    }
+
+    /// Highest checkpoint index stored by *every* rank of `ranks` — the
+    /// recovery line of coordinated checkpointing.
+    pub fn latest_common_index(&self, app: AppId, ranks: &[Rank]) -> u64 {
+        ranks
+            .iter()
+            .map(|r| self.latest_index(app, *r))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Drop images with index < `keep_from` (garbage collection after a
+    /// coordinated checkpoint commits).
+    pub fn prune_below(&self, app: AppId, keep_from: u64) {
+        let mut g = self.inner.lock();
+        for ((a, _), v) in g.images.iter_mut() {
+            if *a == app {
+                v.retain(|i| i.index >= keep_from);
+            }
+        }
+    }
+
+    /// Delete everything belonging to an application.
+    pub fn remove_app(&self, app: AppId) {
+        let mut g = self.inner.lock();
+        g.images.retain(|(a, _), _| *a != app);
+        g.deps.remove(&app);
+    }
+
+    /// Record a message dependency (uncoordinated checkpointing).
+    pub fn log_dep(&self, app: AppId, dep: MsgDep) {
+        self.inner.lock().deps.entry(app).or_default().push(dep);
+    }
+
+    /// All logged dependencies of an application.
+    pub fn deps(&self, app: AppId) -> Vec<MsgDep> {
+        self.inner
+            .lock()
+            .deps
+            .get(&app)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// (image count, accounted bytes) across the whole store.
+    pub fn stats(&self) -> (usize, u64) {
+        let g = self.inner.lock();
+        let count = g.images.values().map(|v| v.len()).sum();
+        let bytes = g
+            .images
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|i| i.total_bytes())
+            .sum();
+        (count, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::MACHINES;
+    use crate::image::CkptLevel;
+    use crate::value::CkptValue;
+    use starfish_util::{Epoch, VirtualTime};
+
+    fn img(rank: u32, index: u64) -> CkptImage {
+        CkptImage::capture(
+            AppId(1),
+            Rank(rank),
+            Epoch(0),
+            index,
+            CkptLevel::Vm { arch: MACHINES[0] },
+            &CkptValue::Int(index as i64),
+            vec![],
+            VirtualTime::ZERO,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_latest() {
+        let s = CkptStore::new();
+        s.put(img(0, 1));
+        s.put(img(0, 2));
+        assert_eq!(s.latest(AppId(1), Rank(0)).unwrap().index, 2);
+        assert_eq!(s.get(AppId(1), Rank(0), 1).unwrap().index, 1);
+        assert!(s.get(AppId(1), Rank(0), 9).is_none());
+        assert_eq!(s.latest_index(AppId(1), Rank(0)), 2);
+        assert_eq!(s.latest_index(AppId(1), Rank(7)), 0);
+    }
+
+    #[test]
+    fn replacing_same_index_is_idempotent() {
+        let s = CkptStore::new();
+        s.put(img(0, 1));
+        s.put(img(0, 1));
+        let (count, _) = s.stats();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn out_of_order_puts_stay_sorted() {
+        let s = CkptStore::new();
+        s.put(img(0, 3));
+        s.put(img(0, 1));
+        s.put(img(0, 2));
+        assert_eq!(s.latest(AppId(1), Rank(0)).unwrap().index, 3);
+        assert_eq!(s.get(AppId(1), Rank(0), 2).unwrap().index, 2);
+    }
+
+    #[test]
+    fn latest_common_index_is_min() {
+        let s = CkptStore::new();
+        s.put(img(0, 1));
+        s.put(img(0, 2));
+        s.put(img(1, 1));
+        let ranks = [Rank(0), Rank(1)];
+        assert_eq!(s.latest_common_index(AppId(1), &ranks), 1);
+        // A rank with no checkpoint pins the line at 0.
+        let ranks3 = [Rank(0), Rank(1), Rank(2)];
+        assert_eq!(s.latest_common_index(AppId(1), &ranks3), 0);
+    }
+
+    #[test]
+    fn prune_below_garbage_collects() {
+        let s = CkptStore::new();
+        for i in 1..=4 {
+            s.put(img(0, i));
+        }
+        s.prune_below(AppId(1), 3);
+        assert!(s.get(AppId(1), Rank(0), 2).is_none());
+        assert!(s.get(AppId(1), Rank(0), 3).is_some());
+    }
+
+    #[test]
+    fn remove_app_clears_everything() {
+        let s = CkptStore::new();
+        s.put(img(0, 1));
+        s.log_dep(
+            AppId(1),
+            MsgDep {
+                sender: Rank(0),
+                send_interval: 1,
+                receiver: Rank(1),
+                recv_interval: 0,
+            },
+        );
+        s.remove_app(AppId(1));
+        assert_eq!(s.stats().0, 0);
+        assert!(s.deps(AppId(1)).is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! The cluster: the user-facing entry point of starfish-rs.
+//!
+//! A [`Cluster`] is the whole simulated installation: the interconnect
+//! fabric, one daemon per node, shared stable checkpoint storage, and the
+//! program registry. It exposes the operations the paper's clients have —
+//! submit/suspend/resume/delete/checkpoint applications, administrate nodes
+//! — plus the fault-injection surface the evaluation needs (crash nodes,
+//! partition links, add nodes on the fly).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use std::time::Duration;
+
+use starfish_checkpoint::store::CkptStore;
+use starfish_checkpoint::CkptValue;
+use starfish_daemon::config::{AppSpec, AppStatus, ClusterConfig};
+use starfish_daemon::{
+    CfgCmd, CkptProto, Daemon, DaemonConfig, FtPolicy, LevelKind, MgmtSession,
+};
+use starfish_mpi::RankDirectory;
+use starfish_util::trace::TraceSink;
+use starfish_util::{AppId, Error, NodeId, Rank, Result};
+use starfish_vni::{BipMyrinet, Fabric, LayerCosts, NetworkModel, TcpEthernet};
+
+use crate::ctx::Ctx;
+use crate::host::{AppRegistry, DirRegistry, RuntimeHost, RuntimeKnobs};
+use crate::runtime::Outputs;
+
+/// Per-submission options (policy, checkpoint level, protocol).
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitOpts {
+    pub policy: FtPolicy,
+    pub level: LevelKind,
+    pub proto: CkptProto,
+}
+
+impl Default for SubmitOpts {
+    fn default() -> Self {
+        SubmitOpts {
+            policy: FtPolicy::Restart,
+            level: LevelKind::Vm,
+            proto: CkptProto::StopAndSync,
+        }
+    }
+}
+
+impl SubmitOpts {
+    pub fn policy(mut self, p: FtPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+    pub fn level(mut self, l: LevelKind) -> Self {
+        self.level = l;
+        self
+    }
+    pub fn proto(mut self, p: CkptProto) -> Self {
+        self.proto = p;
+        self
+    }
+}
+
+/// Builder for a [`Cluster`].
+pub struct ClusterBuilder {
+    node_archs: Vec<u8>,
+    model: Box<dyn NetworkModel>,
+    layers: LayerCosts,
+    trace: TraceSink,
+    knobs: RuntimeKnobs,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            node_archs: vec![0, 0],
+            model: Box::new(BipMyrinet),
+            layers: LayerCosts::prototype(),
+            trace: TraceSink::disabled(),
+            knobs: RuntimeKnobs::default(),
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// `n` nodes of the default machine type (the paper's P-II Linux boxes).
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.node_archs = vec![0; n as usize];
+        self
+    }
+
+    /// Explicit per-node machine types (indexes into
+    /// [`starfish_checkpoint::MACHINES`], Table 2) — a heterogeneous
+    /// cluster.
+    pub fn node_archs(mut self, archs: &[u8]) -> Self {
+        self.node_archs = archs.to_vec();
+        self
+    }
+
+    /// Use the BIP/Myrinet interconnect model (default).
+    pub fn network_bip(mut self) -> Self {
+        self.model = Box::new(BipMyrinet);
+        self
+    }
+
+    /// Use the TCP/IP over Fast Ethernet model.
+    pub fn network_tcp(mut self) -> Self {
+        self.model = Box::new(TcpEthernet);
+        self
+    }
+
+    /// Use an arbitrary interconnect model (e.g. the ServerNet port).
+    pub fn network(mut self, model: Box<dyn NetworkModel>) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Override the software layer costs (zero for pure-logic tests).
+    pub fn layers(mut self, layers: LayerCosts) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Attach a message-taxonomy trace sink.
+    pub fn trace(mut self, trace: TraceSink) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Runtime knobs (ablations).
+    pub fn knobs(mut self, knobs: RuntimeKnobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Build and boot the cluster: all daemons started and converged on the
+    /// full node set.
+    pub fn build(self) -> Result<Cluster> {
+        let fabric = Fabric::new(self.model, self.layers);
+        let store = CkptStore::new();
+        let registry = AppRegistry::new();
+        let dirs = DirRegistry::default();
+        let outputs = Outputs::new();
+        let n = self.node_archs.len() as u32;
+        let mut daemons = Vec::new();
+        for (i, arch_index) in self.node_archs.iter().enumerate() {
+            let node = NodeId(i as u32);
+            fabric.add_node(node);
+            let host = RuntimeHost {
+                node,
+                arch: starfish_checkpoint::MACHINES
+                    .get(*arch_index as usize)
+                    .copied()
+                    .unwrap_or(starfish_checkpoint::arch::DEFAULT_ARCH),
+                fabric: fabric.clone(),
+                registry: registry.clone(),
+                dirs: dirs.clone(),
+                store: store.clone(),
+                outputs: outputs.clone(),
+                trace: self.trace.clone(),
+                knobs: self.knobs,
+            };
+            let mut dc = DaemonConfig::new(node);
+            dc.arch_index = *arch_index;
+            dc.trace = self.trace.clone();
+            dc.ensemble.trace = self.trace.clone();
+            let d = Daemon::start(
+                &fabric,
+                dc,
+                if i == 0 { None } else { Some(NodeId(0)) },
+                Box::new(host),
+                store.clone(),
+            )?;
+            // Sequential boot keeps daemon ids and join order deterministic.
+            d.wait_config(Duration::from_secs(30), |c| {
+                c.up_nodes().len() == i + 1
+            })?;
+            daemons.push(d);
+        }
+        for d in &daemons {
+            d.wait_config(Duration::from_secs(30), |c| {
+                c.up_nodes().len() == n as usize
+            })?;
+        }
+        Ok(Cluster {
+            fabric,
+            daemons: parking_lot::Mutex::new(daemons),
+            store,
+            registry,
+            dirs,
+            outputs,
+            trace: self.trace,
+            knobs: self.knobs,
+            next_token: AtomicU64::new(1),
+            next_node: AtomicU32::new(n),
+        })
+    }
+}
+
+/// A running Starfish cluster.
+pub struct Cluster {
+    fabric: Fabric,
+    daemons: parking_lot::Mutex<Vec<Daemon>>,
+    store: CkptStore,
+    registry: AppRegistry,
+    dirs: DirRegistry,
+    outputs: Outputs,
+    trace: TraceSink,
+    knobs: RuntimeKnobs,
+    next_token: AtomicU64,
+    next_node: AtomicU32,
+}
+
+impl Cluster {
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// The interconnect fabric (fault injection lives here too).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Shared stable checkpoint storage.
+    pub fn store(&self) -> &CkptStore {
+        &self.store
+    }
+
+    /// A live daemon handle (for management sessions and status queries).
+    pub fn daemon(&self) -> Daemon {
+        let ds = self.daemons.lock();
+        for d in ds.iter() {
+            if self
+                .fabric
+                .node_status(d.node())
+                .map(|s| s.reachable())
+                .unwrap_or(false)
+            {
+                return d.clone();
+            }
+        }
+        ds[0].clone()
+    }
+
+    /// Daemon of a specific node.
+    pub fn daemon_of(&self, node: NodeId) -> Option<Daemon> {
+        self.daemons.lock().iter().find(|d| d.node() == node).cloned()
+    }
+
+    /// Open a management/user session against a live daemon (the ASCII
+    /// protocol of paper §3.1.1).
+    pub fn session(&self) -> MgmtSession {
+        let seed = self.next_token.fetch_add(1, Ordering::Relaxed);
+        MgmtSession::connect(self.daemon(), seed)
+    }
+
+    /// Register an application program under a name, cluster-wide.
+    pub fn register_app(
+        &self,
+        name: &str,
+        f: impl Fn(&mut Ctx<'_>) -> Result<()> + Send + Sync + 'static,
+    ) {
+        self.registry.register(name, f);
+    }
+
+    /// Submit a registered program with `size` ranks.
+    pub fn submit(&self, name: &str, size: u32, opts: SubmitOpts) -> Result<AppId> {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed) << 20
+            | 0xA11C0;
+        let spec = AppSpec {
+            name: name.to_string(),
+            size,
+            policy: opts.policy,
+            level: opts.level,
+            proto: opts.proto,
+            owner: "cluster".to_string(),
+            token,
+        };
+        let d = self.daemon();
+        d.issue(CfgCmd::Submit { spec })?;
+        let cfg = d.wait_config(Duration::from_secs(30), |c| {
+            c.find_app_by_token(token).is_some()
+        })?;
+        Ok(cfg.find_app_by_token(token).expect("just checked").id)
+    }
+
+    /// The replicated configuration as the contacted daemon sees it.
+    pub fn config(&self) -> ClusterConfig {
+        self.daemon().config()
+    }
+
+    /// Status of an application.
+    pub fn app_status(&self, app: AppId) -> Option<AppStatus> {
+        self.config().apps.get(&app).map(|a| a.status)
+    }
+
+    /// Block until the application reaches `Done` (every rank finished).
+    pub fn wait_app_done(&self, app: AppId, timeout: Duration) -> Result<()> {
+        self.daemon()
+            .wait_config(timeout, |c| {
+                c.apps.get(&app).map(|a| a.status == AppStatus::Done).unwrap_or(false)
+            })
+            .map(|_| ())
+    }
+
+    /// Block until `pred` holds on the application's replicated entry.
+    pub fn wait_app(
+        &self,
+        app: AppId,
+        timeout: Duration,
+        mut pred: impl FnMut(&starfish_daemon::config::AppEntry) -> bool,
+    ) -> Result<()> {
+        self.daemon()
+            .wait_config(timeout, |c| c.apps.get(&app).map(&mut pred).unwrap_or(false))
+            .map(|_| ())
+    }
+
+    /// Trigger a system-initiated checkpoint of an application.
+    pub fn checkpoint(&self, app: AppId) -> Result<()> {
+        self.daemon().issue(CfgCmd::TriggerCkpt { app })
+    }
+
+    /// Enable *system-initiated checkpointing* (paper §1): every `interval`
+    /// of real time, a checkpoint round is triggered for each running
+    /// application — "programs that do not wish to handle these upcalls can
+    /// simply ignore them ... such programs will only enjoy part of Starfish
+    /// capability, e.g., system initiated checkpointing". Returns a guard;
+    /// dropping it stops the driver.
+    pub fn enable_auto_checkpoint(&self, interval: Duration) -> AutoCheckpoint {
+        let daemon = self.daemon();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("starfish-auto-ckpt".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if stop2.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let cfg = daemon.config();
+                    for app in cfg.apps.values() {
+                        if app.status == AppStatus::Running {
+                            let _ = daemon.issue(CfgCmd::TriggerCkpt { app: app.id });
+                        }
+                    }
+                }
+            })
+            .expect("spawn auto-checkpoint driver");
+        AutoCheckpoint {
+            stop,
+            _handle: handle,
+        }
+    }
+
+    /// Suspend / resume / delete an application.
+    pub fn suspend(&self, app: AppId) -> Result<()> {
+        self.daemon().issue(CfgCmd::Suspend { app })
+    }
+
+    pub fn resume(&self, app: AppId) -> Result<()> {
+        self.daemon().issue(CfgCmd::ResumeApp { app })
+    }
+
+    pub fn delete(&self, app: AppId) -> Result<()> {
+        self.daemon().issue(CfgCmd::Delete { app })
+    }
+
+    /// Migrate one rank to another node (paper §3.2.1): takes a coordinated
+    /// checkpoint first (warm migration), then moves the rank; the whole
+    /// application resumes from that checkpoint with the rank on its new
+    /// home.
+    pub fn migrate(&self, app: AppId, rank: Rank, to: NodeId) -> Result<()> {
+        let entry = self
+            .config()
+            .apps
+            .get(&app)
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("{app}")))?;
+        let ranks: Vec<Rank> = (0..entry.spec.size).map(Rank).collect();
+        let before = self.store.latest_common_index(app, &ranks);
+        self.checkpoint(app)?;
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while self.store.latest_common_index(app, &ranks) <= before {
+            if std::time::Instant::now() > deadline {
+                return Err(Error::timeout("pre-migration checkpoint"));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let idx = self.store.latest_common_index(app, &ranks);
+        self.daemon().issue(starfish_daemon::CfgCmd::Migrate {
+            app,
+            rank,
+            node: to,
+            line: vec![idx; ranks.len()],
+        })
+    }
+
+    /// Crash a node (fail-stop fault injection).
+    pub fn crash_node(&self, node: NodeId) {
+        self.fabric.crash_node(node);
+    }
+
+    /// Administratively disable / enable a node.
+    pub fn disable_node(&self, node: NodeId) -> Result<()> {
+        self.fabric.disable_node(node);
+        self.daemon().issue(CfgCmd::DisableNode { node })
+    }
+
+    pub fn enable_node(&self, node: NodeId) -> Result<()> {
+        self.fabric.enable_node(node);
+        self.daemon().issue(CfgCmd::EnableNode { node })
+    }
+
+    /// Add a brand-new node to the running cluster (paper §3.1.2
+    /// dynamicity). Returns its id once the whole cluster knows it.
+    pub fn add_node(&self, arch_index: u8) -> Result<NodeId> {
+        let node = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
+        self.fabric.add_node(node);
+        let host = RuntimeHost {
+            node,
+            arch: starfish_checkpoint::MACHINES
+                .get(arch_index as usize)
+                .copied()
+                .unwrap_or(starfish_checkpoint::arch::DEFAULT_ARCH),
+            fabric: self.fabric.clone(),
+            registry: self.registry.clone(),
+            dirs: self.dirs.clone(),
+            store: self.store.clone(),
+            outputs: self.outputs.clone(),
+            trace: self.trace.clone(),
+            knobs: self.knobs,
+        };
+        let mut dc = DaemonConfig::new(node);
+        dc.arch_index = arch_index;
+        dc.trace = self.trace.clone();
+        dc.ensemble.trace = self.trace.clone();
+        let contact = self.daemon().node();
+        let d = Daemon::start(&self.fabric, dc, Some(contact), Box::new(host), self.store.clone())?;
+        d.wait_config(Duration::from_secs(30), |c| c.nodes.contains_key(&node))?;
+        self.daemons.lock().push(d);
+        Ok(node)
+    }
+
+    /// Values published by a rank (in publish order).
+    pub fn outputs(&self, app: AppId, rank: Rank) -> Vec<CkptValue> {
+        self.outputs.get(app, rank)
+    }
+
+    /// Wait for a rank to publish at least `n` values.
+    pub fn wait_outputs(
+        &self,
+        app: AppId,
+        rank: Rank,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<Vec<CkptValue>> {
+        self.outputs.wait_count(app, rank, n, timeout)
+    }
+
+    /// The placement directory of an application (diagnostics).
+    pub fn directory(&self, app: AppId) -> Option<RankDirectory> {
+        self.dirs.get(app)
+    }
+
+    /// The message-taxonomy trace attached at build time.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+}
+
+/// Guard for the system-initiated checkpoint driver; dropping it stops the
+/// periodic triggering.
+pub struct AutoCheckpoint {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    _handle: std::thread::JoinHandle<()>,
+}
+
+impl Drop for AutoCheckpoint {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cfg = self.config();
+        write!(
+            f,
+            "Cluster({} nodes, {} apps)",
+            cfg.nodes.len(),
+            cfg.apps.len()
+        )
+    }
+}
+
+#[allow(dead_code)]
+fn _assert_traits() {
+    fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<Cluster>();
+}
+
+// keep Error in the public surface referenced
+#[allow(unused_imports)]
+use Error as _ErrorAlias;

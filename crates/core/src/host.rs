@@ -1,0 +1,159 @@
+//! The runtime node host: bridges the daemon's placement decisions to real
+//! application-process threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use starfish_checkpoint::store::CkptStore;
+use starfish_checkpoint::Arch;
+use starfish_daemon::config::AppEntry;
+use starfish_daemon::{NodeHost, ProcSpec};
+use starfish_mpi::{MpiEndpoint, RankDirectory, RecvMode};
+use starfish_util::trace::TraceSink;
+use starfish_util::{AppId, NodeId, Rank, Result};
+use starfish_vni::Fabric;
+
+use crate::ctx::Ctx;
+use crate::runtime::{process_main, Outputs, ProcessRuntime};
+
+/// The registered application programs, shared cluster-wide (stands in for
+/// the executables an admin would install on every node).
+#[derive(Clone, Default)]
+pub struct AppRegistry {
+    inner: Arc<Mutex<HashMap<String, Arc<AppFn>>>>,
+}
+
+pub type AppFn = dyn Fn(&mut Ctx<'_>) -> Result<()> + Send + Sync;
+
+impl AppRegistry {
+    pub fn new() -> Self {
+        AppRegistry::default()
+    }
+
+    pub fn register(&self, name: &str, f: impl Fn(&mut Ctx<'_>) -> Result<()> + Send + Sync + 'static) {
+        self.inner.lock().insert(name.to_string(), Arc::new(f));
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<AppFn>> {
+        self.inner.lock().get(name).cloned()
+    }
+}
+
+/// Cluster-wide registry of per-application placement directories.
+#[derive(Clone, Default)]
+pub struct DirRegistry {
+    inner: Arc<Mutex<HashMap<AppId, RankDirectory>>>,
+}
+
+impl DirRegistry {
+    pub fn get_or_create(&self, app: AppId, size: usize) -> RankDirectory {
+        self.inner
+            .lock()
+            .entry(app)
+            .or_insert_with(|| RankDirectory::new(size))
+            .clone()
+    }
+
+    pub fn get(&self, app: AppId) -> Option<RankDirectory> {
+        self.inner.lock().get(&app).cloned()
+    }
+}
+
+/// Knobs that apply to every process spawned on the cluster (ablations and
+/// policy defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeKnobs {
+    /// Use the polling thread (paper design) or direct port reads
+    /// (ablation).
+    pub recv_mode: RecvMode,
+    /// Route data messages through the object bus (ablation; default off =
+    /// fast path).
+    pub bus_data_path: bool,
+    /// Independent protocol: auto-checkpoint every N safepoints (None =
+    /// only explicit checkpoints).
+    pub indep_every: Option<u64>,
+}
+
+impl Default for RuntimeKnobs {
+    fn default() -> Self {
+        RuntimeKnobs {
+            recv_mode: RecvMode::Polled,
+            bus_data_path: false,
+            indep_every: None,
+        }
+    }
+}
+
+/// One node's host: implements the daemon's spawn interface with real
+/// process threads.
+pub struct RuntimeHost {
+    pub node: NodeId,
+    pub arch: Arch,
+    pub fabric: Fabric,
+    pub registry: AppRegistry,
+    pub dirs: DirRegistry,
+    pub store: CkptStore,
+    pub outputs: Outputs,
+    pub trace: TraceSink,
+    pub knobs: RuntimeKnobs,
+}
+
+impl NodeHost for RuntimeHost {
+    fn placement_update(&self, entry: &AppEntry) {
+        let dir = self.dirs.get_or_create(entry.id, entry.spec.size as usize);
+        for (r, n) in entry.placement.iter().enumerate() {
+            dir.place(Rank(r as u32), *n);
+        }
+        dir.set_epoch(entry.epoch);
+    }
+
+    fn spawn(&self, spec: ProcSpec) {
+        let Some(run) = self.registry.get(&spec.entry.spec.name) else {
+            // Unknown program: nothing to start (the submission stays
+            // "running" but empty; a real system would reject at submit).
+            return;
+        };
+        let dir = self
+            .dirs
+            .get_or_create(spec.app, spec.entry.spec.size as usize);
+        let mpi = match MpiEndpoint::new(
+            &self.fabric,
+            spec.app,
+            spec.rank,
+            dir,
+            self.knobs.recv_mode,
+            self.trace.clone(),
+        ) {
+            Ok(ep) => ep,
+            Err(_) => return, // node going down while spawning
+        };
+        let rt = ProcessRuntime::new(
+            spec.entry,
+            spec.rank,
+            spec.node,
+            self.arch,
+            mpi,
+            spec.down_rx,
+            spec.up_tx,
+            self.store.clone(),
+            self.outputs.clone(),
+            self.trace.clone(),
+            spec.spawn_vt,
+            spec.restore_from,
+            self.knobs.bus_data_path,
+            self.knobs.indep_every,
+        );
+        std::thread::Builder::new()
+            .name(format!("app-{}-{}", spec.app, spec.rank))
+            .spawn(move || process_main(rt, run))
+            .expect("spawn application process");
+    }
+
+    fn rank_lost(&self, app: AppId, rank: Rank) {
+        if let Some(dir) = self.dirs.get(app) {
+            dir.unplace(rank);
+        }
+    }
+}

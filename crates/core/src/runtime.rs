@@ -1,0 +1,860 @@
+//! The application-process runtime (paper §2.2, figure 1).
+//!
+//! One [`ProcessRuntime`] hosts one MPI rank. Its five modules are:
+//!
+//! * the **application part** — the user closure, executed on this thread;
+//! * the **MPI module** — [`starfish_mpi::MpiEndpoint`], reached through the
+//!   *fast data path* (direct calls, no bus dispatch);
+//! * the **VNI** — inside the MPI endpoint (port + polling thread);
+//! * the **group handler** — the forwarder that turns daemon messages into
+//!   object-bus events;
+//! * the **C/R module** — `CrModule`, the protocol engines plus image
+//!   capture/restore.
+//!
+//! The runtime's *scheduler* is cooperative: non-data events are processed
+//! at **service points** — every blocking receive slice and every explicit
+//! [`Ctx::safepoint`](crate::Ctx::safepoint). Checkpoints are taken only at
+//! safepoints (with the registered state in hand), mirroring VM-safepoint
+//! checkpointing; the runtime documentation of `Ctx` spells out the
+//! programming-model contract (iteration-structured programs call
+//! `safepoint` once per iteration).
+//!
+//! ## Restart semantics
+//!
+//! A rollback (local decision or daemon-ordered) makes every context call
+//! return [`Error::Interrupted`]; the application propagates it out of its
+//! `run` function, and the runtime re-enters `run` with
+//! [`Ctx::restored`](crate::Ctx::restored) populated from the recovery-line
+//! image (state + channel contents + collective sequence number). Stale
+//! messages from the rolled-back execution are discarded by the epoch filter
+//! in the MPI layer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use starfish_checkpoint::image::{ChannelMsg, CkptImage, CkptLevel};
+use starfish_checkpoint::proto::chandy_lamport::{ChandyLamport, ClPhase};
+use starfish_checkpoint::proto::independent::Independent;
+use starfish_checkpoint::proto::stop_and_sync::StopAndSync;
+use starfish_checkpoint::proto::{CrEffect, CrMsg, SyncCostModel};
+use starfish_checkpoint::store::CkptStore;
+use starfish_checkpoint::{Arch, CkptValue, DiskModel};
+use starfish_daemon::{CkptProto, LevelKind, ProcDown, ProcUp, RelayKind};
+use starfish_daemon::config::AppEntry;
+use starfish_mpi::wire::MsgHeader;
+use starfish_mpi::{Comm, MpiEndpoint};
+use starfish_util::codec::{Decode, Encode};
+use starfish_util::trace::TraceSink;
+use starfish_util::{AppId, Error, NodeId, Rank, Result, VClock, VirtualTime};
+
+use crate::bus::{Bus, BusEvent, BUS_EVENT_COST};
+use crate::state::Checkpointable;
+
+/// Throughput of representation conversion on restore (byte-swapping /
+/// word-resizing a heap image on the era's hardware).
+pub const CONVERT_BW: f64 = 25.0e6;
+
+/// Per-process published results, visible to the cluster owner (tests,
+/// examples, benches read these).
+#[derive(Clone, Default)]
+pub struct Outputs {
+    inner: Arc<Mutex<HashMap<(AppId, Rank), Vec<CkptValue>>>>,
+}
+
+impl Outputs {
+    pub fn new() -> Self {
+        Outputs::default()
+    }
+
+    pub fn publish(&self, app: AppId, rank: Rank, v: CkptValue) {
+        self.inner.lock().entry((app, rank)).or_default().push(v);
+    }
+
+    pub fn get(&self, app: AppId, rank: Rank) -> Vec<CkptValue> {
+        self.inner
+            .lock()
+            .get(&(app, rank))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    pub fn count(&self, app: AppId, rank: Rank) -> usize {
+        self.inner
+            .lock()
+            .get(&(app, rank))
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+
+    /// Wait (real time) until `rank` has published at least `n` values.
+    pub fn wait_count(
+        &self,
+        app: AppId,
+        rank: Rank,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<Vec<CkptValue>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let got = self.get(app, rank);
+            if got.len() >= n {
+                return Ok(got);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(Error::timeout(format!(
+                    "outputs of {app}.{rank}: have {}, want {n}",
+                    got.len()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// The checkpoint/restart module of one process.
+pub(crate) struct CrModule {
+    pub engine: CrEngine,
+    /// Stop-and-sync: application held at its service point.
+    pub stopped: bool,
+    /// Chandy–Lamport: state snapshot waiting for the remaining markers.
+    pub pending_cl: Option<PendingCl>,
+    /// Highest checkpoint index written locally.
+    pub last_index: u64,
+    /// Rounds committed (coordinator only).
+    pub committed: u64,
+}
+
+pub(crate) enum CrEngine {
+    Sync(StopAndSync),
+    Cl(ChandyLamport),
+    Indep(Independent),
+}
+
+pub(crate) struct PendingCl {
+    pub index: u64,
+    pub state: CkptValue,
+    pub taken_at: VirtualTime,
+}
+
+impl CrModule {
+    fn new(proto: CkptProto, me: Rank, size: u32, start_index: u64) -> Self {
+        let ranks: Vec<Rank> = (0..size).map(Rank).collect();
+        let engine = match proto {
+            CkptProto::StopAndSync => CrEngine::Sync(StopAndSync::new(me, ranks)),
+            CkptProto::ChandyLamport => CrEngine::Cl(ChandyLamport::new(me, ranks)),
+            CkptProto::Independent => {
+                let mut e = Independent::new(me);
+                e.rollback_to(start_index);
+                CrEngine::Indep(e)
+            }
+        };
+        CrModule {
+            engine,
+            stopped: false,
+            pending_cl: None,
+            last_index: start_index,
+            committed: 0,
+        }
+    }
+}
+
+/// One application process (runs on its own OS thread).
+pub struct ProcessRuntime {
+    pub(crate) app: AppId,
+    pub(crate) rank: Rank,
+    pub(crate) size: u32,
+    #[allow(dead_code)] // diagnostics / future placement-aware features
+    pub(crate) node: NodeId,
+    pub(crate) arch: Arch,
+    pub(crate) entry: AppEntry,
+    pub(crate) mpi: MpiEndpoint,
+    pub(crate) comm: Comm,
+    pub(crate) clock: VClock,
+    pub(crate) down_rx: Receiver<ProcDown>,
+    pub(crate) up_tx: Sender<(AppId, Rank, ProcUp)>,
+    pub(crate) store: CkptStore,
+    pub(crate) outputs: Outputs,
+    #[allow(dead_code)] // carried for future process-level tracing
+    pub(crate) trace: TraceSink,
+    pub(crate) bus: Bus,
+    pub(crate) cr: CrModule,
+    pub(crate) disk: DiskModel,
+    pub(crate) abort_flag: Arc<AtomicBool>,
+
+    pub(crate) restored: Option<CkptValue>,
+    pub(crate) restart_to: Option<u64>,
+    /// Epoch ordered with a pending rollback (applied at load_checkpoint).
+    pub(crate) pending_epoch: Option<starfish_util::Epoch>,
+    pub(crate) suspended: bool,
+    pub(crate) killed: bool,
+    /// `(state, coll_seq)` cached at the last safepoint. When a checkpoint
+    /// must be taken while the application is blocked in a communication
+    /// call (no live state in hand), this pair is captured instead, together
+    /// with the [`consumed_log`](Self::consumed_log): the restored process
+    /// rewinds to the safepoint and replays exactly the messages the
+    /// abandoned execution had consumed, so the cut stays consistent.
+    pub(crate) cached_state: Option<(CkptValue, u64)>,
+    /// Every data message consumed since the last safepoint (message log
+    /// backing the cached-state capture; cleared at each safepoint).
+    pub(crate) consumed_log: Vec<(MsgHeader, Bytes)>,
+
+    /// Ablation: route data-message delivery through the object bus,
+    /// charging [`BUS_EVENT_COST`] per message (what the fast path avoids).
+    pub(crate) bus_data_path: bool,
+    /// Independent checkpointing: auto-checkpoint every N safepoints.
+    pub(crate) indep_every: Option<u64>,
+    pub(crate) safepoint_count: u64,
+    /// C/R data-path marks whose destination port was not bound yet (peer
+    /// mid-restart); retried at every service point with their original
+    /// virtual send time.
+    pub(crate) pending_marks: Vec<(Rank, Bytes, VirtualTime)>,
+}
+
+/// How often blocking loops wake to service interrupts (real time).
+const SERVICE_SLICE: Duration = Duration::from_millis(50);
+
+impl ProcessRuntime {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        entry: AppEntry,
+        rank: Rank,
+        node: NodeId,
+        arch: Arch,
+        mpi: MpiEndpoint,
+        down_rx: Receiver<ProcDown>,
+        up_tx: Sender<(AppId, Rank, ProcUp)>,
+        store: CkptStore,
+        outputs: Outputs,
+        trace: TraceSink,
+        spawn_vt: VirtualTime,
+        restore_from: u64,
+        bus_data_path: bool,
+        indep_every: Option<u64>,
+    ) -> ProcessRuntime {
+        let app = entry.id;
+        let size = entry.spec.size;
+        let disk = match entry.spec.level {
+            LevelKind::Native => DiskModel::ide_1999(),
+            LevelKind::Vm => DiskModel::vm_buffered(),
+        };
+        let abort_flag = Arc::new(AtomicBool::new(false));
+        let mut mpi = mpi;
+        mpi.set_abort_flag(abort_flag.clone());
+        let proto = entry.spec.proto;
+        ProcessRuntime {
+            app,
+            rank,
+            size,
+            node,
+            arch,
+            entry,
+            mpi,
+            comm: Comm::world(size, rank),
+            clock: VClock::starting_at(spawn_vt),
+            down_rx,
+            up_tx,
+            store,
+            outputs,
+            trace,
+            bus: Bus::new(),
+            cr: CrModule::new(proto, rank, size, restore_from),
+            disk,
+            abort_flag,
+            restored: None,
+            pending_epoch: None,
+            restart_to: if restore_from > 0 {
+                Some(restore_from)
+            } else {
+                None
+            },
+            suspended: false,
+            killed: false,
+            cached_state: None,
+            consumed_log: Vec::new(),
+            bus_data_path,
+            indep_every,
+            safepoint_count: 0,
+            pending_marks: Vec::new(),
+        }
+    }
+
+    pub(crate) fn send_up(&self, msg: ProcUp) {
+        let _ = self.up_tx.send((self.app, self.rank, msg));
+    }
+
+    // ---- service points --------------------------------------------------------
+
+    /// Drain daemon messages and C/R marks, run protocol engines, execute
+    /// effects. `state` enables live checkpoint capture (safepoints);
+    /// without it the cached safepoint state is captured instead.
+    pub(crate) fn service(&mut self, mut state: Option<&dyn Checkpointable>) -> Result<()> {
+        // Retry any C/R marks whose destination was not yet reachable,
+        // preserving their original virtual send times.
+        if !self.pending_marks.is_empty() {
+            let pending = std::mem::take(&mut self.pending_marks);
+            for (to, body, at) in pending {
+                if let Err(e) = self.mpi.resend_ctrl_mark_at(at, to, &body) {
+                    if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+                        eprintln!(
+                            "[rt {}.{}] mark retry -> {to} failed: {e:?}",
+                            self.app, self.rank
+                        );
+                    }
+                    self.pending_marks.push((to, body, at));
+                }
+            }
+        }
+        // Data-path marks first: they belong to an *earlier* protocol stage
+        // than anything the daemons relay (e.g. a peer's Saved can arrive in
+        // real time before the flush mark that gates our own capture, and
+        // merging its later timestamp first would artificially serialize the
+        // round in virtual time).
+        self.pump_marks(&mut state)?;
+        loop {
+            match self.down_rx.try_recv() {
+                Ok(msg) => self.handle_down(msg, &mut state)?,
+                Err(channel::TryRecvError::Empty) => break,
+                Err(channel::TryRecvError::Disconnected) => {
+                    // Daemon gone: our node crashed or the app was torn down.
+                    self.killed = true;
+                    return Err(Error::interrupted("daemon connection lost"));
+                }
+            }
+        }
+        self.pump_marks(&mut state)?;
+        if self.suspended {
+            self.park()?;
+        }
+        Ok(())
+    }
+
+    fn handle_down(
+        &mut self,
+        msg: ProcDown,
+        state: &mut Option<&dyn Checkpointable>,
+    ) -> Result<()> {
+        match msg {
+            ProcDown::LwView { view, vt } => {
+                self.clock.merge(vt);
+                self.clock.advance(BUS_EVENT_COST);
+                self.bus.post(BusEvent::View {
+                    view,
+                    vt: self.clock.now(),
+                });
+            }
+            ProcDown::Relay {
+                kind: RelayKind::Coordination,
+                from,
+                body,
+                vt,
+            } => {
+                self.clock.merge(vt);
+                self.clock.advance(BUS_EVENT_COST);
+                self.bus.post(BusEvent::Coord {
+                    from,
+                    body,
+                    vt: self.clock.now(),
+                });
+            }
+            ProcDown::Relay {
+                kind: RelayKind::CheckpointRestart,
+                from,
+                body,
+                vt,
+            } => {
+                self.clock.merge(vt);
+                self.clock.advance(BUS_EVENT_COST);
+                if let Ok(m) = CrMsg::decode_from_bytes(&body) {
+                    let effects = match &mut self.cr.engine {
+                        CrEngine::Sync(e) => e.on_msg(from, &m),
+                        CrEngine::Cl(e) => e.on_msg(from, &m),
+                        CrEngine::Indep(_) => Vec::new(),
+                    };
+                    self.run_effects(effects, state)?;
+                }
+            }
+            ProcDown::StartCheckpoint { vt } => {
+                self.clock.merge(vt);
+                let next = self.cr.last_index + 1;
+                let effects = match &mut self.cr.engine {
+                    CrEngine::Sync(e) if e.is_coordinator() && e.phase() == starfish_checkpoint::proto::stop_and_sync::Phase::Running => e.start(next),
+                    CrEngine::Cl(e) if e.is_initiator() && e.phase() == ClPhase::Idle => {
+                        e.start(next)
+                    }
+                    CrEngine::Indep(e) => e.take_checkpoint(),
+                    _ => Vec::new(),
+                };
+                self.run_effects(effects, state)?;
+            }
+            ProcDown::Suspend { vt } => {
+                self.clock.merge(vt);
+                self.suspended = true;
+            }
+            ProcDown::Resume { vt } => {
+                self.clock.merge(vt);
+                self.suspended = false;
+            }
+            ProcDown::Rollback { index, epoch, vt } => {
+                self.clock.merge(vt);
+                self.pending_epoch = Some(epoch);
+                self.restart_to = Some(index);
+                self.bus.clear();
+                return Err(Error::interrupted("rollback ordered by daemon"));
+            }
+            ProcDown::Kill { vt } => {
+                self.clock.merge(vt);
+                self.killed = true;
+                return Err(Error::interrupted("killed by daemon"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pump C/R data-path marks (flush marks / markers) into the engines.
+    fn pump_marks(&mut self, state: &mut Option<&dyn Checkpointable>) -> Result<()> {
+        let marks = self.mpi.pump_ctrl(&mut self.clock);
+        for (from, body, vt) in marks {
+            self.clock.merge(vt);
+            let Ok(m) = CrMsg::decode_from_bytes(&body) else {
+                continue;
+            };
+            if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+                eprintln!("[rt {}.{}] mark <- {from}: {m:?}", self.app, self.rank);
+            }
+            let effects = match (&mut self.cr.engine, &m) {
+                (CrEngine::Sync(e), CrMsg::FlushMark { index }) => e.on_flush_mark(from, *index),
+                (CrEngine::Cl(e), CrMsg::Marker { index }) => e.on_marker(from, *index),
+                _ => Vec::new(),
+            };
+            self.run_effects(effects, state)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn run_effects(
+        &mut self,
+        effects: Vec<CrEffect>,
+        state: &mut Option<&dyn Checkpointable>,
+    ) -> Result<()> {
+        for eff in effects {
+            match eff {
+                CrEffect::Send { to, msg } => {
+                    self.send_up(ProcUp::SendTo {
+                        kind: RelayKind::CheckpointRestart,
+                        to,
+                        body: msg.encode_to_bytes(),
+                        vt: self.clock.now(),
+                    });
+                }
+                CrEffect::Broadcast { msg } => {
+                    self.send_up(ProcUp::Cast {
+                        kind: RelayKind::CheckpointRestart,
+                        body: msg.encode_to_bytes(),
+                        vt: self.clock.now(),
+                    });
+                }
+                CrEffect::DataMark { to, msg } => {
+                    if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+                        eprintln!("[rt {}.{}] DataMark -> {to}: {msg:?} (epoch {})", self.app, self.rank, self.mpi.epoch());
+                    }
+                    let body = msg.encode_to_bytes();
+                    if let Err(e) = self.mpi.send_ctrl_mark(&mut self.clock, to, &body) {
+                        if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+                            eprintln!("[rt {}.{}] DataMark -> {to} FAILED: {e:?}", self.app, self.rank);
+                        }
+                        let _ = &e;
+                        // Peer mid-restart (port not bound yet) or crashed:
+                        // keep retrying at service points. Genuinely dead
+                        // peers are resolved by the membership layer (the
+                        // round is rebuilt after the restart decision).
+                        self.pending_marks.push((to, body, self.clock.now()));
+                    }
+                }
+                CrEffect::BeginQuiesce { .. } => {
+                    self.cr.stopped = true;
+                }
+                CrEffect::TakeCheckpoint { index } => match state {
+                    Some(s) => {
+                        // Live capture at a safepoint: nothing consumed since.
+                        let v = s.save();
+                        let seq = self.comm.coll_seq;
+                        self.cached_state = Some((v.clone(), seq));
+                        self.consumed_log.clear();
+                        self.take_checkpoint_value(index, v, seq, Vec::new())?;
+                    }
+                    None => {
+                        // Blocked in a communication call: rewind to the
+                        // cached safepoint and log the consumed messages so
+                        // the restored incarnation can replay them.
+                        let (v, seq) = self
+                            .cached_state
+                            .clone()
+                            .unwrap_or((CkptValue::Unit, 0));
+                        let replay = self.consumed_log.clone();
+                        self.take_checkpoint_value(index, v, seq, replay)?;
+                    }
+                },
+                CrEffect::RecordChannel { from } => self.mpi.start_recording(from),
+                CrEffect::StopRecord { from } => self.mpi.stop_recording(from),
+                CrEffect::Resume { .. } => {
+                    self.cr.stopped = false;
+                }
+                CrEffect::Committed { index } => {
+                    // The coordinator charges the fitted daemon-coordination
+                    // overhead for the distributed phase (EXPERIMENTS.md).
+                    let nodes = self.participating_nodes();
+                    let sync_cost = match self.entry.spec.level {
+                        LevelKind::Native => SyncCostModel::native_sync(nodes),
+                        LevelKind::Vm => SyncCostModel::vm_sync(nodes),
+                    };
+                    self.clock.advance(sync_cost);
+                    self.cr.committed += 1;
+                    self.send_up(ProcUp::CkptCommitted {
+                        index,
+                        vt: self.clock.now(),
+                    });
+                }
+            }
+        }
+        // Chandy–Lamport: finalize the image once all markers are in (the
+        // engine already emitted its Saved message; here we persist the
+        // state snapshot plus the recorded channel contents).
+        let cl_complete = matches!(
+            &self.cr.engine,
+            CrEngine::Cl(e) if e.phase() == ClPhase::Complete || e.phase() == ClPhase::Idle
+        );
+        if cl_complete {
+            if let Some(p) = self.cr.pending_cl.take() {
+                let channel = self.take_recorded_channel();
+                self.write_image(p.index, p.state, channel, p.taken_at)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn participating_nodes(&self) -> usize {
+        let mut nodes = self.entry.placement.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    fn take_recorded_channel(&mut self) -> Vec<ChannelMsg> {
+        self.mpi
+            .take_recorded()
+            .into_iter()
+            .map(|(h, b)| ChannelMsg {
+                src: h.src,
+                dst: self.rank,
+                context: h.context,
+                tag: h.tag,
+                payload: b.to_vec(),
+            })
+            .collect()
+    }
+
+    /// Capture a local checkpoint at `index` with the given state value,
+    /// the collective sequence number matching that state, and any consumed
+    /// messages the restored incarnation must replay.
+    fn take_checkpoint_value(
+        &mut self,
+        index: u64,
+        user_state: CkptValue,
+        coll_seq: u64,
+        replay: Vec<(MsgHeader, Bytes)>,
+    ) -> Result<()> {
+        let wrapped = CkptValue::Record(vec![
+            ("__coll_seq".to_string(), CkptValue::Int(coll_seq as i64)),
+            ("__user".to_string(), user_state),
+        ]);
+        match &mut self.cr.engine {
+            CrEngine::Cl(_) => {
+                // State snapshots now; channel recording completes later.
+                self.cr.pending_cl = Some(PendingCl {
+                    index,
+                    state: wrapped,
+                    taken_at: self.clock.now(),
+                });
+                // Serialization cost is charged at finalization (write).
+                Ok(())
+            }
+            _ => {
+                // Stop-and-sync / independent: the channel is the replay log
+                // (messages consumed past the capture point) plus whatever
+                // is unconsumed right now (stop-and-sync guarantees the
+                // latter is all remaining in-flight traffic).
+                let channel: Vec<ChannelMsg> = replay
+                    .into_iter()
+                    .chain(self.mpi.snapshot_channel(&mut self.clock))
+                    .map(|(h, b)| ChannelMsg {
+                        src: h.src,
+                        dst: self.rank,
+                        context: h.context,
+                        tag: h.tag,
+                        payload: b.to_vec(),
+                    })
+                    .collect();
+                let taken_at = self.clock.now();
+                self.write_image(index, wrapped, channel, taken_at)?;
+                let effects = match &mut self.cr.engine {
+                    CrEngine::Sync(e) => e.on_saved(index),
+                    CrEngine::Indep(e) => {
+                        self.mpi.piggyback_interval = e.current_interval();
+                        Vec::new()
+                    }
+                    CrEngine::Cl(_) => unreachable!(),
+                };
+                let mut no_state: Option<&dyn Checkpointable> = None;
+                self.run_effects(effects, &mut no_state)
+            }
+        }
+    }
+
+    fn write_image(
+        &mut self,
+        index: u64,
+        state: CkptValue,
+        channel: Vec<ChannelMsg>,
+        taken_at: VirtualTime,
+    ) -> Result<()> {
+        let level = match self.entry.spec.level {
+            LevelKind::Native => CkptLevel::Native { arch: self.arch },
+            LevelKind::Vm => CkptLevel::Vm { arch: self.arch },
+        };
+        let img = CkptImage::capture(
+            self.app,
+            self.rank,
+            self.entry.epoch,
+            index,
+            level,
+            &state,
+            channel,
+            taken_at,
+        )?;
+        if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+            eprintln!(
+                "[rt {}.{}] write_image idx={index} start_vt={} bytes={}",
+                self.app, self.rank, self.clock.now(), img.total_bytes()
+            );
+        }
+        self.clock.advance(self.disk.write_time(img.total_bytes()));
+        self.store.put(img);
+        self.cr.last_index = index;
+        // For the CL path, emitting Saved is the engine's business; for
+        // stop-and-sync, on_saved is invoked by the caller.
+        Ok(())
+    }
+
+    /// Hold here while the application is administratively suspended.
+    fn park(&mut self) -> Result<()> {
+        while self.suspended {
+            match self.down_rx.recv_timeout(SERVICE_SLICE) {
+                Ok(msg) => {
+                    let mut no_state: Option<&dyn Checkpointable> = None;
+                    self.handle_down(msg, &mut no_state)?;
+                }
+                Err(channel::RecvTimeoutError::Timeout) => {}
+                Err(channel::RecvTimeoutError::Disconnected) => {
+                    self.killed = true;
+                    return Err(Error::interrupted("daemon connection lost"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full safepoint: service everything; if a stop-and-sync round is in
+    /// progress, hold here (quiesce) until it commits.
+    pub(crate) fn safepoint(&mut self, state: &dyn Checkpointable) -> Result<()> {
+        self.safepoint_count += 1;
+        self.cached_state = Some((state.save(), self.comm.coll_seq));
+        self.consumed_log.clear();
+        self.service(Some(state))?;
+        // Independent auto-checkpointing.
+        if let (Some(every), CrEngine::Indep(_)) = (self.indep_every, &self.cr.engine) {
+            if every > 0 && self.safepoint_count % every == 0 {
+                let effects = match &mut self.cr.engine {
+                    CrEngine::Indep(e) => e.take_checkpoint(),
+                    _ => unreachable!(),
+                };
+                let mut s = Some(state);
+                self.run_effects(effects, &mut s)?;
+            }
+        }
+        // Stop-and-sync quiesce: the application stays here until Resume.
+        let hold_deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while self.cr.stopped {
+            if std::time::Instant::now() > hold_deadline {
+                if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+                    if let CrEngine::Sync(e) = &self.cr.engine {
+                        eprintln!(
+                            "[rt {}.{}] quiesce stuck (epoch {}): {:?}",
+                            self.app, self.rank, self.mpi.epoch(), e
+                        );
+                    }
+                }
+                return Err(Error::timeout("quiesce never completed"));
+            }
+            self.service(Some(state))?;
+            if self.cr.stopped {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- restart ---------------------------------------------------------------
+
+    /// Load (or reset to) checkpoint `index` before (re-)entering the
+    /// application code.
+    pub(crate) fn load_checkpoint(&mut self, index: u64) {
+        self.abort_flag.store(false, Ordering::Relaxed);
+        self.bus.clear();
+        self.suspended = false;
+        self.cached_state = None;
+        self.consumed_log.clear();
+        self.pending_marks.clear();
+        if let Some(e) = self.pending_epoch.take() {
+            self.mpi.set_epoch(e);
+        }
+        self.comm = Comm::world(self.size, self.rank);
+        self.cr = CrModule::new(self.entry.spec.proto, self.rank, self.size, index);
+        self.mpi.piggyback_interval = index;
+        if index == 0 {
+            self.restored = None;
+            self.mpi.restore_channel(Vec::new(), self.clock.now());
+            return;
+        }
+        let Some(img) = self.store.get(self.app, self.rank, index) else {
+            // No such image (e.g. recovery line at 0 for this rank): fresh.
+            self.restored = None;
+            self.mpi.restore_channel(Vec::new(), self.clock.now());
+            self.cr = CrModule::new(self.entry.spec.proto, self.rank, self.size, 0);
+            self.mpi.piggyback_interval = 0;
+            return;
+        };
+        match img.restore_state(self.arch) {
+            Ok((value, report)) => {
+                // Restore costs: read the image back, plus representation
+                // conversion when the saving machine differed.
+                self.clock.advance(self.disk.read_time(img.total_bytes()));
+                if !report.identical() {
+                    self.clock
+                        .advance(VirtualTime::transfer(report.body_bytes, CONVERT_BW));
+                }
+                if let Some(CkptValue::Int(seq)) =
+                    value.field("__coll_seq")
+                {
+                    // (restored through the wrapper written by take_checkpoint)
+                    self.comm.coll_seq = *seq as u64;
+                }
+                self.restored = value.field("__user").cloned();
+                let msgs: Vec<(MsgHeader, Bytes)> = img
+                    .channel
+                    .iter()
+                    .map(|m| {
+                        (
+                            MsgHeader {
+                                src: m.src,
+                                context: m.context,
+                                tag: m.tag,
+                                epoch: self.mpi.epoch(),
+                                interval: 0,
+                            },
+                            Bytes::from(m.payload.clone()),
+                        )
+                    })
+                    .collect();
+                self.mpi.restore_channel(msgs, self.clock.now());
+            }
+            Err(_) => {
+                // Unrestorable here (native image on a different machine):
+                // start fresh — the paper's native-level restriction.
+                self.restored = None;
+                self.mpi.restore_channel(Vec::new(), self.clock.now());
+                self.cr = CrModule::new(self.entry.spec.proto, self.rank, self.size, 0);
+                self.mpi.piggyback_interval = 0;
+            }
+        }
+    }
+}
+
+/// The process main loop: run the user code, re-entering after rollbacks.
+pub(crate) fn process_main(
+    mut rt: ProcessRuntime,
+    run: Arc<dyn Fn(&mut crate::ctx::Ctx<'_>) -> Result<()> + Send + Sync>,
+) {
+    // Spawn a forwarder that mirrors Rollback/Kill into the abort flag so
+    // blocking MPI waits preempt promptly.
+    let (fwd_tx, fwd_rx) = channel::unbounded();
+    let outer_rx = std::mem::replace(&mut rt.down_rx, fwd_rx);
+    let flag = rt.abort_flag.clone();
+    std::thread::Builder::new()
+        .name(format!("gh-{}-{}", rt.app, rt.rank))
+        .spawn(move || {
+            for msg in outer_rx.iter() {
+                if matches!(msg, ProcDown::Rollback { .. } | ProcDown::Kill { .. }) {
+                    flag.store(true, Ordering::Relaxed);
+                }
+                if fwd_tx.send(msg).is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn group-handler forwarder");
+
+    let dbg = std::env::var_os("STARFISH_RT_DEBUG").is_some();
+    loop {
+        if let Some(idx) = rt.restart_to.take() {
+            if dbg { eprintln!("[rt {}.{}] load_checkpoint({idx})", rt.app, rt.rank); }
+            rt.load_checkpoint(idx);
+        }
+        if dbg { eprintln!("[rt {}.{}] entering run (restored={})", rt.app, rt.rank, rt.restored.is_some()); }
+        let result = {
+            let mut ctx = crate::ctx::Ctx { rt: &mut rt };
+            run(&mut ctx)
+        };
+        if dbg { eprintln!("[rt {}.{}] run -> {:?} killed={} restart_to={:?}", rt.app, rt.rank, result.as_ref().err(), rt.killed, rt.restart_to); }
+        match result {
+            Ok(()) => {
+                rt.send_up(ProcUp::Done {
+                    vt: rt.clock.now(),
+                });
+                return;
+            }
+            Err(Error::Interrupted(_)) => {
+                if rt.killed {
+                    return;
+                }
+                if rt.restart_to.is_none() {
+                    // Interrupted without a pending rollback: poll for one
+                    // briefly (the Rollback may be right behind the abort).
+                    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                    while rt.restart_to.is_none() && !rt.killed {
+                        if std::time::Instant::now() > deadline {
+                            return;
+                        }
+                        let _ = rt.service(None);
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    if rt.killed {
+                        return;
+                    }
+                }
+                continue;
+            }
+            Err(_other) => {
+                // Node crash mid-run or a fatal application error: exit.
+                // (A crashed node's daemon is gone too, so nobody is left to
+                // notify; the membership layer reports the loss.)
+                return;
+            }
+        }
+    }
+}

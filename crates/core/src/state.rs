@@ -1,0 +1,96 @@
+//! The checkpointable-state programming model.
+//!
+//! In the paper, VM-level checkpointing snapshots the OCaml heap, so *all*
+//! application state is captured transparently. Our substitution (DESIGN.md)
+//! is a registered state container: application state that must survive a
+//! checkpoint implements [`Checkpointable`], and every
+//! [`Ctx::safepoint`](crate::Ctx::safepoint) hands the runtime a view of it.
+//! Restart re-enters the application's `run` function, which rebuilds its
+//! working state from [`Ctx::restored`](crate::Ctx::restored).
+
+use starfish_checkpoint::CkptValue;
+use starfish_util::{Error, Result};
+
+/// Application state that can be captured into (and rebuilt from) the
+/// portable checkpoint value model.
+pub trait Checkpointable {
+    /// Serialize the current state (the "heap walk").
+    fn save(&self) -> CkptValue;
+}
+
+impl Checkpointable for CkptValue {
+    fn save(&self) -> CkptValue {
+        self.clone()
+    }
+}
+
+/// Helpers for pulling typed fields back out of a restored [`CkptValue`].
+pub trait CkptValueExt {
+    fn req_int(&self, field: &str) -> Result<i64>;
+    fn req_float(&self, field: &str) -> Result<f64>;
+    fn req_float_array(&self, field: &str) -> Result<Vec<f64>>;
+    fn req_int_array(&self, field: &str) -> Result<Vec<i64>>;
+    fn req_str(&self, field: &str) -> Result<String>;
+}
+
+impl CkptValueExt for CkptValue {
+    fn req_int(&self, field: &str) -> Result<i64> {
+        self.field(field)
+            .and_then(|v| v.as_int())
+            .ok_or_else(|| Error::checkpoint(format!("missing int field {field:?}")))
+    }
+
+    fn req_float(&self, field: &str) -> Result<f64> {
+        self.field(field)
+            .and_then(|v| v.as_float())
+            .ok_or_else(|| Error::checkpoint(format!("missing float field {field:?}")))
+    }
+
+    fn req_float_array(&self, field: &str) -> Result<Vec<f64>> {
+        self.field(field)
+            .and_then(|v| v.as_float_array())
+            .map(|s| s.to_vec())
+            .ok_or_else(|| Error::checkpoint(format!("missing float array {field:?}")))
+    }
+
+    fn req_int_array(&self, field: &str) -> Result<Vec<i64>> {
+        self.field(field)
+            .and_then(|v| v.as_int_array())
+            .map(|s| s.to_vec())
+            .ok_or_else(|| Error::checkpoint(format!("missing int array {field:?}")))
+    }
+
+    fn req_str(&self, field: &str) -> Result<String> {
+        self.field(field)
+            .and_then(|v| v.as_str())
+            .map(str::to_owned)
+            .ok_or_else(|| Error::checkpoint(format!("missing string field {field:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ckptvalue_is_trivially_checkpointable() {
+        let v = CkptValue::Int(7);
+        assert_eq!(v.save(), v);
+    }
+
+    #[test]
+    fn typed_field_extraction() {
+        let v = CkptValue::record(vec![
+            ("step", CkptValue::Int(4)),
+            ("x", CkptValue::Float(0.5)),
+            ("grid", CkptValue::FloatArray(vec![1.0])),
+            ("name", CkptValue::Str("s".into())),
+        ]);
+        assert_eq!(v.req_int("step").unwrap(), 4);
+        assert_eq!(v.req_float("x").unwrap(), 0.5);
+        assert_eq!(v.req_float_array("grid").unwrap(), vec![1.0]);
+        assert_eq!(v.req_str("name").unwrap(), "s");
+        assert!(v.req_int("missing").is_err());
+        assert!(v.req_int("x").is_err(), "type mismatch is an error");
+    }
+}

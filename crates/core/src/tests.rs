@@ -1,0 +1,484 @@
+//! End-to-end scenario tests of the full Starfish stack (cluster boot →
+//! daemons → application processes → C/R → recovery).
+
+use std::time::Duration;
+
+use starfish_checkpoint::CkptValue;
+use starfish_daemon::{CkptProto, FtPolicy, LevelKind};
+use starfish_mpi::ReduceOp;
+use starfish_util::{Rank, VirtualTime};
+
+use crate::cluster::{Cluster, SubmitOpts};
+use crate::state::CkptValueExt;
+
+const T: Duration = Duration::from_secs(60);
+
+#[test]
+fn ring_pass_completes() {
+    let cluster = Cluster::builder().nodes(3).network_bip().build().unwrap();
+    cluster.register_app("ring", |ctx| {
+        let n = ctx.size();
+        let me = ctx.rank().0;
+        // Pass a counter around the ring twice.
+        if me == 0 {
+            ctx.send(Rank(1 % n), 1, &[1])?;
+            let m = ctx.recv(Some(Rank(n - 1)), Some(1))?;
+            ctx.publish(CkptValue::Int(m.data[0] as i64));
+        } else {
+            let m = ctx.recv(Some(Rank(me - 1)), Some(1))?;
+            ctx.send(Rank((me + 1) % n), 1, &[m.data[0] + 1])?;
+        }
+        Ok(())
+    });
+    let app = cluster
+        .submit("ring", 3, SubmitOpts::default().policy(FtPolicy::Kill))
+        .unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert_eq!(cluster.outputs(app, Rank(0)), vec![CkptValue::Int(3)]);
+}
+
+#[test]
+fn collectives_work_through_ctx() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("coll", |ctx| {
+        let r = ctx.rank().0 as f64;
+        ctx.barrier()?;
+        let sum = ctx.allreduce_f64(&[r + 1.0], ReduceOp::Sum)?;
+        let all = ctx.allgather(&[ctx.rank().0 as u8])?;
+        ctx.publish(CkptValue::Float(sum[0]));
+        ctx.publish(CkptValue::Int(all.len() as i64));
+        Ok(())
+    });
+    let app = cluster
+        .submit("coll", 4, SubmitOpts::default().policy(FtPolicy::Kill))
+        .unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    for r in 0..4 {
+        let out = cluster.outputs(app, Rank(r));
+        assert_eq!(out[0], CkptValue::Float(1.0 + 2.0 + 3.0 + 4.0));
+        assert_eq!(out[1], CkptValue::Int(4));
+    }
+}
+
+#[test]
+fn user_initiated_checkpoint_round_commits() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("ckpt", |ctx| {
+        let state = CkptValue::record(vec![("iter", CkptValue::Int(1))]);
+        let dt = ctx.checkpoint(&state)?;
+        if ctx.rank().0 == 0 {
+            ctx.publish(CkptValue::Float(dt.as_secs_f64()));
+        }
+        ctx.barrier()?;
+        Ok(())
+    });
+    let app = cluster.submit("ckpt", 2, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    // Both ranks stored checkpoint index 1.
+    assert_eq!(cluster.store().latest_index(app, Rank(0)), 1);
+    assert_eq!(cluster.store().latest_index(app, Rank(1)), 1);
+    // Rank 0 measured a positive round time that includes at least the
+    // VM-level image write (~7.7ms single node; here 2 nodes + sync).
+    let out = cluster.outputs(app, Rank(0));
+    let secs = out[0].as_float().unwrap();
+    assert!(secs > 0.005, "round time {secs}s too small");
+}
+
+/// The headline fault-tolerance scenario: crash a node mid-run, watch the
+/// system restart from the last coordinated checkpoint, and check the final
+/// answer matches a failure-free execution.
+#[test]
+fn crash_restart_from_checkpoint_preserves_result() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("survivor", |ctx| {
+        let me = ctx.rank();
+        let mut iter;
+        let mut acc;
+        match ctx.restored() {
+            Some(v) => {
+                iter = v.req_int("iter")?;
+                acc = v.req_int("acc")?;
+                ctx.publish(CkptValue::Str(format!("restored@{iter}")));
+            }
+            None => {
+                iter = 0;
+                acc = 0;
+            }
+        }
+        while iter < 6 {
+            let state = CkptValue::record(vec![
+                ("iter", CkptValue::Int(iter)),
+                ("acc", CkptValue::Int(acc)),
+            ]);
+            if iter == 3 && me.0 == 0 {
+                // Coordinated checkpoint mid-run.
+                ctx.checkpoint(&state)?;
+            } else {
+                ctx.safepoint(&state)?;
+            }
+            // One "compute + exchange" step: global sum of ranks. The real
+            // sleep keeps the run alive long enough for the injected crash.
+            std::thread::sleep(Duration::from_millis(25));
+            let sums = ctx.allreduce_i64(&[me.0 as i64 + 1], ReduceOp::Sum)?;
+            acc += sums[0];
+            iter += 1;
+        }
+        ctx.publish(CkptValue::Int(acc));
+        Ok(())
+    });
+    let app = cluster.submit("survivor", 3, SubmitOpts::default()).unwrap();
+
+    // Let it checkpoint (all ranks at index 1), then kill a node.
+    let deadline = std::time::Instant::now() + T;
+    while cluster.store().latest_common_index(app, &[Rank(0), Rank(1), Rank(2)]) < 1 {
+        assert!(std::time::Instant::now() < deadline, "checkpoint never landed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let victim = cluster.config().apps[&app].placement[1];
+    cluster.crash_node(victim);
+
+    cluster.wait_app_done(app, T).unwrap();
+    // Expected: 6 iterations × (1+2+3) = 36, identical to failure-free.
+    for r in 0..3 {
+        let out = cluster.outputs(app, Rank(r));
+        assert!(
+            out.contains(&CkptValue::Int(36)),
+            "rank {r} outputs {out:?}"
+        );
+    }
+    // The restart actually happened from the checkpoint (not from scratch):
+    // some rank published a restore marker.
+    let restored_seen = (0..3).any(|r| {
+        cluster
+            .outputs(app, Rank(r))
+            .iter()
+            .any(|v| matches!(v, CkptValue::Str(s) if s.starts_with("restored@")))
+    });
+    assert!(restored_seen, "no rank reported restoring from a checkpoint");
+    // And the epoch was bumped exactly once.
+    assert_eq!(cluster.config().apps[&app].epoch.0, 1);
+}
+
+#[test]
+fn kill_policy_takes_app_down_on_crash() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("fragile", |ctx| {
+        let state = CkptValue::Unit;
+        loop {
+            ctx.safepoint(&state)?;
+            ctx.advance(VirtualTime::from_millis(1));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+    let app = cluster
+        .submit("fragile", 2, SubmitOpts::default().policy(FtPolicy::Kill))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let victim = cluster.config().apps[&app].placement[1];
+    cluster.crash_node(victim);
+    cluster
+        .wait_app(app, T, |a| a.status == starfish_daemon::AppStatus::Killed)
+        .unwrap();
+}
+
+/// Dynamicity (paper §3.2.1): a trivially parallel app under the NotifyView
+/// policy repartitions over the survivors after a crash.
+#[test]
+fn notify_view_policy_repartitions() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("adaptive", |ctx| {
+        let state = CkptValue::Unit;
+        // Work is 12 items; each alive rank owns a slice.
+        let me = ctx.rank();
+        let mut covered: Vec<i64> = Vec::new();
+        for round in 0..40 {
+            ctx.safepoint(&state)?;
+            let alive = ctx.alive_ranks();
+            if !alive.contains(&me) {
+                break;
+            }
+            let k = alive.iter().position(|r| *r == me).unwrap();
+            let share = 12 / alive.len();
+            for item in (k * share)..((k + 1) * share) {
+                if !covered.contains(&(item as i64)) {
+                    covered.push(item as i64);
+                }
+            }
+            // Round 20 publishes a progress marker so the test can inject
+            // the failure in the middle.
+            if round == 20 && me.0 == 0 {
+                ctx.publish(CkptValue::Str("mid".into()));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        covered.sort_unstable();
+        ctx.publish(CkptValue::IntArray(covered));
+        Ok(())
+    });
+    let app = cluster
+        .submit(
+            "adaptive",
+            3,
+            SubmitOpts::default().policy(FtPolicy::NotifyView),
+        )
+        .unwrap();
+    cluster.wait_outputs(app, Rank(0), 1, T).unwrap();
+    let victim = cluster.config().apps[&app].placement[2];
+    cluster.crash_node(victim);
+    // Ranks 0 and 1 finish and together cover a larger share after the
+    // crash (6 items each instead of 4).
+    let out0 = cluster.wait_outputs(app, Rank(0), 2, T).unwrap();
+    let out1 = cluster.wait_outputs(app, Rank(1), 1, T).unwrap();
+    let cov0 = match &out0[1] {
+        CkptValue::IntArray(v) => v.clone(),
+        other => panic!("unexpected {other:?}"),
+    };
+    let cov1 = match &out1[0] {
+        CkptValue::IntArray(v) => v.clone(),
+        other => panic!("unexpected {other:?}"),
+    };
+    let mut union: Vec<i64> = cov0.iter().chain(cov1.iter()).copied().collect();
+    union.sort_unstable();
+    union.dedup();
+    assert_eq!(union, (0..12).collect::<Vec<i64>>(), "full coverage after repartition");
+    assert!(cov0.len() >= 6, "rank 0 took over part of the lost share: {cov0:?}");
+}
+
+#[test]
+fn suspend_resume_via_cluster_api() {
+    let cluster = Cluster::builder().nodes(1).build().unwrap();
+    cluster.register_app("pausable", |ctx| {
+        let state = CkptValue::Unit;
+        for i in 0..30 {
+            ctx.safepoint(&state)?;
+            if i == 5 {
+                ctx.publish(CkptValue::Int(5));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        ctx.publish(CkptValue::Str("done".into()));
+        Ok(())
+    });
+    let app = cluster.submit("pausable", 1, SubmitOpts::default()).unwrap();
+    cluster.wait_outputs(app, Rank(0), 1, T).unwrap();
+    cluster.suspend(app).unwrap();
+    cluster
+        .wait_app(app, T, |a| a.status == starfish_daemon::AppStatus::Suspended)
+        .unwrap();
+    // While suspended it must not finish.
+    std::thread::sleep(Duration::from_millis(150));
+    assert_ne!(
+        cluster.app_status(app),
+        Some(starfish_daemon::AppStatus::Done)
+    );
+    cluster.resume(app).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+}
+
+#[test]
+fn independent_checkpoints_have_no_coordination() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("indep", |ctx| {
+        let me = ctx.rank().0 as i64;
+        let state = CkptValue::record(vec![("me", CkptValue::Int(me))]);
+        // Each rank checkpoints independently: no Stop/Resume round.
+        let dt = ctx.checkpoint(&state)?;
+        ctx.publish(CkptValue::Float(dt.as_secs_f64()));
+        Ok(())
+    });
+    let app = cluster
+        .submit(
+            "indep",
+            2,
+            SubmitOpts::default().proto(CkptProto::Independent),
+        )
+        .unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert_eq!(cluster.store().latest_index(app, Rank(0)), 1);
+    assert_eq!(cluster.store().latest_index(app, Rank(1)), 1);
+    // Local-only cost: well under the coordinated round times.
+    let dt0 = cluster.outputs(app, Rank(0))[0].as_float().unwrap();
+    assert!(dt0 > 0.0 && dt0 < 0.05, "independent ckpt took {dt0}s");
+}
+
+#[test]
+fn chandy_lamport_round_commits_without_stopping() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("cl", |ctx| {
+        let state = CkptValue::record(vec![("x", CkptValue::Int(9))]);
+        let me = ctx.rank().0;
+        // Keep traffic flowing while the snapshot happens.
+        for i in 0..10u64 {
+            if me == 0 && i == 3 {
+                ctx.checkpoint(&state)?;
+            } else {
+                ctx.safepoint(&state)?;
+            }
+            let peer = Rank(1 - me);
+            ctx.send(peer, 40 + i, &[i as u8])?;
+            let m = ctx.recv(Some(peer), Some(40 + i))?;
+            assert_eq!(m.data[0], i as u8);
+        }
+        Ok(())
+    });
+    let app = cluster
+        .submit(
+            "cl",
+            2,
+            SubmitOpts::default().proto(CkptProto::ChandyLamport),
+        )
+        .unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert_eq!(cluster.store().latest_index(app, Rank(0)), 1);
+    assert_eq!(cluster.store().latest_index(app, Rank(1)), 1);
+}
+
+#[test]
+fn native_level_checkpoint_images_are_bigger() {
+    let cluster = Cluster::builder().nodes(1).build().unwrap();
+    cluster.register_app("nat", |ctx| {
+        let state = CkptValue::Unit;
+        ctx.checkpoint(&state)?;
+        Ok(())
+    });
+    let app_vm = cluster
+        .submit("nat", 1, SubmitOpts::default().level(LevelKind::Vm))
+        .unwrap();
+    cluster.wait_app_done(app_vm, T).unwrap();
+    let app_nat = cluster
+        .submit("nat", 1, SubmitOpts::default().level(LevelKind::Native))
+        .unwrap();
+    cluster.wait_app_done(app_nat, T).unwrap();
+    let vm = cluster.store().latest(app_vm, Rank(0)).unwrap();
+    let nat = cluster.store().latest(app_nat, Rank(0)).unwrap();
+    // Paper §5: 260 KB vs 632 KB for the empty program.
+    assert!(vm.total_bytes() >= 260 * 1024 && vm.total_bytes() < 261 * 1024);
+    assert!(nat.total_bytes() >= 632 * 1024 && nat.total_bytes() < 633 * 1024);
+}
+
+#[test]
+fn dynamic_node_addition_expands_cluster() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    let new = cluster.add_node(1).unwrap(); // a SunOS big-endian box
+    let cfg = cluster.config();
+    assert!(cfg.nodes.contains_key(&new));
+    assert_eq!(cfg.up_nodes().len(), 3);
+    // New submissions can land on it.
+    cluster.register_app("hello", |ctx| {
+        ctx.publish(CkptValue::Int(ctx.rank().0 as i64));
+        Ok(())
+    });
+    let app = cluster.submit("hello", 3, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert!(cluster.config().apps[&app]
+        .placement
+        .contains(&new));
+}
+
+#[test]
+fn mgmt_session_drives_whole_lifecycle() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("job", |ctx| {
+        let state = CkptValue::Unit;
+        for _ in 0..5 {
+            ctx.safepoint(&state)?;
+        }
+        Ok(())
+    });
+    let mut s = cluster.session();
+    assert!(s.handle_line("LOGIN USER carol").starts_with("OK"));
+    let resp = s.handle_line("SUBMIT job 2 POLICY kill");
+    assert!(resp.starts_with("OK submitted"), "{resp}");
+    let status = s.handle_line("STATUS");
+    assert!(status.contains("job"), "{status}");
+}
+
+/// Robustness: crash the same workload at several different points in its
+/// execution (before, during and after checkpoints); the answer must always
+/// match the failure-free run.
+#[test]
+fn crash_at_various_times_always_recovers() {
+    for delay_ms in [20u64, 80, 160, 240] {
+        let cluster = Cluster::builder().nodes(3).build().unwrap();
+        cluster.register_app("robust", |ctx| {
+            let me = ctx.rank();
+            let (mut iter, mut acc) = match ctx.restored() {
+                Some(v) => (
+                    v.req_int("iter").unwrap_or(0),
+                    v.req_int("acc").unwrap_or(0),
+                ),
+                None => (0, 0),
+            };
+            while iter < 10 {
+                let state = CkptValue::record(vec![
+                    ("iter", CkptValue::Int(iter)),
+                    ("acc", CkptValue::Int(acc)),
+                ]);
+                if iter % 3 == 0 && iter > 0 {
+                    ctx.checkpoint(&state)?;
+                } else {
+                    ctx.safepoint(&state)?;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                let s = ctx.allreduce_i64(&[me.0 as i64 + 1], ReduceOp::Sum)?;
+                acc += s[0];
+                iter += 1;
+            }
+            ctx.publish(CkptValue::Int(acc));
+            Ok(())
+        });
+        let app = cluster.submit("robust", 3, SubmitOpts::default()).unwrap();
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        // Crash whichever node currently hosts rank 1.
+        let victim = cluster.config().apps[&app].placement[1];
+        cluster.crash_node(victim);
+        cluster.wait_app_done(app, Duration::from_secs(120)).unwrap();
+        for r in 0..3 {
+            let out = cluster.outputs(app, Rank(r));
+            assert!(
+                out.contains(&CkptValue::Int(60)), // 10 × (1+2+3)
+                "delay {delay_ms}ms, rank {r}: {out:?}"
+            );
+        }
+    }
+}
+
+/// Checkpoint while heavy point-to-point traffic is in flight: nothing is
+/// lost or duplicated across the round.
+#[test]
+fn checkpoint_under_heavy_traffic_loses_nothing() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("firehose", |ctx| {
+        let me = ctx.rank().0;
+        let state = CkptValue::Unit;
+        const N: u64 = 200;
+        if me == 0 {
+            // Blast messages, checkpoint mid-stream, keep blasting.
+            for i in 0..N / 2 {
+                ctx.send(Rank(1), i, &i.to_be_bytes())?;
+            }
+            ctx.checkpoint(&state)?;
+            for i in N / 2..N {
+                ctx.send(Rank(1), i, &i.to_be_bytes())?;
+            }
+            ctx.barrier()?;
+        } else {
+            // Consume everything, participating in the round when it comes.
+            let mut sum = 0u64;
+            for i in 0..N {
+                let m = ctx.recv(Some(Rank(0)), Some(i))?;
+                sum += u64::from_be_bytes(m.data[..8].try_into().unwrap());
+            }
+            ctx.publish(CkptValue::Int(sum as i64));
+            ctx.barrier()?;
+        }
+        Ok(())
+    });
+    let app = cluster.submit("firehose", 2, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, Duration::from_secs(60)).unwrap();
+    let expect: u64 = (0..200u64).sum();
+    assert_eq!(
+        cluster.outputs(app, Rank(1)),
+        vec![CkptValue::Int(expect as i64)]
+    );
+}

@@ -1,0 +1,1090 @@
+//! The daemon event loop.
+//!
+//! One [`Daemon`] runs per node. Its thread multiplexes three sources:
+//! the group-communication endpoint (views, totally ordered casts, targeted
+//! relays), the local application processes (their `ProcUp` channel), and
+//! administrative commands from management sessions.
+//!
+//! Everything that must be **consistent cluster-wide** (configuration,
+//! placement, restart decisions) flows through the totally ordered cast
+//! stream and a deterministic state machine, so all daemons agree without
+//! any extra protocol. Everything **node-local** (spawning processes,
+//! relaying to local processes) is derived from that shared state plus the
+//! daemon's own node id.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use starfish_checkpoint::recovery::{self};
+use starfish_checkpoint::store::CkptStore;
+use starfish_ensemble::{Endpoint, EndpointConfig, GcEvent, View};
+use starfish_lwgroups::{LwEvent, LwMsg, LwRouter};
+use starfish_util::codec::{Decode, Encode};
+use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
+use starfish_util::{AppId, Error, GroupId, NodeId, Rank, Result, VClock, VirtualTime};
+use starfish_vni::Fabric;
+
+use crate::config::{AppEntry, AppStatus, CfgEffect, CfgNodeStatus, CkptProto, ClusterConfig, FtPolicy};
+use crate::host::{NodeHost, ProcSpec};
+use crate::msg::{AppRelay, CfgCmd, P2pMsg, ProcDown, ProcUp, RelayKind, WireCast};
+
+/// Per-daemon settings.
+pub struct DaemonConfig {
+    pub node: NodeId,
+    /// Index into [`starfish_checkpoint::arch::MACHINES`] of this node's
+    /// machine type (heterogeneous clusters, Table 2).
+    pub arch_index: u8,
+    pub trace: TraceSink,
+    pub ensemble: EndpointConfig,
+}
+
+impl DaemonConfig {
+    pub fn new(node: NodeId) -> Self {
+        DaemonConfig {
+            node,
+            arch_index: 0,
+            trace: TraceSink::disabled(),
+            ensemble: EndpointConfig::default(),
+        }
+    }
+}
+
+enum DaemonCmd {
+    Issue(CfgCmd),
+    Shutdown,
+}
+
+/// Handle to a running daemon (cheap to clone; management sessions hold
+/// one).
+#[derive(Clone)]
+pub struct Daemon {
+    node: NodeId,
+    cmd_tx: Sender<DaemonCmd>,
+    shared_cfg: Arc<Mutex<ClusterConfig>>,
+}
+
+impl Daemon {
+    /// Start a daemon. `contact == None` founds the Starfish group (first
+    /// daemon of the cluster); otherwise join via an existing member.
+    pub fn start(
+        fabric: &Fabric,
+        cfg: DaemonConfig,
+        contact: Option<NodeId>,
+        host: Box<dyn NodeHost>,
+        store: CkptStore,
+    ) -> Result<Daemon> {
+        let ep = match contact {
+            None => Endpoint::found(fabric, cfg.node, cfg.ensemble.clone())?,
+            Some(c) => Endpoint::join(fabric, cfg.node, c, cfg.ensemble.clone())?,
+        };
+        let (cmd_tx, cmd_rx) = channel::unbounded();
+        let (up_tx, up_rx) = channel::unbounded();
+        let shared_cfg = Arc::new(Mutex::new(ClusterConfig::new()));
+        let node = cfg.node;
+        let state = Loop {
+            node,
+            arch_index: cfg.arch_index,
+            trace: cfg.trace,
+            ep,
+            router: LwRouter::new(node),
+            config: ClusterConfig::new(),
+            shared_cfg: shared_cfg.clone(),
+            host,
+            store,
+            clock: VClock::new(),
+            procs: HashMap::new(),
+            up_tx,
+            announced: false,
+            // The founding daemon owns the (empty) initial state; joiners
+            // must acquire it via state transfer first.
+            bootstrapped: contact.is_none(),
+            requested_state: false,
+            cast_buffer: Vec::new(),
+            view: None,
+        };
+        std::thread::Builder::new()
+            .name(format!("starfishd-{node}"))
+            .spawn(move || state.run(cmd_rx, up_rx))
+            .expect("spawn daemon");
+        Ok(Daemon {
+            node,
+            cmd_tx,
+            shared_cfg,
+        })
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Issue a configuration command (cast to all daemons).
+    pub fn issue(&self, cmd: CfgCmd) -> Result<()> {
+        self.cmd_tx
+            .send(DaemonCmd::Issue(cmd))
+            .map_err(|_| Error::closed("daemon gone"))
+    }
+
+    /// Snapshot of the replicated configuration as this daemon knows it.
+    pub fn config(&self) -> ClusterConfig {
+        self.shared_cfg.lock().clone()
+    }
+
+    /// Wait (real time) until `pred` holds on the replicated configuration.
+    pub fn wait_config(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut(&ClusterConfig) -> bool,
+    ) -> Result<ClusterConfig> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let cfg = self.config();
+            if pred(&cfg) {
+                return Ok(cfg);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(Error::timeout("wait_config"));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Ask the daemon to leave the group and exit.
+    pub fn shutdown(&self) {
+        let _ = self.cmd_tx.send(DaemonCmd::Shutdown);
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+struct Loop {
+    node: NodeId,
+    arch_index: u8,
+    trace: TraceSink,
+    ep: Endpoint,
+    router: LwRouter,
+    config: ClusterConfig,
+    shared_cfg: Arc<Mutex<ClusterConfig>>,
+    host: Box<dyn NodeHost>,
+    store: CkptStore,
+    clock: VClock,
+    procs: HashMap<(AppId, Rank), Sender<ProcDown>>,
+    up_tx: Sender<(AppId, Rank, ProcUp)>,
+    /// Whether we have announced our own AddNode yet.
+    announced: bool,
+    /// Joiners start un-bootstrapped: they ignore configuration casts until
+    /// the state-transfer snapshot arrives, buffering everything after their
+    /// own `NeedState` marker (which fixes the snapshot's position in the
+    /// total order).
+    bootstrapped: bool,
+    requested_state: bool,
+    cast_buffer: Vec<CfgCmd>,
+    /// Latest installed main-group view.
+    view: Option<View>,
+}
+
+impl Loop {
+    fn run(mut self, cmd_rx: Receiver<DaemonCmd>, up_rx: Receiver<(AppId, Rank, ProcUp)>) {
+        loop {
+            channel::select! {
+                recv(self.ep.events()) -> ev => match ev {
+                    Ok(GcEvent::View { view, vt }) => {
+                        self.clock.merge(vt);
+                        self.on_view(view);
+                    }
+                    Ok(GcEvent::Cast { from, payload, vt, .. }) => {
+                        self.clock.merge(vt);
+                        if let Ok(wc) = WireCast::decode_from_bytes(&payload) {
+                            self.on_cast(from, wc);
+                        }
+                    }
+                    Ok(GcEvent::P2p { from: _, payload, vt }) => {
+                        self.clock.merge(vt);
+                        if let Ok(msg) = P2pMsg::decode_from_bytes(&payload) {
+                            self.on_p2p(msg);
+                        }
+                    }
+                    Ok(GcEvent::Left) | Err(_) => return,
+                },
+                recv(up_rx) -> msg => match msg {
+                    Ok((app, rank, up)) => self.on_proc_up(app, rank, up),
+                    Err(_) => { /* all process senders gone; keep serving */ }
+                },
+                recv(cmd_rx) -> cmd => match cmd {
+                    Ok(DaemonCmd::Issue(c)) => {
+                        let _ = self.cast(WireCast::Cfg(c));
+                    }
+                    Ok(DaemonCmd::Shutdown) | Err(_) => {
+                        let _ = self.ep.leave();
+                        // Keep draining until ensemble reports Left.
+                        loop {
+                            match self.ep.events().recv_timeout(Duration::from_secs(2)) {
+                                Ok(GcEvent::Left) | Err(_) => return,
+                                Ok(_) => continue,
+                            }
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    fn cast(&mut self, wc: WireCast) -> Result<()> {
+        let payload = wc.encode_to_bytes();
+        self.ep.cast(payload, self.clock.now())
+    }
+
+    fn publish_config(&self) {
+        *self.shared_cfg.lock() = self.config.clone();
+    }
+
+    // -- totally ordered casts --------------------------------------------------
+
+    fn on_p2p(&mut self, msg: P2pMsg) {
+        match msg {
+            P2pMsg::Relay(relay) => self.deliver_targeted(relay),
+            P2pMsg::State(bytes) => {
+                if self.bootstrapped {
+                    return; // duplicate snapshot
+                }
+                let Ok(cfg) = ClusterConfig::decode_from_bytes(&bytes) else {
+                    return;
+                };
+                self.config = cfg;
+                self.bootstrapped = true;
+                self.publish_config();
+                // Replay the casts that arrived after our snapshot point.
+                let buffered = std::mem::take(&mut self.cast_buffer);
+                for cmd in buffered {
+                    self.on_cast(self.node, WireCast::Cfg(cmd));
+                }
+                self.sync_lw_groups();
+                // Now announce ourselves.
+                if !self.announced {
+                    self.announced = true;
+                    if !self.config.nodes.contains_key(&self.node) {
+                        let _ = self.cast(WireCast::Cfg(CfgCmd::AddNode {
+                            node: self.node,
+                            arch_index: self.arch_index,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_cast(&mut self, from: NodeId, wc: WireCast) {
+        match wc {
+            WireCast::Cfg(cmd) => {
+                if !self.bootstrapped {
+                    match &cmd {
+                        CfgCmd::NeedState { node } if *node == self.node => {
+                            // Our snapshot point: buffer everything after it.
+                            self.requested_state = true;
+                        }
+                        _ if self.requested_state => self.cast_buffer.push(cmd),
+                        _ => {} // pre-snapshot traffic: covered by the snapshot
+                    }
+                    return;
+                }
+                // A bootstrapped member answers state-transfer requests if it
+                // coordinates the current view.
+                if let CfgCmd::NeedState { node } = &cmd {
+                    let is_coord = self
+                        .view
+                        .as_ref()
+                        .map(|v| v.coordinator() == self.node)
+                        .unwrap_or(false);
+                    if is_coord && *node != self.node {
+                        let snapshot = self.config.encode_to_bytes();
+                        let _ = self.ep.send_to(
+                            *node,
+                            P2pMsg::State(snapshot).encode_to_bytes(),
+                            self.clock.now(),
+                        );
+                    }
+                    return;
+                }
+                let effects = self.config.apply(&cmd);
+                // NotifyView bookkeeping: when a node is recorded dead, ranks
+                // of notify-policy apps on it are lost for good.
+                if let CfgCmd::NodeDead { node } = &cmd {
+                    for app in self.config.apps.values() {
+                        if app.spec.policy == FtPolicy::NotifyView
+                            && matches!(app.status, AppStatus::Running | AppStatus::Suspended)
+                        {
+                            for (r, n) in app.placement.iter().enumerate() {
+                                if n == node {
+                                    self.host.rank_lost(app.id, Rank(r as u32));
+                                }
+                            }
+                        }
+                    }
+                }
+                self.publish_config();
+                for eff in effects {
+                    self.on_effect(eff);
+                }
+                self.sync_lw_groups();
+            }
+            WireCast::Lw(lw) => {
+                if !self.bootstrapped {
+                    return; // no local processes yet; state derives from config
+                }
+                let events = self.router.on_cast(from, &lw, self.clock.now());
+                self.deliver_lw_events(events);
+            }
+        }
+    }
+
+    fn on_effect(&mut self, eff: CfgEffect) {
+        match eff {
+            CfgEffect::AppSubmitted(id) => {
+                let entry = self.config.apps[&id].clone();
+                self.host.placement_update(&entry);
+                for (r, n) in entry.placement.iter().enumerate() {
+                    if *n == self.node {
+                        self.spawn_proc(&entry, Rank(r as u32), 0);
+                    }
+                }
+            }
+            CfgEffect::AppRestarted {
+                app,
+                epoch: _,
+                line,
+                replaced,
+            } => {
+                let entry = self.config.apps[&app].clone();
+                self.host.placement_update(&entry);
+                // Restart replaced ranks that land on this node; if a
+                // replaced rank's *previous* incarnation ran here (a
+                // migration, not a crash), kill it first.
+                for (rank, node) in &replaced {
+                    if *node != self.node {
+                        if let Some(tx) = self.procs.remove(&(app, *rank)) {
+                            self.trace.record(
+                                MsgClass::Configuration,
+                                ActorKind::Daemon,
+                                ActorKind::AppProcess,
+                                "local-tcp",
+                                0,
+                            );
+                            let _ = tx.send(ProcDown::Kill {
+                                vt: self.clock.now(),
+                            });
+                        }
+                    }
+                }
+                for (rank, node) in &replaced {
+                    if *node == self.node {
+                        let from = line.get(rank.index()).copied().unwrap_or(0);
+                        self.spawn_proc(&entry, *rank, from);
+                    }
+                }
+                // Roll back the survivors hosted here.
+                let replaced_ranks: Vec<Rank> = replaced.iter().map(|(r, _)| *r).collect();
+                for (r, n) in entry.placement.iter().enumerate() {
+                    let rank = Rank(r as u32);
+                    if *n == self.node && !replaced_ranks.contains(&rank) {
+                        let idx = line.get(r).copied().unwrap_or(0);
+                        self.send_down(
+                            app,
+                            rank,
+                            ProcDown::Rollback {
+                                index: idx,
+                                epoch: entry.epoch,
+                                vt: self.clock.now(),
+                            },
+                            MsgClass::Configuration,
+                        );
+                    }
+                }
+            }
+            CfgEffect::AppKilled(app) => {
+                let local: Vec<(AppId, Rank)> = self
+                    .procs
+                    .keys()
+                    .filter(|(a, _)| *a == app)
+                    .copied()
+                    .collect();
+                for key in local {
+                    self.send_down(
+                        key.0,
+                        key.1,
+                        ProcDown::Kill {
+                            vt: self.clock.now(),
+                        },
+                        MsgClass::Configuration,
+                    );
+                    self.procs.remove(&key);
+                }
+            }
+            CfgEffect::AppSuspended(app) => self.down_all(
+                app,
+                |vt| ProcDown::Suspend { vt },
+                MsgClass::Configuration,
+            ),
+            CfgEffect::AppResumed(app) => self.down_all(
+                app,
+                |vt| ProcDown::Resume { vt },
+                MsgClass::Configuration,
+            ),
+            CfgEffect::AppDone(app) => {
+                // Images are retained after completion (postmortem restore /
+                // migration of finished jobs); storage is reclaimed when the
+                // application is deleted.
+                self.procs.retain(|(a, _), _| *a != app);
+            }
+            CfgEffect::CheckpointRequested(app) => {
+                // The round coordinator is the lowest rank; its hosting
+                // daemon forwards the trigger.
+                if let Some(entry) = self.config.apps.get(&app) {
+                    if entry.placement.first() == Some(&self.node) {
+                        self.send_down(
+                            app,
+                            Rank(0),
+                            ProcDown::StartCheckpoint {
+                                vt: self.clock.now(),
+                            },
+                            MsgClass::Configuration,
+                        );
+                    }
+                }
+            }
+            CfgEffect::NodeChanged(_) | CfgEffect::ParamSet(_) => {}
+        }
+    }
+
+    fn spawn_proc(&mut self, entry: &AppEntry, rank: Rank, restore_from: u64) {
+        if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+            eprintln!(
+                "[daemon {}] spawn {}.{} restore_from={restore_from} (replacing_entry={})",
+                self.node,
+                entry.id,
+                rank,
+                self.procs.contains_key(&(entry.id, rank))
+            );
+        }
+        let (down_tx, down_rx) = channel::unbounded();
+        self.procs.insert((entry.id, rank), down_tx);
+        self.host.spawn(ProcSpec {
+            app: entry.id,
+            rank,
+            node: self.node,
+            epoch: entry.epoch,
+            entry: entry.clone(),
+            restore_from,
+            down_rx,
+            up_tx: self.up_tx.clone(),
+            spawn_vt: self.clock.now(),
+        });
+    }
+
+    fn send_down(&self, app: AppId, rank: Rank, msg: ProcDown, class: MsgClass) {
+        if let Some(tx) = self.procs.get(&(app, rank)) {
+            self.trace
+                .record(class, ActorKind::Daemon, ActorKind::AppProcess, "local-tcp", 0);
+            let _ = tx.send(msg);
+        }
+    }
+
+    fn down_all(
+        &mut self,
+        app: AppId,
+        make: impl Fn(VirtualTime) -> ProcDown,
+        class: MsgClass,
+    ) {
+        let keys: Vec<(AppId, Rank)> = self
+            .procs
+            .keys()
+            .filter(|(a, _)| *a == app)
+            .copied()
+            .collect();
+        for (a, r) in keys {
+            self.send_down(a, r, make(self.clock.now()), class);
+        }
+    }
+
+    // -- lightweight groups -------------------------------------------------------
+
+    /// Derive the lightweight groups from the replicated configuration. All
+    /// daemons run this at the same point of the total order, so the
+    /// synthesized operations are identical everywhere.
+    fn sync_lw_groups(&mut self) {
+        let vt = self.clock.now();
+        let mut events = Vec::new();
+        // Desired groups.
+        let desired: Vec<(GroupId, Vec<NodeId>)> = self
+            .config
+            .apps
+            .values()
+            .filter(|a| matches!(a.status, AppStatus::Running | AppStatus::Suspended))
+            .map(|a| {
+                let mut nodes = a.placement.clone();
+                nodes.sort_unstable();
+                nodes.dedup();
+                (GroupId(a.id.0), nodes)
+            })
+            .collect();
+        for (gid, nodes) in &desired {
+            match self.router.members(*gid) {
+                None => {
+                    events.extend(self.router.on_cast(
+                        self.node,
+                        &LwMsg::Create {
+                            gid: *gid,
+                            members: nodes.clone(),
+                        },
+                        vt,
+                    ));
+                }
+                Some(current) => {
+                    for n in nodes {
+                        if !current.contains(n) {
+                            events.extend(self.router.on_cast(
+                                self.node,
+                                &LwMsg::Join { gid: *gid, node: *n },
+                                vt,
+                            ));
+                        }
+                    }
+                    for n in &current {
+                        if !nodes.contains(n) {
+                            events.extend(self.router.on_cast(
+                                self.node,
+                                &LwMsg::Leave { gid: *gid, node: *n },
+                                vt,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Destroy groups of dead apps.
+        let live: Vec<GroupId> = desired.iter().map(|(g, _)| *g).collect();
+        let stale: Vec<GroupId> = self
+            .router
+            .groups_spanning(self.node)
+            .into_iter()
+            .chain(self.router.local_groups())
+            .filter(|g| !live.contains(g))
+            .collect();
+        for gid in stale {
+            events.extend(
+                self.router
+                    .on_cast(self.node, &LwMsg::Destroy { gid }, vt),
+            );
+        }
+        self.deliver_lw_events(events);
+    }
+
+    fn deliver_lw_events(&mut self, events: Vec<LwEvent>) {
+        for ev in events {
+            match ev {
+                LwEvent::View { view, vt } => {
+                    let app = AppId(view.gid.0);
+                    let keys: Vec<(AppId, Rank)> = self
+                        .procs
+                        .keys()
+                        .filter(|(a, _)| *a == app)
+                        .copied()
+                        .collect();
+                    for (a, r) in keys {
+                        self.send_down(
+                            a,
+                            r,
+                            ProcDown::LwView {
+                                view: view.clone(),
+                                vt,
+                            },
+                            MsgClass::LwMembership,
+                        );
+                    }
+                }
+                LwEvent::Mcast {
+                    gid: _,
+                    from: _,
+                    payload,
+                    vt,
+                } => {
+                    if let Ok(relay) = AppRelay::decode_from_bytes(&payload) {
+                        match relay.to {
+                            Some(to) => self.deliver_targeted_at(relay, to, vt),
+                            None => {
+                                let keys: Vec<(AppId, Rank)> = self
+                                    .procs
+                                    .keys()
+                                    .filter(|(a, r)| *a == relay.app && *r != relay.from)
+                                    .copied()
+                                    .collect();
+                                for (a, r) in keys {
+                                    self.send_down(
+                                        a,
+                                        r,
+                                        ProcDown::Relay {
+                                            kind: relay.kind,
+                                            from: relay.from,
+                                            body: relay.body.clone(),
+                                            vt,
+                                        },
+                                        match relay.kind {
+                                            RelayKind::Coordination => MsgClass::Coordination,
+                                            RelayKind::CheckpointRestart => {
+                                                MsgClass::CheckpointRestart
+                                            }
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                LwEvent::Destroyed { .. } => {}
+            }
+        }
+    }
+
+    fn deliver_targeted(&mut self, relay: AppRelay) {
+        if let Some(to) = relay.to {
+            let vt = self.clock.now();
+            self.deliver_targeted_at(relay, to, vt);
+        }
+    }
+
+    fn deliver_targeted_at(&mut self, relay: AppRelay, to: Rank, vt: VirtualTime) {
+        self.send_down(
+            relay.app,
+            to,
+            ProcDown::Relay {
+                kind: relay.kind,
+                from: relay.from,
+                body: relay.body,
+                vt,
+            },
+            match relay.kind {
+                RelayKind::Coordination => MsgClass::Coordination,
+                RelayKind::CheckpointRestart => MsgClass::CheckpointRestart,
+            },
+        );
+    }
+
+    // -- membership ----------------------------------------------------------------
+
+    fn on_view(&mut self, view: View) {
+        if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+            eprintln!("[daemon {}] view {:?} (coord {})", self.node, view, view.coordinator());
+        }
+        self.view = Some(view.clone());
+        if view.contains(self.node) {
+            if self.bootstrapped {
+                // Founder (or already synced): announce once.
+                if !self.announced {
+                    self.announced = true;
+                    if !self.config.nodes.contains_key(&self.node) {
+                        let _ = self.cast(WireCast::Cfg(CfgCmd::AddNode {
+                            node: self.node,
+                            arch_index: self.arch_index,
+                        }));
+                    }
+                }
+            } else if !self.requested_state {
+                // Joiner: mark our snapshot point in the total order.
+                let _ = self.cast(WireCast::Cfg(CfgCmd::NeedState { node: self.node }));
+                // `requested_state` flips when our own marker is delivered.
+            }
+        }
+        // Lightweight views for groups spanning departed nodes.
+        let events = self.router.on_main_view(&view, self.clock.now());
+        self.deliver_lw_events(events);
+
+        // The view coordinator drives the failure response; everyone else
+        // just applies the resulting casts.
+        if !self.bootstrapped || view.coordinator() != self.node {
+            return;
+        }
+        let dead: Vec<NodeId> = self
+            .config
+            .nodes
+            .iter()
+            .filter(|(n, e)| {
+                matches!(e.status, CfgNodeStatus::Up | CfgNodeStatus::Disabled)
+                    && !view.contains(**n)
+            })
+            .map(|(n, _)| *n)
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+            eprintln!("[daemon {}] coordinator response: dead={dead:?}", self.node);
+        }
+        for n in &dead {
+            let _ = self.cast(WireCast::Cfg(CfgCmd::NodeDead { node: *n }));
+        }
+        // Policy response per affected application. Note: we compute from
+        // the *current* local config (the casts above will be applied by
+        // everyone, including us, in order).
+        let apps: Vec<AppEntry> = self
+            .config
+            .apps
+            .values()
+            .filter(|a| matches!(a.status, AppStatus::Running | AppStatus::Suspended))
+            .filter(|a| a.placement.iter().any(|n| dead.contains(n)))
+            .cloned()
+            .collect();
+        for app in apps {
+            match app.spec.policy {
+                FtPolicy::Kill => {
+                    let _ = self.cast(WireCast::Cfg(CfgCmd::Delete { app: app.id }));
+                }
+                FtPolicy::NotifyView => {
+                    // Nothing to cast: the lightweight view (delivered above
+                    // on every daemon) is the application's signal.
+                }
+                FtPolicy::Restart => {
+                    let line = self.compute_line(&app, &dead);
+                    let _ = self.cast(WireCast::Cfg(CfgCmd::RestartApp { app: app.id, line }));
+                }
+            }
+        }
+    }
+
+    /// Recovery line for a restart decision (carried in the cast so all
+    /// daemons — whose store reads might race — agree by construction).
+    fn compute_line(&self, app: &AppEntry, dead: &[NodeId]) -> Vec<u64> {
+        let ranks: Vec<Rank> = (0..app.spec.size).map(Rank).collect();
+        match app.spec.proto {
+            CkptProto::StopAndSync | CkptProto::ChandyLamport => {
+                let idx = self.store.latest_common_index(app.id, &ranks);
+                vec![idx; ranks.len()]
+            }
+            CkptProto::Independent => {
+                let latest: std::collections::BTreeMap<Rank, u64> = ranks
+                    .iter()
+                    .map(|r| (*r, self.store.latest_index(app.id, *r)))
+                    .collect();
+                let deps = self.store.deps(app.id);
+                let failed: Vec<Rank> = app
+                    .placement
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| dead.contains(n))
+                    .map(|(r, _)| Rank(r as u32))
+                    .collect();
+                let rl = recovery::recovery_line(&latest, &deps, &failed);
+                ranks.iter().map(|r| rl.index_of(*r)).collect()
+            }
+        }
+    }
+
+    // -- process messages -------------------------------------------------------------
+
+    fn on_proc_up(&mut self, app: AppId, rank: Rank, up: ProcUp) {
+        match up {
+            ProcUp::Cast { kind, body, vt } => {
+                self.clock.merge(vt);
+                self.trace.record(
+                    match kind {
+                        RelayKind::Coordination => MsgClass::Coordination,
+                        RelayKind::CheckpointRestart => MsgClass::CheckpointRestart,
+                    },
+                    ActorKind::AppProcess,
+                    ActorKind::Daemon,
+                    "via-daemon",
+                    body.len(),
+                );
+                let relay = AppRelay {
+                    app,
+                    kind,
+                    from: rank,
+                    to: None,
+                    body,
+                };
+                let _ = self.cast(WireCast::Lw(LwMsg::Mcast {
+                    gid: GroupId(app.0),
+                    payload: relay.encode_to_bytes(),
+                }));
+            }
+            ProcUp::SendTo { kind, to, body, vt } => {
+                self.clock.merge(vt);
+                let relay = AppRelay {
+                    app,
+                    kind,
+                    from: rank,
+                    to: Some(to),
+                    body,
+                };
+                let Some(entry) = self.config.apps.get(&app) else {
+                    return;
+                };
+                let Some(target_node) = entry.placement.get(to.index()).copied() else {
+                    return;
+                };
+                if target_node == self.node {
+                    self.deliver_targeted(relay);
+                } else {
+                    let _ = self.ep.send_to(
+                        target_node,
+                        P2pMsg::Relay(relay).encode_to_bytes(),
+                        self.clock.now(),
+                    );
+                }
+            }
+            ProcUp::Done { vt } => {
+                self.clock.merge(vt);
+                if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+                    eprintln!("[daemon {}] Done from {app}.{rank}", self.node);
+                }
+                self.procs.remove(&(app, rank));
+                let _ = self.cast(WireCast::Cfg(CfgCmd::RankDone { app, rank }));
+            }
+            ProcUp::CkptCommitted { index, vt } => {
+                self.clock.merge(vt);
+                if index > 1 {
+                    self.store.prune_below(app, index);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AppSpec, LevelKind};
+    use crate::host::NullHost;
+    use starfish_vni::{Ideal, LayerCosts};
+
+    struct RecordingHost {
+        spawns: Arc<Mutex<Vec<(AppId, Rank, NodeId, u64)>>>,
+        lost: Arc<Mutex<Vec<(AppId, Rank)>>>,
+    }
+
+    impl NodeHost for RecordingHost {
+        fn placement_update(&self, _entry: &AppEntry) {}
+        fn spawn(&self, spec: ProcSpec) {
+            self.spawns
+                .lock()
+                .push((spec.app, spec.rank, spec.node, spec.restore_from));
+        }
+        fn rank_lost(&self, app: AppId, rank: Rank) {
+            self.lost.lock().push((app, rank));
+        }
+    }
+
+    fn fabric(n: u32) -> Fabric {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        for i in 0..n {
+            f.add_node(NodeId(i));
+        }
+        f
+    }
+
+    fn spec(name: &str, size: u32, policy: FtPolicy) -> AppSpec {
+        AppSpec {
+            name: name.into(),
+            size,
+            policy,
+            level: LevelKind::Vm,
+            proto: CkptProto::StopAndSync,
+            owner: "t".into(),
+            token: 7,
+        }
+    }
+
+    fn start_cluster(
+        f: &Fabric,
+        n: u32,
+    ) -> (Vec<Daemon>, Vec<Arc<Mutex<Vec<(AppId, Rank, NodeId, u64)>>>>) {
+        let mut daemons = Vec::new();
+        let mut spawns = Vec::new();
+        for i in 0..n {
+            let rec = Arc::new(Mutex::new(Vec::new()));
+            let host = RecordingHost {
+                spawns: rec.clone(),
+                lost: Arc::new(Mutex::new(Vec::new())),
+            };
+            spawns.push(rec);
+            let d = Daemon::start(
+                f,
+                DaemonConfig::new(NodeId(i)),
+                if i == 0 { None } else { Some(NodeId(0)) },
+                Box::new(host),
+                CkptStore::new(),
+            )
+            .unwrap();
+            // Wait until this daemon appears in the replicated config so
+            // subsequent placements use every node.
+            d.wait_config(Duration::from_secs(10), |c| {
+                c.up_nodes().len() == (i + 1) as usize
+            })
+            .unwrap();
+            daemons.push(d);
+        }
+        // All daemons converge on the full node set.
+        for d in &daemons {
+            d.wait_config(Duration::from_secs(10), |c| c.up_nodes().len() == n as usize)
+                .unwrap();
+        }
+        (daemons, spawns)
+    }
+
+    #[test]
+    fn daemons_replicate_config_and_spawn() {
+        let f = fabric(3);
+        let (daemons, spawns) = start_cluster(&f, 3);
+        daemons[1]
+            .issue(CfgCmd::Submit {
+                spec: spec("app", 3, FtPolicy::Restart),
+            })
+            .unwrap();
+        // Every daemon sees the app.
+        for d in &daemons {
+            let cfg = d
+                .wait_config(Duration::from_secs(10), |c| !c.apps.is_empty())
+                .unwrap();
+            let app = cfg.apps.values().next().unwrap();
+            assert_eq!(app.spec.size, 3);
+            assert_eq!(app.placement.len(), 3);
+        }
+        // Each node spawned exactly the ranks placed on it.
+        let cfg = daemons[0].config();
+        let app = cfg.apps.values().next().unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        for (i, rec) in spawns.iter().enumerate() {
+            let got = rec.lock().clone();
+            let expect: Vec<Rank> = app
+                .placement
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n == NodeId(i as u32))
+                .map(|(r, _)| Rank(r as u32))
+                .collect();
+            let got_ranks: Vec<Rank> = got.iter().map(|(_, r, _, _)| *r).collect();
+            assert_eq!(got_ranks, expect, "node {i} spawned wrong ranks");
+            assert!(got.iter().all(|(_, _, _, from)| *from == 0));
+        }
+    }
+
+    #[test]
+    fn node_crash_triggers_restart_decision() {
+        let f = fabric(3);
+        let (daemons, spawns) = start_cluster(&f, 3);
+        daemons[0]
+            .issue(CfgCmd::Submit {
+                spec: spec("app", 3, FtPolicy::Restart),
+            })
+            .unwrap();
+        daemons[0]
+            .wait_config(Duration::from_secs(10), |c| !c.apps.is_empty())
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let app = daemons[0].config().apps.values().next().unwrap().clone();
+        // Crash the node hosting rank 1.
+        let dead = app.placement[1];
+        f.crash_node(dead);
+        // Surviving daemons converge: app restarted with bumped epoch and
+        // rank 1 re-placed on a surviving node.
+        for d in daemons.iter().filter(|d| d.node() != dead) {
+            let cfg = d
+                .wait_config(Duration::from_secs(10), |c| {
+                    c.apps.values().next().map(|a| a.epoch.0 == 1).unwrap_or(false)
+                })
+                .unwrap();
+            let a = cfg.apps.values().next().unwrap();
+            assert_ne!(a.placement[1], dead);
+            assert_eq!(
+                cfg.nodes[&dead].status,
+                CfgNodeStatus::Dead,
+                "dead node recorded"
+            );
+        }
+        // Someone spawned the replacement with restore_from 0 (no
+        // checkpoints were taken).
+        std::thread::sleep(Duration::from_millis(100));
+        let restarted: Vec<(AppId, Rank, NodeId, u64)> = spawns
+            .iter()
+            .flat_map(|r| r.lock().clone())
+            .filter(|(_, r, _, _)| *r == Rank(1))
+            .collect();
+        assert!(
+            restarted.iter().any(|(_, _, n, _)| *n != dead),
+            "rank 1 respawned on a survivor: {restarted:?}"
+        );
+    }
+
+    #[test]
+    fn kill_policy_deletes_app_on_crash() {
+        let f = fabric(2);
+        let (daemons, _spawns) = start_cluster(&f, 2);
+        daemons[0]
+            .issue(CfgCmd::Submit {
+                spec: spec("fragile", 2, FtPolicy::Kill),
+            })
+            .unwrap();
+        daemons[0]
+            .wait_config(Duration::from_secs(10), |c| !c.apps.is_empty())
+            .unwrap();
+        f.crash_node(NodeId(1));
+        let cfg = daemons[0]
+            .wait_config(Duration::from_secs(10), |c| {
+                c.apps
+                    .values()
+                    .next()
+                    .map(|a| a.status == AppStatus::Killed)
+                    .unwrap_or(false)
+            })
+            .unwrap();
+        assert_eq!(cfg.apps.values().next().unwrap().status, AppStatus::Killed);
+    }
+
+    #[test]
+    fn suspend_resume_roundtrip_in_config() {
+        let f = fabric(1);
+        let d = Daemon::start(
+            &f,
+            DaemonConfig::new(NodeId(0)),
+            None,
+            Box::new(NullHost),
+            CkptStore::new(),
+        )
+        .unwrap();
+        d.wait_config(Duration::from_secs(5), |c| c.up_nodes().len() == 1)
+            .unwrap();
+        d.issue(CfgCmd::Submit {
+            spec: spec("s", 1, FtPolicy::Kill),
+        })
+        .unwrap();
+        let cfg = d
+            .wait_config(Duration::from_secs(5), |c| !c.apps.is_empty())
+            .unwrap();
+        let id = cfg.apps.values().next().unwrap().id;
+        d.issue(CfgCmd::Suspend { app: id }).unwrap();
+        d.wait_config(Duration::from_secs(5), |c| {
+            c.apps[&id].status == AppStatus::Suspended
+        })
+        .unwrap();
+        d.issue(CfgCmd::ResumeApp { app: id }).unwrap();
+        d.wait_config(Duration::from_secs(5), |c| {
+            c.apps[&id].status == AppStatus::Running
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn daemon_shutdown_leaves_group() {
+        let f = fabric(2);
+        let (daemons, _) = start_cluster(&f, 2);
+        daemons[1].shutdown();
+        // Daemon 0 keeps running; the group shrinks without marking node 1
+        // dead (graceful leave is not a crash).
+        std::thread::sleep(Duration::from_millis(300));
+        let cfg = daemons[0].config();
+        // Node 1 is still listed (graceful daemon exit does not remove the
+        // node from the configuration; that is the admin's REMOVENODE).
+        assert!(cfg.nodes.contains_key(&NodeId(1)));
+    }
+}

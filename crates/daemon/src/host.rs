@@ -1,0 +1,64 @@
+//! The node-host interface: how a daemon starts and steers the actual MPI
+//! processes on its node.
+//!
+//! The daemon crate stays application-agnostic; the `starfish` crate
+//! implements [`NodeHost`] with the real application-process runtime. The
+//! channels of a [`ProcSpec`] are the paper's local TCP connection between
+//! the daemon's lightweight endpoint module and the process's group handler
+//! module (§2.3).
+
+use crossbeam::channel::{Receiver, Sender};
+
+use starfish_util::{AppId, Epoch, NodeId, Rank, VirtualTime};
+
+use crate::config::AppEntry;
+use crate::msg::{ProcDown, ProcUp};
+
+/// Virtual-time cost of one hop on the local daemon ↔ process connection
+/// (loopback TCP on the era's machines).
+pub const LOCAL_LINK_LATENCY: VirtualTime = VirtualTime(30_000);
+
+/// Everything a node host needs to start (or restart) one application
+/// process.
+pub struct ProcSpec {
+    pub app: AppId,
+    pub rank: Rank,
+    pub node: NodeId,
+    pub epoch: Epoch,
+    pub entry: AppEntry,
+    /// Restore from this checkpoint index (0 ⇒ fresh start from the initial
+    /// state).
+    pub restore_from: u64,
+    /// Daemon → process messages (lightweight membership, configuration,
+    /// relayed coordination / C-R).
+    pub down_rx: Receiver<ProcDown>,
+    /// Process → daemon messages, tagged with the process identity.
+    pub up_tx: Sender<(AppId, Rank, ProcUp)>,
+    /// Virtual time at which the spawn happens (inherited by the process).
+    pub spawn_vt: VirtualTime,
+}
+
+/// Implemented by the `starfish` crate: the runtime half of each node.
+pub trait NodeHost: Send + 'static {
+    /// Placement or epoch of an application changed (submit or restart):
+    /// update the MPI rank directory. Called by every daemon; must be
+    /// idempotent.
+    fn placement_update(&self, entry: &AppEntry);
+
+    /// Start an application process on this node (fresh or restored,
+    /// depending on `spec.restore_from`).
+    fn spawn(&self, spec: ProcSpec);
+
+    /// A rank was lost with no replacement (NotifyView policy): unplace it.
+    fn rank_lost(&self, app: AppId, rank: Rank);
+}
+
+/// A no-op host for daemon-level tests.
+#[derive(Debug, Default)]
+pub struct NullHost;
+
+impl NodeHost for NullHost {
+    fn placement_update(&self, _entry: &AppEntry) {}
+    fn spawn(&self, _spec: ProcSpec) {}
+    fn rank_lost(&self, _app: AppId, _rank: Rank) {}
+}

@@ -1,0 +1,483 @@
+//! The ASCII management/user protocol (paper §3.1.1).
+//!
+//! "Managing the cluster is done by opening a TCP connection to one of the
+//! daemons, on which an ASCII based protocol is used. ... The management
+//! protocol starts with a login session, in which the client side has to
+//! authenticate itself as an administrator ... A similar protocol ... is
+//! used between clients and any of the cluster nodes in order to submit
+//! applications ... identified as a user session, and is thus limited to
+//! submitting, suspending, resuming, and deleting applications. (A user can
+//! only suspend, resume, and delete its own applications.)"
+//!
+//! A [`MgmtSession`] wraps one such connection: feed it request lines, get
+//! response lines (`OK ...` / `ERR ...`). The paper's Java GUI is a pure
+//! presentation layer over exactly this protocol and is intentionally not
+//! reproduced.
+
+use std::time::Duration;
+
+use starfish_util::{AppId, NodeId};
+
+use crate::config::{AppSpec, CkptProto, FtPolicy, LevelKind};
+#[cfg(test)]
+use crate::config::AppStatus;
+use crate::daemon::Daemon;
+use crate::msg::CfgCmd;
+
+/// Default administrator password; override with `SET admin_password <pw>`.
+pub const DEFAULT_ADMIN_PASSWORD: &str = "starfish";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Role {
+    Admin,
+    User(String),
+}
+
+/// One management or user session against a daemon.
+pub struct MgmtSession {
+    daemon: Daemon,
+    role: Option<Role>,
+    /// Token source for submissions (deterministic per session).
+    next_token: u64,
+}
+
+impl MgmtSession {
+    /// Open a session against any daemon of the cluster. `session_seed`
+    /// disambiguates submission tokens between concurrent sessions.
+    pub fn connect(daemon: Daemon, session_seed: u64) -> Self {
+        MgmtSession {
+            daemon,
+            role: None,
+            next_token: session_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    fn is_admin(&self) -> bool {
+        self.role == Some(Role::Admin)
+    }
+
+    fn user(&self) -> Option<&str> {
+        match &self.role {
+            Some(Role::User(u)) => Some(u),
+            Some(Role::Admin) => Some("admin"),
+            None => None,
+        }
+    }
+
+    fn may_touch(&self, app_owner: &str) -> bool {
+        match &self.role {
+            Some(Role::Admin) => true,
+            Some(Role::User(u)) => u == app_owner,
+            None => false,
+        }
+    }
+
+    fn parse_app_id(tok: &str) -> Result<AppId, String> {
+        tok.trim_start_matches("app")
+            .parse::<u32>()
+            .map(AppId)
+            .map_err(|_| format!("ERR bad application id {tok:?}"))
+    }
+
+    fn parse_node_id(tok: &str) -> Result<NodeId, String> {
+        tok.trim_start_matches('n')
+            .parse::<u32>()
+            .map(NodeId)
+            .map_err(|_| format!("ERR bad node id {tok:?}"))
+    }
+
+    /// Process one request line; returns the response line(s).
+    pub fn handle_line(&mut self, line: &str) -> String {
+        match self.try_handle(line) {
+            Ok(resp) => resp,
+            Err(e) => e,
+        }
+    }
+
+    fn require_admin(&self) -> Result<(), String> {
+        if self.is_admin() {
+            Ok(())
+        } else {
+            Err("ERR admin privileges required".into())
+        }
+    }
+
+    fn require_login(&self) -> Result<(), String> {
+        if self.role.is_some() {
+            Ok(())
+        } else {
+            Err("ERR login required".into())
+        }
+    }
+
+    fn try_handle(&mut self, line: &str) -> Result<String, String> {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let Some(cmd) = toks.first() else {
+            return Ok(String::new());
+        };
+        match cmd.to_ascii_uppercase().as_str() {
+            "LOGIN" => match toks.get(1).map(|s| s.to_ascii_uppercase()).as_deref() {
+                Some("ADMIN") => {
+                    let pw = toks.get(2).copied().unwrap_or("");
+                    let expected = self
+                        .daemon
+                        .config()
+                        .params
+                        .get("admin_password")
+                        .cloned()
+                        .unwrap_or_else(|| DEFAULT_ADMIN_PASSWORD.to_string());
+                    if pw == expected {
+                        self.role = Some(Role::Admin);
+                        Ok("OK management connection".into())
+                    } else {
+                        Err("ERR authentication failed".into())
+                    }
+                }
+                Some("USER") => {
+                    let name = toks
+                        .get(2)
+                        .ok_or_else(|| "ERR usage: LOGIN USER <name>".to_string())?;
+                    self.role = Some(Role::User(name.to_string()));
+                    Ok("OK user session".into())
+                }
+                _ => Err("ERR usage: LOGIN ADMIN <password> | LOGIN USER <name>".into()),
+            },
+            "LOGOUT" => {
+                self.role = None;
+                Ok("OK bye".into())
+            }
+            "ADDNODE" => {
+                self.require_admin()?;
+                let node = Self::parse_node_id(
+                    toks.get(1).ok_or("ERR usage: ADDNODE <id> [arch]")?,
+                )?;
+                let arch: u8 = toks.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+                self.daemon
+                    .issue(CfgCmd::AddNode {
+                        node,
+                        arch_index: arch,
+                    })
+                    .map_err(|e| format!("ERR {e}"))?;
+                Ok(format!("OK node {node} added"))
+            }
+            "REMOVENODE" => {
+                self.require_admin()?;
+                let node =
+                    Self::parse_node_id(toks.get(1).ok_or("ERR usage: REMOVENODE <id>")?)?;
+                self.daemon
+                    .issue(CfgCmd::RemoveNode { node })
+                    .map_err(|e| format!("ERR {e}"))?;
+                Ok(format!("OK node {node} removed"))
+            }
+            "DISABLE" => {
+                self.require_admin()?;
+                let node = Self::parse_node_id(toks.get(1).ok_or("ERR usage: DISABLE <id>")?)?;
+                self.daemon
+                    .issue(CfgCmd::DisableNode { node })
+                    .map_err(|e| format!("ERR {e}"))?;
+                Ok(format!("OK node {node} disabled"))
+            }
+            "ENABLE" => {
+                self.require_admin()?;
+                let node = Self::parse_node_id(toks.get(1).ok_or("ERR usage: ENABLE <id>")?)?;
+                self.daemon
+                    .issue(CfgCmd::EnableNode { node })
+                    .map_err(|e| format!("ERR {e}"))?;
+                Ok(format!("OK node {node} enabled"))
+            }
+            "SET" => {
+                self.require_admin()?;
+                let key = toks.get(1).ok_or("ERR usage: SET <key> <value>")?;
+                let value = toks.get(2).ok_or("ERR usage: SET <key> <value>")?;
+                self.daemon
+                    .issue(CfgCmd::SetParam {
+                        key: key.to_string(),
+                        value: value.to_string(),
+                    })
+                    .map_err(|e| format!("ERR {e}"))?;
+                Ok(format!("OK {key}={value}"))
+            }
+            "SUBMIT" => {
+                self.require_login()?;
+                let name = toks.get(1).ok_or(
+                    "ERR usage: SUBMIT <name> <size> [POLICY restart|view|kill] [LEVEL native|vm] [PROTO sync|cl|indep]",
+                )?;
+                let size: u32 = toks
+                    .get(2)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("ERR bad size")?;
+                let mut policy = FtPolicy::Restart;
+                let mut level = LevelKind::Vm;
+                let mut proto = CkptProto::StopAndSync;
+                let mut i = 3;
+                while i + 1 < toks.len() + 1 {
+                    match toks.get(i).map(|s| s.to_ascii_uppercase()).as_deref() {
+                        Some("POLICY") => {
+                            policy = match toks.get(i + 1).map(|s| s.to_ascii_lowercase()).as_deref() {
+                                Some("restart") => FtPolicy::Restart,
+                                Some("view") => FtPolicy::NotifyView,
+                                Some("kill") => FtPolicy::Kill,
+                                _ => return Err("ERR bad POLICY".into()),
+                            };
+                            i += 2;
+                        }
+                        Some("LEVEL") => {
+                            level = match toks.get(i + 1).map(|s| s.to_ascii_lowercase()).as_deref() {
+                                Some("native") => LevelKind::Native,
+                                Some("vm") => LevelKind::Vm,
+                                _ => return Err("ERR bad LEVEL".into()),
+                            };
+                            i += 2;
+                        }
+                        Some("PROTO") => {
+                            proto = match toks.get(i + 1).map(|s| s.to_ascii_lowercase()).as_deref() {
+                                Some("sync") => CkptProto::StopAndSync,
+                                Some("cl") => CkptProto::ChandyLamport,
+                                Some("indep") => CkptProto::Independent,
+                                _ => return Err("ERR bad PROTO".into()),
+                            };
+                            i += 2;
+                        }
+                        Some(_) => return Err(format!("ERR unknown option {:?}", toks[i])),
+                        None => break,
+                    }
+                }
+                let token = self.next_token;
+                self.next_token = self.next_token.wrapping_add(0x9E37_79B9) | 1;
+                let spec = AppSpec {
+                    name: name.to_string(),
+                    size,
+                    policy,
+                    level,
+                    proto,
+                    owner: self.user().unwrap_or("?").to_string(),
+                    token,
+                };
+                self.daemon
+                    .issue(CfgCmd::Submit { spec })
+                    .map_err(|e| format!("ERR {e}"))?;
+                // Wait for the submission to land in the replicated state so
+                // we can report the assigned id.
+                let cfg = self
+                    .daemon
+                    .wait_config(Duration::from_secs(10), |c| {
+                        c.find_app_by_token(token).is_some()
+                    })
+                    .map_err(|_| "ERR submission not scheduled (no nodes?)".to_string())?;
+                let app = cfg.find_app_by_token(token).expect("just checked");
+                Ok(format!("OK submitted {} size {}", app.id, app.spec.size))
+            }
+            "SUSPEND" | "RESUME" | "DELETE" | "CHECKPOINT" => {
+                self.require_login()?;
+                let id = Self::parse_app_id(
+                    toks.get(1)
+                        .ok_or_else(|| format!("ERR usage: {cmd} <app>"))?,
+                )?;
+                let cfg = self.daemon.config();
+                let entry = cfg
+                    .apps
+                    .get(&id)
+                    .ok_or_else(|| format!("ERR no such application {id}"))?;
+                if !self.may_touch(&entry.spec.owner) {
+                    return Err(format!("ERR {id} belongs to {}", entry.spec.owner));
+                }
+                let c = match cmd.to_ascii_uppercase().as_str() {
+                    "SUSPEND" => CfgCmd::Suspend { app: id },
+                    "RESUME" => CfgCmd::ResumeApp { app: id },
+                    "DELETE" => CfgCmd::Delete { app: id },
+                    _ => CfgCmd::TriggerCkpt { app: id },
+                };
+                self.daemon.issue(c).map_err(|e| format!("ERR {e}"))?;
+                Ok(format!("OK {} {}", cmd.to_ascii_lowercase(), id))
+            }
+            "MIGRATE" => {
+                self.require_admin()?;
+                let id = Self::parse_app_id(
+                    toks.get(1).ok_or("ERR usage: MIGRATE <app> <rank> <node>")?,
+                )?;
+                let rank: u32 = toks
+                    .get(2)
+                    .map(|s| s.trim_start_matches('r'))
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("ERR bad rank")?;
+                let node = Self::parse_node_id(
+                    toks.get(3).ok_or("ERR usage: MIGRATE <app> <rank> <node>")?,
+                )?;
+                let cfg = self.daemon.config();
+                let entry = cfg
+                    .apps
+                    .get(&id)
+                    .ok_or_else(|| format!("ERR no such application {id}"))?;
+                // Consistent rollback point: the latest checkpoint common to
+                // all ranks (0 = restart from scratch; CHECKPOINT first for
+                // a warm migration).
+                let line = vec![0u64; entry.spec.size as usize];
+                self.daemon
+                    .issue(CfgCmd::Migrate {
+                        app: id,
+                        rank: starfish_util::Rank(rank),
+                        node,
+                        line,
+                    })
+                    .map_err(|e| format!("ERR {e}"))?;
+                Ok(format!("OK migrate {id} rank {rank} -> {node} (cold)"))
+            }
+            "NODES" => {
+                self.require_login()?;
+                let cfg = self.daemon.config();
+                let mut out = String::from("OK nodes");
+                for (n, e) in &cfg.nodes {
+                    out.push_str(&format!("\n{n} {:?} {}", e.status, e.arch));
+                }
+                Ok(out)
+            }
+            "APPS" | "STATUS" => {
+                self.require_login()?;
+                let cfg = self.daemon.config();
+                let mut out = String::from("OK apps");
+                for a in cfg.apps.values() {
+                    let placement: Vec<String> =
+                        a.placement.iter().map(|n| n.to_string()).collect();
+                    out.push_str(&format!(
+                        "\n{} {} size={} status={:?} epoch={} owner={} placement=[{}]",
+                        a.id,
+                        a.spec.name,
+                        a.spec.size,
+                        a.status,
+                        a.epoch,
+                        a.spec.owner,
+                        placement.join(",")
+                    ));
+                }
+                Ok(out)
+            }
+            other => Err(format!("ERR unknown command {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::DaemonConfig;
+    use crate::host::NullHost;
+    use starfish_checkpoint::store::CkptStore;
+    use starfish_util::NodeId;
+    use starfish_vni::{Fabric, Ideal, LayerCosts};
+
+    fn one_node_daemon() -> Daemon {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        f.add_node(NodeId(0));
+        let d = Daemon::start(
+            &f,
+            DaemonConfig::new(NodeId(0)),
+            None,
+            Box::new(NullHost),
+            CkptStore::new(),
+        )
+        .unwrap();
+        d.wait_config(Duration::from_secs(5), |c| c.up_nodes().len() == 1)
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn login_gates_commands() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d, 1);
+        assert!(s.handle_line("STATUS").starts_with("ERR login required"));
+        assert!(s.handle_line("LOGIN ADMIN wrongpw").starts_with("ERR"));
+        assert!(s
+            .handle_line("LOGIN ADMIN starfish")
+            .starts_with("OK management"));
+        assert!(s.handle_line("STATUS").starts_with("OK"));
+        assert!(s.handle_line("LOGOUT").starts_with("OK"));
+        assert!(s.handle_line("STATUS").starts_with("ERR"));
+    }
+
+    #[test]
+    fn user_session_cannot_administrate() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d, 2);
+        assert!(s.handle_line("LOGIN USER alice").starts_with("OK user"));
+        assert!(s
+            .handle_line("ADDNODE 5")
+            .starts_with("ERR admin privileges"));
+        assert!(s.handle_line("SET x y").starts_with("ERR admin"));
+    }
+
+    #[test]
+    fn submit_reports_assigned_id_and_ownership_enforced() {
+        let d = one_node_daemon();
+        let mut alice = MgmtSession::connect(d.clone(), 3);
+        alice.handle_line("LOGIN USER alice");
+        let resp = alice.handle_line("SUBMIT myjob 2 POLICY kill LEVEL vm PROTO sync");
+        assert!(resp.starts_with("OK submitted app"), "{resp}");
+        // Bob may not delete alice's job.
+        let mut bob = MgmtSession::connect(d.clone(), 4);
+        bob.handle_line("LOGIN USER bob");
+        let id_tok = resp.split_whitespace().nth(2).unwrap();
+        let del = bob.handle_line(&format!("DELETE {id_tok}"));
+        assert!(del.starts_with("ERR"), "{del}");
+        // Alice can.
+        let del = alice.handle_line(&format!("DELETE {id_tok}"));
+        assert!(del.starts_with("OK delete"), "{del}");
+        d.wait_config(Duration::from_secs(5), |c| {
+            c.apps.values().all(|a| a.status == AppStatus::Killed)
+        })
+        .unwrap();
+        // Admin can see it in APPS.
+        let mut admin = MgmtSession::connect(d, 5);
+        admin.handle_line("LOGIN ADMIN starfish");
+        let apps = admin.handle_line("APPS");
+        assert!(apps.contains("myjob"), "{apps}");
+        assert!(apps.contains("Killed"), "{apps}");
+    }
+
+    #[test]
+    fn admin_node_lifecycle_via_protocol() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d.clone(), 6);
+        s.handle_line("LOGIN ADMIN starfish");
+        assert!(s.handle_line("ADDNODE 9 1").starts_with("OK"));
+        d.wait_config(Duration::from_secs(5), |c| c.nodes.len() == 2)
+            .unwrap();
+        assert!(s.handle_line("DISABLE n9").starts_with("OK"));
+        d.wait_config(Duration::from_secs(5), |c| c.up_nodes().len() == 1)
+            .unwrap();
+        assert!(s.handle_line("ENABLE n9").starts_with("OK"));
+        d.wait_config(Duration::from_secs(5), |c| c.up_nodes().len() == 2)
+            .unwrap();
+        let nodes = s.handle_line("NODES");
+        assert!(nodes.contains("n9"), "{nodes}");
+        // The heterogeneous arch is visible.
+        assert!(nodes.contains("SunOS") || nodes.contains("big-endian"), "{nodes}");
+    }
+
+    #[test]
+    fn set_param_changes_admin_password() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d.clone(), 7);
+        s.handle_line("LOGIN ADMIN starfish");
+        s.handle_line("SET admin_password hunter2");
+        d.wait_config(Duration::from_secs(5), |c| {
+            c.params.get("admin_password").map(|s| s.as_str()) == Some("hunter2")
+        })
+        .unwrap();
+        let mut s2 = MgmtSession::connect(d, 8);
+        assert!(s2.handle_line("LOGIN ADMIN starfish").starts_with("ERR"));
+        assert!(s2.handle_line("LOGIN ADMIN hunter2").starts_with("OK"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d, 9);
+        s.handle_line("LOGIN ADMIN starfish");
+        assert!(s.handle_line("SUBMIT").starts_with("ERR"));
+        assert!(s.handle_line("SUBMIT x notanumber").starts_with("ERR"));
+        assert!(s.handle_line("FROBNICATE").starts_with("ERR unknown"));
+        assert!(s.handle_line("ADDNODE xyz").starts_with("ERR bad node id"));
+        assert_eq!(s.handle_line("   "), "");
+    }
+}

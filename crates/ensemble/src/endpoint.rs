@@ -1,0 +1,1418 @@
+//! The group-communication endpoint: one per Starfish daemon.
+//!
+//! An [`Endpoint`] owns a background *stack thread* (the analogue of the
+//! Ensemble protocol stack) that runs the membership, ordering and flush
+//! protocols, and reports deliveries to its owner through an event channel.
+//!
+//! Architecture: primary-component virtual synchrony with a
+//! coordinator-sequencer. The coordinator of the current view sequences all
+//! casts and drives view changes through a flush protocol (see crate docs
+//! for the exact guarantees).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use starfish_util::codec::{Decode, Encode};
+use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
+use starfish_util::{Error, NodeId, Result, VClock, ViewId, VirtualTime};
+use starfish_vni::{Addr, Fabric, FabricEvent, Packet, PacketKind, Port, PortId};
+
+use crate::msg::{GcMsg, SeqEntry};
+use crate::view::View;
+
+/// Well-known fabric port of the group-communication stack on every node.
+pub const ENSEMBLE_PORT: PortId = PortId(1);
+
+/// How often a joining endpoint re-sends its join request until a view that
+/// includes it is installed (real time; the join protocol itself is also
+/// charged virtual time like any other message).
+const JOIN_RETRY: Duration = Duration::from_millis(200);
+
+/// Stack-thread idle tick, bounding reaction latency to owner shutdown.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Heartbeat-based failure detection settings (the role Ensemble's
+/// heartbeat stack plays on a real LAN, where hangs emit no event).
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatCfg {
+    /// How often each member beacons to its peers (real time).
+    pub interval: Duration,
+    /// Silence longer than this marks a member suspected.
+    pub timeout: Duration,
+}
+
+/// Configuration of an endpoint.
+#[derive(Clone)]
+pub struct EndpointConfig {
+    /// Virtual CPU cost charged for handling one protocol message at a
+    /// daemon. Calibrated for the era's daemons (OCaml bytecode): 50 µs.
+    pub proc_cost: VirtualTime,
+    /// Message-taxonomy trace sink (control messages).
+    pub trace: TraceSink,
+    /// Optional heartbeat failure detection. `None` (the default) relies on
+    /// fabric events alone — a perfect failure detector, which keeps the
+    /// virtual timeline deterministic. Enable for hang detection.
+    pub heartbeat: Option<HeartbeatCfg>,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            proc_cost: VirtualTime::from_micros(50),
+            trace: TraceSink::disabled(),
+            heartbeat: None,
+        }
+    }
+}
+
+/// Deliveries from the group-communication stack to its owner.
+#[derive(Debug, Clone)]
+pub enum GcEvent {
+    /// A new view was installed.
+    View { view: View, vt: VirtualTime },
+    /// A totally ordered cast.
+    Cast {
+        from: NodeId,
+        seq: u64,
+        view: ViewId,
+        payload: Bytes,
+        vt: VirtualTime,
+    },
+    /// A point-to-point message from another member.
+    P2p {
+        from: NodeId,
+        payload: Bytes,
+        vt: VirtualTime,
+    },
+    /// This endpoint has left the group (gracefully or because it was
+    /// excluded); no further events follow.
+    Left,
+}
+
+enum Cmd {
+    Cast { payload: Bytes, vt: VirtualTime },
+    SendTo {
+        node: NodeId,
+        payload: Bytes,
+        vt: VirtualTime,
+    },
+    Leave,
+}
+
+/// Handle to a running group-communication endpoint.
+pub struct Endpoint {
+    node: NodeId,
+    cmd_tx: Sender<Cmd>,
+    events_rx: Receiver<GcEvent>,
+    shared_view: Arc<Mutex<Option<View>>>,
+}
+
+impl Endpoint {
+    /// Found a new group: this node becomes the single member and
+    /// coordinator of view 1.
+    pub fn found(fabric: &Fabric, node: NodeId, cfg: EndpointConfig) -> Result<Endpoint> {
+        Self::start(fabric, node, None, cfg)
+    }
+
+    /// Join the group that `contact` belongs to.
+    pub fn join(
+        fabric: &Fabric,
+        node: NodeId,
+        contact: NodeId,
+        cfg: EndpointConfig,
+    ) -> Result<Endpoint> {
+        Self::start(fabric, node, Some(contact), cfg)
+    }
+
+    fn start(
+        fabric: &Fabric,
+        node: NodeId,
+        contact: Option<NodeId>,
+        cfg: EndpointConfig,
+    ) -> Result<Endpoint> {
+        let port = fabric.bind(Addr::new(node, ENSEMBLE_PORT))?;
+        let fabric_events = fabric.subscribe();
+        let (cmd_tx, cmd_rx) = channel::unbounded();
+        let (events_tx, events_rx) = channel::unbounded();
+        let shared_view = Arc::new(Mutex::new(None));
+        let stack = Stack {
+            node,
+            fabric: fabric.clone(),
+            port,
+            cfg,
+            clock: VClock::new(),
+            events_tx,
+            shared_view: shared_view.clone(),
+            view: None,
+            contact,
+            next_deliver_seq: 1,
+            delivered_log: Vec::new(),
+            pending_oos: BTreeMap::new(),
+            next_seq: 1,
+            held_casts: Vec::new(),
+            held_local: Vec::new(),
+            change: None,
+            proposal_counter: 0,
+            pending_joins: BTreeSet::new(),
+            pending_leaves: BTreeSet::new(),
+            suspects: BTreeSet::new(),
+            flushing: false,
+            leaving: false,
+            dead: false,
+            last_seen: BTreeMap::new(),
+            last_beacon: std::time::Instant::now(),
+        };
+        std::thread::Builder::new()
+            .name(format!("ensemble-{node}"))
+            .spawn(move || stack.run(cmd_rx, fabric_events))
+            .expect("spawn ensemble stack");
+        Ok(Endpoint {
+            node,
+            cmd_tx,
+            events_rx,
+            shared_view,
+        })
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Latest installed view, if any.
+    pub fn current_view(&self) -> Option<View> {
+        self.shared_view.lock().clone()
+    }
+
+    /// Submit a totally ordered multicast. `vt` is the caller's current
+    /// virtual time.
+    pub fn cast(&self, payload: Bytes, vt: VirtualTime) -> Result<()> {
+        self.cmd_tx
+            .send(Cmd::Cast { payload, vt })
+            .map_err(|_| Error::closed("ensemble stack gone"))
+    }
+
+    /// Point-to-point send to another member.
+    pub fn send_to(&self, node: NodeId, payload: Bytes, vt: VirtualTime) -> Result<()> {
+        self.cmd_tx
+            .send(Cmd::SendTo { node, payload, vt })
+            .map_err(|_| Error::closed("ensemble stack gone"))
+    }
+
+    /// Leave the group gracefully. The final event will be [`GcEvent::Left`].
+    pub fn leave(&self) -> Result<()> {
+        self.cmd_tx
+            .send(Cmd::Leave)
+            .map_err(|_| Error::closed("ensemble stack gone"))
+    }
+
+    /// The delivery stream.
+    pub fn events(&self) -> &Receiver<GcEvent> {
+        &self.events_rx
+    }
+
+    /// Test/bootstrap helper: block until a view containing `expect_members`
+    /// members is installed, returning it (events consumed in the process
+    /// are NOT replayed; use only when driving the endpoint directly).
+    pub fn wait_for_view_size(&self, size: usize, timeout: Duration) -> Result<View> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remain = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or_else(|| Error::timeout("wait_for_view_size"))?;
+            match self.events_rx.recv_timeout(remain) {
+                Ok(GcEvent::View { view, .. }) if view.size() == size => return Ok(view),
+                Ok(_) => continue,
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    return Err(Error::timeout("wait_for_view_size"))
+                }
+                Err(channel::RecvTimeoutError::Disconnected) => {
+                    return Err(Error::closed("ensemble stack gone"))
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(Cmd::Leave);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The protocol stack proper (runs on its own thread).
+// ---------------------------------------------------------------------------
+
+struct ChangeState {
+    proposal: u64,
+    new_members: Vec<NodeId>,
+    waiting: BTreeSet<NodeId>,
+    collected: BTreeMap<u64, SeqEntry>,
+}
+
+struct Stack {
+    node: NodeId,
+    fabric: Fabric,
+    port: Port,
+    cfg: EndpointConfig,
+    clock: VClock,
+    events_tx: Sender<GcEvent>,
+    shared_view: Arc<Mutex<Option<View>>>,
+
+    /// Installed view (None while joining).
+    view: Option<View>,
+    /// Join contact (Some while still joining via a contact).
+    contact: Option<NodeId>,
+
+    // member role
+    next_deliver_seq: u64,
+    delivered_log: Vec<SeqEntry>,
+    pending_oos: BTreeMap<u64, SeqEntry>,
+
+    // coordinator role
+    next_seq: u64,
+    held_casts: Vec<(NodeId, Bytes)>,
+    change: Option<ChangeState>,
+    proposal_counter: u64,
+    pending_joins: BTreeSet<NodeId>,
+    pending_leaves: BTreeSet<NodeId>,
+    suspects: BTreeSet<NodeId>,
+
+    // member-side flush state
+    flushing: bool,
+    /// Casts we could not hand to a coordinator; re-sent on the next view.
+    held_local: Vec<Bytes>,
+    leaving: bool,
+    /// Set when this endpoint is finished (left, excluded, or its node
+    /// crashed); the run loop exits at the next opportunity.
+    dead: bool,
+    /// Heartbeat failure detection: last real-time instant each member was
+    /// heard from.
+    last_seen: BTreeMap<NodeId, std::time::Instant>,
+    last_beacon: std::time::Instant,
+}
+
+enum LoopCtl {
+    Continue,
+    Exit,
+}
+
+impl Stack {
+    fn run(mut self, mut cmd_rx: Receiver<Cmd>, fabric_events: Receiver<FabricEvent>) {
+        // Found or join.
+        match self.contact {
+            None => {
+                let view = View::new(ViewId(1), vec![self.node]);
+                self.install(view, Vec::new());
+            }
+            Some(contact) => {
+                let _ = self.send_gc(contact, &GcMsg::JoinReq { node: self.node });
+            }
+        }
+        let mut last_join_retry = std::time::Instant::now();
+        loop {
+            crossbeam::channel::select! {
+                recv(self.port.receiver()) -> pkt => {
+                    match pkt {
+                        Ok(p) => {
+                            if let LoopCtl::Exit = self.handle_packet(p) {
+                                return;
+                            }
+                        }
+                        Err(_) => {
+                            // Port closed: our node crashed or was removed.
+                            let _ = self.events_tx.send(GcEvent::Left);
+                            return;
+                        }
+                    }
+                }
+                recv(fabric_events) -> ev => {
+                    match ev {
+                        Ok(e) => {
+                            if let LoopCtl::Exit = self.handle_fabric_event(e) {
+                                return;
+                            }
+                        }
+                        Err(_) => { /* fabric gone (test teardown) */ }
+                    }
+                }
+                recv(cmd_rx) -> cmd => {
+                    match cmd {
+                        Ok(c) => {
+                            if let LoopCtl::Exit = self.handle_cmd(c) {
+                                return;
+                            }
+                        }
+                        Err(_) => {
+                            // Owner dropped: leave gracefully. Swap in a
+                            // never-ready channel so this arm does not
+                            // busy-fire on every subsequent iteration.
+                            cmd_rx = channel::never();
+                            if let LoopCtl::Exit = self.handle_cmd(Cmd::Leave) {
+                                return;
+                            }
+                        }
+                    }
+                }
+                default(TICK) => {}
+            }
+            if self.dead {
+                return;
+            }
+            self.heartbeat_tick();
+            // Join retry while we have no view yet.
+            if self.view.is_none() {
+                if let Some(contact) = self.contact {
+                    if last_join_retry.elapsed() >= JOIN_RETRY {
+                        last_join_retry = std::time::Instant::now();
+                        let _ = self.send_gc(contact, &GcMsg::JoinReq { node: self.node });
+                    }
+                }
+            }
+        }
+    }
+
+    // -- helpers ------------------------------------------------------------
+
+    fn send_gc(&mut self, to: NodeId, msg: &GcMsg) -> Result<()> {
+        let payload = msg.encode_to_bytes();
+        self.cfg.trace.record(
+            MsgClass::Control,
+            ActorKind::Daemon,
+            ActorKind::Daemon,
+            "ensemble",
+            payload.len(),
+        );
+        let mut pkt = Packet::new(
+            Addr::new(self.node, ENSEMBLE_PORT),
+            Addr::new(to, ENSEMBLE_PORT),
+            PacketKind::Control,
+            0,
+            payload,
+        );
+        pkt.depart_vt = self.clock.now();
+        match self.fabric.send(pkt) {
+            Ok(()) => Ok(()),
+            Err(Error::Closed(m)) => {
+                // *We* are the dead side: our node crashed under us. Do not
+                // blame the receiver; shut down instead.
+                self.dead = true;
+                Err(Error::Closed(m))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn is_coordinator(&self) -> bool {
+        self.view
+            .as_ref()
+            .map(|v| v.coordinator() == self.node)
+            .unwrap_or(false)
+    }
+
+    /// Whether this node must coordinate the *next* membership change: the
+    /// smallest member that is not suspected. (After the installed
+    /// coordinator crashes, its successor takes over the recovery.)
+    fn is_recovery_coordinator(&self) -> bool {
+        self.view
+            .as_ref()
+            .and_then(|v| {
+                v.members
+                    .iter()
+                    .copied()
+                    .find(|m| !self.suspects.contains(m))
+            })
+            .map(|c| c == self.node)
+            .unwrap_or(false)
+    }
+
+    fn emit(&self, ev: GcEvent) {
+        let _ = self.events_tx.send(ev);
+    }
+
+    fn dbg(&self, msg: &str) {
+        if std::env::var_os("STARFISH_GC_DEBUG").is_some() {
+            eprintln!("[gc {}] {}", self.node, msg);
+        }
+    }
+
+    // -- packet handling ------------------------------------------------------
+
+    fn handle_packet(&mut self, pkt: Packet) -> LoopCtl {
+        let msg = match GcMsg::decode_from_bytes(&pkt.payload) {
+            Ok(m) => m,
+            Err(_) => return LoopCtl::Continue, // corrupt packet: drop
+        };
+        // Join retransmissions (a real-time bootstrap artifact) must not
+        // advance the virtual clock, or boot-time scheduling noise would
+        // leak into every subsequent measurement.
+        let duplicate_join = matches!(
+            &msg,
+            GcMsg::JoinReq { node }
+                if self.view.as_ref().map(|v| v.contains(*node)).unwrap_or(false)
+                    || self.pending_joins.contains(node)
+        );
+        self.last_seen.insert(pkt.src.node, std::time::Instant::now());
+        if matches!(msg, GcMsg::Heartbeat { .. }) {
+            // Pure liveness beacon: refreshing `last_seen` is its whole job.
+            // No virtual cost: beacons are a real-time artifact of the
+            // failure detector, not protocol work on the modelled timeline.
+            return LoopCtl::Continue;
+        }
+        self.clock.merge(pkt.arrive_vt);
+        if !duplicate_join {
+            self.clock.advance(self.cfg.proc_cost);
+        }
+        self.dbg(&format!("pkt from {}: {:?}", pkt.src.node, msg));
+        match msg {
+            GcMsg::JoinReq { node } => self.on_join_req(node),
+            GcMsg::LeaveReq { node } => self.on_leave_req(node),
+            GcMsg::CastReq { origin, payload } => self.on_cast_req(origin, payload),
+            GcMsg::SeqCast {
+                view,
+                seq,
+                origin,
+                payload,
+            } => self.on_seq_cast(view, seq, origin, payload),
+            GcMsg::P2p { payload } => {
+                self.emit(GcEvent::P2p {
+                    from: pkt.src.node,
+                    payload,
+                    vt: self.clock.now(),
+                });
+                LoopCtl::Continue
+            }
+            GcMsg::FlushReq {
+                proposal,
+                new_members,
+            } => self.on_flush_req(pkt.src.node, proposal, new_members),
+            GcMsg::FlushOk {
+                proposal,
+                node,
+                delivered,
+            } => self.on_flush_ok(proposal, node, delivered),
+            GcMsg::NewView { view, backfill } => self.on_new_view(view, backfill),
+            GcMsg::Heartbeat { .. } => LoopCtl::Continue,
+        }
+    }
+
+    fn on_join_req(&mut self, joiner: NodeId) -> LoopCtl {
+        let Some(view) = self.view.clone() else {
+            return LoopCtl::Continue; // still joining ourselves; ignore
+        };
+        if view.contains(joiner) {
+            return LoopCtl::Continue; // duplicate join (retry after success)
+        }
+        if view.coordinator() == self.node {
+            if self.pending_joins.insert(joiner) {
+                self.maybe_start_change();
+            }
+        } else {
+            // Forward to the coordinator.
+            let coord = view.coordinator();
+            let _ = self.send_gc(coord, &GcMsg::JoinReq { node: joiner });
+        }
+        LoopCtl::Continue
+    }
+
+    fn on_leave_req(&mut self, leaver: NodeId) -> LoopCtl {
+        if !self.is_coordinator() {
+            // Only the coordinator handles leaves; forward.
+            if let Some(v) = self.view.clone() {
+                let _ = self.send_gc(v.coordinator(), &GcMsg::LeaveReq { node: leaver });
+            }
+            return LoopCtl::Continue;
+        }
+        if self.pending_leaves.insert(leaver) {
+            self.maybe_start_change();
+        }
+        LoopCtl::Continue
+    }
+
+    fn on_cast_req(&mut self, origin: NodeId, payload: Bytes) -> LoopCtl {
+        if !self.is_coordinator() {
+            // Mis-routed (view raced); forward to the real coordinator.
+            if let Some(v) = self.view.clone() {
+                if v.coordinator() != self.node {
+                    let _ = self.send_gc(v.coordinator(), &GcMsg::CastReq { origin, payload });
+                }
+            }
+            return LoopCtl::Continue;
+        }
+        if self.change.is_some() {
+            self.held_casts.push((origin, payload));
+            return LoopCtl::Continue;
+        }
+        self.sequence_cast(origin, payload);
+        LoopCtl::Continue
+    }
+
+    fn sequence_cast(&mut self, origin: NodeId, payload: Bytes) {
+        let view = self.view.clone().expect("coordinator has a view");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let msg = GcMsg::SeqCast {
+            view: view.id,
+            seq,
+            origin,
+            payload,
+        };
+        let mut failed = Vec::new();
+        for m in &view.members {
+            if self.send_gc(*m, &msg).is_err() {
+                failed.push(*m);
+            }
+        }
+        for m in failed {
+            if m != self.node {
+                self.suspects.insert(m);
+            }
+        }
+        if !self.suspects.is_empty() {
+            self.maybe_start_change();
+        }
+    }
+
+    fn on_seq_cast(&mut self, vid: ViewId, seq: u64, origin: NodeId, payload: Bytes) -> LoopCtl {
+        let Some(view) = self.view.clone() else {
+            return LoopCtl::Continue;
+        };
+        if vid != view.id || self.flushing {
+            // Stale (pre-flush) cast: if any surviving member delivered it,
+            // the flush union will backfill it; otherwise it is dropped as a
+            // whole (virtual synchrony permits this).
+            return LoopCtl::Continue;
+        }
+        let entry = SeqEntry {
+            seq,
+            origin,
+            payload,
+        };
+        self.pending_oos.insert(seq, entry);
+        while let Some(e) = self.pending_oos.remove(&self.next_deliver_seq) {
+            self.deliver_cast(view.id, e);
+        }
+        LoopCtl::Continue
+    }
+
+    fn deliver_cast(&mut self, vid: ViewId, e: SeqEntry) {
+        debug_assert_eq!(e.seq, self.next_deliver_seq);
+        self.next_deliver_seq += 1;
+        self.delivered_log.push(e.clone());
+        self.emit(GcEvent::Cast {
+            from: e.origin,
+            seq: e.seq,
+            view: vid,
+            payload: e.payload,
+            vt: self.clock.now(),
+        });
+    }
+
+    // -- view changes ---------------------------------------------------------
+
+    /// Start a membership change if one is needed and none is in progress.
+    fn maybe_start_change(&mut self) {
+        if self.dead || self.change.is_some() || !self.is_recovery_coordinator() {
+            return;
+        }
+        if self.pending_joins.is_empty()
+            && self.pending_leaves.is_empty()
+            && self.suspects.is_empty()
+            && !self.leaving
+        {
+            return;
+        }
+        let view = self.view.clone().expect("coordinator has a view");
+        let mut new_members: BTreeSet<NodeId> = view.members.iter().copied().collect();
+        for s in &self.suspects {
+            new_members.remove(s);
+        }
+        for l in &self.pending_leaves {
+            new_members.remove(l);
+        }
+        if self.leaving {
+            new_members.remove(&self.node);
+        }
+        for j in &self.pending_joins {
+            new_members.insert(*j);
+        }
+        let new_members: Vec<NodeId> = new_members.into_iter().collect();
+        self.dbg(&format!("start_change new_members={new_members:?}"));
+        if new_members.is_empty() {
+            // Group dissolves (this coordinator was the last member and is
+            // leaving, or everyone else is suspected).
+            self.emit(GcEvent::Left);
+            *self.shared_view.lock() = None;
+            self.view = None;
+            self.dead = true;
+            return;
+        }
+        self.proposal_counter += 1;
+        let proposal = (view.id.0 << 16) | self.proposal_counter;
+        // Everyone still alive in the current view must flush, including us.
+        let waiting: BTreeSet<NodeId> = view
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !self.suspects.contains(m) && *m != self.node)
+            .collect();
+        let mut collected = BTreeMap::new();
+        for e in &self.delivered_log {
+            collected.insert(e.seq, e.clone());
+        }
+        let change = ChangeState {
+            proposal,
+            new_members: new_members.clone(),
+            waiting,
+            collected,
+        };
+        let req = GcMsg::FlushReq {
+            proposal,
+            new_members,
+        };
+        let targets: Vec<NodeId> = change.waiting.iter().copied().collect();
+        self.change = Some(change);
+        let mut failed = Vec::new();
+        for m in targets {
+            if self.send_gc(m, &req).is_err() {
+                failed.push(m);
+            }
+        }
+        for m in failed {
+            self.suspects.insert(m);
+            if let Some(ch) = self.change.as_mut() {
+                ch.waiting.remove(&m);
+                ch.new_members.retain(|x| *x != m);
+            }
+        }
+        self.maybe_finish_change();
+    }
+
+    fn on_flush_req(&mut self, from: NodeId, proposal: u64, _new_members: Vec<NodeId>) -> LoopCtl {
+        // The proposal's high bits name the view being closed; a flush for
+        // any other view is stale (e.g. from a coordinator that crashed
+        // before completing it) and must not re-block delivery.
+        match &self.view {
+            Some(v) if proposal >> 16 == v.id.0 => {}
+            _ => return LoopCtl::Continue,
+        }
+        self.flushing = true;
+        let ok = GcMsg::FlushOk {
+            proposal,
+            node: self.node,
+            delivered: self.delivered_log.clone(),
+        };
+        let _ = self.send_gc(from, &ok);
+        LoopCtl::Continue
+    }
+
+    fn on_flush_ok(&mut self, proposal: u64, node: NodeId, delivered: Vec<SeqEntry>) -> LoopCtl {
+        let Some(ch) = self.change.as_mut() else {
+            return LoopCtl::Continue;
+        };
+        if ch.proposal != proposal {
+            return LoopCtl::Continue; // stale
+        }
+        ch.waiting.remove(&node);
+        for e in delivered {
+            ch.collected.insert(e.seq, e);
+        }
+        self.maybe_finish_change();
+        LoopCtl::Continue
+    }
+
+    fn maybe_finish_change(&mut self) {
+        if self.dead {
+            return;
+        }
+        let done = self
+            .change
+            .as_ref()
+            .map(|c| c.waiting.is_empty())
+            .unwrap_or(false);
+        if !done {
+            return;
+        }
+        let ch = self.change.take().expect("checked above");
+        if ch.new_members.is_empty() {
+            // Every prospective member is gone: the group dissolves here.
+            self.emit(GcEvent::Left);
+            *self.shared_view.lock() = None;
+            self.view = None;
+            self.dead = true;
+            return;
+        }
+        let old_view = self.view.clone().expect("coordinator has a view");
+        let new_view = View::new(ViewId(old_view.id.0 + 1), ch.new_members.clone());
+        let backfill: Vec<SeqEntry> = ch.collected.into_values().collect();
+        // Send to everyone involved: survivors learn the new view, leavers
+        // learn they are out.
+        let mut targets: BTreeSet<NodeId> = new_view.members.iter().copied().collect();
+        for m in &old_view.members {
+            if !self.suspects.contains(m) {
+                targets.insert(*m);
+            }
+        }
+        targets.remove(&self.node);
+        let msg = GcMsg::NewView {
+            view: new_view.clone(),
+            backfill: backfill.clone(),
+        };
+        for m in targets {
+            let _ = self.send_gc(m, &msg);
+        }
+        // Install locally (delivers our own missing backfill too).
+        self.apply_new_view(new_view, backfill);
+    }
+
+    fn on_new_view(&mut self, view: View, backfill: Vec<SeqEntry>) -> LoopCtl {
+        self.apply_new_view(view, backfill);
+        if self.view.is_none() {
+            // We were excluded: Left was emitted.
+            return LoopCtl::Exit;
+        }
+        LoopCtl::Continue
+    }
+
+    /// Install `view`, delivering any backfill casts of the closing view
+    /// first (only if we were a member of that closing view).
+    fn apply_new_view(&mut self, view: View, backfill: Vec<SeqEntry>) {
+        let was_member = self
+            .view
+            .as_ref()
+            .map(|v| v.contains(self.node))
+            .unwrap_or(false);
+        if was_member {
+            let old_vid = self.view.as_ref().map(|v| v.id).expect("was_member");
+            for e in backfill {
+                if e.seq >= self.next_deliver_seq {
+                    // Deliver gap-free: the union is gap-free by construction
+                    // (a sequencer assigned 1..k).
+                    self.next_deliver_seq = e.seq;
+                    self.deliver_cast(old_vid, e);
+                }
+            }
+        }
+        let includes_me = view.contains(self.node);
+        self.install(view, Vec::new());
+        if !includes_me {
+            self.emit(GcEvent::Left);
+            *self.shared_view.lock() = None;
+            self.view = None;
+        }
+    }
+
+    fn install(&mut self, view: View, _backfill: Vec<SeqEntry>) {
+        self.dbg(&format!("install view {:?}", view));
+        self.next_deliver_seq = 1;
+        self.next_seq = 1;
+        self.delivered_log.clear();
+        self.pending_oos.clear();
+        self.flushing = false;
+        self.contact = None;
+        self.suspects.retain(|s| view.contains(*s));
+        self.pending_joins.retain(|j| !view.contains(*j));
+        self.pending_leaves.retain(|l| view.contains(*l));
+        *self.shared_view.lock() = Some(view.clone());
+        self.view = Some(view.clone());
+        if view.contains(self.node) {
+            self.emit(GcEvent::View {
+                view: view.clone(),
+                vt: self.clock.now(),
+            });
+        }
+        // Re-submit casts we failed to hand to a dead coordinator.
+        let held: Vec<Bytes> = std::mem::take(&mut self.held_local);
+        for payload in held {
+            self.submit_cast(payload);
+        }
+        // Coordinator: sequence casts held during the change, then handle any
+        // membership work that queued up meanwhile.
+        if view.coordinator() == self.node {
+            let held: Vec<(NodeId, Bytes)> = std::mem::take(&mut self.held_casts);
+            for (origin, payload) in held {
+                self.sequence_cast(origin, payload);
+            }
+            self.maybe_start_change();
+        }
+    }
+
+    // -- owner commands -------------------------------------------------------
+
+    fn submit_cast(&mut self, payload: Bytes) {
+        match self.view.clone() {
+            Some(v) => {
+                let coord = v.coordinator();
+                if coord == self.node {
+                    if self.change.is_some() {
+                        self.held_casts.push((self.node, payload));
+                    } else {
+                        self.sequence_cast(self.node, payload);
+                    }
+                } else {
+                    let msg = GcMsg::CastReq {
+                        origin: self.node,
+                        payload: payload.clone(),
+                    };
+                    if self.send_gc(coord, &msg).is_err() {
+                        self.held_local.push(payload);
+                    }
+                }
+            }
+            None => self.held_local.push(payload),
+        }
+    }
+
+    fn handle_cmd(&mut self, cmd: Cmd) -> LoopCtl {
+        match cmd {
+            Cmd::Cast { payload, vt } => {
+                self.clock.merge(vt);
+                self.clock.advance(self.cfg.proc_cost);
+                self.submit_cast(payload);
+                LoopCtl::Continue
+            }
+            Cmd::SendTo { node, payload, vt } => {
+                self.clock.merge(vt);
+                self.clock.advance(self.cfg.proc_cost);
+                let _ = self.send_gc(node, &GcMsg::P2p { payload });
+                LoopCtl::Continue
+            }
+            Cmd::Leave => {
+                self.leaving = true;
+                match self.view.clone() {
+                    None => {
+                        self.emit(GcEvent::Left);
+                        LoopCtl::Exit
+                    }
+                    Some(v) if v.size() == 1 => {
+                        self.emit(GcEvent::Left);
+                        LoopCtl::Exit
+                    }
+                    Some(v) => {
+                        if v.coordinator() == self.node {
+                            self.maybe_start_change();
+                            // Exit once the view excluding us is installed:
+                            // apply_new_view emits Left and clears the view.
+                            if self.view.is_none() {
+                                return LoopCtl::Exit;
+                            }
+                            LoopCtl::Continue
+                        } else {
+                            let _ =
+                                self.send_gc(v.coordinator(), &GcMsg::LeaveReq { node: self.node });
+                            LoopCtl::Continue
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // -- failure detection ------------------------------------------------------
+
+    /// Heartbeat maintenance (no-op unless configured): beacon to peers and
+    /// suspect members that have been silent past the timeout.
+    fn heartbeat_tick(&mut self) {
+        let Some(hb) = self.cfg.heartbeat else {
+            return;
+        };
+        let Some(view) = self.view.clone() else {
+            return;
+        };
+        let now = std::time::Instant::now();
+        if now.duration_since(self.last_beacon) >= hb.interval {
+            self.last_beacon = now;
+            for m in view.members.clone() {
+                if m != self.node {
+                    let _ = self.send_gc(m, &GcMsg::Heartbeat { node: self.node });
+                }
+            }
+        }
+        let mut newly_suspected = Vec::new();
+        for m in &view.members {
+            if *m == self.node || self.suspects.contains(m) {
+                continue;
+            }
+            let seen = *self.last_seen.entry(*m).or_insert(now);
+            if now.duration_since(seen) > hb.timeout {
+                newly_suspected.push(*m);
+            }
+        }
+        for m in newly_suspected {
+            self.dbg(&format!("heartbeat timeout: suspecting {m}"));
+            self.on_member_failure(m);
+        }
+    }
+
+    fn handle_fabric_event(&mut self, ev: FabricEvent) -> LoopCtl {
+        let crashed = match ev {
+            FabricEvent::NodeCrashed(n) | FabricEvent::NodeRemoved(n) => n,
+            _ => return LoopCtl::Continue,
+        };
+        self.dbg(&format!("fabric event: crashed {crashed}"));
+        if crashed == self.node {
+            let _ = self.events_tx.send(GcEvent::Left);
+            return LoopCtl::Exit;
+        }
+        self.on_member_failure(crashed);
+        if self.dead {
+            return LoopCtl::Exit;
+        }
+        LoopCtl::Continue
+    }
+
+    /// A member is believed failed (fabric event or heartbeat timeout).
+    fn on_member_failure(&mut self, crashed: NodeId) {
+        let Some(view) = self.view.clone() else {
+            // Still joining: if our contact died we have no group knowledge;
+            // keep retrying (the caller may re-point us via a fresh join).
+            return;
+        };
+        if !view.contains(crashed) {
+            self.pending_joins.remove(&crashed);
+            return;
+        }
+        self.suspects.insert(crashed);
+        // Who coordinates the recovery? The smallest non-suspected member.
+        let new_coord = view
+            .members
+            .iter()
+            .copied()
+            .find(|m| !self.suspects.contains(m));
+        match new_coord {
+            Some(c) if c == self.node => {
+                // Remove the crashed node from any in-progress change.
+                if let Some(ch) = self.change.as_mut() {
+                    ch.waiting.remove(&crashed);
+                    ch.new_members.retain(|m| *m != crashed);
+                    self.maybe_finish_change();
+                } else {
+                    self.maybe_start_change();
+                }
+                // A change might have been in progress under the old (now
+                // dead) coordinator; if we were mid-flush as a member, our
+                // own change supersedes it.
+                if self.change.is_none() {
+                    self.maybe_start_change();
+                }
+            }
+            Some(_) => {
+                // Someone else will coordinate; if we are the old coordinator
+                // with a pending change that now lacks the crashed member,
+                // update it.
+                if let Some(ch) = self.change.as_mut() {
+                    ch.waiting.remove(&crashed);
+                    ch.new_members.retain(|m| *m != crashed);
+                    self.maybe_finish_change();
+                }
+            }
+            None => {
+                // Everyone else is dead; we are alone.
+                let v = View::new(ViewId(view.id.0 + 1), vec![self.node]);
+                self.change = None;
+                self.install(v, Vec::new());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_vni::{Ideal, LayerCosts};
+    use std::time::Duration;
+
+    fn fabric(n: u32) -> Fabric {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        for i in 0..n {
+            f.add_node(NodeId(i));
+        }
+        f
+    }
+
+    fn drain_until_casts(
+        ep: &Endpoint,
+        want: usize,
+        timeout: Duration,
+    ) -> Vec<(NodeId, u64, Bytes)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut out = Vec::new();
+        while out.len() < want {
+            let remain = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .unwrap_or_default();
+            match ep.events().recv_timeout(remain) {
+                Ok(GcEvent::Cast {
+                    from, seq, payload, ..
+                }) => out.push((from, seq, payload)),
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn found_singleton_view() {
+        let f = fabric(1);
+        let ep = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let v = ep.wait_for_view_size(1, Duration::from_secs(2)).unwrap();
+        assert_eq!(v.members, vec![NodeId(0)]);
+        assert_eq!(v.coordinator(), NodeId(0));
+    }
+
+    #[test]
+    fn three_members_join_incrementally() {
+        let f = fabric(3);
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), EndpointConfig::default()).unwrap();
+        let v = e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        assert_eq!(v.members, vec![NodeId(0), NodeId(1)]);
+        let e2 = Endpoint::join(&f, NodeId(2), NodeId(1), EndpointConfig::default()).unwrap();
+        let v = e2.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+        assert_eq!(v.members, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        // All members converge to the same view.
+        let v0 = e0.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+        assert_eq!(v0.id, v.id);
+    }
+
+    #[test]
+    fn casts_are_totally_ordered_across_members() {
+        let f = fabric(3);
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), EndpointConfig::default()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        let e2 = Endpoint::join(&f, NodeId(2), NodeId(0), EndpointConfig::default()).unwrap();
+        e2.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+        e0.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+        e1.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+
+        // Concurrent casters.
+        let n_each = 50;
+        for i in 0..n_each {
+            e0.cast(Bytes::from(format!("a{i}")), VirtualTime::ZERO)
+                .unwrap();
+            e1.cast(Bytes::from(format!("b{i}")), VirtualTime::ZERO)
+                .unwrap();
+            e2.cast(Bytes::from(format!("c{i}")), VirtualTime::ZERO)
+                .unwrap();
+        }
+        let want = 3 * n_each;
+        let d0 = drain_until_casts(&e0, want, Duration::from_secs(10));
+        let d1 = drain_until_casts(&e1, want, Duration::from_secs(10));
+        let d2 = drain_until_casts(&e2, want, Duration::from_secs(10));
+        assert_eq!(d0.len(), want);
+        assert_eq!(d0, d1);
+        assert_eq!(d0, d2);
+        // Sequence numbers are gap-free from 1.
+        for (i, (_, seq, _)) in d0.iter().enumerate() {
+            assert_eq!(*seq, (i + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn member_crash_installs_smaller_view() {
+        let f = fabric(3);
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), EndpointConfig::default()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        let e2 = Endpoint::join(&f, NodeId(2), NodeId(0), EndpointConfig::default()).unwrap();
+        e2.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+        e0.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+        e1.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+
+        f.crash_node(NodeId(2));
+        let v0 = e0.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        let v1 = e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        assert_eq!(v0.members, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(v0.id, v1.id);
+    }
+
+    #[test]
+    fn coordinator_crash_elects_next_smallest() {
+        let f = fabric(3);
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), EndpointConfig::default()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        let e2 = Endpoint::join(&f, NodeId(2), NodeId(0), EndpointConfig::default()).unwrap();
+        e2.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+        e1.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+        drop(e0);
+
+        f.crash_node(NodeId(0));
+        let v1 = e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        let v2 = e2.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        assert_eq!(v1.members, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(v1.coordinator(), NodeId(1));
+        assert_eq!(v1.id, v2.id);
+        // The group still works: new coordinator sequences casts.
+        e2.cast(Bytes::from_static(b"post-crash"), VirtualTime::ZERO)
+            .unwrap();
+        let got = drain_until_casts(&e1, 1, Duration::from_secs(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].2[..], b"post-crash");
+    }
+
+    #[test]
+    fn coordinator_crash_without_graceful_leave() {
+        // Unlike `coordinator_crash_elects_next_smallest`, the coordinator's
+        // endpoint handle stays alive: the only signal is the node crash, so
+        // the successor must take over recovery on its own.
+        let f = fabric(3);
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), EndpointConfig::default()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        let e2 = Endpoint::join(&f, NodeId(2), NodeId(0), EndpointConfig::default()).unwrap();
+        e2.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+        e1.wait_for_view_size(3, Duration::from_secs(5)).unwrap();
+
+        f.crash_node(NodeId(0));
+        let v1 = e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        let v2 = e2.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        assert_eq!(v1.members, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(v1.coordinator(), NodeId(1));
+        assert_eq!(v1.id, v2.id);
+        // The new coordinator sequences casts.
+        e2.cast(Bytes::from_static(b"recovered"), VirtualTime::ZERO)
+            .unwrap();
+        let got = drain_until_casts(&e1, 1, Duration::from_secs(5));
+        assert_eq!(&got[0].2[..], b"recovered");
+        drop(e0);
+    }
+
+    #[test]
+    fn graceful_leave_shrinks_view() {
+        let f = fabric(2);
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), EndpointConfig::default()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        e0.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        e1.leave().unwrap();
+        // e1 gets Left.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            assert!(std::time::Instant::now() < deadline, "no Left event");
+            match e1.events().recv_timeout(Duration::from_secs(1)) {
+                Ok(GcEvent::Left) => break,
+                Ok(_) => continue,
+                Err(_) => continue,
+            }
+        }
+        // e0 sees the singleton view.
+        let v0 = e0.wait_for_view_size(1, Duration::from_secs(5)).unwrap();
+        assert_eq!(v0.members, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn p2p_between_members() {
+        let f = fabric(2);
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), EndpointConfig::default()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        e0.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        e0.send_to(NodeId(1), Bytes::from_static(b"direct"), VirtualTime::ZERO)
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            assert!(std::time::Instant::now() < deadline, "no P2p event");
+            match e1.events().recv_timeout(Duration::from_secs(1)) {
+                Ok(GcEvent::P2p { from, payload, .. }) => {
+                    assert_eq!(from, NodeId(0));
+                    assert_eq!(&payload[..], b"direct");
+                    break;
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn cast_before_any_remote_member_still_delivers_locally() {
+        let f = fabric(1);
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        e0.wait_for_view_size(1, Duration::from_secs(2)).unwrap();
+        e0.cast(Bytes::from_static(b"solo"), VirtualTime::ZERO)
+            .unwrap();
+        let got = drain_until_casts(&e0, 1, Duration::from_secs(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, NodeId(0));
+    }
+
+    #[test]
+    fn virtual_time_flows_through_casts() {
+        let f = Fabric::new(Box::new(starfish_vni::TcpEthernet), LayerCosts::zero());
+        f.add_node(NodeId(0));
+        f.add_node(NodeId(1));
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), EndpointConfig::default()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        e0.wait_for_view_size(2, Duration::from_secs(5)).unwrap();
+        let start = VirtualTime::from_millis(5);
+        e1.cast(Bytes::from_static(b"t"), start).unwrap();
+        // Delivery at e0 is after: start + proc + wire(e1->e0) + proc + wire(e0->e0 is local-loop? no: e0 IS coordinator; e1->coord, coord multicasts).
+        let got_vt = loop {
+            match e0.events().recv_timeout(Duration::from_secs(5)).unwrap() {
+                GcEvent::Cast { vt, .. } => break vt,
+                _ => continue,
+            }
+        };
+        // At minimum one TCP hop (239us) beyond the caller's start time.
+        assert!(got_vt > start + VirtualTime::from_micros(239));
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use starfish_vni::{Fabric, Ideal, LayerCosts};
+    use std::time::Duration;
+
+    /// Stress: joins interleaved with crashes; the survivors converge on one
+    /// final view and total order still works afterwards.
+    #[test]
+    fn membership_churn_converges() {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        for i in 0..6 {
+            f.add_node(NodeId(i));
+        }
+        let e0 = Endpoint::found(&f, NodeId(0), EndpointConfig::default()).unwrap();
+        let mut eps = vec![e0];
+        for i in 1..4u32 {
+            let ep = Endpoint::join(&f, NodeId(i), NodeId(0), EndpointConfig::default()).unwrap();
+            ep.wait_for_view_size(i as usize + 1, Duration::from_secs(10))
+                .unwrap();
+            eps.push(ep);
+        }
+        // Crash one member and add two more while the change settles.
+        f.crash_node(NodeId(2));
+        let e4 = Endpoint::join(&f, NodeId(4), NodeId(0), EndpointConfig::default()).unwrap();
+        let e5 = Endpoint::join(&f, NodeId(5), NodeId(1), EndpointConfig::default()).unwrap();
+        eps.push(e4);
+        eps.push(e5);
+        eps.remove(2); // drop handle of the crashed member
+
+        // Everyone alive converges on {0,1,3,4,5}.
+        let want = vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4), NodeId(5)];
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        for ep in &eps {
+            loop {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "no convergence at {:?}: {:?}",
+                    ep.node(),
+                    ep.current_view()
+                );
+                if ep.current_view().map(|v| v.members == want).unwrap_or(false) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        // Total order still intact: every member delivers the same casts.
+        for (i, ep) in eps.iter().enumerate() {
+            ep.cast(Bytes::from(vec![i as u8]), VirtualTime::ZERO).unwrap();
+        }
+        let mut seqs = Vec::new();
+        for ep in &eps {
+            let mut got = Vec::new();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while got.len() < eps.len() {
+                assert!(std::time::Instant::now() < deadline, "missing casts");
+                match ep.events().recv_timeout(Duration::from_millis(200)) {
+                    Ok(GcEvent::Cast { payload, .. }) => got.push(payload[0]),
+                    Ok(_) => {}
+                    Err(_) => {}
+                }
+            }
+            seqs.push(got);
+        }
+        for s in &seqs[1..] {
+            assert_eq!(s, &seqs[0], "total order diverged after churn");
+        }
+    }
+}
+
+#[cfg(test)]
+mod heartbeat_tests {
+    use super::*;
+    use starfish_vni::{Fabric, Ideal, LayerCosts};
+    use std::time::Duration;
+
+    fn hb_cfg() -> EndpointConfig {
+        EndpointConfig {
+            heartbeat: Some(HeartbeatCfg {
+                interval: Duration::from_millis(50),
+                timeout: Duration::from_millis(400),
+            }),
+            ..EndpointConfig::default()
+        }
+    }
+
+    /// A silent crash (hang) emits no fabric event; only the heartbeat
+    /// failure detector can evict the member.
+    #[test]
+    fn heartbeats_detect_silent_crash() {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        for i in 0..3 {
+            f.add_node(NodeId(i));
+        }
+        let e0 = Endpoint::found(&f, NodeId(0), hb_cfg()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), hb_cfg()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(10)).unwrap();
+        let e2 = Endpoint::join(&f, NodeId(2), NodeId(0), hb_cfg()).unwrap();
+        e2.wait_for_view_size(3, Duration::from_secs(10)).unwrap();
+        e0.wait_for_view_size(3, Duration::from_secs(10)).unwrap();
+        e1.wait_for_view_size(3, Duration::from_secs(10)).unwrap();
+
+        // Hang node 2: no event, ports closed.
+        f.crash_node_silently(NodeId(2));
+        let v0 = e0.wait_for_view_size(2, Duration::from_secs(15)).unwrap();
+        let v1 = e1.wait_for_view_size(2, Duration::from_secs(15)).unwrap();
+        assert_eq!(v0.members, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(v0.id, v1.id);
+        // The group still sequences casts.
+        e1.cast(Bytes::from_static(b"alive"), VirtualTime::ZERO)
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            assert!(std::time::Instant::now() < deadline, "cast never delivered");
+            match e0.events().recv_timeout(Duration::from_millis(200)) {
+                Ok(GcEvent::Cast { payload, .. }) => {
+                    assert_eq!(&payload[..], b"alive");
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        drop(e2);
+    }
+
+    /// Healthy members never get evicted by heartbeats, even with tight
+    /// timing and no application traffic.
+    #[test]
+    fn heartbeats_keep_idle_members_alive() {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        for i in 0..3 {
+            f.add_node(NodeId(i));
+        }
+        let e0 = Endpoint::found(&f, NodeId(0), hb_cfg()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), hb_cfg()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(10)).unwrap();
+        let e2 = Endpoint::join(&f, NodeId(2), NodeId(0), hb_cfg()).unwrap();
+        e2.wait_for_view_size(3, Duration::from_secs(10)).unwrap();
+        // Idle for several timeout periods.
+        std::thread::sleep(Duration::from_millis(1500));
+        assert_eq!(
+            e0.current_view().map(|v| v.size()),
+            Some(3),
+            "idle members must stay in the view"
+        );
+        assert_eq!(e1.current_view().map(|v| v.size()), Some(3));
+        assert_eq!(e2.current_view().map(|v| v.size()), Some(3));
+    }
+}

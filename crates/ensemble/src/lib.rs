@@ -1,0 +1,48 @@
+//! # starfish-ensemble — group communication for the Starfish daemons
+//!
+//! The paper builds its daemons on the Ensemble group-communication toolkit
+//! \[20,38\]: all daemons form a single *Starfish group*, and Ensemble gives
+//! them reliable, totally ordered message delivery, consistent membership
+//! views, and automatic failure detection. This crate is our from-scratch
+//! implementation of exactly the properties Starfish consumes:
+//!
+//! * **Membership & views** — a coordinator-driven membership protocol
+//!   installs a sequence of [`View`]s; every surviving member installs the
+//!   same sequence of views for the group.
+//! * **Totally ordered multicast** — [`Endpoint::cast`] routes messages
+//!   through the view coordinator, which acts as a sequencer; all members
+//!   deliver casts in the same order.
+//! * **View synchrony** — a flush protocol runs before each view change:
+//!   members exchange the set of messages delivered in the closing view, and
+//!   the coordinator backfills stragglers, so all members that install the
+//!   next view have delivered the same set of messages in the previous one.
+//! * **Failure detection** — endpoints subscribe to fabric events (crash
+//!   injection acts as a perfect failure detector, the role Ensemble's
+//!   heartbeat stack plays on a real network) and additionally suspect
+//!   members on send failures.
+//!
+//! The implementation is intentionally a *primary-component, sequencer-based*
+//! design: the simplest of the classical virtual-synchrony architectures and
+//! sufficient for the daemon workloads in the paper (configuration commands,
+//! application coordination, C/R control traffic).
+//!
+//! ## Delivery guarantees, precisely
+//!
+//! * Casts are delivered in a single total order per view (gap-free sequence
+//!   numbers, restarting at 1 in each view).
+//! * If any member that survives into the next view delivered cast `m` in
+//!   view `v`, every member that survives into the next view delivers `m` in
+//!   `v` (before installing the next view).
+//! * A cast issued while a view change is in progress is sequenced in the
+//!   next view (held by the coordinator, or re-sent by the member after the
+//!   new view installs).
+//! * Point-to-point sends ([`Endpoint::send_to`]) are FIFO per sender and
+//!   reliable while both endpoints stay up.
+
+pub mod endpoint;
+pub mod msg;
+pub mod view;
+
+pub use endpoint::{Endpoint, EndpointConfig, GcEvent, ENSEMBLE_PORT};
+pub use msg::GcMsg;
+pub use view::View;

@@ -1,0 +1,698 @@
+//! MPI collectives over point-to-point.
+//!
+//! Every collective operation of a communicator must be invoked by all
+//! members in the same order (the MPI rule); the communicator's internal
+//! sequence number then gives each round a unique tag so that consecutive
+//! collectives never cross-match. Tree algorithms (binomial broadcast and
+//! reduce) give the logarithmic depth one expects; the virtual-time cost of
+//! a collective is computed automatically by the clock max-merging in the
+//! endpoint layer.
+
+use starfish_util::{Error, Rank, Result, VClock};
+
+use crate::comm::Comm;
+use crate::endpoint::{MpiEndpoint, RecvdMsg};
+
+/// Tag space reserved for collectives: user tags must stay below `1 << 56`.
+const COLL_TAG_BASE: u64 = 1 << 63;
+
+fn coll_tag(op: u8, seq: u64) -> u64 {
+    COLL_TAG_BASE | ((op as u64) << 48) | (seq & 0xFFFF_FFFF_FFFF)
+}
+
+const OP_BARRIER: u8 = 1;
+const OP_BCAST: u8 = 2;
+const OP_REDUCE: u8 = 3;
+const OP_GATHER: u8 = 4;
+const OP_SCATTER: u8 = 5;
+// (op code 6 is reserved for allgather, which is composed of gather+bcast
+// and therefore needs no tag space of its own)
+const OP_ALLTOALL: u8 = 7;
+const OP_SCAN: u8 = 8;
+const OP_SPLIT: u8 = 9;
+
+/// Plain-old-data element codec for typed collectives (canonical big-endian
+/// on the wire).
+pub trait Pod: Copy {
+    const SIZE: usize;
+    fn write(self, out: &mut Vec<u8>);
+    fn read(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod {
+    ($ty:ty, $size:expr) => {
+        impl Pod for $ty {
+            const SIZE: usize = $size;
+            fn write(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_be_bytes());
+            }
+            fn read(buf: &[u8]) -> Self {
+                <$ty>::from_be_bytes(buf[..$size].try_into().unwrap())
+            }
+        }
+    };
+}
+
+impl_pod!(f64, 8);
+impl_pod!(i64, 8);
+impl_pod!(u64, 8);
+impl_pod!(u32, 4);
+impl_pod!(u8, 1);
+
+/// Encode a slice of Pod elements.
+pub fn encode_slice<T: Pod>(xs: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * T::SIZE);
+    for x in xs {
+        x.write(&mut out);
+    }
+    out
+}
+
+/// Decode a slice of Pod elements.
+pub fn decode_slice<T: Pod>(buf: &[u8]) -> Result<Vec<T>> {
+    if buf.len() % T::SIZE != 0 {
+        return Err(Error::codec("ragged Pod buffer"));
+    }
+    Ok(buf.chunks_exact(T::SIZE).map(T::read).collect())
+}
+
+/// Element-wise reduction operators (associative and commutative, as the
+/// tree algorithms require).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+}
+
+/// Numeric element for reductions.
+pub trait PodNum: Pod {
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+impl PodNum for f64 {
+    fn reduce(op: ReduceOp, a: f64, b: f64) -> f64 {
+        match op {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+impl PodNum for i64 {
+    fn reduce(op: ReduceOp, a: i64, b: i64) -> i64 {
+        match op {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Prod => a.wrapping_mul(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+impl PodNum for u64 {
+    fn reduce(op: ReduceOp, a: u64, b: u64) -> u64 {
+        match op {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Prod => a.wrapping_mul(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+fn send_c(
+    ep: &mut MpiEndpoint,
+    comm: &Comm,
+    clock: &mut VClock,
+    dst: Rank, // communicator rank
+    tag: u64,
+    data: &[u8],
+) -> Result<()> {
+    let world = comm.world_rank(dst)?;
+    ep.send_world(clock, world, comm.context(), tag, data)
+}
+
+fn recv_c(
+    ep: &mut MpiEndpoint,
+    comm: &Comm,
+    clock: &mut VClock,
+    src: Rank, // communicator rank
+    tag: u64,
+) -> Result<RecvdMsg> {
+    let world = comm.world_rank(src)?;
+    ep.recv_world(clock, comm.context(), Some(world), Some(tag))
+}
+
+/// `MPI_Barrier`: dissemination algorithm, ⌈log₂ n⌉ rounds.
+pub fn barrier(ep: &mut MpiEndpoint, comm: &mut Comm, clock: &mut VClock) -> Result<()> {
+    let n = comm.size() as usize;
+    let me = comm.rank().index();
+    let tag_base = coll_tag(OP_BARRIER, comm.coll_seq);
+    comm.coll_seq += 1;
+    let mut k = 1usize;
+    let mut round = 0u64;
+    while k < n {
+        let to = Rank(((me + k) % n) as u32);
+        let from = Rank(((me + n - k) % n) as u32);
+        send_c(ep, comm, clock, to, tag_base + (round << 32), &[])?;
+        recv_c(ep, comm, clock, from, tag_base + (round << 32))?;
+        k <<= 1;
+        round += 1;
+    }
+    Ok(())
+}
+
+/// `MPI_Bcast` of raw bytes from communicator rank `root`: binomial tree.
+/// Non-roots receive into the returned buffer.
+pub fn bcast(
+    ep: &mut MpiEndpoint,
+    comm: &mut Comm,
+    clock: &mut VClock,
+    root: Rank,
+    data: Vec<u8>,
+) -> Result<Vec<u8>> {
+    let n = comm.size() as usize;
+    let me = comm.rank().index();
+    let tag = coll_tag(OP_BCAST, comm.coll_seq);
+    comm.coll_seq += 1;
+    if n == 1 {
+        return Ok(data);
+    }
+    let vr = (me + n - root.index()) % n;
+    let mut buf = data;
+    // Receive from parent (non-root).
+    let mut mask = 1usize;
+    while mask < n {
+        if vr & mask != 0 {
+            let src = Rank(((me + n - mask) % n) as u32);
+            buf = recv_c(ep, comm, clock, src, tag)?.data.to_vec();
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children.
+    mask >>= 1;
+    while mask > 0 {
+        if vr + mask < n {
+            let dst = Rank(((me + mask) % n) as u32);
+            send_c(ep, comm, clock, dst, tag, &buf)?;
+        }
+        mask >>= 1;
+    }
+    Ok(buf)
+}
+
+/// `MPI_Reduce` to communicator rank `root`: binomial combine tree. Returns
+/// `Some(result)` at the root, `None` elsewhere.
+pub fn reduce<T: PodNum>(
+    ep: &mut MpiEndpoint,
+    comm: &mut Comm,
+    clock: &mut VClock,
+    root: Rank,
+    data: &[T],
+    op: ReduceOp,
+) -> Result<Option<Vec<T>>> {
+    let n = comm.size() as usize;
+    let me = comm.rank().index();
+    let tag = coll_tag(OP_REDUCE, comm.coll_seq);
+    comm.coll_seq += 1;
+    let vr = (me + n - root.index()) % n;
+    let mut acc: Vec<T> = data.to_vec();
+    let mut mask = 1usize;
+    while mask < n {
+        if vr & mask == 0 {
+            let peer_vr = vr | mask;
+            if peer_vr < n {
+                let src = Rank(((peer_vr + root.index()) % n) as u32);
+                let m = recv_c(ep, comm, clock, src, tag)?;
+                let other: Vec<T> = decode_slice(&m.data)?;
+                if other.len() != acc.len() {
+                    return Err(Error::invalid_arg("reduce buffers differ in length"));
+                }
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = T::reduce(op, *a, b);
+                }
+            }
+        } else {
+            let peer_vr = vr ^ mask;
+            let dst = Rank(((peer_vr + root.index()) % n) as u32);
+            send_c(ep, comm, clock, dst, tag, &encode_slice(&acc))?;
+            return Ok(None);
+        }
+        mask <<= 1;
+    }
+    Ok(Some(acc))
+}
+
+/// `MPI_Allreduce`: reduce to communicator rank 0, then broadcast.
+pub fn allreduce<T: PodNum>(
+    ep: &mut MpiEndpoint,
+    comm: &mut Comm,
+    clock: &mut VClock,
+    data: &[T],
+    op: ReduceOp,
+) -> Result<Vec<T>> {
+    let reduced = reduce(ep, comm, clock, Rank(0), data, op)?;
+    let bytes = bcast(
+        ep,
+        comm,
+        clock,
+        Rank(0),
+        reduced.map(|v| encode_slice(&v)).unwrap_or_default(),
+    )?;
+    decode_slice(&bytes)
+}
+
+/// `MPI_Gather` of per-rank byte blobs to `root`. Returns `Some(blobs)` in
+/// communicator-rank order at the root, `None` elsewhere.
+pub fn gather(
+    ep: &mut MpiEndpoint,
+    comm: &mut Comm,
+    clock: &mut VClock,
+    root: Rank,
+    data: &[u8],
+) -> Result<Option<Vec<Vec<u8>>>> {
+    let n = comm.size() as usize;
+    let me = comm.rank();
+    let tag = coll_tag(OP_GATHER, comm.coll_seq);
+    comm.coll_seq += 1;
+    if me == root {
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[me.index()] = data.to_vec();
+        for i in 0..n {
+            if i == me.index() {
+                continue;
+            }
+            let m = recv_c(ep, comm, clock, Rank(i as u32), tag)?;
+            out[i] = m.data.to_vec();
+        }
+        Ok(Some(out))
+    } else {
+        send_c(ep, comm, clock, root, tag, data)?;
+        Ok(None)
+    }
+}
+
+/// `MPI_Scatter` of per-rank byte blobs from `root` (which passes
+/// `Some(blobs)`, one per rank). Returns this rank's blob.
+pub fn scatter(
+    ep: &mut MpiEndpoint,
+    comm: &mut Comm,
+    clock: &mut VClock,
+    root: Rank,
+    data: Option<Vec<Vec<u8>>>,
+) -> Result<Vec<u8>> {
+    let n = comm.size() as usize;
+    let me = comm.rank();
+    let tag = coll_tag(OP_SCATTER, comm.coll_seq);
+    comm.coll_seq += 1;
+    if me == root {
+        let blobs =
+            data.ok_or_else(|| Error::invalid_arg("scatter root must supply the blobs"))?;
+        if blobs.len() != n {
+            return Err(Error::invalid_arg(format!(
+                "scatter needs {n} blobs, got {}",
+                blobs.len()
+            )));
+        }
+        for (i, blob) in blobs.iter().enumerate() {
+            if i != me.index() {
+                send_c(ep, comm, clock, Rank(i as u32), tag, blob)?;
+            }
+        }
+        Ok(blobs[me.index()].clone())
+    } else {
+        Ok(recv_c(ep, comm, clock, root, tag)?.data.to_vec())
+    }
+}
+
+/// `MPI_Allgather` of per-rank blobs: gather to rank 0, then broadcast the
+/// concatenation.
+pub fn allgather(
+    ep: &mut MpiEndpoint,
+    comm: &mut Comm,
+    clock: &mut VClock,
+    data: &[u8],
+) -> Result<Vec<Vec<u8>>> {
+    let gathered = gather(ep, comm, clock, Rank(0), data)?;
+    // Frame: [count, (len, bytes)*]
+    let framed = gathered.map(|blobs| {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(blobs.len() as u32).to_be_bytes());
+        for b in &blobs {
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(b);
+        }
+        out
+    });
+    let bytes = bcast(ep, comm, clock, Rank(0), framed.unwrap_or_default())?;
+    // Unframe.
+    let mut out = Vec::new();
+    let mut pos = 4usize;
+    if bytes.len() < 4 {
+        return Err(Error::codec("allgather frame too short"));
+    }
+    let count = u32::from_be_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    for _ in 0..count {
+        if pos + 4 > bytes.len() {
+            return Err(Error::codec("allgather frame truncated"));
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        if pos + len > bytes.len() {
+            return Err(Error::codec("allgather frame truncated"));
+        }
+        out.push(bytes[pos..pos + len].to_vec());
+        pos += len;
+    }
+    Ok(out)
+}
+
+/// `MPI_Alltoall` of per-destination blobs (`send[i]` goes to communicator
+/// rank `i`); returns per-source blobs.
+pub fn alltoall(
+    ep: &mut MpiEndpoint,
+    comm: &mut Comm,
+    clock: &mut VClock,
+    send: &[Vec<u8>],
+) -> Result<Vec<Vec<u8>>> {
+    let n = comm.size() as usize;
+    let me = comm.rank().index();
+    if send.len() != n {
+        return Err(Error::invalid_arg(format!(
+            "alltoall needs {n} blobs, got {}",
+            send.len()
+        )));
+    }
+    let tag = coll_tag(OP_ALLTOALL, comm.coll_seq);
+    comm.coll_seq += 1;
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+    out[me] = send[me].clone();
+    // Pairwise exchange: round r pairs me with me^r is only valid for powers
+    // of two; use the simple shifted schedule instead.
+    for r in 1..n {
+        let dst = (me + r) % n;
+        let src = (me + n - r) % n;
+        send_c(ep, comm, clock, Rank(dst as u32), tag, &send[dst])?;
+        let m = recv_c(ep, comm, clock, Rank(src as u32), tag)?;
+        out[src] = m.data.to_vec();
+    }
+    Ok(out)
+}
+
+/// `MPI_Scan` (inclusive prefix reduction in communicator-rank order).
+pub fn scan<T: PodNum>(
+    ep: &mut MpiEndpoint,
+    comm: &mut Comm,
+    clock: &mut VClock,
+    data: &[T],
+    op: ReduceOp,
+) -> Result<Vec<T>> {
+    let n = comm.size() as usize;
+    let me = comm.rank().index();
+    let tag = coll_tag(OP_SCAN, comm.coll_seq);
+    comm.coll_seq += 1;
+    let mut acc: Vec<T> = data.to_vec();
+    if me > 0 {
+        let m = recv_c(ep, comm, clock, Rank((me - 1) as u32), tag)?;
+        let prev: Vec<T> = decode_slice(&m.data)?;
+        for (a, p) in acc.iter_mut().zip(prev) {
+            *a = T::reduce(op, p, *a);
+        }
+    }
+    if me + 1 < n {
+        send_c(ep, comm, clock, Rank((me + 1) as u32), tag, &encode_slice(&acc))?;
+    }
+    Ok(acc)
+}
+
+/// `MPI_Comm_split`: members with the same `color` form a new communicator,
+/// ordered by `(key, world rank)`. Returns `None` for `color == None`
+/// (MPI_UNDEFINED).
+pub fn comm_split(
+    ep: &mut MpiEndpoint,
+    comm: &mut Comm,
+    clock: &mut VClock,
+    color: Option<u32>,
+    key: u32,
+) -> Result<Option<Comm>> {
+    // Exchange (color, key) via allgather.
+    let mut mine = Vec::new();
+    mine.extend_from_slice(&color.unwrap_or(u32::MAX).to_be_bytes());
+    mine.extend_from_slice(&key.to_be_bytes());
+    let all = allgather(ep, comm, clock, &mine)?;
+    let Some(my_color) = color else {
+        return Ok(None);
+    };
+    let mut members: Vec<(u32, Rank)> = Vec::new();
+    for (i, blob) in all.iter().enumerate() {
+        if blob.len() != 8 {
+            return Err(Error::codec("bad split blob"));
+        }
+        let c = u32::from_be_bytes(blob[0..4].try_into().unwrap());
+        let k = u32::from_be_bytes(blob[4..8].try_into().unwrap());
+        if c == my_color {
+            members.push((k, comm.world_rank(Rank(i as u32))?));
+        }
+    }
+    members.sort();
+    let world_members: Vec<Rank> = members.into_iter().map(|(_, r)| r).collect();
+    let new_ctx = crate::comm::derive_context(
+        comm.context(),
+        my_color.wrapping_mul(2654435761).wrapping_add(OP_SPLIT as u32),
+    );
+    let me_world = comm.world_rank(comm.rank())?;
+    Ok(Some(Comm::from_members(new_ctx, world_members, me_world)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::RankDirectory;
+    use crate::endpoint::RecvMode;
+    use starfish_util::trace::TraceSink;
+    use starfish_util::{AppId, NodeId, VirtualTime};
+    use starfish_vni::{Fabric, Ideal, LayerCosts};
+
+    /// Run `f(rank, endpoint, comm, clock)` on `n` rank-threads and collect
+    /// the results in rank order.
+    fn run_ranks<T: Send + 'static>(
+        n: u32,
+        f: impl Fn(u32, &mut MpiEndpoint, &mut Comm, &mut VClock) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        let fabric = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        for i in 0..n {
+            fabric.add_node(NodeId(i));
+        }
+        let dir = RankDirectory::with_placement(&(0..n).map(NodeId).collect::<Vec<_>>());
+        let f = std::sync::Arc::new(f);
+        // Bind every endpoint before any rank runs (the MPI_Init barrier the
+        // daemons provide in the full runtime).
+        let eps: Vec<MpiEndpoint> = (0..n)
+            .map(|r| {
+                MpiEndpoint::new(
+                    &fabric,
+                    AppId(1),
+                    starfish_util::Rank(r),
+                    dir.clone(),
+                    RecvMode::Polled,
+                    TraceSink::disabled(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for (r, mut ep) in eps.into_iter().enumerate() {
+            let f = f.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut comm = Comm::world(n, starfish_util::Rank(r as u32));
+                let mut clock = VClock::new();
+                f(r as u32, &mut ep, &mut comm, &mut clock)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn barrier_completes_at_many_sizes() {
+        for n in [1u32, 2, 3, 5, 8] {
+            let done = run_ranks(n, |_, ep, comm, clock| {
+                barrier(ep, comm, clock).unwrap();
+                true
+            });
+            assert_eq!(done.len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_time() {
+        // Rank 0 is far ahead in virtual time; after the barrier everyone's
+        // clock is at least rank 0's pre-barrier time.
+        let vts = run_ranks(4, |r, ep, comm, clock| {
+            if r == 0 {
+                clock.advance(VirtualTime::from_millis(500));
+            }
+            barrier(ep, comm, clock).unwrap();
+            clock.now()
+        });
+        for vt in &vts {
+            assert!(*vt >= VirtualTime::from_millis(500), "vt {vt:?}");
+        }
+    }
+
+    #[test]
+    fn bcast_from_various_roots() {
+        for n in [2u32, 3, 5] {
+            for root in 0..n {
+                let res = run_ranks(n, move |r, ep, comm, clock| {
+                    let data = if r == root {
+                        format!("hello-{root}").into_bytes()
+                    } else {
+                        Vec::new()
+                    };
+                    bcast(ep, comm, clock, Rank(root), data).unwrap()
+                });
+                for v in res {
+                    assert_eq!(v, format!("hello-{root}").into_bytes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_and_max() {
+        let res = run_ranks(5, |r, ep, comm, clock| {
+            let data = vec![r as i64, 10 - r as i64];
+            reduce(ep, comm, clock, Rank(0), &data, ReduceOp::Sum).unwrap()
+        });
+        assert_eq!(res[0].as_ref().unwrap(), &vec![0 + 1 + 2 + 3 + 4, 50 - 10]);
+        for r in 1..5 {
+            assert!(res[r].is_none());
+        }
+        let res = run_ranks(4, |r, ep, comm, clock| {
+            reduce(ep, comm, clock, Rank(2), &[r as i64], ReduceOp::Max).unwrap()
+        });
+        assert_eq!(res[2].as_ref().unwrap(), &vec![3]);
+    }
+
+    #[test]
+    fn allreduce_everyone_gets_result() {
+        for n in [1u32, 3, 4, 6] {
+            let res = run_ranks(n, |r, ep, comm, clock| {
+                allreduce(ep, comm, clock, &[(r + 1) as f64], ReduceOp::Prod).unwrap()
+            });
+            let expect: f64 = (1..=n).map(|x| x as f64).product();
+            for v in res {
+                assert_eq!(v, vec![expect]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter() {
+        let res = run_ranks(4, |r, ep, comm, clock| {
+            gather(ep, comm, clock, Rank(1), &[r as u8; 3]).unwrap()
+        });
+        let blobs = res[1].as_ref().unwrap();
+        for (i, b) in blobs.iter().enumerate() {
+            assert_eq!(b, &vec![i as u8; 3]);
+        }
+        let res = run_ranks(4, |r, ep, comm, clock| {
+            let data = if r == 0 {
+                Some((0..4).map(|i| vec![i as u8 * 10]).collect())
+            } else {
+                None
+            };
+            scatter(ep, comm, clock, Rank(0), data).unwrap()
+        });
+        for (i, b) in res.iter().enumerate() {
+            assert_eq!(b, &vec![i as u8 * 10]);
+        }
+    }
+
+    #[test]
+    fn allgather_all_see_all() {
+        let res = run_ranks(3, |r, ep, comm, clock| {
+            allgather(ep, comm, clock, &[r as u8 + 1]).unwrap()
+        });
+        for blobs in res {
+            assert_eq!(blobs, vec![vec![1u8], vec![2], vec![3]]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let res = run_ranks(4, |r, ep, comm, clock| {
+            let send: Vec<Vec<u8>> = (0..4).map(|d| vec![r as u8, d as u8]).collect();
+            alltoall(ep, comm, clock, &send).unwrap()
+        });
+        for (me, got) in res.iter().enumerate() {
+            for (src, blob) in got.iter().enumerate() {
+                assert_eq!(blob, &vec![src as u8, me as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_prefix_sums() {
+        let res = run_ranks(5, |r, ep, comm, clock| {
+            scan(ep, comm, clock, &[(r + 1) as i64], ReduceOp::Sum).unwrap()
+        });
+        let mut expect = 0i64;
+        for (r, v) in res.iter().enumerate() {
+            expect += (r + 1) as i64;
+            assert_eq!(v, &vec![expect]);
+        }
+    }
+
+    #[test]
+    fn comm_split_partitions_and_works() {
+        // Even/odd split; each half does its own allreduce.
+        let res = run_ranks(4, |r, ep, comm, clock| {
+            let color = Some(r % 2);
+            let mut sub = comm_split(ep, comm, clock, color, r).unwrap().unwrap();
+            assert_eq!(sub.size(), 2);
+            allreduce(ep, &mut sub, clock, &[r as i64], ReduceOp::Sum).unwrap()
+        });
+        assert_eq!(res[0], vec![0 + 2]);
+        assert_eq!(res[2], vec![0 + 2]);
+        assert_eq!(res[1], vec![1 + 3]);
+        assert_eq!(res[3], vec![1 + 3]);
+    }
+
+    #[test]
+    fn comm_split_undefined_color() {
+        let res = run_ranks(3, |r, ep, comm, clock| {
+            let color = if r == 2 { None } else { Some(0) };
+            comm_split(ep, comm, clock, color, 0).unwrap().is_some()
+        });
+        assert_eq!(res, vec![true, true, false]);
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_match() {
+        let res = run_ranks(3, |r, ep, comm, clock| {
+            let a = allreduce(ep, comm, clock, &[r as i64], ReduceOp::Sum).unwrap();
+            let b = allreduce(ep, comm, clock, &[r as i64 * 10], ReduceOp::Sum).unwrap();
+            barrier(ep, comm, clock).unwrap();
+            let c = allreduce(ep, comm, clock, &[1i64], ReduceOp::Sum).unwrap();
+            (a, b, c)
+        });
+        for (a, b, c) in res {
+            assert_eq!(a, vec![3]);
+            assert_eq!(b, vec![30]);
+            assert_eq!(c, vec![3]);
+        }
+    }
+
+    #[test]
+    fn pod_slice_roundtrip() {
+        let xs = vec![1.5f64, -2.25, 0.0];
+        assert_eq!(decode_slice::<f64>(&encode_slice(&xs)).unwrap(), xs);
+        assert!(decode_slice::<f64>(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # starfish-mpi — the MPI module of Starfish
+//!
+//! Implements the MPI subset the paper's runtime provides to application
+//! processes (§2.2): blocking and non-blocking point-to-point operations
+//! with an eager protocol, message matching with `ANY_SOURCE`/`ANY_TAG`
+//! wildcards, the posted/unexpected-queue design, and the standard
+//! collectives, all running over the VNI's fast data path.
+//!
+//! Structure:
+//! * [`wire`] — the data-message envelope (source rank, context, tag,
+//!   piggybacked checkpoint interval, restart epoch);
+//! * [`directory`] — the rank → node directory maintained by the daemons
+//!   (updated when processes spawn, migrate or restart);
+//! * [`comm`] — communicators ([`comm::Comm`]): rank translation, split and
+//!   dup with deterministic context derivation;
+//! * [`endpoint`] — [`endpoint::MpiEndpoint`], one per application process:
+//!   send/recv/isend/irecv/wait/probe, channel-state capture for C/R, and
+//!   the C/R data-path marks (flush marks, Chandy–Lamport markers);
+//! * [`collectives`] — barrier, bcast, reduce, allreduce, gather, scatter,
+//!   allgather, alltoall, scan over point-to-point.
+//!
+//! ## Starfish API notes (paper §1)
+//!
+//! Everything here is standard MPI shape; the Starfish extensions
+//! (checkpoint requests, view-change upcalls, reconfiguration) live in the
+//! `starfish` crate's process context as *additional* downcalls/upcalls, so
+//! unmodified MPI programs run unchanged and Starfish-aware programs can be
+//! mechanically stripped back to plain MPI.
+
+pub mod collectives;
+pub mod comm;
+pub mod directory;
+pub mod endpoint;
+pub mod wire;
+
+pub use collectives::ReduceOp;
+pub use comm::Comm;
+pub use directory::RankDirectory;
+pub use endpoint::{MpiEndpoint, RecvMode, RecvdMsg, Request, ANY_SOURCE, ANY_TAG};
+pub use wire::{MsgHeader, CTRL_CONTEXT, DATA_PORT_BASE, WORLD_CONTEXT};

@@ -1,0 +1,135 @@
+//! Data-message envelope and addressing constants.
+
+use bytes::{Bytes, BytesMut};
+use starfish_util::codec::{Decode, Decoder, Encode, Encoder};
+use starfish_util::{AppId, Epoch, Rank, Result};
+use starfish_vni::PortId;
+
+/// Application processes bind data ports at
+/// `DATA_PORT_BASE + app * APP_PORT_STRIDE + world_rank`, so concurrent
+/// applications sharing a node never collide.
+pub const DATA_PORT_BASE: u32 = 1000;
+
+/// Maximum ranks per application for port allocation purposes.
+pub const APP_PORT_STRIDE: u32 = 8192;
+
+/// Context id of `MPI_COMM_WORLD` point-to-point traffic.
+pub const WORLD_CONTEXT: u32 = 1;
+
+/// Context id reserved for C/R data-path marks (flush marks and
+/// Chandy–Lamport markers) — FIFO with data, never matched by user receives.
+pub const CTRL_CONTEXT: u32 = 0;
+
+/// Data port of a given application's world rank.
+pub fn data_port(app: AppId, world_rank: Rank) -> PortId {
+    PortId(DATA_PORT_BASE + app.0 * APP_PORT_STRIDE + world_rank.0)
+}
+
+/// The envelope prefixed to every data-path message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgHeader {
+    /// Sender's world rank.
+    pub src: Rank,
+    /// Communicator context.
+    pub context: u32,
+    /// User (or collective-internal) tag.
+    pub tag: u64,
+    /// Sender's restart epoch: stale-epoch messages are dropped on receive.
+    pub epoch: Epoch,
+    /// Sender's checkpoint interval (uncoordinated-C/R piggyback, §recovery).
+    pub interval: u64,
+}
+
+impl MsgHeader {
+    /// Serialized header length (fixed).
+    pub const LEN: usize = 4 + 4 + 8 + 4 + 8;
+
+    /// Prefix `body` with this header. The body bytes are copied once into
+    /// the framed buffer; all subsequent layer hand-offs share it.
+    pub fn frame(&self, body: &[u8]) -> Bytes {
+        let mut enc = Encoder::with_capacity(Self::LEN + body.len());
+        self.src.encode(&mut enc);
+        enc.put_u32(self.context);
+        enc.put_u64(self.tag);
+        self.epoch.encode(&mut enc);
+        enc.put_u64(self.interval);
+        let mut buf = BytesMut::from(&enc.into_vec()[..]);
+        buf.extend_from_slice(body);
+        buf.freeze()
+    }
+
+    /// Split a framed payload into header + body (zero-copy body slice).
+    pub fn parse(framed: &Bytes) -> Result<(MsgHeader, Bytes)> {
+        let mut dec = Decoder::new(&framed[..]);
+        let src = Rank::decode(&mut dec)?;
+        let context = dec.get_u32()?;
+        let tag = dec.get_u64()?;
+        let epoch = Epoch::decode(&mut dec)?;
+        let interval = dec.get_u64()?;
+        let body = framed.slice(Self::LEN..);
+        Ok((
+            MsgHeader {
+                src,
+                context,
+                tag,
+                epoch,
+                interval,
+            },
+            body,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_parse_roundtrip() {
+        let h = MsgHeader {
+            src: Rank(3),
+            context: 7,
+            tag: 42,
+            epoch: Epoch(1),
+            interval: 9,
+        };
+        let framed = h.frame(b"payload");
+        assert_eq!(framed.len(), MsgHeader::LEN + 7);
+        let (got, body) = MsgHeader::parse(&framed).unwrap();
+        assert_eq!(got, h);
+        assert_eq!(&body[..], b"payload");
+    }
+
+    #[test]
+    fn body_slice_is_zero_copy() {
+        let h = MsgHeader {
+            src: Rank(0),
+            context: 1,
+            tag: 0,
+            epoch: Epoch(0),
+            interval: 0,
+        };
+        let framed = h.frame(&[9u8; 64]);
+        let (_, body) = MsgHeader::parse(&framed).unwrap();
+        // Same backing allocation.
+        assert_eq!(body.as_ptr(), framed[MsgHeader::LEN..].as_ptr());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let short = Bytes::from_static(b"abc");
+        assert!(MsgHeader::parse(&short).is_err());
+    }
+
+    #[test]
+    fn data_port_offsets_by_app_and_rank() {
+        assert_eq!(data_port(AppId(0), Rank(0)), PortId(1000));
+        assert_eq!(data_port(AppId(0), Rank(7)), PortId(1007));
+        // Different applications never collide.
+        assert_ne!(data_port(AppId(1), Rank(0)), data_port(AppId(0), Rank(0)));
+        assert_ne!(
+            data_port(AppId(1), Rank(0)),
+            data_port(AppId(0), Rank(8191))
+        );
+    }
+}

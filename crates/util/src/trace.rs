@@ -1,0 +1,274 @@
+//! Event tracing for tests and the Table 1 message-taxonomy audit.
+//!
+//! The paper (Table 1) classifies every Starfish message into six types, each
+//! flowing only between sanctioned parties:
+//!
+//! | type | sent between |
+//! |---|---|
+//! | Control | Starfish daemons |
+//! | Coordination | application processes, *through* daemons |
+//! | Data | application processes, through MPI + VNI fast path |
+//! | Lightweight membership | lightweight endpoint module ↔ application processes |
+//! | Configuration | local daemon ↔ application processes |
+//! | Checkpoint/restart | C/R modules, through daemons |
+//!
+//! Every subsystem records the messages it moves into a shared
+//! [`TraceSink`]; the `table1_message_audit` harness and the
+//! `integration_message_taxonomy` test replay a full application lifecycle and
+//! assert that each class was observed, and observed only on its sanctioned
+//! path.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// The six message classes of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MsgClass {
+    /// Exchanged solely by daemons (cluster configuration & bookkeeping).
+    Control,
+    /// Application-to-application coordination, relayed by daemons.
+    Coordination,
+    /// User MPI payload on the fast path (never touches the object bus).
+    Data,
+    /// Lightweight-group view traffic between a daemon's lightweight endpoint
+    /// module and its local application process.
+    LwMembership,
+    /// Local daemon ↔ application process configuration/synchronization.
+    Configuration,
+    /// Checkpoint/restart protocol messages between C/R modules, relayed by
+    /// daemons.
+    CheckpointRestart,
+}
+
+impl MsgClass {
+    pub const ALL: [MsgClass; 6] = [
+        MsgClass::Control,
+        MsgClass::Coordination,
+        MsgClass::Data,
+        MsgClass::LwMembership,
+        MsgClass::Configuration,
+        MsgClass::CheckpointRestart,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgClass::Control => "Control",
+            MsgClass::Coordination => "Coordination",
+            MsgClass::Data => "Data",
+            MsgClass::LwMembership => "Lightweight membership",
+            MsgClass::Configuration => "Configuration",
+            MsgClass::CheckpointRestart => "Checkpoint/restart",
+        }
+    }
+}
+
+impl fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The kind of actor an endpoint of a traced message belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActorKind {
+    Daemon,
+    AppProcess,
+    Client,
+}
+
+/// One traced message movement.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub class: MsgClass,
+    pub from: ActorKind,
+    pub to: ActorKind,
+    /// Free-form path annotation, e.g. `"fast-path"`, `"via-daemon"`,
+    /// `"object-bus"`; audited by the taxonomy test.
+    pub path: &'static str,
+    pub bytes: usize,
+}
+
+/// A shared, thread-safe sink of [`TraceEvent`]s with a bounded ring buffer
+/// of the most recent events and unbounded per-class counters.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    counts: [u64; 6],
+    bytes: [u64; 6],
+    enabled: bool,
+}
+
+fn class_idx(c: MsgClass) -> usize {
+    match c {
+        MsgClass::Control => 0,
+        MsgClass::Coordination => 1,
+        MsgClass::Data => 2,
+        MsgClass::LwMembership => 3,
+        MsgClass::Configuration => 4,
+        MsgClass::CheckpointRestart => 5,
+    }
+}
+
+impl TraceSink {
+    /// A disabled sink: recording is a no-op (used in benchmarks).
+    pub fn disabled() -> Self {
+        TraceSink::default()
+    }
+
+    /// An enabled sink keeping at most `cap` recent events.
+    pub fn enabled(cap: usize) -> Self {
+        let sink = TraceSink::default();
+        {
+            let mut g = sink.inner.lock();
+            g.enabled = true;
+            g.cap = cap.max(1);
+        }
+        sink
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    /// Record one message movement. Cheap no-op when disabled.
+    pub fn record(
+        &self,
+        class: MsgClass,
+        from: ActorKind,
+        to: ActorKind,
+        path: &'static str,
+        bytes: usize,
+    ) {
+        let mut g = self.inner.lock();
+        if !g.enabled {
+            return;
+        }
+        g.counts[class_idx(class)] += 1;
+        g.bytes[class_idx(class)] += bytes as u64;
+        if g.events.len() == g.cap {
+            g.events.remove(0);
+        }
+        g.events.push(TraceEvent {
+            class,
+            from,
+            to,
+            path,
+            bytes,
+        });
+    }
+
+    /// Number of messages recorded for `class`.
+    pub fn count(&self, class: MsgClass) -> u64 {
+        self.inner.lock().counts[class_idx(class)]
+    }
+
+    /// Total bytes recorded for `class`.
+    pub fn bytes(&self, class: MsgClass) -> u64 {
+        self.inner.lock().bytes[class_idx(class)]
+    }
+
+    /// Snapshot of the retained recent events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// All `(from, to, path)` combinations observed for `class`.
+    pub fn paths_for(&self, class: MsgClass) -> Vec<(ActorKind, ActorKind, &'static str)> {
+        let g = self.inner.lock();
+        let mut out: Vec<(ActorKind, ActorKind, &'static str)> = Vec::new();
+        for e in g.events.iter().filter(|e| e.class == class) {
+            let key = (e.from, e.to, e.path);
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+        out
+    }
+
+    /// Clear all recorded state (counters and events).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.events.clear();
+        g.counts = [0; 6];
+        g.bytes = [0; 6];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let s = TraceSink::disabled();
+        s.record(MsgClass::Data, ActorKind::AppProcess, ActorKind::AppProcess, "fast-path", 10);
+        assert_eq!(s.count(MsgClass::Data), 0);
+        assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_sink_counts_and_retains() {
+        let s = TraceSink::enabled(2);
+        for i in 0..5 {
+            s.record(
+                MsgClass::Control,
+                ActorKind::Daemon,
+                ActorKind::Daemon,
+                "ensemble",
+                i,
+            );
+        }
+        assert_eq!(s.count(MsgClass::Control), 5);
+        assert_eq!(s.bytes(MsgClass::Control), 0 + 1 + 2 + 3 + 4);
+        // Ring keeps only the 2 most recent.
+        let ev = s.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[1].bytes, 4);
+    }
+
+    #[test]
+    fn paths_deduplicate() {
+        let s = TraceSink::enabled(16);
+        for _ in 0..3 {
+            s.record(
+                MsgClass::Coordination,
+                ActorKind::AppProcess,
+                ActorKind::Daemon,
+                "via-daemon",
+                1,
+            );
+        }
+        s.record(
+            MsgClass::Coordination,
+            ActorKind::Daemon,
+            ActorKind::AppProcess,
+            "via-daemon",
+            1,
+        );
+        assert_eq!(s.paths_for(MsgClass::Coordination).len(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let s = TraceSink::enabled(4);
+        s.record(MsgClass::Data, ActorKind::AppProcess, ActorKind::AppProcess, "fast-path", 9);
+        s.clear();
+        assert_eq!(s.count(MsgClass::Data), 0);
+        assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn all_classes_have_names() {
+        for c in MsgClass::ALL {
+            assert!(!c.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The in-memory cluster fabric.
+//!
+//! The fabric plays the role of the physical LAN/SAN in the paper's testbed:
+//! it connects every node's ports, stamps each packet's virtual arrival time
+//! according to the configured [`NetworkModel`], and is the injection point
+//! for the failures the rest of the system must tolerate (node crashes,
+//! disables, removals, and network partitions).
+//!
+//! Semantics chosen to match a real cluster:
+//!
+//! * Packets already "on the wire" when a node crashes are still delivered if
+//!   the *destination* stays up (the wire does not eat in-flight frames).
+//! * Sends to a crashed/removed node fail with [`Error::Unreachable`];
+//!   receives on a crashed node's port fail with [`Error::Closed`].
+//! * A partition blocks traffic in both directions between the two sides but
+//!   leaves both sides running.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use starfish_util::{Error, NodeId, Result, VirtualTime};
+
+use crate::models::{LayerCosts, NetworkModel};
+use crate::packet::{Addr, Packet};
+
+/// Latency of the node-local daemon ↔ application-process TCP connection
+/// (paper §2.3). Loopback TCP on the era's hardware: tens of microseconds.
+pub const LOCAL_LATENCY: VirtualTime = VirtualTime(30_000);
+
+/// Lifecycle state of a cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Running normally.
+    Up,
+    /// Administratively disabled: no new work placed, traffic still flows
+    /// (paper §3.1.1 "disable and (re)enable nodes").
+    Disabled,
+    /// Crashed: all ports closed, unreachable until re-added.
+    Crashed,
+    /// Administratively removed from the cluster.
+    Removed,
+}
+
+impl NodeStatus {
+    /// Can this node currently exchange packets?
+    pub fn reachable(self) -> bool {
+        matches!(self, NodeStatus::Up | NodeStatus::Disabled)
+    }
+}
+
+/// Events the fabric reports to subscribers (the failure detectors of the
+/// group-communication layer listen to these, alongside their own
+/// heartbeats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEvent {
+    NodeAdded(NodeId),
+    NodeCrashed(NodeId),
+    NodeRemoved(NodeId),
+    NodeDisabled(NodeId),
+    NodeEnabled(NodeId),
+    Partitioned(NodeId, NodeId),
+    Healed(NodeId, NodeId),
+}
+
+struct PortEntry {
+    tx: Sender<Packet>,
+}
+
+struct State {
+    ports: HashMap<Addr, PortEntry>,
+    nodes: HashMap<NodeId, NodeStatus>,
+    /// Unordered node pairs with a cut link, stored as (min, max).
+    partitions: HashSet<(NodeId, NodeId)>,
+    watchers: Vec<Sender<FabricEvent>>,
+    /// Running count of packets accepted by the fabric (statistics).
+    packets_sent: u64,
+    bytes_sent: u64,
+}
+
+struct Inner {
+    model: Box<dyn NetworkModel>,
+    layers: LayerCosts,
+    state: Mutex<State>,
+}
+
+/// Handle to the shared cluster interconnect. Cheap to clone.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<Inner>,
+}
+
+fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Fabric {
+    /// Create a fabric with the given interconnect model and software layer
+    /// costs.
+    pub fn new(model: Box<dyn NetworkModel>, layers: LayerCosts) -> Self {
+        Fabric {
+            inner: Arc::new(Inner {
+                model,
+                layers,
+                state: Mutex::new(State {
+                    ports: HashMap::new(),
+                    nodes: HashMap::new(),
+                    partitions: HashSet::new(),
+                    watchers: Vec::new(),
+                    packets_sent: 0,
+                    bytes_sent: 0,
+                }),
+            }),
+        }
+    }
+
+    /// The interconnect model in force.
+    pub fn model(&self) -> &dyn NetworkModel {
+        &*self.inner.model
+    }
+
+    /// The software layer costs in force.
+    pub fn layers(&self) -> LayerCosts {
+        self.inner.layers
+    }
+
+    /// Subscribe to fabric events (node lifecycle, partitions).
+    pub fn subscribe(&self) -> Receiver<FabricEvent> {
+        let (tx, rx) = channel::unbounded();
+        self.inner.state.lock().watchers.push(tx);
+        rx
+    }
+
+    fn emit(state: &mut State, ev: FabricEvent) {
+        state.watchers.retain(|w| w.send(ev).is_ok());
+    }
+
+    // ---- node lifecycle ----------------------------------------------------
+
+    /// Add (or re-add after crash/removal) a node in `Up` state.
+    pub fn add_node(&self, n: NodeId) {
+        let mut s = self.inner.state.lock();
+        s.nodes.insert(n, NodeStatus::Up);
+        Self::emit(&mut s, FabricEvent::NodeAdded(n));
+    }
+
+    /// Crash a node: all its ports close, it becomes unreachable.
+    pub fn crash_node(&self, n: NodeId) {
+        let mut s = self.inner.state.lock();
+        if s.nodes.get(&n) == Some(&NodeStatus::Crashed) {
+            return;
+        }
+        s.nodes.insert(n, NodeStatus::Crashed);
+        s.ports.retain(|a, _| a.node != n);
+        Self::emit(&mut s, FabricEvent::NodeCrashed(n));
+    }
+
+    /// Crash a node *without* emitting a fabric event — models a hang or a
+    /// failure the hardware does not report. Only heartbeat-based failure
+    /// detection can notice this one.
+    pub fn crash_node_silently(&self, n: NodeId) {
+        let mut s = self.inner.state.lock();
+        if s.nodes.get(&n) == Some(&NodeStatus::Crashed) {
+            return;
+        }
+        s.nodes.insert(n, NodeStatus::Crashed);
+        s.ports.retain(|a, _| a.node != n);
+    }
+
+    /// Administratively remove a node (graceful version of crash).
+    pub fn remove_node(&self, n: NodeId) {
+        let mut s = self.inner.state.lock();
+        s.nodes.insert(n, NodeStatus::Removed);
+        s.ports.retain(|a, _| a.node != n);
+        Self::emit(&mut s, FabricEvent::NodeRemoved(n));
+    }
+
+    /// Disable a node: it keeps running but should get no new work.
+    pub fn disable_node(&self, n: NodeId) {
+        let mut s = self.inner.state.lock();
+        if s.nodes.get(&n) == Some(&NodeStatus::Up) {
+            s.nodes.insert(n, NodeStatus::Disabled);
+            Self::emit(&mut s, FabricEvent::NodeDisabled(n));
+        }
+    }
+
+    /// Re-enable a disabled node.
+    pub fn enable_node(&self, n: NodeId) {
+        let mut s = self.inner.state.lock();
+        if s.nodes.get(&n) == Some(&NodeStatus::Disabled) {
+            s.nodes.insert(n, NodeStatus::Up);
+            Self::emit(&mut s, FabricEvent::NodeEnabled(n));
+        }
+    }
+
+    /// Cut the link between two nodes (both directions).
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let mut s = self.inner.state.lock();
+        if s.partitions.insert(pair(a, b)) {
+            Self::emit(&mut s, FabricEvent::Partitioned(a, b));
+        }
+    }
+
+    /// Restore the link between two nodes.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let mut s = self.inner.state.lock();
+        if s.partitions.remove(&pair(a, b)) {
+            Self::emit(&mut s, FabricEvent::Healed(a, b));
+        }
+    }
+
+    /// Current status of a node (None if never added).
+    pub fn node_status(&self, n: NodeId) -> Option<NodeStatus> {
+        self.inner.state.lock().nodes.get(&n).copied()
+    }
+
+    /// All nodes ever added, with their current status.
+    pub fn nodes(&self) -> Vec<(NodeId, NodeStatus)> {
+        let s = self.inner.state.lock();
+        let mut v: Vec<_> = s.nodes.iter().map(|(n, st)| (*n, *st)).collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// (packets, bytes) accepted so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let s = self.inner.state.lock();
+        (s.packets_sent, s.bytes_sent)
+    }
+
+    // ---- ports -------------------------------------------------------------
+
+    /// Bind a port on a node. Fails if the node is not up-ish or the address
+    /// is taken.
+    pub fn bind(&self, addr: Addr) -> Result<Port> {
+        let mut s = self.inner.state.lock();
+        match s.nodes.get(&addr.node) {
+            Some(st) if st.reachable() => {}
+            Some(_) => return Err(Error::unreachable(format!("{} is down", addr.node))),
+            None => return Err(Error::not_found(format!("{} not in cluster", addr.node))),
+        }
+        if s.ports.contains_key(&addr) {
+            return Err(Error::invalid_arg(format!("{addr} already bound")));
+        }
+        let (tx, rx) = channel::unbounded();
+        s.ports.insert(addr, PortEntry { tx });
+        Ok(Port {
+            addr,
+            rx,
+            fabric: self.clone(),
+        })
+    }
+
+    /// Release a port (idempotent).
+    pub fn unbind(&self, addr: Addr) {
+        self.inner.state.lock().ports.remove(&addr);
+    }
+
+    /// Inject a packet. The fabric stamps `arrive_vt = depart_vt + wire` and
+    /// queues it at the destination port.
+    pub fn send(&self, mut pkt: Packet) -> Result<()> {
+        let tx = {
+            let mut s = self.inner.state.lock();
+            let src_ok = s
+                .nodes
+                .get(&pkt.src.node)
+                .map(|st| st.reachable())
+                .unwrap_or(false);
+            if !src_ok {
+                return Err(Error::closed(format!("source {} is down", pkt.src.node)));
+            }
+            let dst_ok = s
+                .nodes
+                .get(&pkt.dst.node)
+                .map(|st| st.reachable())
+                .unwrap_or(false);
+            if !dst_ok {
+                return Err(Error::unreachable(format!("{} is down", pkt.dst.node)));
+            }
+            if s.partitions.contains(&pair(pkt.src.node, pkt.dst.node)) {
+                return Err(Error::unreachable(format!(
+                    "{} <-> {} partitioned",
+                    pkt.src.node, pkt.dst.node
+                )));
+            }
+            let entry = s
+                .ports
+                .get(&pkt.dst)
+                .ok_or_else(|| Error::not_found(format!("no port bound at {}", pkt.dst)))?;
+            let tx = entry.tx.clone();
+            s.packets_sent += 1;
+            s.bytes_sent += pkt.len() as u64;
+            tx
+        };
+        let wire = if pkt.src.node == pkt.dst.node {
+            LOCAL_LATENCY
+        } else {
+            self.inner.model.one_way(pkt.model_len)
+        };
+        pkt.arrive_vt = pkt.depart_vt + wire;
+        // NB: `Closed` from this function always means the *source* is down;
+        // a destination whose port raced away is reported `Unreachable`.
+        tx.send(pkt)
+            .map_err(|_| Error::unreachable("destination port closed".to_string()))
+    }
+}
+
+/// A bound receive endpoint on the fabric.
+pub struct Port {
+    addr: Addr,
+    rx: Receiver<Packet>,
+    fabric: Fabric,
+}
+
+impl Port {
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Direct access to the underlying channel receiver, so callers can
+    /// multiplex a port with other channels via `crossbeam::select!`.
+    pub fn receiver(&self) -> &Receiver<Packet> {
+        &self.rx
+    }
+
+    /// Blocking receive. Errors with [`Error::Closed`] if the port was
+    /// unbound (e.g. the node crashed).
+    pub fn recv(&self) -> Result<Packet> {
+        self.rx
+            .recv()
+            .map_err(|_| Error::closed(format!("port {} closed", self.addr)))
+    }
+
+    /// Receive with a real-time deadline.
+    pub fn recv_timeout(&self, d: Duration) -> Result<Packet> {
+        match self.rx.recv_timeout(d) {
+            Ok(p) => Ok(p),
+            Err(channel::RecvTimeoutError::Timeout) => {
+                Err(Error::timeout(format!("recv on {}", self.addr)))
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                Err(Error::closed(format!("port {} closed", self.addr)))
+            }
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when no packet is waiting.
+    pub fn try_recv(&self) -> Result<Option<Packet>> {
+        match self.rx.try_recv() {
+            Ok(p) => Ok(Some(p)),
+            Err(channel::TryRecvError::Empty) => Ok(None),
+            Err(channel::TryRecvError::Disconnected) => {
+                Err(Error::closed(format!("port {} closed", self.addr)))
+            }
+        }
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<Packet> {
+        let mut out = Vec::new();
+        while let Ok(Some(p)) = self.try_recv() {
+            out.push(p);
+        }
+        out
+    }
+}
+
+impl Drop for Port {
+    fn drop(&mut self) {
+        self.fabric.unbind(self.addr);
+    }
+}
+
+/// A bounded history of packets, useful in tests.
+#[derive(Debug, Default)]
+pub struct PacketLog {
+    pub packets: VecDeque<Packet>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{BipMyrinet, Ideal};
+    use crate::packet::{PacketKind, PortId};
+    use bytes::Bytes;
+
+    fn fabric() -> Fabric {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        f.add_node(NodeId(0));
+        f.add_node(NodeId(1));
+        f
+    }
+
+    fn pkt(src: Addr, dst: Addr, n: usize) -> Packet {
+        Packet::new(src, dst, PacketKind::Data, 0, Bytes::from(vec![0u8; n]))
+    }
+
+    #[test]
+    fn bind_send_recv() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let pb = f.bind(b).unwrap();
+        f.send(pkt(a, b, 16)).unwrap();
+        let got = pb.recv().unwrap();
+        assert_eq!(got.src, a);
+        assert_eq!(got.len(), 16);
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        let _p = f.bind(a).unwrap();
+        assert!(f.bind(a).is_err());
+    }
+
+    #[test]
+    fn unbind_on_drop() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        {
+            let _p = f.bind(a).unwrap();
+        }
+        // Port dropped: rebinding succeeds.
+        let _p2 = f.bind(a).unwrap();
+    }
+
+    #[test]
+    fn send_to_crashed_node_fails() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let _pb = f.bind(b).unwrap();
+        f.crash_node(NodeId(1));
+        assert!(matches!(f.send(pkt(a, b, 1)), Err(Error::Unreachable(_))));
+    }
+
+    #[test]
+    fn crash_closes_ports_after_drain() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let pb = f.bind(b).unwrap();
+        f.send(pkt(a, b, 1)).unwrap();
+        f.crash_node(NodeId(1));
+        // In-flight packet still delivered (it was already on the wire)...
+        assert!(pb.recv().is_ok());
+        // ...then the port reports closed.
+        assert!(matches!(pb.recv(), Err(Error::Closed(_))));
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let pb = f.bind(b).unwrap();
+        f.partition(NodeId(0), NodeId(1));
+        assert!(f.send(pkt(a, b, 1)).is_err());
+        f.heal(NodeId(0), NodeId(1));
+        f.send(pkt(a, b, 1)).unwrap();
+        assert!(pb.recv().is_ok());
+    }
+
+    #[test]
+    fn events_emitted_to_subscribers() {
+        let f = fabric();
+        let rx = f.subscribe();
+        f.crash_node(NodeId(1));
+        f.add_node(NodeId(2));
+        assert_eq!(rx.try_recv().unwrap(), FabricEvent::NodeCrashed(NodeId(1)));
+        assert_eq!(rx.try_recv().unwrap(), FabricEvent::NodeAdded(NodeId(2)));
+    }
+
+    #[test]
+    fn arrival_time_stamped_from_model() {
+        let f = Fabric::new(Box::new(BipMyrinet), LayerCosts::zero());
+        f.add_node(NodeId(0));
+        f.add_node(NodeId(1));
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let pb = f.bind(b).unwrap();
+        let mut p = pkt(a, b, 0);
+        p.depart_vt = VirtualTime::from_micros(100);
+        f.send(p).unwrap();
+        let got = pb.recv().unwrap();
+        assert_eq!(got.arrive_vt, VirtualTime::from_micros(106)); // +6us hw
+    }
+
+    #[test]
+    fn local_traffic_uses_loopback_latency() {
+        let f = Fabric::new(Box::new(BipMyrinet), LayerCosts::zero());
+        f.add_node(NodeId(0));
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(0), PortId(2));
+        let _pa = f.bind(a).unwrap();
+        let pb = f.bind(b).unwrap();
+        f.send(pkt(a, b, 1 << 20)).unwrap(); // 1 MB, but local: constant
+        let got = pb.recv().unwrap();
+        assert_eq!(got.arrive_vt, LOCAL_LATENCY);
+    }
+
+    #[test]
+    fn disable_enable_cycle() {
+        let f = fabric();
+        f.disable_node(NodeId(1));
+        assert_eq!(f.node_status(NodeId(1)), Some(NodeStatus::Disabled));
+        // Disabled nodes still receive traffic.
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let pb = f.bind(b).unwrap();
+        f.send(pkt(a, b, 1)).unwrap();
+        assert!(pb.recv().is_ok());
+        f.enable_node(NodeId(1));
+        assert_eq!(f.node_status(NodeId(1)), Some(NodeStatus::Up));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let _pb = f.bind(b).unwrap();
+        f.send(pkt(a, b, 10)).unwrap();
+        f.send(pkt(a, b, 20)).unwrap();
+        assert_eq!(f.stats(), (2, 30));
+    }
+}

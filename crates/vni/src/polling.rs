@@ -1,0 +1,285 @@
+//! The polling thread and the received-messages queue (paper §2.2.1).
+//!
+//! "In Starfish we overcome this problem by introducing a low priority
+//! thread, called the *polling thread*. This thread continuously polls the
+//! network, so whenever a message arrives, the polling thread receives the
+//! message and puts it in a queue of received messages, for further handling
+//! by the application at a later time."
+//!
+//! The benefit the paper claims — receive operations avoid a kernel
+//! interaction on the critical path — is modelled by the cost accounting in
+//! `starfish-mpi`: with the polling thread, a receive pays only
+//! [`LayerCosts::poll`](crate::models::LayerCosts::poll); without it (ablation), every receive pays an extra
+//! simulated system-call cost. The thread itself is real: it owns the port
+//! and moves packets concurrently with application compute.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use starfish_util::{Error, Result};
+
+use crate::fabric::Port;
+use crate::packet::Packet;
+
+/// The queue of received messages fed by the polling thread and consumed by
+/// the MPI module's matching logic.
+#[derive(Clone, Default)]
+pub struct RecvQueue {
+    inner: Arc<QueueInner>,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    q: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    packets: VecDeque<Packet>,
+    closed: bool,
+}
+
+impl RecvQueue {
+    pub fn new() -> Self {
+        RecvQueue::default()
+    }
+
+    /// Enqueue a packet (called by the polling thread).
+    pub fn push(&self, pkt: Packet) {
+        let mut g = self.inner.q.lock();
+        g.packets.push_back(pkt);
+        self.inner.cond.notify_all();
+    }
+
+    /// Mark the queue closed (port gone); waiters wake with `Closed`.
+    pub fn close(&self) {
+        let mut g = self.inner.q.lock();
+        g.closed = true;
+        self.inner.cond.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.q.lock().closed
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.q.lock().packets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove and return the first packet matching `pred`, without blocking.
+    pub fn take_matching(&self, mut pred: impl FnMut(&Packet) -> bool) -> Option<Packet> {
+        let mut g = self.inner.q.lock();
+        let idx = g.packets.iter().position(|p| pred(p))?;
+        g.packets.remove(idx)
+    }
+
+    /// Block until a packet matching `pred` is available, then remove and
+    /// return it. `deadline` bounds the real-time wait.
+    pub fn wait_matching(
+        &self,
+        mut pred: impl FnMut(&Packet) -> bool,
+        deadline: Duration,
+    ) -> Result<Packet> {
+        let start = std::time::Instant::now();
+        let mut g = self.inner.q.lock();
+        loop {
+            if let Some(idx) = g.packets.iter().position(|p| pred(p)) {
+                return Ok(g.packets.remove(idx).expect("index valid under lock"));
+            }
+            if g.closed {
+                return Err(Error::closed("receive queue closed"));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return Err(Error::timeout("wait_matching"));
+            }
+            let timed_out = self
+                .inner
+                .cond
+                .wait_for(&mut g, deadline - elapsed)
+                .timed_out();
+            if timed_out && g.packets.iter().position(|p| pred(p)).is_none() {
+                if g.closed {
+                    return Err(Error::closed("receive queue closed"));
+                }
+                return Err(Error::timeout("wait_matching"));
+            }
+        }
+    }
+
+    /// Snapshot every queued packet (used when checkpointing: in-transit
+    /// messages that already reached the queue belong to the local state).
+    pub fn snapshot(&self) -> Vec<Packet> {
+        self.inner.q.lock().packets.iter().cloned().collect()
+    }
+
+    /// Replace the queue contents (used on restore).
+    pub fn restore(&self, packets: Vec<Packet>) {
+        let mut g = self.inner.q.lock();
+        g.packets = packets.into();
+        self.inner.cond.notify_all();
+    }
+
+    /// Drop everything queued (used when an application is killed).
+    pub fn clear(&self) {
+        self.inner.q.lock().packets.clear();
+    }
+}
+
+/// Handle to a running polling thread. Dropping the handle does not stop the
+/// thread; it stops when its port closes (node crash, process teardown).
+pub struct PollingThread {
+    handle: Option<JoinHandle<u64>>,
+}
+
+impl PollingThread {
+    /// Spawn the polling thread: moves every packet from `port` into `queue`
+    /// until the port closes. Returns immediately.
+    pub fn spawn(port: Port, queue: RecvQueue) -> Self {
+        let handle = std::thread::Builder::new()
+            .name(format!("starfish-poll-{}", port.addr()))
+            .spawn(move || {
+                let mut moved = 0u64;
+                loop {
+                    match port.recv() {
+                        Ok(pkt) => {
+                            queue.push(pkt);
+                            moved += 1;
+                        }
+                        Err(_) => {
+                            queue.close();
+                            return moved;
+                        }
+                    }
+                }
+            })
+            .expect("spawn polling thread");
+        PollingThread {
+            handle: Some(handle),
+        }
+    }
+
+    /// Wait for the thread to exit (after its port closed); returns the
+    /// number of packets it moved.
+    pub fn join(mut self) -> u64 {
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use crate::models::{Ideal, LayerCosts};
+    use crate::packet::{Addr, PacketKind, PortId};
+    use bytes::Bytes;
+    use starfish_util::NodeId;
+
+    fn setup() -> (Fabric, Addr, Addr) {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        f.add_node(NodeId(0));
+        f.add_node(NodeId(1));
+        (
+            f,
+            Addr::new(NodeId(0), PortId(1)),
+            Addr::new(NodeId(1), PortId(1)),
+        )
+    }
+
+    fn pkt(src: Addr, dst: Addr, tag: u64) -> Packet {
+        Packet::new(src, dst, PacketKind::Data, tag, Bytes::from_static(b"x"))
+    }
+
+    #[test]
+    fn polling_thread_moves_packets() {
+        let (f, a, b) = setup();
+        let _pa = f.bind(a).unwrap();
+        let pb = f.bind(b).unwrap();
+        let q = RecvQueue::new();
+        let poll = PollingThread::spawn(pb, q.clone());
+        for t in 0..5 {
+            f.send(pkt(a, b, t)).unwrap();
+        }
+        // Wait for all five to land.
+        for t in 0..5 {
+            let got = q
+                .wait_matching(|p| p.tag == t, Duration::from_secs(2))
+                .unwrap();
+            assert_eq!(got.tag, t);
+        }
+        f.crash_node(NodeId(1));
+        assert_eq!(poll.join(), 5);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn take_matching_picks_by_predicate_not_order() {
+        let q = RecvQueue::new();
+        let (_, a, b) = setup();
+        for t in [3u64, 1, 2] {
+            q.push(pkt(a, b, t));
+        }
+        let got = q.take_matching(|p| p.tag == 2).unwrap();
+        assert_eq!(got.tag, 2);
+        assert_eq!(q.len(), 2);
+        assert!(q.take_matching(|p| p.tag == 99).is_none());
+    }
+
+    #[test]
+    fn wait_matching_times_out() {
+        let q = RecvQueue::new();
+        let r = q.wait_matching(|_| true, Duration::from_millis(30));
+        assert!(matches!(r, Err(Error::Timeout(_))));
+    }
+
+    #[test]
+    fn wait_matching_wakes_on_push() {
+        let q = RecvQueue::new();
+        let (_, a, b) = setup();
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            q2.wait_matching(|p| p.tag == 7, Duration::from_secs(2))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(pkt(a, b, 7));
+        assert_eq!(h.join().unwrap().unwrap().tag, 7);
+    }
+
+    #[test]
+    fn close_wakes_waiters_with_error() {
+        let q = RecvQueue::new();
+        let q2 = q.clone();
+        let h =
+            std::thread::spawn(move || q2.wait_matching(|_| true, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(matches!(h.join().unwrap(), Err(Error::Closed(_))));
+    }
+
+    #[test]
+    fn snapshot_and_restore() {
+        let q = RecvQueue::new();
+        let (_, a, b) = setup();
+        q.push(pkt(a, b, 1));
+        q.push(pkt(a, b, 2));
+        let snap = q.snapshot();
+        assert_eq!(snap.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        q.restore(snap);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.take_matching(|p| p.tag == 1).unwrap().tag, 1);
+    }
+}

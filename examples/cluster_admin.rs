@@ -1,0 +1,73 @@
+//! Cluster administration through the ASCII management protocol
+//! (paper §3.1.1) — the textual protocol the paper's Java GUI drives.
+//!
+//! ```text
+//! cargo run --example cluster_admin
+//! ```
+//!
+//! Shows a management session (login, node administration, parameters) and
+//! a user session (submit / checkpoint / suspend / resume / delete, with
+//! ownership enforced).
+
+use std::time::Duration;
+
+use starfish::{CkptValue, Cluster, Result};
+
+fn say(session: &mut starfish::MgmtSession, line: &str) {
+    let resp = session.handle_line(line);
+    println!("> {line}");
+    for l in resp.lines() {
+        println!("< {l}");
+    }
+}
+
+fn main() -> Result<()> {
+    let cluster = Cluster::builder().nodes(2).network_tcp().build()?;
+    cluster.register_app("soak", |ctx| {
+        let state = CkptValue::Unit;
+        for _ in 0..2000 {
+            ctx.safepoint(&state)?;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Ok(())
+    });
+
+    // --- management connection ---------------------------------------------
+    let mut admin = cluster.session();
+    say(&mut admin, "STATUS"); // rejected: not logged in
+    say(&mut admin, "LOGIN ADMIN wrong-password"); // rejected
+    say(&mut admin, "LOGIN ADMIN starfish");
+    say(&mut admin, "NODES");
+    say(&mut admin, "SET ckpt_interval 3600");
+    say(&mut admin, "ADDNODE 5 1"); // a big-endian SunOS box, Table 2 row 2
+    std::thread::sleep(Duration::from_millis(100));
+    say(&mut admin, "NODES");
+    say(&mut admin, "DISABLE n5");
+    say(&mut admin, "ENABLE n5");
+
+    // --- user session --------------------------------------------------------
+    let mut alice = cluster.session();
+    say(&mut alice, "LOGIN USER alice");
+    say(&mut alice, "ADDNODE 9"); // rejected: users cannot administrate
+    say(&mut alice, "SUBMIT soak 2 POLICY restart LEVEL vm PROTO sync");
+    std::thread::sleep(Duration::from_millis(100));
+    say(&mut alice, "APPS");
+    say(&mut alice, "CHECKPOINT app1");
+    std::thread::sleep(Duration::from_millis(300));
+    say(&mut alice, "SUSPEND app1");
+    std::thread::sleep(Duration::from_millis(100));
+    say(&mut alice, "APPS");
+    say(&mut alice, "RESUME app1");
+
+    // Ownership: bob cannot touch alice's job.
+    let mut bob = cluster.session();
+    say(&mut bob, "LOGIN USER bob");
+    say(&mut bob, "DELETE app1");
+
+    say(&mut alice, "DELETE app1");
+    std::thread::sleep(Duration::from_millis(100));
+    say(&mut alice, "APPS");
+    say(&mut alice, "LOGOUT");
+    println!("\n(the Java GUI of the paper is a thin veneer over exactly this protocol)");
+    Ok(())
+}

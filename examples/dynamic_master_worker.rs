@@ -1,0 +1,113 @@
+//! Dynamic master/worker — the paper's *dynamicity* story (§3.2.1):
+//! a trivially parallel application that (a) loses a worker to a crash and
+//! repartitions over the survivors via the view-change upcall, and (b) keeps
+//! all its work covered with no duplicates.
+//!
+//! ```text
+//! cargo run --example dynamic_master_worker
+//! ```
+//!
+//! The work is a fixed pool of 240 "tiles" (think Mandelbrot rows). Each
+//! alive rank owns the tiles congruent to its position among the survivors;
+//! after the crash, the survivors re-derive their share from
+//! `ctx.alive_ranks()` — exactly the paper's "changing the number of nodes
+//! dynamically simply requires restructuring the computation subspace so
+//! that the entire compute space is covered with no duplicates".
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use starfish::{CkptValue, Cluster, FtPolicy, Rank, Result, SubmitOpts};
+
+const TILES: usize = 240;
+const ROUNDS: usize = 60;
+
+fn main() -> Result<()> {
+    let cluster = Cluster::builder().nodes(4).network_bip().build()?;
+
+    cluster.register_app("tiles", |ctx| {
+        let me = ctx.rank();
+        let state = CkptValue::Unit; // trivially parallel: nothing to save
+        let mut done: BTreeSet<i64> = BTreeSet::new();
+        let mut view_changes = 0i64;
+
+        for round in 0..ROUNDS {
+            ctx.safepoint(&state)?;
+            while let Some(notice) = ctx.take_view()? {
+                view_changes += 1;
+                println!(
+                    "[rank {me}] view change #{view_changes}: alive = {:?}",
+                    notice.alive
+                );
+            }
+            let alive = ctx.alive_ranks();
+            if !alive.contains(&me) {
+                break; // we were the casualty (never reached: crashed ranks die)
+            }
+            let k = alive.iter().position(|r| *r == me).unwrap();
+            // Own every tile ≡ k (mod |alive|); compute a few per round.
+            let share: Vec<usize> = (0..TILES)
+                .filter(|t| t % alive.len() == k)
+                .collect();
+            let lo = round * share.len() / ROUNDS;
+            let hi = (round + 1) * share.len() / ROUNDS;
+            for &t in &share[lo..hi] {
+                done.insert(t as i64);
+            }
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        // Re-cover the whole current share once more so nothing from the
+        // pre-crash partition is missing.
+        let alive = ctx.alive_ranks();
+        if let Some(k) = alive.iter().position(|r| *r == me) {
+            for t in (0..TILES).filter(|t| t % alive.len() == k) {
+                done.insert(t as i64);
+            }
+        }
+        ctx.publish(CkptValue::record(vec![
+            ("tiles", CkptValue::IntArray(done.into_iter().collect())),
+            ("view_changes", CkptValue::Int(view_changes)),
+        ]));
+        Ok(())
+    });
+
+    let app = cluster.submit(
+        "tiles",
+        4,
+        SubmitOpts::default().policy(FtPolicy::NotifyView),
+    )?;
+
+    // Let the partition settle, then kill the node hosting rank 3.
+    std::thread::sleep(Duration::from_millis(120));
+    let victim = cluster.config().apps[&app].placement[3];
+    println!(">>> crashing node {victim} (hosts rank 3) <<<");
+    cluster.crash_node(victim);
+
+    // Survivors: ranks 0..2.
+    let mut covered: BTreeSet<i64> = BTreeSet::new();
+    for r in 0..3 {
+        let out = cluster.wait_outputs(app, Rank(r), 1, Duration::from_secs(60))?;
+        let rec = out.last().unwrap();
+        let tiles = rec
+            .field("tiles")
+            .and_then(|f| f.as_int_array())
+            .unwrap()
+            .to_vec();
+        println!("rank {r} computed {} tiles", tiles.len());
+        covered.extend(tiles);
+    }
+    assert_eq!(
+        covered.len(),
+        TILES,
+        "every tile covered despite losing a worker"
+    );
+    println!("all {TILES} tiles covered after repartitioning over 3 survivors ✓");
+
+    // Dynamic growth too: add a brand-new node and run a second job across 5.
+    let new = cluster.add_node(0)?;
+    println!("added node {new}; resubmitting over the larger cluster");
+    let app2 = cluster.submit("tiles", 5, SubmitOpts::default().policy(FtPolicy::NotifyView))?;
+    cluster.wait_app_done(app2, Duration::from_secs(60))?;
+    println!("5-rank job finished on the grown cluster ✓");
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Heterogeneous checkpoint migration (paper §4, Table 2): a process
+//! checkpointed on a little-endian 32-bit Linux box restarts on a
+//! big-endian SunOS machine — and on a 64-bit Alpha — with the image
+//! converted at restore time. A native-level image, by contrast, refuses to
+//! cross machine types.
+//!
+//! ```text
+//! cargo run --example heterogeneous_migration
+//! ```
+
+use std::time::Duration;
+
+use starfish::{
+    CkptValue, Cluster, Endianness, FtPolicy, LevelKind, Rank, Result, SubmitOpts, MACHINES,
+};
+
+fn main() -> Result<()> {
+    // Table 2 machines: index 0 = i686 Linux (LE, 32-bit),
+    // 1 = Sun Ultra Enterprise (BE, 32-bit), 5 = Alpha (LE, 64-bit).
+    let cluster = Cluster::builder().node_archs(&[0, 1, 5]).build()?;
+    for (i, m) in [0usize, 1, 5].iter().enumerate() {
+        println!("node n{i}: {}", MACHINES[*m]);
+    }
+
+    cluster.register_app("wanderer", |ctx| {
+        let me = ctx.rank();
+        let (mut phase, data) = match ctx.restored() {
+            Some(v) => {
+                let phase = v.field("phase").and_then(|f| f.as_int()).unwrap_or(0);
+                let data = v
+                    .field("data")
+                    .and_then(|f| f.as_int_array())
+                    .map(|s| s.to_vec())
+                    .unwrap_or_default();
+                println!(
+                    "[rank {me}] restored at phase {phase} on [{}]",
+                    ctx.arch()
+                );
+                (phase, data)
+            }
+            None => {
+                println!("[rank {me}] fresh start on [{}]", ctx.arch());
+                (0, vec![-7, 0, 2_000_000_000, 42])
+            }
+        };
+        while phase < 4 {
+            let state = CkptValue::record(vec![
+                ("phase", CkptValue::Int(phase)),
+                ("data", CkptValue::IntArray(data.clone())),
+                ("pi", CkptValue::Float(std::f64::consts::PI)),
+                ("label", CkptValue::Str("survives byte-swapping".into())),
+            ]);
+            if phase == 2 {
+                ctx.checkpoint(&state)?;
+            } else {
+                ctx.safepoint(&state)?;
+            }
+            phase += 1;
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        // Verify the data came through every conversion untouched.
+        assert_eq!(data, vec![-7, 0, 2_000_000_000, 42]);
+        ctx.publish(CkptValue::record(vec![
+            ("final_arch_is_big_endian", CkptValue::Bool(
+                ctx.arch().endian == Endianness::Big,
+            )),
+            ("data", CkptValue::IntArray(data)),
+        ]));
+        Ok(())
+    });
+
+    // One rank, VM-level images, automatic restart.
+    let app = cluster.submit(
+        "wanderer",
+        1,
+        SubmitOpts::default()
+            .level(LevelKind::Vm)
+            .policy(FtPolicy::Restart),
+    )?;
+
+    // Wait for the phase-2 checkpoint, then crash the hosting node: the
+    // daemon restarts the process on a machine with a different
+    // representation, converting the image.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while cluster.store().latest_index(app, Rank(0)) < 1 {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let home = cluster.config().apps[&app].placement[0];
+    println!(">>> crashing node {home}; the image must migrate across architectures <<<");
+    cluster.crash_node(home);
+
+    cluster.wait_app_done(app, Duration::from_secs(60))?;
+    let new_home = cluster.config().apps[&app].placement[0];
+    println!(
+        "rank 0 migrated {home} -> {new_home}; epoch {}",
+        cluster.config().apps[&app].epoch
+    );
+    assert_ne!(home, new_home);
+    let out = cluster.outputs(app, Rank(0));
+    println!("result after migration: {}", out.last().unwrap());
+
+    // The same image object demonstrates the Table 2 matrix directly:
+    let img = cluster.store().latest(app, Rank(0)).unwrap();
+    println!("\nTable 2 restore matrix for the stored image:");
+    for dst in MACHINES {
+        match img.restore_state(dst) {
+            Ok((_, rep)) => println!(
+                "  -> {dst}: OK (swapped={}, widened={}, narrowed={})",
+                rep.byte_swapped, rep.word_widened, rep.word_narrowed
+            ),
+            Err(e) => println!("  -> {dst}: {e}"),
+        }
+    }
+
+    // Native images are architecture-locked (paper §4).
+    println!("\nnative-level counter-demonstration:");
+    cluster.register_app("homebody", |ctx| {
+        ctx.checkpoint(&CkptValue::Int(1))?;
+        Ok(())
+    });
+    let app2 = cluster.submit(
+        "homebody",
+        1,
+        SubmitOpts::default().level(LevelKind::Native),
+    )?;
+    cluster.wait_app_done(app2, Duration::from_secs(60))?;
+    let nat = cluster.store().latest(app2, Rank(0)).unwrap();
+    let here = nat.level.arch();
+    for dst in MACHINES {
+        let ok = nat.restore_state(dst).is_ok();
+        println!("  native image from [{here}] -> [{dst}]: {}", if ok { "OK" } else { "REFUSED" });
+    }
+    Ok(())
+}

@@ -1,0 +1,234 @@
+//! Checkpoint/restart behaviour across the full stack: the three protocols
+//! side by side, channel-state capture, image sizes and garbage collection.
+
+use std::time::Duration;
+
+use starfish::{CkptProto, CkptValue, Cluster, LevelKind, Rank, Result, SubmitOpts};
+
+const T: Duration = Duration::from_secs(60);
+
+fn simple_ckpt_app(ctx: &mut starfish::Ctx<'_>) -> Result<()> {
+    let state = CkptValue::record(vec![("x", CkptValue::Int(7))]);
+    let dt = ctx.checkpoint(&state)?;
+    ctx.publish(CkptValue::Float(dt.as_secs_f64()));
+    ctx.barrier()?;
+    Ok(())
+}
+
+/// The paper's side-by-side claim: the *same* application runs under all
+/// three C/R protocols without modification.
+#[test]
+fn same_app_under_all_three_protocols() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("any-proto", simple_ckpt_app);
+    for proto in [
+        CkptProto::StopAndSync,
+        CkptProto::ChandyLamport,
+        CkptProto::Independent,
+    ] {
+        let app = cluster
+            .submit("any-proto", 2, SubmitOpts::default().proto(proto))
+            .unwrap();
+        cluster.wait_app_done(app, T).unwrap();
+        assert_eq!(
+            cluster.store().latest_index(app, Rank(0)),
+            1,
+            "{proto:?} wrote rank 0's image"
+        );
+        assert_eq!(cluster.store().latest_index(app, Rank(1)), 1);
+    }
+}
+
+/// Stop-and-sync flushes in-flight messages into the receiver's image.
+#[test]
+fn in_flight_messages_captured_in_channel_state() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("inflight", |ctx| {
+        let me = ctx.rank().0;
+        let state = CkptValue::Unit;
+        if me == 0 {
+            // Send, then checkpoint before rank 1 consumes.
+            ctx.send(Rank(1), 99, b"caught-in-flight")?;
+            ctx.checkpoint(&state)?;
+            ctx.send(Rank(1), 100, b"go")?;
+        } else {
+            // Participate in the round while the tag-99 message is pending.
+            ctx.checkpoint(&state)?;
+            let m = ctx.recv(Some(Rank(0)), Some(100))?;
+            assert_eq!(&m.data[..], b"go");
+            let pending = ctx.recv(Some(Rank(0)), Some(99))?;
+            assert_eq!(&pending.data[..], b"caught-in-flight");
+        }
+        Ok(())
+    });
+    let app = cluster.submit("inflight", 2, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    // Rank 1's image holds the unconsumed tag-99 message.
+    let img = cluster.store().get(app, Rank(1), 1).unwrap();
+    assert_eq!(img.channel.len(), 1, "channel state: {:?}", img.channel);
+    assert_eq!(img.channel[0].tag, 99);
+    assert_eq!(img.channel[0].payload, b"caught-in-flight");
+    assert_eq!(img.channel[0].src, Rank(0));
+}
+
+#[test]
+fn repeated_rounds_increment_indexes_and_gc_old_images() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("many", |ctx| {
+        let state = CkptValue::Unit;
+        for _ in 0..4 {
+            ctx.checkpoint(&state)?;
+        }
+        Ok(())
+    });
+    let app = cluster.submit("many", 2, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert_eq!(cluster.store().latest_index(app, Rank(0)), 4);
+    // Old rounds were pruned after each commit (GC keeps the latest).
+    assert!(cluster.store().get(app, Rank(0), 1).is_none());
+    assert!(cluster.store().get(app, Rank(0), 4).is_some());
+}
+
+#[test]
+fn vm_and_native_image_sizes_match_paper_constants() {
+    let cluster = Cluster::builder().nodes(1).build().unwrap();
+    cluster.register_app("sizes", |ctx| {
+        ctx.checkpoint(&CkptValue::Unit)?;
+        Ok(())
+    });
+    let vm_app = cluster
+        .submit("sizes", 1, SubmitOpts::default().level(LevelKind::Vm))
+        .unwrap();
+    cluster.wait_app_done(vm_app, T).unwrap();
+    let nat_app = cluster
+        .submit("sizes", 1, SubmitOpts::default().level(LevelKind::Native))
+        .unwrap();
+    cluster.wait_app_done(nat_app, T).unwrap();
+    let vm = cluster.store().latest(vm_app, Rank(0)).unwrap().total_bytes();
+    let nat = cluster.store().latest(nat_app, Rank(0)).unwrap().total_bytes();
+    // Paper §5: 260 KB vs 632 KB for an empty program.
+    assert!((260 * 1024..261 * 1024).contains(&vm), "vm = {vm}");
+    assert!((632 * 1024..633 * 1024).contains(&nat), "native = {nat}");
+}
+
+#[test]
+fn image_payload_scales_with_state() {
+    let cluster = Cluster::builder().nodes(1).build().unwrap();
+    cluster.register_app("big", |ctx| {
+        let state = CkptValue::record(vec![("heap", CkptValue::Zeros(5_000_000))]);
+        ctx.checkpoint(&state)?;
+        Ok(())
+    });
+    let app = cluster.submit("big", 1, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    let img = cluster.store().latest(app, Rank(0)).unwrap();
+    assert!(img.total_bytes() >= 5_000_000 + 260 * 1024);
+}
+
+/// Checkpoint round time grows with image size (the Figure 3/4 slope).
+#[test]
+fn round_time_grows_with_state_size() {
+    let cluster = Cluster::builder().nodes(1).build().unwrap();
+    cluster.register_app("timed", |ctx| {
+        for bytes in [0u64, 10_000_000] {
+            let state = CkptValue::record(vec![("heap", CkptValue::Zeros(bytes))]);
+            let dt = ctx.checkpoint(&state)?;
+            ctx.publish(CkptValue::Float(dt.as_secs_f64()));
+        }
+        Ok(())
+    });
+    let app = cluster.submit("timed", 1, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    let out = cluster.outputs(app, Rank(0));
+    let small = out[0].as_float().unwrap();
+    let big = out[1].as_float().unwrap();
+    // 10 MB at the VM serialization bandwidth (60 MB/s) ≈ +0.167 s.
+    assert!(big > small + 0.1, "small={small}s big={big}s");
+}
+
+/// User-initiated checkpointing coexists with admin-triggered rounds.
+#[test]
+fn admin_triggered_checkpoint_lands() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("adminable", |ctx| {
+        let state = CkptValue::Int(1);
+        for _ in 0..400 {
+            ctx.safepoint(&state)?;
+            std::thread::sleep(Duration::from_millis(2));
+            if ctx.last_checkpoint_index() > 0 {
+                break; // observed the admin-triggered round
+            }
+        }
+        ctx.barrier()?;
+        Ok(())
+    });
+    let app = cluster.submit("adminable", 2, SubmitOpts::default()).unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+    cluster.checkpoint(app).unwrap(); // TriggerCkpt through the daemons
+    cluster.wait_app_done(app, T).unwrap();
+    assert_eq!(cluster.store().latest_index(app, Rank(0)), 1);
+    assert_eq!(cluster.store().latest_index(app, Rank(1)), 1);
+}
+
+/// The paper's overhead claim (§5): with an hourly checkpoint the slowdown
+/// is under 1%. Virtual-time check: one hour of modeled compute plus one
+/// checkpoint round.
+#[test]
+fn hourly_checkpoint_overhead_below_one_percent() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("hour", |ctx| {
+        let state = CkptValue::record(vec![("heap", CkptValue::Zeros(50_000_000))]);
+        let start = ctx.time();
+        // One hour of virtual compute, then the hourly checkpoint.
+        ctx.advance(starfish::VirtualTime::from_secs(3600));
+        let dt = ctx.checkpoint(&state)?;
+        let total = ctx.time() - start;
+        if ctx.rank().0 == 0 {
+            ctx.publish(CkptValue::Float(dt.as_secs_f64()));
+            ctx.publish(CkptValue::Float(total.as_secs_f64()));
+        }
+        Ok(())
+    });
+    let app = cluster.submit("hour", 2, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    let out = cluster.outputs(app, Rank(0));
+    let ckpt = out[0].as_float().unwrap();
+    let total = out[1].as_float().unwrap();
+    let overhead = ckpt / total;
+    assert!(
+        overhead < 0.01,
+        "hourly 50MB checkpoint overhead {overhead:.4} must be < 1% (paper §5)"
+    );
+}
+
+/// System-initiated checkpointing (paper §1): the cluster periodically
+/// checkpoints an *unmodified* MPI-style program (it only calls safepoints;
+/// it never asks for checkpoints itself).
+#[test]
+fn periodic_system_initiated_checkpoints() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("oblivious", |ctx| {
+        let state = CkptValue::Int(1);
+        for _ in 0..400 {
+            ctx.safepoint(&state)?;
+            std::thread::sleep(Duration::from_millis(2));
+            if ctx.last_checkpoint_index() >= 2 {
+                break; // saw at least two system-initiated rounds
+            }
+        }
+        ctx.barrier()?;
+        Ok(())
+    });
+    let app = cluster.submit("oblivious", 2, SubmitOpts::default()).unwrap();
+    let _driver = cluster.enable_auto_checkpoint(Duration::from_millis(120));
+    cluster.wait_app_done(app, T).unwrap();
+    assert!(
+        cluster.store().latest_index(app, Rank(0)) >= 2,
+        "periodic rounds committed"
+    );
+    assert_eq!(
+        cluster.store().latest_index(app, Rank(0)),
+        cluster.store().latest_index(app, Rank(1)),
+        "both ranks at the same index"
+    );
+}

@@ -1,0 +1,239 @@
+//! Fault tolerance end to end: crashes under each policy, repeated
+//! failures, restart placement, and recovery correctness.
+
+use std::time::Duration;
+
+use starfish::{
+    AppStatus, CkptProto, CkptValue, Cluster, FtPolicy, Rank, ReduceOp, SubmitOpts,
+};
+
+const T: Duration = Duration::from_secs(90);
+
+/// An iterative app whose state survives restarts. Runs `iters` iterations;
+/// checkpoints (collectively) every `every`.
+fn iterative(
+    ctx: &mut starfish::Ctx<'_>,
+    iters: i64,
+    every: i64,
+) -> starfish::Result<()> {
+    let (mut iter, mut acc) = match ctx.restored() {
+        Some(v) => (
+            v.field("iter").and_then(|f| f.as_int()).unwrap_or(0),
+            v.field("acc").and_then(|f| f.as_int()).unwrap_or(0),
+        ),
+        None => (0, 0),
+    };
+    while iter < iters {
+        let state = CkptValue::record(vec![
+            ("iter", CkptValue::Int(iter)),
+            ("acc", CkptValue::Int(acc)),
+        ]);
+        if iter % every == 0 && iter > 0 {
+            ctx.checkpoint(&state)?;
+        } else {
+            ctx.safepoint(&state)?;
+        }
+        std::thread::sleep(Duration::from_millis(8));
+        let s = ctx.allreduce_i64(&[ctx.rank().0 as i64 + 1], ReduceOp::Sum)?;
+        acc += s[0];
+        iter += 1;
+    }
+    ctx.publish(CkptValue::Int(acc));
+    Ok(())
+}
+
+fn wait_ckpt(cluster: &Cluster, app: starfish::AppId, ranks: u32, index: u64) {
+    let rs: Vec<Rank> = (0..ranks).map(Rank).collect();
+    let deadline = std::time::Instant::now() + T;
+    while cluster.store().latest_common_index(app, &rs) < index {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "checkpoint {index} never appeared"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn restart_policy_recovers_correct_answer() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("it", |ctx| iterative(ctx, 12, 4));
+    let app = cluster.submit("it", 3, SubmitOpts::default()).unwrap();
+    wait_ckpt(&cluster, app, 3, 1);
+    let victim = cluster.config().apps[&app].placement[2];
+    cluster.crash_node(victim);
+    cluster.wait_app_done(app, T).unwrap();
+    // 12 iterations x sum(1..=3) = 72, exactly as failure-free.
+    for r in 0..3 {
+        let out = cluster.outputs(app, Rank(r));
+        assert!(out.contains(&CkptValue::Int(72)), "rank {r}: {out:?}");
+    }
+    assert_eq!(cluster.config().apps[&app].epoch.0, 1);
+}
+
+#[test]
+fn crash_before_any_checkpoint_restarts_from_scratch() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("fresh", |ctx| iterative(ctx, 6, 100));
+    let app = cluster.submit("fresh", 2, SubmitOpts::default()).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let victim = cluster.config().apps[&app].placement[1];
+    cluster.crash_node(victim);
+    cluster.wait_app_done(app, T).unwrap();
+    for r in 0..2 {
+        let out = cluster.outputs(app, Rank(r));
+        assert!(out.contains(&CkptValue::Int(18)), "rank {r}: {out:?}"); // 6 × 3
+    }
+}
+
+#[test]
+fn two_sequential_crashes_two_epochs() {
+    let cluster = Cluster::builder().nodes(4).build().unwrap();
+    cluster.register_app("hardy", |ctx| iterative(ctx, 16, 4));
+    let app = cluster.submit("hardy", 2, SubmitOpts::default()).unwrap();
+
+    wait_ckpt(&cluster, app, 2, 1);
+    let v1 = cluster.config().apps[&app].placement[1];
+    cluster.crash_node(v1);
+    cluster
+        .wait_app(app, T, |a| a.epoch.0 == 1)
+        .unwrap();
+
+    wait_ckpt(&cluster, app, 2, 2);
+    let v2 = cluster.config().apps[&app].placement[0];
+    assert!(v2 != v1, "rank 0 should not be on the dead node");
+    cluster.crash_node(v2);
+    cluster.wait_app(app, T, |a| a.epoch.0 == 2).unwrap();
+
+    cluster.wait_app_done(app, T).unwrap();
+    for r in 0..2 {
+        let out = cluster.outputs(app, Rank(r));
+        assert!(out.contains(&CkptValue::Int(48)), "rank {r}: {out:?}"); // 16 × 3
+    }
+}
+
+#[test]
+fn replacement_lands_on_surviving_node() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("moving", |ctx| iterative(ctx, 10, 3));
+    let app = cluster.submit("moving", 3, SubmitOpts::default()).unwrap();
+    wait_ckpt(&cluster, app, 3, 1);
+    let victim = cluster.config().apps[&app].placement[1];
+    cluster.crash_node(victim);
+    cluster.wait_app(app, T, |a| a.epoch.0 == 1).unwrap();
+    let new_node = cluster.config().apps[&app].placement[1];
+    assert_ne!(new_node, victim);
+    assert!(cluster.config().up_nodes().contains(&new_node));
+    cluster.wait_app_done(app, T).unwrap();
+}
+
+#[test]
+fn kill_policy_never_restarts() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("brittle", |ctx| iterative(ctx, 1000, 10));
+    let app = cluster
+        .submit("brittle", 2, SubmitOpts::default().policy(FtPolicy::Kill))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.crash_node(cluster.config().apps[&app].placement[1]);
+    cluster
+        .wait_app(app, T, |a| a.status == AppStatus::Killed)
+        .unwrap();
+    assert_eq!(cluster.config().apps[&app].epoch.0, 0, "no restart under Kill");
+}
+
+#[test]
+fn independent_protocol_recovers_via_recovery_line() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    // Pure local computation with independent checkpoints: no domino.
+    cluster.register_app("indep", |ctx| {
+        let mut phase = match ctx.restored() {
+            Some(v) => v.as_int().unwrap_or(0),
+            None => 0,
+        };
+        while phase < 8 {
+            let state = CkptValue::Int(phase);
+            if phase % 3 == 2 {
+                ctx.checkpoint(&state)?; // local, uncoordinated
+            } else {
+                ctx.safepoint(&state)?;
+            }
+            std::thread::sleep(Duration::from_millis(8));
+            phase += 1;
+        }
+        ctx.publish(CkptValue::Int(phase));
+        Ok(())
+    });
+    let app = cluster
+        .submit(
+            "indep",
+            2,
+            SubmitOpts::default().proto(CkptProto::Independent),
+        )
+        .unwrap();
+    // Wait for both ranks' first independent checkpoints.
+    wait_ckpt(&cluster, app, 2, 1);
+    cluster.crash_node(cluster.config().apps[&app].placement[0]);
+    cluster.wait_app_done(app, T).unwrap();
+    for r in 0..2 {
+        assert!(cluster.outputs(app, Rank(r)).contains(&CkptValue::Int(8)));
+    }
+}
+
+#[test]
+fn view_notify_app_finishes_with_survivors() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("flex", |ctx| {
+        let state = CkptValue::Unit;
+        let me = ctx.rank();
+        for _ in 0..60 {
+            ctx.safepoint(&state)?;
+            let alive = ctx.alive_ranks();
+            if !alive.contains(&me) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        ctx.publish(CkptValue::Int(ctx.alive_ranks().len() as i64));
+        Ok(())
+    });
+    let app = cluster
+        .submit("flex", 3, SubmitOpts::default().policy(FtPolicy::NotifyView))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    cluster.crash_node(cluster.config().apps[&app].placement[1]);
+    // The two survivors finish and observed the shrunken membership.
+    let o0 = cluster.wait_outputs(app, Rank(0), 1, T).unwrap();
+    let o2 = cluster.wait_outputs(app, Rank(2), 1, T).unwrap();
+    assert_eq!(o0[0], CkptValue::Int(2));
+    assert_eq!(o2[0], CkptValue::Int(2));
+}
+
+/// Warm process migration (paper §3.2.1): move a rank to another node
+/// mid-run; the application finishes with the exact failure-free answer.
+#[test]
+fn warm_migration_moves_rank_and_preserves_result() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("mover", |ctx| iterative(ctx, 14, 100));
+    let app = cluster.submit("mover", 2, SubmitOpts::default()).unwrap();
+    std::thread::sleep(Duration::from_millis(60));
+    let entry = cluster.config().apps[&app].clone();
+    let old = entry.placement[1];
+    let target = (0..3)
+        .map(starfish::NodeId)
+        .find(|n| !entry.placement.contains(n))
+        .expect("a free node");
+    cluster.migrate(app, Rank(1), target).unwrap();
+    cluster
+        .wait_app(app, T, |a| a.placement[1] == target)
+        .unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert_ne!(cluster.config().apps[&app].placement[1], old);
+    // 14 iterations × (1+2) = 42, as failure-free.
+    for r in 0..2 {
+        let out = cluster.outputs(app, Rank(r));
+        assert!(out.contains(&CkptValue::Int(42)), "rank {r}: {out:?}");
+    }
+    // Exactly one epoch bump (the migration's rollback).
+    assert_eq!(cluster.config().apps[&app].epoch.0, 1);
+}

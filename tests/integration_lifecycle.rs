@@ -1,0 +1,177 @@
+//! Cluster and application lifecycle, end to end: boot, submit, run,
+//! complete, suspend/resume, delete, and dynamic node addition.
+
+use std::time::Duration;
+
+use starfish::{AppStatus, CkptValue, Cluster, FtPolicy, Rank, ReduceOp, SubmitOpts};
+
+const T: Duration = Duration::from_secs(60);
+
+#[test]
+fn clusters_of_many_sizes_boot_and_run() {
+    for n in [1u32, 2, 5] {
+        let cluster = Cluster::builder().nodes(n).build().unwrap();
+        assert_eq!(cluster.config().up_nodes().len(), n as usize);
+        cluster.register_app("hello", |ctx| {
+            ctx.publish(CkptValue::Int(ctx.rank().0 as i64));
+            Ok(())
+        });
+        let app = cluster
+            .submit("hello", n, SubmitOpts::default().policy(FtPolicy::Kill))
+            .unwrap();
+        cluster.wait_app_done(app, T).unwrap();
+        for r in 0..n {
+            assert_eq!(cluster.outputs(app, Rank(r)), vec![CkptValue::Int(r as i64)]);
+        }
+    }
+}
+
+#[test]
+fn more_ranks_than_nodes() {
+    // 6 ranks on 2 nodes: multiple processes per node share the daemon.
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("dense", |ctx| {
+        let s = ctx.allreduce_i64(&[1], ReduceOp::Sum)?;
+        ctx.publish(CkptValue::Int(s[0]));
+        Ok(())
+    });
+    let app = cluster
+        .submit("dense", 6, SubmitOpts::default().policy(FtPolicy::Kill))
+        .unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    for r in 0..6 {
+        assert_eq!(cluster.outputs(app, Rank(r)), vec![CkptValue::Int(6)]);
+    }
+    // Placement used both nodes.
+    let placement = &cluster.config().apps[&app].placement;
+    let unique: std::collections::BTreeSet<_> = placement.iter().collect();
+    assert_eq!(unique.len(), 2);
+}
+
+#[test]
+fn two_applications_run_concurrently_without_interference() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("a", |ctx| {
+        for i in 0..20u64 {
+            let m = ctx.allreduce_i64(&[i as i64], ReduceOp::Max)?;
+            assert_eq!(m[0], i as i64);
+        }
+        ctx.publish(CkptValue::Str("a-done".into()));
+        Ok(())
+    });
+    cluster.register_app("b", |ctx| {
+        let me = ctx.rank().0;
+        let n = ctx.size();
+        // Ring in the other app's tag space; must never cross-match.
+        let next = Rank((me + 1) % n);
+        let prev = Rank((me + n - 1) % n);
+        for i in 0..20u8 {
+            if me == 0 {
+                ctx.send(next, i as u64, &[i])?;
+                let m = ctx.recv(Some(prev), Some(i as u64))?;
+                assert_eq!(m.data[0], i);
+            } else {
+                let m = ctx.recv(Some(prev), Some(i as u64))?;
+                ctx.send(next, i as u64, &m.data)?;
+            }
+        }
+        ctx.publish(CkptValue::Str("b-done".into()));
+        Ok(())
+    });
+    let a = cluster
+        .submit("a", 3, SubmitOpts::default().policy(FtPolicy::Kill))
+        .unwrap();
+    let b = cluster
+        .submit("b", 3, SubmitOpts::default().policy(FtPolicy::Kill))
+        .unwrap();
+    cluster.wait_app_done(a, T).unwrap();
+    cluster.wait_app_done(b, T).unwrap();
+    assert_eq!(cluster.outputs(a, Rank(0)), vec![CkptValue::Str("a-done".into())]);
+    assert_eq!(cluster.outputs(b, Rank(0)), vec![CkptValue::Str("b-done".into())]);
+}
+
+#[test]
+fn suspend_holds_progress_and_resume_releases_it() {
+    let cluster = Cluster::builder().nodes(1).build().unwrap();
+    cluster.register_app("slow", |ctx| {
+        let state = CkptValue::Unit;
+        for i in 0..50 {
+            ctx.safepoint(&state)?;
+            if i == 3 {
+                ctx.publish(CkptValue::Int(3));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        ctx.publish(CkptValue::Str("finished".into()));
+        Ok(())
+    });
+    let app = cluster.submit("slow", 1, SubmitOpts::default()).unwrap();
+    cluster.wait_outputs(app, Rank(0), 1, T).unwrap();
+    cluster.suspend(app).unwrap();
+    cluster
+        .wait_app(app, T, |a| a.status == AppStatus::Suspended)
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(cluster.outputs(app, Rank(0)).len(), 1, "no progress while suspended");
+    cluster.resume(app).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert_eq!(cluster.outputs(app, Rank(0)).len(), 2);
+}
+
+#[test]
+fn delete_kills_running_processes() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("forever", |ctx| {
+        let state = CkptValue::Unit;
+        loop {
+            ctx.safepoint(&state)?;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    let app = cluster.submit("forever", 2, SubmitOpts::default()).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    cluster.delete(app).unwrap();
+    cluster
+        .wait_app(app, T, |a| a.status == AppStatus::Killed)
+        .unwrap();
+}
+
+#[test]
+fn added_node_receives_work() {
+    let cluster = Cluster::builder().nodes(1).build().unwrap();
+    let n1 = cluster.add_node(0).unwrap();
+    let n2 = cluster.add_node(0).unwrap();
+    assert_eq!(cluster.config().up_nodes().len(), 3);
+    cluster.register_app("spread", |ctx| {
+        ctx.publish(CkptValue::Int(ctx.rank().0 as i64));
+        Ok(())
+    });
+    let app = cluster
+        .submit("spread", 3, SubmitOpts::default().policy(FtPolicy::Kill))
+        .unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    let placement = &cluster.config().apps[&app].placement;
+    assert!(placement.contains(&n1) && placement.contains(&n2));
+}
+
+#[test]
+fn disabled_node_excluded_from_new_placements() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.disable_node(starfish::NodeId(1)).unwrap();
+    cluster
+        .daemon()
+        .wait_config(T, |c| c.up_nodes().len() == 1)
+        .unwrap();
+    cluster.register_app("picky", |ctx| {
+        ctx.publish(CkptValue::Unit);
+        Ok(())
+    });
+    let app = cluster
+        .submit("picky", 2, SubmitOpts::default().policy(FtPolicy::Kill))
+        .unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert!(cluster.config().apps[&app]
+        .placement
+        .iter()
+        .all(|n| *n == starfish::NodeId(0)));
+}

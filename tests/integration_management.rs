@@ -1,0 +1,190 @@
+//! The ASCII management/user protocol driving the real cluster (paper
+//! §3.1.1): the protocol commands must actually start, steer and stop
+//! application processes.
+
+use std::time::Duration;
+
+use starfish::{AppStatus, CkptValue, Cluster, Rank};
+
+const T: Duration = Duration::from_secs(60);
+
+fn ok(resp: &str) -> &str {
+    assert!(resp.starts_with("OK"), "expected OK, got: {resp}");
+    resp
+}
+
+#[test]
+fn submission_via_protocol_actually_runs_the_program() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("protojob", |ctx| {
+        ctx.publish(CkptValue::Int(ctx.rank().0 as i64 * 10));
+        Ok(())
+    });
+    let mut s = cluster.session();
+    ok(&s.handle_line("LOGIN USER dana"));
+    let resp = s.handle_line("SUBMIT protojob 2 POLICY kill");
+    ok(&resp);
+    // "OK submitted appN size 2"
+    let id_tok = resp.split_whitespace().nth(2).unwrap();
+    let id = starfish::AppId(id_tok.trim_start_matches("app").parse().unwrap());
+    cluster.wait_app_done(id, T).unwrap();
+    assert_eq!(cluster.outputs(id, Rank(1)), vec![CkptValue::Int(10)]);
+}
+
+#[test]
+fn checkpoint_command_triggers_a_real_round() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("ckptable", |ctx| {
+        let state = CkptValue::Int(5);
+        for _ in 0..500 {
+            ctx.safepoint(&state)?;
+            std::thread::sleep(Duration::from_millis(2));
+            if ctx.last_checkpoint_index() > 0 {
+                break;
+            }
+        }
+        ctx.barrier()?;
+        Ok(())
+    });
+    let mut s = cluster.session();
+    ok(&s.handle_line("LOGIN USER erin"));
+    let resp = s.handle_line("SUBMIT ckptable 2");
+    let id_tok = resp.split_whitespace().nth(2).unwrap().to_string();
+    std::thread::sleep(Duration::from_millis(80));
+    ok(&s.handle_line(&format!("CHECKPOINT {id_tok}")));
+    let id = starfish::AppId(id_tok.trim_start_matches("app").parse().unwrap());
+    cluster.wait_app_done(id, T).unwrap();
+    assert_eq!(cluster.store().latest_index(id, Rank(0)), 1);
+}
+
+#[test]
+fn suspend_resume_delete_via_protocol() {
+    let cluster = Cluster::builder().nodes(1).build().unwrap();
+    cluster.register_app("steerable", |ctx| {
+        let state = CkptValue::Unit;
+        loop {
+            ctx.safepoint(&state)?;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    let mut s = cluster.session();
+    ok(&s.handle_line("LOGIN USER finn"));
+    let resp = s.handle_line("SUBMIT steerable 1");
+    let id_tok = resp.split_whitespace().nth(2).unwrap().to_string();
+    let id = starfish::AppId(id_tok.trim_start_matches("app").parse().unwrap());
+
+    ok(&s.handle_line(&format!("SUSPEND {id_tok}")));
+    cluster
+        .wait_app(id, T, |a| a.status == AppStatus::Suspended)
+        .unwrap();
+    ok(&s.handle_line(&format!("RESUME {id_tok}")));
+    cluster
+        .wait_app(id, T, |a| a.status == AppStatus::Running)
+        .unwrap();
+    ok(&s.handle_line(&format!("DELETE {id_tok}")));
+    cluster
+        .wait_app(id, T, |a| a.status == AppStatus::Killed)
+        .unwrap();
+}
+
+#[test]
+fn nodes_and_apps_reports_reflect_cluster_state() {
+    let cluster = Cluster::builder().node_archs(&[0, 1]).build().unwrap();
+    cluster.register_app("visible", |ctx| {
+        let state = CkptValue::Unit;
+        for _ in 0..200 {
+            ctx.safepoint(&state)?;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Ok(())
+    });
+    let mut s = cluster.session();
+    ok(&s.handle_line("LOGIN ADMIN starfish"));
+    let nodes = s.handle_line("NODES");
+    assert!(nodes.contains("n0") && nodes.contains("n1"), "{nodes}");
+    assert!(nodes.contains("SunOS"), "heterogeneous arch listed: {nodes}");
+    let resp = s.handle_line("SUBMIT visible 2");
+    ok(&resp);
+    std::thread::sleep(Duration::from_millis(50));
+    let apps = s.handle_line("APPS");
+    assert!(apps.contains("visible"), "{apps}");
+    assert!(apps.contains("placement=["), "{apps}");
+}
+
+#[test]
+fn admin_survives_contacting_any_daemon() {
+    // Sessions work against every daemon, and the replicated state is the
+    // same from each (paper §3.1.1: "connect to one of the daemons").
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    let mut s0 = starfish::MgmtSession::connect(cluster.daemon_of(starfish::NodeId(0)).unwrap(), 1);
+    let mut s2 = starfish::MgmtSession::connect(cluster.daemon_of(starfish::NodeId(2)).unwrap(), 2);
+    ok(&s0.handle_line("LOGIN ADMIN starfish"));
+    ok(&s2.handle_line("LOGIN ADMIN starfish"));
+    ok(&s0.handle_line("SET flavor vanilla"));
+    cluster
+        .daemon_of(starfish::NodeId(2))
+        .unwrap()
+        .wait_config(T, |c| c.params.get("flavor").map(String::as_str) == Some("vanilla"))
+        .unwrap();
+    let nodes = s2.handle_line("NODES");
+    assert!(nodes.contains("n0") && nodes.contains("n1") && nodes.contains("n2"));
+}
+
+#[test]
+fn client_reconnects_after_contact_daemon_crashes() {
+    // §3.1.3: "if the client reconnects to the system, he/she can continue
+    // the disrupted session" — new session against a surviving daemon sees
+    // the same replicated state.
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    let mut s = cluster.session();
+    ok(&s.handle_line("LOGIN ADMIN starfish"));
+    ok(&s.handle_line("SET color green"));
+    cluster
+        .daemon()
+        .wait_config(T, |c| c.params.contains_key("color"))
+        .unwrap();
+    cluster.crash_node(cluster.daemon().node());
+    std::thread::sleep(Duration::from_millis(300));
+    // Reconnect to a survivor; the parameter survived.
+    let mut s2 = cluster.session();
+    ok(&s2.handle_line("LOGIN ADMIN starfish"));
+    let _ = s2.handle_line("NODES");
+    let cfg = cluster.config();
+    assert_eq!(cfg.params.get("color").map(String::as_str), Some("green"));
+}
+
+#[test]
+fn migrate_command_moves_a_rank() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("roamer", |ctx| {
+        let state = CkptValue::Unit;
+        for _ in 0..300 {
+            ctx.safepoint(&state)?;
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Ok(())
+    });
+    let mut s = cluster.session();
+    ok(&s.handle_line("LOGIN ADMIN starfish"));
+    let resp = s.handle_line("SUBMIT roamer 2");
+    ok(&resp);
+    let id_tok = resp.split_whitespace().nth(2).unwrap().to_string();
+    let id = starfish::AppId(id_tok.trim_start_matches("app").parse().unwrap());
+    std::thread::sleep(Duration::from_millis(80));
+    let entry = cluster.config().apps[&id].clone();
+    let target = (0..3)
+        .map(starfish::NodeId)
+        .find(|n| !entry.placement.contains(n))
+        .expect("free node");
+    let resp = s.handle_line(&format!("MIGRATE {id_tok} r1 {target}"));
+    ok(&resp);
+    cluster
+        .wait_app(id, T, |a| a.placement[1] == target && a.epoch.0 == 1)
+        .unwrap();
+    // Users may not migrate.
+    let mut u = cluster.session();
+    ok(&u.handle_line("LOGIN USER zoe"));
+    assert!(u
+        .handle_line(&format!("MIGRATE {id_tok} r0 n0"))
+        .starts_with("ERR admin"));
+}

@@ -1,0 +1,248 @@
+//! MPI semantics through the full runtime: ordering, wildcards, large
+//! payloads, non-blocking ops and collectives at scale, plus the
+//! network-model distinction (BIP vs TCP virtual latencies).
+
+use std::time::Duration;
+
+use starfish::{CkptValue, Cluster, FtPolicy, Rank, ReduceOp, SubmitOpts};
+
+const T: Duration = Duration::from_secs(90);
+
+fn kill() -> SubmitOpts {
+    SubmitOpts::default().policy(FtPolicy::Kill)
+}
+
+#[test]
+fn large_payloads_cross_intact() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("bulk", |ctx| {
+        let me = ctx.rank().0;
+        let blob: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+        if me == 0 {
+            ctx.send(Rank(1), 5, &blob)?;
+        } else {
+            let m = ctx.recv(Some(Rank(0)), Some(5))?;
+            assert_eq!(m.data.len(), 1_000_000);
+            assert!(m.data.iter().enumerate().all(|(i, b)| *b == (i % 251) as u8));
+            ctx.publish(CkptValue::Int(m.data.len() as i64));
+        }
+        Ok(())
+    });
+    let app = cluster.submit("bulk", 2, kill()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert_eq!(cluster.outputs(app, Rank(1)), vec![CkptValue::Int(1_000_000)]);
+}
+
+#[test]
+fn wildcard_receive_collects_from_everyone() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("funnel", |ctx| {
+        let me = ctx.rank().0;
+        if me == 0 {
+            let mut seen = vec![false; ctx.size() as usize];
+            for _ in 1..ctx.size() {
+                let m = ctx.recv(None, Some(9))?; // ANY_SOURCE
+                seen[m.src.index()] = true;
+            }
+            assert!(seen[1..].iter().all(|s| *s));
+            ctx.publish(CkptValue::Bool(true));
+        } else {
+            ctx.send(Rank(0), 9, &[me as u8])?;
+        }
+        Ok(())
+    });
+    let app = cluster.submit("funnel", 3, kill()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert_eq!(cluster.outputs(app, Rank(0)), vec![CkptValue::Bool(true)]);
+}
+
+#[test]
+fn nonblocking_requests_and_probe() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("nb", |ctx| {
+        let me = ctx.rank().0;
+        if me == 0 {
+            let req = ctx.irecv(Some(Rank(1)), Some(2));
+            // Not there yet (rank 1 sleeps first).
+            assert!(!ctx.iprobe(Some(Rank(1)), Some(2))?);
+            ctx.send(Rank(1), 1, b"go")?;
+            let m = ctx.wait(req)?.unwrap();
+            assert_eq!(&m.data[..], b"reply");
+            ctx.publish(CkptValue::Bool(true));
+        } else {
+            std::thread::sleep(Duration::from_millis(50));
+            let m = ctx.recv(Some(Rank(0)), Some(1))?;
+            assert_eq!(&m.data[..], b"go");
+            let r = ctx.isend(Rank(0), 2, b"reply")?;
+            ctx.wait(r)?;
+        }
+        Ok(())
+    });
+    let app = cluster.submit("nb", 2, kill()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+}
+
+#[test]
+fn collectives_at_eight_ranks() {
+    let cluster = Cluster::builder().nodes(4).build().unwrap();
+    cluster.register_app("octet", |ctx| {
+        let me = ctx.rank().0 as i64;
+        ctx.barrier()?;
+        let sum = ctx.allreduce_i64(&[me], ReduceOp::Sum)?;
+        assert_eq!(sum[0], (0..8).sum::<i64>());
+        let gathered = ctx.gather(Rank(0), &[me as u8])?;
+        if let Some(blobs) = gathered {
+            assert_eq!(blobs.len(), 8);
+            for (i, b) in blobs.iter().enumerate() {
+                assert_eq!(b[0] as usize, i);
+            }
+        }
+        let scattered = ctx.scatter(
+            Rank(0),
+            if me == 0 {
+                Some((0..8).map(|i| vec![i as u8 * 2]).collect())
+            } else {
+                None
+            },
+        )?;
+        assert_eq!(scattered[0] as i64, me * 2);
+        let all = ctx.allgather(&[me as u8])?;
+        assert_eq!(all.len(), 8);
+        let scan = ctx.scan_i64(&[1], ReduceOp::Sum)?;
+        assert_eq!(scan[0], me + 1);
+        let a2a = ctx.alltoall(&(0..8).map(|d| vec![me as u8, d as u8]).collect::<Vec<_>>())?;
+        for (src, blob) in a2a.iter().enumerate() {
+            assert_eq!(blob, &vec![src as u8, me as u8]);
+        }
+        ctx.publish(CkptValue::Bool(true));
+        Ok(())
+    });
+    let app = cluster.submit("octet", 8, kill()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    for r in 0..8 {
+        assert_eq!(cluster.outputs(app, Rank(r)), vec![CkptValue::Bool(true)]);
+    }
+}
+
+/// Figure 5's premise at the application level: the same ping-pong is ~6.4×
+/// slower (virtually) on TCP/IP than on BIP/Myrinet.
+#[test]
+fn tcp_roundtrip_slower_than_bip_in_virtual_time() {
+    fn ping(cluster: &Cluster) -> f64 {
+        cluster.register_app("ping", |ctx| {
+            let me = ctx.rank().0;
+            if me == 0 {
+                // Warm-up absorbs boot-time daemon notifications (they merge
+                // larger virtual timestamps into the app clock once).
+                ctx.send(Rank(1), 99, &[0])?;
+                ctx.recv(Some(Rank(1)), Some(99))?;
+                let t0 = ctx.time();
+                for i in 0..10u64 {
+                    ctx.send(Rank(1), i, &[0])?;
+                    ctx.recv(Some(Rank(1)), Some(i))?;
+                }
+                let rtt = (ctx.time() - t0) / 10;
+                ctx.publish(CkptValue::Float(rtt.as_micros_f64()));
+            } else {
+                let w = ctx.recv(Some(Rank(0)), Some(99))?;
+                ctx.send(Rank(0), 99, &w.data)?;
+                for i in 0..10u64 {
+                    let m = ctx.recv(Some(Rank(0)), Some(i))?;
+                    ctx.send(Rank(0), i, &m.data)?;
+                }
+            }
+            Ok(())
+        });
+        let app = cluster.submit("ping", 2, kill()).unwrap();
+        cluster.wait_app_done(app, T).unwrap();
+        cluster.outputs(app, Rank(0))[0].as_float().unwrap()
+    }
+    let bip = ping(&Cluster::builder().nodes(2).network_bip().build().unwrap());
+    let tcp = ping(&Cluster::builder().nodes(2).network_tcp().build().unwrap());
+    // Paper: 86 µs vs 552 µs for 1-byte messages.
+    assert!((bip - 86.0).abs() < 2.0, "BIP RTT = {bip} µs");
+    assert!((tcp - 552.0).abs() < 2.0, "TCP RTT = {tcp} µs");
+}
+
+#[test]
+fn per_sender_fifo_preserved_under_load() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("fifo", |ctx| {
+        let me = ctx.rank().0;
+        const N: u32 = 500;
+        if me == 0 {
+            for i in 0..N {
+                ctx.send(Rank(1), 7, &i.to_be_bytes())?;
+            }
+        } else {
+            for i in 0..N {
+                let m = ctx.recv(Some(Rank(0)), Some(7))?;
+                let got = u32::from_be_bytes(m.data[..4].try_into().unwrap());
+                assert_eq!(got, i, "messages reordered");
+            }
+            ctx.publish(CkptValue::Bool(true));
+        }
+        Ok(())
+    });
+    let app = cluster.submit("fifo", 2, kill()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+}
+
+/// MPI-2 communicator management through the runtime: split the world by
+/// parity, run collectives inside each half, and check isolation.
+#[test]
+fn comm_split_subgroups_compute_independently() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("halves", |ctx| {
+        let me = ctx.rank().0;
+        let mut sub = ctx
+            .comm_split(Some(me % 2), me)?
+            .expect("every rank has a color");
+        assert_eq!(sub.size(), if me % 2 == 0 { 3 } else { 2 });
+        // Sub-collectives and world collectives interleave without
+        // cross-matching.
+        let sub_sum = ctx.sub_allreduce_i64(&mut sub, &[me as i64], ReduceOp::Sum)?;
+        let world_sum = ctx.allreduce_i64(&[me as i64], ReduceOp::Sum)?;
+        ctx.sub_barrier(&mut sub)?;
+        let who = ctx.sub_allgather(&mut sub, &[me as u8])?;
+        ctx.publish(CkptValue::Int(sub_sum[0]));
+        ctx.publish(CkptValue::Int(world_sum[0]));
+        ctx.publish(CkptValue::Int(who.len() as i64));
+        Ok(())
+    });
+    let app = cluster.submit("halves", 5, kill()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    for r in 0..5u32 {
+        let out = cluster.outputs(app, Rank(r));
+        let expect_sub: i64 = if r % 2 == 0 { 0 + 2 + 4 } else { 1 + 3 };
+        assert_eq!(out[0], CkptValue::Int(expect_sub), "rank {r} sub sum");
+        assert_eq!(out[1], CkptValue::Int(10), "rank {r} world sum");
+        assert_eq!(
+            out[2],
+            CkptValue::Int(if r % 2 == 0 { 3 } else { 2 }),
+            "rank {r} sub size"
+        );
+    }
+}
+
+#[test]
+fn comm_dup_isolates_traffic() {
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("dup", |ctx| {
+        let mut d = ctx.comm_dup();
+        assert_eq!(d.size(), ctx.size());
+        // A bcast on the dup and one on the world with identical shapes
+        // must not cross-match.
+        let a = ctx.sub_bcast(&mut d, Rank(0), if ctx.rank().0 == 0 { b"dup".to_vec() } else { vec![] })?;
+        let b = ctx.bcast(Rank(0), if ctx.rank().0 == 0 { b"world".to_vec() } else { vec![] })?;
+        assert_eq!(a, b"dup");
+        assert_eq!(b, b"world");
+        ctx.publish(CkptValue::Bool(true));
+        Ok(())
+    });
+    let app = cluster.submit("dup", 2, kill()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    for r in 0..2 {
+        assert_eq!(cluster.outputs(app, Rank(r)), vec![CkptValue::Bool(true)]);
+    }
+}
