@@ -17,7 +17,10 @@ use starfish_vni::{Packet, PacketKind, RecvQueue};
 fn bench_portable_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("portable_codec");
     let state = CkptValue::record(vec![
-        ("grid", CkptValue::FloatArray((0..65536).map(|i| i as f64).collect())),
+        (
+            "grid",
+            CkptValue::FloatArray((0..65536).map(|i| i as f64).collect()),
+        ),
         ("meta", CkptValue::Str("jacobi-checkpoint".into())),
         ("step", CkptValue::Int(1234)),
     ]);
@@ -51,7 +54,9 @@ fn bench_wire(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(4096));
     g.bench_function("frame_4KB", |b| b.iter(|| header.frame(&body)));
     let framed = header.frame(&body);
-    g.bench_function("parse_4KB", |b| b.iter(|| MsgHeader::parse(&framed).unwrap()));
+    g.bench_function("parse_4KB", |b| {
+        b.iter(|| MsgHeader::parse(&framed).unwrap())
+    });
     g.finish();
 
     let mut g = c.benchmark_group("control_codec");
@@ -109,8 +114,7 @@ fn bench_recovery_line(c: &mut Criterion) {
     let mut g = c.benchmark_group("recovery_line");
     let mut rng = DetRng::new(7);
     let n = 16u32;
-    let latest: std::collections::BTreeMap<Rank, u64> =
-        (0..n).map(|r| (Rank(r), 10)).collect();
+    let latest: std::collections::BTreeMap<Rank, u64> = (0..n).map(|r| (Rank(r), 10)).collect();
     let deps: Vec<MsgDep> = (0..2000)
         .map(|_| {
             let s = rng.below(n as u64) as u32;

@@ -79,7 +79,12 @@ pub fn cr_protocols() {
         ]);
     }
     print_table(
-        &["protocol", "round_s(rank0)", "cr_msgs", "channel_msgs_captured"],
+        &[
+            "protocol",
+            "round_s(rank0)",
+            "cr_msgs",
+            "channel_msgs_captured",
+        ],
         &rows,
     );
     println!("\nStopAndSync pays a global stop; ChandyLamport snapshots without blocking;");
@@ -172,7 +177,12 @@ pub fn polling() {
     fn recv_cost(mode: RecvMode) -> f64 {
         let mut k = crate::host_knobs();
         k.recv_mode = mode;
-        let cluster = Cluster::builder().nodes(2).network_bip().knobs(k).build().unwrap();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .network_bip()
+            .knobs(k)
+            .build()
+            .unwrap();
         cluster.register_app("burst", |ctx| {
             let me = ctx.rank().0;
             const N: u64 = 100;
@@ -224,7 +234,12 @@ pub fn fastpath() {
     fn rtt(bus: bool) -> f64 {
         let mut k = crate::host_knobs();
         k.bus_data_path = bus;
-        let cluster = Cluster::builder().nodes(2).network_bip().knobs(k).build().unwrap();
+        let cluster = Cluster::builder()
+            .nodes(2)
+            .network_bip()
+            .knobs(k)
+            .build()
+            .unwrap();
         cluster.register_app("pp", |ctx| {
             let me = ctx.rank().0;
             const REPS: u64 = 100;
@@ -309,7 +324,14 @@ pub fn incremental() {
         ]);
     }
     print_table(
-        &["dirty/ckpt", "full_MB", "incr_MB", "full_s", "incr_s", "speedup"],
+        &[
+            "dirty/ckpt",
+            "full_MB",
+            "incr_MB",
+            "full_s",
+            "incr_s",
+            "speedup",
+        ],
         &rows,
     );
 }
@@ -321,7 +343,11 @@ pub fn domino() {
         "ring workload, random independent checkpoints; rollback on rank-0 failure",
     );
     let mut rows = Vec::new();
-    for (label, ckpt_prob) in [("rare (5%)", 0.05), ("occasional (20%)", 0.2), ("frequent (50%)", 0.5)] {
+    for (label, ckpt_prob) in [
+        ("rare (5%)", 0.05),
+        ("occasional (20%)", 0.2),
+        ("frequent (50%)", 0.5),
+    ] {
         let mut total_rolled = 0u64;
         let mut worst = 0u64;
         const TRIALS: usize = 50;
@@ -329,8 +355,7 @@ pub fn domino() {
             let mut rng = DetRng::new(1000 + trial as u64);
             const N: u32 = 8;
             const STEPS: usize = 200;
-            let mut intervals: BTreeMap<Rank, u64> =
-                (0..N).map(|r| (Rank(r), 0u64)).collect();
+            let mut intervals: BTreeMap<Rank, u64> = (0..N).map(|r| (Rank(r), 0u64)).collect();
             let mut deps: Vec<MsgDep> = Vec::new();
             for step in 0..STEPS {
                 let s = Rank((step % N as usize) as u32);
@@ -360,7 +385,11 @@ pub fn domino() {
         ]);
     }
     // Coordinated baseline: the recovery line is always everyone's latest.
-    rows.push(vec!["coordinated (any rate)".into(), "0.00".into(), "0".into()]);
+    rows.push(vec![
+        "coordinated (any rate)".into(),
+        "0.00".into(),
+        "0".into(),
+    ]);
     print_table(
         &["checkpoint rate", "avg ckpts discarded", "worst case"],
         &rows,
@@ -395,7 +424,13 @@ pub fn forked() {
         ]);
     }
     print_table(
-        &["image_MB", "blocking_s", "forked_s", "ovh_blk(60s)", "ovh_fork(60s)"],
+        &[
+            "image_MB",
+            "blocking_s",
+            "forked_s",
+            "ovh_blk(60s)",
+            "ovh_fork(60s)",
+        ],
         &rows,
     );
     println!("\nthe background write still gates the next checkpoint: minimum");

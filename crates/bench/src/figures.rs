@@ -4,11 +4,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use starfish::{
-    CkptValue, Cluster, LevelKind, Rank, SubmitOpts, MACHINES,
-};
+use starfish::{CkptValue, Cluster, LevelKind, Rank, SubmitOpts, MACHINES};
 use starfish_checkpoint::portable::{decode_portable, encode_portable};
 use starfish_checkpoint::proto::SyncCostModel;
+use starfish_telemetry::metric as telemetry_metric;
 use starfish_util::trace::{MsgClass, TraceSink};
 use starfish_vni::{BipMyrinet, LayerCosts, NetworkModel, TcpEthernet};
 
@@ -72,9 +71,7 @@ fn ckpt_figure(
     }
     print_table(&["size_MB", "t_1node_s", "t_2nodes_s", "t_4nodes_s"], &rows);
     if let Some((a1, a2, a4)) = anchors.first() {
-        println!(
-            "\npaper anchors (smallest point): 1 node {a1} s, 2 nodes {a2} s, 4 nodes {a4} s"
-        );
+        println!("\npaper anchors (smallest point): 1 node {a1} s, 2 nodes {a2} s, 4 nodes {a4} s");
         println!(
             "measured   (smallest point):   1 node {} s, 2 nodes {} s, 4 nodes {} s",
             rows[0][1], rows[0][2], rows[0][3]
@@ -113,10 +110,7 @@ pub fn fig4() {
         "smallest image = 260 KB: the VM itself is not saved (§5)",
     );
     let payloads = [
-        0u64,
-        4_000_000,
-        16_000_000,
-        48_000_000,
+        0u64, 4_000_000, 16_000_000, 48_000_000,
         95_733_760, // ≈ 96 MB total with the 260 KB base
     ];
     ckpt_figure(
@@ -169,7 +163,11 @@ pub fn fig5() {
         for i in 0..sizes.len() {
             idx.store(i as u64, Ordering::Relaxed);
             let app = cluster
-                .submit("ping", 2, SubmitOpts::default().policy(starfish::FtPolicy::Kill))
+                .submit(
+                    "ping",
+                    2,
+                    SubmitOpts::default().policy(starfish::FtPolicy::Kill),
+                )
                 .unwrap();
             cluster.wait_app_done(app, T).unwrap();
             out.push(cluster.outputs(app, Rank(0))[0].as_float().unwrap());
@@ -199,7 +197,10 @@ pub fn fig5() {
         .collect();
     print_table(&["bytes", "BIP_us", "TCP_us", "TCP/BIP"], &rows);
     println!("\npaper anchors at 1 byte: BIP 86 us, TCP 552 us");
-    println!("measured at 1 byte:      BIP {:.2} us, TCP {:.2} us", bip[0], tcp[0]);
+    println!(
+        "measured at 1 byte:      BIP {:.2} us, TCP {:.2} us",
+        bip[0], tcp[0]
+    );
     ascii_chart(
         "Figure 5 — RTT (us) vs size (bytes), TCP/IP",
         &sizes
@@ -243,9 +244,7 @@ pub fn fig6() {
     let mut rows = Vec::new();
     for model in [&BipMyrinet as &dyn NetworkModel, &TcpEthernet] {
         for size in [1usize, 1024, 65536, 1_048_576] {
-            let one_way_total = layers.send_total()
-                + model.one_way(size)
-                + layers.recv_total();
+            let one_way_total = layers.send_total() + model.one_way(size) + layers.recv_total();
             let software = one_way_total - model.one_way(size);
             rows.push(vec![
                 model.name().to_string(),
@@ -255,6 +254,42 @@ pub fn fig6() {
         }
     }
     print_table(&["network", "bytes", "software_us"], &rows);
+
+    // Cross-check against live telemetry: run a ping-pong and read the seven
+    // per-layer histograms back out of the cluster's aggregated registry
+    // snapshots (the same data the STATS management command renders).
+    println!("\nmeasured per-layer histograms (telemetry registry, ns):");
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("layers", |ctx| {
+        let me = ctx.rank().0;
+        for _ in 0..64 {
+            if me == 0 {
+                ctx.send(Rank(1), 7, b"x")?;
+                ctx.recv(Some(Rank(1)), Some(7))?;
+            } else {
+                ctx.recv(Some(Rank(0)), Some(7))?;
+                ctx.send(Rank(0), 7, b"x")?;
+            }
+        }
+        Ok(())
+    });
+    let app = cluster.submit("layers", 2, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    let snap = cluster.stats().merged();
+    let rows: Vec<Vec<String>> = telemetry_metric::LAYERS
+        .iter()
+        .filter_map(|id| {
+            snap.hist(*id).map(|h| {
+                vec![
+                    id.name().to_string(),
+                    format!("{}", h.count),
+                    format!("{:.1}", h.mean() / 1000.0),
+                    format!("{:.1}", h.p99() as f64 / 1000.0),
+                ]
+            })
+        })
+        .collect();
+    print_table(&["layer", "samples", "mean_us", "p99_us"], &rows);
 }
 
 /// Table 1: the message taxonomy, audited on a live run.
@@ -287,7 +322,11 @@ pub fn table1() {
     });
     let app = cluster.submit("audit", 2, SubmitOpts::default()).unwrap();
     let deadline = std::time::Instant::now() + T;
-    while cluster.store().latest_common_index(app, &[Rank(0), Rank(1)]) < 1 {
+    while cluster
+        .store()
+        .latest_common_index(app, &[Rank(0), Rank(1)])
+        < 1
+    {
         assert!(std::time::Instant::now() < deadline);
         std::thread::sleep(Duration::from_millis(5));
     }
@@ -295,11 +334,18 @@ pub fn table1() {
     std::thread::sleep(Duration::from_millis(100));
     cluster.resume(app).unwrap();
     let placement = cluster.config().apps[&app].placement.clone();
-    if let Some(idle) = (0..3).map(starfish::NodeId).find(|n| !placement.contains(n)) {
+    if let Some(idle) = (0..3)
+        .map(starfish::NodeId)
+        .find(|n| !placement.contains(n))
+    {
         cluster.crash_node(idle);
     }
     std::thread::sleep(Duration::from_millis(400));
 
+    // Counts come from the shared telemetry registry: the trace sink feeds
+    // every classified message into it (single accounting channel), and the
+    // same counters back the daemons' STATS management command.
+    let reg = cluster.metrics();
     let rows: Vec<Vec<String>> = MsgClass::ALL
         .iter()
         .map(|c| {
@@ -314,8 +360,8 @@ pub fn table1() {
             vec![
                 c.name().to_string(),
                 sent_between.to_string(),
-                format!("{}", trace.count(*c)),
-                format!("{}", trace.bytes(*c)),
+                format!("{}", reg.counter(telemetry_metric::msg_count(*c))),
+                format!("{}", reg.counter(telemetry_metric::msg_bytes(*c))),
             ]
         })
         .collect();
@@ -332,8 +378,14 @@ pub fn table2() {
     // A representative VM heap.
     let state = CkptValue::record(vec![
         ("step", CkptValue::Int(123_456)),
-        ("grid", CkptValue::FloatArray((0..4096).map(|i| i as f64 * 0.5).collect())),
-        ("ids", CkptValue::IntArray((0..1024).map(|i| i - 512).collect())),
+        (
+            "grid",
+            CkptValue::FloatArray((0..4096).map(|i| i as f64 * 0.5).collect()),
+        ),
+        (
+            "ids",
+            CkptValue::IntArray((0..1024).map(|i| i - 512).collect()),
+        ),
         ("tag", CkptValue::Str("heterogeneous".into())),
     ]);
     println!("machines:");

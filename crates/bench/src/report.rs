@@ -32,7 +32,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         line(headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", line(row.clone()));
     }

@@ -40,7 +40,12 @@ pub struct Arch {
 }
 
 impl Arch {
-    pub const fn new(cpu: &'static str, os: &'static str, endian: Endianness, word_bits: u8) -> Self {
+    pub const fn new(
+        cpu: &'static str,
+        os: &'static str,
+        endian: Endianness,
+        word_bits: u8,
+    ) -> Self {
         Arch {
             cpu,
             os,

@@ -110,7 +110,9 @@ mod tests {
     fn largest_images_order_of_seconds() {
         let native = DiskModel::ide_1999().write_time(135_000_000).as_secs_f64();
         assert!(native > 1.0 && native < 60.0, "native 135MB = {native}s");
-        let vm = DiskModel::vm_buffered().write_time(96_000_000).as_secs_f64();
+        let vm = DiskModel::vm_buffered()
+            .write_time(96_000_000)
+            .as_secs_f64();
         assert!(vm > 0.5 && vm < 10.0, "vm 96MB = {vm}s");
     }
 

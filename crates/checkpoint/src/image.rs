@@ -114,8 +114,8 @@ impl CkptImage {
         })
     }
 
-    /// Total accounted size on stable storage: level base + serialized state
-    /// + channel payloads. This is the size the disk model charges for and
+    /// Total accounted size on stable storage: level base, serialized state,
+    /// and channel payloads. This is the size the disk model charges for and
     /// the size the Figure 3/4 harnesses report.
     pub fn total_bytes(&self) -> u64 {
         let chan: u64 = self

@@ -36,7 +36,11 @@ pub struct Increment {
 impl Increment {
     /// Bytes that must hit stable storage for this increment.
     pub fn bytes_written(&self) -> u64 {
-        self.dirty.values().map(|c| c.len() as u64 + 16).sum::<u64>() + 16
+        self.dirty
+            .values()
+            .map(|c| c.len() as u64 + 16)
+            .sum::<u64>()
+            + 16
     }
 }
 
@@ -166,7 +170,7 @@ mod tests {
         let base = t.capture(&img1);
         let img2 = vec![1u8; 4 * CHUNK]; // grow
         let inc2 = t.capture(&img2);
-        assert_eq!(reassemble(&base, &[inc2.clone()]), img2);
+        assert_eq!(reassemble(&base, std::slice::from_ref(&inc2)), img2);
         let img3 = vec![1u8; CHUNK + 10]; // shrink (content of chunk 0 same, chunk 1 truncated+changed hash)
         let inc3 = t.capture(&img3);
         assert_eq!(reassemble(&base, &[inc2, inc3]), img3);
@@ -212,7 +216,7 @@ mod proptests {
                 incs.push(t.capture(&img));
             }
             // Grow once, edit once more.
-            img.extend(std::iter::repeat(0xCD).take(growth));
+            img.extend(std::iter::repeat_n(0xCD, growth));
             incs.push(t.capture(&img));
             prop_assert_eq!(reassemble(&base, &incs), img.clone());
             // A clean capture after all that is (nearly) free.

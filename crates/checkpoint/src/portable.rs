@@ -421,7 +421,7 @@ mod tests {
     fn sample() -> CkptValue {
         CkptValue::record(vec![
             ("step", CkptValue::Int(12345)),
-            ("pi", CkptValue::Float(3.141592653589793)),
+            ("pi", CkptValue::Float(std::f64::consts::PI)),
             ("name", CkptValue::Str("jacobi".into())),
             ("flags", CkptValue::Bool(true)),
             ("grid", CkptValue::FloatArray(vec![0.5, -1.25, 1e300])),
@@ -514,8 +514,8 @@ mod tests {
     #[test]
     fn negative_ints_survive_all_conversions() {
         for src in MACHINES {
-            let img = encode_portable(&CkptValue::IntArray(vec![-1, i32::MIN as i64]), src)
-                .unwrap();
+            let img =
+                encode_portable(&CkptValue::IntArray(vec![-1, i32::MIN as i64]), src).unwrap();
             for dst in MACHINES {
                 let (v, _) = decode_portable(&img, dst).unwrap();
                 assert_eq!(v, CkptValue::IntArray(vec![-1, i32::MIN as i64]));
@@ -562,9 +562,8 @@ mod proptests {
         leaf.prop_recursive(3, 24, 4, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 0..4).prop_map(CkptValue::List),
-                proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|fs| {
-                    CkptValue::Record(fs)
-                }),
+                proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                    .prop_map(|fs| { CkptValue::Record(fs) }),
             ]
         })
     }
@@ -573,21 +572,17 @@ mod proptests {
         match (a, b) {
             (CkptValue::Float(x), CkptValue::Float(y)) => x.to_bits() == y.to_bits(),
             (CkptValue::FloatArray(xs), CkptValue::FloatArray(ys)) => {
+                xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (CkptValue::List(xs), CkptValue::List(ys)) => {
+                xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| values_equal_mod_nan(x, y))
+            }
+            (CkptValue::Record(xs), CkptValue::Record(ys)) => {
                 xs.len() == ys.len()
                     && xs
                         .iter()
                         .zip(ys)
-                        .all(|(x, y)| x.to_bits() == y.to_bits())
-            }
-            (CkptValue::List(xs), CkptValue::List(ys)) => {
-                xs.len() == ys.len()
-                    && xs.iter().zip(ys).all(|(x, y)| values_equal_mod_nan(x, y))
-            }
-            (CkptValue::Record(xs), CkptValue::Record(ys)) => {
-                xs.len() == ys.len()
-                    && xs.iter().zip(ys).all(|((ka, va), (kb, vb))| {
-                        ka == kb && values_equal_mod_nan(va, vb)
-                    })
+                        .all(|((ka, va), (kb, vb))| ka == kb && values_equal_mod_nan(va, vb))
             }
             _ => a == b,
         }

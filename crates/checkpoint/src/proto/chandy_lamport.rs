@@ -147,6 +147,11 @@ impl ChandyLamport {
                 eff.extend(self.maybe_complete());
                 eff
             }
+            // A member's engine rests in `Complete` after a round (only the
+            // initiator returns to `Idle` on commit). A marker with a higher
+            // index is the start of the next round — it must open a new
+            // snapshot, not be dropped (markers are never resent).
+            ClPhase::Complete if index > self.index => self.snapshot(index, Some(from)),
             _ => Vec::new(),
         }
     }
@@ -245,6 +250,25 @@ mod tests {
             .iter()
             .any(|e| matches!(e, CrEffect::RecordChannel { .. })));
         assert_eq!(e1.phase(), ClPhase::Complete);
+    }
+
+    /// Regression: a member rests in `Complete` after a round (only the
+    /// initiator is reset by the commit). The next round's marker must start
+    /// a fresh snapshot instead of being swallowed.
+    #[test]
+    fn next_round_marker_reopens_member_engine() {
+        let ranks = vec![Rank(0), Rank(1)];
+        let mut e1 = ChandyLamport::new(Rank(1), ranks);
+        e1.on_marker(Rank(0), 1);
+        assert_eq!(e1.phase(), ClPhase::Complete);
+        let eff = e1.on_marker(Rank(0), 2);
+        assert!(
+            eff.contains(&CrEffect::TakeCheckpoint { index: 2 }),
+            "{eff:?}"
+        );
+        assert_eq!(e1.index(), 2);
+        // A stale duplicate from the finished round stays ignored.
+        assert!(e1.on_marker(Rank(0), 1).is_empty());
     }
 
     #[test]

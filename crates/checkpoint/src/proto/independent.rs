@@ -141,8 +141,7 @@ mod tests {
 
         // p0 crashes. Its latest is ckpt 1 — the send in interval 1 rolls
         // back, so p1's ckpt 1 holds an orphan and p1 must restart from 0.
-        let latest: BTreeMap<Rank, u64> =
-            [(Rank(0), 1u64), (Rank(1), 1u64)].into_iter().collect();
+        let latest: BTreeMap<Rank, u64> = [(Rank(0), 1u64), (Rank(1), 1u64)].into_iter().collect();
         let rl = recovery_line(&latest, &deps, &[Rank(0)]);
         assert_eq!(rl.index_of(Rank(0)), 1);
         assert_eq!(rl.index_of(Rank(1)), 0);

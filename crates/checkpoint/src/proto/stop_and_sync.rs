@@ -16,7 +16,7 @@
 //! 4. When the coordinator has all `Saved`s, the checkpoint commits; it
 //!    broadcasts `Resume` and everyone continues.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use starfish_util::Rank;
 
@@ -45,6 +45,12 @@ pub struct StopAndSync {
     index: u64,
     marks: BTreeSet<Rank>,
     saved: BTreeSet<Rank>,
+    /// Flush marks that arrived for a round we have not entered yet. The
+    /// fast data path can outrun the daemon-relayed control path: a peer
+    /// that already resumed round `k` may deliver `FlushMark{k+1}` while we
+    /// are still in `AwaitCommit` for round `k`. Marks are never resent, so
+    /// they must be kept until `enter_stop(k+1)`.
+    pending_marks: BTreeMap<u64, BTreeSet<Rank>>,
 }
 
 impl StopAndSync {
@@ -61,6 +67,7 @@ impl StopAndSync {
             index: 0,
             marks: BTreeSet::new(),
             saved: BTreeSet::new(),
+            pending_marks: BTreeMap::new(),
         }
     }
 
@@ -101,6 +108,10 @@ impl StopAndSync {
         self.index = index;
         self.marks.clear();
         self.saved.clear();
+        if let Some(early) = self.pending_marks.remove(&index) {
+            self.marks.extend(early);
+        }
+        self.pending_marks.retain(|k, _| *k > index);
         let mut eff = vec![CrEffect::BeginQuiesce { index }];
         for p in self.peers() {
             eff.push(CrEffect::DataMark {
@@ -187,6 +198,11 @@ impl StopAndSync {
         if index == self.index {
             self.marks.insert(from);
             return self.maybe_quiesced();
+        }
+        if index > self.index {
+            // A mark for a round we have not entered (e.g. we are still in
+            // `AwaitCommit` of the previous round). Hold it for `enter_stop`.
+            self.pending_marks.entry(index).or_default().insert(from);
         }
         Vec::new()
     }
@@ -338,6 +354,32 @@ mod tests {
                 }
             )
             .is_empty());
+    }
+
+    /// Regression: the coordinator commits round `k`, returns to `Running`,
+    /// and immediately starts round `k+1`; its `FlushMark{k+1}` travels the
+    /// fast data path and can land while a member is still in `AwaitCommit`
+    /// for round `k` (the daemon-relayed `Resume{k}` is slower). The mark is
+    /// never resent, so dropping it deadlocks the member in round `k+1`.
+    #[test]
+    fn mark_for_next_round_during_await_commit_is_kept() {
+        let ranks = vec![Rank(0), Rank(1)];
+        let mut e1 = StopAndSync::new(Rank(1), ranks);
+        // Round 1 up to the point where r1 saved and awaits the commit.
+        e1.on_msg(Rank(0), &CrMsg::Stop { index: 1 });
+        e1.on_flush_mark(Rank(0), 1);
+        e1.on_saved(1);
+        assert_eq!(e1.phase(), Phase::AwaitCommit);
+        // Round 2's mark overtakes Resume{1}: must not be dropped.
+        assert!(e1.on_flush_mark(Rank(0), 2).is_empty());
+        // Resume{1} and Stop{2} arrive in (total) order.
+        e1.on_msg(Rank(0), &CrMsg::Resume { index: 1 });
+        let eff = e1.on_msg(Rank(0), &CrMsg::Stop { index: 2 });
+        // The stashed mark completes the quiesce immediately.
+        assert!(
+            eff.contains(&CrEffect::TakeCheckpoint { index: 2 }),
+            "{eff:?}"
+        );
     }
 
     #[test]

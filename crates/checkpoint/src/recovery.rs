@@ -112,7 +112,10 @@ pub fn recovery_line(
 
 /// Count how many checkpoints each process would keep after pruning to the
 /// line (helper for the ablation report).
-pub fn discarded_checkpoints(latest: &BTreeMap<Rank, u64>, line: &RecoveryLine) -> BTreeMap<Rank, u64> {
+pub fn discarded_checkpoints(
+    latest: &BTreeMap<Rank, u64>,
+    line: &RecoveryLine,
+) -> BTreeMap<Rank, u64> {
     latest
         .iter()
         .map(|(r, l)| (*r, l.saturating_sub(line.index_of(*r))))

@@ -38,7 +38,10 @@ pub enum BusTopic {
 /// One event on the bus.
 #[derive(Debug, Clone)]
 pub enum BusEvent {
-    View { view: LwView, vt: VirtualTime },
+    View {
+        view: LwView,
+        vt: VirtualTime,
+    },
     Coord {
         from: Rank,
         body: Bytes,

@@ -14,9 +14,7 @@ use std::time::Duration;
 use starfish_checkpoint::store::CkptStore;
 use starfish_checkpoint::CkptValue;
 use starfish_daemon::config::{AppSpec, AppStatus, ClusterConfig};
-use starfish_daemon::{
-    CfgCmd, CkptProto, Daemon, DaemonConfig, FtPolicy, LevelKind, MgmtSession,
-};
+use starfish_daemon::{CfgCmd, CkptProto, Daemon, DaemonConfig, FtPolicy, LevelKind, MgmtSession};
 use starfish_mpi::RankDirectory;
 use starfish_util::trace::TraceSink;
 use starfish_util::{AppId, Error, NodeId, Rank, Result};
@@ -135,6 +133,13 @@ impl ClusterBuilder {
     /// full node set.
     pub fn build(self) -> Result<Cluster> {
         let fabric = Fabric::new(self.model, self.layers);
+        // One shared registry for cluster infrastructure (fabric, ensemble,
+        // daemons): every daemon piggybacks it under the single "cluster"
+        // stats scope, so replace-on-update keeps the aggregate exact.
+        let metrics = starfish_telemetry::Registry::new();
+        fabric.attach_metrics(metrics.clone());
+        self.trace
+            .attach_metrics(std::sync::Arc::new(metrics.clone()));
         let store = CkptStore::new();
         let registry = AppRegistry::new();
         let dirs = DirRegistry::default();
@@ -162,6 +167,8 @@ impl ClusterBuilder {
             dc.arch_index = *arch_index;
             dc.trace = self.trace.clone();
             dc.ensemble.trace = self.trace.clone();
+            dc.metrics = Some(metrics.clone());
+            dc.ensemble.metrics = Some(metrics.clone());
             let d = Daemon::start(
                 &fabric,
                 dc,
@@ -170,9 +177,7 @@ impl ClusterBuilder {
                 store.clone(),
             )?;
             // Sequential boot keeps daemon ids and join order deterministic.
-            d.wait_config(Duration::from_secs(30), |c| {
-                c.up_nodes().len() == i + 1
-            })?;
+            d.wait_config(Duration::from_secs(30), |c| c.up_nodes().len() == i + 1)?;
             daemons.push(d);
         }
         for d in &daemons {
@@ -189,6 +194,7 @@ impl ClusterBuilder {
             outputs,
             trace: self.trace,
             knobs: self.knobs,
+            metrics,
             next_token: AtomicU64::new(1),
             next_node: AtomicU32::new(n),
         })
@@ -205,6 +211,7 @@ pub struct Cluster {
     outputs: Outputs,
     trace: TraceSink,
     knobs: RuntimeKnobs,
+    metrics: starfish_telemetry::Registry,
     next_token: AtomicU64,
     next_node: AtomicU32,
 }
@@ -242,7 +249,11 @@ impl Cluster {
 
     /// Daemon of a specific node.
     pub fn daemon_of(&self, node: NodeId) -> Option<Daemon> {
-        self.daemons.lock().iter().find(|d| d.node() == node).cloned()
+        self.daemons
+            .lock()
+            .iter()
+            .find(|d| d.node() == node)
+            .cloned()
     }
 
     /// Open a management/user session against a live daemon (the ASCII
@@ -263,8 +274,7 @@ impl Cluster {
 
     /// Submit a registered program with `size` ranks.
     pub fn submit(&self, name: &str, size: u32, opts: SubmitOpts) -> Result<AppId> {
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed) << 20
-            | 0xA11C0;
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed) << 20 | 0xA11C0;
         let spec = AppSpec {
             name: name.to_string(),
             size,
@@ -296,7 +306,10 @@ impl Cluster {
     pub fn wait_app_done(&self, app: AppId, timeout: Duration) -> Result<()> {
         self.daemon()
             .wait_config(timeout, |c| {
-                c.apps.get(&app).map(|a| a.status == AppStatus::Done).unwrap_or(false)
+                c.apps
+                    .get(&app)
+                    .map(|a| a.status == AppStatus::Done)
+                    .unwrap_or(false)
             })
             .map(|_| ())
     }
@@ -309,7 +322,9 @@ impl Cluster {
         mut pred: impl FnMut(&starfish_daemon::config::AppEntry) -> bool,
     ) -> Result<()> {
         self.daemon()
-            .wait_config(timeout, |c| c.apps.get(&app).map(&mut pred).unwrap_or(false))
+            .wait_config(timeout, |c| {
+                c.apps.get(&app).map(&mut pred).unwrap_or(false)
+            })
             .map(|_| ())
     }
 
@@ -433,8 +448,16 @@ impl Cluster {
         dc.arch_index = arch_index;
         dc.trace = self.trace.clone();
         dc.ensemble.trace = self.trace.clone();
+        dc.metrics = Some(self.metrics.clone());
+        dc.ensemble.metrics = Some(self.metrics.clone());
         let contact = self.daemon().node();
-        let d = Daemon::start(&self.fabric, dc, Some(contact), Box::new(host), self.store.clone())?;
+        let d = Daemon::start(
+            &self.fabric,
+            dc,
+            Some(contact),
+            Box::new(host),
+            self.store.clone(),
+        )?;
         d.wait_config(Duration::from_secs(30), |c| c.nodes.contains_key(&node))?;
         self.daemons.lock().push(d);
         Ok(node)
@@ -464,6 +487,20 @@ impl Cluster {
     /// The message-taxonomy trace attached at build time.
     pub fn trace(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// The shared cluster-infrastructure telemetry registry (fabric, trace,
+    /// ensemble, daemons). Per-process registries are separate; their
+    /// snapshots arrive via the daemons' `StatsHub` (see [`Cluster::stats`]).
+    pub fn metrics(&self) -> &starfish_telemetry::Registry {
+        &self.metrics
+    }
+
+    /// The stats hub of the first daemon — the cluster-wide aggregate view
+    /// (all daemons converge on the same contents via the ordered cast path).
+    pub fn stats(&self) -> starfish_daemon::StatsHub {
+        let d = self.daemon();
+        d.stats().clone()
     }
 }
 

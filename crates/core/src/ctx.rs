@@ -34,7 +34,7 @@ use starfish_daemon::{CkptProto, ProcUp, RelayKind};
 use starfish_lwgroups::LwView;
 use starfish_mpi::collectives as coll;
 use starfish_mpi::wire::WORLD_CONTEXT;
-use starfish_mpi::{Comm, ReduceOp, RecvdMsg, Request};
+use starfish_mpi::{Comm, RecvdMsg, ReduceOp, Request};
 use starfish_util::{Error, Rank, Result, VirtualTime};
 
 use crate::bus::{BusEvent, BusTopic};
@@ -359,10 +359,7 @@ impl Ctx<'_> {
 
     /// Run `f` with the world communicator checked out (only its collective
     /// sequence number mutates).
-    fn with_world<R>(
-        &mut self,
-        f: impl FnOnce(&mut Self, &mut Comm) -> Result<R>,
-    ) -> Result<R> {
+    fn with_world<R>(&mut self, f: impl FnOnce(&mut Self, &mut Comm) -> Result<R>) -> Result<R> {
         let mut comm = self.rt.comm.clone();
         let r = f(self, &mut comm);
         self.rt.comm.coll_seq = comm.coll_seq;
@@ -490,13 +487,13 @@ impl Ctx<'_> {
         if me == root {
             let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
             out[me.index()] = data.to_vec();
-            for i in 0..n {
+            for (i, slot) in out.iter_mut().enumerate() {
                 if i == me.index() {
                     continue;
                 }
                 let src = comm.world_rank(Rank(i as u32))?;
                 let m = self.crecv(context, src, tag)?;
-                out[i] = m.data.to_vec();
+                *slot = m.data.to_vec();
             }
             Ok(Some(out))
         } else {
@@ -805,7 +802,10 @@ impl Ctx<'_> {
                         if let CrEngine::Sync(e) = &self.rt.cr.engine {
                             eprintln!(
                                 "[rt {}.{}] member stuck (epoch {}): {:?}",
-                                self.rt.app, self.rt.rank, self.rt.mpi.epoch(), e
+                                self.rt.app,
+                                self.rt.rank,
+                                self.rt.mpi.epoch(),
+                                e
                             );
                         }
                     }
@@ -840,7 +840,10 @@ impl Ctx<'_> {
                     if let CrEngine::Sync(e) = &self.rt.cr.engine {
                         eprintln!(
                             "[rt {}.{}] commit stuck (epoch {}): {:?}",
-                            self.rt.app, self.rt.rank, self.rt.mpi.epoch(), e
+                            self.rt.app,
+                            self.rt.rank,
+                            self.rt.mpi.epoch(),
+                            e
                         );
                     }
                 }
@@ -876,14 +879,10 @@ impl Ctx<'_> {
     /// Take the next pending coordination message, if any.
     pub fn take_coord(&mut self) -> Result<Option<(Rank, Bytes)>> {
         self.rt.service(None)?;
-        Ok(self
-            .rt
-            .bus
-            .take(BusTopic::Coordination)
-            .map(|ev| match ev {
-                BusEvent::Coord { from, body, .. } => (from, body),
-                _ => unreachable!("coordination queue holds Coord events"),
-            }))
+        Ok(self.rt.bus.take(BusTopic::Coordination).map(|ev| match ev {
+            BusEvent::Coord { from, body, .. } => (from, body),
+            _ => unreachable!("coordination queue holds Coord events"),
+        }))
     }
 
     /// Take the next membership-change notification, if any (the paper's
@@ -909,5 +908,3 @@ impl Ctx<'_> {
         self.rt.entry.spec.proto
     }
 }
-
-

@@ -32,7 +32,11 @@ impl AppRegistry {
         AppRegistry::default()
     }
 
-    pub fn register(&self, name: &str, f: impl Fn(&mut Ctx<'_>) -> Result<()> + Send + Sync + 'static) {
+    pub fn register(
+        &self,
+        name: &str,
+        f: impl Fn(&mut Ctx<'_>) -> Result<()> + Send + Sync + 'static,
+    ) {
         self.inner.lock().insert(name.to_string(), Arc::new(f));
     }
 
@@ -144,6 +148,7 @@ impl NodeHost for RuntimeHost {
             spec.restore_from,
             self.knobs.bus_data_path,
             self.knobs.indep_every,
+            starfish_telemetry::Registry::new(),
         );
         std::thread::Builder::new()
             .name(format!("app-{}-{}", spec.app, spec.rank))

@@ -62,17 +62,15 @@ pub mod state;
 
 pub use bus::{Bus, BusTopic};
 pub use cluster::{AutoCheckpoint, Cluster, ClusterBuilder, SubmitOpts};
-pub use host::RuntimeKnobs;
 pub use ctx::{Ctx, SubComm, ViewNotice};
+pub use host::RuntimeKnobs;
 pub use state::Checkpointable;
 
 // Re-exports for downstream convenience.
 pub use starfish_checkpoint::{Arch, CkptValue, DiskModel, Endianness, MACHINES};
 pub use starfish_daemon::{AppStatus, CkptProto, FtPolicy, LevelKind, MgmtSession};
 pub use starfish_mpi::{RecvMode, ReduceOp};
-pub use starfish_util::{
-    AppId, Epoch, Error, NodeId, Rank, Result, VirtualTime,
-};
+pub use starfish_util::{AppId, Epoch, Error, NodeId, Rank, Result, VirtualTime};
 pub use starfish_vni::{BipMyrinet, Ideal, NetworkModel, ServerNetVia, TcpEthernet};
 
 #[cfg(test)]

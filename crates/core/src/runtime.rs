@@ -45,10 +45,11 @@ use starfish_checkpoint::proto::stop_and_sync::StopAndSync;
 use starfish_checkpoint::proto::{CrEffect, CrMsg, SyncCostModel};
 use starfish_checkpoint::store::CkptStore;
 use starfish_checkpoint::{Arch, CkptValue, DiskModel};
-use starfish_daemon::{CkptProto, LevelKind, ProcDown, ProcUp, RelayKind};
 use starfish_daemon::config::AppEntry;
+use starfish_daemon::{CkptProto, LevelKind, ProcDown, ProcUp, RelayKind};
 use starfish_mpi::wire::MsgHeader;
 use starfish_mpi::{Comm, MpiEndpoint};
+use starfish_telemetry::{metric, Registry};
 use starfish_util::codec::{Decode, Encode};
 use starfish_util::trace::TraceSink;
 use starfish_util::{AppId, Error, NodeId, Rank, Result, VClock, VirtualTime};
@@ -60,11 +61,13 @@ use crate::state::Checkpointable;
 /// word-resizing a heap image on the era's hardware).
 pub const CONVERT_BW: f64 = 25.0e6;
 
+type OutputMap = HashMap<(AppId, Rank), Vec<CkptValue>>;
+
 /// Per-process published results, visible to the cluster owner (tests,
 /// examples, benches read these).
 #[derive(Clone, Default)]
 pub struct Outputs {
-    inner: Arc<Mutex<HashMap<(AppId, Rank), Vec<CkptValue>>>>,
+    inner: Arc<Mutex<OutputMap>>,
 }
 
 impl Outputs {
@@ -214,6 +217,14 @@ pub struct ProcessRuntime {
     /// mid-restart); retried at every service point with their original
     /// virtual send time.
     pub(crate) pending_marks: Vec<(Rank, Bytes, VirtualTime)>,
+
+    /// This process's telemetry registry (also installed in the MPI
+    /// endpoint); snapshots flush to the daemon at round commits,
+    /// restores, and completion.
+    pub(crate) metrics: Registry,
+    /// Virtual time this incarnation's current checkpoint round began
+    /// (set at local capture, cleared at commit/resume).
+    pub(crate) round_started: Option<VirtualTime>,
 }
 
 /// How often blocking loops wake to service interrupts (real time).
@@ -236,6 +247,7 @@ impl ProcessRuntime {
         restore_from: u64,
         bus_data_path: bool,
         indep_every: Option<u64>,
+        metrics: Registry,
     ) -> ProcessRuntime {
         let app = entry.id;
         let size = entry.spec.size;
@@ -246,6 +258,7 @@ impl ProcessRuntime {
         let abort_flag = Arc::new(AtomicBool::new(false));
         let mut mpi = mpi;
         mpi.set_abort_flag(abort_flag.clone());
+        mpi.set_metrics(metrics.clone());
         let proto = entry.spec.proto;
         ProcessRuntime {
             app,
@@ -281,7 +294,32 @@ impl ProcessRuntime {
             indep_every,
             safepoint_count: 0,
             pending_marks: Vec::new(),
+            metrics,
+            round_started: None,
         }
+    }
+
+    /// Close out the current checkpoint round, if one is open. Called from
+    /// both `Resume` and `Committed` (with `take()`) because their order
+    /// differs between coordinator and members — whichever fires first ends
+    /// the member's view of the round.
+    fn note_round_done(&mut self) {
+        if let Some(started) = self.round_started.take() {
+            let now = self.clock.now();
+            self.metrics.record_vt(metric::CKPT_ROUND_NS, now - started);
+            let index = self.cr.last_index;
+            self.metrics
+                .span_record("ckpt.round", &format!("index {index}"), started, now);
+        }
+    }
+
+    /// Ship the cumulative registry snapshot up to the daemon, which casts
+    /// it cluster-wide (scope `"app<A>.r<R>"`).
+    pub(crate) fn flush_stats(&self) {
+        self.send_up(ProcUp::Stats {
+            snap: self.metrics.snapshot(),
+            vt: self.clock.now(),
+        });
     }
 
     pub(crate) fn send_up(&self, msg: ProcUp) {
@@ -383,7 +421,13 @@ impl ProcessRuntime {
                 self.clock.merge(vt);
                 let next = self.cr.last_index + 1;
                 let effects = match &mut self.cr.engine {
-                    CrEngine::Sync(e) if e.is_coordinator() && e.phase() == starfish_checkpoint::proto::stop_and_sync::Phase::Running => e.start(next),
+                    CrEngine::Sync(e)
+                        if e.is_coordinator()
+                            && e.phase()
+                                == starfish_checkpoint::proto::stop_and_sync::Phase::Running =>
+                    {
+                        e.start(next)
+                    }
                     CrEngine::Cl(e) if e.is_initiator() && e.phase() == ClPhase::Idle => {
                         e.start(next)
                     }
@@ -461,12 +505,20 @@ impl ProcessRuntime {
                 }
                 CrEffect::DataMark { to, msg } => {
                     if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
-                        eprintln!("[rt {}.{}] DataMark -> {to}: {msg:?} (epoch {})", self.app, self.rank, self.mpi.epoch());
+                        eprintln!(
+                            "[rt {}.{}] DataMark -> {to}: {msg:?} (epoch {})",
+                            self.app,
+                            self.rank,
+                            self.mpi.epoch()
+                        );
                     }
                     let body = msg.encode_to_bytes();
                     if let Err(e) = self.mpi.send_ctrl_mark(&mut self.clock, to, &body) {
                         if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
-                            eprintln!("[rt {}.{}] DataMark -> {to} FAILED: {e:?}", self.app, self.rank);
+                            eprintln!(
+                                "[rt {}.{}] DataMark -> {to} FAILED: {e:?}",
+                                self.app, self.rank
+                            );
                         }
                         let _ = &e;
                         // Peer mid-restart (port not bound yet) or crashed:
@@ -479,31 +531,38 @@ impl ProcessRuntime {
                 CrEffect::BeginQuiesce { .. } => {
                     self.cr.stopped = true;
                 }
-                CrEffect::TakeCheckpoint { index } => match state {
-                    Some(s) => {
-                        // Live capture at a safepoint: nothing consumed since.
-                        let v = s.save();
-                        let seq = self.comm.coll_seq;
-                        self.cached_state = Some((v.clone(), seq));
-                        self.consumed_log.clear();
-                        self.take_checkpoint_value(index, v, seq, Vec::new())?;
+                CrEffect::TakeCheckpoint { index } => {
+                    if self.round_started.is_none() {
+                        self.round_started = Some(self.clock.now());
                     }
-                    None => {
-                        // Blocked in a communication call: rewind to the
-                        // cached safepoint and log the consumed messages so
-                        // the restored incarnation can replay them.
-                        let (v, seq) = self
-                            .cached_state
-                            .clone()
-                            .unwrap_or((CkptValue::Unit, 0));
-                        let replay = self.consumed_log.clone();
-                        self.take_checkpoint_value(index, v, seq, replay)?;
+                    match state {
+                        Some(s) => {
+                            // Live capture at a safepoint: nothing consumed since.
+                            let v = s.save();
+                            let seq = self.comm.coll_seq;
+                            self.cached_state = Some((v.clone(), seq));
+                            self.consumed_log.clear();
+                            self.take_checkpoint_value(index, v, seq, Vec::new())?;
+                        }
+                        None => {
+                            // Blocked in a communication call: rewind to the
+                            // cached safepoint and log the consumed messages so
+                            // the restored incarnation can replay them.
+                            let (v, seq) =
+                                self.cached_state.clone().unwrap_or((CkptValue::Unit, 0));
+                            let replay = self.consumed_log.clone();
+                            self.take_checkpoint_value(index, v, seq, replay)?;
+                        }
                     }
-                },
+                }
                 CrEffect::RecordChannel { from } => self.mpi.start_recording(from),
                 CrEffect::StopRecord { from } => self.mpi.stop_recording(from),
                 CrEffect::Resume { .. } => {
                     self.cr.stopped = false;
+                    // Member's view of the round ends here; make its layer
+                    // histograms and checkpoint costs visible cluster-wide.
+                    self.note_round_done();
+                    self.flush_stats();
                 }
                 CrEffect::Committed { index } => {
                     // The coordinator charges the fitted daemon-coordination
@@ -515,10 +574,13 @@ impl ProcessRuntime {
                     };
                     self.clock.advance(sync_cost);
                     self.cr.committed += 1;
+                    self.metrics.inc(metric::CKPT_ROUNDS);
+                    self.note_round_done();
                     self.send_up(ProcUp::CkptCommitted {
                         index,
                         vt: self.clock.now(),
                     });
+                    self.flush_stats();
                 }
             }
         }
@@ -640,11 +702,24 @@ impl ProcessRuntime {
         if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
             eprintln!(
                 "[rt {}.{}] write_image idx={index} start_vt={} bytes={}",
-                self.app, self.rank, self.clock.now(), img.total_bytes()
+                self.app,
+                self.rank,
+                self.clock.now(),
+                img.total_bytes()
             );
         }
-        self.clock.advance(self.disk.write_time(img.total_bytes()));
+        let bytes = img.total_bytes();
+        self.clock.advance(self.disk.write_time(bytes));
         self.store.put(img);
+        self.metrics.record(metric::CKPT_IMAGE_BYTES, bytes);
+        self.metrics
+            .record_vt(metric::CKPT_WRITE_NS, self.disk.write_time(bytes));
+        self.metrics.span_record(
+            "ckpt.write",
+            &format!("index {index}, {bytes} B"),
+            taken_at,
+            self.clock.now(),
+        );
         self.cr.last_index = index;
         // For the CL path, emitting Saved is the engine's business; for
         // stop-and-sync, on_saved is invoked by the caller.
@@ -678,7 +753,7 @@ impl ProcessRuntime {
         self.service(Some(state))?;
         // Independent auto-checkpointing.
         if let (Some(every), CrEngine::Indep(_)) = (self.indep_every, &self.cr.engine) {
-            if every > 0 && self.safepoint_count % every == 0 {
+            if every > 0 && self.safepoint_count.is_multiple_of(every) {
                 let effects = match &mut self.cr.engine {
                     CrEngine::Indep(e) => e.take_checkpoint(),
                     _ => unreachable!(),
@@ -695,7 +770,10 @@ impl ProcessRuntime {
                     if let CrEngine::Sync(e) = &self.cr.engine {
                         eprintln!(
                             "[rt {}.{}] quiesce stuck (epoch {}): {:?}",
-                            self.app, self.rank, self.mpi.epoch(), e
+                            self.app,
+                            self.rank,
+                            self.mpi.epoch(),
+                            e
                         );
                     }
                 }
@@ -748,9 +826,7 @@ impl ProcessRuntime {
                     self.clock
                         .advance(VirtualTime::transfer(report.body_bytes, CONVERT_BW));
                 }
-                if let Some(CkptValue::Int(seq)) =
-                    value.field("__coll_seq")
-                {
+                if let Some(CkptValue::Int(seq)) = value.field("__coll_seq") {
                     // (restored through the wrapper written by take_checkpoint)
                     self.comm.coll_seq = *seq as u64;
                 }
@@ -786,10 +862,7 @@ impl ProcessRuntime {
 }
 
 /// The process main loop: run the user code, re-entering after rollbacks.
-pub(crate) fn process_main(
-    mut rt: ProcessRuntime,
-    run: Arc<dyn Fn(&mut crate::ctx::Ctx<'_>) -> Result<()> + Send + Sync>,
-) {
+pub(crate) fn process_main(mut rt: ProcessRuntime, run: Arc<crate::host::AppFn>) {
     // Spawn a forwarder that mirrors Rollback/Kill into the abort flag so
     // blocking MPI waits preempt promptly.
     let (fwd_tx, fwd_rx) = channel::unbounded();
@@ -812,20 +885,45 @@ pub(crate) fn process_main(
     let dbg = std::env::var_os("STARFISH_RT_DEBUG").is_some();
     loop {
         if let Some(idx) = rt.restart_to.take() {
-            if dbg { eprintln!("[rt {}.{}] load_checkpoint({idx})", rt.app, rt.rank); }
+            if dbg {
+                eprintln!("[rt {}.{}] load_checkpoint({idx})", rt.app, rt.rank);
+            }
+            let started = rt.clock.now();
             rt.load_checkpoint(idx);
+            let now = rt.clock.now();
+            rt.metrics.inc(metric::RECOVERY_RESTARTS);
+            rt.metrics
+                .record_vt(metric::RECOVERY_RESTORE_NS, now - started);
+            rt.metrics
+                .span_record("recovery.restore", &format!("to index {idx}"), started, now);
+            rt.flush_stats();
         }
-        if dbg { eprintln!("[rt {}.{}] entering run (restored={})", rt.app, rt.rank, rt.restored.is_some()); }
+        if dbg {
+            eprintln!(
+                "[rt {}.{}] entering run (restored={})",
+                rt.app,
+                rt.rank,
+                rt.restored.is_some()
+            );
+        }
         let result = {
             let mut ctx = crate::ctx::Ctx { rt: &mut rt };
             run(&mut ctx)
         };
-        if dbg { eprintln!("[rt {}.{}] run -> {:?} killed={} restart_to={:?}", rt.app, rt.rank, result.as_ref().err(), rt.killed, rt.restart_to); }
+        if dbg {
+            eprintln!(
+                "[rt {}.{}] run -> {:?} killed={} restart_to={:?}",
+                rt.app,
+                rt.rank,
+                result.as_ref().err(),
+                rt.killed,
+                rt.restart_to
+            );
+        }
         match result {
             Ok(()) => {
-                rt.send_up(ProcUp::Done {
-                    vt: rt.clock.now(),
-                });
+                rt.flush_stats();
+                rt.send_up(ProcUp::Done { vt: rt.clock.now() });
                 return;
             }
             Err(Error::Interrupted(_)) => {

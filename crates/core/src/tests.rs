@@ -126,12 +126,21 @@ fn crash_restart_from_checkpoint_preserves_result() {
         ctx.publish(CkptValue::Int(acc));
         Ok(())
     });
-    let app = cluster.submit("survivor", 3, SubmitOpts::default()).unwrap();
+    let app = cluster
+        .submit("survivor", 3, SubmitOpts::default())
+        .unwrap();
 
     // Let it checkpoint (all ranks at index 1), then kill a node.
     let deadline = std::time::Instant::now() + T;
-    while cluster.store().latest_common_index(app, &[Rank(0), Rank(1), Rank(2)]) < 1 {
-        assert!(std::time::Instant::now() < deadline, "checkpoint never landed");
+    while cluster
+        .store()
+        .latest_common_index(app, &[Rank(0), Rank(1), Rank(2)])
+        < 1
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "checkpoint never landed"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     let victim = cluster.config().apps[&app].placement[1];
@@ -154,7 +163,10 @@ fn crash_restart_from_checkpoint_preserves_result() {
             .iter()
             .any(|v| matches!(v, CkptValue::Str(s) if s.starts_with("restored@")))
     });
-    assert!(restored_seen, "no rank reported restoring from a checkpoint");
+    assert!(
+        restored_seen,
+        "no rank reported restoring from a checkpoint"
+    );
     // And the epoch was bumped exactly once.
     assert_eq!(cluster.config().apps[&app].epoch.0, 1);
 }
@@ -240,8 +252,15 @@ fn notify_view_policy_repartitions() {
     let mut union: Vec<i64> = cov0.iter().chain(cov1.iter()).copied().collect();
     union.sort_unstable();
     union.dedup();
-    assert_eq!(union, (0..12).collect::<Vec<i64>>(), "full coverage after repartition");
-    assert!(cov0.len() >= 6, "rank 0 took over part of the lost share: {cov0:?}");
+    assert_eq!(
+        union,
+        (0..12).collect::<Vec<i64>>(),
+        "full coverage after repartition"
+    );
+    assert!(
+        cov0.len() >= 6,
+        "rank 0 took over part of the lost share: {cov0:?}"
+    );
 }
 
 #[test]
@@ -259,11 +278,15 @@ fn suspend_resume_via_cluster_api() {
         ctx.publish(CkptValue::Str("done".into()));
         Ok(())
     });
-    let app = cluster.submit("pausable", 1, SubmitOpts::default()).unwrap();
+    let app = cluster
+        .submit("pausable", 1, SubmitOpts::default())
+        .unwrap();
     cluster.wait_outputs(app, Rank(0), 1, T).unwrap();
     cluster.suspend(app).unwrap();
     cluster
-        .wait_app(app, T, |a| a.status == starfish_daemon::AppStatus::Suspended)
+        .wait_app(app, T, |a| {
+            a.status == starfish_daemon::AppStatus::Suspended
+        })
         .unwrap();
     // While suspended it must not finish.
     std::thread::sleep(Duration::from_millis(150));
@@ -370,9 +393,7 @@ fn dynamic_node_addition_expands_cluster() {
     });
     let app = cluster.submit("hello", 3, SubmitOpts::default()).unwrap();
     cluster.wait_app_done(app, T).unwrap();
-    assert!(cluster.config().apps[&app]
-        .placement
-        .contains(&new));
+    assert!(cluster.config().apps[&app].placement.contains(&new));
 }
 
 #[test]
@@ -432,7 +453,9 @@ fn crash_at_various_times_always_recovers() {
         // Crash whichever node currently hosts rank 1.
         let victim = cluster.config().apps[&app].placement[1];
         cluster.crash_node(victim);
-        cluster.wait_app_done(app, Duration::from_secs(120)).unwrap();
+        cluster
+            .wait_app_done(app, Duration::from_secs(120))
+            .unwrap();
         for r in 0..3 {
             let out = cluster.outputs(app, Rank(r));
             assert!(
@@ -474,7 +497,9 @@ fn checkpoint_under_heavy_traffic_loses_nothing() {
         }
         Ok(())
     });
-    let app = cluster.submit("firehose", 2, SubmitOpts::default()).unwrap();
+    let app = cluster
+        .submit("firehose", 2, SubmitOpts::default())
+        .unwrap();
     cluster.wait_app_done(app, Duration::from_secs(60)).unwrap();
     let expect: u64 = (0..200u64).sum();
     assert_eq!(

@@ -541,9 +541,7 @@ mod tests {
     #[test]
     fn submit_assigns_ids_and_round_robin_placement() {
         let mut c = with_nodes(3);
-        let eff = c.apply(&CfgCmd::Submit {
-            spec: spec("a", 5),
-        });
+        let eff = c.apply(&CfgCmd::Submit { spec: spec("a", 5) });
         assert_eq!(eff, vec![CfgEffect::AppSubmitted(AppId(1))]);
         let app = c.apps.get(&AppId(1)).unwrap();
         assert_eq!(app.placement.len(), 5);
@@ -551,9 +549,7 @@ mod tests {
         assert_eq!(app.placement[0], app.placement[3]);
         assert_eq!(app.placement[1], app.placement[4]);
         // Second submission starts at the least-loaded node.
-        let eff = c.apply(&CfgCmd::Submit {
-            spec: spec("b", 1),
-        });
+        let eff = c.apply(&CfgCmd::Submit { spec: spec("b", 1) });
         assert_eq!(eff, vec![CfgEffect::AppSubmitted(AppId(2))]);
         let b = c.apps.get(&AppId(2)).unwrap();
         assert_eq!(b.placement[0], NodeId(2), "node 2 had only one rank");
@@ -570,9 +566,7 @@ mod tests {
                 node: NodeId(1),
                 arch_index: 5,
             },
-            CfgCmd::Submit {
-                spec: spec("x", 4),
-            },
+            CfgCmd::Submit { spec: spec("x", 4) },
             CfgCmd::SetParam {
                 key: "ckpt_interval".into(),
                 value: "3600".into(),
@@ -593,9 +587,7 @@ mod tests {
     #[test]
     fn lifecycle_suspend_resume_delete() {
         let mut c = with_nodes(1);
-        c.apply(&CfgCmd::Submit {
-            spec: spec("a", 1),
-        });
+        c.apply(&CfgCmd::Submit { spec: spec("a", 1) });
         let id = AppId(1);
         assert_eq!(
             c.apply(&CfgCmd::Suspend { app: id }),
@@ -617,9 +609,7 @@ mod tests {
     #[test]
     fn app_done_when_all_ranks_finish() {
         let mut c = with_nodes(1);
-        c.apply(&CfgCmd::Submit {
-            spec: spec("a", 2),
-        });
+        c.apply(&CfgCmd::Submit { spec: spec("a", 2) });
         assert!(c
             .apply(&CfgCmd::RankDone {
                 app: AppId(1),
@@ -636,9 +626,7 @@ mod tests {
     #[test]
     fn restart_replaces_lost_ranks_deterministically() {
         let mut c = with_nodes(3);
-        c.apply(&CfgCmd::Submit {
-            spec: spec("a", 3),
-        });
+        c.apply(&CfgCmd::Submit { spec: spec("a", 3) });
         let app = c.apps[&AppId(1)].clone();
         let dead = app.placement[1];
         c.apply(&CfgCmd::NodeDead { node: dead });
@@ -670,9 +658,7 @@ mod tests {
     #[test]
     fn restart_with_no_nodes_kills() {
         let mut c = with_nodes(1);
-        c.apply(&CfgCmd::Submit {
-            spec: spec("a", 1),
-        });
+        c.apply(&CfgCmd::Submit { spec: spec("a", 1) });
         c.apply(&CfgCmd::NodeDead { node: NodeId(0) });
         let eff = c.apply(&CfgCmd::RestartApp {
             app: AppId(1),
@@ -685,9 +671,7 @@ mod tests {
     fn disabled_nodes_get_no_new_work() {
         let mut c = with_nodes(2);
         c.apply(&CfgCmd::DisableNode { node: NodeId(0) });
-        c.apply(&CfgCmd::Submit {
-            spec: spec("a", 3),
-        });
+        c.apply(&CfgCmd::Submit { spec: spec("a", 3) });
         let app = &c.apps[&AppId(1)];
         assert!(app.placement.iter().all(|n| *n == NodeId(1)));
         // Re-enable and the node is eligible again.
@@ -698,9 +682,7 @@ mod tests {
     #[test]
     fn token_lookup() {
         let mut c = with_nodes(1);
-        c.apply(&CfgCmd::Submit {
-            spec: spec("a", 1),
-        });
+        c.apply(&CfgCmd::Submit { spec: spec("a", 1) });
         assert_eq!(c.find_app_by_token(42).unwrap().id, AppId(1));
         assert!(c.find_app_by_token(7).is_none());
     }
@@ -709,7 +691,10 @@ mod tests {
     fn full_config_snapshot_roundtrips() {
         let mut c = with_nodes(3);
         c.apply(&CfgCmd::Submit { spec: spec("a", 4) });
-        c.apply(&CfgCmd::SetParam { key: "x".into(), value: "1".into() });
+        c.apply(&CfgCmd::SetParam {
+            key: "x".into(),
+            value: "1".into(),
+        });
         c.apply(&CfgCmd::DisableNode { node: NodeId(2) });
         let got = roundtrip(&c).unwrap();
         assert_eq!(got.nodes, c.nodes);
@@ -747,7 +732,12 @@ mod tests {
             line: vec![3, 3],
         });
         match &eff[0] {
-            CfgEffect::AppRestarted { replaced, epoch, line, .. } => {
+            CfgEffect::AppRestarted {
+                replaced,
+                epoch,
+                line,
+                ..
+            } => {
                 assert_eq!(replaced, &vec![(Rank(1), target)]);
                 assert_eq!(*epoch, Epoch(1));
                 assert_eq!(line, &vec![3, 3]);

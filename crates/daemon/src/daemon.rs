@@ -23,14 +23,18 @@ use starfish_checkpoint::recovery::{self};
 use starfish_checkpoint::store::CkptStore;
 use starfish_ensemble::{Endpoint, EndpointConfig, GcEvent, View};
 use starfish_lwgroups::{LwEvent, LwMsg, LwRouter};
+use starfish_telemetry::{metric, Registry};
 use starfish_util::codec::{Decode, Encode};
 use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
 use starfish_util::{AppId, Error, GroupId, NodeId, Rank, Result, VClock, VirtualTime};
 use starfish_vni::Fabric;
 
-use crate::config::{AppEntry, AppStatus, CfgEffect, CfgNodeStatus, CkptProto, ClusterConfig, FtPolicy};
+use crate::config::{
+    AppEntry, AppStatus, CfgEffect, CfgNodeStatus, CkptProto, ClusterConfig, FtPolicy,
+};
 use crate::host::{NodeHost, ProcSpec};
 use crate::msg::{AppRelay, CfgCmd, P2pMsg, ProcDown, ProcUp, RelayKind, WireCast};
+use crate::stats::StatsHub;
 
 /// Per-daemon settings.
 pub struct DaemonConfig {
@@ -40,6 +44,10 @@ pub struct DaemonConfig {
     pub arch_index: u8,
     pub trace: TraceSink,
     pub ensemble: EndpointConfig,
+    /// Shared infrastructure registry (fabric/trace/ensemble metrics); its
+    /// snapshot is cast under the `"cluster"` scope whenever process stats
+    /// flush through this daemon.
+    pub metrics: Option<Registry>,
 }
 
 impl DaemonConfig {
@@ -49,6 +57,7 @@ impl DaemonConfig {
             arch_index: 0,
             trace: TraceSink::disabled(),
             ensemble: EndpointConfig::default(),
+            metrics: None,
         }
     }
 }
@@ -65,6 +74,7 @@ pub struct Daemon {
     node: NodeId,
     cmd_tx: Sender<DaemonCmd>,
     shared_cfg: Arc<Mutex<ClusterConfig>>,
+    stats: StatsHub,
 }
 
 impl Daemon {
@@ -84,11 +94,14 @@ impl Daemon {
         let (cmd_tx, cmd_rx) = channel::unbounded();
         let (up_tx, up_rx) = channel::unbounded();
         let shared_cfg = Arc::new(Mutex::new(ClusterConfig::new()));
+        let stats = StatsHub::new();
         let node = cfg.node;
         let state = Loop {
             node,
             arch_index: cfg.arch_index,
             trace: cfg.trace,
+            metrics: cfg.metrics,
+            stats: stats.clone(),
             ep,
             router: LwRouter::new(node),
             config: ClusterConfig::new(),
@@ -114,6 +127,7 @@ impl Daemon {
             node,
             cmd_tx,
             shared_cfg,
+            stats,
         })
     }
 
@@ -152,6 +166,12 @@ impl Daemon {
         }
     }
 
+    /// The telemetry aggregation hub this daemon converges with the rest of
+    /// the cluster (fed by totally ordered `WireCast::Stats`).
+    pub fn stats(&self) -> &StatsHub {
+        &self.stats
+    }
+
     /// Ask the daemon to leave the group and exit.
     pub fn shutdown(&self) {
         let _ = self.cmd_tx.send(DaemonCmd::Shutdown);
@@ -164,6 +184,9 @@ struct Loop {
     node: NodeId,
     arch_index: u8,
     trace: TraceSink,
+    /// Shared infrastructure registry (see [`DaemonConfig::metrics`]).
+    metrics: Option<Registry>,
+    stats: StatsHub,
     ep: Endpoint,
     router: LwRouter,
     config: ClusterConfig,
@@ -337,6 +360,11 @@ impl Loop {
                 let events = self.router.on_cast(from, &lw, self.clock.now());
                 self.deliver_lw_events(events);
             }
+            WireCast::Stats { scope, snap } => {
+                // Cumulative snapshot: total order makes every hub converge
+                // on the same latest-per-scope table.
+                self.stats.update(&scope, snap);
+            }
         }
     }
 
@@ -365,6 +393,7 @@ impl Loop {
                 for (rank, node) in &replaced {
                     if *node != self.node {
                         if let Some(tx) = self.procs.remove(&(app, *rank)) {
+                            self.procs_delta(-1);
                             self.trace.record(
                                 MsgClass::Configuration,
                                 ActorKind::Daemon,
@@ -419,24 +448,24 @@ impl Loop {
                         },
                         MsgClass::Configuration,
                     );
-                    self.procs.remove(&key);
+                    if self.procs.remove(&key).is_some() {
+                        self.procs_delta(-1);
+                    }
                 }
             }
-            CfgEffect::AppSuspended(app) => self.down_all(
-                app,
-                |vt| ProcDown::Suspend { vt },
-                MsgClass::Configuration,
-            ),
-            CfgEffect::AppResumed(app) => self.down_all(
-                app,
-                |vt| ProcDown::Resume { vt },
-                MsgClass::Configuration,
-            ),
+            CfgEffect::AppSuspended(app) => {
+                self.down_all(app, |vt| ProcDown::Suspend { vt }, MsgClass::Configuration)
+            }
+            CfgEffect::AppResumed(app) => {
+                self.down_all(app, |vt| ProcDown::Resume { vt }, MsgClass::Configuration)
+            }
             CfgEffect::AppDone(app) => {
                 // Images are retained after completion (postmortem restore /
                 // migration of finished jobs); storage is reclaimed when the
                 // application is deleted.
+                let before = self.procs.len();
                 self.procs.retain(|(a, _), _| *a != app);
+                self.procs_delta(before as i64 - self.procs.len() as i64);
             }
             CfgEffect::CheckpointRequested(app) => {
                 // The round coordinator is the lowest rank; its hosting
@@ -469,7 +498,9 @@ impl Loop {
             );
         }
         let (down_tx, down_rx) = channel::unbounded();
-        self.procs.insert((entry.id, rank), down_tx);
+        if self.procs.insert((entry.id, rank), down_tx).is_none() {
+            self.procs_delta(1);
+        }
         self.host.spawn(ProcSpec {
             app: entry.id,
             rank,
@@ -483,20 +514,31 @@ impl Loop {
         });
     }
 
+    /// Keep the cluster-wide `procs.running` gauge in step with this
+    /// daemon's local process table (additive deltas, so daemons sharing a
+    /// registry in-process still sum correctly).
+    fn procs_delta(&self, delta: i64) {
+        if delta != 0 {
+            if let Some(m) = &self.metrics {
+                m.gauge_add(metric::PROCS_RUNNING, delta);
+            }
+        }
+    }
+
     fn send_down(&self, app: AppId, rank: Rank, msg: ProcDown, class: MsgClass) {
         if let Some(tx) = self.procs.get(&(app, rank)) {
-            self.trace
-                .record(class, ActorKind::Daemon, ActorKind::AppProcess, "local-tcp", 0);
+            self.trace.record(
+                class,
+                ActorKind::Daemon,
+                ActorKind::AppProcess,
+                "local-tcp",
+                0,
+            );
             let _ = tx.send(msg);
         }
     }
 
-    fn down_all(
-        &mut self,
-        app: AppId,
-        make: impl Fn(VirtualTime) -> ProcDown,
-        class: MsgClass,
-    ) {
+    fn down_all(&mut self, app: AppId, make: impl Fn(VirtualTime) -> ProcDown, class: MsgClass) {
         let keys: Vec<(AppId, Rank)> = self
             .procs
             .keys()
@@ -546,7 +588,10 @@ impl Loop {
                         if !current.contains(n) {
                             events.extend(self.router.on_cast(
                                 self.node,
-                                &LwMsg::Join { gid: *gid, node: *n },
+                                &LwMsg::Join {
+                                    gid: *gid,
+                                    node: *n,
+                                },
                                 vt,
                             ));
                         }
@@ -555,7 +600,10 @@ impl Loop {
                         if !nodes.contains(n) {
                             events.extend(self.router.on_cast(
                                 self.node,
-                                &LwMsg::Leave { gid: *gid, node: *n },
+                                &LwMsg::Leave {
+                                    gid: *gid,
+                                    node: *n,
+                                },
                                 vt,
                             ));
                         }
@@ -573,10 +621,7 @@ impl Loop {
             .filter(|g| !live.contains(g))
             .collect();
         for gid in stale {
-            events.extend(
-                self.router
-                    .on_cast(self.node, &LwMsg::Destroy { gid }, vt),
-            );
+            events.extend(self.router.on_cast(self.node, &LwMsg::Destroy { gid }, vt));
         }
         self.deliver_lw_events(events);
     }
@@ -675,7 +720,12 @@ impl Loop {
 
     fn on_view(&mut self, view: View) {
         if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
-            eprintln!("[daemon {}] view {:?} (coord {})", self.node, view, view.coordinator());
+            eprintln!(
+                "[daemon {}] view {:?} (coord {})",
+                self.node,
+                view,
+                view.coordinator()
+            );
         }
         self.view = Some(view.clone());
         if view.contains(self.node) {
@@ -838,13 +888,29 @@ impl Loop {
                 if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
                     eprintln!("[daemon {}] Done from {app}.{rank}", self.node);
                 }
-                self.procs.remove(&(app, rank));
+                if self.procs.remove(&(app, rank)).is_some() {
+                    self.procs_delta(-1);
+                }
                 let _ = self.cast(WireCast::Cfg(CfgCmd::RankDone { app, rank }));
             }
             ProcUp::CkptCommitted { index, vt } => {
                 self.clock.merge(vt);
                 if index > 1 {
                     self.store.prune_below(app, index);
+                }
+            }
+            ProcUp::Stats { snap, vt } => {
+                self.clock.merge(vt);
+                let scope = format!("{app}.r{}", rank.0);
+                let _ = self.cast(WireCast::Stats { scope, snap });
+                // Piggyback the shared infrastructure registry so `STATS`
+                // reflects fabric/trace/ensemble activity too. The scope is
+                // a single well-known key, so re-casts replace, not double.
+                if let Some(m) = &self.metrics {
+                    let _ = self.cast(WireCast::Stats {
+                        scope: "cluster".to_string(),
+                        snap: m.snapshot(),
+                    });
                 }
             }
         }
@@ -858,8 +924,10 @@ mod tests {
     use crate::host::NullHost;
     use starfish_vni::{Ideal, LayerCosts};
 
+    type SpawnLog = Arc<Mutex<Vec<(AppId, Rank, NodeId, u64)>>>;
+
     struct RecordingHost {
-        spawns: Arc<Mutex<Vec<(AppId, Rank, NodeId, u64)>>>,
+        spawns: SpawnLog,
         lost: Arc<Mutex<Vec<(AppId, Rank)>>>,
     }
 
@@ -895,10 +963,7 @@ mod tests {
         }
     }
 
-    fn start_cluster(
-        f: &Fabric,
-        n: u32,
-    ) -> (Vec<Daemon>, Vec<Arc<Mutex<Vec<(AppId, Rank, NodeId, u64)>>>>) {
+    fn start_cluster(f: &Fabric, n: u32) -> (Vec<Daemon>, Vec<SpawnLog>) {
         let mut daemons = Vec::new();
         let mut spawns = Vec::new();
         for i in 0..n {
@@ -926,8 +991,10 @@ mod tests {
         }
         // All daemons converge on the full node set.
         for d in &daemons {
-            d.wait_config(Duration::from_secs(10), |c| c.up_nodes().len() == n as usize)
-                .unwrap();
+            d.wait_config(Duration::from_secs(10), |c| {
+                c.up_nodes().len() == n as usize
+            })
+            .unwrap();
         }
         (daemons, spawns)
     }
@@ -991,7 +1058,11 @@ mod tests {
         for d in daemons.iter().filter(|d| d.node() != dead) {
             let cfg = d
                 .wait_config(Duration::from_secs(10), |c| {
-                    c.apps.values().next().map(|a| a.epoch.0 == 1).unwrap_or(false)
+                    c.apps
+                        .values()
+                        .next()
+                        .map(|a| a.epoch.0 == 1)
+                        .unwrap_or(false)
                 })
                 .unwrap();
             let a = cfg.apps.values().next().unwrap();

@@ -36,9 +36,11 @@ pub mod daemon;
 pub mod host;
 pub mod mgmt;
 pub mod msg;
+pub mod stats;
 
 pub use config::{AppEntry, AppSpec, AppStatus, CkptProto, ClusterConfig, FtPolicy, LevelKind};
 pub use daemon::{Daemon, DaemonConfig};
 pub use host::{NodeHost, ProcSpec};
 pub use mgmt::MgmtSession;
 pub use msg::{CfgCmd, ProcDown, ProcUp, RelayKind};
+pub use stats::StatsHub;

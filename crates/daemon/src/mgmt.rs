@@ -18,9 +18,9 @@ use std::time::Duration;
 
 use starfish_util::{AppId, NodeId};
 
-use crate::config::{AppSpec, CkptProto, FtPolicy, LevelKind};
 #[cfg(test)]
 use crate::config::AppStatus;
+use crate::config::{AppSpec, CkptProto, FtPolicy, LevelKind};
 use crate::daemon::Daemon;
 use crate::msg::CfgCmd;
 
@@ -148,9 +148,8 @@ impl MgmtSession {
             }
             "ADDNODE" => {
                 self.require_admin()?;
-                let node = Self::parse_node_id(
-                    toks.get(1).ok_or("ERR usage: ADDNODE <id> [arch]")?,
-                )?;
+                let node =
+                    Self::parse_node_id(toks.get(1).ok_or("ERR usage: ADDNODE <id> [arch]")?)?;
                 let arch: u8 = toks.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
                 self.daemon
                     .issue(CfgCmd::AddNode {
@@ -162,8 +161,7 @@ impl MgmtSession {
             }
             "REMOVENODE" => {
                 self.require_admin()?;
-                let node =
-                    Self::parse_node_id(toks.get(1).ok_or("ERR usage: REMOVENODE <id>")?)?;
+                let node = Self::parse_node_id(toks.get(1).ok_or("ERR usage: REMOVENODE <id>")?)?;
                 self.daemon
                     .issue(CfgCmd::RemoveNode { node })
                     .map_err(|e| format!("ERR {e}"))?;
@@ -213,16 +211,18 @@ impl MgmtSession {
                 while i + 1 < toks.len() + 1 {
                     match toks.get(i).map(|s| s.to_ascii_uppercase()).as_deref() {
                         Some("POLICY") => {
-                            policy = match toks.get(i + 1).map(|s| s.to_ascii_lowercase()).as_deref() {
-                                Some("restart") => FtPolicy::Restart,
-                                Some("view") => FtPolicy::NotifyView,
-                                Some("kill") => FtPolicy::Kill,
-                                _ => return Err("ERR bad POLICY".into()),
-                            };
+                            policy =
+                                match toks.get(i + 1).map(|s| s.to_ascii_lowercase()).as_deref() {
+                                    Some("restart") => FtPolicy::Restart,
+                                    Some("view") => FtPolicy::NotifyView,
+                                    Some("kill") => FtPolicy::Kill,
+                                    _ => return Err("ERR bad POLICY".into()),
+                                };
                             i += 2;
                         }
                         Some("LEVEL") => {
-                            level = match toks.get(i + 1).map(|s| s.to_ascii_lowercase()).as_deref() {
+                            level = match toks.get(i + 1).map(|s| s.to_ascii_lowercase()).as_deref()
+                            {
                                 Some("native") => LevelKind::Native,
                                 Some("vm") => LevelKind::Vm,
                                 _ => return Err("ERR bad LEVEL".into()),
@@ -230,7 +230,8 @@ impl MgmtSession {
                             i += 2;
                         }
                         Some("PROTO") => {
-                            proto = match toks.get(i + 1).map(|s| s.to_ascii_lowercase()).as_deref() {
+                            proto = match toks.get(i + 1).map(|s| s.to_ascii_lowercase()).as_deref()
+                            {
                                 Some("sync") => CkptProto::StopAndSync,
                                 Some("cl") => CkptProto::ChandyLamport,
                                 Some("indep") => CkptProto::Independent,
@@ -293,7 +294,8 @@ impl MgmtSession {
             "MIGRATE" => {
                 self.require_admin()?;
                 let id = Self::parse_app_id(
-                    toks.get(1).ok_or("ERR usage: MIGRATE <app> <rank> <node>")?,
+                    toks.get(1)
+                        .ok_or("ERR usage: MIGRATE <app> <rank> <node>")?,
                 )?;
                 let rank: u32 = toks
                     .get(2)
@@ -301,7 +303,8 @@ impl MgmtSession {
                     .and_then(|s| s.parse().ok())
                     .ok_or("ERR bad rank")?;
                 let node = Self::parse_node_id(
-                    toks.get(3).ok_or("ERR usage: MIGRATE <app> <rank> <node>")?,
+                    toks.get(3)
+                        .ok_or("ERR usage: MIGRATE <app> <rank> <node>")?,
                 )?;
                 let cfg = self.daemon.config();
                 let entry = cfg
@@ -328,6 +331,65 @@ impl MgmtSession {
                 let mut out = String::from("OK nodes");
                 for (n, e) in &cfg.nodes {
                     out.push_str(&format!("\n{n} {:?} {}", e.status, e.arch));
+                }
+                Ok(out)
+            }
+            "STATS" => {
+                self.require_login()?;
+                let snap = self.daemon.stats().merged();
+                if snap.is_empty() {
+                    return Ok("OK stats (no data)".into());
+                }
+                let mut out = String::from("OK stats");
+                for line in starfish_telemetry::render_stats(&snap).lines() {
+                    out.push('\n');
+                    out.push_str(line);
+                }
+                Ok(out)
+            }
+            "HEALTH" => {
+                self.require_login()?;
+                let cfg = self.daemon.config();
+                let snap = self.daemon.stats().merged();
+                let mut out = String::from("OK health");
+                for (n, e) in &cfg.nodes {
+                    out.push_str(&format!("\n{n} {:?}", e.status));
+                }
+                out.push_str(&format!(
+                    "\nprocs.running {}",
+                    snap.gauge(starfish_telemetry::metric::PROCS_RUNNING)
+                ));
+                for (label, id) in [
+                    (
+                        "ensemble.view_changes",
+                        starfish_telemetry::metric::ENSEMBLE_VIEW_CHANGES,
+                    ),
+                    (
+                        "ensemble.heartbeat_misses",
+                        starfish_telemetry::metric::ENSEMBLE_HEARTBEAT_MISSES,
+                    ),
+                    ("ckpt.rounds", starfish_telemetry::metric::CKPT_ROUNDS),
+                    (
+                        "recovery.restarts",
+                        starfish_telemetry::metric::RECOVERY_RESTARTS,
+                    ),
+                    ("trace.dropped", starfish_telemetry::metric::TRACE_DROPPED),
+                ] {
+                    out.push_str(&format!("\n{label} {}", snap.counter(id)));
+                }
+                Ok(out)
+            }
+            "TIMELINE" => {
+                self.require_login()?;
+                let id = Self::parse_app_id(toks.get(1).ok_or("ERR usage: TIMELINE <app>")?)?;
+                let events = self.daemon.stats().timeline_for(&format!("{id}.r"));
+                if events.is_empty() {
+                    return Ok(format!("OK timeline {id} (empty)"));
+                }
+                let mut out = format!("OK timeline {id}");
+                for line in starfish_telemetry::render_timeline(&events).lines() {
+                    out.push('\n');
+                    out.push_str(line);
                 }
                 Ok(out)
             }
@@ -451,7 +513,10 @@ mod tests {
         let nodes = s.handle_line("NODES");
         assert!(nodes.contains("n9"), "{nodes}");
         // The heterogeneous arch is visible.
-        assert!(nodes.contains("SunOS") || nodes.contains("big-endian"), "{nodes}");
+        assert!(
+            nodes.contains("SunOS") || nodes.contains("big-endian"),
+            "{nodes}"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use bytes::Bytes;
 
 use starfish_lwgroups::LwView;
+use starfish_telemetry::Snapshot;
 use starfish_util::codec::{Decode, Decoder, Encode, Encoder};
 use starfish_util::{AppId, Epoch, Error, NodeId, Rank, Result, VirtualTime};
 
@@ -13,32 +14,64 @@ use crate::config::{AppSpec, CkptProto, FtPolicy, LevelKind};
 /// between daemons (Table 1 "Control" messages).
 #[derive(Debug, Clone, PartialEq)]
 pub enum CfgCmd {
-    AddNode { node: NodeId, arch_index: u8 },
-    RemoveNode { node: NodeId },
-    DisableNode { node: NodeId },
-    EnableNode { node: NodeId },
+    AddNode {
+        node: NodeId,
+        arch_index: u8,
+    },
+    RemoveNode {
+        node: NodeId,
+    },
+    DisableNode {
+        node: NodeId,
+    },
+    EnableNode {
+        node: NodeId,
+    },
     /// The membership layer reported this node gone (crash); recorded in the
     /// replicated state so placement decisions exclude it.
-    NodeDead { node: NodeId },
-    SetParam { key: String, value: String },
-    Submit { spec: AppSpec },
-    Suspend { app: AppId },
-    ResumeApp { app: AppId },
-    Delete { app: AppId },
+    NodeDead {
+        node: NodeId,
+    },
+    SetParam {
+        key: String,
+        value: String,
+    },
+    Submit {
+        spec: AppSpec,
+    },
+    Suspend {
+        app: AppId,
+    },
+    ResumeApp {
+        app: AppId,
+    },
+    Delete {
+        app: AppId,
+    },
     /// A rank reported normal completion.
-    RankDone { app: AppId, rank: Rank },
+    RankDone {
+        app: AppId,
+        rank: Rank,
+    },
     /// Client- or system-initiated checkpoint request.
-    TriggerCkpt { app: AppId },
+    TriggerCkpt {
+        app: AppId,
+    },
     /// Deterministic restart decision (issued by the surviving view
     /// coordinator's daemon after a failure under the `Restart` policy).
     /// `line` is the recovery line: the checkpoint index each rank restarts
     /// from (uniform for coordinated protocols, per-rank for uncoordinated).
-    RestartApp { app: AppId, line: Vec<u64> },
+    RestartApp {
+        app: AppId,
+        line: Vec<u64>,
+    },
     /// State-transfer request: a freshly joined daemon asks for the
     /// replicated configuration. Applying it changes nothing; its position
     /// in the total order defines the snapshot point, and the view
     /// coordinator responds with a [`P2pMsg::State`] snapshot.
-    NeedState { node: NodeId },
+    NeedState {
+        node: NodeId,
+    },
     /// Migrate one rank to another node (paper §3.2.1: "C/R allows Starfish
     /// to migrate application processes from one node to another, e.g., if
     /// a better node becomes available"). The whole application rolls back
@@ -381,6 +414,9 @@ pub enum ProcUp {
     /// A checkpoint round committed locally at `index` (reported by the
     /// round coordinator for bookkeeping/GC).
     CkptCommitted { index: u64, vt: VirtualTime },
+    /// Cumulative telemetry snapshot of this process's registry; the daemon
+    /// casts it so every daemon's stats hub sees it.
+    Stats { snap: Snapshot, vt: VirtualTime },
 }
 
 /// Top-level envelope of every daemon cast: either a replicated
@@ -389,6 +425,12 @@ pub enum ProcUp {
 pub enum WireCast {
     Cfg(CfgCmd),
     Lw(starfish_lwgroups::LwMsg),
+    /// Cumulative telemetry snapshot of one scope (replaces the previous
+    /// snapshot of that scope in every daemon's stats hub).
+    Stats {
+        scope: String,
+        snap: Snapshot,
+    },
 }
 
 impl Encode for WireCast {
@@ -402,6 +444,11 @@ impl Encode for WireCast {
                 enc.put_u8(1);
                 l.encode(enc);
             }
+            WireCast::Stats { scope, snap } => {
+                enc.put_u8(2);
+                enc.put_str(scope);
+                snap.encode(enc);
+            }
         }
     }
 }
@@ -411,6 +458,10 @@ impl Decode for WireCast {
         Ok(match dec.get_u8()? {
             0 => WireCast::Cfg(CfgCmd::decode(dec)?),
             1 => WireCast::Lw(starfish_lwgroups::LwMsg::decode(dec)?),
+            2 => WireCast::Stats {
+                scope: dec.get_str()?,
+                snap: Snapshot::decode(dec)?,
+            },
             t => return Err(Error::codec(format!("unknown WireCast tag {t}"))),
         })
     }
@@ -510,6 +561,14 @@ mod tests {
         let w = WireCast::Lw(starfish_lwgroups::LwMsg::Destroy {
             gid: starfish_util::GroupId(3),
         });
+        assert_eq!(roundtrip(&w).unwrap(), w);
+        let reg = starfish_telemetry::Registry::new();
+        reg.inc(starfish_telemetry::metric::CKPT_ROUNDS);
+        reg.record(starfish_telemetry::metric::CKPT_IMAGE_BYTES, 4096);
+        let w = WireCast::Stats {
+            scope: "app1.r0".into(),
+            snap: reg.snapshot(),
+        };
         assert_eq!(roundtrip(&w).unwrap(), w);
     }
 

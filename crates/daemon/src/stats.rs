@@ -1,0 +1,117 @@
+//! Cluster-wide telemetry aggregation.
+//!
+//! Every process runtime flushes cumulative [`Snapshot`]s of its registry up
+//! to its daemon ([`ProcUp::Stats`](crate::msg::ProcUp)); the daemon casts
+//! them on the totally ordered ensemble stream
+//! ([`WireCast::Stats`](crate::msg::WireCast)), so all daemons converge on
+//! the same per-scope table and any of them can answer the `STATS`, `HEALTH`
+//! and `TIMELINE` management commands.
+//!
+//! Scopes are strings: `"cluster"` for the shared infrastructure registry
+//! (fabric, trace, ensemble), `"app<N>.r<R>"` for one application process.
+//! Snapshots are **cumulative**, so a newer snapshot for a scope *replaces*
+//! the previous one; snapshots of *different* scopes merge additively.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use starfish_telemetry::{Snapshot, TimelineEvent};
+
+/// Shared table of the latest snapshot per scope. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct StatsHub {
+    inner: Arc<Mutex<BTreeMap<String, Snapshot>>>,
+}
+
+impl StatsHub {
+    pub fn new() -> Self {
+        StatsHub::default()
+    }
+
+    /// Install `snap` as the latest cumulative snapshot of `scope`.
+    pub fn update(&self, scope: &str, snap: Snapshot) {
+        self.inner.lock().insert(scope.to_string(), snap);
+    }
+
+    /// All scopes currently known, in order.
+    pub fn scopes(&self) -> Vec<String> {
+        self.inner.lock().keys().cloned().collect()
+    }
+
+    /// Latest snapshot of one scope.
+    pub fn get(&self, scope: &str) -> Option<Snapshot> {
+        self.inner.lock().get(scope).cloned()
+    }
+
+    /// Additive merge of every scope's latest snapshot — the cluster-wide
+    /// view.
+    pub fn merged(&self) -> Snapshot {
+        let g = self.inner.lock();
+        let mut out = Snapshot::default();
+        for snap in g.values() {
+            out.merge(snap);
+        }
+        out
+    }
+
+    /// Timeline events of every scope starting with `prefix` (e.g.
+    /// `"app1."`), ordered by virtual start time.
+    pub fn timeline_for(&self, prefix: &str) -> Vec<TimelineEvent> {
+        let g = self.inner.lock();
+        let mut events: Vec<TimelineEvent> = g
+            .iter()
+            .filter(|(scope, _)| scope.starts_with(prefix))
+            .flat_map(|(_, s)| s.timeline.iter().cloned())
+            .collect();
+        events.sort_by_key(|e| (e.start_vt, e.end_vt));
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_telemetry::{metric, Registry};
+
+    #[test]
+    fn replace_per_scope_merge_across_scopes() {
+        let hub = StatsHub::new();
+        let r = Registry::new();
+        r.inc(metric::ENSEMBLE_CASTS);
+        hub.update("a", r.snapshot());
+        r.inc(metric::ENSEMBLE_CASTS);
+        // Cumulative re-flush of the same scope replaces, not doubles.
+        hub.update("a", r.snapshot());
+        assert_eq!(hub.merged().counter(metric::ENSEMBLE_CASTS), 2);
+        let r2 = Registry::new();
+        r2.inc(metric::ENSEMBLE_CASTS);
+        hub.update("b", r2.snapshot());
+        assert_eq!(hub.merged().counter(metric::ENSEMBLE_CASTS), 3);
+        assert_eq!(hub.scopes(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn timeline_prefix_filter_sorts_by_start() {
+        let hub = StatsHub::new();
+        let r = Registry::new();
+        r.span_record(
+            "late",
+            "",
+            starfish_util::VirtualTime(200),
+            starfish_util::VirtualTime(300),
+        );
+        r.span_record(
+            "early",
+            "",
+            starfish_util::VirtualTime(10),
+            starfish_util::VirtualTime(20),
+        );
+        hub.update("app1.r0", r.snapshot());
+        hub.update("app2.r0", r.snapshot());
+        let tl = hub.timeline_for("app1.");
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].name, "early");
+    }
+}

@@ -17,6 +17,7 @@ use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
+use starfish_telemetry::{metric, Registry};
 use starfish_util::codec::{Decode, Encode};
 use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
 use starfish_util::{Error, NodeId, Result, VClock, ViewId, VirtualTime};
@@ -58,6 +59,9 @@ pub struct EndpointConfig {
     /// fabric events alone — a perfect failure detector, which keeps the
     /// virtual timeline deterministic. Enable for hang detection.
     pub heartbeat: Option<HeartbeatCfg>,
+    /// Telemetry registry: view changes, cast deliveries and heartbeat
+    /// misses are recorded here when present.
+    pub metrics: Option<Registry>,
 }
 
 impl Default for EndpointConfig {
@@ -66,6 +70,7 @@ impl Default for EndpointConfig {
             proc_cost: VirtualTime::from_micros(50),
             trace: TraceSink::disabled(),
             heartbeat: None,
+            metrics: None,
         }
     }
 }
@@ -95,7 +100,10 @@ pub enum GcEvent {
 }
 
 enum Cmd {
-    Cast { payload: Bytes, vt: VirtualTime },
+    Cast {
+        payload: Bytes,
+        vt: VirtualTime,
+    },
     SendTo {
         node: NodeId,
         payload: Bytes,
@@ -166,6 +174,7 @@ impl Endpoint {
             dead: false,
             last_seen: BTreeMap::new(),
             last_beacon: std::time::Instant::now(),
+            change_started: None,
         };
         std::thread::Builder::new()
             .name(format!("ensemble-{node}"))
@@ -295,6 +304,10 @@ struct Stack {
     /// heard from.
     last_seen: BTreeMap<NodeId, std::time::Instant>,
     last_beacon: std::time::Instant,
+    /// Virtual time at which the in-progress membership change started
+    /// (coordinator only); measured into `ensemble.view_change_ns` when the
+    /// resulting view installs.
+    change_started: Option<VirtualTime>,
 }
 
 enum LoopCtl {
@@ -457,7 +470,8 @@ impl Stack {
                 if self.view.as_ref().map(|v| v.contains(*node)).unwrap_or(false)
                     || self.pending_joins.contains(node)
         );
-        self.last_seen.insert(pkt.src.node, std::time::Instant::now());
+        self.last_seen
+            .insert(pkt.src.node, std::time::Instant::now());
         if matches!(msg, GcMsg::Heartbeat { .. }) {
             // Pure liveness beacon: refreshing `last_seen` is its whole job.
             // No virtual cost: beacons are a real-time artifact of the
@@ -602,6 +616,9 @@ impl Stack {
 
     fn deliver_cast(&mut self, vid: ViewId, e: SeqEntry) {
         debug_assert_eq!(e.seq, self.next_deliver_seq);
+        if let Some(m) = &self.cfg.metrics {
+            m.inc(metric::ENSEMBLE_CASTS);
+        }
         self.next_deliver_seq += 1;
         self.delivered_log.push(e.clone());
         self.emit(GcEvent::Cast {
@@ -676,6 +693,7 @@ impl Stack {
             new_members,
         };
         let targets: Vec<NodeId> = change.waiting.iter().copied().collect();
+        self.change_started = Some(self.clock.now());
         self.change = Some(change);
         let mut failed = Vec::new();
         for m in targets {
@@ -809,6 +827,12 @@ impl Stack {
 
     fn install(&mut self, view: View, _backfill: Vec<SeqEntry>) {
         self.dbg(&format!("install view {:?}", view));
+        if let Some(m) = &self.cfg.metrics {
+            m.inc(metric::ENSEMBLE_VIEW_CHANGES);
+            if let Some(started) = self.change_started.take() {
+                m.record_vt(metric::ENSEMBLE_VIEW_CHANGE_NS, self.clock.now() - started);
+            }
+        }
         self.next_deliver_seq = 1;
         self.next_seq = 1;
         self.delivered_log.clear();
@@ -945,6 +969,9 @@ impl Stack {
         }
         for m in newly_suspected {
             self.dbg(&format!("heartbeat timeout: suspecting {m}"));
+            if let Some(reg) = &self.cfg.metrics {
+                reg.inc(metric::ENSEMBLE_HEARTBEAT_MISSES);
+            }
             self.on_member_failure(m);
         }
     }
@@ -1307,7 +1334,11 @@ mod churn_tests {
                     ep.node(),
                     ep.current_view()
                 );
-                if ep.current_view().map(|v| v.members == want).unwrap_or(false) {
+                if ep
+                    .current_view()
+                    .map(|v| v.members == want)
+                    .unwrap_or(false)
+                {
                     break;
                 }
                 std::thread::sleep(Duration::from_millis(10));
@@ -1315,7 +1346,8 @@ mod churn_tests {
         }
         // Total order still intact: every member delivers the same casts.
         for (i, ep) in eps.iter().enumerate() {
-            ep.cast(Bytes::from(vec![i as u8]), VirtualTime::ZERO).unwrap();
+            ep.cast(Bytes::from(vec![i as u8]), VirtualTime::ZERO)
+                .unwrap();
         }
         let mut seqs = Vec::new();
         for ep in &eps {

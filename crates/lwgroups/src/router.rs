@@ -4,9 +4,9 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
+use starfish_ensemble::View;
 use starfish_util::codec::{Decode, Decoder, Encode, Encoder};
 use starfish_util::{Error, GroupId, NodeId, Result, ViewId, VirtualTime};
-use starfish_ensemble::View;
 
 /// A lightweight group's view: per-group id sequence, independent of the
 /// main Starfish group's view ids.
@@ -577,7 +577,13 @@ mod tests {
         let ev = r.on_main_view(&main, vt());
         assert!(r.members(GroupId(1)).is_none());
         assert_eq!(ev.len(), 1);
-        assert!(matches!(ev[0], LwEvent::Destroyed { gid: GroupId(1), .. }));
+        assert!(matches!(
+            ev[0],
+            LwEvent::Destroyed {
+                gid: GroupId(1),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub fn encode_slice<T: Pod>(xs: &[T]) -> Vec<u8> {
 
 /// Decode a slice of Pod elements.
 pub fn decode_slice<T: Pod>(buf: &[u8]) -> Result<Vec<T>> {
-    if buf.len() % T::SIZE != 0 {
+    if !buf.len().is_multiple_of(T::SIZE) {
         return Err(Error::codec("ragged Pod buffer"));
     }
     Ok(buf.chunks_exact(T::SIZE).map(T::read).collect())
@@ -283,12 +283,12 @@ pub fn gather(
     if me == root {
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
         out[me.index()] = data.to_vec();
-        for i in 0..n {
+        for (i, slot) in out.iter_mut().enumerate() {
             if i == me.index() {
                 continue;
             }
             let m = recv_c(ep, comm, clock, Rank(i as u32), tag)?;
-            out[i] = m.data.to_vec();
+            *slot = m.data.to_vec();
         }
         Ok(Some(out))
     } else {
@@ -311,8 +311,7 @@ pub fn scatter(
     let tag = coll_tag(OP_SCATTER, comm.coll_seq);
     comm.coll_seq += 1;
     if me == root {
-        let blobs =
-            data.ok_or_else(|| Error::invalid_arg("scatter root must supply the blobs"))?;
+        let blobs = data.ok_or_else(|| Error::invalid_arg("scatter root must supply the blobs"))?;
         if blobs.len() != n {
             return Err(Error::invalid_arg(format!(
                 "scatter needs {n} blobs, got {}",
@@ -425,7 +424,14 @@ pub fn scan<T: PodNum>(
         }
     }
     if me + 1 < n {
-        send_c(ep, comm, clock, Rank((me + 1) as u32), tag, &encode_slice(&acc))?;
+        send_c(
+            ep,
+            comm,
+            clock,
+            Rank((me + 1) as u32),
+            tag,
+            &encode_slice(&acc),
+        )?;
     }
     Ok(acc)
 }
@@ -463,7 +469,9 @@ pub fn comm_split(
     let world_members: Vec<Rank> = members.into_iter().map(|(_, r)| r).collect();
     let new_ctx = crate::comm::derive_context(
         comm.context(),
-        my_color.wrapping_mul(2654435761).wrapping_add(OP_SPLIT as u32),
+        my_color
+            .wrapping_mul(2654435761)
+            .wrapping_add(OP_SPLIT as u32),
     );
     let me_world = comm.world_rank(comm.rank())?;
     Ok(Some(Comm::from_members(new_ctx, world_members, me_world)?))
@@ -569,9 +577,9 @@ mod tests {
             let data = vec![r as i64, 10 - r as i64];
             reduce(ep, comm, clock, Rank(0), &data, ReduceOp::Sum).unwrap()
         });
-        assert_eq!(res[0].as_ref().unwrap(), &vec![0 + 1 + 2 + 3 + 4, 50 - 10]);
-        for r in 1..5 {
-            assert!(res[r].is_none());
+        assert_eq!(res[0].as_ref().unwrap(), &vec![10, 40]); // sum 0..5, 50-10
+        for r in res.iter().skip(1) {
+            assert!(r.is_none());
         }
         let res = run_ranks(4, |r, ep, comm, clock| {
             reduce(ep, comm, clock, Rank(2), &[r as i64], ReduceOp::Max).unwrap()
@@ -658,10 +666,10 @@ mod tests {
             assert_eq!(sub.size(), 2);
             allreduce(ep, &mut sub, clock, &[r as i64], ReduceOp::Sum).unwrap()
         });
-        assert_eq!(res[0], vec![0 + 2]);
-        assert_eq!(res[2], vec![0 + 2]);
-        assert_eq!(res[1], vec![1 + 3]);
-        assert_eq!(res[3], vec![1 + 3]);
+        assert_eq!(res[0], vec![2]); // 0 + 2
+        assert_eq!(res[2], vec![2]);
+        assert_eq!(res[1], vec![4]); // 1 + 3
+        assert_eq!(res[3], vec![4]);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
+use starfish_telemetry::{metric, Registry};
 use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
 use starfish_util::{AppId, Epoch, Error, Rank, Result, VClock, VirtualTime};
 use starfish_vni::{Addr, Fabric, LayerCosts, Packet, PacketKind, PollingThread, Port, RecvQueue};
@@ -122,6 +123,9 @@ pub struct MpiEndpoint {
     /// [`Error::Interrupted`] so rollback/kill requests preempt long waits
     /// (e.g. inside a collective whose peer just crashed).
     abort: Option<Arc<AtomicBool>>,
+    /// Per-process telemetry registry; records the Figure 6 per-layer costs
+    /// and total software-path latencies on every send/receive.
+    metrics: Option<Registry>,
 }
 
 impl MpiEndpoint {
@@ -165,12 +169,43 @@ impl MpiEndpoint {
             recording: std::collections::BTreeSet::new(),
             recorded: Vec::new(),
             abort: None,
+            metrics: None,
         })
     }
 
     /// Install the runtime's abort flag (checked between blocking slices).
     pub fn set_abort_flag(&mut self, flag: Arc<AtomicBool>) {
         self.abort = Some(flag);
+    }
+
+    /// Install the process registry; per-layer latencies and the receive
+    /// queue depth are recorded from here on.
+    pub fn set_metrics(&mut self, reg: Registry) {
+        if let Source::Polled { queue, .. } = &self.source {
+            queue.attach_metrics(reg.clone());
+        }
+        self.metrics = Some(reg);
+    }
+
+    /// Record the send-side layer breakdown (Figure 6, left column).
+    fn note_send(&self) {
+        if let Some(m) = &self.metrics {
+            m.record_vt(metric::LAYER_APP_TO_MPI, self.layers.app_to_mpi);
+            m.record_vt(metric::LAYER_MPI_SEND, self.layers.mpi_send);
+            m.record_vt(metric::LAYER_VNI_SEND, self.layers.vni_send);
+            m.record_vt(metric::MPI_SEND_PATH_NS, self.layers.send_total());
+        }
+    }
+
+    /// Record the receive-side layer breakdown (Figure 6, right column).
+    fn note_recv(&self) {
+        if let Some(m) = &self.metrics {
+            m.record_vt(metric::LAYER_POLL, self.layers.poll);
+            m.record_vt(metric::LAYER_VNI_RECV, self.layers.vni_recv);
+            m.record_vt(metric::LAYER_MPI_RECV, self.layers.mpi_recv);
+            m.record_vt(metric::LAYER_MPI_TO_APP, self.layers.mpi_to_app);
+            m.record_vt(metric::MPI_RECV_PATH_NS, self.layers.recv_total());
+        }
     }
 
     /// This incarnation's epoch.
@@ -268,6 +303,7 @@ impl MpiEndpoint {
         pkt.depart_vt = clock.now() + self.layers.send_total();
         self.fabric.send(pkt)?;
         clock.advance(self.layers.send_total());
+        self.note_send();
         Ok(())
     }
 
@@ -300,12 +336,7 @@ impl MpiEndpoint {
     /// Retry a C/R mark with the virtual time of its *original* attempt
     /// (a retransmission is a real-time artifact of the peer still binding
     /// its port; protocol-wise the mark left at `at`).
-    pub fn resend_ctrl_mark_at(
-        &mut self,
-        at: VirtualTime,
-        dst: Rank,
-        body: &[u8],
-    ) -> Result<()> {
+    pub fn resend_ctrl_mark_at(&mut self, at: VirtualTime, dst: Rank, body: &[u8]) -> Result<()> {
         let header = MsgHeader {
             src: self.rank,
             context: CTRL_CONTEXT,
@@ -376,7 +407,8 @@ impl MpiEndpoint {
             // Current-epoch marks are pumped now; future-epoch marks (a
             // restarted peer's round racing ahead of our own rollback) are
             // held until set_epoch advances us into their world.
-            self.ctrl_marks.push_back((header.src, body, arrive, header.epoch));
+            self.ctrl_marks
+                .push_back((header.src, body, arrive, header.epoch));
         } else {
             if self.recording.contains(&header.src) {
                 self.recorded.push((header, body.clone()));
@@ -427,6 +459,7 @@ impl MpiEndpoint {
             if let Some((h, body, arrive)) = self.take_unexpected(context, src, tag) {
                 clock.merge(arrive);
                 clock.advance(self.layers.recv_total());
+                self.note_recv();
                 return Ok(RecvdMsg {
                     src: h.src,
                     tag: h.tag,
@@ -453,17 +486,20 @@ impl MpiEndpoint {
     ) -> Result<Option<RecvdMsg>> {
         // Drain whatever has arrived, then match.
         while self.ingest_one(clock, None)? {}
-        Ok(self.take_unexpected(context, src, tag).map(|(h, body, arrive)| {
-            clock.merge(arrive);
-            clock.advance(self.layers.recv_total());
-            RecvdMsg {
-                src: h.src,
-                tag: h.tag,
-                data: body,
-                vt: clock.now(),
-                interval: h.interval,
-            }
-        }))
+        Ok(self
+            .take_unexpected(context, src, tag)
+            .map(|(h, body, arrive)| {
+                clock.merge(arrive);
+                clock.advance(self.layers.recv_total());
+                self.note_recv();
+                RecvdMsg {
+                    src: h.src,
+                    tag: h.tag,
+                    data: body,
+                    vt: clock.now(),
+                    interval: h.interval,
+                }
+            }))
     }
 
     /// Post a non-blocking receive.
@@ -635,9 +671,7 @@ mod tests {
         for i in 0..n {
             f.add_node(NodeId(i));
         }
-        let dir = RankDirectory::with_placement(
-            &(0..n).map(NodeId).collect::<Vec<_>>(),
-        );
+        let dir = RankDirectory::with_placement(&(0..n).map(NodeId).collect::<Vec<_>>());
         (f, dir)
     }
 
@@ -775,7 +809,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50)); // let it reach the queue
         b.set_epoch(Epoch(1));
         let r = b.recv_world_timeout(&mut cb, 1, ANY_SOURCE, ANY_TAG, Duration::from_millis(300));
-        assert!(matches!(r, Err(Error::Timeout(_))), "stale msg must be dropped");
+        assert!(
+            matches!(r, Err(Error::Timeout(_))),
+            "stale msg must be dropped"
+        );
         // New-epoch traffic flows.
         a.set_epoch(Epoch(1));
         a.send_world(&mut ca, Rank(1), 1, 1, b"new-world").unwrap();
@@ -807,8 +844,10 @@ mod tests {
         let mut b = ep(&f, &dir, 1);
         let mut ca = VClock::new();
         let mut cb = VClock::new();
-        a.send_world(&mut ca, Rank(1), 1, 4, b"in-flight-1").unwrap();
-        a.send_world(&mut ca, Rank(1), 1, 4, b"in-flight-2").unwrap();
+        a.send_world(&mut ca, Rank(1), 1, 4, b"in-flight-1")
+            .unwrap();
+        a.send_world(&mut ca, Rank(1), 1, 4, b"in-flight-2")
+            .unwrap();
         std::thread::sleep(Duration::from_millis(50));
         let snap = b.snapshot_channel(&mut cb);
         assert_eq!(snap.len(), 2);

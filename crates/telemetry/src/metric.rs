@@ -1,0 +1,208 @@
+//! The static metric registry: every metric the system emits, by identity.
+//!
+//! Metric identities are compile-time constants so recording is an array
+//! index away and snapshots from different nodes aggregate without name
+//! exchange. The taxonomy mirrors the paper: Table 1's six message classes
+//! (counts and bytes), Figure 6's seven messaging layers, checkpoint and
+//! recovery phase timings, and liveness bookkeeping.
+
+use starfish_util::trace::MsgClass;
+
+/// Identity of a metric: index into [`DEFS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(pub u16);
+
+impl MetricId {
+    pub fn def(self) -> &'static MetricDef {
+        &DEFS[self.0 as usize]
+    }
+
+    pub fn name(self) -> &'static str {
+        self.def().name
+    }
+
+    pub fn kind(self) -> MetricKind {
+        self.def().kind
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// What a recorded value means (used only for rendering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    Count,
+    Bytes,
+    /// Nanoseconds of virtual time (the modelled 1999 hardware clock).
+    VirtualNanos,
+    /// Nanoseconds of wall-clock time on the simulating host.
+    WallNanos,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    pub name: &'static str,
+    pub kind: MetricKind,
+    pub unit: Unit,
+    pub help: &'static str,
+}
+
+macro_rules! metric_table {
+    ( $( $konst:ident = ($name:expr, $kind:ident, $unit:ident, $help:expr); )* ) => {
+        metric_table!(@step (0u16) [] $( $konst = ($name, $kind, $unit, $help); )*);
+    };
+    (@step ($idx:expr) [$($acc:tt)*]) => {
+        /// Every metric in the system, indexed by [`MetricId`].
+        pub const DEFS: &[MetricDef] = &[ $($acc)* ];
+    };
+    (@step ($idx:expr) [$($acc:tt)*]
+        $konst:ident = ($name:expr, $kind:ident, $unit:ident, $help:expr);
+        $($rest:tt)*
+    ) => {
+        pub const $konst: MetricId = MetricId($idx);
+        metric_table!(@step ($idx + 1)
+            [
+                $($acc)*
+                MetricDef {
+                    name: $name,
+                    kind: MetricKind::$kind,
+                    unit: Unit::$unit,
+                    help: $help,
+                },
+            ]
+            $($rest)*);
+    };
+}
+
+metric_table! {
+    // --- Table 1: message counts/bytes by class (recorded via the trace
+    // hook, so they cover every sanctioned path) -------------------------
+    MSG_COUNT_CONTROL = ("msg.count.control", Counter, Count, "Control messages (daemon<->daemon, ensemble)");
+    MSG_COUNT_COORDINATION = ("msg.count.coordination", Counter, Count, "Coordination messages relayed via daemons");
+    MSG_COUNT_DATA = ("msg.count.data", Counter, Count, "Data messages on the MPI fast path");
+    MSG_COUNT_LW_MEMBERSHIP = ("msg.count.lw-membership", Counter, Count, "Lightweight membership notifications");
+    MSG_COUNT_CONFIGURATION = ("msg.count.configuration", Counter, Count, "Configuration messages daemon->process");
+    MSG_COUNT_CKPT_RESTART = ("msg.count.checkpoint-restart", Counter, Count, "Checkpoint/restart protocol messages");
+    MSG_BYTES_CONTROL = ("msg.bytes.control", Counter, Bytes, "Bytes of control messages");
+    MSG_BYTES_COORDINATION = ("msg.bytes.coordination", Counter, Bytes, "Bytes of coordination messages");
+    MSG_BYTES_DATA = ("msg.bytes.data", Counter, Bytes, "Bytes of data messages");
+    MSG_BYTES_LW_MEMBERSHIP = ("msg.bytes.lw-membership", Counter, Bytes, "Bytes of lightweight membership messages");
+    MSG_BYTES_CONFIGURATION = ("msg.bytes.configuration", Counter, Bytes, "Bytes of configuration messages");
+    MSG_BYTES_CKPT_RESTART = ("msg.bytes.checkpoint-restart", Counter, Bytes, "Bytes of C/R protocol messages");
+
+    // --- VNI / fabric ----------------------------------------------------
+    VNI_PACKETS = ("vni.packets", Counter, Count, "Packets accepted by the fabric");
+    VNI_WIRE_NS = ("vni.wire_ns", Histogram, VirtualNanos, "One-way wire latency per packet");
+    VNI_PACKET_BYTES = ("vni.packet_bytes", Histogram, Bytes, "Payload size per packet");
+    VNI_RECV_QUEUE_DEPTH = ("vni.recv_queue_depth", Gauge, Count, "Entries waiting in MPI receive queues");
+
+    // --- Figure 6: per-layer costs of the messaging stack ----------------
+    LAYER_APP_TO_MPI = ("layer.app_to_mpi", Histogram, VirtualNanos, "Application -> MPI library hand-off");
+    LAYER_MPI_SEND = ("layer.mpi_send", Histogram, VirtualNanos, "MPI send-side processing");
+    LAYER_VNI_SEND = ("layer.vni_send", Histogram, VirtualNanos, "VNI send-side processing");
+    LAYER_POLL = ("layer.poll", Histogram, VirtualNanos, "Polling-thread dispatch");
+    LAYER_VNI_RECV = ("layer.vni_recv", Histogram, VirtualNanos, "VNI receive-side processing");
+    LAYER_MPI_RECV = ("layer.mpi_recv", Histogram, VirtualNanos, "MPI receive-side processing");
+    LAYER_MPI_TO_APP = ("layer.mpi_to_app", Histogram, VirtualNanos, "MPI -> application hand-off");
+    MPI_SEND_PATH_NS = ("mpi.send_path_ns", Histogram, VirtualNanos, "Total send-side software path");
+    MPI_RECV_PATH_NS = ("mpi.recv_path_ns", Histogram, VirtualNanos, "Total receive-side software path");
+
+    // --- Ensemble / membership ------------------------------------------
+    ENSEMBLE_VIEW_CHANGES = ("ensemble.view_changes", Counter, Count, "Views installed by the main group");
+    ENSEMBLE_VIEW_CHANGE_NS = ("ensemble.view_change_ns", Histogram, WallNanos, "Suspicion -> new view installation");
+    ENSEMBLE_HEARTBEAT_MISSES = ("ensemble.heartbeat_misses", Counter, Count, "Heartbeat deadlines missed before suspicion");
+    ENSEMBLE_CASTS = ("ensemble.casts", Counter, Count, "Totally ordered casts delivered");
+
+    // --- Checkpoint / restart -------------------------------------------
+    CKPT_ROUNDS = ("ckpt.rounds", Counter, Count, "Distributed checkpoint rounds committed");
+    CKPT_IMAGE_BYTES = ("ckpt.image_bytes", Histogram, Bytes, "Checkpoint image size per rank");
+    CKPT_WRITE_NS = ("ckpt.write_ns", Histogram, VirtualNanos, "Stable-storage write time per image");
+    CKPT_ROUND_NS = ("ckpt.round_ns", Histogram, VirtualNanos, "Quiesce -> commit per checkpoint round");
+    RECOVERY_RESTARTS = ("recovery.restarts", Counter, Count, "Application restarts after failures");
+    RECOVERY_RESTORE_NS = ("recovery.restore_ns", Histogram, VirtualNanos, "Image load + rollback time per rank");
+
+    // --- Daemon / liveness ----------------------------------------------
+    PROCS_RUNNING = ("procs.running", Gauge, Count, "Application processes alive on this node");
+    TRACE_DROPPED = ("trace.dropped", Counter, Count, "Trace events dropped by the bounded ring");
+    TRACE_DEDUPED = ("trace.deduped", Counter, Count, "Trace events coalesced by deduplication");
+}
+
+/// Table 1 message-count metric for a class.
+pub fn msg_count(class: MsgClass) -> MetricId {
+    match class {
+        MsgClass::Control => MSG_COUNT_CONTROL,
+        MsgClass::Coordination => MSG_COUNT_COORDINATION,
+        MsgClass::Data => MSG_COUNT_DATA,
+        MsgClass::LwMembership => MSG_COUNT_LW_MEMBERSHIP,
+        MsgClass::Configuration => MSG_COUNT_CONFIGURATION,
+        MsgClass::CheckpointRestart => MSG_COUNT_CKPT_RESTART,
+    }
+}
+
+/// Table 1 message-bytes metric for a class.
+pub fn msg_bytes(class: MsgClass) -> MetricId {
+    match class {
+        MsgClass::Control => MSG_BYTES_CONTROL,
+        MsgClass::Coordination => MSG_BYTES_COORDINATION,
+        MsgClass::Data => MSG_BYTES_DATA,
+        MsgClass::LwMembership => MSG_BYTES_LW_MEMBERSHIP,
+        MsgClass::Configuration => MSG_BYTES_CONFIGURATION,
+        MsgClass::CheckpointRestart => MSG_BYTES_CKPT_RESTART,
+    }
+}
+
+/// The seven Figure 6 layer histograms, send-to-receive order.
+pub const LAYERS: [MetricId; 7] = [
+    LAYER_APP_TO_MPI,
+    LAYER_MPI_SEND,
+    LAYER_VNI_SEND,
+    LAYER_POLL,
+    LAYER_VNI_RECV,
+    LAYER_MPI_RECV,
+    LAYER_MPI_TO_APP,
+];
+
+/// Iterator over every metric id.
+pub fn all() -> impl Iterator<Item = MetricId> {
+    (0..DEFS.len() as u16).map(MetricId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut seen = std::collections::BTreeSet::new();
+        for def in DEFS {
+            assert!(!def.name.is_empty());
+            assert!(seen.insert(def.name), "duplicate metric {}", def.name);
+        }
+    }
+
+    #[test]
+    fn class_mappings_cover_all_six() {
+        let mut counts = std::collections::BTreeSet::new();
+        let mut bytes = std::collections::BTreeSet::new();
+        for class in MsgClass::ALL {
+            assert_eq!(msg_count(class).kind(), MetricKind::Counter);
+            assert_eq!(msg_bytes(class).kind(), MetricKind::Counter);
+            assert!(msg_count(class).name().starts_with("msg.count."));
+            assert!(msg_bytes(class).name().starts_with("msg.bytes."));
+            assert!(counts.insert(msg_count(class)), "mapping must be injective");
+            assert!(bytes.insert(msg_bytes(class)), "mapping must be injective");
+        }
+    }
+
+    #[test]
+    fn layer_table_matches_kinds() {
+        for id in LAYERS {
+            assert_eq!(id.kind(), MetricKind::Histogram);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Multi-phase span recording, stamped in virtual and wall time.
+//!
+//! Checkpoint rounds, view changes, and recoveries are phases, not point
+//! events. A [`Timeline`] records each as a span with a start and end in
+//! both clocks: virtual time (what the modelled 1999 cluster would have
+//! measured) and wall-clock micros since the timeline epoch (what the
+//! simulating host actually spent). The `TIMELINE <app>` management
+//! command renders these.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use starfish_util::codec::{Decode, Decoder, Encode, Encoder};
+use starfish_util::time::VirtualTime;
+use starfish_util::Result;
+
+/// Handle for a span opened with [`Timeline::begin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Phase name, e.g. `"ckpt.round"`, `"view.change"`, `"recovery"`.
+    pub name: String,
+    /// Free-form annotation, e.g. the app name or checkpoint round.
+    pub detail: String,
+    pub start_vt: VirtualTime,
+    pub end_vt: VirtualTime,
+    /// Wall-clock micros since the timeline epoch.
+    pub start_wall_us: u64,
+    pub end_wall_us: u64,
+}
+
+impl TimelineEvent {
+    pub fn vt_duration(&self) -> VirtualTime {
+        self.end_vt.since(self.start_vt)
+    }
+
+    pub fn wall_duration_us(&self) -> u64 {
+        self.end_wall_us.saturating_sub(self.start_wall_us)
+    }
+}
+
+impl Encode for TimelineEvent {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name);
+        enc.put_str(&self.detail);
+        enc.put_u64(self.start_vt.as_nanos());
+        enc.put_u64(self.end_vt.as_nanos());
+        enc.put_u64(self.start_wall_us);
+        enc.put_u64(self.end_wall_us);
+    }
+}
+
+impl Decode for TimelineEvent {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(TimelineEvent {
+            name: dec.get_str()?,
+            detail: dec.get_str()?,
+            start_vt: VirtualTime::from_nanos(dec.get_u64()?),
+            end_vt: VirtualTime::from_nanos(dec.get_u64()?),
+            start_wall_us: dec.get_u64()?,
+            end_wall_us: dec.get_u64()?,
+        })
+    }
+}
+
+struct OpenSpan {
+    id: SpanId,
+    name: String,
+    detail: String,
+    start_vt: VirtualTime,
+    start_wall_us: u64,
+}
+
+struct Inner {
+    next_id: u64,
+    open: Vec<OpenSpan>,
+    done: VecDeque<TimelineEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// Bounded recorder of phase spans. Clones share state via the owning
+/// [`crate::Registry`]; the ring keeps the most recent `cap` completed
+/// spans.
+pub struct Timeline {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+pub const DEFAULT_SPAN_CAP: usize = 1024;
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::with_capacity(DEFAULT_SPAN_CAP)
+    }
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Timeline {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                open: Vec::new(),
+                done: VecDeque::new(),
+                cap: cap.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn wall_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Open a span. `vt` is the virtual-time stamp of the phase start.
+    pub fn begin(&self, name: &str, detail: &str, vt: VirtualTime) -> SpanId {
+        let wall = self.wall_us();
+        let mut g = self.inner.lock();
+        let id = SpanId(g.next_id);
+        g.next_id += 1;
+        g.open.push(OpenSpan {
+            id,
+            name: name.to_string(),
+            detail: detail.to_string(),
+            start_vt: vt,
+            start_wall_us: wall,
+        });
+        id
+    }
+
+    /// Close a span. Unknown ids (already closed, or from before a restart)
+    /// are ignored.
+    pub fn end(&self, id: SpanId, vt: VirtualTime) {
+        let wall = self.wall_us();
+        let mut g = self.inner.lock();
+        let Some(pos) = g.open.iter().position(|s| s.id == id) else {
+            return;
+        };
+        let span = g.open.swap_remove(pos);
+        let ev = TimelineEvent {
+            name: span.name,
+            detail: span.detail,
+            start_vt: span.start_vt,
+            end_vt: vt,
+            start_wall_us: span.start_wall_us,
+            end_wall_us: wall,
+        };
+        push_done(&mut g, ev);
+    }
+
+    /// Record a complete span in one call (for phases timed externally).
+    pub fn record(&self, name: &str, detail: &str, start_vt: VirtualTime, end_vt: VirtualTime) {
+        let wall = self.wall_us();
+        let mut g = self.inner.lock();
+        let ev = TimelineEvent {
+            name: name.to_string(),
+            detail: detail.to_string(),
+            start_vt,
+            end_vt,
+            start_wall_us: wall,
+            end_wall_us: wall,
+        };
+        push_done(&mut g, ev);
+    }
+
+    /// Completed spans, oldest first.
+    pub fn events(&self) -> Vec<TimelineEvent> {
+        self.inner.lock().done.iter().cloned().collect()
+    }
+
+    /// Spans evicted by the bounded ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+}
+
+fn push_done(g: &mut Inner, ev: TimelineEvent) {
+    if g.done.len() == g.cap {
+        g.done.pop_front();
+        g.dropped += 1;
+    }
+    g.done.push_back(ev);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_end_produces_event() {
+        let t = Timeline::new();
+        let id = t.begin("ckpt.round", "app=demo r=1", VirtualTime::from_millis(5));
+        t.end(id, VirtualTime::from_millis(9));
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "ckpt.round");
+        assert_eq!(evs[0].vt_duration(), VirtualTime::from_millis(4));
+    }
+
+    #[test]
+    fn unknown_span_end_is_ignored() {
+        let t = Timeline::new();
+        t.end(SpanId(99), VirtualTime::ZERO);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let t = Timeline::with_capacity(4);
+        for i in 0..10 {
+            t.record(
+                "phase",
+                &format!("i={i}"),
+                VirtualTime::ZERO,
+                VirtualTime::ZERO,
+            );
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].detail, "i=6");
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn event_codec_roundtrip() {
+        let ev = TimelineEvent {
+            name: "recovery".into(),
+            detail: "app=x".into(),
+            start_vt: VirtualTime::from_micros(3),
+            end_vt: VirtualTime::from_micros(8),
+            start_wall_us: 100,
+            end_wall_us: 250,
+        };
+        assert_eq!(starfish_util::codec::roundtrip(&ev).unwrap(), ev);
+    }
+}

@@ -345,7 +345,7 @@ mod tests {
         assert_eq!(roundtrip(&u64::MAX).unwrap(), u64::MAX);
         assert_eq!(roundtrip(&(-42_i64)).unwrap(), -42);
         assert_eq!(roundtrip(&3.5_f64).unwrap(), 3.5);
-        assert_eq!(roundtrip(&true).unwrap(), true);
+        assert!(roundtrip(&true).unwrap());
         assert_eq!(roundtrip(&"héllo".to_string()).unwrap(), "héllo");
     }
 

@@ -17,7 +17,14 @@
 //! `integration_message_taxonomy` test replay a full application lifecycle and
 //! assert that each class was observed, and observed only on its sanctioned
 //! path.
+//!
+//! The sink itself keeps only the bounded event ring and the path audit. The
+//! authoritative per-class counters live in the telemetry registry: attach one
+//! with [`TraceSink::attach_metrics`] and every recorded message is forwarded
+//! through the [`MsgCounter`] hook, so there is a single accounting channel
+//! instead of two drifting ones.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
@@ -78,7 +85,8 @@ pub enum ActorKind {
     Client,
 }
 
-/// One traced message movement.
+/// One traced message movement (possibly coalescing several identical ones
+/// when deduplication is on).
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
     pub class: MsgClass,
@@ -87,23 +95,82 @@ pub struct TraceEvent {
     /// Free-form path annotation, e.g. `"fast-path"`, `"via-daemon"`,
     /// `"object-bus"`; audited by the taxonomy test.
     pub path: &'static str,
+    /// Total bytes across the coalesced messages.
     pub bytes: usize,
+    /// How many messages this event represents (1 unless deduplicated).
+    pub count: usize,
+}
+
+/// Sink into which per-class message accounting is forwarded.
+///
+/// Implemented by `starfish-telemetry`'s `Registry`, which maps each class to
+/// its Table 1 count/bytes counters. Default no-op hooks keep `util` free of
+/// an upward dependency.
+pub trait MsgCounter: Send + Sync {
+    fn on_message(&self, class: MsgClass, bytes: usize);
+    /// A retained event was evicted by the bounded ring.
+    fn on_trace_dropped(&self) {}
+    /// A recorded event was coalesced into the previous identical one.
+    fn on_trace_deduped(&self) {}
+}
+
+/// Configuration for a [`TraceSink`]'s event ring.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Retain events at all (per-class accounting still flows to an attached
+    /// [`MsgCounter`] when disabled).
+    pub enabled: bool,
+    /// Maximum retained events; older events are evicted.
+    pub capacity: usize,
+    /// Coalesce an event into its predecessor when `(class, from, to, path)`
+    /// are identical, keeping the ring small under bursty identical traffic.
+    pub dedup: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: 4096,
+            dedup: false,
+        }
+    }
 }
 
 /// A shared, thread-safe sink of [`TraceEvent`]s with a bounded ring buffer
 /// of the most recent events and unbounded per-class counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct TraceSink {
     inner: Arc<Mutex<TraceInner>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct TraceInner {
-    events: Vec<TraceEvent>,
-    cap: usize,
+    events: VecDeque<TraceEvent>,
+    cfg: TraceConfigState,
     counts: [u64; 6],
     bytes: [u64; 6],
+    dropped: u64,
+    deduped: u64,
+    hook: Option<Arc<dyn MsgCounter>>,
+}
+
+/// `TraceConfig` with `enabled` defaulting *off* (a default sink is a no-op).
+#[derive(Debug, Clone, Copy)]
+struct TraceConfigState {
     enabled: bool,
+    capacity: usize,
+    dedup: bool,
+}
+
+impl Default for TraceConfigState {
+    fn default() -> Self {
+        TraceConfigState {
+            enabled: false,
+            capacity: 4096,
+            dedup: false,
+        }
+    }
 }
 
 fn class_idx(c: MsgClass) -> usize {
@@ -118,27 +185,47 @@ fn class_idx(c: MsgClass) -> usize {
 }
 
 impl TraceSink {
-    /// A disabled sink: recording is a no-op (used in benchmarks).
+    /// A disabled sink: no events retained. Per-class accounting still
+    /// reaches an attached [`MsgCounter`] hook (used by benchmarks that want
+    /// counters without ring overhead).
     pub fn disabled() -> Self {
         TraceSink::default()
     }
 
-    /// An enabled sink keeping at most `cap` recent events.
+    /// An enabled sink keeping at most `cap` recent events, no deduplication.
     pub fn enabled(cap: usize) -> Self {
+        TraceSink::with_config(TraceConfig {
+            enabled: true,
+            capacity: cap,
+            dedup: false,
+        })
+    }
+
+    /// A sink with full [`TraceConfig`] control.
+    pub fn with_config(cfg: TraceConfig) -> Self {
         let sink = TraceSink::default();
         {
             let mut g = sink.inner.lock();
-            g.enabled = true;
-            g.cap = cap.max(1);
+            g.cfg = TraceConfigState {
+                enabled: cfg.enabled,
+                capacity: cfg.capacity.max(1),
+                dedup: cfg.dedup,
+            };
         }
         sink
     }
 
-    pub fn is_enabled(&self) -> bool {
-        self.inner.lock().enabled
+    /// Forward all future per-class accounting to `hook` (the telemetry
+    /// registry). Replaces any previous hook.
+    pub fn attach_metrics(&self, hook: Arc<dyn MsgCounter>) {
+        self.inner.lock().hook = Some(hook);
     }
 
-    /// Record one message movement. Cheap no-op when disabled.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.lock().cfg.enabled
+    }
+
+    /// Record one message movement. Cheap no-op when disabled and unhooked.
     pub fn record(
         &self,
         class: MsgClass,
@@ -148,20 +235,41 @@ impl TraceSink {
         bytes: usize,
     ) {
         let mut g = self.inner.lock();
-        if !g.enabled {
+        if let Some(hook) = &g.hook {
+            hook.on_message(class, bytes);
+        }
+        if !g.cfg.enabled {
             return;
         }
         g.counts[class_idx(class)] += 1;
         g.bytes[class_idx(class)] += bytes as u64;
-        if g.events.len() == g.cap {
-            g.events.remove(0);
+        if g.cfg.dedup {
+            if let Some(last) = g.events.back_mut() {
+                if last.class == class && last.from == from && last.to == to && last.path == path {
+                    last.bytes += bytes;
+                    last.count += 1;
+                    g.deduped += 1;
+                    if let Some(hook) = &g.hook {
+                        hook.on_trace_deduped();
+                    }
+                    return;
+                }
+            }
         }
-        g.events.push(TraceEvent {
+        if g.events.len() == g.cfg.capacity {
+            g.events.pop_front();
+            g.dropped += 1;
+            if let Some(hook) = &g.hook {
+                hook.on_trace_dropped();
+            }
+        }
+        g.events.push_back(TraceEvent {
             class,
             from,
             to,
             path,
             bytes,
+            count: 1,
         });
     }
 
@@ -175,9 +283,19 @@ impl TraceSink {
         self.inner.lock().bytes[class_idx(class)]
     }
 
+    /// Events evicted by the bounded ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Events coalesced by deduplication so far.
+    pub fn deduped(&self) -> u64 {
+        self.inner.lock().deduped
+    }
+
     /// Snapshot of the retained recent events.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.lock().events.clone()
+        self.inner.lock().events.iter().cloned().collect()
     }
 
     /// All `(from, to, path)` combinations observed for `class`.
@@ -193,23 +311,43 @@ impl TraceSink {
         out
     }
 
-    /// Clear all recorded state (counters and events).
+    /// Clear all recorded state (counters and events; the hook keeps its own).
     pub fn clear(&self) {
         let mut g = self.inner.lock();
         g.events.clear();
         g.counts = [0; 6];
         g.bytes = [0; 6];
+        g.dropped = 0;
+        g.deduped = 0;
+    }
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.inner.lock();
+        f.debug_struct("TraceSink")
+            .field("enabled", &g.cfg.enabled)
+            .field("events", &g.events.len())
+            .field("hooked", &g.hook.is_some())
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn disabled_sink_records_nothing() {
         let s = TraceSink::disabled();
-        s.record(MsgClass::Data, ActorKind::AppProcess, ActorKind::AppProcess, "fast-path", 10);
+        s.record(
+            MsgClass::Data,
+            ActorKind::AppProcess,
+            ActorKind::AppProcess,
+            "fast-path",
+            10,
+        );
         assert_eq!(s.count(MsgClass::Data), 0);
         assert!(s.events().is_empty());
     }
@@ -227,11 +365,12 @@ mod tests {
             );
         }
         assert_eq!(s.count(MsgClass::Control), 5);
-        assert_eq!(s.bytes(MsgClass::Control), 0 + 1 + 2 + 3 + 4);
-        // Ring keeps only the 2 most recent.
+        assert_eq!(s.bytes(MsgClass::Control), 10); // 0+1+2+3+4
+                                                    // Ring keeps only the 2 most recent.
         let ev = s.events();
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[1].bytes, 4);
+        assert_eq!(s.dropped(), 3);
     }
 
     #[test]
@@ -257,9 +396,85 @@ mod tests {
     }
 
     #[test]
+    fn dedup_coalesces_identical_runs() {
+        let s = TraceSink::with_config(TraceConfig {
+            enabled: true,
+            capacity: 16,
+            dedup: true,
+        });
+        for _ in 0..4 {
+            s.record(
+                MsgClass::Data,
+                ActorKind::AppProcess,
+                ActorKind::AppProcess,
+                "fast-path",
+                10,
+            );
+        }
+        s.record(
+            MsgClass::Control,
+            ActorKind::Daemon,
+            ActorKind::Daemon,
+            "ensemble",
+            3,
+        );
+        let ev = s.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].count, 4);
+        assert_eq!(ev[0].bytes, 40);
+        assert_eq!(s.deduped(), 3);
+        // Per-class accounting still counts every message.
+        assert_eq!(s.count(MsgClass::Data), 4);
+        assert_eq!(s.bytes(MsgClass::Data), 40);
+    }
+
+    #[test]
+    fn hook_sees_messages_even_when_ring_disabled() {
+        #[derive(Default)]
+        struct CountHook {
+            msgs: AtomicU64,
+            bytes: AtomicU64,
+        }
+        impl MsgCounter for CountHook {
+            fn on_message(&self, _class: MsgClass, bytes: usize) {
+                self.msgs.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+        }
+        let hook = Arc::new(CountHook::default());
+        let s = TraceSink::disabled();
+        s.attach_metrics(hook.clone());
+        s.record(
+            MsgClass::Data,
+            ActorKind::AppProcess,
+            ActorKind::AppProcess,
+            "fast-path",
+            7,
+        );
+        s.record(
+            MsgClass::Data,
+            ActorKind::AppProcess,
+            ActorKind::AppProcess,
+            "fast-path",
+            5,
+        );
+        assert_eq!(hook.msgs.load(Ordering::Relaxed), 2);
+        assert_eq!(hook.bytes.load(Ordering::Relaxed), 12);
+        // The ring itself stayed off.
+        assert!(s.events().is_empty());
+        assert_eq!(s.count(MsgClass::Data), 0);
+    }
+
+    #[test]
     fn clear_resets() {
         let s = TraceSink::enabled(4);
-        s.record(MsgClass::Data, ActorKind::AppProcess, ActorKind::AppProcess, "fast-path", 9);
+        s.record(
+            MsgClass::Data,
+            ActorKind::AppProcess,
+            ActorKind::AppProcess,
+            "fast-path",
+            9,
+        );
         s.clear();
         assert_eq!(s.count(MsgClass::Data), 0);
         assert!(s.events().is_empty());

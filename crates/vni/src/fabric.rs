@@ -22,6 +22,7 @@ use std::time::Duration;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
+use starfish_telemetry::{metric, Registry};
 use starfish_util::{Error, NodeId, Result, VirtualTime};
 
 use crate::models::{LayerCosts, NetworkModel};
@@ -79,6 +80,8 @@ struct State {
     /// Running count of packets accepted by the fabric (statistics).
     packets_sent: u64,
     bytes_sent: u64,
+    /// Telemetry registry fed per accepted packet (count, size, wire time).
+    metrics: Option<Registry>,
 }
 
 struct Inner {
@@ -116,6 +119,7 @@ impl Fabric {
                     watchers: Vec::new(),
                     packets_sent: 0,
                     bytes_sent: 0,
+                    metrics: None,
                 }),
             }),
         }
@@ -235,6 +239,11 @@ impl Fabric {
         (s.packets_sent, s.bytes_sent)
     }
 
+    /// Feed per-packet accounting (`vni.*` metrics) into `reg` from now on.
+    pub fn attach_metrics(&self, reg: Registry) {
+        self.inner.state.lock().metrics = Some(reg);
+    }
+
     // ---- ports -------------------------------------------------------------
 
     /// Bind a port on a node. Fails if the node is not up-ish or the address
@@ -266,7 +275,7 @@ impl Fabric {
     /// Inject a packet. The fabric stamps `arrive_vt = depart_vt + wire` and
     /// queues it at the destination port.
     pub fn send(&self, mut pkt: Packet) -> Result<()> {
-        let tx = {
+        let (tx, metrics) = {
             let mut s = self.inner.state.lock();
             let src_ok = s
                 .nodes
@@ -297,7 +306,7 @@ impl Fabric {
             let tx = entry.tx.clone();
             s.packets_sent += 1;
             s.bytes_sent += pkt.len() as u64;
-            tx
+            (tx, s.metrics.clone())
         };
         let wire = if pkt.src.node == pkt.dst.node {
             LOCAL_LATENCY
@@ -305,6 +314,11 @@ impl Fabric {
             self.inner.model.one_way(pkt.model_len)
         };
         pkt.arrive_vt = pkt.depart_vt + wire;
+        if let Some(m) = &metrics {
+            m.inc(metric::VNI_PACKETS);
+            m.record(metric::VNI_PACKET_BYTES, pkt.len() as u64);
+            m.record_vt(metric::VNI_WIRE_NS, wire);
+        }
         // NB: `Closed` from this function always means the *source* is down;
         // a destination whose port raced away is reported `Unreachable`.
         tx.send(pkt)

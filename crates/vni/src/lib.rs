@@ -28,8 +28,6 @@ pub mod packet;
 pub mod polling;
 
 pub use fabric::{Fabric, FabricEvent, NodeStatus, Port};
-pub use models::{
-    BipMyrinet, Ideal, LayerCosts, NetKind, NetworkModel, ServerNetVia, TcpEthernet,
-};
+pub use models::{BipMyrinet, Ideal, LayerCosts, NetKind, NetworkModel, ServerNetVia, TcpEthernet};
 pub use packet::{Addr, Packet, PacketKind, PortId, DAEMON_PORT};
 pub use polling::{PollingThread, RecvQueue};

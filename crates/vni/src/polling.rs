@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use starfish_telemetry::{metric, Registry};
 use starfish_util::{Error, Result};
 
 use crate::fabric::Port;
@@ -42,6 +43,17 @@ struct QueueInner {
 struct QueueState {
     packets: VecDeque<Packet>,
     closed: bool,
+    /// Telemetry registry whose `vni.recv_queue_depth` gauge mirrors
+    /// `packets.len()` after every mutation.
+    metrics: Option<Registry>,
+}
+
+impl QueueState {
+    fn publish_depth(&self) {
+        if let Some(m) = &self.metrics {
+            m.gauge_set(metric::VNI_RECV_QUEUE_DEPTH, self.packets.len() as i64);
+        }
+    }
 }
 
 impl RecvQueue {
@@ -49,10 +61,18 @@ impl RecvQueue {
         RecvQueue::default()
     }
 
+    /// Mirror this queue's depth into `reg`'s `vni.recv_queue_depth` gauge.
+    pub fn attach_metrics(&self, reg: Registry) {
+        let mut g = self.inner.q.lock();
+        g.metrics = Some(reg);
+        g.publish_depth();
+    }
+
     /// Enqueue a packet (called by the polling thread).
     pub fn push(&self, pkt: Packet) {
         let mut g = self.inner.q.lock();
         g.packets.push_back(pkt);
+        g.publish_depth();
         self.inner.cond.notify_all();
     }
 
@@ -78,8 +98,10 @@ impl RecvQueue {
     /// Remove and return the first packet matching `pred`, without blocking.
     pub fn take_matching(&self, mut pred: impl FnMut(&Packet) -> bool) -> Option<Packet> {
         let mut g = self.inner.q.lock();
-        let idx = g.packets.iter().position(|p| pred(p))?;
-        g.packets.remove(idx)
+        let idx = g.packets.iter().position(&mut pred)?;
+        let pkt = g.packets.remove(idx);
+        g.publish_depth();
+        pkt
     }
 
     /// Block until a packet matching `pred` is available, then remove and
@@ -92,8 +114,10 @@ impl RecvQueue {
         let start = std::time::Instant::now();
         let mut g = self.inner.q.lock();
         loop {
-            if let Some(idx) = g.packets.iter().position(|p| pred(p)) {
-                return Ok(g.packets.remove(idx).expect("index valid under lock"));
+            if let Some(idx) = g.packets.iter().position(&mut pred) {
+                let pkt = g.packets.remove(idx).expect("index valid under lock");
+                g.publish_depth();
+                return Ok(pkt);
             }
             if g.closed {
                 return Err(Error::closed("receive queue closed"));
@@ -107,7 +131,7 @@ impl RecvQueue {
                 .cond
                 .wait_for(&mut g, deadline - elapsed)
                 .timed_out();
-            if timed_out && g.packets.iter().position(|p| pred(p)).is_none() {
+            if timed_out && g.packets.iter().position(&mut pred).is_none() {
                 if g.closed {
                     return Err(Error::closed("receive queue closed"));
                 }
@@ -126,12 +150,15 @@ impl RecvQueue {
     pub fn restore(&self, packets: Vec<Packet>) {
         let mut g = self.inner.q.lock();
         g.packets = packets.into();
+        g.publish_depth();
         self.inner.cond.notify_all();
     }
 
     /// Drop everything queued (used when an application is killed).
     pub fn clear(&self) {
-        self.inner.q.lock().packets.clear();
+        let mut g = self.inner.q.lock();
+        g.packets.clear();
+        g.publish_depth();
     }
 }
 
@@ -249,9 +276,8 @@ mod tests {
         let q = RecvQueue::new();
         let (_, a, b) = setup();
         let q2 = q.clone();
-        let h = std::thread::spawn(move || {
-            q2.wait_matching(|p| p.tag == 7, Duration::from_secs(2))
-        });
+        let h =
+            std::thread::spawn(move || q2.wait_matching(|p| p.tag == 7, Duration::from_secs(2)));
         std::thread::sleep(Duration::from_millis(20));
         q.push(pkt(a, b, 7));
         assert_eq!(h.join().unwrap().unwrap().tag, 7);
@@ -261,8 +287,7 @@ mod tests {
     fn close_wakes_waiters_with_error() {
         let q = RecvQueue::new();
         let q2 = q.clone();
-        let h =
-            std::thread::spawn(move || q2.wait_matching(|_| true, Duration::from_secs(5)));
+        let h = std::thread::spawn(move || q2.wait_matching(|_| true, Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(matches!(h.join().unwrap(), Err(Error::Closed(_))));

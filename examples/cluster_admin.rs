@@ -49,11 +49,27 @@ fn main() -> Result<()> {
     let mut alice = cluster.session();
     say(&mut alice, "LOGIN USER alice");
     say(&mut alice, "ADDNODE 9"); // rejected: users cannot administrate
-    say(&mut alice, "SUBMIT soak 2 POLICY restart LEVEL vm PROTO sync");
+    say(
+        &mut alice,
+        "SUBMIT soak 2 POLICY restart LEVEL vm PROTO sync",
+    );
     std::thread::sleep(Duration::from_millis(100));
     say(&mut alice, "APPS");
     say(&mut alice, "CHECKPOINT app1");
     std::thread::sleep(Duration::from_millis(300));
+
+    // --- live introspection --------------------------------------------------
+    // Cluster-wide metrics aggregated from every node over the ordered
+    // ensemble path; same login gate as everything else.
+    let mut observer = cluster.session();
+    say(&mut observer, "STATS"); // rejected: not logged in
+    say(&mut observer, "LOGIN USER alice");
+    say(&mut observer, "HEALTH");
+    say(&mut observer, "TIMELINE"); // rejected: missing argument
+    say(&mut observer, "TIMELINE app7"); // unknown app: empty timeline
+    say(&mut observer, "TIMELINE app1");
+    say(&mut observer, "STATS");
+
     say(&mut alice, "SUSPEND app1");
     std::thread::sleep(Duration::from_millis(100));
     say(&mut alice, "APPS");

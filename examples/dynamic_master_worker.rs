@@ -46,9 +46,7 @@ fn main() -> Result<()> {
             }
             let k = alive.iter().position(|r| *r == me).unwrap();
             // Own every tile ≡ k (mod |alive|); compute a few per round.
-            let share: Vec<usize> = (0..TILES)
-                .filter(|t| t % alive.len() == k)
-                .collect();
+            let share: Vec<usize> = (0..TILES).filter(|t| t % alive.len() == k).collect();
             let lo = round * share.len() / ROUNDS;
             let hi = (round + 1) * share.len() / ROUNDS;
             for &t in &share[lo..hi] {
@@ -106,7 +104,11 @@ fn main() -> Result<()> {
     // Dynamic growth too: add a brand-new node and run a second job across 5.
     let new = cluster.add_node(0)?;
     println!("added node {new}; resubmitting over the larger cluster");
-    let app2 = cluster.submit("tiles", 5, SubmitOpts::default().policy(FtPolicy::NotifyView))?;
+    let app2 = cluster.submit(
+        "tiles",
+        5,
+        SubmitOpts::default().policy(FtPolicy::NotifyView),
+    )?;
     cluster.wait_app_done(app2, Duration::from_secs(60))?;
     println!("5-rank job finished on the grown cluster ✓");
     Ok(())

@@ -67,7 +67,11 @@ fn jacobi(ctx: &mut starfish::Ctx<'_>, checkpoints: bool) -> Result<()> {
 
         // Halo exchange with the neighbours.
         let left = me.0.checked_sub(1).map(Rank);
-        let right = if me.0 + 1 < n { Some(Rank(me.0 + 1)) } else { None };
+        let right = if me.0 + 1 < n {
+            Some(Rank(me.0 + 1))
+        } else {
+            None
+        };
         if let Some(l) = left {
             ctx.send(l, 10, &grid[0].to_be_bytes())?;
         }
@@ -121,11 +125,7 @@ fn run_once(crash: bool) -> Result<(f64, Vec<f64>)> {
     let cluster = Cluster::builder().nodes(3).network_bip().build()?;
     let with_ckpt = crash;
     cluster.register_app("jacobi", move |ctx| jacobi(ctx, with_ckpt));
-    let app = cluster.submit(
-        "jacobi",
-        3,
-        SubmitOpts::default().policy(FtPolicy::Restart),
-    )?;
+    let app = cluster.submit("jacobi", 3, SubmitOpts::default().policy(FtPolicy::Restart))?;
 
     if crash {
         // Wait for the first checkpoint to commit, then kill the node
@@ -133,7 +133,10 @@ fn run_once(crash: bool) -> Result<(f64, Vec<f64>)> {
         let ranks: Vec<Rank> = (0..3).map(Rank).collect();
         let deadline = std::time::Instant::now() + Duration::from_secs(60);
         while cluster.store().latest_common_index(app, &ranks) < 1 {
-            assert!(std::time::Instant::now() < deadline, "no checkpoint appeared");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no checkpoint appeared"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         let victim = cluster.config().apps[&app].placement[1];

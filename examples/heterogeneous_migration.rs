@@ -32,10 +32,7 @@ fn main() -> Result<()> {
                     .and_then(|f| f.as_int_array())
                     .map(|s| s.to_vec())
                     .unwrap_or_default();
-                println!(
-                    "[rank {me}] restored at phase {phase} on [{}]",
-                    ctx.arch()
-                );
+                println!("[rank {me}] restored at phase {phase} on [{}]", ctx.arch());
                 (phase, data)
             }
             None => {
@@ -61,9 +58,10 @@ fn main() -> Result<()> {
         // Verify the data came through every conversion untouched.
         assert_eq!(data, vec![-7, 0, 2_000_000_000, 42]);
         ctx.publish(CkptValue::record(vec![
-            ("final_arch_is_big_endian", CkptValue::Bool(
-                ctx.arch().endian == Endianness::Big,
-            )),
+            (
+                "final_arch_is_big_endian",
+                CkptValue::Bool(ctx.arch().endian == Endianness::Big),
+            ),
             ("data", CkptValue::IntArray(data)),
         ]));
         Ok(())
@@ -129,7 +127,10 @@ fn main() -> Result<()> {
     let here = nat.level.arch();
     for dst in MACHINES {
         let ok = nat.restore_state(dst).is_ok();
-        println!("  native image from [{here}] -> [{dst}]: {}", if ok { "OK" } else { "REFUSED" });
+        println!(
+            "  native image from [{here}] -> [{dst}]: {}",
+            if ok { "OK" } else { "REFUSED" }
+        );
     }
     Ok(())
 }

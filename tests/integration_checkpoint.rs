@@ -61,7 +61,9 @@ fn in_flight_messages_captured_in_channel_state() {
         }
         Ok(())
     });
-    let app = cluster.submit("inflight", 2, SubmitOpts::default()).unwrap();
+    let app = cluster
+        .submit("inflight", 2, SubmitOpts::default())
+        .unwrap();
     cluster.wait_app_done(app, T).unwrap();
     // Rank 1's image holds the unconsumed tag-99 message.
     let img = cluster.store().get(app, Rank(1), 1).unwrap();
@@ -104,8 +106,16 @@ fn vm_and_native_image_sizes_match_paper_constants() {
         .submit("sizes", 1, SubmitOpts::default().level(LevelKind::Native))
         .unwrap();
     cluster.wait_app_done(nat_app, T).unwrap();
-    let vm = cluster.store().latest(vm_app, Rank(0)).unwrap().total_bytes();
-    let nat = cluster.store().latest(nat_app, Rank(0)).unwrap().total_bytes();
+    let vm = cluster
+        .store()
+        .latest(vm_app, Rank(0))
+        .unwrap()
+        .total_bytes();
+    let nat = cluster
+        .store()
+        .latest(nat_app, Rank(0))
+        .unwrap()
+        .total_bytes();
     // Paper §5: 260 KB vs 632 KB for an empty program.
     assert!((260 * 1024..261 * 1024).contains(&vm), "vm = {vm}");
     assert!((632 * 1024..633 * 1024).contains(&nat), "native = {nat}");
@@ -162,7 +172,9 @@ fn admin_triggered_checkpoint_lands() {
         ctx.barrier()?;
         Ok(())
     });
-    let app = cluster.submit("adminable", 2, SubmitOpts::default()).unwrap();
+    let app = cluster
+        .submit("adminable", 2, SubmitOpts::default())
+        .unwrap();
     std::thread::sleep(Duration::from_millis(80));
     cluster.checkpoint(app).unwrap(); // TriggerCkpt through the daemons
     cluster.wait_app_done(app, T).unwrap();
@@ -219,7 +231,9 @@ fn periodic_system_initiated_checkpoints() {
         ctx.barrier()?;
         Ok(())
     });
-    let app = cluster.submit("oblivious", 2, SubmitOpts::default()).unwrap();
+    let app = cluster
+        .submit("oblivious", 2, SubmitOpts::default())
+        .unwrap();
     let _driver = cluster.enable_auto_checkpoint(Duration::from_millis(120));
     cluster.wait_app_done(app, T).unwrap();
     assert!(

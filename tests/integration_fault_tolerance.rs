@@ -3,19 +3,13 @@
 
 use std::time::Duration;
 
-use starfish::{
-    AppStatus, CkptProto, CkptValue, Cluster, FtPolicy, Rank, ReduceOp, SubmitOpts,
-};
+use starfish::{AppStatus, CkptProto, CkptValue, Cluster, FtPolicy, Rank, ReduceOp, SubmitOpts};
 
 const T: Duration = Duration::from_secs(90);
 
 /// An iterative app whose state survives restarts. Runs `iters` iterations;
 /// checkpoints (collectively) every `every`.
-fn iterative(
-    ctx: &mut starfish::Ctx<'_>,
-    iters: i64,
-    every: i64,
-) -> starfish::Result<()> {
+fn iterative(ctx: &mut starfish::Ctx<'_>, iters: i64, every: i64) -> starfish::Result<()> {
     let (mut iter, mut acc) = match ctx.restored() {
         Some(v) => (
             v.field("iter").and_then(|f| f.as_int()).unwrap_or(0),
@@ -95,9 +89,7 @@ fn two_sequential_crashes_two_epochs() {
     wait_ckpt(&cluster, app, 2, 1);
     let v1 = cluster.config().apps[&app].placement[1];
     cluster.crash_node(v1);
-    cluster
-        .wait_app(app, T, |a| a.epoch.0 == 1)
-        .unwrap();
+    cluster.wait_app(app, T, |a| a.epoch.0 == 1).unwrap();
 
     wait_ckpt(&cluster, app, 2, 2);
     let v2 = cluster.config().apps[&app].placement[0];
@@ -139,7 +131,11 @@ fn kill_policy_never_restarts() {
     cluster
         .wait_app(app, T, |a| a.status == AppStatus::Killed)
         .unwrap();
-    assert_eq!(cluster.config().apps[&app].epoch.0, 0, "no restart under Kill");
+    assert_eq!(
+        cluster.config().apps[&app].epoch.0,
+        0,
+        "no restart under Kill"
+    );
 }
 
 #[test]
@@ -198,7 +194,11 @@ fn view_notify_app_finishes_with_survivors() {
         Ok(())
     });
     let app = cluster
-        .submit("flex", 3, SubmitOpts::default().policy(FtPolicy::NotifyView))
+        .submit(
+            "flex",
+            3,
+            SubmitOpts::default().policy(FtPolicy::NotifyView),
+        )
         .unwrap();
     std::thread::sleep(Duration::from_millis(60));
     cluster.crash_node(cluster.config().apps[&app].placement[1]);

@@ -21,7 +21,10 @@ fn clusters_of_many_sizes_boot_and_run() {
             .unwrap();
         cluster.wait_app_done(app, T).unwrap();
         for r in 0..n {
-            assert_eq!(cluster.outputs(app, Rank(r)), vec![CkptValue::Int(r as i64)]);
+            assert_eq!(
+                cluster.outputs(app, Rank(r)),
+                vec![CkptValue::Int(r as i64)]
+            );
         }
     }
 }
@@ -86,8 +89,14 @@ fn two_applications_run_concurrently_without_interference() {
         .unwrap();
     cluster.wait_app_done(a, T).unwrap();
     cluster.wait_app_done(b, T).unwrap();
-    assert_eq!(cluster.outputs(a, Rank(0)), vec![CkptValue::Str("a-done".into())]);
-    assert_eq!(cluster.outputs(b, Rank(0)), vec![CkptValue::Str("b-done".into())]);
+    assert_eq!(
+        cluster.outputs(a, Rank(0)),
+        vec![CkptValue::Str("a-done".into())]
+    );
+    assert_eq!(
+        cluster.outputs(b, Rank(0)),
+        vec![CkptValue::Str("b-done".into())]
+    );
 }
 
 #[test]
@@ -112,7 +121,11 @@ fn suspend_holds_progress_and_resume_releases_it() {
         .wait_app(app, T, |a| a.status == AppStatus::Suspended)
         .unwrap();
     std::thread::sleep(Duration::from_millis(200));
-    assert_eq!(cluster.outputs(app, Rank(0)).len(), 1, "no progress while suspended");
+    assert_eq!(
+        cluster.outputs(app, Rank(0)).len(),
+        1,
+        "no progress while suspended"
+    );
     cluster.resume(app).unwrap();
     cluster.wait_app_done(app, T).unwrap();
     assert_eq!(cluster.outputs(app, Rank(0)).len(), 2);

@@ -102,7 +102,10 @@ fn nodes_and_apps_reports_reflect_cluster_state() {
     ok(&s.handle_line("LOGIN ADMIN starfish"));
     let nodes = s.handle_line("NODES");
     assert!(nodes.contains("n0") && nodes.contains("n1"), "{nodes}");
-    assert!(nodes.contains("SunOS"), "heterogeneous arch listed: {nodes}");
+    assert!(
+        nodes.contains("SunOS"),
+        "heterogeneous arch listed: {nodes}"
+    );
     let resp = s.handle_line("SUBMIT visible 2");
     ok(&resp);
     std::thread::sleep(Duration::from_millis(50));
@@ -124,7 +127,9 @@ fn admin_survives_contacting_any_daemon() {
     cluster
         .daemon_of(starfish::NodeId(2))
         .unwrap()
-        .wait_config(T, |c| c.params.get("flavor").map(String::as_str) == Some("vanilla"))
+        .wait_config(T, |c| {
+            c.params.get("flavor").map(String::as_str) == Some("vanilla")
+        })
         .unwrap();
     let nodes = s2.handle_line("NODES");
     assert!(nodes.contains("n0") && nodes.contains("n1") && nodes.contains("n2"));

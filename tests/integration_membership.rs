@@ -11,11 +11,13 @@ const T: Duration = Duration::from_secs(60);
 #[test]
 fn all_daemons_converge_on_the_same_configuration() {
     let cluster = Cluster::builder().nodes(4).build().unwrap();
-    cluster.daemon().issue(starfish_daemon::CfgCmd::SetParam {
-        key: "k".into(),
-        value: "v".into(),
-    })
-    .unwrap();
+    cluster
+        .daemon()
+        .issue(starfish_daemon::CfgCmd::SetParam {
+            key: "k".into(),
+            value: "v".into(),
+        })
+        .unwrap();
     for i in 0..4 {
         let d = cluster.daemon_of(NodeId(i)).unwrap();
         d.wait_config(T, |c| {
@@ -48,7 +50,11 @@ fn crash_of_one_node_leaves_the_rest_available() {
         Ok(())
     });
     let app = cluster
-        .submit("post-crash", 2, SubmitOpts::default().policy(FtPolicy::Kill))
+        .submit(
+            "post-crash",
+            2,
+            SubmitOpts::default().policy(FtPolicy::Kill),
+        )
         .unwrap();
     cluster.wait_app_done(app, T).unwrap();
     assert!(!cluster.config().apps[&app].placement.contains(&NodeId(1)));
@@ -119,9 +125,7 @@ fn several_sequential_crashes_until_one_node_remains() {
         cluster
             .daemon_of(NodeId(0))
             .unwrap()
-            .wait_config(T, |c| {
-                c.up_nodes().len() == victim as usize
-            })
+            .wait_config(T, |c| c.up_nodes().len() == victim as usize)
             .unwrap();
     }
     // The last daemon still serves requests.
@@ -163,7 +167,11 @@ fn lightweight_groups_follow_placement() {
         .unwrap();
     let b_nodes = cluster.config().apps[&b].placement.clone();
     // Crash a node hosting only B (or an idle one hosting neither).
-    let victim = if b_nodes.contains(&b_node) { b_node } else { b_nodes[0] };
+    let victim = if b_nodes.contains(&b_node) {
+        b_node
+    } else {
+        b_nodes[0]
+    };
     if a_nodes.contains(&victim) {
         // Placement happened to overlap; nothing to assert here.
         return;

@@ -43,11 +43,17 @@ fn all_six_message_classes_on_their_sanctioned_paths() {
         Ok(())
     });
 
-    let app = cluster.submit("everything", 2, SubmitOpts::default()).unwrap();
+    let app = cluster
+        .submit("everything", 2, SubmitOpts::default())
+        .unwrap();
     // Wait for the checkpoint, then crash the spare node to produce
     // lightweight membership traffic.
     let deadline = std::time::Instant::now() + T;
-    while cluster.store().latest_common_index(app, &[Rank(0), Rank(1)]) < 1 {
+    while cluster
+        .store()
+        .latest_common_index(app, &[Rank(0), Rank(1)])
+        < 1
+    {
         assert!(std::time::Instant::now() < deadline);
         std::thread::sleep(Duration::from_millis(5));
     }

@@ -23,14 +23,21 @@ fn large_payloads_cross_intact() {
         } else {
             let m = ctx.recv(Some(Rank(0)), Some(5))?;
             assert_eq!(m.data.len(), 1_000_000);
-            assert!(m.data.iter().enumerate().all(|(i, b)| *b == (i % 251) as u8));
+            assert!(m
+                .data
+                .iter()
+                .enumerate()
+                .all(|(i, b)| *b == (i % 251) as u8));
             ctx.publish(CkptValue::Int(m.data.len() as i64));
         }
         Ok(())
     });
     let app = cluster.submit("bulk", 2, kill()).unwrap();
     cluster.wait_app_done(app, T).unwrap();
-    assert_eq!(cluster.outputs(app, Rank(1)), vec![CkptValue::Int(1_000_000)]);
+    assert_eq!(
+        cluster.outputs(app, Rank(1)),
+        vec![CkptValue::Int(1_000_000)]
+    );
 }
 
 #[test]
@@ -214,7 +221,7 @@ fn comm_split_subgroups_compute_independently() {
     cluster.wait_app_done(app, T).unwrap();
     for r in 0..5u32 {
         let out = cluster.outputs(app, Rank(r));
-        let expect_sub: i64 = if r % 2 == 0 { 0 + 2 + 4 } else { 1 + 3 };
+        let expect_sub: i64 = if r % 2 == 0 { 6 } else { 4 }; // 0+2+4 / 1+3
         assert_eq!(out[0], CkptValue::Int(expect_sub), "rank {r} sub sum");
         assert_eq!(out[1], CkptValue::Int(10), "rank {r} world sum");
         assert_eq!(
@@ -233,8 +240,23 @@ fn comm_dup_isolates_traffic() {
         assert_eq!(d.size(), ctx.size());
         // A bcast on the dup and one on the world with identical shapes
         // must not cross-match.
-        let a = ctx.sub_bcast(&mut d, Rank(0), if ctx.rank().0 == 0 { b"dup".to_vec() } else { vec![] })?;
-        let b = ctx.bcast(Rank(0), if ctx.rank().0 == 0 { b"world".to_vec() } else { vec![] })?;
+        let a = ctx.sub_bcast(
+            &mut d,
+            Rank(0),
+            if ctx.rank().0 == 0 {
+                b"dup".to_vec()
+            } else {
+                vec![]
+            },
+        )?;
+        let b = ctx.bcast(
+            Rank(0),
+            if ctx.rank().0 == 0 {
+                b"world".to_vec()
+            } else {
+                vec![]
+            },
+        )?;
         assert_eq!(a, b"dup");
         assert_eq!(b, b"world");
         ctx.publish(CkptValue::Bool(true));

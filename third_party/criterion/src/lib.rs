@@ -1,0 +1,176 @@
+//! Minimal, offline stand-in for `criterion`.
+//!
+//! Runs each benchmark for a short fixed budget, reports mean wall-clock
+//! time per iteration (plus throughput when configured) on stdout. No
+//! statistical analysis, plotting or baseline storage — just enough to run
+//! `cargo bench` style harnesses offline with the real criterion API shape.
+
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Benchmark driver handed to the functions in `criterion_group!`.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, None, f);
+        self
+    }
+}
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How much setup output to batch per measured call in `iter_batched`.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    MediumInput,
+    LargeInput,
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Measurement context passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back to back for the requested iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_bench<F>(id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and calibration pass.
+    let mut b = Bencher {
+        iters: WARMUP_ITERS,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = (b.elapsed / WARMUP_ITERS as u32).max(Duration::from_nanos(1));
+    let iters = (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            " ({:.1} MiB/s)",
+            n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / (mean_ns / 1e9)),
+    });
+    println!(
+        "{id:40} {:>12.1} ns/iter over {iters} iters{}",
+        mean_ns,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` invokes harness-less benches with
+            // `--test`; skip the heavy run there like real criterion does.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

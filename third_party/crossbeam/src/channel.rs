@@ -1,0 +1,334 @@
+//! MPMC unbounded channel with crossbeam-compatible semantics for the API
+//! subset this workspace uses.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+pub use crate::select;
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    avail: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Sending half; cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half; cloneable (MPMC).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        avail: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// A receiver that is never ready and never disconnects (its sender is
+/// intentionally leaked).
+pub fn never<T>() -> Receiver<T> {
+    let (tx, rx) = unbounded();
+    std::mem::forget(tx);
+    rx
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl<T> Sender<T> {
+    /// Sends a message; fails only when every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(msg));
+        }
+        self.shared.lock().push_back(msg);
+        self.shared.avail.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake blocked receivers so they observe the
+            // disconnect.
+            self.shared.avail.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    fn disconnected(&self) -> bool {
+        self.shared.senders.load(Ordering::SeqCst) == 0
+    }
+
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.disconnected() {
+                return Err(RecvError);
+            }
+            q = self.shared.avail.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.disconnected() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .avail
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.lock();
+        if let Some(msg) = q.pop_front() {
+            return Ok(msg);
+        }
+        if self.disconnected() {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+
+    /// Blocking iterator over messages until disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Selection probe used by the `select!` macro: `Some(Ok(v))` when a
+    /// message is ready, `Some(Err(RecvError))` when disconnected and
+    /// drained, `None` when merely empty.
+    #[doc(hidden)]
+    pub fn try_recv_for_select(&self) -> Option<Result<T, RecvError>> {
+        match self.try_recv() {
+            Ok(v) => Some(Ok(v)),
+            Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+            Err(TryRecvError::Empty) => None,
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn never_is_never_ready() {
+        let rx = never::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert!(rx.try_recv_for_select().is_none());
+    }
+
+    #[test]
+    fn mpmc_across_threads() {
+        let (tx, rx) = unbounded();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..100 {
+                    tx.send(i * 100 + j).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 400);
+    }
+
+    #[test]
+    fn select_macro_arm_shapes() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(5).unwrap();
+        #[allow(unused_assignments)]
+        let mut hit = 0;
+        crate::select! {
+            recv(rx_a) -> msg => {
+                assert_eq!(msg, Ok(5));
+                hit = 1;
+            }
+            recv(rx_b) -> msg => { let _ = msg; hit = 2; }
+        }
+        assert_eq!(hit, 1);
+
+        // Expression arms with commas, plus a default timeout.
+        let fired = crate::select! {
+            recv(rx_a) -> _msg => "recv",
+            default(Duration::from_millis(5)) => "default",
+        };
+        assert_eq!(fired, "default");
+    }
+}

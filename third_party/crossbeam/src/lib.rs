@@ -1,0 +1,98 @@
+//! Minimal, offline stand-in for `crossbeam` (the `channel` part).
+//!
+//! Implements MPMC unbounded channels over `Mutex<VecDeque>` + `Condvar`
+//! with crossbeam-compatible disconnect semantics, plus a polling
+//! `select!` macro covering the arm shapes this workspace uses:
+//!
+//! ```text
+//! select! {
+//!     recv(rx) -> msg => { ... }      // block body, no comma
+//!     recv(rx2) -> msg => expr,       // expr body with comma
+//!     default(timeout) => { ... }     // optional, last
+//! }
+//! ```
+//!
+//! Limitation (vs. real crossbeam): arm bodies are expanded inside an
+//! internal selection loop, so a bare `break`/`continue` in an arm body
+//! would bind to that loop. Use `return`, labeled breaks, or inner loops
+//! in bodies (as all current call sites do).
+
+#![allow(clippy::all)]
+
+pub mod channel;
+
+/// Polling `select!` over channel receive arms; see the crate docs.
+#[macro_export]
+macro_rules! select {
+    ($($tokens:tt)*) => {
+        $crate::__select_internal!(@parse () ; $($tokens)*)
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __select_internal {
+    // --- parse: default arm (must be last) --------------------------------
+    (@parse ($($arms:tt)*) ; default($t:expr) => $dbody:block $(,)?) => {
+        $crate::__select_internal!(@emit ($($arms)*) (default ($t) ($dbody)))
+    };
+    (@parse ($($arms:tt)*) ; default($t:expr) => $dbody:expr $(,)?) => {
+        $crate::__select_internal!(@emit ($($arms)*) (default ($t) ($dbody)))
+    };
+    // --- parse: recv arm, expr body with trailing comma -------------------
+    (@parse ($($arms:tt)*) ; recv($rx:expr) -> $pat:pat => $body:expr , $($rest:tt)*) => {
+        $crate::__select_internal!(@parse ($($arms)* { ($rx) ($pat) ($body) }) ; $($rest)*)
+    };
+    // --- parse: recv arm, block body, no comma ----------------------------
+    (@parse ($($arms:tt)*) ; recv($rx:expr) -> $pat:pat => $body:block $($rest:tt)*) => {
+        $crate::__select_internal!(@parse ($($arms)* { ($rx) ($pat) ($body) }) ; $($rest)*)
+    };
+    // --- parse: recv arm, expr body, last ---------------------------------
+    (@parse ($($arms:tt)*) ; recv($rx:expr) -> $pat:pat => $body:expr) => {
+        $crate::__select_internal!(@parse ($($arms)* { ($rx) ($pat) ($body) }) ;)
+    };
+    // --- parse: end, no default -------------------------------------------
+    (@parse ($($arms:tt)*) ;) => {
+        $crate::__select_internal!(@emit ($($arms)*) (none))
+    };
+    // --- emit -------------------------------------------------------------
+    (@emit ($({ ($rx:expr) ($pat:pat) ($body:expr) })*) (none)) => {{
+        let __select_result;
+        '__select: loop {
+            $(
+                match ($rx).try_recv_for_select() {
+                    ::std::option::Option::Some(__select_msg) => {
+                        let $pat = __select_msg;
+                        __select_result = $body;
+                        break '__select;
+                    }
+                    ::std::option::Option::None => {}
+                }
+            )*
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        }
+        __select_result
+    }};
+    (@emit ($({ ($rx:expr) ($pat:pat) ($body:expr) })*) (default ($t:expr) ($dbody:expr))) => {{
+        let __select_result;
+        let __select_deadline = ::std::time::Instant::now() + $t;
+        '__select: loop {
+            $(
+                match ($rx).try_recv_for_select() {
+                    ::std::option::Option::Some(__select_msg) => {
+                        let $pat = __select_msg;
+                        __select_result = $body;
+                        break '__select;
+                    }
+                    ::std::option::Option::None => {}
+                }
+            )*
+            if ::std::time::Instant::now() >= __select_deadline {
+                __select_result = $dbody;
+                break '__select;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        }
+        __select_result
+    }};
+}

@@ -1,0 +1,101 @@
+//! `any::<T>()` for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy for a primitive type.
+#[derive(Debug, Clone, Default)]
+pub struct AnyPrim<T>(PhantomData<T>);
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> AnyPrim<$t> {
+                AnyPrim(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> AnyPrim<bool> {
+        AnyPrim(PhantomData)
+    }
+}
+
+impl Strategy for AnyPrim<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        // Full bit-pattern coverage (like real proptest's widest f64
+        // domain): finite values, infinities and NaNs all occur.
+        // Consumers that need NaN-tolerant comparison already compare bits.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrim<f64>;
+    fn arbitrary() -> AnyPrim<f64> {
+        AnyPrim(PhantomData)
+    }
+}
+
+impl Strategy for AnyPrim<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f32 {
+    type Strategy = AnyPrim<f32>;
+    fn arbitrary() -> AnyPrim<f32> {
+        AnyPrim(PhantomData)
+    }
+}
+
+impl Strategy for AnyPrim<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text valid for every codec path.
+        char::from_u32(0x20 + (rng.below(0x5F)) as u32).expect("printable ascii")
+    }
+}
+
+impl Arbitrary for char {
+    type Strategy = AnyPrim<char>;
+    fn arbitrary() -> AnyPrim<char> {
+        AnyPrim(PhantomData)
+    }
+}

@@ -1,0 +1,348 @@
+//! Value-generation strategies: the sampling core of the shim.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic sampling function over [`TestRng`].
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type; the result is cheaply cloneable.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Arc::new(move |rng| inner.sample(rng)))
+    }
+
+    /// Builds recursive structures: `recurse` receives the strategy for the
+    /// previous depth and returns the strategy for the next one. `depth`
+    /// bounds nesting; the size/branch hints are accepted for
+    /// compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            current = recurse(current.clone()).boxed();
+        }
+        current
+    }
+}
+
+/// Type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+// --- integer ranges ---------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- regex-subset string strategies ----------------------------------------
+
+/// `&'static str` patterns act as string strategies for the regex subset
+/// `UNIT{m,n}` / `UNIT{n}` / `UNIT`, where `UNIT` is `.` (printable ASCII),
+/// a character class like `[a-z0-9_]`, or a literal character. Units may be
+/// concatenated.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+struct CharSet(Vec<(char, char)>);
+
+impl CharSet {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        let total: u64 = self
+            .0
+            .iter()
+            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+            .sum();
+        let mut k = rng.below(total);
+        for &(lo, hi) in &self.0 {
+            let w = hi as u64 - lo as u64 + 1;
+            if k < w {
+                return char::from_u32(lo as u32 + k as u32).expect("valid char");
+            }
+            k -= w;
+        }
+        unreachable!("pick within total weight")
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = String::new();
+    while i < chars.len() {
+        // One unit: '.', '[class]' or a literal character.
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                // Printable ASCII minus newline; enough for these tests and
+                // safe through every codec/arch-conversion path.
+                CharSet(vec![(' ', '~')])
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty char class in {pattern:?}");
+                i = close + 1;
+                CharSet(ranges)
+            }
+            c => {
+                i += 1;
+                CharSet(vec![(c, c)])
+            }
+        };
+        // Optional {m,n} / {n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("repetition min"),
+                    n.trim().parse::<usize>().expect("repetition max"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..len {
+            out.push(set.pick(rng));
+        }
+    }
+    out
+}
+
+// --- tuple strategies -------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (10u32..20).sample(&mut r);
+            assert!((10..20).contains(&v));
+            let w = (i32::MIN..=i32::MAX).sample(&mut r);
+            let _ = w; // full range: any value is fine
+            let z = (0u64..1 << 30).sample(&mut r);
+            assert!(z < 1 << 30);
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".sample(&mut r);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = ".{0,12}".sample(&mut r);
+            assert!(t.len() <= 12);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum V {
+            Leaf(u32),
+            Node(Vec<V>),
+        }
+        fn depth(v: &V) -> usize {
+            match v {
+                V::Leaf(_) => 0,
+                V::Node(vs) => 1 + vs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0u32..10).prop_map(V::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(V::Node)
+        });
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.sample(&mut r);
+            assert!(depth(&v) <= 3);
+        }
+    }
+}
