@@ -1,0 +1,255 @@
+//! The scenario driver: replays a [`FaultPlan`] against an in-memory
+//! cluster and records everything the oracles need.
+//!
+//! The MPI family (`run_mpi_scenario`) is **single-threaded and fully
+//! deterministic**: direct-mode reliable endpoints on an `Ideal` fabric
+//! with zero layer costs, every receive drained synchronously, every fault
+//! decision drawn from seeded streams. Re-running a plan yields a
+//! bit-identical [`ScenarioReport`] — the property the regression corpus
+//! and the shrinker depend on.
+//!
+//! Each step the driver (1) fires the plan's due events, (2) lets every
+//! rank drain its arrivals, (3) has every rank send one sequenced message
+//! to a seed-chosen peer, and (4) takes a coordinated checkpoint round on
+//! the plan's cadence. After the last step it *quiesces*: heals all
+//! partitions, clears all link faults, then alternates reliability flushes
+//! and drains until no data moves for three rounds and no packet is queued
+//! anywhere — at which point the oracles judge the endstate.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use starfish_checkpoint::{CkptImage, CkptLevel, CkptStore, CkptValue, MACHINES};
+use starfish_mpi::{MpiEndpoint, RankDirectory, RecvMode, WORLD_CONTEXT};
+use starfish_util::rng::DetRng;
+use starfish_util::trace::TraceSink;
+use starfish_util::{AppId, Epoch, NodeId, Rank, VClock};
+use starfish_vni::{Fabric, FaultStats, Ideal, LayerCosts};
+
+use crate::plan::{Event, FaultPlan};
+
+/// Application id every scenario runs under.
+pub const CHAOS_APP: AppId = AppId(7);
+
+/// Traffic tag (a single flow per rank pair keeps oracles simple).
+const TRAFFIC_TAG: u64 = 1;
+
+/// Stream tag separating traffic choices from plan generation.
+const TRAFFIC_STREAM: u64 = 0x5452_4146; // "TRAF"
+
+/// Real-time bound on the quiescence phase; hitting it marks the report
+/// `quiesced: false`, which the quiescence oracle turns into a violation.
+const QUIESCE_DEADLINE: Duration = Duration::from_secs(20);
+
+/// Everything a scenario run exposes to the oracles. `PartialEq` is the
+/// determinism contract: two runs of one plan must compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScenarioReport {
+    /// Per directed rank pair: payload ids in send order (only sends the
+    /// endpoint accepted — a rejected send never left the source).
+    pub sent: BTreeMap<(u32, u32), Vec<u64>>,
+    /// Per receiver: (source rank, payload id) in arrival order.
+    pub recv: BTreeMap<u32, Vec<(u32, u64)>>,
+    /// Sends rejected at the source (partitioned/crashed destination).
+    pub send_rejects: u64,
+    /// Fabric fault-layer accounting at the end of the run.
+    pub stats: FaultStats,
+    /// Packets still sitting in fabric queues after quiescence.
+    pub queued: usize,
+    /// Whether the quiescence loop converged before its deadline.
+    pub quiesced: bool,
+    /// Coordinated checkpoint rounds completed.
+    pub ckpt_rounds: u64,
+    /// Torn-image injections that hit an existing image.
+    pub corruptions: u64,
+    /// The recovery line (`latest_common_index`) over live ranks at the end.
+    pub line: u64,
+    /// Whether every live rank can actually read an image at `line`.
+    pub line_restorable: bool,
+    /// Ranks whose node crashed mid-run (oracles exclude their flows from
+    /// completeness checks: a dead port eats frames by design).
+    pub dead_ranks: Vec<u32>,
+}
+
+/// Replay `plan` deterministically; see the module docs for the schedule.
+pub fn run_mpi_scenario(plan: &FaultPlan) -> ScenarioReport {
+    let fabric = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+    for n in 0..plan.nodes {
+        fabric.add_node(NodeId(n));
+    }
+    for f in &plan.faults {
+        fabric.set_link_fault(NodeId(f.src), NodeId(f.dst), f.to_fault());
+    }
+    let store = CkptStore::new();
+    let placement: Vec<NodeId> = (0..plan.ranks).map(|r| NodeId(r % plan.nodes)).collect();
+    let dir = RankDirectory::with_placement(&placement);
+    let mut eps: Vec<MpiEndpoint> = (0..plan.ranks)
+        .map(|r| {
+            let mut ep = MpiEndpoint::new(
+                &fabric,
+                CHAOS_APP,
+                Rank(r),
+                dir.clone(),
+                RecvMode::Direct,
+                TraceSink::disabled(),
+            )
+            .expect("bind endpoint");
+            ep.set_reliable(true);
+            ep
+        })
+        .collect();
+    let mut clocks: Vec<VClock> = (0..plan.ranks).map(|_| VClock::new()).collect();
+
+    let mut rng = DetRng::new(plan.seed).derive(TRAFFIC_STREAM);
+    let mut report = ScenarioReport::default();
+    let mut next_id: Vec<u64> = vec![0; plan.ranks as usize];
+    let mut dead: Vec<bool> = vec![false; plan.ranks as usize];
+
+    for step in 0..plan.steps {
+        for te in plan.events_at(step) {
+            match te.event {
+                Event::Partition(a, b) => fabric.partition(NodeId(a), NodeId(b)),
+                Event::Heal(a, b) => fabric.heal(NodeId(a), NodeId(b)),
+                Event::Crash(n) => {
+                    fabric.crash_node(NodeId(n));
+                    mark_dead(&mut dead, plan, n);
+                }
+                Event::SilentCrash(n) => {
+                    fabric.crash_node_silently(NodeId(n));
+                    mark_dead(&mut dead, plan, n);
+                }
+                // Restarting an application rank needs the full runtime's
+                // recovery machinery; the ensemble/cluster family covers
+                // it. Here a restart only revives the node on the wire.
+                Event::Restart(n) => fabric.add_node(NodeId(n)),
+                Event::Corrupt { rank, index } => {
+                    if store.corrupt_image(CHAOS_APP, Rank(rank), index) {
+                        report.corruptions += 1;
+                    }
+                }
+            }
+        }
+
+        for r in 0..plan.ranks as usize {
+            if dead[r] {
+                continue;
+            }
+            drain(&mut eps[r], &mut clocks[r], &mut report);
+            // One message to a seed-chosen live-ish peer. The rng draw
+            // happens unconditionally so the traffic schedule is a pure
+            // function of the seed, independent of fault outcomes.
+            let peer = rng.below(plan.ranks as u64) as u32;
+            if peer == r as u32 {
+                continue;
+            }
+            let id = next_id[r];
+            let (ep, clock) = (&mut eps[r], &mut clocks[r]);
+            match ep.send_world(
+                clock,
+                Rank(peer),
+                WORLD_CONTEXT,
+                TRAFFIC_TAG,
+                &id.to_le_bytes(),
+            ) {
+                Ok(()) => {
+                    next_id[r] += 1;
+                    report.sent.entry((r as u32, peer)).or_default().push(id);
+                }
+                Err(_) => report.send_rejects += 1,
+            }
+        }
+
+        if plan.ckpt_every > 0 && (step + 1) % plan.ckpt_every == 0 {
+            report.ckpt_rounds += 1;
+            for r in 0..plan.ranks {
+                if dead[r as usize] {
+                    continue;
+                }
+                let img = CkptImage::capture(
+                    CHAOS_APP,
+                    Rank(r),
+                    Epoch(0),
+                    report.ckpt_rounds,
+                    CkptLevel::Vm { arch: MACHINES[0] },
+                    &CkptValue::Int(report.ckpt_rounds as i64),
+                    vec![],
+                    clocks[r as usize].now(),
+                )
+                .expect("capture image");
+                store.put(img);
+            }
+        }
+    }
+
+    // ---- quiescence: repair the wire, then drain to a fixed point -------
+    for a in 0..plan.nodes {
+        for b in a + 1..plan.nodes {
+            fabric.heal(NodeId(a), NodeId(b));
+        }
+    }
+    fabric.clear_all_link_faults();
+    let deadline = Instant::now() + QUIESCE_DEADLINE;
+    let mut quiet = 0u32;
+    report.quiesced = true;
+    while quiet < 3 || fabric.queued_packets() > 0 {
+        if Instant::now() > deadline {
+            report.quiesced = false;
+            break;
+        }
+        // Flush phase first, then drain phase: every Flush/NACK emitted
+        // this round is consumed this round once the system has settled.
+        for r in 0..plan.ranks as usize {
+            if !dead[r] {
+                eps[r].flush_reliable(&mut clocks[r]);
+            }
+        }
+        let before: usize = report.recv.values().map(Vec::len).sum();
+        for r in 0..plan.ranks as usize {
+            if !dead[r] {
+                drain(&mut eps[r], &mut clocks[r], &mut report);
+            }
+        }
+        let after: usize = report.recv.values().map(Vec::len).sum();
+        if after == before {
+            quiet += 1;
+        } else {
+            quiet = 0;
+        }
+    }
+
+    report.stats = fabric.fault_stats();
+    report.queued = fabric.queued_packets();
+    report.dead_ranks = (0..plan.ranks).filter(|r| dead[*r as usize]).collect();
+    let live: Vec<Rank> = (0..plan.ranks)
+        .filter(|r| !dead[*r as usize])
+        .map(Rank)
+        .collect();
+    report.line = store.latest_common_index(CHAOS_APP, &live);
+    report.line_restorable = report.line == 0
+        || live
+            .iter()
+            .all(|r| store.get(CHAOS_APP, *r, report.line).is_some());
+    report
+}
+
+/// Mark every rank placed on node `n` dead.
+fn mark_dead(dead: &mut [bool], plan: &FaultPlan, n: u32) {
+    for r in 0..plan.ranks {
+        if r % plan.nodes == n {
+            dead[r as usize] = true;
+        }
+    }
+}
+
+/// Drain every matchable arrival at `ep` into the report.
+fn drain(ep: &mut MpiEndpoint, clock: &mut VClock, report: &mut ScenarioReport) {
+    while let Ok(Some(msg)) = ep.try_recv_world(clock, WORLD_CONTEXT, None, None) {
+        let mut id = [0u8; 8];
+        id.copy_from_slice(&msg.data[..8]);
+        report
+            .recv
+            .entry(ep.rank().0)
+            .or_default()
+            .push((msg.src.0, u64::from_le_bytes(id)));
+    }
+}

@@ -1,0 +1,426 @@
+//! The `FaultPlan` DSL: a seeded, serializable description of one
+//! adversarial schedule.
+//!
+//! A plan is the *whole* input of a scenario — the cluster shape, the
+//! per-link packet faults armed at boot, and the timed events fired as the
+//! driver steps. Everything else (traffic, checkpoint cadence, fault
+//! decisions) derives from `seed` through [`DetRng`] streams, so a plan
+//! replays bit-for-bit: same plan, same delivery trace, same oracle
+//! verdict. That property is what lets a failing random schedule be
+//! shrunk to a few lines and committed under `tests/regressions/`.
+//!
+//! Plans serialize to a line-oriented text format (stable, diffable,
+//! hand-editable):
+//!
+//! ```text
+//! starfish-fault-plan v1
+//! seed 42
+//! nodes 3
+//! ranks 4
+//! steps 40
+//! ckpt-every 8
+//! fault 0->1 seed=7 drop=0.1 dup=0.05 delay=120us@0.1 reorder=0.2
+//! @12 partition 0 2
+//! @20 heal 0 2
+//! @15 corrupt rank=1 index=2
+//! ```
+
+use std::fmt;
+
+use starfish_util::rng::DetRng;
+use starfish_util::VirtualTime;
+use starfish_vni::LinkFault;
+
+/// One directed link's armed packet faults (maps onto
+/// [`starfish_vni::Fabric::set_link_fault`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaultSpec {
+    /// Source node index (into the plan's `nodes`).
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Seed of the link's decision streams.
+    pub seed: u64,
+    pub drop_p: f64,
+    pub dup_p: f64,
+    pub delay_p: f64,
+    /// Extra virtual latency applied on a delay decision, microseconds.
+    pub delay_us: u64,
+    pub reorder_p: f64,
+}
+
+impl LinkFaultSpec {
+    /// The fabric-level fault this spec arms.
+    pub fn to_fault(&self) -> LinkFault {
+        LinkFault::seeded(self.seed)
+            .drop(self.drop_p)
+            .duplicate(self.dup_p)
+            .delay(self.delay_p, VirtualTime::from_micros(self.delay_us))
+            .reorder(self.reorder_p)
+    }
+}
+
+/// A timed action fired when the driver reaches its step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Fail-stop crash (fabric event emitted — perfect detector path).
+    Crash(u32),
+    /// Silent crash: ports close, no event; only heartbeats can tell.
+    SilentCrash(u32),
+    /// Cut the link between two nodes (both directions).
+    Partition(u32, u32),
+    /// Undo a partition.
+    Heal(u32, u32),
+    /// Restart a crashed node's daemon under the same identity.
+    Restart(u32),
+    /// Mark one rank's checkpoint image torn/corrupt on stable storage.
+    Corrupt { rank: u32, index: u64 },
+}
+
+/// An [`Event`] scheduled at a driver step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    pub step: u32,
+    pub event: Event,
+}
+
+/// A complete scenario description; see the module docs for the format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed: drives traffic choices and, via derivation, everything
+    /// the plan itself does not pin.
+    pub seed: u64,
+    /// Cluster size. Rank `r` lives on node `r % nodes`.
+    pub nodes: u32,
+    /// MPI world size.
+    pub ranks: u32,
+    /// Driver steps (each rank sends one message per step).
+    pub steps: u32,
+    /// Coordinated checkpoint cadence in steps; 0 disables checkpoints.
+    pub ckpt_every: u32,
+    /// Per-link packet faults, armed before the first step.
+    pub faults: Vec<LinkFaultSpec>,
+    /// Timed events, fired when the driver reaches `step` (plan order
+    /// within a step).
+    pub events: Vec<TimedEvent>,
+}
+
+const HEADER: &str = "starfish-fault-plan v1";
+
+impl FaultPlan {
+    /// Generate a random-but-reproducible plan for the MPI scenario family:
+    /// everything is drawn from `seed`, so the same seed always yields the
+    /// same plan. Events are restricted to the recoverable set the MPI
+    /// driver exercises (partition/heal and image corruption); probability
+    /// mass is kept moderate so scenarios terminate.
+    pub fn generate(seed: u64) -> FaultPlan {
+        let mut rng = DetRng::new(seed).derive(PLAN_STREAM);
+        let nodes = 2 + rng.below(3) as u32; // 2..=4
+        let ranks = 2 + rng.below(5) as u32; // 2..=6
+        let steps = 20 + rng.below(41) as u32; // 20..=60
+        let ckpt_every = [0u32, 5, 8, 10][rng.below(4) as usize];
+
+        // Arm faults on a few random directed inter-node links.
+        let mut faults = Vec::new();
+        let n_faults = rng.below(4); // 0..=3 faulty links
+        for _ in 0..n_faults {
+            let src = rng.below(nodes as u64) as u32;
+            let mut dst = rng.below(nodes as u64) as u32;
+            if dst == src {
+                dst = (dst + 1) % nodes;
+            }
+            if faults
+                .iter()
+                .any(|f: &LinkFaultSpec| f.src == src && f.dst == dst)
+            {
+                continue;
+            }
+            faults.push(LinkFaultSpec {
+                src,
+                dst,
+                seed: rng.below(1 << 32),
+                drop_p: rng.below(25) as f64 / 100.0,  // 0..0.24
+                dup_p: rng.below(20) as f64 / 100.0,   // 0..0.19
+                delay_p: rng.below(30) as f64 / 100.0, // 0..0.29
+                delay_us: 10 + rng.below(500),         // 10..509 µs
+                reorder_p: rng.below(30) as f64 / 100.0, // 0..0.29
+            });
+        }
+
+        // Timed events: paired partition/heal windows plus image
+        // corruption. Windows are kept short so the reliability layer has
+        // send opportunities on both sides.
+        let mut events = Vec::new();
+        let n_parts = rng.below(3); // 0..=2 partition windows
+        for _ in 0..n_parts {
+            if nodes < 2 {
+                break;
+            }
+            let a = rng.below(nodes as u64) as u32;
+            let mut b = rng.below(nodes as u64) as u32;
+            if b == a {
+                b = (b + 1) % nodes;
+            }
+            let at = rng.below(steps as u64 / 2) as u32;
+            let dur = 1 + rng.below(steps as u64 / 4) as u32;
+            events.push(TimedEvent {
+                step: at,
+                event: Event::Partition(a, b),
+            });
+            events.push(TimedEvent {
+                step: at + dur,
+                event: Event::Heal(a, b),
+            });
+        }
+        if let Some(rounds) = steps.checked_div(ckpt_every).map(u64::from) {
+            let n_corrupt = rng.below(3); // 0..=2 torn images
+            for _ in 0..n_corrupt {
+                if rounds == 0 {
+                    break;
+                }
+                let index = 1 + rng.below(rounds);
+                let rank = rng.below(ranks as u64) as u32;
+                // Fire strictly after the image exists.
+                let step = ((index as u32) * ckpt_every).min(steps - 1);
+                events.push(TimedEvent {
+                    step,
+                    event: Event::Corrupt { rank, index },
+                });
+            }
+        }
+        events.sort_by_key(|e| e.step);
+
+        FaultPlan {
+            seed,
+            nodes,
+            ranks,
+            steps,
+            ckpt_every,
+            faults,
+            events,
+        }
+    }
+
+    /// Events due at `step`, in plan order.
+    pub fn events_at(&self, step: u32) -> impl Iterator<Item = &TimedEvent> {
+        self.events.iter().filter(move |e| e.step == step)
+    }
+
+    /// Parse the text format produced by [`fmt::Display`].
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some(h) if h == HEADER => {}
+            other => return Err(format!("bad header: {other:?}")),
+        }
+        let mut plan = FaultPlan {
+            seed: 0,
+            nodes: 0,
+            ranks: 0,
+            steps: 0,
+            ckpt_every: 0,
+            faults: Vec::new(),
+            events: Vec::new(),
+        };
+        for line in lines {
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            let rest: Vec<&str> = parts.collect();
+            let scalar = |rest: &[&str]| -> Result<u64, String> {
+                rest.first()
+                    .ok_or_else(|| format!("missing value: {line}"))?
+                    .parse()
+                    .map_err(|e| format!("{line}: {e}"))
+            };
+            match key {
+                "seed" => plan.seed = scalar(&rest)?,
+                "nodes" => plan.nodes = scalar(&rest)? as u32,
+                "ranks" => plan.ranks = scalar(&rest)? as u32,
+                "steps" => plan.steps = scalar(&rest)? as u32,
+                "ckpt-every" => plan.ckpt_every = scalar(&rest)? as u32,
+                "fault" => plan.faults.push(parse_fault(line, &rest)?),
+                k if k.starts_with('@') => {
+                    let step: u32 = k[1..].parse().map_err(|e| format!("{line}: {e}"))?;
+                    plan.events.push(TimedEvent {
+                        step,
+                        event: parse_event(line, &rest)?,
+                    });
+                }
+                other => return Err(format!("unknown directive {other:?} in {line:?}")),
+            }
+        }
+        if plan.nodes == 0 || plan.ranks == 0 {
+            return Err("plan must declare nodes and ranks".into());
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_fault(line: &str, rest: &[&str]) -> Result<LinkFaultSpec, String> {
+    let link = rest.first().ok_or_else(|| format!("bare fault: {line}"))?;
+    let (src, dst) = link
+        .split_once("->")
+        .ok_or_else(|| format!("fault link must be src->dst: {line}"))?;
+    let mut spec = LinkFaultSpec {
+        src: src.parse().map_err(|e| format!("{line}: {e}"))?,
+        dst: dst.parse().map_err(|e| format!("{line}: {e}"))?,
+        seed: 0,
+        drop_p: 0.0,
+        dup_p: 0.0,
+        delay_p: 0.0,
+        delay_us: 0,
+        reorder_p: 0.0,
+    };
+    for kv in &rest[1..] {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("fault attribute must be k=v: {kv}"))?;
+        let fp = |v: &str| v.parse::<f64>().map_err(|e| format!("{kv}: {e}"));
+        match k {
+            "seed" => spec.seed = v.parse().map_err(|e| format!("{kv}: {e}"))?,
+            "drop" => spec.drop_p = fp(v)?,
+            "dup" => spec.dup_p = fp(v)?,
+            "reorder" => spec.reorder_p = fp(v)?,
+            "delay" => {
+                // "120us@0.1": latency @ probability.
+                let (us, p) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("delay must be <N>us@<p>: {kv}"))?;
+                let us = us
+                    .strip_suffix("us")
+                    .ok_or_else(|| format!("delay must be <N>us@<p>: {kv}"))?;
+                spec.delay_us = us.parse().map_err(|e| format!("{kv}: {e}"))?;
+                spec.delay_p = fp(p)?;
+            }
+            other => return Err(format!("unknown fault attribute {other:?}")),
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_event(line: &str, rest: &[&str]) -> Result<Event, String> {
+    let u = |s: &&str| -> Result<u32, String> { s.parse().map_err(|e| format!("{line}: {e}")) };
+    match rest {
+        ["crash", n] => Ok(Event::Crash(u(n)?)),
+        ["silent-crash", n] => Ok(Event::SilentCrash(u(n)?)),
+        ["restart", n] => Ok(Event::Restart(u(n)?)),
+        ["partition", a, b] => Ok(Event::Partition(u(a)?, u(b)?)),
+        ["heal", a, b] => Ok(Event::Heal(u(a)?, u(b)?)),
+        ["corrupt", attrs @ ..] => {
+            let (mut rank, mut index) = (None, None);
+            for kv in attrs {
+                match kv.split_once('=') {
+                    Some(("rank", v)) => rank = v.parse().ok(),
+                    Some(("index", v)) => index = v.parse().ok(),
+                    _ => return Err(format!("bad corrupt attribute {kv:?}")),
+                }
+            }
+            match (rank, index) {
+                (Some(rank), Some(index)) => Ok(Event::Corrupt { rank, index }),
+                _ => Err(format!("corrupt needs rank= and index=: {line}")),
+            }
+        }
+        _ => Err(format!("unknown event: {line}")),
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{HEADER}")?;
+        writeln!(f, "seed {}", self.seed)?;
+        writeln!(f, "nodes {}", self.nodes)?;
+        writeln!(f, "ranks {}", self.ranks)?;
+        writeln!(f, "steps {}", self.steps)?;
+        writeln!(f, "ckpt-every {}", self.ckpt_every)?;
+        for s in &self.faults {
+            writeln!(
+                f,
+                "fault {}->{} seed={} drop={} dup={} delay={}us@{} reorder={}",
+                s.src, s.dst, s.seed, s.drop_p, s.dup_p, s.delay_us, s.delay_p, s.reorder_p
+            )?;
+        }
+        for e in &self.events {
+            match e.event {
+                Event::Crash(n) => writeln!(f, "@{} crash {}", e.step, n)?,
+                Event::SilentCrash(n) => writeln!(f, "@{} silent-crash {}", e.step, n)?,
+                Event::Restart(n) => writeln!(f, "@{} restart {}", e.step, n)?,
+                Event::Partition(a, b) => writeln!(f, "@{} partition {} {}", e.step, a, b)?,
+                Event::Heal(a, b) => writeln!(f, "@{} heal {} {}", e.step, a, b)?,
+                Event::Corrupt { rank, index } => {
+                    writeln!(f, "@{} corrupt rank={} index={}", e.step, rank, index)?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Stream tag separating plan generation from the driver's traffic stream.
+const PLAN_STREAM: u64 = 0x504C_414E; // "PLAN"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        for seed in 0..50 {
+            assert_eq!(FaultPlan::generate(seed), FaultPlan::generate(seed));
+        }
+        assert_ne!(FaultPlan::generate(1), FaultPlan::generate(2));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for seed in 0..50 {
+            let plan = FaultPlan::generate(seed);
+            let text = plan.to_string();
+            let back = FaultPlan::parse(&text).unwrap();
+            assert_eq!(plan, back, "roundtrip diverged for seed {seed}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("starfish-fault-plan v2\nseed 1").is_err());
+        assert!(FaultPlan::parse("starfish-fault-plan v1\nwat 3").is_err());
+        assert!(FaultPlan::parse("starfish-fault-plan v1\nseed 1").is_err()); // no shape
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_blank_lines() {
+        let text = "starfish-fault-plan v1\n\n# adversarial schedule\nseed 9\nnodes 2\nranks 2\nsteps 10\nckpt-every 0\n@3 partition 0 1\n@5 heal 0 1\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.events.len(), 2);
+        assert_eq!(plan.events[0].event, Event::Partition(0, 1));
+    }
+
+    #[test]
+    fn generated_events_reference_declared_shape() {
+        for seed in 0..100 {
+            let p = FaultPlan::generate(seed);
+            for f in &p.faults {
+                assert!(f.src < p.nodes && f.dst < p.nodes && f.src != f.dst);
+            }
+            for e in &p.events {
+                assert!(e.step < p.steps + p.steps / 4 + 2);
+                match e.event {
+                    Event::Partition(a, b) | Event::Heal(a, b) => {
+                        assert!(a < p.nodes && b < p.nodes && a != b)
+                    }
+                    Event::Corrupt { rank, .. } => assert!(rank < p.ranks),
+                    Event::Crash(n) | Event::SilentCrash(n) | Event::Restart(n) => {
+                        assert!(n < p.nodes)
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Greedy plan shrinking: minimize a failing [`FaultPlan`] while a
+//! predicate keeps failing.
+//!
+//! The local proptest stand-in samples cases but does not shrink, so the
+//! chaos suite shrinks at the *plan* level instead — which is also a
+//! better level: a plan is already a semantic description of the schedule,
+//! so deleting an event or zeroing a probability is a meaningful
+//! simplification, not a bytewise mutation. The shrinker runs removal
+//! passes to a fixed point:
+//!
+//! 1. drop whole timed events, one at a time;
+//! 2. drop whole link-fault specs;
+//! 3. zero individual fault probabilities (drop/dup/delay/reorder);
+//! 4. truncate the step count (binary descent);
+//! 5. disable checkpointing.
+//!
+//! Every candidate that still fails replaces the current plan, so the
+//! result is 1-minimal with respect to these operations and — because the
+//! driver is deterministic — replays the same violation forever.
+
+use crate::plan::FaultPlan;
+
+/// Shrink `plan` while `fails` holds. `fails(&plan)` must be true on
+/// entry; the returned plan still fails and cannot be shrunk further by
+/// the operations above.
+pub fn minimize(plan: &FaultPlan, fails: impl Fn(&FaultPlan) -> bool) -> FaultPlan {
+    assert!(fails(plan), "minimize() needs a failing plan to start from");
+    let mut best = plan.clone();
+    loop {
+        let mut progressed = false;
+
+        // 1. Remove timed events.
+        let mut i = 0;
+        while i < best.events.len() {
+            let mut cand = best.clone();
+            cand.events.remove(i);
+            if fails(&cand) {
+                best = cand;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Remove whole link faults.
+        let mut i = 0;
+        while i < best.faults.len() {
+            let mut cand = best.clone();
+            cand.faults.remove(i);
+            if fails(&cand) {
+                best = cand;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 3. Zero individual probabilities of the remaining faults.
+        for i in 0..best.faults.len() {
+            for field in 0..4 {
+                let mut cand = best.clone();
+                let f = &mut cand.faults[i];
+                let p = match field {
+                    0 => &mut f.drop_p,
+                    1 => &mut f.dup_p,
+                    2 => &mut f.delay_p,
+                    _ => &mut f.reorder_p,
+                };
+                if *p == 0.0 {
+                    continue;
+                }
+                *p = 0.0;
+                if fails(&cand) {
+                    best = cand;
+                    progressed = true;
+                }
+            }
+        }
+
+        // 4. Truncate steps (events past the new horizon go too).
+        let mut lo = 1u32;
+        while lo < best.steps {
+            let mid = (lo + best.steps) / 2;
+            let mut cand = best.clone();
+            cand.steps = mid;
+            cand.events.retain(|e| e.step < mid);
+            if fails(&cand) {
+                best = cand;
+                progressed = true;
+            } else {
+                lo = mid + 1;
+            }
+        }
+
+        // 5. Try dropping checkpointing entirely.
+        if best.ckpt_every != 0 {
+            let mut cand = best.clone();
+            cand.ckpt_every = 0;
+            if fails(&cand) {
+                best = cand;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Event, TimedEvent};
+
+    /// Synthetic predicate: the "bug" needs a Corrupt event on rank 0 and
+    /// at least 5 steps — everything else is noise the shrinker must shed.
+    fn fails(p: &FaultPlan) -> bool {
+        p.steps >= 5
+            && p.events
+                .iter()
+                .any(|e| matches!(e.event, Event::Corrupt { rank: 0, .. }))
+    }
+
+    #[test]
+    fn minimizes_to_the_failure_kernel() {
+        let mut plan = FaultPlan::generate(3);
+        plan.events.push(TimedEvent {
+            step: 2,
+            event: Event::Corrupt { rank: 0, index: 1 },
+        });
+        assert!(fails(&plan));
+        let min = minimize(&plan, fails);
+        assert!(fails(&min));
+        assert_eq!(min.events.len(), 1, "noise events must be shed: {min}");
+        assert!(min.faults.is_empty(), "faults are noise here: {min}");
+        assert_eq!(min.steps, 5, "steps must reach the boundary: {min}");
+        assert_eq!(min.ckpt_every, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a failing plan")]
+    fn rejects_passing_plans() {
+        let plan = FaultPlan::generate(0);
+        minimize(&plan, |_| false);
+    }
+}

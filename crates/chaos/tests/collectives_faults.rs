@@ -1,0 +1,198 @@
+//! Collectives under injected link faults: `bcast`/`reduce`/`barrier` over
+//! reliable endpoints must either complete with the correct result or
+//! surface a clean error — never hang. The harness mirrors the mpi crate's
+//! `run_ranks` but keeps the fabric in the test's hands so faults can be
+//! armed on specific tree edges before the ranks start.
+
+use std::time::Duration;
+
+use starfish_mpi::collectives::{barrier, bcast, reduce};
+use starfish_mpi::{Comm, MpiEndpoint, RankDirectory, RecvMode, ReduceOp};
+use starfish_util::trace::TraceSink;
+use starfish_util::{AppId, NodeId, Rank, VClock};
+use starfish_vni::{Fabric, Ideal, LayerCosts, LinkFault};
+
+const APP: AppId = AppId(9);
+
+fn fabric(n: u32) -> Fabric {
+    let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+    for i in 0..n {
+        f.add_node(NodeId(i));
+    }
+    f
+}
+
+/// Bind one reliable endpoint per rank (rank r on node r) before any rank
+/// runs, so faults armed on the fabric hit application traffic, not setup.
+fn bind_ranks(fabric: &Fabric, n: u32, recv_timeout: Duration) -> Vec<MpiEndpoint> {
+    let dir = RankDirectory::with_placement(&(0..n).map(NodeId).collect::<Vec<_>>());
+    (0..n)
+        .map(|r| {
+            let mut ep = MpiEndpoint::new(
+                fabric,
+                APP,
+                Rank(r),
+                dir.clone(),
+                RecvMode::Polled,
+                TraceSink::disabled(),
+            )
+            .unwrap();
+            ep.set_reliable(true);
+            ep.set_blocking_timeout(recv_timeout);
+            ep
+        })
+        .collect()
+}
+
+/// Run `f(rank, endpoint, comm, clock)` on one thread per bound endpoint,
+/// collecting results in rank order. After `f` returns, each rank keeps
+/// pumping its endpoint for a short window so peers still blocked on a
+/// retransmission (recovered via their Ping probes) can be served — the
+/// moral equivalent of not exiting before `MPI_Finalize`.
+fn run_bound<T: Send + 'static>(
+    eps: Vec<MpiEndpoint>,
+    pump: Duration,
+    f: impl Fn(u32, &mut MpiEndpoint, &mut Comm, &mut VClock) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let n = eps.len() as u32;
+    let f = std::sync::Arc::new(f);
+    let mut handles = Vec::new();
+    for (r, mut ep) in eps.into_iter().enumerate() {
+        let f = f.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut comm = Comm::world(n, Rank(r as u32));
+            let mut clock = VClock::new();
+            let out = f(r as u32, &mut ep, &mut comm, &mut clock);
+            let quiesce = std::time::Instant::now() + pump;
+            while std::time::Instant::now() < quiesce {
+                ep.flush_reliable(&mut clock);
+                let _ = ep.try_recv_world(&mut clock, starfish_mpi::WORLD_CONTEXT, None, None);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            out
+        }));
+    }
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+fn run_ranks<T: Send + 'static>(
+    fabric: &Fabric,
+    n: u32,
+    recv_timeout: Duration,
+    f: impl Fn(u32, &mut MpiEndpoint, &mut Comm, &mut VClock) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let eps = bind_ranks(fabric, n, recv_timeout);
+    run_bound(eps, Duration::from_millis(500), f)
+}
+
+#[test]
+fn bcast_survives_a_dropped_tree_edge() {
+    // Binomial tree for root 0, n = 4: rank 0 feeds ranks 2 (mask 2) and
+    // 1 (mask 1); rank 2 feeds rank 3. Eat the first packet on the 0→2
+    // trunk edge: the blocked receiver's Ping probe must recover it.
+    let f = fabric(4);
+    f.set_link_fault(NodeId(0), NodeId(2), LinkFault::seeded(7).drop_nth(0));
+    let out = run_ranks(&f, 4, Duration::from_secs(20), |r, ep, comm, clock| {
+        let data = if r == 0 {
+            b"starfish".to_vec()
+        } else {
+            Vec::new()
+        };
+        bcast(ep, comm, clock, Rank(0), data).unwrap()
+    });
+    for buf in &out {
+        assert_eq!(buf.as_slice(), b"starfish");
+    }
+    assert!(f.fault_stats().dropped >= 1, "the fault must actually fire");
+}
+
+#[test]
+fn bcast_survives_lossy_links() {
+    // Probabilistic loss on every tree edge out of the root; reliability
+    // must still deliver the payload everywhere.
+    let f = fabric(4);
+    for dst in 1..4 {
+        f.set_link_fault(
+            NodeId(0),
+            NodeId(dst),
+            LinkFault::seeded(100 + dst as u64).drop(0.5),
+        );
+    }
+    let out = run_ranks(&f, 4, Duration::from_secs(20), |r, ep, comm, clock| {
+        let data = if r == 0 { vec![42u8; 64] } else { Vec::new() };
+        bcast(ep, comm, clock, Rank(0), data).unwrap()
+    });
+    for buf in &out {
+        assert_eq!(buf.len(), 64);
+        assert!(buf.iter().all(|b| *b == 42));
+    }
+}
+
+#[test]
+fn reduce_is_exact_under_duplicating_links() {
+    // Every packet into the root is duplicated; the reliable layer must
+    // discard the clones or the sum would be wrong (duplicate contributions
+    // are silent corruption, not an error).
+    let f = fabric(4);
+    for src in 1..4 {
+        f.set_link_fault(
+            NodeId(src),
+            NodeId(0),
+            LinkFault::seeded(src as u64).duplicate(1.0),
+        );
+    }
+    let out = run_ranks(&f, 4, Duration::from_secs(20), |r, ep, comm, clock| {
+        let data = vec![r as u64 + 1, 10 * (r as u64 + 1)];
+        reduce(ep, comm, clock, Rank(0), &data, ReduceOp::Sum).unwrap()
+    });
+    assert_eq!(out[0], Some(vec![1 + 2 + 3 + 4, 10 + 20 + 30 + 40]));
+    for o in &out[1..] {
+        assert_eq!(*o, None);
+    }
+    assert!(f.fault_stats().duplicated >= 1);
+}
+
+#[test]
+fn barrier_completes_under_mixed_faults() {
+    // Drop + duplicate + reorder across several links at once; the
+    // dissemination barrier must still release every rank.
+    let f = fabric(5);
+    for (src, dst) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)] {
+        f.set_link_fault(
+            NodeId(src),
+            NodeId(dst),
+            LinkFault::seeded(src as u64 * 31 + dst as u64)
+                .drop(0.25)
+                .duplicate(0.25)
+                .reorder(0.25),
+        );
+    }
+    let out = run_ranks(&f, 5, Duration::from_secs(20), |_, ep, comm, clock| {
+        barrier(ep, comm, clock).unwrap();
+        true
+    });
+    assert_eq!(out, vec![true; 5]);
+}
+
+#[test]
+fn collective_over_a_crashed_node_errors_instead_of_hanging() {
+    // Node 2 dies after endpoints bind but before the collective starts.
+    // Every live rank must get a clean error within its receive timeout —
+    // sends into the crashed node fail fast, receives from it time out.
+    let f = fabric(3);
+    let eps = bind_ranks(&f, 3, Duration::from_millis(500));
+    f.crash_node(NodeId(2));
+    let out = run_bound(eps, Duration::from_millis(100), |r, ep, comm, clock| {
+        let data = if r == 0 {
+            b"doomed".to_vec()
+        } else {
+            Vec::new()
+        };
+        bcast(ep, comm, clock, Rank(0), data)
+            .err()
+            .map(|e| e.to_string())
+    });
+    for (r, e) in out.iter().enumerate() {
+        assert!(e.is_some(), "rank {r} must surface an error, got success");
+    }
+}

@@ -1,0 +1,50 @@
+//! Replay every committed regression plan: each one once exposed a real
+//! violation and must pass all oracles forever. `.plan` files under
+//! `tests/regressions/` are picked up automatically — to reproduce a
+//! failure locally, drop the shrunk plan in and run
+//! `cargo test -p starfish-chaos --test regressions`.
+
+use starfish_chaos::{oracle, run_mpi_scenario, FaultPlan};
+
+#[test]
+fn committed_regression_plans_pass_all_oracles() {
+    let dir = format!("{}/tests/regressions", env!("CARGO_MANIFEST_DIR"));
+    let mut plans = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("regressions dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("plan") {
+            plans.push(path);
+        }
+    }
+    plans.sort();
+    assert!(
+        !plans.is_empty(),
+        "the regression corpus must contain at least one plan"
+    );
+    for path in plans {
+        let text = std::fs::read_to_string(&path).expect("read plan");
+        let plan = FaultPlan::parse(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let report = run_mpi_scenario(&plan);
+        let v = oracle::check_all(&report);
+        assert!(v.is_empty(), "{} regressed: {v:?}", path.display());
+    }
+}
+
+/// The torn-interior-image plan specifically: pin the endstate shape so
+/// the file keeps describing the scenario it was shrunk from.
+#[test]
+fn torn_interior_image_plan_pins_the_restorable_line() {
+    let dir = format!("{}/tests/regressions", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(format!("{dir}/torn-interior-image.plan")).unwrap();
+    let plan = FaultPlan::parse(&text).unwrap();
+    let report = run_mpi_scenario(&plan);
+    assert_eq!(report.ckpt_rounds, 3);
+    assert_eq!(report.corruptions, 2, "both torn images must hit");
+    assert_eq!(
+        report.line, 1,
+        "the jointly-restorable line is 1 (min-of-latest would wrongly say 2)"
+    );
+    assert!(report.line_restorable);
+    assert!(oracle::check_all(&report).is_empty());
+}

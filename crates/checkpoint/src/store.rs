@@ -5,7 +5,7 @@
 //! restarted on a *different* node finds its images. All daemons share one
 //! handle.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -20,6 +20,10 @@ struct StoreInner {
     images: HashMap<(AppId, Rank), Vec<CkptImage>>,
     /// Message-dependency log for uncoordinated checkpointing, per app.
     deps: HashMap<AppId, Vec<MsgDep>>,
+    /// Images the chaos layer marked torn/corrupt: present on disk but
+    /// failing their checksum, so every read path skips them (a torn write
+    /// must degrade recovery to an older line, never crash it).
+    corrupted: HashSet<(AppId, Rank, u64)>,
 }
 
 /// Shared, thread-safe checkpoint storage. Cheap to clone.
@@ -34,9 +38,11 @@ impl CkptStore {
     }
 
     /// Persist an image. Images of one process are kept sorted by index;
-    /// re-putting an index replaces it (idempotent retry).
+    /// re-putting an index replaces it (idempotent retry) and clears any
+    /// corruption mark (a fresh write heals the torn one).
     pub fn put(&self, img: CkptImage) {
         let mut g = self.inner.lock();
+        g.corrupted.remove(&(img.app, img.rank, img.index));
         let v = g.images.entry((img.app, img.rank)).or_default();
         match v.binary_search_by_key(&img.index, |i| i.index) {
             Ok(pos) => v[pos] = img,
@@ -44,19 +50,39 @@ impl CkptStore {
         }
     }
 
-    /// Latest image of a process, if any.
-    pub fn latest(&self, app: AppId, rank: Rank) -> Option<CkptImage> {
-        self.inner
-            .lock()
+    /// Mark a stored image torn/corrupt: every read path skips it from now
+    /// on, as if its checksum failed on load. Returns false if no such
+    /// image exists. Chaos-layer injection point.
+    pub fn corrupt_image(&self, app: AppId, rank: Rank, index: u64) -> bool {
+        let mut g = self.inner.lock();
+        let exists = g
             .images
             .get(&(app, rank))
-            .and_then(|v| v.last())
-            .cloned()
+            .is_some_and(|v| v.binary_search_by_key(&index, |i| i.index).is_ok());
+        if exists {
+            g.corrupted.insert((app, rank, index));
+        }
+        exists
     }
 
-    /// A specific image by index.
+    /// Latest *readable* image of a process, if any (corrupt ones skipped).
+    pub fn latest(&self, app: AppId, rank: Rank) -> Option<CkptImage> {
+        let g = self.inner.lock();
+        g.images.get(&(app, rank)).and_then(|v| {
+            v.iter()
+                .rev()
+                .find(|i| !g.corrupted.contains(&(app, rank, i.index)))
+                .cloned()
+        })
+    }
+
+    /// A specific image by index; `None` if absent or corrupt.
     pub fn get(&self, app: AppId, rank: Rank, index: u64) -> Option<CkptImage> {
-        self.inner.lock().images.get(&(app, rank)).and_then(|v| {
+        let g = self.inner.lock();
+        if g.corrupted.contains(&(app, rank, index)) {
+            return None;
+        }
+        g.images.get(&(app, rank)).and_then(|v| {
             v.binary_search_by_key(&index, |i| i.index)
                 .ok()
                 .map(|pos| v[pos].clone())
@@ -69,14 +95,39 @@ impl CkptStore {
         self.latest(app, rank).map(|i| i.index).unwrap_or(0)
     }
 
-    /// Highest checkpoint index stored by *every* rank of `ranks` — the
-    /// recovery line of coordinated checkpointing.
+    /// Highest checkpoint index at which *every* rank of `ranks` has a
+    /// readable image — the recovery line of coordinated checkpointing.
+    ///
+    /// This is deliberately not `min(latest_index)`: with torn images a
+    /// rank can hold readable images at {1, 3} while another holds {1, 2},
+    /// making min-of-latest 2 — an index the first rank cannot restore.
+    /// The chaos harness's `torn-interior-image` regression plan pins this
+    /// (the line must be jointly *restorable*, not just jointly reached).
     pub fn latest_common_index(&self, app: AppId, ranks: &[Rank]) -> u64 {
-        ranks
-            .iter()
-            .map(|r| self.latest_index(app, *r))
-            .min()
-            .unwrap_or(0)
+        if ranks.is_empty() {
+            return 0;
+        }
+        let g = self.inner.lock();
+        let readable = |r: Rank| -> Vec<u64> {
+            g.images
+                .get(&(app, r))
+                .map(|v| {
+                    v.iter()
+                        .map(|i| i.index)
+                        .filter(|idx| !g.corrupted.contains(&(app, r, *idx)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let mut common: HashSet<u64> = readable(ranks[0]).into_iter().collect();
+        for r in &ranks[1..] {
+            let set: HashSet<u64> = readable(*r).into_iter().collect();
+            common.retain(|idx| set.contains(idx));
+            if common.is_empty() {
+                return 0;
+            }
+        }
+        common.into_iter().max().unwrap_or(0)
     }
 
     /// Drop images with index < `keep_from` (garbage collection after a
@@ -88,6 +139,8 @@ impl CkptStore {
                 v.retain(|i| i.index >= keep_from);
             }
         }
+        g.corrupted
+            .retain(|(a, _, idx)| *a != app || *idx >= keep_from);
     }
 
     /// Delete everything belonging to an application.
@@ -95,6 +148,7 @@ impl CkptStore {
         let mut g = self.inner.lock();
         g.images.retain(|(a, _), _| *a != app);
         g.deps.remove(&app);
+        g.corrupted.retain(|(a, _, _)| *a != app);
     }
 
     /// Record a message dependency (uncoordinated checkpointing).
@@ -201,6 +255,54 @@ mod tests {
         s.prune_below(AppId(1), 3);
         assert!(s.get(AppId(1), Rank(0), 2).is_none());
         assert!(s.get(AppId(1), Rank(0), 3).is_some());
+    }
+
+    #[test]
+    fn corrupt_image_degrades_recovery_line_by_one() {
+        let s = CkptStore::new();
+        s.put(img(0, 1));
+        s.put(img(0, 2));
+        s.put(img(1, 1));
+        s.put(img(1, 2));
+        assert!(s.corrupt_image(AppId(1), Rank(0), 2));
+        // Reads skip the torn image: rank 0 falls back to index 1, pulling
+        // the recovery line with it — one step back, no domino.
+        assert!(s.get(AppId(1), Rank(0), 2).is_none());
+        assert_eq!(s.latest(AppId(1), Rank(0)).unwrap().index, 1);
+        assert_eq!(s.latest_index(AppId(1), Rank(0)), 1);
+        assert_eq!(s.latest_common_index(AppId(1), &[Rank(0), Rank(1)]), 1);
+        // Marking something that was never stored reports failure.
+        assert!(!s.corrupt_image(AppId(1), Rank(0), 9));
+    }
+
+    #[test]
+    fn recovery_line_is_jointly_restorable_not_min_of_latest() {
+        // rank 0 readable {1, 3} (2 torn), rank 1 readable {1, 2} (3 torn):
+        // min-of-latest would claim 2, which rank 0 cannot restore. The
+        // line must fall back to 1, the highest index readable by all.
+        let s = CkptStore::new();
+        for i in 1..=3 {
+            s.put(img(0, i));
+            s.put(img(1, i));
+        }
+        assert!(s.corrupt_image(AppId(1), Rank(0), 2));
+        assert!(s.corrupt_image(AppId(1), Rank(1), 3));
+        let ranks = [Rank(0), Rank(1)];
+        let line = s.latest_common_index(AppId(1), &ranks);
+        assert_eq!(line, 1);
+        for r in ranks {
+            assert!(s.get(AppId(1), r, line).is_some(), "line must be readable");
+        }
+    }
+
+    #[test]
+    fn rewriting_a_corrupt_image_heals_it() {
+        let s = CkptStore::new();
+        s.put(img(0, 1));
+        assert!(s.corrupt_image(AppId(1), Rank(0), 1));
+        assert!(s.latest(AppId(1), Rank(0)).is_none());
+        s.put(img(0, 1)); // checkpoint retry overwrites the torn file
+        assert_eq!(s.latest(AppId(1), Rank(0)).unwrap().index, 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use starfish_checkpoint::store::CkptStore;
 use starfish_checkpoint::CkptValue;
 use starfish_daemon::config::{AppSpec, AppStatus, ClusterConfig};
 use starfish_daemon::{CfgCmd, CkptProto, Daemon, DaemonConfig, FtPolicy, LevelKind, MgmtSession};
+use starfish_ensemble::{HeartbeatCfg, HeartbeatChaos};
 use starfish_mpi::RankDirectory;
 use starfish_util::trace::TraceSink;
 use starfish_util::{AppId, Error, NodeId, Rank, Result};
@@ -64,6 +65,8 @@ pub struct ClusterBuilder {
     layers: LayerCosts,
     trace: TraceSink,
     knobs: RuntimeKnobs,
+    heartbeat: Option<HeartbeatCfg>,
+    heartbeat_chaos: Option<HeartbeatChaos>,
 }
 
 impl Default for ClusterBuilder {
@@ -74,6 +77,8 @@ impl Default for ClusterBuilder {
             layers: LayerCosts::prototype(),
             trace: TraceSink::disabled(),
             knobs: RuntimeKnobs::default(),
+            heartbeat: None,
+            heartbeat_chaos: None,
         }
     }
 }
@@ -129,6 +134,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable heartbeat failure detection on every daemon's ensemble stack
+    /// (needed to notice *silent* crashes, which emit no fabric event).
+    pub fn heartbeat(mut self, interval: Duration, timeout: Duration) -> Self {
+        self.heartbeat = Some(HeartbeatCfg { interval, timeout });
+        self
+    }
+
+    /// Seeded chaos on the heartbeat path (beacon rounds skipped with
+    /// probability `skip_p`); only meaningful together with [`heartbeat`].
+    ///
+    /// [`heartbeat`]: ClusterBuilder::heartbeat
+    pub fn heartbeat_chaos(mut self, seed: u64, skip_p: f64) -> Self {
+        self.heartbeat_chaos = Some(HeartbeatChaos { seed, skip_p });
+        self
+    }
+
     /// Build and boot the cluster: all daemons started and converged on the
     /// full node set.
     pub fn build(self) -> Result<Cluster> {
@@ -167,6 +188,8 @@ impl ClusterBuilder {
             dc.arch_index = *arch_index;
             dc.trace = self.trace.clone();
             dc.ensemble.trace = self.trace.clone();
+            dc.ensemble.heartbeat = self.heartbeat;
+            dc.ensemble.chaos = self.heartbeat_chaos;
             dc.metrics = Some(metrics.clone());
             dc.ensemble.metrics = Some(metrics.clone());
             let d = Daemon::start(
@@ -195,6 +218,8 @@ impl ClusterBuilder {
             trace: self.trace,
             knobs: self.knobs,
             metrics,
+            heartbeat: self.heartbeat,
+            heartbeat_chaos: self.heartbeat_chaos,
             next_token: AtomicU64::new(1),
             next_node: AtomicU32::new(n),
         })
@@ -212,6 +237,8 @@ pub struct Cluster {
     trace: TraceSink,
     knobs: RuntimeKnobs,
     metrics: starfish_telemetry::Registry,
+    heartbeat: Option<HeartbeatCfg>,
+    heartbeat_chaos: Option<HeartbeatChaos>,
     next_token: AtomicU64,
     next_node: AtomicU32,
 }
@@ -429,6 +456,40 @@ impl Cluster {
     /// dynamicity). Returns its id once the whole cluster knows it.
     pub fn add_node(&self, arch_index: u8) -> Result<NodeId> {
         let node = NodeId(self.next_node.fetch_add(1, Ordering::Relaxed));
+        self.boot_daemon(node, arch_index)?;
+        Ok(node)
+    }
+
+    /// Restart the daemon of a crashed node (the paper's "recovering
+    /// workstation rejoins the cluster"): the node comes back up on the
+    /// fabric with the *same* identity and a fresh daemon joins through a
+    /// surviving contact. The replicated configuration keeps the NodeId, so
+    /// placement decisions made before the crash stay meaningful.
+    pub fn restart_node(&self, node: NodeId) -> Result<()> {
+        if self
+            .fabric
+            .node_status(node)
+            .map(|s| s.reachable())
+            .unwrap_or(false)
+        {
+            return Err(Error::invalid_arg(format!("{node:?} is still up")));
+        }
+        // Recover the machine type the node booted with; a restarted box is
+        // the same hardware.
+        let arch = self.config().arch_of(node);
+        let arch_index = starfish_checkpoint::MACHINES
+            .iter()
+            .position(|a| *a == arch)
+            .unwrap_or(0) as u8;
+        // Drop the dead daemon handle before booting its replacement.
+        self.daemons.lock().retain(|d| d.node() != node);
+        self.boot_daemon(node, arch_index)
+    }
+
+    /// Boot a daemon for `node` and join it through a live contact; shared
+    /// tail of [`add_node`](Cluster::add_node) and
+    /// [`restart_node`](Cluster::restart_node).
+    fn boot_daemon(&self, node: NodeId, arch_index: u8) -> Result<()> {
         self.fabric.add_node(node);
         let host = RuntimeHost {
             node,
@@ -448,6 +509,8 @@ impl Cluster {
         dc.arch_index = arch_index;
         dc.trace = self.trace.clone();
         dc.ensemble.trace = self.trace.clone();
+        dc.ensemble.heartbeat = self.heartbeat;
+        dc.ensemble.chaos = self.heartbeat_chaos;
         dc.metrics = Some(self.metrics.clone());
         dc.ensemble.metrics = Some(self.metrics.clone());
         let contact = self.daemon().node();
@@ -458,9 +521,11 @@ impl Cluster {
             Box::new(host),
             self.store.clone(),
         )?;
-        d.wait_config(Duration::from_secs(30), |c| c.nodes.contains_key(&node))?;
+        d.wait_config(Duration::from_secs(30), |c| {
+            c.nodes.contains_key(&node) && c.up_nodes().contains(&node)
+        })?;
         self.daemons.lock().push(d);
-        Ok(node)
+        Ok(())
     }
 
     /// Values published by a rank (in publish order).

@@ -286,6 +286,7 @@ impl Ctx<'_> {
                 tag: m.tag,
                 epoch: self.rt.mpi.epoch(),
                 interval: m.interval,
+                seq: 0,
             },
             m.data.clone(),
         ));

@@ -842,6 +842,7 @@ impl ProcessRuntime {
                                 tag: m.tag,
                                 epoch: self.mpi.epoch(),
                                 interval: 0,
+                                seq: 0,
                             },
                             Bytes::from(m.payload.clone()),
                         )

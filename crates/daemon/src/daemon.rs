@@ -285,10 +285,18 @@ impl Loop {
                     self.on_cast(self.node, WireCast::Cfg(cmd));
                 }
                 self.sync_lw_groups();
-                // Now announce ourselves.
+                // Now announce ourselves. A restarted daemon finds its node
+                // already in the snapshot but marked Dead — it must still
+                // announce so the re-add flips it back to Up.
                 if !self.announced {
                     self.announced = true;
-                    if !self.config.nodes.contains_key(&self.node) {
+                    let already_up = self
+                        .config
+                        .nodes
+                        .get(&self.node)
+                        .map(|e| e.status == CfgNodeStatus::Up)
+                        .unwrap_or(false);
+                    if !already_up {
                         let _ = self.cast(WireCast::Cfg(CfgCmd::AddNode {
                             node: self.node,
                             arch_index: self.arch_index,
@@ -730,10 +738,19 @@ impl Loop {
         self.view = Some(view.clone());
         if view.contains(self.node) {
             if self.bootstrapped {
-                // Founder (or already synced): announce once.
+                // Founder (or already synced): announce once. A restarted
+                // daemon finds its node already in the replicated config
+                // but marked Dead — it must still announce so the re-add
+                // flips it back to Up.
                 if !self.announced {
                     self.announced = true;
-                    if !self.config.nodes.contains_key(&self.node) {
+                    let already_up = self
+                        .config
+                        .nodes
+                        .get(&self.node)
+                        .map(|e| e.status == CfgNodeStatus::Up)
+                        .unwrap_or(false);
+                    if !already_up {
                         let _ = self.cast(WireCast::Cfg(CfgCmd::AddNode {
                             node: self.node,
                             arch_index: self.arch_index,

@@ -47,6 +47,18 @@ pub struct HeartbeatCfg {
     pub timeout: Duration,
 }
 
+/// Chaos-layer perturbation of the heartbeat path: each beacon round is
+/// skipped with probability `skip_p`, drawn from a deterministic RNG seeded
+/// with `seed`. A skipped round models a stalled daemon or a lost beacon
+/// burst — the stimulus the suspicion machinery must absorb (transient) or
+/// act on (persistent).
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatChaos {
+    pub seed: u64,
+    /// Probability that one whole beacon round is skipped.
+    pub skip_p: f64,
+}
+
 /// Configuration of an endpoint.
 #[derive(Clone)]
 pub struct EndpointConfig {
@@ -59,6 +71,9 @@ pub struct EndpointConfig {
     /// fabric events alone — a perfect failure detector, which keeps the
     /// virtual timeline deterministic. Enable for hang detection.
     pub heartbeat: Option<HeartbeatCfg>,
+    /// Optional seeded perturbation of the heartbeat path (only meaningful
+    /// together with `heartbeat`).
+    pub chaos: Option<HeartbeatChaos>,
     /// Telemetry registry: view changes, cast deliveries and heartbeat
     /// misses are recorded here when present.
     pub metrics: Option<Registry>,
@@ -70,6 +85,7 @@ impl Default for EndpointConfig {
             proc_cost: VirtualTime::from_micros(50),
             trace: TraceSink::disabled(),
             heartbeat: None,
+            chaos: None,
             metrics: None,
         }
     }
@@ -148,11 +164,15 @@ impl Endpoint {
         let (cmd_tx, cmd_rx) = channel::unbounded();
         let (events_tx, events_rx) = channel::unbounded();
         let shared_view = Arc::new(Mutex::new(None));
+        let chaos_rng = cfg
+            .chaos
+            .map(|c| starfish_util::rng::DetRng::new(c.seed).derive(node.0 as u64));
         let stack = Stack {
             node,
             fabric: fabric.clone(),
             port,
             cfg,
+            chaos_rng,
             clock: VClock::new(),
             events_tx,
             shared_view: shared_view.clone(),
@@ -304,6 +324,9 @@ struct Stack {
     /// heard from.
     last_seen: BTreeMap<NodeId, std::time::Instant>,
     last_beacon: std::time::Instant,
+    /// Per-node beacon-skip decision stream (chaos layer), derived from the
+    /// configured seed so every node perturbs independently but replayably.
+    chaos_rng: Option<starfish_util::rng::DetRng>,
     /// Virtual time at which the in-progress membership change started
     /// (coordinator only); measured into `ensemble.view_change_ns` when the
     /// resulting view installs.
@@ -951,9 +974,15 @@ impl Stack {
         let now = std::time::Instant::now();
         if now.duration_since(self.last_beacon) >= hb.interval {
             self.last_beacon = now;
-            for m in view.members.clone() {
-                if m != self.node {
-                    let _ = self.send_gc(m, &GcMsg::Heartbeat { node: self.node });
+            let skipped = match (&mut self.chaos_rng, self.cfg.chaos) {
+                (Some(rng), Some(c)) => rng.chance(c.skip_p),
+                _ => false,
+            };
+            if !skipped {
+                for m in view.members.clone() {
+                    if m != self.node {
+                        let _ = self.send_gc(m, &GcMsg::Heartbeat { node: self.node });
+                    }
                 }
             }
         }
@@ -1421,6 +1450,33 @@ mod heartbeat_tests {
                 _ => continue,
             }
         }
+        drop(e2);
+    }
+
+    /// A member whose beacons the chaos layer suppresses entirely looks
+    /// exactly like a hang: the others must suspect and evict it.
+    #[test]
+    fn chaos_muted_beacons_get_member_evicted() {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        for i in 0..3 {
+            f.add_node(NodeId(i));
+        }
+        let muted = EndpointConfig {
+            chaos: Some(HeartbeatChaos {
+                seed: 7,
+                skip_p: 1.0,
+            }),
+            ..hb_cfg()
+        };
+        let e0 = Endpoint::found(&f, NodeId(0), hb_cfg()).unwrap();
+        let e1 = Endpoint::join(&f, NodeId(1), NodeId(0), hb_cfg()).unwrap();
+        e1.wait_for_view_size(2, Duration::from_secs(10)).unwrap();
+        let e2 = Endpoint::join(&f, NodeId(2), NodeId(0), muted).unwrap();
+        e2.wait_for_view_size(3, Duration::from_secs(10)).unwrap();
+        e0.wait_for_view_size(3, Duration::from_secs(10)).unwrap();
+        // Node 2 beacons never leave: it is evicted like a silent crash.
+        let v0 = e0.wait_for_view_size(2, Duration::from_secs(15)).unwrap();
+        assert_eq!(v0.members, vec![NodeId(0), NodeId(1)]);
         drop(e2);
     }
 

@@ -43,6 +43,8 @@ pub mod endpoint;
 pub mod msg;
 pub mod view;
 
-pub use endpoint::{Endpoint, EndpointConfig, GcEvent, ENSEMBLE_PORT};
+pub use endpoint::{
+    Endpoint, EndpointConfig, GcEvent, HeartbeatCfg, HeartbeatChaos, ENSEMBLE_PORT,
+};
 pub use msg::GcMsg;
 pub use view::View;

@@ -38,11 +38,15 @@ pub struct MsgHeader {
     pub epoch: Epoch,
     /// Sender's checkpoint interval (uncoordinated-C/R piggyback, §recovery).
     pub interval: u64,
+    /// Per-(sender, destination, epoch) sequence number assigned by the
+    /// reliability layer; `0` means the message is outside it (reliability
+    /// off, or control/restored traffic) and is delivered as it arrives.
+    pub seq: u64,
 }
 
 impl MsgHeader {
     /// Serialized header length (fixed).
-    pub const LEN: usize = 4 + 4 + 8 + 4 + 8;
+    pub const LEN: usize = 4 + 4 + 8 + 4 + 8 + 8;
 
     /// Prefix `body` with this header. The body bytes are copied once into
     /// the framed buffer; all subsequent layer hand-offs share it.
@@ -53,6 +57,7 @@ impl MsgHeader {
         enc.put_u64(self.tag);
         self.epoch.encode(&mut enc);
         enc.put_u64(self.interval);
+        enc.put_u64(self.seq);
         let mut buf = BytesMut::from(&enc.into_vec()[..]);
         buf.extend_from_slice(body);
         buf.freeze()
@@ -66,6 +71,7 @@ impl MsgHeader {
         let tag = dec.get_u64()?;
         let epoch = Epoch::decode(&mut dec)?;
         let interval = dec.get_u64()?;
+        let seq = dec.get_u64()?;
         let body = framed.slice(Self::LEN..);
         Ok((
             MsgHeader {
@@ -74,9 +80,96 @@ impl MsgHeader {
                 tag,
                 epoch,
                 interval,
+                seq,
             },
             body,
         ))
+    }
+}
+
+/// Control traffic of the MPI reliability layer, carried on the data port as
+/// [`starfish_vni::PacketKind::Control`] packets so it can never be confused
+/// with (or matched against) application data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelMsg {
+    /// Receiver reports a gap: `seqs` are missing from `from`'s flow.
+    Nack {
+        from: Rank,
+        epoch: Epoch,
+        seqs: Vec<u64>,
+    },
+    /// Receiver probes a silent flow: it has everything below `next`.
+    Ping { from: Rank, epoch: Epoch, next: u64 },
+    /// Sender advertises its highest assigned seq so the receiver can
+    /// detect tail loss at quiescence.
+    Flush {
+        from: Rank,
+        epoch: Epoch,
+        highest: u64,
+    },
+}
+
+impl RelMsg {
+    pub fn encode(&self) -> Bytes {
+        let mut enc = Encoder::with_capacity(32);
+        match self {
+            RelMsg::Nack { from, epoch, seqs } => {
+                enc.put_u8(1);
+                from.encode(&mut enc);
+                epoch.encode(&mut enc);
+                enc.put_u32(seqs.len() as u32);
+                for s in seqs {
+                    enc.put_u64(*s);
+                }
+            }
+            RelMsg::Ping { from, epoch, next } => {
+                enc.put_u8(2);
+                from.encode(&mut enc);
+                epoch.encode(&mut enc);
+                enc.put_u64(*next);
+            }
+            RelMsg::Flush {
+                from,
+                epoch,
+                highest,
+            } => {
+                enc.put_u8(3);
+                from.encode(&mut enc);
+                epoch.encode(&mut enc);
+                enc.put_u64(*highest);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    pub fn decode(buf: &Bytes) -> Result<RelMsg> {
+        let mut dec = Decoder::new(&buf[..]);
+        let kind = dec.get_u8()?;
+        let from = Rank::decode(&mut dec)?;
+        let epoch = Epoch::decode(&mut dec)?;
+        match kind {
+            1 => {
+                let n = dec.get_u32()? as usize;
+                let mut seqs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    seqs.push(dec.get_u64()?);
+                }
+                Ok(RelMsg::Nack { from, epoch, seqs })
+            }
+            2 => Ok(RelMsg::Ping {
+                from,
+                epoch,
+                next: dec.get_u64()?,
+            }),
+            3 => Ok(RelMsg::Flush {
+                from,
+                epoch,
+                highest: dec.get_u64()?,
+            }),
+            k => Err(starfish_util::Error::codec(format!(
+                "unknown RelMsg kind {k}"
+            ))),
+        }
     }
 }
 
@@ -92,6 +185,7 @@ mod tests {
             tag: 42,
             epoch: Epoch(1),
             interval: 9,
+            seq: 11,
         };
         let framed = h.frame(b"payload");
         assert_eq!(framed.len(), MsgHeader::LEN + 7);
@@ -108,11 +202,35 @@ mod tests {
             tag: 0,
             epoch: Epoch(0),
             interval: 0,
+            seq: 0,
         };
         let framed = h.frame(&[9u8; 64]);
         let (_, body) = MsgHeader::parse(&framed).unwrap();
         // Same backing allocation.
         assert_eq!(body.as_ptr(), framed[MsgHeader::LEN..].as_ptr());
+    }
+
+    #[test]
+    fn rel_msg_roundtrip() {
+        for msg in [
+            RelMsg::Nack {
+                from: Rank(2),
+                epoch: Epoch(1),
+                seqs: vec![3, 4, 9],
+            },
+            RelMsg::Ping {
+                from: Rank(0),
+                epoch: Epoch(0),
+                next: 17,
+            },
+            RelMsg::Flush {
+                from: Rank(5),
+                epoch: Epoch(2),
+                highest: 40,
+            },
+        ] {
+            assert_eq!(RelMsg::decode(&msg.encode()).unwrap(), msg);
+        }
     }
 
     #[test]

@@ -100,6 +100,10 @@ metric_table! {
     VNI_WIRE_NS = ("vni.wire_ns", Histogram, VirtualNanos, "One-way wire latency per packet");
     VNI_PACKET_BYTES = ("vni.packet_bytes", Histogram, Bytes, "Payload size per packet");
     VNI_RECV_QUEUE_DEPTH = ("vni.recv_queue_depth", Gauge, Count, "Entries waiting in MPI receive queues");
+    VNI_DROPPED = ("vni.dropped", Counter, Count, "Packets eaten by a link fault or a vanished destination");
+    VNI_DUPLICATED = ("vni.duplicated", Counter, Count, "Extra packet copies minted by duplicate faults");
+    VNI_DELAYED = ("vni.delayed", Counter, Count, "Packets whose arrival a delay fault postponed");
+    VNI_HELD = ("vni.held", Counter, Count, "Packets parked in reorder buffers by a link fault");
 
     // --- Figure 6: per-layer costs of the messaging stack ----------------
     LAYER_APP_TO_MPI = ("layer.app_to_mpi", Histogram, VirtualNanos, "Application -> MPI library hand-off");
@@ -111,6 +115,9 @@ metric_table! {
     LAYER_MPI_TO_APP = ("layer.mpi_to_app", Histogram, VirtualNanos, "MPI -> application hand-off");
     MPI_SEND_PATH_NS = ("mpi.send_path_ns", Histogram, VirtualNanos, "Total send-side software path");
     MPI_RECV_PATH_NS = ("mpi.recv_path_ns", Histogram, VirtualNanos, "Total receive-side software path");
+    MPI_RETRANSMITS = ("mpi.retransmits", Counter, Count, "Messages re-sent by the reliability layer");
+    MPI_DUP_DISCARDS = ("mpi.dup_discards", Counter, Count, "Duplicate deliveries discarded by sequence check");
+    MPI_NACKS = ("mpi.nacks", Counter, Count, "Gap reports sent by the reliability layer");
 
     // --- Ensemble / membership ------------------------------------------
     ENSEMBLE_VIEW_CHANGES = ("ensemble.view_changes", Counter, Count, "Views installed by the main group");

@@ -27,7 +27,7 @@ pub mod models;
 pub mod packet;
 pub mod polling;
 
-pub use fabric::{Fabric, FabricEvent, NodeStatus, Port};
+pub use fabric::{Fabric, FabricEvent, FaultStats, LinkFault, NodeStatus, Port};
 pub use models::{BipMyrinet, Ideal, LayerCosts, NetKind, NetworkModel, ServerNetVia, TcpEthernet};
 pub use packet::{Addr, Packet, PacketKind, PortId, DAEMON_PORT};
 pub use polling::{PollingThread, RecvQueue};

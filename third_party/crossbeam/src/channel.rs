@@ -96,6 +96,15 @@ impl<T> Sender<T> {
         self.shared.avail.notify_one();
         Ok(())
     }
+
+    /// Number of messages currently queued in the channel.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
 }
 
 impl<T> Clone for Sender<T> {
