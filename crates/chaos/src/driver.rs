@@ -21,9 +21,10 @@ use std::time::{Duration, Instant};
 
 use starfish_checkpoint::{CkptImage, CkptLevel, CkptStore, CkptValue, MACHINES};
 use starfish_mpi::{MpiEndpoint, RankDirectory, RecvMode, WORLD_CONTEXT};
+use starfish_trace::{FlightRecorder, ProcTrace};
 use starfish_util::rng::DetRng;
 use starfish_util::trace::TraceSink;
-use starfish_util::{AppId, Epoch, NodeId, Rank, VClock};
+use starfish_util::{AppId, Epoch, NodeId, Rank, VClock, VirtualTime};
 use starfish_vni::{Fabric, FaultStats, Ideal, LayerCosts};
 
 use crate::plan::{Event, FaultPlan};
@@ -73,6 +74,20 @@ pub struct ScenarioReport {
 
 /// Replay `plan` deterministically; see the module docs for the schedule.
 pub fn run_mpi_scenario(plan: &FaultPlan) -> ScenarioReport {
+    run_scenario_inner(plan, false).0
+}
+
+/// Replay `plan` with a flight recorder attached to every rank plus a
+/// plan-level `"chaos"` recorder that logs the injected faults. Returns the
+/// identical [`ScenarioReport`] a plain run produces (recorders never touch
+/// virtual clocks, so the determinism contract is preserved) together with
+/// the dumped rings, ready for [`starfish_trace::reassemble`] or
+/// [`starfish_trace::perfetto::export`].
+pub fn run_mpi_scenario_traced(plan: &FaultPlan) -> (ScenarioReport, Vec<ProcTrace>) {
+    run_scenario_inner(plan, true)
+}
+
+fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<ProcTrace>) {
     let fabric = Fabric::new(Box::new(Ideal), LayerCosts::zero());
     for n in 0..plan.nodes {
         fabric.add_node(NodeId(n));
@@ -83,6 +98,23 @@ pub fn run_mpi_scenario(plan: &FaultPlan) -> ScenarioReport {
     let store = CkptStore::new();
     let placement: Vec<NodeId> = (0..plan.ranks).map(|r| NodeId(r % plan.nodes)).collect();
     let dir = RankDirectory::with_placement(&placement);
+    let recorders: Vec<FlightRecorder> = (0..plan.ranks)
+        .map(|r| {
+            if traced {
+                FlightRecorder::new(
+                    &format!("{CHAOS_APP}.{}", Rank(r)),
+                    starfish_trace::DEFAULT_CAPACITY,
+                )
+            } else {
+                FlightRecorder::disabled()
+            }
+        })
+        .collect();
+    let chaos_rec = if traced {
+        FlightRecorder::new("chaos", starfish_trace::DEFAULT_CAPACITY)
+    } else {
+        FlightRecorder::disabled()
+    };
     let mut eps: Vec<MpiEndpoint> = (0..plan.ranks)
         .map(|r| {
             let mut ep = MpiEndpoint::new(
@@ -95,6 +127,7 @@ pub fn run_mpi_scenario(plan: &FaultPlan) -> ScenarioReport {
             )
             .expect("bind endpoint");
             ep.set_reliable(true);
+            ep.set_recorder(recorders[r as usize].clone());
             ep
         })
         .collect();
@@ -106,7 +139,11 @@ pub fn run_mpi_scenario(plan: &FaultPlan) -> ScenarioReport {
     let mut dead: Vec<bool> = vec![false; plan.ranks as usize];
 
     for step in 0..plan.steps {
+        // The plan-level recorder stamps injections with a step-derived
+        // virtual time (the driver's rank clocks are per-endpoint).
+        let step_vt = VirtualTime::from_nanos((step as u64 + 1) * 1_000);
         for te in plan.events_at(step) {
+            chaos_rec.fault(step_vt, &format!("@{step} {:?}", te.event));
             match te.event {
                 Event::Partition(a, b) => fabric.partition(NodeId(a), NodeId(b)),
                 Event::Heal(a, b) => fabric.heal(NodeId(a), NodeId(b)),
@@ -161,6 +198,11 @@ pub fn run_mpi_scenario(plan: &FaultPlan) -> ScenarioReport {
 
         if plan.ckpt_every > 0 && (step + 1) % plan.ckpt_every == 0 {
             report.ckpt_rounds += 1;
+            chaos_rec.mark(
+                step_vt,
+                "ckpt.round",
+                &format!("index {}", report.ckpt_rounds),
+            );
             for r in 0..plan.ranks {
                 if dead[r as usize] {
                     continue;
@@ -229,7 +271,14 @@ pub fn run_mpi_scenario(plan: &FaultPlan) -> ScenarioReport {
         || live
             .iter()
             .all(|r| store.get(CHAOS_APP, *r, report.line).is_some());
-    report
+    let traces = if traced {
+        let mut t: Vec<ProcTrace> = recorders.iter().map(|r| r.dump()).collect();
+        t.push(chaos_rec.dump());
+        t
+    } else {
+        Vec::new()
+    };
+    (report, traces)
 }
 
 /// Mark every rank placed on node `n` dead.

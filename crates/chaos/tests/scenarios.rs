@@ -8,14 +8,16 @@
 //! (CI uploads them; a human commits the interesting ones).
 
 use proptest::prelude::*;
-use starfish_chaos::{minimize, oracle, run_mpi_scenario, FaultPlan};
+use starfish_chaos::{minimize, oracle, run_mpi_scenario, run_mpi_scenario_traced, FaultPlan};
 
 /// Run one plan and return its violations (empty = healthy).
 fn violations(plan: &FaultPlan) -> Vec<String> {
     oracle::check_all(&run_mpi_scenario(plan))
 }
 
-/// Shrink a failing plan and persist it for reproduction.
+/// Shrink a failing plan and persist it for reproduction, together with a
+/// reassembled causal trace of the minimized run (Perfetto JSON) so the
+/// failure can be debugged without re-running anything.
 fn report_failure(plan: &FaultPlan, first: &[String]) -> String {
     let min = minimize(plan, |p| !violations(p).is_empty());
     let why = violations(&min);
@@ -29,8 +31,18 @@ fn report_failure(plan: &FaultPlan, first: &[String]) -> String {
         Ok(()) => format!("shrunk plan written to {path}"),
         Err(e) => format!("could not write {path}: {e}"),
     };
+    let (_, traces) = run_mpi_scenario_traced(&min);
+    let trace_path = format!(
+        "{}/tests/regressions/shrunk-seed-{}.trace.json",
+        env!("CARGO_MANIFEST_DIR"),
+        plan.seed
+    );
+    let trace_note = match std::fs::write(&trace_path, starfish_trace::perfetto::export(&traces)) {
+        Ok(()) => format!("causal trace written to {trace_path}"),
+        Err(e) => format!("could not write {trace_path}: {e}"),
+    };
     format!(
-        "plan seed {} violated {first:?}; {note}\nminimized:\n{min}",
+        "plan seed {} violated {first:?}; {note}; {trace_note}\nminimized:\n{min}",
         plan.seed
     )
 }

@@ -1,0 +1,61 @@
+//! Acceptance: replaying a committed regression plan under the flight
+//! recorder yields (a) the identical `ScenarioReport` — recording must not
+//! perturb the deterministic schedule — and (b) a reassembled cross-node
+//! causal trace that is internally consistent (acyclic happens-before DAG,
+//! per-process Lamport monotonicity) and loads as Perfetto JSON.
+
+use starfish_chaos::{oracle, run_mpi_scenario, run_mpi_scenario_traced, FaultPlan};
+use starfish_trace::{perfetto, reassemble};
+
+fn torn_interior_plan() -> FaultPlan {
+    let path = format!(
+        "{}/tests/regressions/torn-interior-image.plan",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).expect("read committed plan");
+    FaultPlan::parse(&text).expect("committed plan parses")
+}
+
+#[test]
+fn tracing_does_not_perturb_the_deterministic_schedule() {
+    let plan = torn_interior_plan();
+    let untraced = run_mpi_scenario(&plan);
+    let (traced, traces) = run_mpi_scenario_traced(&plan);
+    assert_eq!(
+        untraced, traced,
+        "recording must be invisible to the virtual-time schedule"
+    );
+    assert!(!traces.is_empty(), "a traced run must return rings");
+    assert!(oracle::check_all(&traced).is_empty());
+}
+
+#[test]
+fn replayed_regression_emits_a_consistent_causal_trace() {
+    let plan = torn_interior_plan();
+    let (_, traces) = run_mpi_scenario_traced(&plan);
+    // One ring per rank plus the plan-level "chaos" ring.
+    assert_eq!(traces.len(), plan.ranks as usize + 1);
+    let total: usize = traces.iter().map(|t| t.events.len()).sum();
+    assert!(total > 0, "the replay must record events");
+
+    let dag = reassemble(traces.clone());
+    dag.check().expect("happens-before DAG consistent");
+    assert!(
+        dag.message_edges > 0,
+        "a multi-rank replay must stitch cross-process message edges"
+    );
+    // The injected corruptions appear as fault events in the plan ring.
+    let chaos = traces
+        .iter()
+        .find(|t| t.scope == "chaos")
+        .expect("plan-level ring present");
+    assert!(chaos.events.iter().any(|e| e.summary().contains("Corrupt")));
+}
+
+#[test]
+fn replayed_regression_trace_is_perfetto_loadable() {
+    let plan = torn_interior_plan();
+    let (_, traces) = run_mpi_scenario_traced(&plan);
+    let json = perfetto::export(&traces);
+    perfetto::validate(&json).expect("exported trace passes the schema check");
+}

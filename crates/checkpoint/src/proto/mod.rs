@@ -46,6 +46,21 @@ pub enum CrMsg {
     RollbackTo { index: u64 },
 }
 
+impl CrMsg {
+    /// Stable label for flight-recorder marks and trace tooling: protocol
+    /// message kind plus its checkpoint index, e.g. `"marker #3"`.
+    pub fn trace_label(&self) -> String {
+        match self {
+            CrMsg::Stop { index } => format!("stop #{index}"),
+            CrMsg::Saved { rank, index } => format!("saved {rank} #{index}"),
+            CrMsg::Resume { index } => format!("resume #{index}"),
+            CrMsg::Marker { index } => format!("marker #{index}"),
+            CrMsg::FlushMark { index } => format!("flush-mark #{index}"),
+            CrMsg::RollbackTo { index } => format!("rollback-to #{index}"),
+        }
+    }
+}
+
 const T_STOP: u8 = 1;
 const T_SAVED: u8 = 2;
 const T_RESUME: u8 = 3;

@@ -67,6 +67,7 @@ pub struct ClusterBuilder {
     knobs: RuntimeKnobs,
     heartbeat: Option<HeartbeatCfg>,
     heartbeat_chaos: Option<HeartbeatChaos>,
+    trace_cap: usize,
 }
 
 impl Default for ClusterBuilder {
@@ -79,6 +80,7 @@ impl Default for ClusterBuilder {
             knobs: RuntimeKnobs::default(),
             heartbeat: None,
             heartbeat_chaos: None,
+            trace_cap: starfish_trace::DEFAULT_CAPACITY,
         }
     }
 }
@@ -134,6 +136,21 @@ impl ClusterBuilder {
         self
     }
 
+    /// Size of each process's flight-recorder ring (events retained per
+    /// daemon / per rank). Recording is on by default; see
+    /// [`no_flight_recorder`](ClusterBuilder::no_flight_recorder).
+    pub fn flight_recorder(mut self, events: usize) -> Self {
+        self.trace_cap = events;
+        self
+    }
+
+    /// Disable the causal flight recorder entirely (one predicted branch
+    /// per would-be event remains; see BENCH_trace.json).
+    pub fn no_flight_recorder(mut self) -> Self {
+        self.trace_cap = 0;
+        self
+    }
+
     /// Enable heartbeat failure detection on every daemon's ensemble stack
     /// (needed to notice *silent* crashes, which emit no fabric event).
     pub fn heartbeat(mut self, interval: Duration, timeout: Duration) -> Self {
@@ -165,6 +182,7 @@ impl ClusterBuilder {
         let registry = AppRegistry::new();
         let dirs = DirRegistry::default();
         let outputs = Outputs::new();
+        let trace_hub = starfish_trace::TraceHub::new();
         let n = self.node_archs.len() as u32;
         let mut daemons = Vec::new();
         for (i, arch_index) in self.node_archs.iter().enumerate() {
@@ -183,6 +201,8 @@ impl ClusterBuilder {
                 outputs: outputs.clone(),
                 trace: self.trace.clone(),
                 knobs: self.knobs,
+                trace_hub: trace_hub.clone(),
+                trace_cap: self.trace_cap,
             };
             let mut dc = DaemonConfig::new(node);
             dc.arch_index = *arch_index;
@@ -192,6 +212,11 @@ impl ClusterBuilder {
             dc.ensemble.chaos = self.heartbeat_chaos;
             dc.metrics = Some(metrics.clone());
             dc.ensemble.metrics = Some(metrics.clone());
+            if self.trace_cap > 0 {
+                dc.recorder =
+                    starfish_trace::FlightRecorder::new(&format!("{node}"), self.trace_cap);
+            }
+            dc.trace_hub = trace_hub.clone();
             let d = Daemon::start(
                 &fabric,
                 dc,
@@ -220,6 +245,8 @@ impl ClusterBuilder {
             metrics,
             heartbeat: self.heartbeat,
             heartbeat_chaos: self.heartbeat_chaos,
+            trace_hub,
+            trace_cap: self.trace_cap,
             next_token: AtomicU64::new(1),
             next_node: AtomicU32::new(n),
         })
@@ -239,6 +266,8 @@ pub struct Cluster {
     metrics: starfish_telemetry::Registry,
     heartbeat: Option<HeartbeatCfg>,
     heartbeat_chaos: Option<HeartbeatChaos>,
+    trace_hub: starfish_trace::TraceHub,
+    trace_cap: usize,
     next_token: AtomicU64,
     next_node: AtomicU32,
 }
@@ -504,6 +533,8 @@ impl Cluster {
             outputs: self.outputs.clone(),
             trace: self.trace.clone(),
             knobs: self.knobs,
+            trace_hub: self.trace_hub.clone(),
+            trace_cap: self.trace_cap,
         };
         let mut dc = DaemonConfig::new(node);
         dc.arch_index = arch_index;
@@ -513,6 +544,10 @@ impl Cluster {
         dc.ensemble.chaos = self.heartbeat_chaos;
         dc.metrics = Some(self.metrics.clone());
         dc.ensemble.metrics = Some(self.metrics.clone());
+        if self.trace_cap > 0 {
+            dc.recorder = starfish_trace::FlightRecorder::new(&format!("{node}"), self.trace_cap);
+        }
+        dc.trace_hub = self.trace_hub.clone();
         let contact = self.daemon().node();
         let d = Daemon::start(
             &self.fabric,
@@ -552,6 +587,14 @@ impl Cluster {
     /// The message-taxonomy trace attached at build time.
     pub fn trace(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// The cluster-wide flight-recorder registry: one causal event ring per
+    /// daemon (`"n<id>"`) and per application rank (`"app<A>.r<R>"`). Dump
+    /// and [`reassemble`](starfish_trace::reassemble) them, or use the
+    /// `TRACE` management commands.
+    pub fn trace_hub(&self) -> &starfish_trace::TraceHub {
+        &self.trace_hub
     }
 
     /// The shared cluster-infrastructure telemetry registry (fabric, trace,

@@ -102,6 +102,11 @@ pub struct RuntimeHost {
     pub outputs: Outputs,
     pub trace: TraceSink,
     pub knobs: RuntimeKnobs,
+    /// Cluster-wide flight-recorder registry; every spawned rank registers
+    /// its ring here under `"app<A>.r<R>"`.
+    pub trace_hub: starfish_trace::TraceHub,
+    /// Ring capacity for per-rank flight recorders (0 = recording off).
+    pub trace_cap: usize,
 }
 
 impl NodeHost for RuntimeHost {
@@ -122,7 +127,7 @@ impl NodeHost for RuntimeHost {
         let dir = self
             .dirs
             .get_or_create(spec.app, spec.entry.spec.size as usize);
-        let mpi = match MpiEndpoint::new(
+        let mut mpi = match MpiEndpoint::new(
             &self.fabric,
             spec.app,
             spec.rank,
@@ -133,6 +138,18 @@ impl NodeHost for RuntimeHost {
             Ok(ep) => ep,
             Err(_) => return, // node going down while spawning
         };
+        if self.trace_cap > 0 {
+            // A restarted incarnation re-registers under the same scope,
+            // replacing the dead ring; the epoch salts the span namespace
+            // so stale receives held by survivors never match its spans.
+            let rec = starfish_trace::FlightRecorder::with_incarnation(
+                &format!("{}.{}", spec.app, spec.rank),
+                self.trace_cap,
+                u64::from(spec.entry.epoch.0),
+            );
+            self.trace_hub.register(rec.clone());
+            mpi.set_recorder(rec);
+        }
         let rt = ProcessRuntime::new(
             spec.entry,
             spec.rank,

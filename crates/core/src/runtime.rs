@@ -310,6 +310,7 @@ impl ProcessRuntime {
             let index = self.cr.last_index;
             self.metrics
                 .span_record("ckpt.round", &format!("index {index}"), started, now);
+            self.mpi.recorder().phase_end(now, "ckpt.round");
         }
     }
 
@@ -513,6 +514,9 @@ impl ProcessRuntime {
                         );
                     }
                     let body = msg.encode_to_bytes();
+                    self.mpi
+                        .recorder()
+                        .mark(self.clock.now(), "cr.mark", &msg.trace_label());
                     if let Err(e) = self.mpi.send_ctrl_mark(&mut self.clock, to, &body) {
                         if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
                             eprintln!(
@@ -534,6 +538,9 @@ impl ProcessRuntime {
                 CrEffect::TakeCheckpoint { index } => {
                     if self.round_started.is_none() {
                         self.round_started = Some(self.clock.now());
+                        self.mpi
+                            .recorder()
+                            .phase_begin(self.clock.now(), "ckpt.round");
                     }
                     match state {
                         Some(s) => {
@@ -576,6 +583,11 @@ impl ProcessRuntime {
                     self.cr.committed += 1;
                     self.metrics.inc(metric::CKPT_ROUNDS);
                     self.note_round_done();
+                    self.mpi.recorder().mark(
+                        self.clock.now(),
+                        "ckpt.committed",
+                        &format!("index {index}"),
+                    );
                     self.send_up(ProcUp::CkptCommitted {
                         index,
                         vt: self.clock.now(),
@@ -890,6 +902,7 @@ pub(crate) fn process_main(mut rt: ProcessRuntime, run: Arc<crate::host::AppFn>)
                 eprintln!("[rt {}.{}] load_checkpoint({idx})", rt.app, rt.rank);
             }
             let started = rt.clock.now();
+            rt.mpi.recorder().phase_begin(started, "recovery.restore");
             rt.load_checkpoint(idx);
             let now = rt.clock.now();
             rt.metrics.inc(metric::RECOVERY_RESTARTS);
@@ -897,6 +910,7 @@ pub(crate) fn process_main(mut rt: ProcessRuntime, run: Arc<crate::host::AppFn>)
                 .record_vt(metric::RECOVERY_RESTORE_NS, now - started);
             rt.metrics
                 .span_record("recovery.restore", &format!("to index {idx}"), started, now);
+            rt.mpi.recorder().phase_end(now, "recovery.restore");
             rt.flush_stats();
         }
         if dbg {

@@ -355,7 +355,10 @@ impl ClusterConfig {
                 a.epoch = Epoch(a.epoch.0 + 1);
                 // Reuses the restart machinery: the migrated rank spawns
                 // from its line checkpoint on the new node; survivors roll
-                // back to the same line so the cut stays consistent.
+                // back to the same line so the cut stays consistent. Any
+                // rank that had already finished re-runs from the line, so
+                // the done count starts over.
+                a.done_ranks = 0;
                 vec![CfgEffect::AppRestarted {
                     app: *app,
                     epoch: a.epoch,
@@ -388,6 +391,10 @@ impl ClusterConfig {
                     a.placement[r.index()] = *n;
                 }
                 a.epoch = Epoch(a.epoch.0 + 1);
+                // A coordinated line cannot be partially resumed: every
+                // rank — including ones that already finished — rolls back
+                // to the line and runs again, so the done count restarts.
+                a.done_ranks = 0;
                 vec![CfgEffect::AppRestarted {
                     app: *app,
                     epoch: a.epoch,

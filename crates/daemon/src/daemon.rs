@@ -24,6 +24,7 @@ use starfish_checkpoint::store::CkptStore;
 use starfish_ensemble::{Endpoint, EndpointConfig, GcEvent, View};
 use starfish_lwgroups::{LwEvent, LwMsg, LwRouter};
 use starfish_telemetry::{metric, Registry};
+use starfish_trace::{FlightRecorder, TraceHub};
 use starfish_util::codec::{Decode, Encode};
 use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
 use starfish_util::{AppId, Error, GroupId, NodeId, Rank, Result, VClock, VirtualTime};
@@ -48,6 +49,14 @@ pub struct DaemonConfig {
     /// snapshot is cast under the `"cluster"` scope whenever process stats
     /// flush through this daemon.
     pub metrics: Option<Registry>,
+    /// This daemon's flight recorder (scope `"n<id>"`); shared with the
+    /// ensemble endpoint so casts and view changes become causal events.
+    /// Disabled by default.
+    pub recorder: FlightRecorder,
+    /// The cluster's recorder registry. The daemon registers its own
+    /// recorder here at start; the runtime host registers one per spawned
+    /// process; the `TRACE` management commands read it.
+    pub trace_hub: TraceHub,
 }
 
 impl DaemonConfig {
@@ -58,6 +67,8 @@ impl DaemonConfig {
             trace: TraceSink::disabled(),
             ensemble: EndpointConfig::default(),
             metrics: None,
+            recorder: FlightRecorder::disabled(),
+            trace_hub: TraceHub::new(),
         }
     }
 }
@@ -75,6 +86,7 @@ pub struct Daemon {
     cmd_tx: Sender<DaemonCmd>,
     shared_cfg: Arc<Mutex<ClusterConfig>>,
     stats: StatsHub,
+    trace_hub: TraceHub,
 }
 
 impl Daemon {
@@ -87,6 +99,13 @@ impl Daemon {
         host: Box<dyn NodeHost>,
         store: CkptStore,
     ) -> Result<Daemon> {
+        let mut cfg = cfg;
+        // Share the daemon's recorder with its ensemble endpoint (unless
+        // the caller installed a distinct one) and make it discoverable.
+        if cfg.recorder.is_enabled() && !cfg.ensemble.recorder.is_enabled() {
+            cfg.ensemble.recorder = cfg.recorder.clone();
+        }
+        cfg.trace_hub.register(cfg.recorder.clone());
         let ep = match contact {
             None => Endpoint::found(fabric, cfg.node, cfg.ensemble.clone())?,
             Some(c) => Endpoint::join(fabric, cfg.node, c, cfg.ensemble.clone())?,
@@ -95,6 +114,7 @@ impl Daemon {
         let (up_tx, up_rx) = channel::unbounded();
         let shared_cfg = Arc::new(Mutex::new(ClusterConfig::new()));
         let stats = StatsHub::new();
+        let trace_hub = cfg.trace_hub.clone();
         let node = cfg.node;
         let state = Loop {
             node,
@@ -128,6 +148,7 @@ impl Daemon {
             cmd_tx,
             shared_cfg,
             stats,
+            trace_hub,
         })
     }
 
@@ -170,6 +191,12 @@ impl Daemon {
     /// the cluster (fed by totally ordered `WireCast::Stats`).
     pub fn stats(&self) -> &StatsHub {
         &self.stats
+    }
+
+    /// The cluster's flight-recorder registry (the `TRACE` management
+    /// commands read it).
+    pub fn trace_hub(&self) -> &TraceHub {
+        &self.trace_hub
     }
 
     /// Ask the daemon to leave the group and exit.
@@ -421,22 +448,30 @@ impl Loop {
                         self.spawn_proc(&entry, *rank, from);
                     }
                 }
-                // Roll back the survivors hosted here.
+                // Roll back the survivors hosted here. A survivor whose
+                // process already ran to completion has no one listening
+                // for the rollback — and the restarted rank's coordinated
+                // rounds and collectives span *every* rank — so finished
+                // survivors are respawned from the line instead.
                 let replaced_ranks: Vec<Rank> = replaced.iter().map(|(r, _)| *r).collect();
                 for (r, n) in entry.placement.iter().enumerate() {
                     let rank = Rank(r as u32);
                     if *n == self.node && !replaced_ranks.contains(&rank) {
                         let idx = line.get(r).copied().unwrap_or(0);
-                        self.send_down(
-                            app,
-                            rank,
-                            ProcDown::Rollback {
-                                index: idx,
-                                epoch: entry.epoch,
-                                vt: self.clock.now(),
-                            },
-                            MsgClass::Configuration,
-                        );
+                        if self.procs.contains_key(&(app, rank)) {
+                            self.send_down(
+                                app,
+                                rank,
+                                ProcDown::Rollback {
+                                    index: idx,
+                                    epoch: entry.epoch,
+                                    vt: self.clock.now(),
+                                },
+                                MsgClass::Configuration,
+                            );
+                        } else {
+                            self.spawn_proc(&entry, rank, idx);
+                        }
                     }
                 }
             }

@@ -381,7 +381,11 @@ impl MgmtSession {
             }
             "TIMELINE" => {
                 self.require_login()?;
-                let id = Self::parse_app_id(toks.get(1).ok_or("ERR usage: TIMELINE <app>")?)?;
+                const USAGE: &str = "ERR usage: TIMELINE <app>";
+                if toks.len() != 2 {
+                    return Err(USAGE.into());
+                }
+                let id = Self::parse_app_id(toks[1]).map_err(|_| USAGE.to_string())?;
                 let events = self.daemon.stats().timeline_for(&format!("{id}.r"));
                 if events.is_empty() {
                     return Ok(format!("OK timeline {id} (empty)"));
@@ -392,6 +396,80 @@ impl MgmtSession {
                     out.push_str(line);
                 }
                 Ok(out)
+            }
+            "TRACE" => {
+                self.require_login()?;
+                const USAGE: &str = "ERR usage: TRACE SCOPES | TRACE DUMP [scope] | TRACE TAIL <n> [scope] | TRACE PATH <app>";
+                let hub = self.daemon.trace_hub();
+                match toks.get(1).map(|s| s.to_ascii_uppercase()).as_deref() {
+                    Some("SCOPES") if toks.len() == 2 => {
+                        let scopes = hub.scopes();
+                        let mut out = format!("OK trace scopes {}", scopes.len());
+                        for s in scopes {
+                            let (len, dropped) = hub
+                                .get(&s)
+                                .map(|r| (r.len(), r.dropped()))
+                                .unwrap_or((0, 0));
+                            out.push_str(&format!("\n{s} events={len} dropped={dropped}"));
+                        }
+                        Ok(out)
+                    }
+                    Some("DUMP") if toks.len() <= 3 => {
+                        let dumps = match toks.get(2) {
+                            Some(scope) => match hub.get(scope) {
+                                Some(r) => vec![r.dump()],
+                                None => return Err(format!("ERR no such scope {scope:?}")),
+                            },
+                            None => hub.dump_all(),
+                        };
+                        let mut out = String::from("OK trace dump");
+                        for t in &dumps {
+                            out.push_str(&format!("\n== {} dropped={}", t.scope, t.dropped));
+                            for ev in &t.events {
+                                out.push('\n');
+                                out.push_str(&ev.summary());
+                            }
+                        }
+                        Ok(out)
+                    }
+                    Some("TAIL") if toks.len() == 3 || toks.len() == 4 => {
+                        let n: usize = toks[2].parse().map_err(|_| USAGE.to_string())?;
+                        let dumps = match toks.get(3) {
+                            Some(scope) => match hub.get(scope) {
+                                Some(r) => vec![r.dump()],
+                                None => return Err(format!("ERR no such scope {scope:?}")),
+                            },
+                            None => hub.dump_all(),
+                        };
+                        let mut out = format!("OK trace tail {n}");
+                        for t in &dumps {
+                            out.push_str(&format!("\n== {} dropped={}", t.scope, t.dropped));
+                            let skip = t.events.len().saturating_sub(n);
+                            for ev in t.events.iter().skip(skip) {
+                                out.push('\n');
+                                out.push_str(&ev.summary());
+                            }
+                        }
+                        Ok(out)
+                    }
+                    Some("PATH") if toks.len() == 3 => {
+                        let id = Self::parse_app_id(toks[2]).map_err(|_| USAGE.to_string())?;
+                        let dumps = hub.dump_prefix(&format!("{id}.r"));
+                        if dumps.iter().all(|t| t.events.is_empty()) {
+                            return Ok(format!("OK trace path {id} (empty)"));
+                        }
+                        let dag = starfish_trace::reassemble(dumps);
+                        dag.check()
+                            .map_err(|e| format!("ERR trace inconsistent: {e}"))?;
+                        let mut out = format!("OK trace path {id}");
+                        for line in dag.render_path().lines() {
+                            out.push('\n');
+                            out.push_str(line);
+                        }
+                        Ok(out)
+                    }
+                    _ => Err(USAGE.into()),
+                }
             }
             "APPS" | "STATUS" => {
                 self.require_login()?;
@@ -532,6 +610,66 @@ mod tests {
         let mut s2 = MgmtSession::connect(d, 8);
         assert!(s2.handle_line("LOGIN ADMIN starfish").starts_with("ERR"));
         assert!(s2.handle_line("LOGIN ADMIN hunter2").starts_with("OK"));
+    }
+
+    #[test]
+    fn trace_commands_over_the_protocol() {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        f.add_node(NodeId(0));
+        let mut cfg = DaemonConfig::new(NodeId(0));
+        cfg.recorder = starfish_trace::FlightRecorder::new("n0", 64);
+        let d = Daemon::start(&f, cfg, None, Box::new(NullHost), CkptStore::new()).unwrap();
+        d.wait_config(Duration::from_secs(5), |c| c.up_nodes().len() == 1)
+            .unwrap();
+        let mut s = MgmtSession::connect(d, 11);
+        s.handle_line("LOGIN ADMIN starfish");
+        let scopes = s.handle_line("TRACE SCOPES");
+        assert!(scopes.starts_with("OK trace scopes"), "{scopes}");
+        assert!(scopes.contains("n0"), "{scopes}");
+        // Forming the singleton view records at least one event.
+        let dump = s.handle_line("TRACE DUMP n0");
+        assert!(dump.starts_with("OK trace dump"), "{dump}");
+        assert!(dump.contains("== n0"), "{dump}");
+        assert!(dump.lines().count() > 2, "{dump}");
+        let tail = s.handle_line("TRACE TAIL 1 n0");
+        assert!(tail.starts_with("OK trace tail 1"), "{tail}");
+        assert_eq!(tail.lines().count(), 3, "{tail}");
+        assert!(s
+            .handle_line("TRACE DUMP nosuch")
+            .starts_with("ERR no such scope"));
+        // No traced application ranks yet: the path query is empty, not an
+        // error.
+        assert!(s
+            .handle_line("TRACE PATH app7")
+            .starts_with("OK trace path app7 (empty)"));
+    }
+
+    /// Satellite: bad or missing arguments to TIMELINE/TRACE come back as a
+    /// single uniform `ERR usage: ...` line, never a multi-line reply or a
+    /// mismatched error shape.
+    #[test]
+    fn trace_and_timeline_usage_errors_are_one_line() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d, 12);
+        s.handle_line("LOGIN ADMIN starfish");
+        for bad in [
+            "TRACE",
+            "TRACE BOGUS",
+            "TRACE SCOPES extra",
+            "TRACE TAIL",
+            "TRACE TAIL nope",
+            "TRACE TAIL 3 scope extra",
+            "TRACE PATH",
+            "TRACE PATH nope",
+            "TRACE PATH app1 extra",
+            "TIMELINE",
+            "TIMELINE nope",
+            "TIMELINE app1 extra",
+        ] {
+            let resp = s.handle_line(bad);
+            assert!(resp.starts_with("ERR usage:"), "{bad} -> {resp}");
+            assert_eq!(resp.lines().count(), 1, "{bad} -> {resp}");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
 use starfish_telemetry::{metric, Registry};
+use starfish_trace::{FlightRecorder, TraceCtx};
 use starfish_util::codec::{Decode, Encode};
 use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
 use starfish_util::{Error, NodeId, Result, VClock, ViewId, VirtualTime};
@@ -77,6 +78,10 @@ pub struct EndpointConfig {
     /// Telemetry registry: view changes, cast deliveries and heartbeat
     /// misses are recorded here when present.
     pub metrics: Option<Registry>,
+    /// This daemon's flight recorder: cast submissions/deliveries and view
+    /// installations become causal trace events, with contexts carried on
+    /// `CastReq`/`SeqCast` so the whole cast stitches across members.
+    pub recorder: FlightRecorder,
 }
 
 impl Default for EndpointConfig {
@@ -87,6 +92,7 @@ impl Default for EndpointConfig {
             heartbeat: None,
             chaos: None,
             metrics: None,
+            recorder: FlightRecorder::disabled(),
         }
     }
 }
@@ -305,7 +311,7 @@ struct Stack {
 
     // coordinator role
     next_seq: u64,
-    held_casts: Vec<(NodeId, Bytes)>,
+    held_casts: Vec<(NodeId, Bytes, TraceCtx)>,
     change: Option<ChangeState>,
     proposal_counter: u64,
     pending_joins: BTreeSet<NodeId>,
@@ -314,8 +320,10 @@ struct Stack {
 
     // member-side flush state
     flushing: bool,
-    /// Casts we could not hand to a coordinator; re-sent on the next view.
-    held_local: Vec<Bytes>,
+    /// Casts we could not hand to a coordinator; re-sent on the next view
+    /// (with their original trace context — a re-submission is the same
+    /// logical cast).
+    held_local: Vec<(Bytes, TraceCtx)>,
     leaving: bool,
     /// Set when this endpoint is finished (left, excluded, or its node
     /// crashed); the run loop exits at the next opportunity.
@@ -509,13 +517,18 @@ impl Stack {
         match msg {
             GcMsg::JoinReq { node } => self.on_join_req(node),
             GcMsg::LeaveReq { node } => self.on_leave_req(node),
-            GcMsg::CastReq { origin, payload } => self.on_cast_req(origin, payload),
+            GcMsg::CastReq {
+                origin,
+                payload,
+                ctx,
+            } => self.on_cast_req(origin, payload, ctx),
             GcMsg::SeqCast {
                 view,
                 seq,
                 origin,
                 payload,
-            } => self.on_seq_cast(view, seq, origin, payload),
+                ctx,
+            } => self.on_seq_cast(view, seq, origin, payload, ctx),
             GcMsg::P2p { payload } => {
                 self.emit(GcEvent::P2p {
                     from: pkt.src.node,
@@ -571,25 +584,32 @@ impl Stack {
         LoopCtl::Continue
     }
 
-    fn on_cast_req(&mut self, origin: NodeId, payload: Bytes) -> LoopCtl {
+    fn on_cast_req(&mut self, origin: NodeId, payload: Bytes, ctx: TraceCtx) -> LoopCtl {
         if !self.is_coordinator() {
             // Mis-routed (view raced); forward to the real coordinator.
             if let Some(v) = self.view.clone() {
                 if v.coordinator() != self.node {
-                    let _ = self.send_gc(v.coordinator(), &GcMsg::CastReq { origin, payload });
+                    let _ = self.send_gc(
+                        v.coordinator(),
+                        &GcMsg::CastReq {
+                            origin,
+                            payload,
+                            ctx,
+                        },
+                    );
                 }
             }
             return LoopCtl::Continue;
         }
         if self.change.is_some() {
-            self.held_casts.push((origin, payload));
+            self.held_casts.push((origin, payload, ctx));
             return LoopCtl::Continue;
         }
-        self.sequence_cast(origin, payload);
+        self.sequence_cast(origin, payload, ctx);
         LoopCtl::Continue
     }
 
-    fn sequence_cast(&mut self, origin: NodeId, payload: Bytes) {
+    fn sequence_cast(&mut self, origin: NodeId, payload: Bytes, ctx: TraceCtx) {
         let view = self.view.clone().expect("coordinator has a view");
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -598,6 +618,7 @@ impl Stack {
             seq,
             origin,
             payload,
+            ctx,
         };
         let mut failed = Vec::new();
         for m in &view.members {
@@ -615,7 +636,14 @@ impl Stack {
         }
     }
 
-    fn on_seq_cast(&mut self, vid: ViewId, seq: u64, origin: NodeId, payload: Bytes) -> LoopCtl {
+    fn on_seq_cast(
+        &mut self,
+        vid: ViewId,
+        seq: u64,
+        origin: NodeId,
+        payload: Bytes,
+        ctx: TraceCtx,
+    ) -> LoopCtl {
         let Some(view) = self.view.clone() else {
             return LoopCtl::Continue;
         };
@@ -629,6 +657,7 @@ impl Stack {
             seq,
             origin,
             payload,
+            ctx,
         };
         self.pending_oos.insert(seq, entry);
         while let Some(e) = self.pending_oos.remove(&self.next_deliver_seq) {
@@ -642,6 +671,14 @@ impl Stack {
         if let Some(m) = &self.cfg.metrics {
             m.inc(metric::ENSEMBLE_CASTS);
         }
+        self.cfg.recorder.on_recv(
+            self.clock.now(),
+            e.origin.0,
+            0,
+            e.seq,
+            e.payload.len(),
+            e.ctx,
+        );
         self.next_deliver_seq += 1;
         self.delivered_log.push(e.clone());
         self.emit(GcEvent::Cast {
@@ -856,6 +893,9 @@ impl Stack {
                 m.record_vt(metric::ENSEMBLE_VIEW_CHANGE_NS, self.clock.now() - started);
             }
         }
+        self.cfg
+            .recorder
+            .view_change(self.clock.now(), view.id.0, view.size() as u32);
         self.next_deliver_seq = 1;
         self.next_seq = 1;
         self.delivered_log.clear();
@@ -874,16 +914,16 @@ impl Stack {
             });
         }
         // Re-submit casts we failed to hand to a dead coordinator.
-        let held: Vec<Bytes> = std::mem::take(&mut self.held_local);
-        for payload in held {
-            self.submit_cast(payload);
+        let held: Vec<(Bytes, TraceCtx)> = std::mem::take(&mut self.held_local);
+        for (payload, ctx) in held {
+            self.submit_cast_ctx(payload, ctx);
         }
         // Coordinator: sequence casts held during the change, then handle any
         // membership work that queued up meanwhile.
         if view.coordinator() == self.node {
-            let held: Vec<(NodeId, Bytes)> = std::mem::take(&mut self.held_casts);
-            for (origin, payload) in held {
-                self.sequence_cast(origin, payload);
+            let held: Vec<(NodeId, Bytes, TraceCtx)> = std::mem::take(&mut self.held_casts);
+            for (origin, payload, ctx) in held {
+                self.sequence_cast(origin, payload, ctx);
             }
             self.maybe_start_change();
         }
@@ -892,26 +932,38 @@ impl Stack {
     // -- owner commands -------------------------------------------------------
 
     fn submit_cast(&mut self, payload: Bytes) {
+        // The submission is this daemon's send event; the context minted
+        // here survives sequencing, backfill and flush, so every member's
+        // delivery stitches back to it.
+        let ctx = self
+            .cfg
+            .recorder
+            .on_send(self.clock.now(), self.node.0, 0, 0, payload.len());
+        self.submit_cast_ctx(payload, ctx);
+    }
+
+    fn submit_cast_ctx(&mut self, payload: Bytes, ctx: TraceCtx) {
         match self.view.clone() {
             Some(v) => {
                 let coord = v.coordinator();
                 if coord == self.node {
                     if self.change.is_some() {
-                        self.held_casts.push((self.node, payload));
+                        self.held_casts.push((self.node, payload, ctx));
                     } else {
-                        self.sequence_cast(self.node, payload);
+                        self.sequence_cast(self.node, payload, ctx);
                     }
                 } else {
                     let msg = GcMsg::CastReq {
                         origin: self.node,
                         payload: payload.clone(),
+                        ctx,
                     };
                     if self.send_gc(coord, &msg).is_err() {
-                        self.held_local.push(payload);
+                        self.held_local.push((payload, ctx));
                     }
                 }
             }
-            None => self.held_local.push(payload),
+            None => self.held_local.push((payload, ctx)),
         }
     }
 

@@ -4,17 +4,22 @@
 //! daemons, never passed to application processes.
 
 use bytes::Bytes;
+use starfish_trace::TraceCtx;
 use starfish_util::codec::{Decode, Decoder, Encode, Encoder};
 use starfish_util::{Error, NodeId, Result, ViewId};
 
 use crate::view::View;
 
-/// One sequenced cast: `(seq, origin, payload)`.
+/// One sequenced cast: `(seq, origin, payload)` plus the origin's trace
+/// context ([`TraceCtx::NONE`] when the origin was not tracing), preserved
+/// through sequencing, backfill and flush so the delivery event on every
+/// member stitches back to the origin's send.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeqEntry {
     pub seq: u64,
     pub origin: NodeId,
     pub payload: Bytes,
+    pub ctx: TraceCtx,
 }
 
 impl Encode for SeqEntry {
@@ -22,6 +27,7 @@ impl Encode for SeqEntry {
         self.seq.encode(enc);
         self.origin.encode(enc);
         self.payload.encode(enc);
+        self.ctx.encode(enc);
     }
 }
 
@@ -31,6 +37,7 @@ impl Decode for SeqEntry {
             seq: u64::decode(dec)?,
             origin: NodeId::decode(dec)?,
             payload: Bytes::decode(dec)?,
+            ctx: TraceCtx::decode(dec)?,
         })
     }
 }
@@ -43,14 +50,21 @@ pub enum GcMsg {
     JoinReq { node: NodeId },
     /// A member asks to leave gracefully.
     LeaveReq { node: NodeId },
-    /// A member submits a cast to the sequencer.
-    CastReq { origin: NodeId, payload: Bytes },
+    /// A member submits a cast to the sequencer; `ctx` is the origin's
+    /// trace context (carried through so every member's delivery event
+    /// stitches back to the submitting daemon's send span).
+    CastReq {
+        origin: NodeId,
+        payload: Bytes,
+        ctx: TraceCtx,
+    },
     /// The sequencer's ordered multicast.
     SeqCast {
         view: ViewId,
         seq: u64,
         origin: NodeId,
         payload: Bytes,
+        ctx: TraceCtx,
     },
     /// Point-to-point application payload between members.
     P2p { payload: Bytes },
@@ -95,22 +109,29 @@ impl Encode for GcMsg {
                 enc.put_u8(T_LEAVE);
                 node.encode(enc);
             }
-            GcMsg::CastReq { origin, payload } => {
+            GcMsg::CastReq {
+                origin,
+                payload,
+                ctx,
+            } => {
                 enc.put_u8(T_CASTREQ);
                 origin.encode(enc);
                 payload.encode(enc);
+                ctx.encode(enc);
             }
             GcMsg::SeqCast {
                 view,
                 seq,
                 origin,
                 payload,
+                ctx,
             } => {
                 enc.put_u8(T_SEQCAST);
                 view.encode(enc);
                 seq.encode(enc);
                 origin.encode(enc);
                 payload.encode(enc);
+                ctx.encode(enc);
             }
             GcMsg::P2p { payload } => {
                 enc.put_u8(T_P2P);
@@ -159,12 +180,14 @@ impl Decode for GcMsg {
             T_CASTREQ => GcMsg::CastReq {
                 origin: NodeId::decode(dec)?,
                 payload: Bytes::decode(dec)?,
+                ctx: TraceCtx::decode(dec)?,
             },
             T_SEQCAST => GcMsg::SeqCast {
                 view: ViewId::decode(dec)?,
                 seq: u64::decode(dec)?,
                 origin: NodeId::decode(dec)?,
                 payload: Bytes::decode(dec)?,
+                ctx: TraceCtx::decode(dec)?,
             },
             T_P2P => GcMsg::P2p {
                 payload: Bytes::decode(dec)?,
@@ -203,12 +226,19 @@ mod tests {
             GcMsg::CastReq {
                 origin: NodeId(1),
                 payload: Bytes::from_static(b"hello"),
+                ctx: TraceCtx::NONE,
             },
             GcMsg::SeqCast {
                 view: ViewId(3),
                 seq: 17,
                 origin: NodeId(1),
                 payload: Bytes::from_static(b"m"),
+                ctx: TraceCtx {
+                    trace: 7,
+                    span: 8,
+                    parent: 0,
+                    lamport: 3,
+                },
             },
             GcMsg::P2p {
                 payload: Bytes::from_static(b"pp"),
@@ -224,6 +254,7 @@ mod tests {
                     seq: 1,
                     origin: NodeId(1),
                     payload: Bytes::from_static(b"x"),
+                    ctx: TraceCtx::NONE,
                 }],
             },
             GcMsg::NewView {

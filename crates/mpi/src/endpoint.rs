@@ -21,6 +21,7 @@ use std::time::Duration;
 use bytes::Bytes;
 
 use starfish_telemetry::{metric, Registry};
+use starfish_trace::{FlightRecorder, TraceCtx};
 use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
 use starfish_util::{AppId, Epoch, Error, Rank, Result, VClock, VirtualTime};
 use starfish_vni::{Addr, Fabric, LayerCosts, Packet, PacketKind, PollingThread, Port, RecvQueue};
@@ -68,8 +69,9 @@ impl Default for OutFlow {
 struct InFlow {
     /// Lowest sequence number not yet delivered.
     next: u64,
-    /// Out-of-order arrivals parked until the gap below them fills.
-    parked: BTreeMap<u64, (MsgHeader, Bytes, VirtualTime)>,
+    /// Out-of-order arrivals parked until the gap below them fills (with
+    /// the trace context each carried, so delivery records it).
+    parked: BTreeMap<u64, (MsgHeader, Bytes, VirtualTime, TraceCtx)>,
 }
 
 impl Default for InFlow {
@@ -170,6 +172,10 @@ pub struct MpiEndpoint {
     /// Per-process telemetry registry; records the Figure 6 per-layer costs
     /// and total software-path latencies on every send/receive.
     metrics: Option<Registry>,
+    /// Per-process flight recorder: every send mints a trace context that
+    /// rides the wire extension; every delivery records the context that
+    /// arrived. Disabled by default (one branch per event).
+    recorder: FlightRecorder,
     /// When true, data sends carry per-destination sequence numbers and are
     /// buffered for retransmission, and receives deliver each flow in
     /// sequence order — exactly-once delivery over a faulty fabric. Off by
@@ -225,6 +231,7 @@ impl MpiEndpoint {
             recorded: Vec::new(),
             abort: None,
             metrics: None,
+            recorder: FlightRecorder::disabled(),
             reliable: false,
             blocking_timeout: BLOCKING_TIMEOUT,
             out_flows: HashMap::new(),
@@ -254,6 +261,17 @@ impl MpiEndpoint {
             queue.attach_metrics(reg.clone());
         }
         self.metrics = Some(reg);
+    }
+
+    /// Install the process flight recorder; sends stamp trace contexts on
+    /// the wire and deliveries are recorded from here on.
+    pub fn set_recorder(&mut self, rec: FlightRecorder) {
+        self.recorder = rec;
+    }
+
+    /// The installed flight recorder (disabled unless set).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// Record the send-side layer breakdown (Figure 6, left column).
@@ -366,7 +384,10 @@ impl MpiEndpoint {
     ) -> Result<(Bytes, VirtualTime)> {
         let dst_node = self.dir.node_of(dst)?;
         let app = self.app;
-        let payload = header.frame(data);
+        let ctx = self
+            .recorder
+            .on_send(clock.now(), dst.0, header.context, header.tag, data.len());
+        let payload = header.frame_ext(data, ctx);
         self.trace.record(
             MsgClass::Data,
             ActorKind::AppProcess,
@@ -498,7 +519,7 @@ impl MpiEndpoint {
             return Ok(true);
         }
         let arrive = pkt.arrive_vt;
-        let (header, body) = match MsgHeader::parse(&pkt.payload) {
+        let (header, body, ctx) = match MsgHeader::parse_ext(&pkt.payload) {
             Ok(x) => x,
             Err(_) => return Ok(true), // corrupt: drop, but we did ingest
         };
@@ -512,13 +533,15 @@ impl MpiEndpoint {
             // Current-epoch marks are pumped now; future-epoch marks (a
             // restarted peer's round racing ahead of our own rollback) are
             // held until set_epoch advances us into their world.
+            self.recorder
+                .on_recv(arrive, header.src.0, CTRL_CONTEXT, 0, body.len(), ctx);
             self.ctrl_marks
                 .push_back((header.src, body, arrive, header.epoch));
             return Ok(true);
         }
         if header.seq == 0 {
             // Unmanaged traffic: delivered as it arrives.
-            self.enqueue_parsed(header, body, arrive);
+            self.enqueue_parsed(header, body, arrive, ctx);
             return Ok(true);
         }
         // Reliable flow: deliver in sequence order, discard duplicates, park
@@ -535,7 +558,7 @@ impl MpiEndpoint {
                 .filter(|s| !flow.parked.contains_key(s))
                 .take(64)
                 .collect();
-            flow.parked.insert(header.seq, (header, body, arrive));
+            flow.parked.insert(header.seq, (header, body, arrive, ctx));
             if !missing.is_empty() {
                 let _ = self.send_rel(
                     clock,
@@ -553,19 +576,36 @@ impl MpiEndpoint {
             return Ok(true);
         }
         flow.next += 1;
-        let mut ready = vec![(header, body, arrive)];
+        let mut ready = vec![(header, body, arrive, ctx)];
         while let Some(entry) = flow.parked.remove(&flow.next) {
             flow.next += 1;
             ready.push(entry);
         }
-        for (h, b, at) in ready {
-            self.enqueue_parsed(h, b, at);
+        for (h, b, at, c) in ready {
+            self.enqueue_parsed(h, b, at, c);
         }
         Ok(true)
     }
 
-    /// Hand a parsed in-order data message to the matching queues.
-    fn enqueue_parsed(&mut self, header: MsgHeader, body: Bytes, arrive: VirtualTime) {
+    /// Hand a parsed in-order data message to the matching queues. This is
+    /// the exactly-once-per-delivered-message point (duplicates and stale
+    /// epochs were discarded above), so the flight recorder's Recv event is
+    /// recorded here.
+    fn enqueue_parsed(
+        &mut self,
+        header: MsgHeader,
+        body: Bytes,
+        arrive: VirtualTime,
+        ctx: TraceCtx,
+    ) {
+        self.recorder.on_recv(
+            arrive,
+            header.src.0,
+            header.context,
+            header.tag,
+            body.len(),
+            ctx,
+        );
         if self.recording.contains(&header.src) {
             self.recorded.push((header, body.clone()));
         }
@@ -1358,6 +1398,44 @@ mod tests {
         a.send_world(&mut ca, Rank(1), 1, 1, b"x").unwrap();
         let m = b.recv_world(&mut cb, 1, ANY_SOURCE, ANY_TAG).unwrap();
         assert_eq!(&m.data[..], b"x");
+    }
+
+    /// End-to-end trace propagation: two recording endpoints produce rings
+    /// that reassemble into a cross-process happens-before edge, and the
+    /// receiver's Lamport clock lands after the sender's.
+    #[test]
+    fn trace_context_propagates_across_the_wire() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep(&f, &dir, 0);
+        let mut b = ep(&f, &dir, 1);
+        a.set_recorder(FlightRecorder::new("app1.r0", 64));
+        b.set_recorder(FlightRecorder::new("app1.r1", 64));
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        a.send_world(&mut ca, Rank(1), 1, 5, b"traced").unwrap();
+        let m = b.recv_world(&mut cb, 1, ANY_SOURCE, ANY_TAG).unwrap();
+        assert_eq!(&m.data[..], b"traced");
+        let dag = starfish_trace::reassemble(vec![a.recorder().dump(), b.recorder().dump()]);
+        assert_eq!(dag.message_edges, 1, "send must stitch to its recv");
+        dag.check().unwrap();
+    }
+
+    /// A tracing sender talking to a peer with no recorder installed: the
+    /// peer must receive the exact payload (the context rides an extension
+    /// region the untraced side skips) and record nothing.
+    #[test]
+    fn traced_sender_to_untraced_receiver_is_compatible() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep(&f, &dir, 0);
+        let mut b = ep(&f, &dir, 1); // recorder never installed
+        a.set_recorder(FlightRecorder::new("app1.r0", 64));
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        a.send_world(&mut ca, Rank(1), 1, 9, b"payload").unwrap();
+        let m = b.recv_world(&mut cb, 1, Some(Rank(0)), Some(9)).unwrap();
+        assert_eq!(&m.data[..], b"payload");
+        assert!(!b.recorder().is_enabled());
+        assert_eq!(b.recorder().dump().events.len(), 0);
     }
 }
 

@@ -1,6 +1,7 @@
 //! Data-message envelope and addressing constants.
 
 use bytes::{Bytes, BytesMut};
+use starfish_trace::TraceCtx;
 use starfish_util::codec::{Decode, Decoder, Encode, Encoder};
 use starfish_util::{AppId, Epoch, Rank, Result};
 use starfish_vni::PortId;
@@ -45,26 +46,45 @@ pub struct MsgHeader {
 }
 
 impl MsgHeader {
-    /// Serialized header length (fixed).
-    pub const LEN: usize = 4 + 4 + 8 + 4 + 8 + 8;
+    /// Serialized header length: the fixed fields plus the `u16` length of
+    /// the optional extension region that follows them. The extension (today
+    /// only a [`TraceCtx`]) is skipped wholesale by [`parse`](Self::parse),
+    /// so a receiver that does not understand it — the paper's unmodified
+    /// MPI program, §MPI-module — still gets the exact body bytes.
+    pub const LEN: usize = 4 + 4 + 8 + 4 + 8 + 8 + 2;
 
-    /// Prefix `body` with this header. The body bytes are copied once into
-    /// the framed buffer; all subsequent layer hand-offs share it.
-    pub fn frame(&self, body: &[u8]) -> Bytes {
-        let mut enc = Encoder::with_capacity(Self::LEN + body.len());
-        self.src.encode(&mut enc);
+    fn put_fixed(&self, enc: &mut Encoder) {
+        self.src.encode(enc);
         enc.put_u32(self.context);
         enc.put_u64(self.tag);
-        self.epoch.encode(&mut enc);
+        self.epoch.encode(enc);
         enc.put_u64(self.interval);
         enc.put_u64(self.seq);
+    }
+
+    /// Prefix `body` with this header (no extension). The body bytes are
+    /// copied once into the framed buffer; all subsequent layer hand-offs
+    /// share it.
+    pub fn frame(&self, body: &[u8]) -> Bytes {
+        self.frame_ext(body, TraceCtx::NONE)
+    }
+
+    /// Prefix `body` with this header and, when `ctx` carries one, a
+    /// trace-context extension.
+    pub fn frame_ext(&self, body: &[u8], ctx: TraceCtx) -> Bytes {
+        let ext = if ctx.is_some() { TraceCtx::WIRE_LEN } else { 0 };
+        let mut enc = Encoder::with_capacity(Self::LEN + ext + body.len());
+        self.put_fixed(&mut enc);
+        enc.put_u16(ext as u16);
+        if ctx.is_some() {
+            ctx.encode(&mut enc);
+        }
         let mut buf = BytesMut::from(&enc.into_vec()[..]);
         buf.extend_from_slice(body);
         buf.freeze()
     }
 
-    /// Split a framed payload into header + body (zero-copy body slice).
-    pub fn parse(framed: &Bytes) -> Result<(MsgHeader, Bytes)> {
+    fn parse_fixed(framed: &Bytes) -> Result<(MsgHeader, usize)> {
         let mut dec = Decoder::new(&framed[..]);
         let src = Rank::decode(&mut dec)?;
         let context = dec.get_u32()?;
@@ -72,7 +92,13 @@ impl MsgHeader {
         let epoch = Epoch::decode(&mut dec)?;
         let interval = dec.get_u64()?;
         let seq = dec.get_u64()?;
-        let body = framed.slice(Self::LEN..);
+        let ext = dec.get_u16()? as usize;
+        if dec.remaining() < ext {
+            return Err(starfish_util::Error::codec(format!(
+                "extension length {ext} exceeds remaining {} bytes",
+                dec.remaining()
+            )));
+        }
         Ok((
             MsgHeader {
                 src,
@@ -82,8 +108,28 @@ impl MsgHeader {
                 interval,
                 seq,
             },
-            body,
+            ext,
         ))
+    }
+
+    /// Split a framed payload into header + body (zero-copy body slice).
+    /// Any extension region is skipped unread.
+    pub fn parse(framed: &Bytes) -> Result<(MsgHeader, Bytes)> {
+        let (header, ext) = Self::parse_fixed(framed)?;
+        Ok((header, framed.slice(Self::LEN + ext..)))
+    }
+
+    /// Like [`parse`](Self::parse), but also decode the trace context when
+    /// the extension carries one ([`TraceCtx::NONE`] otherwise).
+    pub fn parse_ext(framed: &Bytes) -> Result<(MsgHeader, Bytes, TraceCtx)> {
+        let (header, ext) = Self::parse_fixed(framed)?;
+        let ctx = if ext >= TraceCtx::WIRE_LEN {
+            let mut dec = Decoder::new(&framed[Self::LEN..Self::LEN + ext]);
+            TraceCtx::decode(&mut dec)?
+        } else {
+            TraceCtx::NONE
+        };
+        Ok((header, framed.slice(Self::LEN + ext..), ctx))
     }
 }
 
@@ -237,6 +283,80 @@ mod tests {
     fn truncated_header_rejected() {
         let short = Bytes::from_static(b"abc");
         assert!(MsgHeader::parse(&short).is_err());
+    }
+
+    fn ctx() -> TraceCtx {
+        TraceCtx {
+            trace: 0xAAAA,
+            span: 0xBBBB,
+            parent: 0xCCCC,
+            lamport: 42,
+        }
+    }
+
+    /// The unmodified-program compatibility guarantee (§MPI-module): a peer
+    /// that knows nothing about trace contexts parses a context-carrying
+    /// frame with the plain `parse` and gets exactly the same header and
+    /// body bytes — the length-prefixed extension is skipped wholesale.
+    #[test]
+    fn trace_ext_is_invisible_to_a_plain_parse() {
+        let h = MsgHeader {
+            src: Rank(3),
+            context: 7,
+            tag: 42,
+            epoch: Epoch(1),
+            interval: 9,
+            seq: 11,
+        };
+        let traced = h.frame_ext(b"payload", ctx());
+        assert_eq!(traced.len(), MsgHeader::LEN + TraceCtx::WIRE_LEN + 7);
+        let (got, body) = MsgHeader::parse(&traced).unwrap();
+        assert_eq!(got, h);
+        assert_eq!(&body[..], b"payload");
+        // And the ctx-aware parse recovers the context.
+        let (got2, body2, c) = MsgHeader::parse_ext(&traced).unwrap();
+        assert_eq!(got2, h);
+        assert_eq!(&body2[..], b"payload");
+        assert_eq!(c, ctx());
+    }
+
+    /// The converse direction: a frame without a context parses cleanly
+    /// with the ctx-aware parse, reporting "no context".
+    #[test]
+    fn untraced_frame_parses_with_ctx_aware_parse() {
+        let h = MsgHeader {
+            src: Rank(0),
+            context: 1,
+            tag: 5,
+            epoch: Epoch(0),
+            interval: 0,
+            seq: 0,
+        };
+        let plain = h.frame(b"xy");
+        let (_, body, c) = MsgHeader::parse_ext(&plain).unwrap();
+        assert_eq!(&body[..], b"xy");
+        assert!(c.is_none());
+    }
+
+    /// A lying extension length (longer than the frame) is rejected, not
+    /// sliced out of bounds.
+    #[test]
+    fn oversized_ext_length_rejected() {
+        let h = MsgHeader {
+            src: Rank(0),
+            context: 1,
+            tag: 0,
+            epoch: Epoch(0),
+            interval: 0,
+            seq: 0,
+        };
+        let framed = h.frame(b"abc");
+        let mut raw = framed.to_vec();
+        // The ext_len u16 is the last two bytes of the fixed header.
+        raw[MsgHeader::LEN - 2..MsgHeader::LEN].copy_from_slice(&1000u16.to_be_bytes());
+        let lying = Bytes::from(raw);
+        assert!(MsgHeader::parse(&lying).is_err());
+        assert!(MsgHeader::parse_ext(&lying).is_err());
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Property coverage for the aggregation algebra the cluster relies on:
+//! cross-scope [`Snapshot`] merging must be commutative and associative
+//! (daemons fold per-scope snapshots in whatever order the total order
+//! happens to deliver them), and both bounded trace rings must account for
+//! every eviction exactly — a ring may never claim more retained events
+//! than it kept, nor fewer drops than the `trace.dropped` counter saw.
+
+use proptest::prelude::*;
+use starfish_telemetry::{metric, HistSnap, Registry, Snapshot};
+use starfish_trace::FlightRecorder;
+use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
+use starfish_util::VirtualTime;
+
+// ---- generators --------------------------------------------------------------
+
+fn arb_hist() -> impl Strategy<Value = HistSnap> {
+    (
+        proptest::collection::vec((0u8..64, 1u64..100), 0..4),
+        0u64..1_000,
+    )
+        .prop_map(|(raw, sum)| {
+            let buckets = dedup_by_key(raw);
+            let count = buckets.iter().map(|&(_, c)| c).sum();
+            let max = buckets.iter().map(|&(b, _)| 1u64 << b.min(62)).max();
+            HistSnap {
+                count,
+                sum,
+                max: max.unwrap_or(0),
+                buckets,
+            }
+        })
+}
+
+/// Sort by key and keep the first value per key: snapshots index their
+/// sparse tables by metric id, so generated tables must not repeat keys.
+fn dedup_by_key<K: Ord + Copy, V>(mut pairs: Vec<(K, V)>) -> Vec<(K, V)> {
+    pairs.sort_by_key(|&(k, _)| k);
+    pairs.dedup_by_key(|&mut (k, _)| k);
+    pairs
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        proptest::collection::vec((0u16..24, 1u64..1_000), 0..6),
+        proptest::collection::vec((0u16..24, -50i64..50), 0..6),
+        proptest::collection::vec((0u16..24, arb_hist()), 0..3),
+    )
+        .prop_map(|(counters, gauges, hists)| Snapshot {
+            counters: dedup_by_key(counters),
+            gauges: dedup_by_key(gauges),
+            hists: dedup_by_key(hists),
+            timeline: Vec::new(),
+        })
+}
+
+fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Histogram bucket lists may differ in ordering depending on merge order;
+/// compare them as multisets alongside the scalar fields.
+fn canonical(mut s: Snapshot) -> Snapshot {
+    for (_, h) in &mut s.hists {
+        h.buckets.sort_unstable();
+    }
+    s.timeline
+        .sort_by(|x, y| (x.start_vt, &x.name).cmp(&(y.start_vt, &y.name)));
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn snapshot_merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        prop_assert_eq!(canonical(merged(&a, &b)), canonical(merged(&b, &a)));
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(canonical(left), canonical(right));
+    }
+
+    /// The util-level message ring: every eviction increments both the
+    /// sink's own `dropped` tally and the hooked `trace.dropped` counter,
+    /// and retained + dropped always equals the number recorded.
+    #[test]
+    fn message_ring_drops_match_the_trace_dropped_counter(
+        cap in 1usize..32,
+        records in 0usize..200,
+    ) {
+        let sink = TraceSink::enabled(cap);
+        let reg = Registry::new();
+        sink.attach_metrics(std::sync::Arc::new(reg.clone()));
+        for _ in 0..records {
+            sink.record(MsgClass::Data, ActorKind::AppProcess, ActorKind::Daemon, "fast-path", 8);
+        }
+        let expected_drops = records.saturating_sub(cap) as u64;
+        prop_assert_eq!(sink.dropped(), expected_drops);
+        prop_assert_eq!(reg.counter(metric::TRACE_DROPPED), expected_drops);
+        prop_assert!(sink.dropped() <= reg.counter(metric::TRACE_DROPPED));
+        prop_assert_eq!(sink.events().len() as u64 + sink.dropped(), records as u64);
+    }
+
+    /// The flight recorder's ring: exact drop accounting under arbitrary
+    /// event mixes — `len() + dropped()` equals the number of events fed in,
+    /// and the ring never under-reports drops.
+    #[test]
+    fn flight_recorder_accounts_for_every_eviction(
+        cap in 1usize..48,
+        kinds in proptest::collection::vec(0u8..4, 0..200),
+    ) {
+        let rec = FlightRecorder::new("prop", cap);
+        for (i, k) in kinds.iter().enumerate() {
+            let vt = VirtualTime::from_nanos((i as u64 + 1) * 10);
+            match k {
+                0 => { let _ = rec.on_send(vt, 0, 0, 1, 64); }
+                1 => rec.phase_begin(vt, "p"),
+                2 => rec.mark(vt, "m", "detail"),
+                _ => rec.fault(vt, "injected"),
+            }
+        }
+        let expected_drops = kinds.len().saturating_sub(cap) as u64;
+        prop_assert_eq!(rec.dropped(), expected_drops);
+        prop_assert_eq!(rec.len() as u64 + rec.dropped(), kinds.len() as u64);
+        let dump = rec.dump();
+        prop_assert_eq!(dump.events.len(), rec.len());
+        prop_assert_eq!(dump.dropped, rec.dropped());
+    }
+}

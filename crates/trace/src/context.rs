@@ -1,0 +1,104 @@
+//! The trace context: the few words of causal metadata a message carries so
+//! one logical operation is stitchable across processes and nodes.
+//!
+//! The context is deliberately tiny and fixed-size (four `u64`s) so the MPI
+//! fast path can append it to the wire envelope without allocation, and
+//! deliberately *optional*: a frame without a context (or one parsed by a
+//! peer that does not understand it) is a perfectly valid frame — see
+//! [`MsgHeader::parse`](../../starfish_mpi/wire/struct.MsgHeader.html),
+//! which skips the length-prefixed extension region unconditionally.
+
+use starfish_util::codec::{Decode, Decoder, Encode, Encoder};
+use starfish_util::Result;
+
+/// Causal metadata stamped on a message by the sending recorder.
+///
+/// `span == 0` is the reserved "no context" sentinel ([`TraceCtx::NONE`]):
+/// recorders never allocate span id 0, so an all-zero context decodes as
+/// "the sender was not tracing".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Id of the logical operation (the root span) this message belongs to.
+    pub trace: u64,
+    /// Id of this message's own send span — globally unique, the key the
+    /// reassembler uses to match a receive back to its send.
+    pub span: u64,
+    /// The sender's enclosing span (0 = this send is a root).
+    pub parent: u64,
+    /// The sender's Lamport clock at send time; the receiver folds it in
+    /// (`max(local, remote) + 1`) so clocks respect happens-before.
+    pub lamport: u64,
+}
+
+impl TraceCtx {
+    /// The absent context (all zero; `span == 0` is the discriminant).
+    pub const NONE: TraceCtx = TraceCtx {
+        trace: 0,
+        span: 0,
+        parent: 0,
+        lamport: 0,
+    };
+
+    /// Serialized length on the wire.
+    pub const WIRE_LEN: usize = 32;
+
+    /// True if this is the "no context" sentinel.
+    pub fn is_none(&self) -> bool {
+        self.span == 0
+    }
+
+    /// True if this context carries real causal metadata.
+    pub fn is_some(&self) -> bool {
+        self.span != 0
+    }
+}
+
+impl Encode for TraceCtx {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.trace);
+        enc.put_u64(self.span);
+        enc.put_u64(self.parent);
+        enc.put_u64(self.lamport);
+    }
+}
+
+impl Decode for TraceCtx {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self> {
+        Ok(TraceCtx {
+            trace: dec.get_u64()?,
+            span: dec.get_u64()?,
+            parent: dec.get_u64()?,
+            lamport: dec.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_util::codec::roundtrip;
+
+    #[test]
+    fn roundtrips_and_has_fixed_len() {
+        let ctx = TraceCtx {
+            trace: 1,
+            span: 2,
+            parent: 3,
+            lamport: 4,
+        };
+        assert_eq!(roundtrip(&ctx).unwrap(), ctx);
+        let mut enc = Encoder::new();
+        ctx.encode(&mut enc);
+        assert_eq!(enc.len(), TraceCtx::WIRE_LEN);
+    }
+
+    #[test]
+    fn none_sentinel() {
+        assert!(TraceCtx::NONE.is_none());
+        assert!(TraceCtx {
+            span: 9,
+            ..TraceCtx::NONE
+        }
+        .is_some());
+    }
+}

@@ -1,0 +1,83 @@
+//! Cluster-wide registry of flight recorders.
+//!
+//! The simulated cluster is one process, so recorders do not need to ship
+//! their rings over the wire: every daemon and application process
+//! registers its recorder here under its scope (`"n2"`, `"app1.r0"`), and
+//! any management session can dump, tail or reassemble them — the same
+//! shape [`StatsHub`](../../starfish_daemon/stats/struct.StatsHub.html)
+//! gives the metrics path.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::recorder::{FlightRecorder, ProcTrace};
+
+/// Shared table of live recorders, keyed by scope. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct TraceHub {
+    inner: Arc<Mutex<BTreeMap<String, FlightRecorder>>>,
+}
+
+impl TraceHub {
+    pub fn new() -> Self {
+        TraceHub::default()
+    }
+
+    /// Register (or replace — a restarted rank re-registers) a recorder.
+    /// Disabled recorders are ignored.
+    pub fn register(&self, rec: FlightRecorder) {
+        if rec.is_enabled() {
+            self.inner.lock().insert(rec.scope().to_string(), rec);
+        }
+    }
+
+    /// All registered scopes, in order.
+    pub fn scopes(&self) -> Vec<String> {
+        self.inner.lock().keys().cloned().collect()
+    }
+
+    /// The recorder of one scope.
+    pub fn get(&self, scope: &str) -> Option<FlightRecorder> {
+        self.inner.lock().get(scope).cloned()
+    }
+
+    /// Dump every recorder's ring, ordered by scope.
+    pub fn dump_all(&self) -> Vec<ProcTrace> {
+        self.inner.lock().values().map(|r| r.dump()).collect()
+    }
+
+    /// Dump the rings of every scope starting with `prefix` (e.g.
+    /// `"app1."` for one application's ranks).
+    pub fn dump_prefix(&self, prefix: &str) -> Vec<ProcTrace> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, r)| r.dump())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_util::VirtualTime;
+
+    #[test]
+    fn registers_and_dumps_by_prefix() {
+        let hub = TraceHub::new();
+        for scope in ["app1.r0", "app1.r1", "app2.r0", "n0"] {
+            let r = FlightRecorder::new(scope, 16);
+            r.mark(VirtualTime::from_nanos(1), "hello", scope);
+            hub.register(r);
+        }
+        hub.register(FlightRecorder::disabled()); // no-op
+        assert_eq!(hub.scopes().len(), 4);
+        assert_eq!(hub.dump_prefix("app1.").len(), 2);
+        assert_eq!(hub.dump_all().len(), 4);
+        assert!(hub.get("n0").is_some());
+        assert!(hub.get("n9").is_none());
+    }
+}

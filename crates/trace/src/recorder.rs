@@ -1,0 +1,442 @@
+//! The per-process flight recorder: an always-on, bounded ring of
+//! [`TraceEvent`]s plus the process's Lamport clock.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Cheap when off.** A disabled recorder is a `None` — every record
+//!    call is one branch, no lock, no allocation. The MPI fast path keeps
+//!    its seed-era cost.
+//! 2. **Cheap when on.** One uncontended `parking_lot` mutex acquisition
+//!    per event, no allocation for send/receive events (their fields are
+//!    plain words), ring eviction instead of growth. The measured per-event
+//!    cost is committed in `BENCH_trace.json`.
+//! 3. **Never lossy about being lossy.** When the ring is full the oldest
+//!    event is evicted and `dropped` is incremented; `seq` keeps counting,
+//!    so a dump always says exactly how much history is missing.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use starfish_util::VirtualTime;
+
+use crate::context::TraceCtx;
+use crate::event::{EventKind, TraceEvent};
+
+/// Default ring capacity (events) of recorders created by the cluster.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// One process's dumped ring: what the reassembler and exporters consume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcTrace {
+    /// The recorder's scope (`"app1.r0"`, `"n2"`, `"chaos"`, ...).
+    pub scope: String,
+    /// Events evicted from the ring before this dump.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+struct State {
+    ring: VecDeque<TraceEvent>,
+    /// Next event index (total events ever recorded).
+    seq: u64,
+    /// The process Lamport clock.
+    lamport: u64,
+    /// Causal cursor: the trace/span subsequent sends attach to. Set by
+    /// the latest delivered traced message or an open phase.
+    cur_trace: u64,
+    cur_parent: u64,
+    /// Next span id suffix.
+    span_ctr: u64,
+}
+
+struct Inner {
+    scope: String,
+    /// High bits of every span id minted here (derived from the scope), so
+    /// spans are unique across the recorders of one cluster.
+    span_base: u64,
+    cap: usize,
+    state: Mutex<State>,
+    dropped: AtomicU64,
+}
+
+/// Handle to a flight recorder. Cheap to clone; all clones share the ring.
+#[derive(Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Arc<Inner>>,
+}
+
+/// FNV-1a, the same cheap stable hash the rest of the workspace idiom uses
+/// for deterministic non-cryptographic ids.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl FlightRecorder {
+    /// Create an enabled recorder with the given ring capacity.
+    pub fn new(scope: &str, cap: usize) -> FlightRecorder {
+        FlightRecorder::with_incarnation(scope, cap, 0)
+    }
+
+    /// Like [`FlightRecorder::new`], but salting the span-id namespace with
+    /// an incarnation number. A restarted process re-registers its scope
+    /// (replacing the dead ring), yet surviving peers still hold receive
+    /// events stamped with the old incarnation's span ids; a distinct
+    /// namespace per incarnation keeps the reassembler from pairing those
+    /// stale receives with the new incarnation's sends.
+    pub fn with_incarnation(scope: &str, cap: usize, incarnation: u64) -> FlightRecorder {
+        // Reserve 24 bits for the per-recorder counter; keep the top bit
+        // set so a real span id can never collide with the 0 sentinel.
+        let span_base =
+            (fnv1a(scope).wrapping_add(incarnation.wrapping_mul(0x9e37_79b9_7f4a_7c15)) << 24)
+                | (1 << 63);
+        FlightRecorder {
+            inner: Some(Arc::new(Inner {
+                scope: scope.to_string(),
+                span_base,
+                cap: cap.max(1),
+                state: Mutex::new(State {
+                    ring: VecDeque::new(),
+                    seq: 0,
+                    lamport: 0,
+                    cur_trace: 0,
+                    cur_parent: 0,
+                    span_ctr: 0,
+                }),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A recorder that records nothing (one branch per call).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The recorder's scope; empty for a disabled recorder.
+    pub fn scope(&self) -> &str {
+        self.inner.as_ref().map(|i| i.scope.as_str()).unwrap_or("")
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.dropped.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().ring.len())
+            .unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current Lamport clock value.
+    pub fn lamport(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.state.lock().lamport)
+            .unwrap_or(0)
+    }
+
+    fn push(inner: &Inner, state: &mut State, vt: VirtualTime, kind: EventKind) {
+        state.lamport += 1;
+        let ev = TraceEvent {
+            seq: state.seq,
+            lamport: state.lamport,
+            vt,
+            kind,
+        };
+        state.seq += 1;
+        if state.ring.len() == inner.cap {
+            state.ring.pop_front();
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        state.ring.push_back(ev);
+    }
+
+    /// Record a send and mint the context to stamp on the wire. Returns
+    /// [`TraceCtx::NONE`] when disabled, so callers can pass the result to
+    /// the framing layer unconditionally.
+    pub fn on_send(
+        &self,
+        vt: VirtualTime,
+        peer: u32,
+        context: u32,
+        tag: u64,
+        bytes: usize,
+    ) -> TraceCtx {
+        let Some(inner) = &self.inner else {
+            return TraceCtx::NONE;
+        };
+        let mut s = inner.state.lock();
+        s.span_ctr += 1;
+        let span = inner.span_base | (s.span_ctr & 0xff_ffff);
+        let ctx = TraceCtx {
+            trace: if s.cur_trace != 0 { s.cur_trace } else { span },
+            span,
+            parent: s.cur_parent,
+            // `lamport + 1` is the value the Send event below is stamped
+            // with; the wire carries the same value so the receiver's
+            // `max + 1` lands strictly after it.
+            lamport: s.lamport + 1,
+        };
+        Self::push(
+            inner,
+            &mut s,
+            vt,
+            EventKind::Send {
+                peer,
+                context,
+                tag,
+                bytes: bytes as u32,
+                ctx,
+            },
+        );
+        ctx
+    }
+
+    /// Record a delivered message. Folds the sender's Lamport clock in
+    /// and moves the causal cursor to the sender's span, so work this
+    /// process does next is attributed to the arriving operation.
+    pub fn on_recv(
+        &self,
+        vt: VirtualTime,
+        peer: u32,
+        context: u32,
+        tag: u64,
+        bytes: usize,
+        ctx: TraceCtx,
+    ) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut s = inner.state.lock();
+        if ctx.is_some() {
+            s.lamport = s.lamport.max(ctx.lamport);
+            s.cur_trace = ctx.trace;
+            s.cur_parent = ctx.span;
+        }
+        Self::push(
+            inner,
+            &mut s,
+            vt,
+            EventKind::Recv {
+                peer,
+                context,
+                tag,
+                bytes: bytes as u32,
+                ctx,
+            },
+        );
+    }
+
+    /// Open a named phase; sends recorded until the matching
+    /// [`phase_end`](Self::phase_end) parent to it.
+    pub fn phase_begin(&self, vt: VirtualTime, name: &str) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut s = inner.state.lock();
+        s.span_ctr += 1;
+        let span = inner.span_base | (s.span_ctr & 0xff_ffff);
+        if s.cur_trace == 0 {
+            s.cur_trace = span;
+        }
+        s.cur_parent = span;
+        Self::push(
+            inner,
+            &mut s,
+            vt,
+            EventKind::PhaseBegin {
+                name: name.to_string(),
+            },
+        );
+    }
+
+    /// Close the innermost open phase of `name` and reset the causal
+    /// cursor.
+    pub fn phase_end(&self, vt: VirtualTime, name: &str) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut s = inner.state.lock();
+        s.cur_trace = 0;
+        s.cur_parent = 0;
+        Self::push(
+            inner,
+            &mut s,
+            vt,
+            EventKind::PhaseEnd {
+                name: name.to_string(),
+            },
+        );
+    }
+
+    /// Record a membership view installation.
+    pub fn view_change(&self, vt: VirtualTime, view: u64, members: u32) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut s = inner.state.lock();
+        Self::push(inner, &mut s, vt, EventKind::ViewChange { view, members });
+    }
+
+    /// Record a point annotation.
+    pub fn mark(&self, vt: VirtualTime, name: &str, detail: &str) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut s = inner.state.lock();
+        Self::push(
+            inner,
+            &mut s,
+            vt,
+            EventKind::Mark {
+                name: name.to_string(),
+                detail: detail.to_string(),
+            },
+        );
+    }
+
+    /// Record an injected fault.
+    pub fn fault(&self, vt: VirtualTime, desc: &str) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let mut s = inner.state.lock();
+        Self::push(
+            inner,
+            &mut s,
+            vt,
+            EventKind::Fault {
+                desc: desc.to_string(),
+            },
+        );
+    }
+
+    /// Snapshot the ring (oldest first).
+    pub fn dump(&self) -> ProcTrace {
+        match &self.inner {
+            None => ProcTrace {
+                scope: String::new(),
+                dropped: 0,
+                events: Vec::new(),
+            },
+            Some(inner) => {
+                let s = inner.state.lock();
+                ProcTrace {
+                    scope: inner.scope.clone(),
+                    dropped: inner.dropped.load(Ordering::Relaxed),
+                    events: s.ring.iter().cloned().collect(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(n: u64) -> VirtualTime {
+        VirtualTime::from_nanos(n)
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = FlightRecorder::disabled();
+        assert!(r.on_send(vt(1), 0, 1, 0, 8).is_none());
+        r.on_recv(vt(2), 0, 1, 0, 8, TraceCtx::NONE);
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.dump().events.len(), 0);
+    }
+
+    #[test]
+    fn lamport_is_strictly_monotone_per_recorder() {
+        let r = FlightRecorder::new("app0.r0", 64);
+        r.on_send(vt(1), 1, 1, 7, 8);
+        r.mark(vt(2), "x", "");
+        r.on_recv(vt(3), 1, 1, 7, 8, TraceCtx::NONE);
+        let d = r.dump();
+        for w in d.events.windows(2) {
+            assert!(w[1].lamport > w[0].lamport);
+        }
+    }
+
+    #[test]
+    fn recv_folds_in_the_sender_clock() {
+        let a = FlightRecorder::new("app0.r0", 64);
+        let b = FlightRecorder::new("app0.r1", 64);
+        // Advance a's clock well past b's.
+        for _ in 0..10 {
+            a.mark(vt(1), "tick", "");
+        }
+        let ctx = a.on_send(vt(2), 1, 1, 0, 4);
+        b.on_recv(vt(3), 0, 1, 0, 4, ctx);
+        let recv = b.dump().events.pop().unwrap();
+        assert!(
+            recv.lamport > ctx.lamport,
+            "receive must land strictly after the send ({} vs {})",
+            recv.lamport,
+            ctx.lamport
+        );
+    }
+
+    #[test]
+    fn ring_evicts_and_counts_drops_exactly() {
+        let r = FlightRecorder::new("app0.r0", 8);
+        for i in 0..100 {
+            r.mark(vt(i), "m", "");
+        }
+        let d = r.dump();
+        assert_eq!(d.events.len(), 8);
+        assert_eq!(d.dropped, 92);
+        assert_eq!(r.dropped(), 92);
+        // seq keeps counting across evictions.
+        assert_eq!(d.events.first().unwrap().seq, 92);
+        assert_eq!(d.events.last().unwrap().seq, 99);
+    }
+
+    #[test]
+    fn spans_are_unique_across_scopes() {
+        let a = FlightRecorder::new("app0.r0", 16);
+        let b = FlightRecorder::new("app0.r1", 16);
+        let ca = a.on_send(vt(1), 1, 1, 0, 1);
+        let cb = b.on_send(vt(1), 0, 1, 0, 1);
+        assert_ne!(ca.span, cb.span);
+        assert!(ca.is_some() && cb.is_some());
+    }
+
+    #[test]
+    fn sends_inside_a_phase_parent_to_it() {
+        let r = FlightRecorder::new("app0.r0", 16);
+        let free = r.on_send(vt(1), 1, 1, 0, 1);
+        assert_eq!(free.parent, 0);
+        r.phase_begin(vt(2), "ckpt.round");
+        let inside = r.on_send(vt(3), 1, 1, 0, 1);
+        assert_ne!(inside.parent, 0);
+        assert_eq!(inside.trace, inside.parent);
+        r.phase_end(vt(4), "ckpt.round");
+        let after = r.on_send(vt(5), 1, 1, 0, 1);
+        assert_eq!(after.parent, 0);
+    }
+}
