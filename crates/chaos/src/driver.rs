@@ -126,7 +126,7 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
                 TraceSink::disabled(),
             )
             .expect("bind endpoint");
-            ep.set_reliable(true);
+            ep.set_reliable(!plan.unreliable);
             ep.set_recorder(recorders[r as usize].clone());
             ep
         })
@@ -230,11 +230,15 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
         }
     }
     fabric.clear_all_link_faults();
-    let deadline = Instant::now() + QUIESCE_DEADLINE;
+    // The quiescence deadline is a real-time escape hatch for a hung run,
+    // not part of the virtual-time schedule: a converging run never consults
+    // it, so determinism is unaffected.
+    let deadline = Instant::now() + QUIESCE_DEADLINE; // lint: allow(wall-clock)
     let mut quiet = 0u32;
     report.quiesced = true;
     while quiet < 3 || fabric.queued_packets() > 0 {
-        if Instant::now() > deadline {
+        let overdue = Instant::now() > deadline; // lint: allow(wall-clock)
+        if overdue {
             report.quiesced = false;
             break;
         }

@@ -98,6 +98,12 @@ pub struct FaultPlan {
     pub steps: u32,
     /// Coordinated checkpoint cadence in steps; 0 disables checkpoints.
     pub ckpt_every: u32,
+    /// Run the MPI endpoints with the reliability layer *disabled* (raw
+    /// datagram semantics: drops are permanent, dups are delivered). Used by
+    /// the `verify` crate's model-checker bridge to demonstrate, on the real
+    /// driver, the exactly-once violations the checker derives for the
+    /// flow-control-free protocol.
+    pub unreliable: bool,
     /// Per-link packet faults, armed before the first step.
     pub faults: Vec<LinkFaultSpec>,
     /// Timed events, fired when the driver reaches `step` (plan order
@@ -196,6 +202,7 @@ impl FaultPlan {
             ranks,
             steps,
             ckpt_every,
+            unreliable: false,
             faults,
             events,
         }
@@ -222,6 +229,7 @@ impl FaultPlan {
             ranks: 0,
             steps: 0,
             ckpt_every: 0,
+            unreliable: false,
             faults: Vec::new(),
             events: Vec::new(),
         };
@@ -244,6 +252,7 @@ impl FaultPlan {
                 "ranks" => plan.ranks = scalar(&rest)? as u32,
                 "steps" => plan.steps = scalar(&rest)? as u32,
                 "ckpt-every" => plan.ckpt_every = scalar(&rest)? as u32,
+                "unreliable" => plan.unreliable = true,
                 "fault" => plan.faults.push(parse_fault(line, &rest)?),
                 k if k.starts_with('@') => {
                     let step: u32 = k[1..].parse().map_err(|e| format!("{line}: {e}"))?;
@@ -338,6 +347,9 @@ impl fmt::Display for FaultPlan {
         writeln!(f, "ranks {}", self.ranks)?;
         writeln!(f, "steps {}", self.steps)?;
         writeln!(f, "ckpt-every {}", self.ckpt_every)?;
+        if self.unreliable {
+            writeln!(f, "unreliable")?;
+        }
         for s in &self.faults {
             writeln!(
                 f,
@@ -392,6 +404,17 @@ mod tests {
         assert!(FaultPlan::parse("starfish-fault-plan v2\nseed 1").is_err());
         assert!(FaultPlan::parse("starfish-fault-plan v1\nwat 3").is_err());
         assert!(FaultPlan::parse("starfish-fault-plan v1\nseed 1").is_err()); // no shape
+    }
+
+    #[test]
+    fn unreliable_directive_roundtrips() {
+        let text = "starfish-fault-plan v1\nseed 1\nnodes 2\nranks 2\nsteps 6\nckpt-every 0\nunreliable\nfault 0->1 seed=1 drop=1 dup=0 delay=0us@0 reorder=0\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert!(plan.unreliable);
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+        // Absent directive defaults to the reliable endpoint configuration.
+        assert!(!FaultPlan::generate(3).unreliable);
     }
 
     #[test]

@@ -127,6 +127,26 @@ impl Decode for CrMsg {
     }
 }
 
+/// A single input to a C/R protocol engine — the uniform event type of the
+/// `step(state, event) → actions` transition interface that the `verify`
+/// crate's model checker drives. The runtime's named entry points (`start`,
+/// `on_msg`, `on_flush_mark`, `on_marker`, `on_saved`) are equivalent to
+/// feeding the corresponding event through `step`, so model-checked
+/// behavior is exactly deployed behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrEvent {
+    /// The coordinator/initiator kicks off round `index`.
+    Start { index: u64 },
+    /// A C/R control message arrived through the daemons.
+    Msg { from: Rank, msg: CrMsg },
+    /// A stop-and-sync flush mark arrived on the data path from `from`.
+    FlushMark { from: Rank, index: u64 },
+    /// A Chandy–Lamport marker arrived on the data path from `from`.
+    Marker { from: Rank, index: u64 },
+    /// The local image for round `index` reached stable storage.
+    SavedLocal { index: u64 },
+}
+
 /// Instructions from a protocol engine to its hosting runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CrEffect {

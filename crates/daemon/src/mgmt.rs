@@ -27,6 +27,54 @@ use crate::msg::CfgCmd;
 /// Default administrator password; override with `SET admin_password <pw>`.
 pub const DEFAULT_ADMIN_PASSWORD: &str = "starfish";
 
+/// One usage line per command, served by `HELP`. `starfish-lint` checks
+/// this table against the dispatch below in both directions: every command
+/// arm must have an entry, every entry must have an arm.
+pub const COMMAND_USAGE: &[(&str, &str)] = &[
+    ("HELP", "HELP — list commands"),
+    ("LOGIN", "LOGIN ADMIN <password> | LOGIN USER <name>"),
+    ("LOGOUT", "LOGOUT — end the session"),
+    (
+        "ADDNODE",
+        "ADDNODE <id> [arch] — admin: add a node to the cluster",
+    ),
+    ("REMOVENODE", "REMOVENODE <id> — admin: remove a node"),
+    (
+        "DISABLE",
+        "DISABLE <id> — admin: stop scheduling onto a node",
+    ),
+    (
+        "ENABLE",
+        "ENABLE <id> — admin: resume scheduling onto a node",
+    ),
+    ("SET", "SET <key> <value> — admin: set a cluster parameter"),
+    (
+        "SUBMIT",
+        "SUBMIT <name> <size> [POLICY restart|view|kill] [LEVEL native|vm] [PROTO sync|cl|indep]",
+    ),
+    ("SUSPEND", "SUSPEND <app> — pause an application you own"),
+    ("RESUME", "RESUME <app> — resume a suspended application"),
+    ("DELETE", "DELETE <app> — remove an application"),
+    (
+        "CHECKPOINT",
+        "CHECKPOINT <app> — trigger a coordinated checkpoint",
+    ),
+    (
+        "MIGRATE",
+        "MIGRATE <app> <rank> <node> — admin: move a rank (cold)",
+    ),
+    ("NODES", "NODES — list nodes and their status"),
+    ("STATS", "STATS — merged cluster telemetry counters"),
+    ("HEALTH", "HEALTH — node status plus key health metrics"),
+    ("TIMELINE", "TIMELINE <app> — per-rank event timeline"),
+    (
+        "TRACE",
+        "TRACE SCOPES | TRACE DUMP [scope] | TRACE TAIL <n> [scope] | TRACE PATH <app>",
+    ),
+    ("APPS", "APPS — list applications (alias: STATUS)"),
+    ("STATUS", "STATUS — list applications (alias: APPS)"),
+];
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Role {
     Admin,
@@ -491,6 +539,15 @@ impl MgmtSession {
                 }
                 Ok(out)
             }
+            "HELP" => {
+                // No login gate: a client must be able to discover LOGIN.
+                let mut out = String::from("OK commands");
+                for (_, usage) in COMMAND_USAGE {
+                    out.push('\n');
+                    out.push_str(usage);
+                }
+                Ok(out)
+            }
             other => Err(format!("ERR unknown command {other:?}")),
         }
     }
@@ -519,6 +576,25 @@ mod tests {
         d.wait_config(Duration::from_secs(5), |c| c.up_nodes().len() == 1)
             .unwrap();
         d
+    }
+
+    #[test]
+    fn help_lists_every_command_without_login() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d, 9);
+        let out = s.handle_line("HELP");
+        assert!(out.starts_with("OK commands"), "{out}");
+        for (cmd, usage) in COMMAND_USAGE {
+            assert!(out.contains(usage), "HELP missing {cmd}: {out}");
+        }
+        // And every advertised command really dispatches (no ERR unknown).
+        for (cmd, _) in COMMAND_USAGE {
+            let resp = s.handle_line(cmd);
+            assert!(
+                !resp.contains("unknown command"),
+                "{cmd} advertised but unhandled: {resp}"
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ use starfish_util::trace::{ActorKind, MsgClass, TraceSink};
 use starfish_util::{Error, NodeId, Result, VClock, ViewId, VirtualTime};
 use starfish_vni::{Addr, Fabric, FabricEvent, Packet, PacketKind, Port, PortId};
 
+use crate::core::{encode_proposal, proposal_view, proposed_members, ChangeState, DeliveryState};
 use crate::msg::{GcMsg, SeqEntry};
 use crate::view::View;
 
@@ -184,9 +185,7 @@ impl Endpoint {
             shared_view: shared_view.clone(),
             view: None,
             contact,
-            next_deliver_seq: 1,
-            delivered_log: Vec::new(),
-            pending_oos: BTreeMap::new(),
+            delivery: DeliveryState::new(),
             next_seq: 1,
             held_casts: Vec::new(),
             held_local: Vec::new(),
@@ -199,7 +198,7 @@ impl Endpoint {
             leaving: false,
             dead: false,
             last_seen: BTreeMap::new(),
-            last_beacon: std::time::Instant::now(),
+            last_beacon: std::time::Instant::now(), // lint: allow(wall-clock)
             change_started: None,
         };
         std::thread::Builder::new()
@@ -254,10 +253,10 @@ impl Endpoint {
     /// members is installed, returning it (events consumed in the process
     /// are NOT replayed; use only when driving the endpoint directly).
     pub fn wait_for_view_size(&self, size: usize, timeout: Duration) -> Result<View> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = std::time::Instant::now() + timeout; // lint: allow(wall-clock)
         loop {
             let remain = deadline
-                .checked_duration_since(std::time::Instant::now())
+                .checked_duration_since(std::time::Instant::now()) // lint: allow(wall-clock)
                 .ok_or_else(|| Error::timeout("wait_for_view_size"))?;
             match self.events_rx.recv_timeout(remain) {
                 Ok(GcEvent::View { view, .. }) if view.size() == size => return Ok(view),
@@ -283,13 +282,6 @@ impl Drop for Endpoint {
 // The protocol stack proper (runs on its own thread).
 // ---------------------------------------------------------------------------
 
-struct ChangeState {
-    proposal: u64,
-    new_members: Vec<NodeId>,
-    waiting: BTreeSet<NodeId>,
-    collected: BTreeMap<u64, SeqEntry>,
-}
-
 struct Stack {
     node: NodeId,
     fabric: Fabric,
@@ -304,10 +296,8 @@ struct Stack {
     /// Join contact (Some while still joining via a contact).
     contact: Option<NodeId>,
 
-    // member role
-    next_deliver_seq: u64,
-    delivered_log: Vec<SeqEntry>,
-    pending_oos: BTreeMap<u64, SeqEntry>,
+    // member role: the pure totally-ordered delivery machine
+    delivery: DeliveryState,
 
     // coordinator role
     next_seq: u64,
@@ -358,7 +348,7 @@ impl Stack {
                 let _ = self.send_gc(contact, &GcMsg::JoinReq { node: self.node });
             }
         }
-        let mut last_join_retry = std::time::Instant::now();
+        let mut last_join_retry = std::time::Instant::now(); // lint: allow(wall-clock)
         loop {
             crossbeam::channel::select! {
                 recv(self.port.receiver()) -> pkt => {
@@ -413,7 +403,7 @@ impl Stack {
             if self.view.is_none() {
                 if let Some(contact) = self.contact {
                     if last_join_retry.elapsed() >= JOIN_RETRY {
-                        last_join_retry = std::time::Instant::now();
+                        last_join_retry = std::time::Instant::now(); // lint: allow(wall-clock)
                         let _ = self.send_gc(contact, &GcMsg::JoinReq { node: self.node });
                     }
                 }
@@ -502,7 +492,7 @@ impl Stack {
                     || self.pending_joins.contains(node)
         );
         self.last_seen
-            .insert(pkt.src.node, std::time::Instant::now());
+            .insert(pkt.src.node, std::time::Instant::now()); // lint: allow(wall-clock)
         if matches!(msg, GcMsg::Heartbeat { .. }) {
             // Pure liveness beacon: refreshing `last_seen` is its whole job.
             // No virtual cost: beacons are a real-time artifact of the
@@ -659,15 +649,15 @@ impl Stack {
             payload,
             ctx,
         };
-        self.pending_oos.insert(seq, entry);
-        while let Some(e) = self.pending_oos.remove(&self.next_deliver_seq) {
-            self.deliver_cast(view.id, e);
+        for e in self.delivery.on_seq_cast(entry) {
+            self.emit_delivered(view.id, e);
         }
         LoopCtl::Continue
     }
 
-    fn deliver_cast(&mut self, vid: ViewId, e: SeqEntry) {
-        debug_assert_eq!(e.seq, self.next_deliver_seq);
+    /// Side effects of one delivery the pure [`DeliveryState`] decided on:
+    /// metrics, the flight-recorder receive, and the owner-visible event.
+    fn emit_delivered(&mut self, vid: ViewId, e: SeqEntry) {
         if let Some(m) = &self.cfg.metrics {
             m.inc(metric::ENSEMBLE_CASTS);
         }
@@ -679,8 +669,6 @@ impl Stack {
             e.payload.len(),
             e.ctx,
         );
-        self.next_deliver_seq += 1;
-        self.delivered_log.push(e.clone());
         self.emit(GcEvent::Cast {
             from: e.origin,
             seq: e.seq,
@@ -705,20 +693,14 @@ impl Stack {
             return;
         }
         let view = self.view.clone().expect("coordinator has a view");
-        let mut new_members: BTreeSet<NodeId> = view.members.iter().copied().collect();
-        for s in &self.suspects {
-            new_members.remove(s);
-        }
-        for l in &self.pending_leaves {
-            new_members.remove(l);
-        }
-        if self.leaving {
-            new_members.remove(&self.node);
-        }
-        for j in &self.pending_joins {
-            new_members.insert(*j);
-        }
-        let new_members: Vec<NodeId> = new_members.into_iter().collect();
+        let new_members = proposed_members(
+            &view.members,
+            &self.suspects,
+            &self.pending_leaves,
+            &self.pending_joins,
+            self.node,
+            self.leaving,
+        );
         self.dbg(&format!("start_change new_members={new_members:?}"));
         if new_members.is_empty() {
             // Group dissolves (this coordinator was the last member and is
@@ -730,7 +712,7 @@ impl Stack {
             return;
         }
         self.proposal_counter += 1;
-        let proposal = (view.id.0 << 16) | self.proposal_counter;
+        let proposal = encode_proposal(view.id.0, self.proposal_counter);
         // Everyone still alive in the current view must flush, including us.
         let waiting: BTreeSet<NodeId> = view
             .members
@@ -738,21 +720,12 @@ impl Stack {
             .copied()
             .filter(|m| !self.suspects.contains(m) && *m != self.node)
             .collect();
-        let mut collected = BTreeMap::new();
-        for e in &self.delivered_log {
-            collected.insert(e.seq, e.clone());
-        }
-        let change = ChangeState {
-            proposal,
-            new_members: new_members.clone(),
-            waiting,
-            collected,
-        };
+        let change = ChangeState::new(proposal, new_members.clone(), waiting, self.delivery.log());
         let req = GcMsg::FlushReq {
             proposal,
             new_members,
         };
-        let targets: Vec<NodeId> = change.waiting.iter().copied().collect();
+        let targets: Vec<NodeId> = change.waiting().iter().copied().collect();
         self.change_started = Some(self.clock.now());
         self.change = Some(change);
         let mut failed = Vec::new();
@@ -764,8 +737,7 @@ impl Stack {
         for m in failed {
             self.suspects.insert(m);
             if let Some(ch) = self.change.as_mut() {
-                ch.waiting.remove(&m);
-                ch.new_members.retain(|x| *x != m);
+                ch.drop_member(m);
             }
         }
         self.maybe_finish_change();
@@ -776,14 +748,14 @@ impl Stack {
         // any other view is stale (e.g. from a coordinator that crashed
         // before completing it) and must not re-block delivery.
         match &self.view {
-            Some(v) if proposal >> 16 == v.id.0 => {}
+            Some(v) if proposal_view(proposal) == v.id.0 => {}
             _ => return LoopCtl::Continue,
         }
         self.flushing = true;
         let ok = GcMsg::FlushOk {
             proposal,
             node: self.node,
-            delivered: self.delivered_log.clone(),
+            delivered: self.delivery.log().to_vec(),
         };
         let _ = self.send_gc(from, &ok);
         LoopCtl::Continue
@@ -793,13 +765,10 @@ impl Stack {
         let Some(ch) = self.change.as_mut() else {
             return LoopCtl::Continue;
         };
-        if ch.proposal != proposal {
+        if ch.proposal() != proposal {
             return LoopCtl::Continue; // stale
         }
-        ch.waiting.remove(&node);
-        for e in delivered {
-            ch.collected.insert(e.seq, e);
-        }
+        ch.on_flush_ok(node, delivered);
         self.maybe_finish_change();
         LoopCtl::Continue
     }
@@ -808,16 +777,13 @@ impl Stack {
         if self.dead {
             return;
         }
-        let done = self
-            .change
-            .as_ref()
-            .map(|c| c.waiting.is_empty())
-            .unwrap_or(false);
+        let done = self.change.as_ref().map(|c| c.is_done()).unwrap_or(false);
         if !done {
             return;
         }
         let ch = self.change.take().expect("checked above");
-        if ch.new_members.is_empty() {
+        let (new_members, backfill) = ch.into_outcome();
+        if new_members.is_empty() {
             // Every prospective member is gone: the group dissolves here.
             self.emit(GcEvent::Left);
             *self.shared_view.lock() = None;
@@ -826,8 +792,7 @@ impl Stack {
             return;
         }
         let old_view = self.view.clone().expect("coordinator has a view");
-        let new_view = View::new(ViewId(old_view.id.0 + 1), ch.new_members.clone());
-        let backfill: Vec<SeqEntry> = ch.collected.into_values().collect();
+        let new_view = View::new(ViewId(old_view.id.0 + 1), new_members);
         // Send to everyone involved: survivors learn the new view, leavers
         // learn they are out.
         let mut targets: BTreeSet<NodeId> = new_view.members.iter().copied().collect();
@@ -867,13 +832,10 @@ impl Stack {
             .unwrap_or(false);
         if was_member {
             let old_vid = self.view.as_ref().map(|v| v.id).expect("was_member");
-            for e in backfill {
-                if e.seq >= self.next_deliver_seq {
-                    // Deliver gap-free: the union is gap-free by construction
-                    // (a sequencer assigned 1..k).
-                    self.next_deliver_seq = e.seq;
-                    self.deliver_cast(old_vid, e);
-                }
+            // Deliver gap-free: the union is gap-free by construction (a
+            // sequencer assigned 1..k); already-delivered entries are skipped.
+            for e in self.delivery.apply_backfill(backfill) {
+                self.emit_delivered(old_vid, e);
             }
         }
         let includes_me = view.contains(self.node);
@@ -896,10 +858,8 @@ impl Stack {
         self.cfg
             .recorder
             .view_change(self.clock.now(), view.id.0, view.size() as u32);
-        self.next_deliver_seq = 1;
+        self.delivery.reset();
         self.next_seq = 1;
-        self.delivered_log.clear();
-        self.pending_oos.clear();
         self.flushing = false;
         self.contact = None;
         self.suspects.retain(|s| view.contains(*s));
@@ -1023,7 +983,7 @@ impl Stack {
         let Some(view) = self.view.clone() else {
             return;
         };
-        let now = std::time::Instant::now();
+        let now = std::time::Instant::now(); // lint: allow(wall-clock)
         if now.duration_since(self.last_beacon) >= hb.interval {
             self.last_beacon = now;
             let skipped = match (&mut self.chaos_rng, self.cfg.chaos) {
@@ -1096,8 +1056,7 @@ impl Stack {
             Some(c) if c == self.node => {
                 // Remove the crashed node from any in-progress change.
                 if let Some(ch) = self.change.as_mut() {
-                    ch.waiting.remove(&crashed);
-                    ch.new_members.retain(|m| *m != crashed);
+                    ch.drop_member(crashed);
                     self.maybe_finish_change();
                 } else {
                     self.maybe_start_change();
@@ -1114,8 +1073,7 @@ impl Stack {
                 // with a pending change that now lacks the crashed member,
                 // update it.
                 if let Some(ch) = self.change.as_mut() {
-                    ch.waiting.remove(&crashed);
-                    ch.new_members.retain(|m| *m != crashed);
+                    ch.drop_member(crashed);
                     self.maybe_finish_change();
                 }
             }

@@ -39,6 +39,7 @@
 //! * Point-to-point sends ([`Endpoint::send_to`]) are FIFO per sender and
 //!   reliable while both endpoints stay up.
 
+pub mod core;
 pub mod endpoint;
 pub mod msg;
 pub mod view;

@@ -13,7 +13,7 @@
 //! channel state of a checkpoint (all unconsumed data messages) is captured
 //! and restored here.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,6 +27,7 @@ use starfish_util::{AppId, Epoch, Error, Rank, Result, VClock, VirtualTime};
 use starfish_vni::{Addr, Fabric, LayerCosts, Packet, PacketKind, PollingThread, Port, RecvQueue};
 
 use crate::directory::RankDirectory;
+use crate::reliability::{FlowRx, FlowTx, RxVerdict};
 use crate::wire::{data_port, MsgHeader, RelMsg, CTRL_CONTEXT};
 
 /// Wildcard source for receives (`MPI_ANY_SOURCE`).
@@ -46,42 +47,17 @@ pub const REL_WINDOW: usize = 1024;
 /// sender's flow with a [`RelMsg::Ping`] (recovers dropped packets).
 pub const REL_PING_INTERVAL: Duration = Duration::from_millis(25);
 
-/// Sender-side state of one reliable flow (this endpoint → one peer).
-struct OutFlow {
-    /// Next sequence number to assign (sequences start at 1; 0 = unmanaged).
-    next_seq: u64,
-    /// Sent messages retained for retransmission:
-    /// `(seq, framed payload, model_len, original depart vt, tag)`.
-    buf: VecDeque<(u64, Bytes, usize, VirtualTime, u64)>,
-}
+/// Sender-side record retained per reliable message for retransmission:
+/// `(framed payload, model_len, original depart vt, tag)`.
+type SentRecord = (Bytes, usize, VirtualTime, u64);
 
-impl Default for OutFlow {
-    fn default() -> Self {
-        OutFlow {
-            next_seq: 1,
-            buf: VecDeque::new(),
-        }
-    }
-}
+/// Sender-side state of one reliable flow (this endpoint → one peer).
+type OutFlow = FlowTx<SentRecord>;
 
 /// Receiver-side state of one reliable flow (one peer incarnation → this
-/// endpoint), keyed by `(source rank, source epoch)`.
-struct InFlow {
-    /// Lowest sequence number not yet delivered.
-    next: u64,
-    /// Out-of-order arrivals parked until the gap below them fills (with
-    /// the trace context each carried, so delivery records it).
-    parked: BTreeMap<u64, (MsgHeader, Bytes, VirtualTime, TraceCtx)>,
-}
-
-impl Default for InFlow {
-    fn default() -> Self {
-        InFlow {
-            next: 1,
-            parked: BTreeMap::new(),
-        }
-    }
-}
+/// endpoint), keyed by `(source rank, source epoch)`. Parked entries keep
+/// the trace context each carried, so delivery records it.
+type InFlow = FlowRx<(MsgHeader, Bytes, VirtualTime, TraceCtx)>;
 
 /// A received, matched message.
 #[derive(Debug, Clone)]
@@ -351,7 +327,7 @@ impl MpiEndpoint {
         // succeeds: a failed attempt must not leave a permanent gap the
         // receiver would wait on forever.
         let seq = if self.reliable && context != CTRL_CONTEXT {
-            self.out_flows.entry(dst).or_default().next_seq
+            self.out_flows.entry(dst).or_default().peek_seq()
         } else {
             0
         };
@@ -366,11 +342,7 @@ impl MpiEndpoint {
         let (framed, depart) = self.raw_send(clock, dst, header, data)?;
         if seq != 0 {
             let flow = self.out_flows.get_mut(&dst).expect("flow created above");
-            flow.next_seq += 1;
-            flow.buf.push_back((seq, framed, data.len(), depart, tag));
-            if flow.buf.len() > REL_WINDOW {
-                flow.buf.pop_front();
-            }
+            flow.commit(seq, (framed, data.len(), depart, tag));
         }
         Ok(())
     }
@@ -545,44 +517,37 @@ impl MpiEndpoint {
             return Ok(true);
         }
         // Reliable flow: deliver in sequence order, discard duplicates, park
-        // early arrivals and report the gap below them.
-        let flow = self.in_flows.entry((header.src, header.epoch)).or_default();
-        if header.seq < flow.next || flow.parked.contains_key(&header.seq) {
-            if let Some(m) = &self.metrics {
-                m.inc(metric::MPI_DUP_DISCARDS);
-            }
-            return Ok(true);
-        }
-        if header.seq > flow.next {
-            let missing: Vec<u64> = (flow.next..header.seq)
-                .filter(|s| !flow.parked.contains_key(s))
-                .take(64)
-                .collect();
-            flow.parked.insert(header.seq, (header, body, arrive, ctx));
-            if !missing.is_empty() {
-                let _ = self.send_rel(
-                    clock,
-                    header.src,
-                    RelMsg::Nack {
-                        from: self.rank,
-                        epoch: header.epoch,
-                        seqs: missing,
-                    },
-                );
+        // early arrivals and report the gap below them. The sequencing
+        // decision itself is the pure `FlowRx` machine.
+        let (src, epoch, seq) = (header.src, header.epoch, header.seq);
+        let flow = self.in_flows.entry((src, epoch)).or_default();
+        match flow.on_data(seq, (header, body, arrive, ctx)) {
+            RxVerdict::Duplicate => {
                 if let Some(m) = &self.metrics {
-                    m.inc(metric::MPI_NACKS);
+                    m.inc(metric::MPI_DUP_DISCARDS);
                 }
             }
-            return Ok(true);
-        }
-        flow.next += 1;
-        let mut ready = vec![(header, body, arrive, ctx)];
-        while let Some(entry) = flow.parked.remove(&flow.next) {
-            flow.next += 1;
-            ready.push(entry);
-        }
-        for (h, b, at, c) in ready {
-            self.enqueue_parsed(h, b, at, c);
+            RxVerdict::Parked { nack } => {
+                if !nack.is_empty() {
+                    let _ = self.send_rel(
+                        clock,
+                        src,
+                        RelMsg::Nack {
+                            from: self.rank,
+                            epoch,
+                            seqs: nack,
+                        },
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.inc(metric::MPI_NACKS);
+                    }
+                }
+            }
+            RxVerdict::Deliver(ready) => {
+                for (h, b, at, c) in ready {
+                    self.enqueue_parsed(h, b, at, c);
+                }
+            }
         }
         Ok(true)
     }
@@ -644,10 +609,7 @@ impl MpiEndpoint {
                 }
                 // Everything below `next` is delivered: a cumulative ack.
                 let resend: Vec<u64> = match self.out_flows.get_mut(&from) {
-                    Some(flow) => {
-                        flow.buf.retain(|(s, ..)| *s >= next);
-                        flow.buf.iter().map(|(s, ..)| *s).collect()
-                    }
+                    Some(flow) => flow.on_ping(next),
                     None => Vec::new(),
                 };
                 self.retransmit(from, &resend);
@@ -661,10 +623,7 @@ impl MpiEndpoint {
                     return;
                 }
                 let flow = self.in_flows.entry((from, epoch)).or_default();
-                let missing: Vec<u64> = (flow.next..=highest)
-                    .filter(|s| !flow.parked.contains_key(s))
-                    .take(64)
-                    .collect();
+                let missing = flow.missing_upto(highest);
                 if !missing.is_empty() {
                     let _ = self.send_rel(
                         clock,
@@ -695,19 +654,17 @@ impl MpiEndpoint {
             return;
         };
         let mut resends = Vec::new();
-        for (s, framed, model_len, depart, tag) in flow.buf.iter() {
-            if seqs.contains(s) {
-                let mut pkt = Packet::new(
-                    Addr::new(src_node, data_port(self.app, self.rank)),
-                    Addr::new(dst_node, data_port(self.app, dst)),
-                    PacketKind::Data,
-                    *tag,
-                    framed.clone(),
-                );
-                pkt.model_len = *model_len;
-                pkt.depart_vt = *depart;
-                resends.push(pkt);
-            }
+        for (_seq, (framed, model_len, depart, tag)) in flow.select(seqs) {
+            let mut pkt = Packet::new(
+                Addr::new(src_node, data_port(self.app, self.rank)),
+                Addr::new(dst_node, data_port(self.app, dst)),
+                PacketKind::Data,
+                *tag,
+                framed.clone(),
+            );
+            pkt.model_len = *model_len;
+            pkt.depart_vt = *depart;
+            resends.push(pkt);
         }
         for pkt in resends {
             if self.fabric.send(pkt).is_ok() {
@@ -725,8 +682,7 @@ impl MpiEndpoint {
         let flows: Vec<(Rank, u64)> = self
             .out_flows
             .iter()
-            .filter(|(_, f)| f.next_seq > 1)
-            .map(|(dst, f)| (*dst, f.next_seq - 1))
+            .filter_map(|(dst, f)| f.highest().map(|h| (*dst, h)))
             .collect();
         for (dst, highest) in flows {
             let _ = self.send_rel(
@@ -776,12 +732,12 @@ impl MpiEndpoint {
         tag: Option<u64>,
         timeout: Duration,
     ) -> Result<RecvdMsg> {
-        let deadline = std::time::Instant::now() + timeout;
-        // A blocked receive from a concrete source probes that sender's
-        // reliable flow: if a drop fault ate the message, the Ping's
-        // cumulative position triggers a retransmission.
+        let deadline = std::time::Instant::now() + timeout; // lint: allow(wall-clock)
+                                                            // A blocked receive from a concrete source probes that sender's
+                                                            // reliable flow: if a drop fault ate the message, the Ping's
+                                                            // cumulative position triggers a retransmission.
         let probe = self.reliable && context != CTRL_CONTEXT;
-        let mut next_ping = std::time::Instant::now() + REL_PING_INTERVAL;
+        let mut next_ping = std::time::Instant::now() + REL_PING_INTERVAL; // lint: allow(wall-clock)
         loop {
             self.check_abort()?;
             if let Some((h, body, arrive)) = self.take_unexpected(context, src, tag) {
@@ -798,12 +754,13 @@ impl MpiEndpoint {
             }
             if probe {
                 if let Some(peer) = src {
-                    if std::time::Instant::now() >= next_ping {
-                        next_ping = std::time::Instant::now() + REL_PING_INTERVAL;
+                    let ping_due = std::time::Instant::now() >= next_ping; // lint: allow(wall-clock)
+                    if ping_due {
+                        next_ping = std::time::Instant::now() + REL_PING_INTERVAL; // lint: allow(wall-clock)
                         let next = self
                             .in_flows
                             .get(&(peer, self.epoch))
-                            .map(|f| f.next)
+                            .map(|f| f.next_expected())
                             .unwrap_or(1);
                         let _ = self.send_rel(
                             clock,
@@ -823,7 +780,7 @@ impl MpiEndpoint {
                 Duration::from_millis(100)
             };
             let remain = deadline
-                .checked_duration_since(std::time::Instant::now())
+                .checked_duration_since(std::time::Instant::now()) // lint: allow(wall-clock)
                 .ok_or_else(|| Error::timeout(format!("recv on {} ctx {}", self.rank, context)))?;
             self.ingest_one(clock, Some(remain.min(slice)))?;
         }
@@ -931,7 +888,7 @@ impl MpiEndpoint {
         clock: &mut VClock,
         timeout: Duration,
     ) -> Result<Vec<(Rank, Bytes, VirtualTime)>> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = std::time::Instant::now() + timeout; // lint: allow(wall-clock)
         loop {
             self.check_abort()?;
             let marks = self.pump_ctrl(clock);
@@ -939,7 +896,7 @@ impl MpiEndpoint {
                 return Ok(marks);
             }
             let remain = deadline
-                .checked_duration_since(std::time::Instant::now())
+                .checked_duration_since(std::time::Instant::now()) // lint: allow(wall-clock)
                 .ok_or_else(|| Error::timeout("wait_ctrl"))?;
             self.ingest_one(clock, Some(remain.min(Duration::from_millis(100))))?;
         }

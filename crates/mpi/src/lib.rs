@@ -17,7 +17,9 @@
 //!   send/recv/isend/irecv/wait/probe, channel-state capture for C/R, and
 //!   the C/R data-path marks (flush marks, Chandy–Lamport markers);
 //! * [`collectives`] — barrier, bcast, reduce, allreduce, gather, scatter,
-//!   allgather, alltoall, scan over point-to-point.
+//!   allgather, alltoall, scan over point-to-point;
+//! * [`reliability`] — the pure per-flow sequencing state machines of the
+//!   reliable channel (shared with the `verify` crate's model checker).
 //!
 //! ## Starfish API notes (paper §1)
 //!
@@ -31,6 +33,7 @@ pub mod collectives;
 pub mod comm;
 pub mod directory;
 pub mod endpoint;
+pub mod reliability;
 pub mod wire;
 
 pub use collectives::ReduceOp;

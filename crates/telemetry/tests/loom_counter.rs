@@ -1,0 +1,61 @@
+//! Concurrency model tests for the sharded [`Counter`] and [`Gauge`].
+//!
+//! Same contract as `trace/tests/loom_recorder.rs`: written against the
+//! `loom` API so CI images with the real crate explore interleavings
+//! exhaustively; the offline stand-in runs a many-schedule stress loop.
+//! Assertions are interleaving-universal: a sharded counter must never
+//! lose an increment (each shard is an independent atomic; the only way to
+//! drop one is a torn read-modify-write, which `fetch_add` excludes), and
+//! a quiesced read must be exact, not approximate.
+
+use loom::sync::Arc;
+use loom::thread;
+use starfish_telemetry::{Counter, Gauge};
+
+const THREADS: usize = 4;
+const PER_THREAD: u64 = 25;
+
+#[test]
+fn concurrent_adds_are_never_lost() {
+    loom::model(|| {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        c.inc();
+                        thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    });
+}
+
+#[test]
+fn gauge_deltas_balance_out() {
+    loom::model(|| {
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        g.add(3);
+                        g.add(-3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every +3 paired with a −3: any lost or doubled delta shows here.
+        assert_eq!(g.get(), 0);
+    });
+}

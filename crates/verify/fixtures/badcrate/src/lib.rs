@@ -1,0 +1,33 @@
+//! Seeded lint-violation fixture. This crate is NOT a workspace member and
+//! is never compiled; it exists so CI can prove `starfish-lint` actually
+//! fails on violations (`cargo run -p verify --bin starfish-lint -- \
+//! crates/verify/fixtures/badcrate` must exit 1).
+
+use std::time::Instant;
+
+/// Violation 1 (wall-clock): bare `Instant::now` in non-test code with no
+/// `lint: allow` marker.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub trait Encode {}
+pub trait Decode {}
+
+/// A wire enum with a codec impl pair…
+pub enum BadWire {
+    Ping,
+    /// Violation 2 (wire-enum-coverage): no test ever mentions this.
+    Orphan,
+}
+
+impl Encode for BadWire {}
+impl Decode for BadWire {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_ping_only() {
+        let _ = "Ping";
+    }
+}

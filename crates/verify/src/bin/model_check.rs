@@ -1,0 +1,139 @@
+//! Exhaustive model-check driver: runs every configuration from
+//! VERIFICATION.md, prints state-space sizes and wall times, and — on a
+//! violation — writes the counterexample as a `FaultPlan` to
+//! `target/model-check/` (uploaded as a CI artifact) before exiting 1.
+//!
+//! Wall-clock use is fine here: `verify` is tooling, not one of the
+//! virtual-time-deterministic crates `starfish-lint` polices.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use verify::counterexample;
+use verify::explorer::{explore, Model, Options, Report};
+use verify::models::chandy::ChandyModel;
+use verify::models::membership::MembershipModel;
+use verify::models::reliability::ReliabilityModel;
+use verify::models::stop_sync::StopSyncModel;
+
+fn run<M: Model>(name: &str, nodes: u32, ranks: u32, m: &M, failed: &mut bool) -> Report {
+    let t0 = Instant::now();
+    let r = explore(m, Options::default());
+    let dt = t0.elapsed();
+    println!(
+        "{name:<44} states {:>8}  transitions {:>9}  depth {:>3}  accepting {:>7}  {:>8.2?}{}",
+        r.states,
+        r.transitions,
+        r.max_depth,
+        r.accepting,
+        dt,
+        if r.complete { "" } else { "  (TRUNCATED)" },
+    );
+    if let Some(v) = &r.violation {
+        *failed = true;
+        println!("  VIOLATION [{:?}] {}", v.kind, v.message);
+        for (i, a) in v.trace.iter().enumerate() {
+            println!("    {i:>3}. {a}");
+        }
+        let plan = counterexample::render_plan_commented(name, v, nodes, ranks);
+        counterexample::assert_parses(&plan);
+        let dir = Path::new("target/model-check");
+        let _ = fs::create_dir_all(dir);
+        let file = dir.join(format!("{}.plan", name.replace(' ', "-")));
+        if fs::write(&file, &plan).is_ok() {
+            println!("  counterexample plan written to {}", file.display());
+        }
+    }
+    r
+}
+
+fn main() -> ExitCode {
+    let mut failed = false;
+
+    println!("== checkpoint: stop-and-sync ==");
+    for (ranks, crashes, rounds) in [(2, 0, 3), (3, 1, 2), (4, 1, 1), (3, 2, 2)] {
+        run(
+            &format!("stop-sync ranks={ranks} crashes={crashes} rounds={rounds}"),
+            ranks,
+            ranks,
+            &StopSyncModel {
+                ranks,
+                crashes,
+                rounds,
+            },
+            &mut failed,
+        );
+    }
+
+    println!("== checkpoint: chandy-lamport ==");
+    for (ranks, rounds) in [(3, 2), (4, 1)] {
+        run(
+            &format!("chandy-lamport ranks={ranks} rounds={rounds}"),
+            ranks,
+            ranks,
+            &ChandyModel { ranks, rounds },
+            &mut failed,
+        );
+    }
+
+    println!("== ensemble: membership ==");
+    for (casts, crashes) in [(3, 0), (2, 1)] {
+        run(
+            &format!("membership casts={casts} crashes={crashes}"),
+            3,
+            3,
+            &MembershipModel { casts, crashes },
+            &mut failed,
+        );
+    }
+
+    println!("== mpi: reliability ==");
+    for (total, drops, dups) in [(3, 2, 1), (4, 2, 0)] {
+        run(
+            &format!("reliability total={total} drops={drops} dups={dups}"),
+            2,
+            2,
+            &ReliabilityModel {
+                total,
+                max_drops: drops,
+                max_dups: dups,
+                reliable: true,
+                window: 8,
+            },
+            &mut failed,
+        );
+    }
+
+    // The known-bad configuration: raw datagrams lose messages. This one is
+    // *expected* to produce a counterexample; it becomes the bridge plan.
+    println!("== mpi: raw datagrams (expected counterexample) ==");
+    match verify::models::reliability::find_unreliable_loss(3, 1) {
+        Some((trace, delivered)) => {
+            let plan = counterexample::unreliable_loss_plan(&trace, &delivered);
+            counterexample::assert_parses(&plan);
+            let dir = Path::new("target/model-check");
+            let _ = fs::create_dir_all(dir);
+            let file = dir.join("unreliable-loss.plan");
+            let _ = fs::write(&file, &plan);
+            println!(
+                "unreliable loss witnessed in {} steps, delivered {delivered:?}; plan at {}",
+                trace.len(),
+                file.display()
+            );
+        }
+        None => {
+            println!("ERROR: raw datagram path failed to lose a message — model broken");
+            failed = true;
+        }
+    }
+
+    if failed {
+        println!("model-check: VIOLATIONS FOUND (plans in target/model-check/)");
+        ExitCode::FAILURE
+    } else {
+        println!("model-check: all configurations clean");
+        ExitCode::SUCCESS
+    }
+}

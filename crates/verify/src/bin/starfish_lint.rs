@@ -1,0 +1,47 @@
+//! Workspace lint driver. Exit 0 clean, 1 violations, 2 usage/IO error.
+//!
+//! ```text
+//! starfish-lint            # lint the workspace rooted at the cwd
+//! starfish-lint <dir>      # lint a single crate directory (fixture mode)
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use verify::lint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let violations = match args.as_slice() {
+        [] => {
+            let root = Path::new(".");
+            if !root.join("crates").is_dir() {
+                eprintln!("starfish-lint: no crates/ here — run from the workspace root");
+                return ExitCode::from(2);
+            }
+            lint::lint_workspace(root)
+        }
+        [dir] => {
+            let dir = Path::new(dir);
+            if !dir.join("src").is_dir() {
+                eprintln!("starfish-lint: {} has no src/", dir.display());
+                return ExitCode::from(2);
+            }
+            lint::lint_crate(dir)
+        }
+        _ => {
+            eprintln!("usage: starfish-lint [crate-dir]");
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        println!("starfish-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("starfish-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

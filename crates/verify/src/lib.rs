@@ -1,0 +1,21 @@
+//! starfish-verify: exhaustive protocol model checking and repo lints.
+//!
+//! Three legs, per VERIFICATION.md:
+//!
+//! * [`explorer`] — a small explicit-state BFS model checker (safety +
+//!   deadlock + livelock via reverse reachability), with shortest
+//!   counterexample traces;
+//! * [`models`] — exhaustive models of the repo's protocol engines
+//!   (stop-and-sync and Chandy–Lamport checkpointing, ensemble membership
+//!   with sequencer failover, the MPI reliability layer) driving the *real*
+//!   `step`-style state machines, not re-implementations;
+//! * [`lint`] — the `starfish-lint` workspace pass (wall-clock bans in
+//!   deterministic crates, wire-enum test coverage, mgmt usage table).
+//!
+//! [`counterexample`] renders violations as `FaultPlan` DSL so they replay
+//! under the chaos driver; `tests/bridge.rs` keeps that loop closed.
+
+pub mod counterexample;
+pub mod explorer;
+pub mod lint;
+pub mod models;

@@ -1,0 +1,480 @@
+//! Exhaustive model of the ensemble membership/total-order core
+//! ([`starfish_ensemble::core`]) across a sequencer crash.
+//!
+//! The state holds real [`DeliveryState`] values (one per node) and a real
+//! [`ChangeState`] at whichever node coordinates the view change; view
+//! computation goes through [`proposed_members`] and proposal numbering
+//! through [`encode_proposal`]/[`proposal_view`] — the exact code the
+//! [`Stack`](starfish_ensemble::endpoint) runs. The model contributes the
+//! Stack's *orchestration* (who sequences, when a flush starts, what a
+//! `NewView` carries), simplified to the single-change lifecycle, plus the
+//! transport: per-link FIFO channels (ensemble p2p is FIFO-reliable
+//! between live nodes), with messages already on the wire surviving the
+//! sender's crash.
+//!
+//! The adversarial scenario is the classical virtual-synchrony hazard: the
+//! **sequencer** (node 0) crashes after delivering a sequenced cast to a
+//! strict subset of members. The survivors must agree on the closed view's
+//! delivery set via the flush union — member logs `[1,2]` and `[1]` must
+//! both end as `[1,2]` before view 2 installs.
+//!
+//! Safety invariants, checked on every reachable state:
+//! * **total order** — two nodes' logs for the same view are always
+//!   prefix-compatible, and every log is gap-free from sequence 1;
+//! * **view agreement** — nodes in the same view id agree on membership;
+//! * **virtual synchrony** — once a node installs view 2, its finalized
+//!   view-1 history equals every other finalized view-1 history.
+//!
+//! Liveness: every interleaving (cast submission, partial delivery, crash,
+//! detection, flush, install) converges to "survivors in the same view,
+//! identical logs, wire empty".
+
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+use starfish_ensemble::core::{
+    encode_proposal, proposal_view, proposed_members, ChangeState, DeliveryState,
+};
+use starfish_ensemble::msg::SeqEntry;
+use starfish_trace::TraceCtx;
+use starfish_util::NodeId;
+
+use super::chan::{self, Fifo};
+use crate::explorer::Model;
+
+/// Model parameters: 3 nodes fixed (0 = initial sequencer), up to `casts`
+/// casts submitted by members, up to `crashes` sequencer crashes (0 or 1).
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipModel {
+    pub casts: u8,
+    pub crashes: u32,
+}
+
+const N: u32 = 3;
+
+/// Wire messages of the modeled slice of the stack.
+#[derive(Clone, Debug)]
+enum Net {
+    /// Member → sequencer: please sequence cast `id`.
+    CastReq { id: u8 },
+    /// Sequencer → member: sequenced cast of the named view.
+    SeqCast { view: u64, entry: SeqEntry },
+    /// New coordinator → member: flush the closing view.
+    FlushReq { proposal: u64 },
+    /// Member → coordinator: my delivered log for the closing view.
+    FlushOk {
+        proposal: u64,
+        from: NodeId,
+        log: Vec<SeqEntry>,
+    },
+    /// Coordinator → member: install.
+    NewView {
+        id: u64,
+        members: Vec<NodeId>,
+        backfill: Vec<SeqEntry>,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    alive: bool,
+    view_id: u64,
+    members: Vec<NodeId>,
+    delivery: DeliveryState,
+    /// `FlushOk` sent; no further old-view deliveries.
+    flushing: bool,
+    /// Finalized (view, delivered cast ids) history.
+    history: Vec<(u64, Vec<u8>)>,
+}
+
+#[derive(Clone, Debug)]
+pub struct MemState {
+    nodes: Vec<Node>,
+    wire: Fifo<u32, Net>,
+    /// Sequencer bookkeeping of the node currently sequencing: next seq to
+    /// assign in its view.
+    next_seq: u64,
+    /// Cast ids not yet submitted.
+    casts_left: u8,
+    /// Change in progress at the new coordinator (node 1 after the crash).
+    change: Option<ChangeState>,
+    crashes_left: u32,
+    /// Crash observed but flush not yet started (failure-detector latency).
+    crash_pending: bool,
+    broken: Option<String>,
+}
+
+#[derive(Clone, Debug)]
+pub enum MemAction {
+    /// Member `n` submits the next cast.
+    Submit(u32),
+    /// Deliver the head message on link `from → to`.
+    Deliver(u32, u32),
+    /// The sequencer (node 0) fail-stops.
+    Crash,
+    /// The survivors' new coordinator reacts to the failure: starts the
+    /// membership change for the surviving component.
+    Detect,
+}
+
+impl MembershipModel {
+    fn entry(seq: u64, id: u8) -> SeqEntry {
+        SeqEntry {
+            seq,
+            origin: NodeId(id as u32 % N),
+            payload: Bytes::from(vec![id]),
+            ctx: TraceCtx::NONE,
+        }
+    }
+
+    /// Sequence a cast at the current sequencer `seqr` and fan it out.
+    fn sequence(&self, s: &mut MemState, seqr: u32, id: u8) {
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        let entry = Self::entry(seq, id);
+        let view = s.nodes[seqr as usize].view_id;
+        // Self-delivery first (the sequencer is also a member); the log
+        // lives inside `DeliveryState`, so the returned entries need no
+        // further bookkeeping here.
+        let _ = s.nodes[seqr as usize].delivery.on_seq_cast(entry.clone());
+        // … then fan out to the other members of the sequencer's view.
+        let members = s.nodes[seqr as usize].members.clone();
+        for m in members {
+            if m.0 != seqr {
+                chan::push(
+                    &mut s.wire,
+                    seqr,
+                    m.0,
+                    Net::SeqCast {
+                        view,
+                        entry: entry.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn deliver(&self, s: &mut MemState, from: u32, to: u32, msg: Net) {
+        if !s.nodes[to as usize].alive {
+            return; // a dead port eats frames
+        }
+        match msg {
+            Net::CastReq { id } => {
+                // Only the live sequencer handles cast requests; requests
+                // reaching a dead or non-sequencing node are re-routed by
+                // the client after the new view in the real stack — out of
+                // scope for the single-change model (the change only closes
+                // after all casts are sequenced or their requests consumed).
+                if to == sequencer(s) && s.change.is_none() {
+                    self.sequence(s, to, id);
+                }
+            }
+            Net::SeqCast { view, entry } => {
+                let node = &mut s.nodes[to as usize];
+                if view != node.view_id || node.flushing {
+                    return; // stale view or flush already sent: drop
+                }
+                let _ = node.delivery.on_seq_cast(entry);
+            }
+            Net::FlushReq { proposal } => {
+                let node = &mut s.nodes[to as usize];
+                if proposal_view(proposal) != node.view_id {
+                    return;
+                }
+                node.flushing = true;
+                let log = node.delivery.log().to_vec();
+                chan::push(
+                    &mut s.wire,
+                    to,
+                    from,
+                    Net::FlushOk {
+                        proposal,
+                        from: NodeId(to),
+                        log,
+                    },
+                );
+            }
+            Net::FlushOk {
+                proposal,
+                from: member,
+                log,
+            } => {
+                let Some(ch) = s.change.as_mut() else {
+                    return;
+                };
+                if ch.proposal() != proposal {
+                    return;
+                }
+                ch.on_flush_ok(member, log);
+                if ch.is_done() {
+                    let ch = s.change.take().expect("just checked");
+                    let (members, backfill) = ch.into_outcome();
+                    let old_view = s.nodes[to as usize].view_id;
+                    let new_id = old_view + 1;
+                    for m in &members {
+                        if m.0 == to {
+                            install(&mut s.nodes[to as usize], new_id, &members, &backfill);
+                        } else {
+                            chan::push(
+                                &mut s.wire,
+                                to,
+                                m.0,
+                                Net::NewView {
+                                    id: new_id,
+                                    members: members.clone(),
+                                    backfill: backfill.clone(),
+                                },
+                            );
+                        }
+                    }
+                    // The new view's sequencer numbering restarts at 1.
+                    s.next_seq = 1;
+                }
+            }
+            Net::NewView {
+                id,
+                members,
+                backfill,
+            } => {
+                install(&mut s.nodes[to as usize], id, &members, &backfill);
+            }
+        }
+    }
+}
+
+/// The node currently responsible for sequencing: the smallest live member.
+fn sequencer(s: &MemState) -> u32 {
+    (0..N).find(|n| s.nodes[*n as usize].alive).unwrap_or(0)
+}
+
+fn install(node: &mut Node, id: u64, members: &[NodeId], backfill: &[SeqEntry]) {
+    // Backfill belongs to the *closing* view: deliver what we miss …
+    let _ = node.delivery.apply_backfill(backfill.to_vec());
+    // … finalize the closed view's history, then reset for the new view.
+    let ids: Vec<u8> = node.delivery.log().iter().map(|e| e.payload[0]).collect();
+    node.history.push((node.view_id, ids));
+    node.delivery.reset();
+    node.flushing = false;
+    node.view_id = id;
+    node.members = members.to_vec();
+}
+
+impl Model for MembershipModel {
+    type State = MemState;
+    type Action = MemAction;
+
+    fn init(&self) -> Vec<MemState> {
+        let members: Vec<NodeId> = (0..N).map(NodeId).collect();
+        vec![MemState {
+            nodes: (0..N)
+                .map(|_| Node {
+                    alive: true,
+                    view_id: 1,
+                    members: members.clone(),
+                    delivery: DeliveryState::new(),
+                    flushing: false,
+                    history: Vec::new(),
+                })
+                .collect(),
+            wire: Fifo::new(),
+            next_seq: 1,
+            casts_left: self.casts,
+            change: None,
+            crashes_left: self.crashes,
+            crash_pending: false,
+            broken: None,
+        }]
+    }
+
+    fn actions(&self, s: &MemState) -> Vec<MemAction> {
+        let mut acts = Vec::new();
+        if s.casts_left > 0 {
+            // Member 1 submits (a non-sequencer, so the request crosses the
+            // wire; which member submits does not change the explored
+            // ordering structure).
+            if s.nodes[1].alive && !s.nodes[1].flushing {
+                acts.push(MemAction::Submit(1));
+            }
+        }
+        for (f, t) in chan::heads(&s.wire) {
+            acts.push(MemAction::Deliver(f, t));
+        }
+        if s.crashes_left > 0 {
+            acts.push(MemAction::Crash);
+        }
+        if s.crash_pending && s.change.is_none() {
+            acts.push(MemAction::Detect);
+        }
+        acts
+    }
+
+    fn next(&self, s: &MemState, a: &MemAction) -> MemState {
+        let mut s = s.clone();
+        match a {
+            MemAction::Submit(n) => {
+                let id = self.casts - s.casts_left + 1;
+                s.casts_left -= 1;
+                let seqr = sequencer(&s);
+                if *n == seqr {
+                    if s.change.is_none() {
+                        self.sequence(&mut s, seqr, id);
+                    }
+                } else {
+                    chan::push(&mut s.wire, *n, seqr, Net::CastReq { id });
+                }
+            }
+            MemAction::Deliver(f, t) => {
+                let msg = chan::pop(&mut s.wire, *f, *t).expect("enabled action");
+                self.deliver(&mut s, *f, *t, msg);
+            }
+            MemAction::Crash => {
+                s.crashes_left -= 1;
+                s.nodes[0].alive = false;
+                // Frames already on the wire survive; nothing new leaves the
+                // dead node, and frames addressed to it vanish at its port
+                // (handled on delivery). The perfect failure detector arms
+                // the survivors' coordinator.
+                s.crash_pending = true;
+            }
+            MemAction::Detect => {
+                s.crash_pending = false;
+                // Node 1 is the smallest survivor: it coordinates the
+                // change, exactly as `Stack::maybe_start_change` computes.
+                let me = NodeId(1);
+                let suspects = BTreeSet::from([NodeId(0)]);
+                let none = BTreeSet::new();
+                let view_members = s.nodes[1].members.clone();
+                let new_members =
+                    proposed_members(&view_members, &suspects, &none, &none, me, false);
+                let proposal = encode_proposal(s.nodes[1].view_id, 1);
+                let waiting: BTreeSet<NodeId> =
+                    new_members.iter().copied().filter(|m| *m != me).collect();
+                // Coordinator stops delivering new old-view casts itself.
+                s.nodes[1].flushing = true;
+                let ch = ChangeState::new(
+                    proposal,
+                    new_members,
+                    waiting.clone(),
+                    s.nodes[1].delivery.log(),
+                );
+                for m in &waiting {
+                    chan::push(&mut s.wire, 1, m.0, Net::FlushReq { proposal });
+                }
+                if ch.is_done() {
+                    s.broken
+                        .get_or_insert("single-survivor change not modeled".into());
+                }
+                s.change = Some(ch);
+            }
+        }
+        s
+    }
+
+    fn check(&self, s: &MemState) -> Result<(), String> {
+        if let Some(b) = &s.broken {
+            return Err(b.clone());
+        }
+        // Gap-free total order from sequence 1 in every current log.
+        for (n, node) in s.nodes.iter().enumerate() {
+            for (i, e) in node.delivery.log().iter().enumerate() {
+                if e.seq != i as u64 + 1 {
+                    return Err(format!("node {n} delivered a gapped log: seq {}", e.seq));
+                }
+            }
+        }
+        // Prefix compatibility + view agreement among live same-view nodes.
+        for a in 0..s.nodes.len() {
+            for b in a + 1..s.nodes.len() {
+                let (na, nb) = (&s.nodes[a], &s.nodes[b]);
+                if !(na.alive && nb.alive) || na.view_id != nb.view_id {
+                    continue;
+                }
+                if na.members != nb.members {
+                    return Err(format!(
+                        "view {} membership disagreement: {:?} vs {:?}",
+                        na.view_id, na.members, nb.members
+                    ));
+                }
+                let (la, lb) = (na.delivery.log(), nb.delivery.log());
+                let k = la.len().min(lb.len());
+                if la[..k]
+                    .iter()
+                    .zip(&lb[..k])
+                    .any(|(x, y)| x.payload != y.payload)
+                {
+                    return Err(format!(
+                        "total order violated in view {}: node {a} vs node {b}",
+                        na.view_id
+                    ));
+                }
+            }
+        }
+        // Virtual synchrony: finalized histories for one view agree.
+        for a in 0..s.nodes.len() {
+            for b in a + 1..s.nodes.len() {
+                for (va, ha) in &s.nodes[a].history {
+                    for (vb, hb) in &s.nodes[b].history {
+                        if va == vb && ha != hb {
+                            return Err(format!(
+                                "virtual synchrony violated: view {va} history {ha:?} vs {hb:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn accepting(&self, s: &MemState) -> bool {
+        if s.casts_left > 0 || !chan::is_empty(&s.wire) || s.change.is_some() || s.crash_pending {
+            return false;
+        }
+        let live: Vec<&Node> = s.nodes.iter().filter(|n| n.alive).collect();
+        // All survivors in one view with identical logs.
+        live.windows(2).all(|w| {
+            w[0].view_id == w[1].view_id && w[0].delivery.log().len() == w[1].delivery.log().len()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore, Options};
+
+    /// Sequencer crash with casts in flight: the flush union must keep the
+    /// survivors' view-1 histories identical in every interleaving.
+    #[test]
+    fn sequencer_crash_preserves_agreement() {
+        let m = MembershipModel {
+            casts: 2,
+            crashes: 1,
+        };
+        let r = explore(&m, Options::default());
+        assert!(r.clean(), "{:?}", r.violation);
+        assert!(r.states > 100, "nontrivial space expected: {}", r.states);
+    }
+
+    #[test]
+    fn crash_free_total_order() {
+        let m = MembershipModel {
+            casts: 3,
+            crashes: 0,
+        };
+        let r = explore(&m, Options::default());
+        assert!(r.clean(), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn invariant_rejects_forked_histories() {
+        let m = MembershipModel {
+            casts: 1,
+            crashes: 1,
+        };
+        let mut s = m.init().pop().unwrap();
+        s.nodes[1].history.push((1, vec![1, 2]));
+        s.nodes[2].history.push((1, vec![1]));
+        assert!(m.check(&s).is_err());
+    }
+}

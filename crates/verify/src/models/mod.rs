@@ -1,0 +1,66 @@
+//! Protocol models: finite environments wrapped around the *deployed* pure
+//! protocol cores.
+//!
+//! Each model owns real engine values — [`starfish_checkpoint::proto`]
+//! engines, [`starfish_mpi::reliability`] flow machines,
+//! [`starfish_ensemble::core`] membership state — and contributes only the
+//! environment the runtime normally provides: message channels with the
+//! transport's actual ordering guarantees, crash/restart surgery, and local
+//! completion callbacks. Every protocol *decision* explored by the checker
+//! is taken by the same code the cluster runs.
+//!
+//! Channel fidelity matters in both directions. The daemon-relayed control
+//! path and the VNI data path are FIFO per (sender, receiver) — modeling
+//! them as unordered would report "bugs" the transport excludes (e.g. a
+//! `Stop{k+1}` overtaking `Resume{k}` from the same coordinator), while
+//! modeling them as globally ordered would hide real races (the data-path
+//! mark overtaking the control-path stop). The checkpoint and membership
+//! models therefore use per-link FIFO queues with *cross-link* interleaving
+//! free. The reliability model's wire, by contrast, is an unordered lossy
+//! bag — that is exactly the adversary the flow layer exists to tame.
+
+pub mod chandy;
+pub mod membership;
+pub mod reliability;
+pub mod stop_sync;
+
+/// Per-link FIFO channel map shared by the checkpoint/membership models.
+pub(crate) mod chan {
+    use std::collections::BTreeMap;
+
+    /// FIFO queues keyed by `(from, to)`. `BTreeMap` keeps the `Debug`
+    /// rendering canonical, which is what keys the explorer's visited set.
+    pub type Fifo<K, M> = BTreeMap<(K, K), Vec<M>>;
+
+    /// Push onto the `(from, to)` queue.
+    pub fn push<K: Ord + Copy, M>(f: &mut Fifo<K, M>, from: K, to: K, m: M) {
+        f.entry((from, to)).or_default().push(m);
+    }
+
+    /// Pop the head of the `(from, to)` queue; removes drained queues so
+    /// equal channel states render identically.
+    pub fn pop<K: Ord + Copy, M>(f: &mut Fifo<K, M>, from: K, to: K) -> Option<M> {
+        let q = f.get_mut(&(from, to))?;
+        let m = if q.is_empty() {
+            None
+        } else {
+            Some(q.remove(0))
+        };
+        if q.is_empty() {
+            f.remove(&(from, to));
+        }
+        m
+    }
+
+    /// Heads available for delivery, in canonical order.
+    pub fn heads<K: Ord + Copy, M>(f: &Fifo<K, M>) -> Vec<(K, K)> {
+        f.iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    pub fn is_empty<K: Ord + Copy, M>(f: &Fifo<K, M>) -> bool {
+        f.values().all(Vec::is_empty)
+    }
+}

@@ -1,0 +1,308 @@
+//! Exhaustive model of the stop-and-sync checkpoint protocol
+//! ([`starfish_checkpoint::proto::stop_and_sync`]) under crashes.
+//!
+//! The state holds one real [`StopAndSync`] engine per rank, driven through
+//! [`StopAndSync::step`] — the same single door the runtime uses. The model
+//! supplies the environment:
+//!
+//! * a per-link FIFO **control** channel (`Stop`/`Saved`/`Resume` travel
+//!   through the daemons, FIFO per sender);
+//! * a per-link FIFO **data** channel for `FlushMark`s — separate from
+//!   control, so a mark can overtake its round's `Stop` (the race the
+//!   engine's `enter_stop`-on-mark path exists for) and a next-round mark
+//!   can overtake `Resume` (the `pending_marks` race);
+//! * local image writes that complete at an arbitrary later step;
+//! * up to `crashes` whole-round failures: a participant dies, the runtime
+//!   rolls every rank back and restarts them (engines reset, channels
+//!   drain), and the coordinator may open a fresh round with the next
+//!   index. Which rank died is irrelevant to the successor state under this
+//!   recovery discipline, so a single `Crash` action covers all of them.
+//!
+//! Safety invariants:
+//! * **exactly-once imaging** — no rank writes two images for one index;
+//! * **commit soundness** (recovery-line restorability) — when the
+//!   coordinator declares `Committed{k}`, every rank has written image `k`:
+//!   the new recovery line is complete on stable storage;
+//! * **commit monotonicity** — committed indices strictly increase.
+//!
+//! Liveness: from every reachable state the system can reach a quiescent
+//! accepting state (all engines `Running`, channels empty, no write
+//! outstanding) — i.e. no interleaving of marks, saves and crashes wedges
+//! the round.
+
+use std::collections::BTreeMap;
+
+use starfish_checkpoint::proto::stop_and_sync::{Phase, StopAndSync};
+use starfish_checkpoint::proto::{CrEffect, CrEvent, CrMsg};
+use starfish_util::Rank;
+
+use super::chan::{self, Fifo};
+use crate::explorer::Model;
+
+/// Model parameters: `ranks` participants, up to `crashes` aborted rounds,
+/// up to `rounds` rounds started in total.
+#[derive(Debug, Clone, Copy)]
+pub struct StopSyncModel {
+    pub ranks: u32,
+    pub crashes: u32,
+    pub rounds: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct SsState {
+    engines: Vec<StopAndSync>,
+    /// Control path: daemon-relayed C/R messages, FIFO per (from, to).
+    ctrl: Fifo<u32, CrMsg>,
+    /// Data path: flush marks, FIFO per (from, to), independent of `ctrl`.
+    marks: Fifo<u32, u64>,
+    /// Outstanding local image write per rank.
+    writing: Vec<Option<u64>>,
+    /// How many images each rank wrote per index.
+    images: Vec<BTreeMap<u64, u32>>,
+    /// Highest committed index (0 = none yet).
+    committed: u64,
+    /// Rounds started so far; round `k` uses index `k`.
+    started: u64,
+    crashes_left: u32,
+    /// First environment-observed contract breach (e.g. an image rewrite),
+    /// reported by `check`.
+    broken: Option<String>,
+}
+
+#[derive(Clone, Debug)]
+pub enum SsAction {
+    /// Coordinator opens round `started + 1`.
+    Start,
+    /// Deliver the head control message on link `from → to`.
+    Ctrl(u32, u32),
+    /// Deliver the head flush mark on data link `from → to`.
+    Mark(u32, u32),
+    /// Rank's outstanding image write reaches stable storage.
+    Save(u32),
+    /// A participant dies; the runtime rolls the app back and restarts all
+    /// ranks (engines reset, in-flight messages drained with the epoch).
+    Crash,
+}
+
+impl StopSyncModel {
+    fn fresh_engines(&self) -> Vec<StopAndSync> {
+        let ranks: Vec<Rank> = (0..self.ranks).map(Rank).collect();
+        (0..self.ranks)
+            .map(|r| StopAndSync::new(Rank(r), ranks.clone()))
+            .collect()
+    }
+
+    fn apply_effects(&self, s: &mut SsState, rank: u32, effects: Vec<CrEffect>) {
+        for eff in effects {
+            match eff {
+                CrEffect::Send { to, msg } => chan::push(&mut s.ctrl, rank, to.0, msg),
+                CrEffect::Broadcast { msg } => {
+                    for p in 0..self.ranks {
+                        if p != rank {
+                            chan::push(&mut s.ctrl, rank, p, msg.clone());
+                        }
+                    }
+                }
+                CrEffect::DataMark {
+                    to,
+                    msg: CrMsg::FlushMark { index },
+                } => chan::push(&mut s.marks, rank, to.0, index),
+                CrEffect::DataMark { .. } => {
+                    s.broken = get_or(&s.broken, "stop-and-sync sent a non-FlushMark data mark");
+                }
+                CrEffect::TakeCheckpoint { index } => {
+                    if s.writing[rank as usize].is_some() {
+                        s.broken = get_or(
+                            &s.broken,
+                            &format!("rank {rank} asked to image {index} with a write in flight"),
+                        );
+                    }
+                    *s.images[rank as usize].entry(index).or_insert(0) += 1;
+                    s.writing[rank as usize] = Some(index);
+                }
+                CrEffect::Committed { index } => {
+                    if index <= s.committed {
+                        s.broken = get_or(
+                            &s.broken,
+                            &format!("commit regressed: {index} after {}", s.committed),
+                        );
+                    }
+                    s.committed = index;
+                }
+                CrEffect::BeginQuiesce { .. } | CrEffect::Resume { .. } => {}
+                CrEffect::RecordChannel { .. } | CrEffect::StopRecord { .. } => {
+                    s.broken = get_or(&s.broken, "stop-and-sync emitted a CL recording effect");
+                }
+            }
+        }
+    }
+}
+
+fn get_or(cur: &Option<String>, msg: &str) -> Option<String> {
+    cur.clone().or_else(|| Some(msg.to_string()))
+}
+
+impl Model for StopSyncModel {
+    type State = SsState;
+    type Action = SsAction;
+
+    fn init(&self) -> Vec<SsState> {
+        vec![SsState {
+            engines: self.fresh_engines(),
+            ctrl: Fifo::new(),
+            marks: Fifo::new(),
+            writing: vec![None; self.ranks as usize],
+            images: vec![BTreeMap::new(); self.ranks as usize],
+            committed: 0,
+            started: 0,
+            crashes_left: self.crashes,
+            broken: None,
+        }]
+    }
+
+    fn actions(&self, s: &SsState) -> Vec<SsAction> {
+        let mut acts = Vec::new();
+        if s.started < self.rounds && s.engines[0].phase() == Phase::Running {
+            acts.push(SsAction::Start);
+        }
+        for (f, t) in chan::heads(&s.ctrl) {
+            acts.push(SsAction::Ctrl(f, t));
+        }
+        for (f, t) in chan::heads(&s.marks) {
+            acts.push(SsAction::Mark(f, t));
+        }
+        for (r, w) in s.writing.iter().enumerate() {
+            if w.is_some() {
+                acts.push(SsAction::Save(r as u32));
+            }
+        }
+        if s.crashes_left > 0 {
+            acts.push(SsAction::Crash);
+        }
+        acts
+    }
+
+    fn next(&self, s: &SsState, a: &SsAction) -> SsState {
+        let mut s = s.clone();
+        match a {
+            SsAction::Start => {
+                s.started += 1;
+                let index = s.started;
+                let eff = s.engines[0].step(CrEvent::Start { index });
+                self.apply_effects(&mut s, 0, eff);
+            }
+            SsAction::Ctrl(f, t) => {
+                let msg = chan::pop(&mut s.ctrl, *f, *t).expect("enabled action");
+                let eff = s.engines[*t as usize].step(CrEvent::Msg {
+                    from: Rank(*f),
+                    msg,
+                });
+                self.apply_effects(&mut s, *t, eff);
+            }
+            SsAction::Mark(f, t) => {
+                let index = chan::pop(&mut s.marks, *f, *t).expect("enabled action");
+                let eff = s.engines[*t as usize].step(CrEvent::FlushMark {
+                    from: Rank(*f),
+                    index,
+                });
+                self.apply_effects(&mut s, *t, eff);
+            }
+            SsAction::Save(r) => {
+                let index = s.writing[*r as usize].take().expect("enabled action");
+                let eff = s.engines[*r as usize].step(CrEvent::SavedLocal { index });
+                self.apply_effects(&mut s, *r, eff);
+            }
+            SsAction::Crash => {
+                // Fail-stop + full rollback restart: every rank reloads from
+                // the last committed line, the aborted round's engines,
+                // in-flight messages and unfinished writes vanish with the
+                // old epoch. Committed images survive on stable storage.
+                s.engines = self.fresh_engines();
+                s.ctrl.clear();
+                s.marks.clear();
+                s.writing.iter_mut().for_each(|w| *w = None);
+                s.crashes_left -= 1;
+            }
+        }
+        s
+    }
+
+    fn check(&self, s: &SsState) -> Result<(), String> {
+        if let Some(b) = &s.broken {
+            return Err(b.clone());
+        }
+        for (r, imgs) in s.images.iter().enumerate() {
+            for (idx, n) in imgs {
+                if *n > 1 {
+                    return Err(format!("rank {r} imaged index {idx} {n} times"));
+                }
+            }
+        }
+        if s.committed > 0 {
+            for (r, imgs) in s.images.iter().enumerate() {
+                let have = imgs.get(&s.committed).copied().unwrap_or(0) == 1;
+                let settled = s.writing[r] != Some(s.committed);
+                if !(have && settled) {
+                    return Err(format!(
+                        "index {} committed but rank {r}'s image is not on stable storage",
+                        s.committed
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn accepting(&self, s: &SsState) -> bool {
+        s.engines.iter().all(|e| e.phase() == Phase::Running)
+            && chan::is_empty(&s.ctrl)
+            && chan::is_empty(&s.marks)
+            && s.writing.iter().all(Option::is_none)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{explore, Options};
+
+    /// The acceptance configuration from the issue: 3 ranks, 1 crash.
+    #[test]
+    fn three_ranks_one_crash_two_rounds_clean() {
+        let m = StopSyncModel {
+            ranks: 3,
+            crashes: 1,
+            rounds: 2,
+        };
+        let r = explore(&m, Options::default());
+        assert!(r.clean(), "{:?}", r.violation);
+        assert!(r.states > 1000, "expected a nontrivial space: {}", r.states);
+    }
+
+    #[test]
+    fn two_ranks_three_rounds_clean() {
+        // Three back-to-back rounds maximize the mark-overtakes-Resume race.
+        let m = StopSyncModel {
+            ranks: 2,
+            crashes: 1,
+            rounds: 3,
+        };
+        let r = explore(&m, Options::default());
+        assert!(r.clean(), "{:?}", r.violation);
+    }
+
+    /// Mutation sanity: if commits were declared one `Saved` early, the
+    /// commit-soundness invariant must catch it. We simulate the mutation by
+    /// checking that the invariant itself rejects a forged state.
+    #[test]
+    fn invariant_rejects_commit_without_images() {
+        let m = StopSyncModel {
+            ranks: 2,
+            crashes: 0,
+            rounds: 1,
+        };
+        let mut s = m.init().pop().unwrap();
+        s.committed = 1; // forged: nobody imaged anything
+        assert!(m.check(&s).is_err());
+    }
+}

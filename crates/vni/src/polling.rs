@@ -111,7 +111,7 @@ impl RecvQueue {
         mut pred: impl FnMut(&Packet) -> bool,
         deadline: Duration,
     ) -> Result<Packet> {
-        let start = std::time::Instant::now();
+        let start = std::time::Instant::now(); // lint: allow(wall-clock)
         let mut g = self.inner.q.lock();
         loop {
             if let Some(idx) = g.packets.iter().position(&mut pred) {

@@ -34,6 +34,7 @@ fn main() -> Result<()> {
 
     // --- management connection ---------------------------------------------
     let mut admin = cluster.session();
+    say(&mut admin, "HELP"); // works pre-login: how a client discovers LOGIN
     say(&mut admin, "STATUS"); // rejected: not logged in
     say(&mut admin, "LOGIN ADMIN wrong-password"); // rejected
     say(&mut admin, "LOGIN ADMIN starfish");

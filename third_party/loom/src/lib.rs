@@ -1,0 +1,143 @@
+//! Minimal, offline stand-in for `loom`.
+//!
+//! Real loom replaces `std::sync`/`std::thread` with instrumented versions
+//! and runs the closure under **every** legal interleaving (bounded by its
+//! preemption budget). This container has no loom, so the stand-in keeps
+//! the API shape — tests are written against `loom::model`,
+//! `loom::thread`, `loom::sync::*` — and runs the closure many times under
+//! real threads with injected yields, a stress schedule rather than an
+//! exhaustive one.
+//!
+//! The point of keeping the shape is that the tests upgrade for free: CI
+//! images that carry the real crate can patch it in (`[patch.crates-io]`)
+//! and the same sources become exhaustive. Assertions must therefore hold
+//! under *every* interleaving, not just probable ones — write them as loom
+//! tests, not as stress tests.
+
+#![allow(clippy::all)]
+
+/// Iterations per [`model`] call. Real loom explores exhaustively; the
+/// stand-in samples this many schedules.
+pub const MODEL_ITERS: usize = 200;
+
+/// Run `f` repeatedly, each iteration a fresh "execution". Panics inside
+/// `f` propagate (a failed assertion fails the test).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..MODEL_ITERS {
+        f();
+    }
+}
+
+pub mod thread {
+    //! Instrumented-thread stand-ins over `std::thread`.
+
+    pub use std::thread::yield_now;
+
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    /// Spawn with an extra yield so sibling threads interleave more often
+    /// than the default eager schedule would allow.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        JoinHandle(std::thread::spawn(move || {
+            std::thread::yield_now();
+            f()
+        }))
+    }
+}
+
+pub mod sync {
+    //! `loom::sync` stand-ins. Real loom's types track the happens-before
+    //! graph; these are the std types (non-poisoning where the workspace
+    //! expects parking_lot-style guards).
+
+    pub use std::sync::Arc;
+
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(
+            &self,
+        ) -> Result<
+            std::sync::MutexGuard<'_, T>,
+            std::sync::PoisonError<std::sync::MutexGuard<'_, T>>,
+        > {
+            self.0.lock()
+        }
+    }
+
+    pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        pub fn new(value: T) -> Self {
+            RwLock(std::sync::RwLock::new(value))
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        pub fn read(
+            &self,
+        ) -> Result<
+            std::sync::RwLockReadGuard<'_, T>,
+            std::sync::PoisonError<std::sync::RwLockReadGuard<'_, T>>,
+        > {
+            self.0.read()
+        }
+
+        pub fn write(
+            &self,
+        ) -> Result<
+            std::sync::RwLockWriteGuard<'_, T>,
+            std::sync::PoisonError<std::sync::RwLockWriteGuard<'_, T>>,
+        > {
+            self.0.write()
+        }
+    }
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_and_threads_join() {
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let h2 = hits.clone();
+        super::model(move || {
+            let c = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let c2 = c.clone();
+            let t = super::thread::spawn(move || {
+                c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+            t.join().unwrap();
+            assert_eq!(c.load(std::sync::atomic::Ordering::SeqCst), 1);
+            h2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(
+            hits.load(std::sync::atomic::Ordering::SeqCst),
+            super::MODEL_ITERS
+        );
+    }
+}
