@@ -50,6 +50,7 @@ fn bench_wire(c: &mut Criterion) {
         epoch: Epoch(0),
         interval: 7,
         seq: 0,
+        flags: 0,
     };
     let body = vec![0u8; 4096];
     g.throughput(Throughput::Bytes(4096));

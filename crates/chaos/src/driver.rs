@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use starfish_checkpoint::{CkptImage, CkptLevel, CkptStore, CkptValue, MACHINES};
-use starfish_mpi::{MpiEndpoint, RankDirectory, RecvMode, WORLD_CONTEXT};
+use starfish_mpi::{CtsCadence, MpiEndpoint, RankDirectory, RecvMode, WORLD_CONTEXT};
 use starfish_trace::{FlightRecorder, ProcTrace};
 use starfish_util::rng::DetRng;
 use starfish_util::trace::TraceSink;
@@ -70,6 +70,12 @@ pub struct ScenarioReport {
     /// Ranks whose node crashed mid-run (oracles exclude their flows from
     /// completeness checks: a dead port eats frames by design).
     pub dead_ranks: Vec<u32>,
+    /// Rendezvous transfers still awaiting CTS after quiescence (payload
+    /// never left the sender). Zero on a converged run.
+    pub rndv_pending: usize,
+    /// Deliveries whose body did not match the sender's deterministic
+    /// fill — a mis-spliced rendezvous DATA merge or torn payload.
+    pub payload_corruptions: u64,
 }
 
 /// Replay `plan` deterministically; see the module docs for the schedule.
@@ -128,10 +134,22 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
             .expect("bind endpoint");
             ep.set_reliable(!plan.unreliable);
             ep.set_recorder(recorders[r as usize].clone());
+            if let Some(t) = plan.rndv_threshold {
+                ep.set_rendezvous_threshold(t as usize);
+            }
+            // Wall-clock CTS pacing would make re-grant counts (and thus
+            // the fault layer's decision-stream consumption) depend on
+            // scheduling; per-encounter pacing keeps replays bit-identical.
+            ep.set_cts_cadence(CtsCadence::EveryEncounter);
             ep
         })
         .collect();
     let mut clocks: Vec<VClock> = (0..plan.ranks).map(|_| VClock::new()).collect();
+
+    // Payload: id in the first 8 bytes (what the oracles track), padded to
+    // the plan's size with a (rank, id)-derived fill so a misdelivered
+    // rendezvous DATA merge could not go unnoticed.
+    let payload_len = plan.payload.max(8) as usize;
 
     let mut rng = DetRng::new(plan.seed).derive(TRAFFIC_STREAM);
     let mut report = ScenarioReport::default();
@@ -180,15 +198,17 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
                 continue;
             }
             let id = next_id[r];
+            let mut buf = vec![0u8; payload_len];
+            buf[..8].copy_from_slice(&id.to_le_bytes());
+            for (i, b) in buf[8..].iter_mut().enumerate() {
+                *b = (id as u8) ^ (r as u8) ^ (i as u8);
+            }
             let (ep, clock) = (&mut eps[r], &mut clocks[r]);
-            match ep.send_world(
-                clock,
-                Rank(peer),
-                WORLD_CONTEXT,
-                TRAFFIC_TAG,
-                &id.to_le_bytes(),
-            ) {
-                Ok(()) => {
+            // Fire and forget: an accepted rendezvous send's RTS is out and
+            // its payload parked; the drain/quiescence pumping drives the
+            // CTS → DATA completion, gated on `pending_rendezvous` below.
+            match ep.isend_world(clock, Rank(peer), WORLD_CONTEXT, TRAFFIC_TAG, &buf) {
+                Ok(_) => {
                     next_id[r] += 1;
                     report.sent.entry((r as u32, peer)).or_default().push(id);
                 }
@@ -236,7 +256,14 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
     let deadline = Instant::now() + QUIESCE_DEADLINE; // lint: allow(wall-clock)
     let mut quiet = 0u32;
     report.quiesced = true;
-    while quiet < 3 || fabric.queued_packets() > 0 {
+    let pending_rndv = |eps: &[MpiEndpoint], dead: &[bool]| -> usize {
+        eps.iter()
+            .zip(dead)
+            .filter(|(_, d)| !**d)
+            .map(|(e, _)| e.pending_rendezvous())
+            .sum()
+    };
+    while quiet < 3 || fabric.queued_packets() > 0 || pending_rndv(&eps, &dead) > 0 {
         let overdue = Instant::now() > deadline; // lint: allow(wall-clock)
         if overdue {
             report.quiesced = false;
@@ -265,6 +292,7 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
 
     report.stats = fabric.fault_stats();
     report.queued = fabric.queued_packets();
+    report.rndv_pending = pending_rndv(&eps, &dead);
     report.dead_ranks = (0..plan.ranks).filter(|r| dead[*r as usize]).collect();
     let live: Vec<Rank> = (0..plan.ranks)
         .filter(|r| !dead[*r as usize])
@@ -299,10 +327,20 @@ fn drain(ep: &mut MpiEndpoint, clock: &mut VClock, report: &mut ScenarioReport) 
     while let Ok(Some(msg)) = ep.try_recv_world(clock, WORLD_CONTEXT, None, None) {
         let mut id = [0u8; 8];
         id.copy_from_slice(&msg.data[..8]);
+        let id = u64::from_le_bytes(id);
+        // The body past the id is a pure function of (sender, id): check it
+        // so a mis-spliced rendezvous DATA merge cannot go unnoticed.
+        let fill_ok = msg.data[8..]
+            .iter()
+            .enumerate()
+            .all(|(i, b)| *b == (id as u8) ^ (msg.src.0 as u8) ^ (i as u8));
+        if !fill_ok {
+            report.payload_corruptions += 1;
+        }
         report
             .recv
             .entry(ep.rank().0)
             .or_default()
-            .push((msg.src.0, u64::from_le_bytes(id)));
+            .push((msg.src.0, id));
     }
 }

@@ -1,6 +1,6 @@
 //! Invariant oracles: judgments over a [`ScenarioReport`] endstate.
 //!
-//! Five classes run against every MPI-family scenario:
+//! Six classes run against every MPI-family scenario:
 //!
 //! 1. **exactly-once** — every accepted send to a surviving rank is
 //!    delivered exactly once (no loss the reliability layer failed to
@@ -13,7 +13,10 @@
 //! 4. **recovery line** — the coordinated recovery line is *restorable*
 //!    (every live rank can read an image at it) and torn images degrade it
 //!    by at most one round each (no domino);
-//! 5. **quiescence** — the scenario converges to a fixed point at all.
+//! 5. **quiescence** — the scenario converges to a fixed point at all,
+//!    with no rendezvous transfer left parked awaiting its CTS;
+//! 6. **payload integrity** — every delivered body matches the sender's
+//!    deterministic fill (a mis-spliced rendezvous DATA merge would show).
 //!
 //! The ensemble family adds **view agreement** and **total order** (see
 //! `tests/ensemble_chaos.rs`). Oracles return violation strings rather
@@ -29,6 +32,7 @@ pub fn check_all(r: &ScenarioReport) -> Vec<String> {
     v.extend(conservation(r));
     v.extend(recovery_line(r));
     v.extend(quiescence(r));
+    v.extend(payload_integrity(r));
     v
 }
 
@@ -131,6 +135,25 @@ pub fn recovery_line(r: &ScenarioReport) -> Option<String> {
 pub fn quiescence(r: &ScenarioReport) -> Option<String> {
     if !r.quiesced {
         return Some("scenario failed to quiesce before the deadline".into());
+    }
+    if r.rndv_pending != 0 {
+        return Some(format!(
+            "{} rendezvous transfers never pushed their payload",
+            r.rndv_pending
+        ));
+    }
+    None
+}
+
+/// Oracle 6: delivered bodies are byte-identical to what was sent (the
+/// driver checks each delivery against the sender's deterministic fill —
+/// the teeth behind the rendezvous DATA-merge path).
+pub fn payload_integrity(r: &ScenarioReport) -> Option<String> {
+    if r.payload_corruptions > 0 {
+        return Some(format!(
+            "{} delivered payloads had corrupted bodies",
+            r.payload_corruptions
+        ));
     }
     None
 }

@@ -19,6 +19,8 @@
 //! ranks 4
 //! steps 40
 //! ckpt-every 8
+//! payload 16384
+//! rendezvous 4096
 //! fault 0->1 seed=7 drop=0.1 dup=0.05 delay=120us@0.1 reorder=0.2
 //! @12 partition 0 2
 //! @20 heal 0 2
@@ -104,6 +106,12 @@ pub struct FaultPlan {
     /// driver, the exactly-once violations the checker derives for the
     /// flow-control-free protocol.
     pub unreliable: bool,
+    /// Traffic payload size in bytes (≥ 8: the first 8 carry the id). The
+    /// default 8-byte payload keeps legacy plans eager end to end.
+    pub payload: u32,
+    /// Per-endpoint rendezvous threshold override; `None` leaves the
+    /// build default (effectively eager-only at chaos payload sizes).
+    pub rndv_threshold: Option<u32>,
     /// Per-link packet faults, armed before the first step.
     pub faults: Vec<LinkFaultSpec>,
     /// Timed events, fired when the driver reaches `step` (plan order
@@ -203,6 +211,8 @@ impl FaultPlan {
             steps,
             ckpt_every,
             unreliable: false,
+            payload: 8,
+            rndv_threshold: None,
             faults,
             events,
         }
@@ -230,6 +240,8 @@ impl FaultPlan {
             steps: 0,
             ckpt_every: 0,
             unreliable: false,
+            payload: 8,
+            rndv_threshold: None,
             faults: Vec::new(),
             events: Vec::new(),
         };
@@ -253,6 +265,8 @@ impl FaultPlan {
                 "steps" => plan.steps = scalar(&rest)? as u32,
                 "ckpt-every" => plan.ckpt_every = scalar(&rest)? as u32,
                 "unreliable" => plan.unreliable = true,
+                "payload" => plan.payload = scalar(&rest)? as u32,
+                "rendezvous" => plan.rndv_threshold = Some(scalar(&rest)? as u32),
                 "fault" => plan.faults.push(parse_fault(line, &rest)?),
                 k if k.starts_with('@') => {
                     let step: u32 = k[1..].parse().map_err(|e| format!("{line}: {e}"))?;
@@ -350,6 +364,12 @@ impl fmt::Display for FaultPlan {
         if self.unreliable {
             writeln!(f, "unreliable")?;
         }
+        if self.payload != 8 {
+            writeln!(f, "payload {}", self.payload)?;
+        }
+        if let Some(t) = self.rndv_threshold {
+            writeln!(f, "rendezvous {t}")?;
+        }
         for s in &self.faults {
             writeln!(
                 f,
@@ -415,6 +435,20 @@ mod tests {
         assert_eq!(plan, back);
         // Absent directive defaults to the reliable endpoint configuration.
         assert!(!FaultPlan::generate(3).unreliable);
+    }
+
+    #[test]
+    fn payload_and_rendezvous_directives_roundtrip() {
+        let text = "starfish-fault-plan v1\nseed 2\nnodes 2\nranks 3\nsteps 8\nckpt-every 4\npayload 16384\nrendezvous 4096\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.payload, 16384);
+        assert_eq!(plan.rndv_threshold, Some(4096));
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+        // Absent directives keep legacy plans eager with id-only payloads.
+        let legacy = FaultPlan::generate(5);
+        assert_eq!(legacy.payload, 8);
+        assert_eq!(legacy.rndv_threshold, None);
     }
 
     #[test]

@@ -98,10 +98,10 @@ fn bcast_survives_a_dropped_tree_edge() {
         } else {
             Vec::new()
         };
-        bcast(ep, comm, clock, Rank(0), data).unwrap()
+        bcast(ep, comm, clock, Rank(0), data.into()).unwrap()
     });
     for buf in &out {
-        assert_eq!(buf.as_slice(), b"starfish");
+        assert_eq!(&buf[..], b"starfish");
     }
     assert!(f.fault_stats().dropped >= 1, "the fault must actually fire");
 }
@@ -120,7 +120,7 @@ fn bcast_survives_lossy_links() {
     }
     let out = run_ranks(&f, 4, Duration::from_secs(20), |r, ep, comm, clock| {
         let data = if r == 0 { vec![42u8; 64] } else { Vec::new() };
-        bcast(ep, comm, clock, Rank(0), data).unwrap()
+        bcast(ep, comm, clock, Rank(0), data.into()).unwrap()
     });
     for buf in &out {
         assert_eq!(buf.len(), 64);
@@ -188,7 +188,7 @@ fn collective_over_a_crashed_node_errors_instead_of_hanging() {
         } else {
             Vec::new()
         };
-        bcast(ep, comm, clock, Rank(0), data)
+        bcast(ep, comm, clock, Rank(0), data.into())
             .err()
             .map(|e| e.to_string())
     });

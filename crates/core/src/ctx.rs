@@ -256,12 +256,12 @@ impl Ctx<'_> {
         self.rt.mpi.irecv_world(WORLD_CONTEXT, src, tag)
     }
 
-    /// Complete a request (receive requests block).
+    /// Complete a request (receive requests block; rendezvous sends pump
+    /// the endpoint until the payload is granted and pushed).
     pub fn wait(&mut self, req: Request) -> Result<Option<RecvdMsg>> {
         match req {
-            Request::Send { vt } => {
-                self.rt.clock.merge(vt);
-                Ok(None)
+            Request::Send { .. } | Request::RndvSend { .. } => {
+                self.rt.mpi.wait(&mut self.rt.clock, req)
             }
             Request::Recv { context, src, tag } => Ok(Some(self.recv_on(context, src, tag)?)),
         }
@@ -287,6 +287,7 @@ impl Ctx<'_> {
                 epoch: self.rt.mpi.epoch(),
                 interval: m.interval,
                 seq: 0,
+                flags: 0,
             },
             m.data.clone(),
         ));

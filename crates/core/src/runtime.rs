@@ -505,6 +505,12 @@ impl ProcessRuntime {
                     });
                 }
                 CrEffect::DataMark { to, msg } => {
+                    // Channel capture assumes everything in flight precedes
+                    // the marks on the wire: push any rendezvous payloads
+                    // still parked awaiting CTS *before* the mark, so the
+                    // per-link FIFO delivers them ahead of it (receivers
+                    // merge unsolicited DATA like a granted push).
+                    self.mpi.push_pending_rendezvous(&mut self.clock);
                     if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
                         eprintln!(
                             "[rt {}.{}] DataMark -> {to}: {msg:?} (epoch {})",
@@ -855,6 +861,7 @@ impl ProcessRuntime {
                                 epoch: self.mpi.epoch(),
                                 interval: 0,
                                 seq: 0,
+                                flags: 0,
                             },
                             Bytes::from(m.payload.clone()),
                         )

@@ -466,6 +466,47 @@ fn crash_at_various_times_always_recovers() {
     }
 }
 
+/// Stop-and-sync checkpoint with a *rendezvous* transfer in flight: rank 0
+/// isends a payload over the rendezvous threshold (RTS out, payload parked
+/// awaiting CTS — rank 1 has not posted the receive yet) and then starts a
+/// coordinated round. The flush protocol must push the parked payload ahead
+/// of its marks so channel capture sees it, and the payload must arrive
+/// intact exactly once after the round.
+#[test]
+fn checkpoint_with_rendezvous_in_flight_loses_nothing() {
+    const LEN: usize = 192 * 1024; // over DEFAULT_RNDV_THRESHOLD (64 KiB)
+    let cluster = Cluster::builder().nodes(2).build().unwrap();
+    cluster.register_app("bigsend", |ctx| {
+        let me = ctx.rank().0;
+        let state = CkptValue::Unit;
+        if me == 0 {
+            let payload: Vec<u8> = (0..LEN).map(|i| (i % 251) as u8).collect();
+            // RTS leaves, payload parks: no receive is posted on rank 1.
+            let req = ctx.isend(Rank(1), 7, &payload)?;
+            ctx.checkpoint(&state)?;
+            ctx.wait(req)?;
+            ctx.barrier()?;
+        } else {
+            // Let rank 0 park the transfer and start the round first.
+            std::thread::sleep(Duration::from_millis(50));
+            let m = ctx.recv(Some(Rank(0)), Some(7))?;
+            let intact = m.data.len() == LEN
+                && m.data
+                    .iter()
+                    .enumerate()
+                    .all(|(i, b)| *b == (i % 251) as u8);
+            ctx.publish(CkptValue::Int(intact as i64));
+            ctx.barrier()?;
+        }
+        Ok(())
+    });
+    let app = cluster.submit("bigsend", 2, SubmitOpts::default()).unwrap();
+    cluster.wait_app_done(app, T).unwrap();
+    assert_eq!(cluster.outputs(app, Rank(1)), vec![CkptValue::Int(1)]);
+    assert_eq!(cluster.store().latest_index(app, Rank(0)), 1);
+    assert_eq!(cluster.store().latest_index(app, Rank(1)), 1);
+}
+
 /// Checkpoint while heavy point-to-point traffic is in flight: nothing is
 /// lost or duplicated across the round.
 #[test]

@@ -351,18 +351,20 @@ impl Stack {
         let mut last_join_retry = std::time::Instant::now(); // lint: allow(wall-clock)
         loop {
             crossbeam::channel::select! {
-                recv(self.port.receiver()) -> pkt => {
-                    match pkt {
-                        Ok(p) => {
-                            if let LoopCtl::Exit = self.handle_packet(p) {
-                                return;
-                            }
-                        }
-                        Err(_) => {
-                            // Port closed: our node crashed or was removed.
-                            let _ = self.events_tx.send(GcEvent::Left);
+                recv(self.port.doorbell()) -> tok => {
+                    // The doorbell token means "packets may be waiting";
+                    // drain everything queued (the inbox contract requires a
+                    // full drain per token taken).
+                    while let Ok(Some(p)) = self.port.try_recv() {
+                        if let LoopCtl::Exit = self.handle_packet(p) {
                             return;
                         }
+                    }
+                    if tok.is_err() {
+                        // Doorbell disconnected: our node crashed or was
+                        // removed. Anything still queued was drained above.
+                        let _ = self.events_tx.send(GcEvent::Left);
+                        return;
                     }
                 }
                 recv(fabric_events) -> ev => {

@@ -7,7 +7,22 @@
 //! reduce) give the logarithmic depth one expects; the virtual-time cost of
 //! a collective is computed automatically by the clock max-merging in the
 //! endpoint layer.
+//!
+//! # Buffer discipline
+//!
+//! Per-rank blobs move as [`Bytes`] handles that alias the arrival buffer —
+//! receiving a blob never copies it, and multi-blob results are zero-copy
+//! slices. The only composite wire format is the allgather concatenation
+//! broadcast from rank 0:
+//!
+//! ```text
+//! [count: u32 BE] ( [len_i: u32 BE] [blob_i: len_i bytes] ) * count
+//! ```
+//!
+//! built once into a single contiguous buffer at the root; every receiver
+//! slices its `Vec<Bytes>` straight out of the broadcast buffer.
 
+use bytes::Bytes;
 use starfish_util::{Error, Rank, Result, VClock};
 
 use crate::comm::Comm;
@@ -167,14 +182,15 @@ pub fn barrier(ep: &mut MpiEndpoint, comm: &mut Comm, clock: &mut VClock) -> Res
 }
 
 /// `MPI_Bcast` of raw bytes from communicator rank `root`: binomial tree.
-/// Non-roots receive into the returned buffer.
+/// Non-roots receive into the returned buffer, which aliases the arrival
+/// buffer (no copy per tree level).
 pub fn bcast(
     ep: &mut MpiEndpoint,
     comm: &mut Comm,
     clock: &mut VClock,
     root: Rank,
-    data: Vec<u8>,
-) -> Result<Vec<u8>> {
+    data: Bytes,
+) -> Result<Bytes> {
     let n = comm.size() as usize;
     let me = comm.rank().index();
     let tag = coll_tag(OP_BCAST, comm.coll_seq);
@@ -189,7 +205,7 @@ pub fn bcast(
     while mask < n {
         if vr & mask != 0 {
             let src = Rank(((me + n - mask) % n) as u32);
-            buf = recv_c(ep, comm, clock, src, tag)?.data.to_vec();
+            buf = recv_c(ep, comm, clock, src, tag)?.data;
             break;
         }
         mask <<= 1;
@@ -262,33 +278,37 @@ pub fn allreduce<T: PodNum>(
         comm,
         clock,
         Rank(0),
-        reduced.map(|v| encode_slice(&v)).unwrap_or_default(),
+        reduced
+            .map(|v| Bytes::from(encode_slice(&v)))
+            .unwrap_or_default(),
     )?;
     decode_slice(&bytes)
 }
 
 /// `MPI_Gather` of per-rank byte blobs to `root`. Returns `Some(blobs)` in
-/// communicator-rank order at the root, `None` elsewhere.
+/// communicator-rank order at the root, `None` elsewhere. Each received
+/// blob aliases its arrival buffer — the root copies nothing but its own
+/// contribution.
 pub fn gather(
     ep: &mut MpiEndpoint,
     comm: &mut Comm,
     clock: &mut VClock,
     root: Rank,
     data: &[u8],
-) -> Result<Option<Vec<Vec<u8>>>> {
+) -> Result<Option<Vec<Bytes>>> {
     let n = comm.size() as usize;
     let me = comm.rank();
     let tag = coll_tag(OP_GATHER, comm.coll_seq);
     comm.coll_seq += 1;
     if me == root {
-        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
-        out[me.index()] = data.to_vec();
+        let mut out: Vec<Bytes> = vec![Bytes::new(); n];
+        out[me.index()] = Bytes::copy_from_slice(data);
         for (i, slot) in out.iter_mut().enumerate() {
             if i == me.index() {
                 continue;
             }
             let m = recv_c(ep, comm, clock, Rank(i as u32), tag)?;
-            *slot = m.data.to_vec();
+            *slot = m.data;
         }
         Ok(Some(out))
     } else {
@@ -304,8 +324,8 @@ pub fn scatter(
     comm: &mut Comm,
     clock: &mut VClock,
     root: Rank,
-    data: Option<Vec<Vec<u8>>>,
-) -> Result<Vec<u8>> {
+    data: Option<Vec<Bytes>>,
+) -> Result<Bytes> {
     let n = comm.size() as usize;
     let me = comm.rank();
     let tag = coll_tag(OP_SCATTER, comm.coll_seq);
@@ -325,31 +345,32 @@ pub fn scatter(
         }
         Ok(blobs[me.index()].clone())
     } else {
-        Ok(recv_c(ep, comm, clock, root, tag)?.data.to_vec())
+        Ok(recv_c(ep, comm, clock, root, tag)?.data)
     }
 }
 
 /// `MPI_Allgather` of per-rank blobs: gather to rank 0, then broadcast the
-/// concatenation.
+/// concatenation (wire layout in the module docs). Every returned blob is
+/// a zero-copy slice of the single broadcast buffer.
 pub fn allgather(
     ep: &mut MpiEndpoint,
     comm: &mut Comm,
     clock: &mut VClock,
     data: &[u8],
-) -> Result<Vec<Vec<u8>>> {
+) -> Result<Vec<Bytes>> {
     let gathered = gather(ep, comm, clock, Rank(0), data)?;
-    // Frame: [count, (len, bytes)*]
     let framed = gathered.map(|blobs| {
-        let mut out = Vec::new();
+        let total: usize = 4 + blobs.iter().map(|b| 4 + b.len()).sum::<usize>();
+        let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&(blobs.len() as u32).to_be_bytes());
         for b in &blobs {
             out.extend_from_slice(&(b.len() as u32).to_be_bytes());
             out.extend_from_slice(b);
         }
-        out
+        Bytes::from(out)
     });
     let bytes = bcast(ep, comm, clock, Rank(0), framed.unwrap_or_default())?;
-    // Unframe.
+    // Unframe by slicing the shared buffer.
     let mut out = Vec::new();
     let mut pos = 4usize;
     if bytes.len() < 4 {
@@ -365,20 +386,21 @@ pub fn allgather(
         if pos + len > bytes.len() {
             return Err(Error::codec("allgather frame truncated"));
         }
-        out.push(bytes[pos..pos + len].to_vec());
+        out.push(bytes.slice(pos..pos + len));
         pos += len;
     }
     Ok(out)
 }
 
 /// `MPI_Alltoall` of per-destination blobs (`send[i]` goes to communicator
-/// rank `i`); returns per-source blobs.
+/// rank `i`); returns per-source blobs, each aliasing its arrival buffer
+/// (only this rank's own blob is copied).
 pub fn alltoall(
     ep: &mut MpiEndpoint,
     comm: &mut Comm,
     clock: &mut VClock,
     send: &[Vec<u8>],
-) -> Result<Vec<Vec<u8>>> {
+) -> Result<Vec<Bytes>> {
     let n = comm.size() as usize;
     let me = comm.rank().index();
     if send.len() != n {
@@ -389,8 +411,8 @@ pub fn alltoall(
     }
     let tag = coll_tag(OP_ALLTOALL, comm.coll_seq);
     comm.coll_seq += 1;
-    let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
-    out[me] = send[me].clone();
+    let mut out: Vec<Bytes> = vec![Bytes::new(); n];
+    out[me] = Bytes::copy_from_slice(&send[me]);
     // Pairwise exchange: round r pairs me with me^r is only valid for powers
     // of two; use the simple shifted schedule instead.
     for r in 1..n {
@@ -398,7 +420,7 @@ pub fn alltoall(
         let src = (me + n - r) % n;
         send_c(ep, comm, clock, Rank(dst as u32), tag, &send[dst])?;
         let m = recv_c(ep, comm, clock, Rank(src as u32), tag)?;
-        out[src] = m.data.to_vec();
+        out[src] = m.data;
     }
     Ok(out)
 }
@@ -562,7 +584,7 @@ mod tests {
                     } else {
                         Vec::new()
                     };
-                    bcast(ep, comm, clock, Rank(root), data).unwrap()
+                    bcast(ep, comm, clock, Rank(root), data.into()).unwrap()
                 });
                 for v in res {
                     assert_eq!(v, format!("hello-{root}").into_bytes());
@@ -611,7 +633,7 @@ mod tests {
         }
         let res = run_ranks(4, |r, ep, comm, clock| {
             let data = if r == 0 {
-                Some((0..4).map(|i| vec![i as u8 * 10]).collect())
+                Some((0..4).map(|i| Bytes::from(vec![i as u8 * 10])).collect())
             } else {
                 None
             };

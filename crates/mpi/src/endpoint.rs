@@ -28,7 +28,9 @@ use starfish_vni::{Addr, Fabric, LayerCosts, Packet, PacketKind, PollingThread, 
 
 use crate::directory::RankDirectory;
 use crate::reliability::{FlowRx, FlowTx, RxVerdict};
-use crate::wire::{data_port, MsgHeader, RelMsg, CTRL_CONTEXT};
+use crate::wire::{
+    data_port, MsgHeader, RelMsg, RndvEnv, CTRL_CONTEXT, FLAG_RNDV_DATA, FLAG_RNDV_RTS,
+};
 
 /// Wildcard source for receives (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: Option<Rank> = None;
@@ -46,6 +48,39 @@ pub const REL_WINDOW: usize = 1024;
 /// How long a blocked concrete-source receive waits before probing the
 /// sender's flow with a [`RelMsg::Ping`] (recovers dropped packets).
 pub const REL_PING_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Default payload size at which sends leave the eager protocol for
+/// rendezvous (RTS → CTS → DATA). Set from the eager/rendezvous crossover
+/// measured by the fabric microbenchmarks (`starfish-bench`, see
+/// EXPERIMENTS.md): below this the extra control round-trip costs more than
+/// the unexpected-queue buffering it avoids.
+pub const DEFAULT_RNDV_THRESHOLD: usize = 64 * 1024;
+
+/// How a receiver paces CTS re-grants for a rendezvous transfer still
+/// awaiting its DATA. Real deployments throttle on wall time so a blocked
+/// receive cannot flood the wire; deterministic harnesses (the chaos
+/// driver) re-grant on every matching-receive encounter instead, keeping
+/// the packet schedule a pure function of the drain schedule — no
+/// wall-clock reads, so a replay is bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtsCadence {
+    /// At most one CTS per transfer per interval (the default, at
+    /// [`REL_PING_INTERVAL`]).
+    Interval(Duration),
+    /// One CTS per encounter of the still-ungranted transfer.
+    EveryEncounter,
+}
+
+/// Eager bytes a sender may have outstanding toward one destination before
+/// its sends fall back to rendezvous *regardless of size*. Together with
+/// the rendezvous threshold this bounds the receiver's unexpected-queue
+/// memory per peer: at most `EAGER_CREDIT_BYTES` of payload plus
+/// placeholder envelopes.
+pub const EAGER_CREDIT_BYTES: usize = 1 << 20;
+
+/// Consumed-byte granularity at which a receiver returns eager credit to
+/// the sender. Batched so credit control traffic stays off the common path.
+pub const CREDIT_BATCH_BYTES: usize = 64 * 1024;
 
 /// Sender-side record retained per reliable message for retransmission:
 /// `(framed payload, model_len, original depart vt, tag)`.
@@ -77,12 +112,48 @@ pub struct RecvdMsg {
 pub enum Request {
     /// An eager send: already on the wire.
     Send { vt: VirtualTime },
+    /// A rendezvous send: the RTS is on the wire, the payload leaves when
+    /// the receiver's CTS arrives. Completed by `wait` (which pumps the
+    /// network until the payload is pushed) or externally observable via
+    /// [`MpiEndpoint::pending_rendezvous`].
+    RndvSend { id: u64, vt: VirtualTime },
     /// A posted receive, completed by `wait`.
     Recv {
         context: u32,
         src: Option<Rank>,
         tag: Option<u64>,
     },
+}
+
+/// The payload slot of an unexpected-queue entry.
+#[derive(Debug, Clone)]
+enum Body {
+    /// A fully-arrived message (eager, or rendezvous after its DATA merged).
+    Eager(Bytes),
+    /// A rendezvous RTS whose payload has not arrived yet: matchable (so
+    /// MPI non-overtaking order is preserved) but not yet consumable.
+    RndvPending { id: u64, size: u64 },
+}
+
+/// Outcome of scanning the unexpected queue for a posted receive.
+enum Matched {
+    /// A complete message was matched and removed.
+    Ready((MsgHeader, Bytes, VirtualTime)),
+    /// The first matching entry is a rendezvous placeholder: the receive
+    /// must grant (or re-grant) its CTS and wait for the payload. Scanning
+    /// past it would break per-sender non-overtaking, so nothing later is
+    /// considered.
+    Await { src: Rank, id: u64 },
+    /// Nothing matches.
+    None,
+}
+
+/// A sender-side rendezvous transfer parked until the receiver's CTS.
+struct PendingRndv {
+    dst: Rank,
+    context: u32,
+    tag: u64,
+    data: Bytes,
 }
 
 /// How the receive side is driven — the polling-thread ablation (§2.2.1).
@@ -124,7 +195,9 @@ pub struct MpiEndpoint {
     trace: TraceSink,
     source: Source,
     /// Parsed messages that arrived before a matching receive was posted.
-    unexpected: VecDeque<(MsgHeader, Bytes, VirtualTime)>,
+    /// Rendezvous transfers appear here as [`Body::RndvPending`]
+    /// placeholders from RTS arrival until their DATA merges in place.
+    unexpected: VecDeque<(MsgHeader, Body, VirtualTime)>,
     /// Drained C/R data-path marks awaiting the C/R module (with the epoch
     /// they were sent in: marks from a future epoch are held until this
     /// process rolls forward into it).
@@ -163,6 +236,25 @@ pub struct MpiEndpoint {
     blocking_timeout: Duration,
     out_flows: HashMap<Rank, OutFlow>,
     in_flows: HashMap<(Rank, Epoch), InFlow>,
+    /// Payload size at which sends switch to the rendezvous protocol.
+    rndv_threshold: usize,
+    /// Rendezvous transfers whose RTS is out but whose payload has not been
+    /// pushed yet (waiting for CTS), keyed by transfer id.
+    pending_rndv_tx: HashMap<u64, PendingRndv>,
+    /// Next rendezvous transfer id (unique per endpoint incarnation).
+    next_rndv_id: u64,
+    /// Rendezvous payloads whose DATA arrived before its RTS placeholder
+    /// (possible outside the reliability layer), keyed by (sender, id).
+    rndv_payloads: HashMap<(Rank, u64), Bytes>,
+    /// Last CTS grant per (sender, transfer id): re-grants are paced by
+    /// `cts_cadence` so a blocked receive does not flood.
+    cts_last: HashMap<(Rank, u64), std::time::Instant>,
+    /// CTS re-grant pacing policy.
+    cts_cadence: CtsCadence,
+    /// Remaining eager byte budget per destination (credit flow control).
+    eager_budget: HashMap<Rank, usize>,
+    /// Eager bytes consumed per source, not yet returned as credit.
+    credit_owed: HashMap<Rank, usize>,
 }
 
 impl MpiEndpoint {
@@ -212,7 +304,27 @@ impl MpiEndpoint {
             blocking_timeout: BLOCKING_TIMEOUT,
             out_flows: HashMap::new(),
             in_flows: HashMap::new(),
+            rndv_threshold: DEFAULT_RNDV_THRESHOLD,
+            pending_rndv_tx: HashMap::new(),
+            next_rndv_id: 1,
+            rndv_payloads: HashMap::new(),
+            cts_last: HashMap::new(),
+            cts_cadence: CtsCadence::Interval(REL_PING_INTERVAL),
+            eager_budget: HashMap::new(),
+            credit_owed: HashMap::new(),
         })
+    }
+
+    /// Override the payload size at which sends switch from eager to
+    /// rendezvous ([`DEFAULT_RNDV_THRESHOLD`] otherwise). `usize::MAX`
+    /// disables rendezvous entirely.
+    pub fn set_rendezvous_threshold(&mut self, bytes: usize) {
+        self.rndv_threshold = bytes;
+    }
+
+    /// Override the CTS re-grant pacing (see [`CtsCadence`]).
+    pub fn set_cts_cadence(&mut self, cadence: CtsCadence) {
+        self.cts_cadence = cadence;
     }
 
     /// Switch the reliability layer on or off (see the `reliable` field).
@@ -287,6 +399,14 @@ impl MpiEndpoint {
         // rolled-back incarnations are dropped with their past.
         self.out_flows.clear();
         self.in_flows.retain(|(_, ep), _| *ep >= e);
+        // In-flight rendezvous state belongs to the rolled-back incarnation:
+        // unsent payloads were captured (or re-sent) by the C/R protocol,
+        // stray DATA/CTS from the old epoch is dropped on arrival anyway.
+        self.pending_rndv_tx.clear();
+        self.rndv_payloads.clear();
+        self.cts_last.clear();
+        self.eager_budget.clear();
+        self.credit_owed.clear();
     }
 
     fn check_abort(&self) -> Result<()> {
@@ -323,6 +443,23 @@ impl MpiEndpoint {
         tag: u64,
         data: &[u8],
     ) -> Result<()> {
+        if context != CTRL_CONTEXT && self.wants_rendezvous(dst, data.len()) {
+            let id = self.start_rendezvous(clock, dst, context, tag, data)?;
+            return self.finish_rendezvous(clock, id);
+        }
+        self.send_eager(clock, dst, context, tag, data)
+    }
+
+    /// The eager path: the payload leaves immediately, charged against the
+    /// destination's credit budget.
+    fn send_eager(
+        &mut self,
+        clock: &mut VClock,
+        dst: Rank,
+        context: u32,
+        tag: u64,
+        data: &[u8],
+    ) -> Result<()> {
         // Assign the next flow sequence but commit it only when the send
         // succeeds: a failed attempt must not leave a permanent gap the
         // receiver would wait on forever.
@@ -338,11 +475,142 @@ impl MpiEndpoint {
             epoch: self.epoch,
             interval: self.piggyback_interval,
             seq,
+            flags: 0,
         };
         let (framed, depart) = self.raw_send(clock, dst, header, data)?;
         if seq != 0 {
             let flow = self.out_flows.get_mut(&dst).expect("flow created above");
             flow.commit(seq, (framed, data.len(), depart, tag));
+        }
+        if context != CTRL_CONTEXT {
+            let budget = self.eager_budget.entry(dst).or_insert(EAGER_CREDIT_BYTES);
+            *budget = budget.saturating_sub(data.len());
+        }
+        Ok(())
+    }
+
+    /// Should this payload go rendezvous? Either it is large, or the
+    /// destination's eager credit is exhausted (bounding unexpected-queue
+    /// memory on the receiver even under a flood of small messages).
+    fn wants_rendezvous(&mut self, dst: Rank, len: usize) -> bool {
+        if len >= self.rndv_threshold {
+            return true;
+        }
+        let budget = *self.eager_budget.get(&dst).unwrap_or(&EAGER_CREDIT_BYTES);
+        if budget < len {
+            if let Some(m) = &self.metrics {
+                m.inc(metric::MPI_CREDIT_FALLBACKS);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Send the RTS of a rendezvous transfer and park the payload until the
+    /// receiver's CTS. The RTS rides the normal data path (sequenced when
+    /// the reliability layer is on, so a lost RTS is repaired like any lost
+    /// data message) with [`FLAG_RNDV_RTS`] set and a [`RndvEnv`] body.
+    fn start_rendezvous(
+        &mut self,
+        clock: &mut VClock,
+        dst: Rank,
+        context: u32,
+        tag: u64,
+        data: &[u8],
+    ) -> Result<u64> {
+        let id = self.next_rndv_id;
+        let env = RndvEnv {
+            id,
+            size: data.len() as u64,
+        };
+        let seq = if self.reliable && context != CTRL_CONTEXT {
+            self.out_flows.entry(dst).or_default().peek_seq()
+        } else {
+            0
+        };
+        let header = MsgHeader {
+            src: self.rank,
+            context,
+            tag,
+            epoch: self.epoch,
+            interval: self.piggyback_interval,
+            seq,
+            flags: FLAG_RNDV_RTS,
+        };
+        let (framed, depart) = self.raw_send(clock, dst, header, &env.encode())?;
+        if seq != 0 {
+            let flow = self.out_flows.get_mut(&dst).expect("flow created above");
+            flow.commit(seq, (framed, RndvEnv::LEN, depart, tag));
+        }
+        self.next_rndv_id += 1;
+        self.pending_rndv_tx.insert(
+            id,
+            PendingRndv {
+                dst,
+                context,
+                tag,
+                data: Bytes::copy_from_slice(data),
+            },
+        );
+        if let Some(m) = &self.metrics {
+            m.inc(metric::MPI_RNDV_SENDS);
+            m.record(metric::MPI_RNDV_BYTES, data.len() as u64);
+        }
+        Ok(id)
+    }
+
+    /// Push a parked rendezvous payload onto the wire: one DATA message,
+    /// [`FLAG_RNDV_DATA`] set, body = transfer id ++ payload, sequenced at
+    /// *this* moment (the flow gap between RTS and DATA stays open no
+    /// longer than the CTS round-trip).
+    fn send_rndv_data(&mut self, clock: &mut VClock, id: u64) {
+        let Some(p) = self.pending_rndv_tx.remove(&id) else {
+            return; // duplicate CTS: the payload already left
+        };
+        let seq = if self.reliable && p.context != CTRL_CONTEXT {
+            self.out_flows.entry(p.dst).or_default().peek_seq()
+        } else {
+            0
+        };
+        let header = MsgHeader {
+            src: self.rank,
+            context: p.context,
+            tag: p.tag,
+            epoch: self.epoch,
+            interval: self.piggyback_interval,
+            seq,
+            flags: FLAG_RNDV_DATA,
+        };
+        match self.raw_send_parts(clock, p.dst, header, &id.to_be_bytes(), &p.data) {
+            Ok((framed, depart)) => {
+                if seq != 0 {
+                    let flow = self.out_flows.get_mut(&p.dst).expect("flow created above");
+                    flow.commit(seq, (framed, p.data.len(), depart, p.tag));
+                }
+            }
+            Err(_) => {
+                // Peer unreachable right now (mid-restart): park again, the
+                // next CTS re-grant or quiescence push retries.
+                self.pending_rndv_tx.insert(id, p);
+            }
+        }
+    }
+
+    /// Complete a blocking rendezvous send: pump the network (servicing
+    /// CTS/NACK traffic) until the payload has been pushed.
+    fn finish_rendezvous(&mut self, clock: &mut VClock, id: u64) -> Result<()> {
+        let deadline = std::time::Instant::now() + self.blocking_timeout; // lint: allow(wall-clock)
+        while self.pending_rndv_tx.contains_key(&id) {
+            self.check_abort()?;
+            let remain = deadline
+                .checked_duration_since(std::time::Instant::now()) // lint: allow(wall-clock)
+                .ok_or_else(|| {
+                    // The transfer is dead: drop it so quiescence pushes do
+                    // not resurrect a send the caller saw fail.
+                    self.pending_rndv_tx.remove(&id);
+                    Error::timeout(format!("rendezvous send {id} awaiting CTS"))
+                })?;
+            self.ingest_one(clock, Some(remain.min(REL_PING_INTERVAL)))?;
         }
         Ok(())
     }
@@ -354,12 +622,26 @@ impl MpiEndpoint {
         header: MsgHeader,
         data: &[u8],
     ) -> Result<(Bytes, VirtualTime)> {
+        self.raw_send_parts(clock, dst, header, &[], data)
+    }
+
+    /// Frame and send one data-path message. `prefix` (the rendezvous
+    /// transfer id on DATA messages, empty otherwise) lands between header
+    /// and body so the payload is copied into the wire buffer exactly once.
+    fn raw_send_parts(
+        &mut self,
+        clock: &mut VClock,
+        dst: Rank,
+        header: MsgHeader,
+        prefix: &[u8],
+        data: &[u8],
+    ) -> Result<(Bytes, VirtualTime)> {
         let dst_node = self.dir.node_of(dst)?;
         let app = self.app;
         let ctx = self
             .recorder
             .on_send(clock.now(), dst.0, header.context, header.tag, data.len());
-        let payload = header.frame_ext(data, ctx);
+        let payload = header.frame_ext_prefixed(prefix, data, ctx);
         self.trace.record(
             MsgClass::Data,
             ActorKind::AppProcess,
@@ -394,7 +676,9 @@ impl MpiEndpoint {
         Ok((payload, depart))
     }
 
-    /// Non-blocking send (eager: completes immediately).
+    /// Non-blocking send. Eager payloads are on the wire when this returns;
+    /// rendezvous payloads leave when the receiver grants CTS (drive with
+    /// `wait`, or keep pumping receives and watch `pending_rendezvous`).
     pub fn isend_world(
         &mut self,
         clock: &mut VClock,
@@ -403,7 +687,14 @@ impl MpiEndpoint {
         tag: u64,
         data: &[u8],
     ) -> Result<Request> {
-        self.send_world(clock, dst, context, tag, data)?;
+        if context != CTRL_CONTEXT && self.wants_rendezvous(dst, data.len()) {
+            let id = self.start_rendezvous(clock, dst, context, tag, data)?;
+            return Ok(Request::RndvSend {
+                id,
+                vt: clock.now(),
+            });
+        }
+        self.send_eager(clock, dst, context, tag, data)?;
         Ok(Request::Send { vt: clock.now() })
     }
 
@@ -417,6 +708,7 @@ impl MpiEndpoint {
             epoch: self.epoch,
             interval: self.piggyback_interval,
             seq: 0,
+            flags: 0,
         };
         self.raw_send(clock, dst, header, body).map(|_| ())
     }
@@ -432,6 +724,7 @@ impl MpiEndpoint {
             epoch: self.epoch,
             interval: self.piggyback_interval,
             seq: 0,
+            flags: 0,
         };
         let mut replay_clock = VClock::starting_at(at);
         self.raw_send(&mut replay_clock, dst, header, body)
@@ -552,11 +845,86 @@ impl MpiEndpoint {
         Ok(true)
     }
 
-    /// Hand a parsed in-order data message to the matching queues. This is
-    /// the exactly-once-per-delivered-message point (duplicates and stale
-    /// epochs were discarded above), so the flight recorder's Recv event is
-    /// recorded here.
+    /// Hand a parsed in-order data message to the matching queues,
+    /// dispatching on the rendezvous flags: an RTS becomes a matchable
+    /// placeholder (or completes immediately if its DATA raced ahead), a
+    /// DATA message merges into its placeholder in place (preserving the
+    /// RTS's matching position, i.e. per-sender non-overtaking), and plain
+    /// eager messages are delivered directly.
     fn enqueue_parsed(
+        &mut self,
+        header: MsgHeader,
+        body: Bytes,
+        arrive: VirtualTime,
+        ctx: TraceCtx,
+    ) {
+        if header.flags & FLAG_RNDV_RTS != 0 {
+            let Ok(env) = RndvEnv::decode(&body) else {
+                return; // corrupt envelope: drop
+            };
+            if let Some(payload) = self.rndv_payloads.remove(&(header.src, env.id)) {
+                // DATA overtook the RTS (unsequenced traffic only): the
+                // transfer is complete the moment it becomes matchable.
+                let mut h = header;
+                h.flags = FLAG_RNDV_DATA;
+                self.finish_delivery(h, payload, arrive, ctx);
+            } else {
+                self.unexpected.push_back((
+                    header,
+                    Body::RndvPending {
+                        id: env.id,
+                        size: env.size,
+                    },
+                    arrive,
+                ));
+            }
+            return;
+        }
+        if header.flags & FLAG_RNDV_DATA != 0 {
+            if body.len() < 8 {
+                return; // corrupt: DATA must carry its transfer id
+            }
+            let id = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
+            let payload = body.slice(8..);
+            let pos = self.unexpected.iter().position(|(h, b, _)| {
+                h.src == header.src
+                    && h.epoch == header.epoch
+                    && matches!(b, Body::RndvPending { id: pid, .. } if *pid == id)
+            });
+            if let Some(i) = pos {
+                let entry = &mut self.unexpected[i];
+                if let Body::RndvPending { size, .. } = entry.1 {
+                    if payload.len() as u64 != size {
+                        return; // truncated/corrupt payload: keep waiting
+                    }
+                }
+                // Keep the DATA flag on the merged header: it marks the
+                // payload as credit-exempt when it is finally consumed.
+                entry.0.flags = FLAG_RNDV_DATA;
+                entry.0.interval = header.interval;
+                entry.1 = Body::Eager(payload.clone());
+                entry.2 = arrive;
+                let h = entry.0;
+                self.cts_last.remove(&(h.src, id));
+                // The transfer completes *here*: record the receive (and
+                // any Chandy–Lamport channel recording) at merge time.
+                self.recorder
+                    .on_recv(arrive, h.src.0, h.context, h.tag, payload.len(), ctx);
+                if self.recording.contains(&h.src) {
+                    self.recorded.push((h, payload));
+                }
+            } else {
+                self.rndv_payloads.insert((header.src, id), payload);
+            }
+            return;
+        }
+        self.finish_delivery(header, body, arrive, ctx);
+    }
+
+    /// Deliver a complete message: the exactly-once-per-delivered-message
+    /// point (duplicates and stale epochs were discarded above), so the
+    /// flight recorder's Recv event and C/R channel recording happen here.
+    fn finish_delivery(
         &mut self,
         header: MsgHeader,
         body: Bytes,
@@ -574,7 +942,8 @@ impl MpiEndpoint {
         if self.recording.contains(&header.src) {
             self.recorded.push((header, body.clone()));
         }
-        self.unexpected.push_back((header, body, arrive));
+        self.unexpected
+            .push_back((header, Body::Eager(body), arrive));
     }
 
     /// Send a reliability control message to `dst`'s data port. Costs no
@@ -639,6 +1008,28 @@ impl MpiEndpoint {
                     }
                 }
             }
+            RelMsg::Cts { from, epoch, id } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                debug_assert!(
+                    self.pending_rndv_tx
+                        .get(&id)
+                        .map(|p| p.dst == from)
+                        .unwrap_or(true),
+                    "CTS for transfer {id} from wrong peer"
+                );
+                self.send_rndv_data(clock, id);
+            }
+            RelMsg::Credit { from, epoch, bytes } => {
+                if epoch != self.epoch {
+                    return;
+                }
+                let budget = self.eager_budget.entry(from).or_insert(EAGER_CREDIT_BYTES);
+                *budget = budget
+                    .saturating_add(bytes as usize)
+                    .min(EAGER_CREDIT_BYTES);
+            }
         }
     }
 
@@ -697,18 +1088,98 @@ impl MpiEndpoint {
         }
     }
 
-    fn take_unexpected(
-        &mut self,
-        context: u32,
-        src: Option<Rank>,
-        tag: Option<u64>,
-    ) -> Option<(MsgHeader, Bytes, VirtualTime)> {
+    fn take_unexpected(&mut self, context: u32, src: Option<Rank>, tag: Option<u64>) -> Matched {
         let epoch = self.epoch;
-        let idx = self
+        let Some(idx) = self
             .unexpected
             .iter()
-            .position(|(h, _, _)| Self::matches(epoch, h, context, src, tag))?;
-        self.unexpected.remove(idx)
+            .position(|(h, _, _)| Self::matches(epoch, h, context, src, tag))
+        else {
+            return Matched::None;
+        };
+        match &self.unexpected[idx].1 {
+            Body::Eager(_) => {
+                let (h, b, at) = self.unexpected.remove(idx).expect("idx in range");
+                let Body::Eager(bytes) = b else {
+                    unreachable!()
+                };
+                Matched::Ready((h, bytes, at))
+            }
+            Body::RndvPending { id, .. } => Matched::Await {
+                src: self.unexpected[idx].0.src,
+                id: *id,
+            },
+        }
+    }
+
+    /// Bookkeeping for a consumed message: eager payloads owe their sender
+    /// credit back, returned in [`CREDIT_BATCH_BYTES`] batches. Rendezvous
+    /// payloads (DATA flag still set on the merged header) never charged
+    /// credit, so they return none.
+    fn note_consumed(&mut self, clock: &mut VClock, h: &MsgHeader, len: usize) {
+        if h.context == CTRL_CONTEXT || h.flags & FLAG_RNDV_DATA != 0 {
+            return;
+        }
+        let owed = self.credit_owed.entry(h.src).or_insert(0);
+        *owed += len;
+        if *owed >= CREDIT_BATCH_BYTES {
+            let bytes = *owed as u64;
+            *owed = 0;
+            let _ = self.send_rel(
+                clock,
+                h.src,
+                RelMsg::Credit {
+                    from: self.rank,
+                    epoch: self.epoch,
+                    bytes,
+                },
+            );
+        }
+    }
+
+    /// Grant (or re-grant) a rendezvous transfer: tell the sender to push
+    /// its payload. Grants are cadence-limited per transfer; with the
+    /// reliability layer on, a Ping rides along so a lost RTS/DATA sequence
+    /// is repaired by the same probe.
+    fn send_cts(&mut self, clock: &mut VClock, peer: Rank, id: u64) {
+        let now = std::time::Instant::now(); // lint: allow(wall-clock)
+        match (self.cts_cadence, self.cts_last.get(&(peer, id))) {
+            (CtsCadence::Interval(every), Some(last)) if now.duration_since(*last) < every => {
+                return
+            }
+            (_, Some(_)) => {
+                if let Some(m) = &self.metrics {
+                    m.inc(metric::MPI_CTS_RESENDS);
+                }
+            }
+            (_, None) => {}
+        }
+        self.cts_last.insert((peer, id), now);
+        let _ = self.send_rel(
+            clock,
+            peer,
+            RelMsg::Cts {
+                from: self.rank,
+                epoch: self.epoch,
+                id,
+            },
+        );
+        if self.reliable {
+            let next = self
+                .in_flows
+                .get(&(peer, self.epoch))
+                .map(|f| f.next_expected())
+                .unwrap_or(1);
+            let _ = self.send_rel(
+                clock,
+                peer,
+                RelMsg::Ping {
+                    from: self.rank,
+                    epoch: self.epoch,
+                    next,
+                },
+            );
+        }
     }
 
     /// Blocking receive with wildcards. Charges receive-side layer costs and
@@ -740,17 +1211,27 @@ impl MpiEndpoint {
         let mut next_ping = std::time::Instant::now() + REL_PING_INTERVAL; // lint: allow(wall-clock)
         loop {
             self.check_abort()?;
-            if let Some((h, body, arrive)) = self.take_unexpected(context, src, tag) {
-                clock.merge(arrive);
-                clock.advance(self.layers.recv_total());
-                self.note_recv();
-                return Ok(RecvdMsg {
-                    src: h.src,
-                    tag: h.tag,
-                    data: body,
-                    vt: clock.now(),
-                    interval: h.interval,
-                });
+            match self.take_unexpected(context, src, tag) {
+                Matched::Ready((h, body, arrive)) => {
+                    self.note_consumed(clock, &h, body.len());
+                    clock.merge(arrive);
+                    clock.advance(self.layers.recv_total());
+                    self.note_recv();
+                    return Ok(RecvdMsg {
+                        src: h.src,
+                        tag: h.tag,
+                        data: body,
+                        vt: clock.now(),
+                        interval: h.interval,
+                    });
+                }
+                Matched::Await { src: peer, id } => {
+                    // Our receive is the one this transfer is waiting on:
+                    // grant (or re-grant, if the last CTS was lost) and keep
+                    // pumping until the payload merges.
+                    self.send_cts(clock, peer, id);
+                }
+                Matched::None => {}
             }
             if probe {
                 if let Some(peer) = src {
@@ -797,20 +1278,28 @@ impl MpiEndpoint {
     ) -> Result<Option<RecvdMsg>> {
         // Drain whatever has arrived, then match.
         while self.ingest_one(clock, None)? {}
-        Ok(self
-            .take_unexpected(context, src, tag)
-            .map(|(h, body, arrive)| {
+        match self.take_unexpected(context, src, tag) {
+            Matched::Ready((h, body, arrive)) => {
+                self.note_consumed(clock, &h, body.len());
                 clock.merge(arrive);
                 clock.advance(self.layers.recv_total());
                 self.note_recv();
-                RecvdMsg {
+                Ok(Some(RecvdMsg {
                     src: h.src,
                     tag: h.tag,
                     data: body,
                     vt: clock.now(),
                     interval: h.interval,
-                }
-            }))
+                }))
+            }
+            Matched::Await { src: peer, id } => {
+                // Not consumable yet, but grant the CTS so repeated polling
+                // makes progress (cadence-limited inside send_cts).
+                self.send_cts(clock, peer, id);
+                Ok(None)
+            }
+            Matched::None => Ok(None),
+        }
     }
 
     /// Post a non-blocking receive.
@@ -824,6 +1313,11 @@ impl MpiEndpoint {
         match req {
             Request::Send { vt } => {
                 clock.merge(vt);
+                Ok(None)
+            }
+            Request::RndvSend { id, vt } => {
+                clock.merge(vt);
+                self.finish_rendezvous(clock, id)?;
                 Ok(None)
             }
             Request::Recv { context, src, tag } => {
@@ -841,7 +1335,35 @@ impl MpiEndpoint {
                 // Completed; nothing to return for a send.
                 Ok(None)
             }
+            Request::RndvSend { id, vt } => {
+                clock.merge(*vt);
+                // Pump once so a waiting CTS is serviced; completion is
+                // observable as the transfer leaving the pending set.
+                while self.ingest_one(clock, None)? {}
+                let _ = id;
+                Ok(None)
+            }
             Request::Recv { context, src, tag } => self.try_recv_world(clock, *context, *src, *tag),
+        }
+    }
+
+    /// Number of rendezvous sends whose payload has not left yet (RTS out,
+    /// CTS pending). Quiescence protocols gate on this reaching zero.
+    pub fn pending_rendezvous(&self) -> usize {
+        self.pending_rndv_tx.len()
+    }
+
+    /// Push every parked rendezvous payload *without* waiting for its CTS.
+    /// Called by the C/R protocols before emitting flush marks or
+    /// Chandy–Lamport markers: channel capture assumes all in-flight data
+    /// precedes the marks on the wire, so parked payloads must be on the
+    /// wire first (receivers accept unsolicited DATA — it merges into the
+    /// RTS placeholder exactly as a granted push would).
+    pub fn push_pending_rendezvous(&mut self, clock: &mut VClock) {
+        let mut ids: Vec<u64> = self.pending_rndv_tx.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.send_rndv_data(clock, id);
         }
     }
 
@@ -904,12 +1426,20 @@ impl MpiEndpoint {
 
     /// Capture the channel state for a checkpoint: every unconsumed data
     /// message (parsed unexpected queue + anything still in the raw queue).
+    /// Unfulfilled rendezvous placeholders are skipped: their sender pushed
+    /// the payload (`push_pending_rendezvous`) before its flush mark, and
+    /// the per-link FIFO guarantees it arrives before the marks complete —
+    /// so by the time the snapshot is actually taken the placeholder has
+    /// merged or its payload is still counted on the sender's side.
     pub fn snapshot_channel(&mut self, clock: &mut VClock) -> Vec<(MsgHeader, Bytes)> {
         while matches!(self.ingest_one(clock, None), Ok(true)) {}
         self.unexpected
             .iter()
             .filter(|(h, _, _)| h.epoch == self.epoch)
-            .map(|(h, b, _)| (*h, b.clone()))
+            .filter_map(|(h, b, _)| match b {
+                Body::Eager(bytes) => Some((*h, bytes.clone())),
+                Body::RndvPending { .. } => None,
+            })
             .collect()
     }
 
@@ -919,7 +1449,7 @@ impl MpiEndpoint {
     /// re-sent); everything older is dropped with the rolled-back past.
     pub fn restore_channel(&mut self, msgs: Vec<(MsgHeader, Bytes)>, restart_vt: VirtualTime) {
         let epoch = self.epoch;
-        let survivors: Vec<(MsgHeader, Bytes, VirtualTime)> = self
+        let survivors: Vec<(MsgHeader, Body, VirtualTime)> = self
             .unexpected
             .drain(..)
             .filter(|(h, _, _)| h.epoch == epoch)
@@ -930,11 +1460,13 @@ impl MpiEndpoint {
         self.recorded.clear();
         for (mut h, b) in msgs {
             // Restored messages belong to the *new* epoch, and sit outside
-            // the reliability flows (their originals were already sequenced
-            // by a rolled-back incarnation).
+            // the reliability flows and the rendezvous protocol (their
+            // originals were already sequenced/transferred by a rolled-back
+            // incarnation) — they are complete eager payloads now.
             h.epoch = epoch;
             h.seq = 0;
-            self.unexpected.push_back((h, b, restart_vt));
+            h.flags = 0;
+            self.unexpected.push_back((h, Body::Eager(b), restart_vt));
         }
         self.unexpected.extend(survivors);
     }
@@ -1375,6 +1907,196 @@ mod tests {
         let dag = starfish_trace::reassemble(vec![a.recorder().dump(), b.recorder().dump()]);
         assert_eq!(dag.message_edges, 1, "send must stitch to its recv");
         dag.check().unwrap();
+    }
+
+    // ---- rendezvous protocol ----------------------------------------------
+
+    /// Blocking rendezvous end-to-end: a payload over the threshold goes
+    /// RTS → CTS → DATA and arrives intact, with the sender's blocking send
+    /// pumping its own endpoint until the payload is granted.
+    #[test]
+    fn rendezvous_roundtrip_large_payload() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep(&f, &dir, 0);
+        let mut b = ep(&f, &dir, 1);
+        a.set_rendezvous_threshold(1024);
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        let t = std::thread::spawn(move || {
+            let mut cb = VClock::new();
+            b.recv_world(&mut cb, 1, Some(Rank(0)), Some(7)).unwrap()
+        });
+        let mut ca = VClock::new();
+        a.send_world(&mut ca, Rank(1), 1, 7, &payload).unwrap();
+        assert_eq!(a.pending_rendezvous(), 0, "blocking send pushes the data");
+        let m = t.join().unwrap();
+        assert_eq!(&m.data[..], &expect[..]);
+        assert_eq!(m.src, Rank(0));
+        assert_eq!(m.tag, 7);
+    }
+
+    /// A rendezvous transfer across a link that drops, duplicates and
+    /// reorders in both directions still delivers exactly once: lost RTS or
+    /// DATA is repaired by the reliability layer, a lost CTS by the
+    /// receiver's cadence-limited re-grant.
+    #[test]
+    fn rendezvous_exactly_once_over_faulty_link() {
+        use starfish_util::NodeId;
+        use starfish_vni::LinkFault;
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep_direct(&f, &dir, 0);
+        let mut b = ep_direct(&f, &dir, 1);
+        a.set_rendezvous_threshold(64);
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        f.set_link_fault(
+            NodeId(0),
+            NodeId(1),
+            LinkFault::seeded(7).drop(0.3).duplicate(0.3).reorder(0.3),
+        );
+        f.set_link_fault(
+            NodeId(1),
+            NodeId(0),
+            LinkFault::seeded(8).drop(0.2).duplicate(0.2),
+        );
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i * 7 % 256) as u8).collect();
+        let req = a.isend_world(&mut ca, Rank(1), 1, 3, &payload).unwrap();
+        assert!(matches!(req, Request::RndvSend { .. }));
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let got = loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "rendezvous did not complete over faulty link"
+            );
+            if let Some(m) = b
+                .try_recv_world(&mut cb, 1, Some(Rank(0)), Some(3))
+                .unwrap()
+            {
+                break m;
+            }
+            // Repair loop: the sender advertises its flow tail and services
+            // CTS/NACK traffic; real time passes so the CTS re-grant
+            // cadence can elapse.
+            a.flush_reliable(&mut ca);
+            while a.ingest_one(&mut ca, None).unwrap() {}
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert_eq!(&got.data[..], &payload[..]);
+        assert_eq!(a.pending_rendezvous(), 0);
+        // Exactly once: nothing further is delivered.
+        while a.ingest_one(&mut ca, None).unwrap() {}
+        assert!(b
+            .try_recv_world(&mut cb, 1, ANY_SOURCE, ANY_TAG)
+            .unwrap()
+            .is_none());
+        assert!(f.fault_stats().conserved());
+    }
+
+    /// A sender that exhausts its eager credit toward one destination falls
+    /// back to rendezvous even for tiny payloads, and the receiver's
+    /// consumption returns credit that completes the transfer.
+    #[test]
+    fn exhausted_credit_forces_rendezvous_fallback() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep(&f, &dir, 0);
+        let mut b = ep(&f, &dir, 1);
+        a.set_rendezvous_threshold(usize::MAX); // size alone never triggers
+        let chunk = vec![0u8; 256 * 1024];
+        let mut ca = VClock::new();
+        for _ in 0..4 {
+            // 4 × 256 KiB = exactly EAGER_CREDIT_BYTES
+            a.send_world(&mut ca, Rank(1), 1, 1, &chunk).unwrap();
+        }
+        let req = a.isend_world(&mut ca, Rank(1), 1, 1, &[1, 2, 3]).unwrap();
+        assert!(
+            matches!(req, Request::RndvSend { .. }),
+            "credit exhaustion must force rendezvous"
+        );
+        assert_eq!(a.pending_rendezvous(), 1);
+        let mut cb = VClock::new();
+        for _ in 0..4 {
+            let m = b.recv_world(&mut cb, 1, ANY_SOURCE, Some(1)).unwrap();
+            assert_eq!(m.data.len(), chunk.len());
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let got = loop {
+            assert!(std::time::Instant::now() < deadline);
+            if let Some(m) = b.try_recv_world(&mut cb, 1, ANY_SOURCE, Some(1)).unwrap() {
+                break m;
+            }
+            while a.ingest_one(&mut ca, None).unwrap() {}
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(&got.data[..], &[1, 2, 3]);
+        assert_eq!(a.pending_rendezvous(), 0);
+    }
+
+    /// MPI non-overtaking: a small eager message sent *after* a rendezvous
+    /// message (same sender, context, tag) must not be delivered first,
+    /// even though it is complete long before the rendezvous payload.
+    #[test]
+    fn rendezvous_placeholder_preserves_sender_fifo() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep_direct(&f, &dir, 0);
+        let mut b = ep_direct(&f, &dir, 1);
+        a.set_rendezvous_threshold(64);
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        let big = vec![7u8; 1024];
+        let req = a.isend_world(&mut ca, Rank(1), 1, 5, &big).unwrap();
+        assert!(matches!(req, Request::RndvSend { .. }));
+        a.send_world(&mut ca, Rank(1), 1, 5, b"small").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let first = loop {
+            assert!(std::time::Instant::now() < deadline);
+            if let Some(m) = b.try_recv_world(&mut cb, 1, ANY_SOURCE, Some(5)).unwrap() {
+                break m;
+            }
+            while a.ingest_one(&mut ca, None).unwrap() {}
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(&first.data[..], &big[..], "rendezvous must deliver first");
+        let second = loop {
+            if let Some(m) = b.try_recv_world(&mut cb, 1, ANY_SOURCE, Some(5)).unwrap() {
+                break m;
+            }
+            while a.ingest_one(&mut ca, None).unwrap() {}
+        };
+        assert_eq!(&second.data[..], b"small");
+    }
+
+    /// Channel capture around an in-flight rendezvous: the placeholder is
+    /// not captured (its payload is still the sender's), a quiescence push
+    /// completes it, and the completed message snapshots and restores like
+    /// any eager message.
+    #[test]
+    fn snapshot_skips_placeholders_and_quiescence_push_completes_them() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep_direct(&f, &dir, 0);
+        let mut b = ep_direct(&f, &dir, 1);
+        a.set_rendezvous_threshold(64);
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        let big = vec![3u8; 500];
+        let _req = a.isend_world(&mut ca, Rank(1), 1, 2, &big).unwrap();
+        let snap = b.snapshot_channel(&mut cb);
+        assert!(
+            snap.is_empty(),
+            "unfulfilled placeholder must not be captured"
+        );
+        assert_eq!(b.pending_count(), 1, "but it is pending (matchable)");
+        // Stop-and-sync quiescence: the sender pushes without waiting for
+        // CTS, and the unsolicited DATA merges into the placeholder.
+        a.push_pending_rendezvous(&mut ca);
+        assert_eq!(a.pending_rendezvous(), 0);
+        let snap = b.snapshot_channel(&mut cb);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(&snap[0].1[..], &big[..]);
+        // Restore into a new epoch: the payload comes back as plain eager.
+        b.set_epoch(Epoch(1));
+        b.restore_channel(snap, VirtualTime::from_millis(1));
+        let m = b.recv_world(&mut cb, 1, ANY_SOURCE, ANY_TAG).unwrap();
+        assert_eq!(&m.data[..], &big[..]);
     }
 
     /// A tracing sender talking to a peer with no recorder installed: the

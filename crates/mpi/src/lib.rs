@@ -39,5 +39,8 @@ pub mod wire;
 pub use collectives::ReduceOp;
 pub use comm::Comm;
 pub use directory::RankDirectory;
-pub use endpoint::{MpiEndpoint, RecvMode, RecvdMsg, Request, ANY_SOURCE, ANY_TAG};
+pub use endpoint::{
+    CtsCadence, MpiEndpoint, RecvMode, RecvdMsg, Request, ANY_SOURCE, ANY_TAG,
+    DEFAULT_RNDV_THRESHOLD, EAGER_CREDIT_BYTES,
+};
 pub use wire::{MsgHeader, CTRL_CONTEXT, DATA_PORT_BASE, WORLD_CONTEXT};

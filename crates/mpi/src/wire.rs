@@ -26,6 +26,15 @@ pub fn data_port(app: AppId, world_rank: Rank) -> PortId {
     PortId(DATA_PORT_BASE + app.0 * APP_PORT_STRIDE + world_rank.0)
 }
 
+/// Header flag: the body is a rendezvous RTS envelope ([`RndvEnv`]), not
+/// application data. The real payload follows in a later
+/// [`FLAG_RNDV_DATA`] message once the receiver grants a CTS.
+pub const FLAG_RNDV_RTS: u8 = 1 << 0;
+
+/// Header flag: the body is a rendezvous payload, prefixed with the `u64`
+/// transfer id of the RTS it answers.
+pub const FLAG_RNDV_DATA: u8 = 1 << 1;
+
 /// The envelope prefixed to every data-path message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsgHeader {
@@ -43,6 +52,9 @@ pub struct MsgHeader {
     /// reliability layer; `0` means the message is outside it (reliability
     /// off, or control/restored traffic) and is delivered as it arrives.
     pub seq: u64,
+    /// Rendezvous-protocol flags ([`FLAG_RNDV_RTS`] / [`FLAG_RNDV_DATA`]);
+    /// `0` for plain eager messages.
+    pub flags: u8,
 }
 
 impl MsgHeader {
@@ -51,7 +63,7 @@ impl MsgHeader {
     /// only a [`TraceCtx`]) is skipped wholesale by [`parse`](Self::parse),
     /// so a receiver that does not understand it — the paper's unmodified
     /// MPI program, §MPI-module — still gets the exact body bytes.
-    pub const LEN: usize = 4 + 4 + 8 + 4 + 8 + 8 + 2;
+    pub const LEN: usize = 4 + 4 + 8 + 4 + 8 + 8 + 1 + 2;
 
     fn put_fixed(&self, enc: &mut Encoder) {
         self.src.encode(enc);
@@ -60,6 +72,7 @@ impl MsgHeader {
         self.epoch.encode(enc);
         enc.put_u64(self.interval);
         enc.put_u64(self.seq);
+        enc.put_u8(self.flags);
     }
 
     /// Prefix `body` with this header (no extension). The body bytes are
@@ -72,14 +85,23 @@ impl MsgHeader {
     /// Prefix `body` with this header and, when `ctx` carries one, a
     /// trace-context extension.
     pub fn frame_ext(&self, body: &[u8], ctx: TraceCtx) -> Bytes {
+        self.frame_ext_prefixed(&[], body, ctx)
+    }
+
+    /// Like [`frame_ext`](Self::frame_ext), but with an extra `prefix`
+    /// region between the header and `body`. The rendezvous DATA path uses
+    /// this to plant the transfer id before the payload so the payload
+    /// itself is copied into the wire buffer exactly once.
+    pub fn frame_ext_prefixed(&self, prefix: &[u8], body: &[u8], ctx: TraceCtx) -> Bytes {
         let ext = if ctx.is_some() { TraceCtx::WIRE_LEN } else { 0 };
-        let mut enc = Encoder::with_capacity(Self::LEN + ext + body.len());
+        let mut enc = Encoder::with_capacity(Self::LEN + ext + prefix.len() + body.len());
         self.put_fixed(&mut enc);
         enc.put_u16(ext as u16);
         if ctx.is_some() {
             ctx.encode(&mut enc);
         }
         let mut buf = BytesMut::from(&enc.into_vec()[..]);
+        buf.extend_from_slice(prefix);
         buf.extend_from_slice(body);
         buf.freeze()
     }
@@ -92,6 +114,7 @@ impl MsgHeader {
         let epoch = Epoch::decode(&mut dec)?;
         let interval = dec.get_u64()?;
         let seq = dec.get_u64()?;
+        let flags = dec.get_u8()?;
         let ext = dec.get_u16()? as usize;
         if dec.remaining() < ext {
             return Err(starfish_util::Error::codec(format!(
@@ -107,6 +130,7 @@ impl MsgHeader {
                 epoch,
                 interval,
                 seq,
+                flags,
             },
             ext,
         ))
@@ -133,6 +157,39 @@ impl MsgHeader {
     }
 }
 
+/// The body of a rendezvous RTS message: the transfer id (unique per sender
+/// incarnation) and the payload size the receiver should expect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RndvEnv {
+    pub id: u64,
+    pub size: u64,
+}
+
+impl RndvEnv {
+    pub const LEN: usize = 16;
+
+    pub fn encode(&self) -> [u8; Self::LEN] {
+        let mut buf = [0u8; Self::LEN];
+        buf[..8].copy_from_slice(&self.id.to_be_bytes());
+        buf[8..].copy_from_slice(&self.size.to_be_bytes());
+        buf
+    }
+
+    pub fn decode(body: &[u8]) -> Result<RndvEnv> {
+        if body.len() < Self::LEN {
+            return Err(starfish_util::Error::codec(format!(
+                "RTS envelope {} bytes, need {}",
+                body.len(),
+                Self::LEN
+            )));
+        }
+        Ok(RndvEnv {
+            id: u64::from_be_bytes(body[..8].try_into().expect("8 bytes")),
+            size: u64::from_be_bytes(body[8..16].try_into().expect("8 bytes")),
+        })
+    }
+}
+
 /// Control traffic of the MPI reliability layer, carried on the data port as
 /// [`starfish_vni::PacketKind::Control`] packets so it can never be confused
 /// with (or matched against) application data.
@@ -152,6 +209,18 @@ pub enum RelMsg {
         from: Rank,
         epoch: Epoch,
         highest: u64,
+    },
+    /// Receiver grants a rendezvous transfer: a matching receive is posted
+    /// for the RTS carrying `id`, the sender may ship the payload.
+    /// Idempotent — a blocked receiver re-sends it on the ping cadence, the
+    /// sender honours only the first copy per id.
+    Cts { from: Rank, epoch: Epoch, id: u64 },
+    /// Receiver returns eager flow-control credit: it consumed `bytes` of
+    /// eager payload from `from`'s traffic, the sender may spend them again.
+    Credit {
+        from: Rank,
+        epoch: Epoch,
+        bytes: u64,
     },
 }
 
@@ -184,6 +253,18 @@ impl RelMsg {
                 epoch.encode(&mut enc);
                 enc.put_u64(*highest);
             }
+            RelMsg::Cts { from, epoch, id } => {
+                enc.put_u8(4);
+                from.encode(&mut enc);
+                epoch.encode(&mut enc);
+                enc.put_u64(*id);
+            }
+            RelMsg::Credit { from, epoch, bytes } => {
+                enc.put_u8(5);
+                from.encode(&mut enc);
+                epoch.encode(&mut enc);
+                enc.put_u64(*bytes);
+            }
         }
         enc.into_bytes()
     }
@@ -212,6 +293,16 @@ impl RelMsg {
                 epoch,
                 highest: dec.get_u64()?,
             }),
+            4 => Ok(RelMsg::Cts {
+                from,
+                epoch,
+                id: dec.get_u64()?,
+            }),
+            5 => Ok(RelMsg::Credit {
+                from,
+                epoch,
+                bytes: dec.get_u64()?,
+            }),
             k => Err(starfish_util::Error::codec(format!(
                 "unknown RelMsg kind {k}"
             ))),
@@ -232,6 +323,7 @@ mod tests {
             epoch: Epoch(1),
             interval: 9,
             seq: 11,
+            flags: 0,
         };
         let framed = h.frame(b"payload");
         assert_eq!(framed.len(), MsgHeader::LEN + 7);
@@ -249,6 +341,7 @@ mod tests {
             epoch: Epoch(0),
             interval: 0,
             seq: 0,
+            flags: 0,
         };
         let framed = h.frame(&[9u8; 64]);
         let (_, body) = MsgHeader::parse(&framed).unwrap();
@@ -273,6 +366,16 @@ mod tests {
                 from: Rank(5),
                 epoch: Epoch(2),
                 highest: 40,
+            },
+            RelMsg::Cts {
+                from: Rank(1),
+                epoch: Epoch(0),
+                id: 9,
+            },
+            RelMsg::Credit {
+                from: Rank(3),
+                epoch: Epoch(1),
+                bytes: 4096,
             },
         ] {
             assert_eq!(RelMsg::decode(&msg.encode()).unwrap(), msg);
@@ -307,6 +410,7 @@ mod tests {
             epoch: Epoch(1),
             interval: 9,
             seq: 11,
+            flags: 0,
         };
         let traced = h.frame_ext(b"payload", ctx());
         assert_eq!(traced.len(), MsgHeader::LEN + TraceCtx::WIRE_LEN + 7);
@@ -331,6 +435,7 @@ mod tests {
             epoch: Epoch(0),
             interval: 0,
             seq: 0,
+            flags: 0,
         };
         let plain = h.frame(b"xy");
         let (_, body, c) = MsgHeader::parse_ext(&plain).unwrap();
@@ -349,6 +454,7 @@ mod tests {
             epoch: Epoch(0),
             interval: 0,
             seq: 0,
+            flags: 0,
         };
         let framed = h.frame(b"abc");
         let mut raw = framed.to_vec();

@@ -118,6 +118,10 @@ metric_table! {
     MPI_RETRANSMITS = ("mpi.retransmits", Counter, Count, "Messages re-sent by the reliability layer");
     MPI_DUP_DISCARDS = ("mpi.dup_discards", Counter, Count, "Duplicate deliveries discarded by sequence check");
     MPI_NACKS = ("mpi.nacks", Counter, Count, "Gap reports sent by the reliability layer");
+    MPI_RNDV_SENDS = ("mpi.rndv_sends", Counter, Count, "Sends routed through the rendezvous protocol");
+    MPI_RNDV_BYTES = ("mpi.rndv_bytes", Histogram, Bytes, "Payload size per rendezvous transfer");
+    MPI_CTS_RESENDS = ("mpi.cts_resends", Counter, Count, "CTS grants re-sent while awaiting rendezvous data");
+    MPI_CREDIT_FALLBACKS = ("mpi.credit_fallbacks", Counter, Count, "Eager sends forced to rendezvous by exhausted credit");
 
     // --- Ensemble / membership ------------------------------------------
     ENSEMBLE_VIEW_CHANGES = ("ensemble.view_changes", Counter, Count, "Views installed by the main group");

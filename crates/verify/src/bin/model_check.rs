@@ -16,6 +16,7 @@ use verify::explorer::{explore, Model, Options, Report};
 use verify::models::chandy::ChandyModel;
 use verify::models::membership::MembershipModel;
 use verify::models::reliability::ReliabilityModel;
+use verify::models::rendezvous::RendezvousModel;
 use verify::models::stop_sync::StopSyncModel;
 
 fn run<M: Model>(name: &str, nodes: u32, ranks: u32, m: &M, failed: &mut bool) -> Report {
@@ -101,6 +102,23 @@ fn main() -> ExitCode {
                 max_dups: dups,
                 reliable: true,
                 window: 8,
+            },
+            &mut failed,
+        );
+    }
+
+    println!("== mpi: rendezvous ==");
+    for (transfers, drops, dups) in [(2, 2, 1), (3, 1, 0)] {
+        run(
+            &format!("rendezvous transfers={transfers} drops={drops} dups={dups}"),
+            2,
+            2,
+            &RendezvousModel {
+                transfers,
+                max_drops: drops,
+                max_dups: dups,
+                window: 8,
+                broken_cts: false,
             },
             &mut failed,
         );

@@ -18,6 +18,31 @@
 //! * A partition blocks traffic in both directions between the two sides but
 //!   leaves both sides running.
 //!
+//! # Sharding
+//!
+//! The send/recv hot path takes no global exclusive lock. Fabric state is
+//! split three ways:
+//!
+//! * the **membership table** (nodes, partitions, bound ports, installed
+//!   link faults) sits under a [`RwLock`]; the hot path takes it *shared*,
+//!   so concurrent senders validate routes without serializing. Exclusive
+//!   access is only for membership changes — bind/unbind, crash, partition,
+//!   fault install — which are rare and may be slow;
+//! * each bound port owns an [`Inbox`] shard (its own mutex + condvar +
+//!   doorbell, see [`crate::inbox`]); senders to different endpoints touch
+//!   different locks;
+//! * per-link fault state (decision RNG streams, reorder buffers) lives in a
+//!   mutex keyed by the *directed* node pair, locked only when a fault is
+//!   actually installed on that link — an unfaulted route goes straight
+//!   from the shared membership read to the destination inbox.
+//!
+//! Aggregate statistics (`packets/bytes accepted`, [`FaultStats`]) are
+//! relaxed atomics: every packet's accounting lands before the fabric
+//! quiesces, which is when the conservation oracle reads them.
+//!
+//! Lock order is strict — membership, then link, then inbox — so the fabric
+//! cannot deadlock against itself.
+//!
 //! The fabric is also the chaos layer's packet-fault injection point: a
 //! [`LinkFault`] installed on a directed node pair makes packets on that
 //! link subject to seeded drop / duplicate / delay / reorder decisions (see
@@ -28,16 +53,18 @@
 //! chaos harness's replay-a-seed guarantee rests on.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use starfish_telemetry::{metric, Registry};
 use starfish_util::rng::DetRng;
 use starfish_util::{Error, NodeId, Result, VirtualTime};
 
+use crate::inbox::{Inbox, Pop};
 use crate::models::{LayerCosts, NetworkModel};
 use crate::packet::{Addr, Packet, PortId};
 
@@ -182,6 +209,30 @@ impl FaultStats {
     }
 }
 
+/// The fault layer's conservation counters as relaxed atomics. Each
+/// packet's accounting runs on one thread, so once the wire quiesces the
+/// loaded sums are exact.
+#[derive(Default)]
+struct FaultCells {
+    accepted: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    held: AtomicU64,
+}
+
+impl FaultCells {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            held: self.held.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// One fault stream: the decision RNG and reorder buffer of a
 /// `(src, dst, dst port)` triple.
 struct StreamState {
@@ -191,24 +242,24 @@ struct StreamState {
     count: u64,
 }
 
-struct PortEntry {
-    tx: Sender<Packet>,
+/// Fault state of one *directed* link, locked only when a fault is
+/// installed there (no entry → fast path).
+struct LinkState {
+    fault: LinkFault,
+    /// Lazily created decision streams, one per destination port.
+    streams: HashMap<PortId, StreamState>,
 }
 
-struct State {
-    ports: HashMap<Addr, PortEntry>,
+/// Everything that changes only on membership-shaped events. The hot path
+/// reads it shared; bind/crash/partition/fault-install take it exclusive.
+struct Membership {
+    ports: HashMap<Addr, Arc<Inbox>>,
     nodes: HashMap<NodeId, NodeStatus>,
     /// Unordered node pairs with a cut link, stored as (min, max).
     partitions: HashSet<(NodeId, NodeId)>,
     watchers: Vec<Sender<FabricEvent>>,
-    /// Running count of packets accepted by the fabric (statistics).
-    packets_sent: u64,
-    bytes_sent: u64,
     /// Installed link faults, keyed by *directed* (src, dst) node pair.
-    faults: HashMap<(NodeId, NodeId), LinkFault>,
-    /// Lazily created fault streams, one per (src, dst, dst port).
-    streams: HashMap<(NodeId, NodeId, PortId), StreamState>,
-    fault_stats: FaultStats,
+    links: HashMap<(NodeId, NodeId), Mutex<LinkState>>,
     /// Telemetry registry fed per accepted packet (count, size, wire time).
     metrics: Option<Registry>,
 }
@@ -216,7 +267,11 @@ struct State {
 struct Inner {
     model: Box<dyn NetworkModel>,
     layers: LayerCosts,
-    state: Mutex<State>,
+    membership: RwLock<Membership>,
+    /// Running count of packets accepted by the fabric (statistics).
+    packets_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    fault_stats: FaultCells,
 }
 
 /// Handle to the shared cluster interconnect. Cheap to clone.
@@ -252,18 +307,17 @@ impl Fabric {
             inner: Arc::new(Inner {
                 model,
                 layers,
-                state: Mutex::new(State {
+                membership: RwLock::new(Membership {
                     ports: HashMap::new(),
                     nodes: HashMap::new(),
                     partitions: HashSet::new(),
                     watchers: Vec::new(),
-                    packets_sent: 0,
-                    bytes_sent: 0,
-                    faults: HashMap::new(),
-                    streams: HashMap::new(),
-                    fault_stats: FaultStats::default(),
+                    links: HashMap::new(),
                     metrics: None,
                 }),
+                packets_sent: AtomicU64::new(0),
+                bytes_sent: AtomicU64::new(0),
+                fault_stats: FaultCells::default(),
             }),
         }
     }
@@ -281,123 +335,137 @@ impl Fabric {
     /// Subscribe to fabric events (node lifecycle, partitions).
     pub fn subscribe(&self) -> Receiver<FabricEvent> {
         let (tx, rx) = channel::unbounded();
-        self.inner.state.lock().watchers.push(tx);
+        self.inner.membership.write().watchers.push(tx);
         rx
     }
 
-    fn emit(state: &mut State, ev: FabricEvent) {
-        state.watchers.retain(|w| w.send(ev).is_ok());
+    fn emit(m: &mut Membership, ev: FabricEvent) {
+        m.watchers.retain(|w| w.send(ev).is_ok());
     }
 
     // ---- node lifecycle ----------------------------------------------------
 
     /// Add (or re-add after crash/removal) a node in `Up` state.
     pub fn add_node(&self, n: NodeId) {
-        let mut s = self.inner.state.lock();
-        s.nodes.insert(n, NodeStatus::Up);
-        Self::emit(&mut s, FabricEvent::NodeAdded(n));
+        let mut m = self.inner.membership.write();
+        m.nodes.insert(n, NodeStatus::Up);
+        Self::emit(&mut m, FabricEvent::NodeAdded(n));
+    }
+
+    /// Close and drop every port of node `n`; held frames touching `n` are
+    /// then released (frames to the dead node are eaten with its ports,
+    /// frames it sent before dying still arrive). Caller holds exclusive
+    /// membership.
+    fn take_down(&self, m: &mut Membership, n: NodeId, status: NodeStatus) {
+        m.nodes.insert(n, status);
+        let dead: Vec<Arc<Inbox>> = {
+            let mut dead = Vec::new();
+            m.ports.retain(|a, inbox| {
+                if a.node == n {
+                    dead.push(Arc::clone(inbox));
+                    false
+                } else {
+                    true
+                }
+            });
+            dead
+        };
+        for inbox in dead {
+            inbox.close();
+        }
+        self.release_held(m, |a, b| a == n || b == n);
     }
 
     /// Crash a node: all its ports close, it becomes unreachable.
     pub fn crash_node(&self, n: NodeId) {
-        let mut s = self.inner.state.lock();
-        let s = &mut *s;
-        if s.nodes.get(&n) == Some(&NodeStatus::Crashed) {
+        let mut m = self.inner.membership.write();
+        if m.nodes.get(&n) == Some(&NodeStatus::Crashed) {
             return;
         }
-        s.nodes.insert(n, NodeStatus::Crashed);
-        s.ports.retain(|a, _| a.node != n);
-        // Held frames were on the wire: those bound for the crashed node are
-        // eaten with its ports, those it sent before dying still arrive.
-        Self::release_held(s, |a, b| a == n || b == n);
-        Self::emit(s, FabricEvent::NodeCrashed(n));
+        self.take_down(&mut m, n, NodeStatus::Crashed);
+        Self::emit(&mut m, FabricEvent::NodeCrashed(n));
     }
 
     /// Crash a node *without* emitting a fabric event — models a hang or a
     /// failure the hardware does not report. Only heartbeat-based failure
     /// detection can notice this one.
     pub fn crash_node_silently(&self, n: NodeId) {
-        let mut s = self.inner.state.lock();
-        let s = &mut *s;
-        if s.nodes.get(&n) == Some(&NodeStatus::Crashed) {
+        let mut m = self.inner.membership.write();
+        if m.nodes.get(&n) == Some(&NodeStatus::Crashed) {
             return;
         }
-        s.nodes.insert(n, NodeStatus::Crashed);
-        s.ports.retain(|a, _| a.node != n);
-        Self::release_held(s, |a, b| a == n || b == n);
+        self.take_down(&mut m, n, NodeStatus::Crashed);
     }
 
     /// Administratively remove a node (graceful version of crash).
     pub fn remove_node(&self, n: NodeId) {
-        let mut s = self.inner.state.lock();
-        let s = &mut *s;
-        s.nodes.insert(n, NodeStatus::Removed);
-        s.ports.retain(|a, _| a.node != n);
-        Self::release_held(s, |a, b| a == n || b == n);
-        Self::emit(s, FabricEvent::NodeRemoved(n));
+        let mut m = self.inner.membership.write();
+        self.take_down(&mut m, n, NodeStatus::Removed);
+        Self::emit(&mut m, FabricEvent::NodeRemoved(n));
     }
 
     /// Disable a node: it keeps running but should get no new work.
     pub fn disable_node(&self, n: NodeId) {
-        let mut s = self.inner.state.lock();
-        if s.nodes.get(&n) == Some(&NodeStatus::Up) {
-            s.nodes.insert(n, NodeStatus::Disabled);
-            Self::emit(&mut s, FabricEvent::NodeDisabled(n));
+        let mut m = self.inner.membership.write();
+        if m.nodes.get(&n) == Some(&NodeStatus::Up) {
+            m.nodes.insert(n, NodeStatus::Disabled);
+            Self::emit(&mut m, FabricEvent::NodeDisabled(n));
         }
     }
 
     /// Re-enable a disabled node.
     pub fn enable_node(&self, n: NodeId) {
-        let mut s = self.inner.state.lock();
-        if s.nodes.get(&n) == Some(&NodeStatus::Disabled) {
-            s.nodes.insert(n, NodeStatus::Up);
-            Self::emit(&mut s, FabricEvent::NodeEnabled(n));
+        let mut m = self.inner.membership.write();
+        if m.nodes.get(&n) == Some(&NodeStatus::Disabled) {
+            m.nodes.insert(n, NodeStatus::Up);
+            Self::emit(&mut m, FabricEvent::NodeEnabled(n));
         }
     }
 
     /// Cut the link between two nodes (both directions).
     pub fn partition(&self, a: NodeId, b: NodeId) {
-        let mut s = self.inner.state.lock();
-        let s = &mut *s;
-        if s.partitions.insert(pair(a, b)) {
+        let mut m = self.inner.membership.write();
+        if m.partitions.insert(pair(a, b)) {
             // Frames a reorder fault is holding on this link left their
             // source before the cut existed: the wire does not eat in-flight
             // frames, so they are delivered, not blocked (module docs).
-            Self::release_held(s, |x, y| pair(x, y) == pair(a, b));
-            Self::emit(s, FabricEvent::Partitioned(a, b));
+            self.release_held(&m, |x, y| pair(x, y) == pair(a, b));
+            Self::emit(&mut m, FabricEvent::Partitioned(a, b));
         }
     }
 
     /// Restore the link between two nodes.
     pub fn heal(&self, a: NodeId, b: NodeId) {
-        let mut s = self.inner.state.lock();
-        if s.partitions.remove(&pair(a, b)) {
-            Self::emit(&mut s, FabricEvent::Healed(a, b));
+        let mut m = self.inner.membership.write();
+        if m.partitions.remove(&pair(a, b)) {
+            Self::emit(&mut m, FabricEvent::Healed(a, b));
         }
     }
 
     /// Current status of a node (None if never added).
     pub fn node_status(&self, n: NodeId) -> Option<NodeStatus> {
-        self.inner.state.lock().nodes.get(&n).copied()
+        self.inner.membership.read().nodes.get(&n).copied()
     }
 
     /// All nodes ever added, with their current status.
     pub fn nodes(&self) -> Vec<(NodeId, NodeStatus)> {
-        let s = self.inner.state.lock();
-        let mut v: Vec<_> = s.nodes.iter().map(|(n, st)| (*n, *st)).collect();
+        let m = self.inner.membership.read();
+        let mut v: Vec<_> = m.nodes.iter().map(|(n, st)| (*n, *st)).collect();
         v.sort_by_key(|(n, _)| *n);
         v
     }
 
     /// (packets, bytes) accepted so far.
     pub fn stats(&self) -> (u64, u64) {
-        let s = self.inner.state.lock();
-        (s.packets_sent, s.bytes_sent)
+        (
+            self.inner.packets_sent.load(Ordering::Relaxed),
+            self.inner.bytes_sent.load(Ordering::Relaxed),
+        )
     }
 
     /// Feed per-packet accounting (`vni.*` metrics) into `reg` from now on.
     pub fn attach_metrics(&self, reg: Registry) {
-        self.inner.state.lock().metrics = Some(reg);
+        self.inner.membership.write().metrics = Some(reg);
     }
 
     // ---- ports -------------------------------------------------------------
@@ -405,36 +473,55 @@ impl Fabric {
     /// Bind a port on a node. Fails if the node is not up-ish or the address
     /// is taken.
     pub fn bind(&self, addr: Addr) -> Result<Port> {
-        let mut s = self.inner.state.lock();
-        match s.nodes.get(&addr.node) {
+        let mut m = self.inner.membership.write();
+        match m.nodes.get(&addr.node) {
             Some(st) if st.reachable() => {}
             Some(_) => return Err(Error::unreachable(format!("{} is down", addr.node))),
             None => return Err(Error::not_found(format!("{} not in cluster", addr.node))),
         }
-        if s.ports.contains_key(&addr) {
+        if m.ports.contains_key(&addr) {
             return Err(Error::invalid_arg(format!("{addr} already bound")));
         }
-        let (tx, rx) = channel::unbounded();
-        s.ports.insert(addr, PortEntry { tx });
+        let (inbox, doorbell) = Inbox::new();
+        m.ports.insert(addr, Arc::clone(&inbox));
         Ok(Port {
             addr,
-            rx,
+            inbox,
+            doorbell,
             fabric: self.clone(),
         })
     }
 
-    /// Release a port (idempotent).
+    /// Release a port (idempotent). Waiters wake with `Closed`; packets
+    /// already queued stay drainable through an existing `Port` handle.
     pub fn unbind(&self, addr: Addr) {
-        self.inner.state.lock().ports.remove(&addr);
+        let removed = self.inner.membership.write().ports.remove(&addr);
+        if let Some(inbox) = removed {
+            inbox.close();
+        }
+    }
+
+    /// `Port::drop` path: unbind only if `addr` still maps to this port's
+    /// own inbox (a crash + rebind may have installed a successor, which a
+    /// stale drop must not tear down).
+    fn unbind_port(&self, addr: Addr, inbox: &Arc<Inbox>) {
+        let mut m = self.inner.membership.write();
+        if m.ports.get(&addr).is_some_and(|i| Arc::ptr_eq(i, inbox)) {
+            m.ports.remove(&addr);
+        }
+        drop(m);
+        inbox.close();
     }
 
     /// Inject a packet. The fabric stamps `arrive_vt = depart_vt + wire` and
     /// queues it at the destination port, subject to any [`LinkFault`]
     /// installed on the (src node → dst node) link.
+    ///
+    /// Hot path: shared membership read, then the destination inbox's own
+    /// lock (plus the link's fault mutex when one is installed).
     pub fn send(&self, mut pkt: Packet) -> Result<()> {
-        let mut guard = self.inner.state.lock();
-        let s = &mut *guard;
-        let src_ok = s
+        let m = self.inner.membership.read();
+        let src_ok = m
             .nodes
             .get(&pkt.src.node)
             .map(|st| st.reachable())
@@ -442,7 +529,7 @@ impl Fabric {
         if !src_ok {
             return Err(Error::closed(format!("source {} is down", pkt.src.node)));
         }
-        let dst_ok = s
+        let dst_ok = m
             .nodes
             .get(&pkt.dst.node)
             .map(|st| st.reachable())
@@ -450,123 +537,131 @@ impl Fabric {
         if !dst_ok {
             return Err(Error::unreachable(format!("{} is down", pkt.dst.node)));
         }
-        if s.partitions.contains(&pair(pkt.src.node, pkt.dst.node)) {
+        if m.partitions.contains(&pair(pkt.src.node, pkt.dst.node)) {
             return Err(Error::unreachable(format!(
                 "{} <-> {} partitioned",
                 pkt.src.node, pkt.dst.node
             )));
         }
-        if !s.ports.contains_key(&pkt.dst) {
+        if !m.ports.contains_key(&pkt.dst) {
             return Err(Error::not_found(format!("no port bound at {}", pkt.dst)));
         }
-        s.packets_sent += 1;
-        s.bytes_sent += pkt.len() as u64;
+        self.inner.packets_sent.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_sent
+            .fetch_add(pkt.len() as u64, Ordering::Relaxed);
         let wire = if pkt.src.node == pkt.dst.node {
             LOCAL_LATENCY
         } else {
             self.inner.model.one_way(pkt.model_len)
         };
         pkt.arrive_vt = pkt.depart_vt + wire;
-        if let Some(m) = &s.metrics {
-            m.inc(metric::VNI_PACKETS);
-            m.record(metric::VNI_PACKET_BYTES, pkt.len() as u64);
-            m.record_vt(metric::VNI_WIRE_NS, wire);
+        if let Some(reg) = &m.metrics {
+            reg.inc(metric::VNI_PACKETS);
+            reg.record(metric::VNI_PACKET_BYTES, pkt.len() as u64);
+            reg.record_vt(metric::VNI_WIRE_NS, wire);
         }
 
-        // Node-local loopback never crosses a link and is exempt from faults.
-        let fault = if pkt.src.node == pkt.dst.node {
+        // Node-local loopback never crosses a link and is exempt from faults;
+        // so is a link with no fault installed (no entry → no lock).
+        let link = if pkt.src.node == pkt.dst.node {
             None
         } else {
-            s.faults.get(&(pkt.src.node, pkt.dst.node)).copied()
+            m.links.get(&(pkt.src.node, pkt.dst.node))
         };
-        let Some(f) = fault else {
-            return Self::deliver_locked(s, pkt, false);
+        let Some(link) = link else {
+            return self.deliver(&m, pkt, false);
         };
 
-        s.fault_stats.accepted += 1;
+        let stats = &self.inner.fault_stats;
+        stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let mut ls = link.lock();
+        let f = ls.fault;
         let key = (pkt.src.node, pkt.dst.node, pkt.dst.port);
-        let (do_drop, do_dup, do_delay, do_reorder) = {
-            let stream = s.streams.entry(key).or_insert_with(|| StreamState {
-                rng: DetRng::new(f.seed).derive(stream_tag(key)),
-                held: Vec::new(),
-                count: 0,
-            });
-            let k = stream.count;
-            stream.count += 1;
-            // Every decision is drawn for every packet, whatever the
-            // outcome: a fixed draw count per packet is what makes a
-            // stream's schedule a pure function of (seed, packet index).
-            (
-                stream.rng.chance(f.drop_p) || f.drop_nth == Some(k),
-                stream.rng.chance(f.dup_p) || f.dup_nth == Some(k),
-                stream.rng.chance(f.delay_p),
-                stream.rng.chance(f.reorder_p),
-            )
-        };
+        let port = pkt.dst.port;
+        let stream = ls.streams.entry(port).or_insert_with(|| StreamState {
+            rng: DetRng::new(f.seed).derive(stream_tag(key)),
+            held: Vec::new(),
+            count: 0,
+        });
+        let k = stream.count;
+        stream.count += 1;
+        // Every decision is drawn for every packet, whatever the
+        // outcome: a fixed draw count per packet is what makes a
+        // stream's schedule a pure function of (seed, packet index).
+        let (do_drop, do_dup, do_delay, do_reorder) = (
+            stream.rng.chance(f.drop_p) || f.drop_nth == Some(k),
+            stream.rng.chance(f.dup_p) || f.dup_nth == Some(k),
+            stream.rng.chance(f.delay_p),
+            stream.rng.chance(f.reorder_p),
+        );
         if do_drop {
-            s.fault_stats.dropped += 1;
-            if let Some(m) = &s.metrics {
-                m.inc(metric::VNI_DROPPED);
+            stats.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = &m.metrics {
+                reg.inc(metric::VNI_DROPPED);
             }
             // A lossy wire gives the sender no feedback.
             return Ok(());
         }
         if do_delay {
             pkt.arrive_vt += f.delay;
-            if let Some(m) = &s.metrics {
-                m.inc(metric::VNI_DELAYED);
+            if let Some(reg) = &m.metrics {
+                reg.inc(metric::VNI_DELAYED);
             }
         }
         if do_reorder {
-            s.fault_stats.held += 1;
-            if let Some(m) = &s.metrics {
-                m.inc(metric::VNI_HELD);
+            stats.held.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = &m.metrics {
+                reg.inc(metric::VNI_HELD);
             }
-            s.streams
-                .get_mut(&key)
-                .expect("stream created above")
-                .held
-                .push(pkt);
+            stream.held.push(pkt);
             return Ok(());
         }
         // The packet passes the stream: deliver it, then everything it
         // overtook (delivering the held frames *after* a later send is the
         // reordering).
         let copy = do_dup.then(|| pkt.clone());
-        let res = Self::deliver_locked(s, pkt, true);
+        let res = self.deliver(&m, pkt, true);
         if let Some(copy) = copy {
-            s.fault_stats.duplicated += 1;
-            if let Some(m) = &s.metrics {
-                m.inc(metric::VNI_DUPLICATED);
+            stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            if let Some(reg) = &m.metrics {
+                reg.inc(metric::VNI_DUPLICATED);
             }
-            let _ = Self::deliver_locked(s, copy, true);
+            let _ = self.deliver(&m, copy, true);
         }
-        let held = std::mem::take(&mut s.streams.get_mut(&key).expect("stream created above").held);
+        let held = std::mem::take(&mut ls.streams.get_mut(&port).expect("stream above").held);
         for frame in held {
-            s.fault_stats.held -= 1;
-            let _ = Self::deliver_locked(s, frame, true);
+            stats.held.fetch_sub(1, Ordering::Relaxed);
+            let _ = self.deliver(&m, frame, true);
         }
         res
     }
 
-    /// Queue a packet at its destination port. The caller holds the state
-    /// lock; `faulty` selects whether the fault layer's conservation
-    /// counters account for this packet.
-    fn deliver_locked(s: &mut State, pkt: Packet, faulty: bool) -> Result<()> {
-        let sent = match s.ports.get(&pkt.dst) {
-            Some(entry) => entry.tx.send(pkt).is_ok(),
+    /// Queue a packet at its destination inbox. The caller holds the
+    /// membership table (shared or exclusive); `faulty` selects whether the
+    /// fault layer's conservation counters account for this packet.
+    fn deliver(&self, m: &Membership, pkt: Packet, faulty: bool) -> Result<()> {
+        let dst = pkt.dst;
+        let sent = match m.ports.get(&dst) {
+            Some(inbox) => inbox.push(pkt),
             None => false,
         };
         if sent {
             if faulty {
-                s.fault_stats.delivered += 1;
+                self.inner
+                    .fault_stats
+                    .delivered
+                    .fetch_add(1, Ordering::Relaxed);
             }
             Ok(())
         } else {
             if faulty {
-                s.fault_stats.dropped += 1;
-                if let Some(m) = &s.metrics {
-                    m.inc(metric::VNI_DROPPED);
+                self.inner
+                    .fault_stats
+                    .dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(reg) = &m.metrics {
+                    reg.inc(metric::VNI_DROPPED);
                 }
             }
             // NB: `Closed` from `send` always means the *source* is down; a
@@ -579,22 +674,27 @@ impl Fabric {
     /// frames whose destination port still exists are delivered, the rest
     /// are eaten with the port that vanished. Deterministic: streams are
     /// processed in (src, dst, port) order.
-    fn release_held<F>(s: &mut State, filter: F)
+    fn release_held<F>(&self, m: &Membership, filter: F)
     where
         F: Fn(NodeId, NodeId) -> bool,
     {
-        let mut keys: Vec<_> = s
-            .streams
+        let mut link_keys: Vec<_> = m
+            .links
             .keys()
-            .filter(|(src, dst, _)| filter(*src, *dst))
+            .filter(|(src, dst)| filter(*src, *dst))
             .copied()
             .collect();
-        keys.sort_unstable();
-        for key in keys {
-            let held = std::mem::take(&mut s.streams.get_mut(&key).expect("stream").held);
-            for frame in held {
-                s.fault_stats.held -= 1;
-                let _ = Self::deliver_locked(s, frame, true);
+        link_keys.sort_unstable();
+        for lk in link_keys {
+            let mut ls = m.links[&lk].lock();
+            let mut ports: Vec<PortId> = ls.streams.keys().copied().collect();
+            ports.sort_unstable();
+            for port in ports {
+                let held = std::mem::take(&mut ls.streams.get_mut(&port).expect("stream").held);
+                for frame in held {
+                    self.inner.fault_stats.held.fetch_sub(1, Ordering::Relaxed);
+                    let _ = self.deliver(m, frame, true);
+                }
             }
         }
     }
@@ -605,56 +705,69 @@ impl Fabric {
     /// `src → dst`. Replacing a spec restarts the link's decision streams
     /// from the new seed; frames held by the old spec are released first.
     pub fn set_link_fault(&self, src: NodeId, dst: NodeId, fault: LinkFault) {
-        let mut guard = self.inner.state.lock();
-        let s = &mut *guard;
-        Self::release_held(s, |a, b| a == src && b == dst);
-        s.streams.retain(|(a, b, _), _| !(*a == src && *b == dst));
-        s.faults.insert((src, dst), fault);
+        let mut m = self.inner.membership.write();
+        self.release_held(&m, |a, b| a == src && b == dst);
+        m.links.insert(
+            (src, dst),
+            Mutex::new(LinkState {
+                fault,
+                streams: HashMap::new(),
+            }),
+        );
     }
 
     /// Remove the fault on `src → dst`, releasing any held frames.
     pub fn clear_link_fault(&self, src: NodeId, dst: NodeId) {
-        let mut guard = self.inner.state.lock();
-        let s = &mut *guard;
-        s.faults.remove(&(src, dst));
-        Self::release_held(s, |a, b| a == src && b == dst);
-        s.streams.retain(|(a, b, _), _| !(*a == src && *b == dst));
+        let mut m = self.inner.membership.write();
+        self.release_held(&m, |a, b| a == src && b == dst);
+        m.links.remove(&(src, dst));
     }
 
     /// Remove every installed link fault, releasing all held frames.
     pub fn clear_all_link_faults(&self) {
-        let mut guard = self.inner.state.lock();
-        let s = &mut *guard;
-        s.faults.clear();
-        Self::release_held(s, |_, _| true);
-        s.streams.clear();
+        let mut m = self.inner.membership.write();
+        self.release_held(&m, |_, _| true);
+        m.links.clear();
     }
 
     /// The fault spec installed on `src → dst`, if any.
     pub fn link_fault(&self, src: NodeId, dst: NodeId) -> Option<LinkFault> {
-        self.inner.state.lock().faults.get(&(src, dst)).copied()
+        let m = self.inner.membership.read();
+        m.links.get(&(src, dst)).map(|l| l.lock().fault)
     }
 
     /// Conservation counters of the fault layer.
     pub fn fault_stats(&self) -> FaultStats {
-        self.inner.state.lock().fault_stats
+        self.inner.fault_stats.snapshot()
     }
 
     /// Packets queued anywhere inside the fabric: waiting in a bound port's
-    /// queue or parked in a reorder buffer. Zero means the wire is quiescent
+    /// inbox or parked in a reorder buffer. Zero means the wire is quiescent
     /// (the chaos driver's quiescence gate).
     pub fn queued_packets(&self) -> usize {
-        let s = self.inner.state.lock();
-        let queued: usize = s.ports.values().map(|e| e.tx.len()).sum();
-        let held: usize = s.streams.values().map(|st| st.held.len()).sum();
+        let m = self.inner.membership.read();
+        let queued: usize = m.ports.values().map(|i| i.len()).sum();
+        let held: usize = m
+            .links
+            .values()
+            .map(|l| {
+                l.lock()
+                    .streams
+                    .values()
+                    .map(|s| s.held.len())
+                    .sum::<usize>()
+            })
+            .sum();
         queued + held
     }
 }
 
-/// A bound receive endpoint on the fabric.
+/// A bound receive endpoint on the fabric: the owning handle of one
+/// [`Inbox`] shard.
 pub struct Port {
     addr: Addr,
-    rx: Receiver<Packet>,
+    inbox: Arc<Inbox>,
+    doorbell: Receiver<()>,
     fabric: Fabric,
 }
 
@@ -663,41 +776,51 @@ impl Port {
         self.addr
     }
 
-    /// Direct access to the underlying channel receiver, so callers can
-    /// multiplex a port with other channels via `crossbeam::select!`.
-    pub fn receiver(&self) -> &Receiver<Packet> {
-        &self.rx
+    /// The port's doorbell, for multiplexing with other channels via
+    /// `crossbeam::select!`. A token means "packets may be waiting": after
+    /// taking one, drain with [`Port::try_recv`] until empty. Disconnection
+    /// means the port closed — drain remaining packets, then stop.
+    pub fn doorbell(&self) -> &Receiver<()> {
+        &self.doorbell
     }
 
     /// Blocking receive. Errors with [`Error::Closed`] if the port was
-    /// unbound (e.g. the node crashed).
+    /// unbound (e.g. the node crashed) and nothing remains queued.
     pub fn recv(&self) -> Result<Packet> {
-        self.rx
-            .recv()
-            .map_err(|_| Error::closed(format!("port {} closed", self.addr)))
+        match self.inbox.pop_wait(None) {
+            Pop::Packet(p) => Ok(p),
+            _ => Err(Error::closed(format!("port {} closed", self.addr))),
+        }
     }
 
     /// Receive with a real-time deadline.
     pub fn recv_timeout(&self, d: Duration) -> Result<Packet> {
-        match self.rx.recv_timeout(d) {
-            Ok(p) => Ok(p),
-            Err(channel::RecvTimeoutError::Timeout) => {
-                Err(Error::timeout(format!("recv on {}", self.addr)))
-            }
-            Err(channel::RecvTimeoutError::Disconnected) => {
-                Err(Error::closed(format!("port {} closed", self.addr)))
-            }
+        match self.inbox.pop_wait(Some(d)) {
+            Pop::Packet(p) => Ok(p),
+            Pop::TimedOut => Err(Error::timeout(format!("recv on {}", self.addr))),
+            Pop::Closed => Err(Error::closed(format!("port {} closed", self.addr))),
+        }
+    }
+
+    /// Blocking batched receive: waits for the first packet, then returns
+    /// up to `max` packets in one inbox lock acquisition (the polling
+    /// thread's drain loop). Errors with [`Error::Closed`] once the port is
+    /// closed and drained.
+    pub fn recv_batch(&self, max: usize) -> Result<Vec<Packet>> {
+        let batch = self.inbox.pop_batch_wait(max);
+        if batch.is_empty() {
+            Err(Error::closed(format!("port {} closed", self.addr)))
+        } else {
+            Ok(batch)
         }
     }
 
     /// Non-blocking receive; `Ok(None)` when no packet is waiting.
     pub fn try_recv(&self) -> Result<Option<Packet>> {
-        match self.rx.try_recv() {
-            Ok(p) => Ok(Some(p)),
-            Err(channel::TryRecvError::Empty) => Ok(None),
-            Err(channel::TryRecvError::Disconnected) => {
-                Err(Error::closed(format!("port {} closed", self.addr)))
-            }
+        match self.inbox.try_pop() {
+            Pop::Packet(p) => Ok(Some(p)),
+            Pop::TimedOut => Ok(None),
+            Pop::Closed => Err(Error::closed(format!("port {} closed", self.addr))),
         }
     }
 
@@ -713,7 +836,7 @@ impl Port {
 
 impl Drop for Port {
     fn drop(&mut self) {
-        self.fabric.unbind(self.addr);
+        self.fabric.unbind_port(self.addr, &self.inbox);
     }
 }
 
@@ -771,6 +894,21 @@ mod tests {
         }
         // Port dropped: rebinding succeeds.
         let _p2 = f.bind(a).unwrap();
+    }
+
+    #[test]
+    fn stale_port_drop_does_not_unbind_successor() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let old = f.bind(b).unwrap();
+        f.crash_node(NodeId(1));
+        f.add_node(NodeId(1));
+        let new = f.bind(b).unwrap();
+        drop(old); // must not tear down `new`'s binding
+        f.send(pkt(a, b, 1)).unwrap();
+        assert!(new.recv().is_ok());
     }
 
     #[test]
@@ -878,6 +1016,45 @@ mod tests {
         f.send(pkt(a, b, 10)).unwrap();
         f.send(pkt(a, b, 20)).unwrap();
         assert_eq!(f.stats(), (2, 30));
+    }
+
+    #[test]
+    fn recv_batch_takes_contiguous_run() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let pb = f.bind(b).unwrap();
+        for tag in 0..5 {
+            f.send(tagged(a, b, tag)).unwrap();
+        }
+        let batch = pb.recv_batch(3).unwrap();
+        assert_eq!(batch.iter().map(|p| p.tag).collect::<Vec<_>>(), [0, 1, 2]);
+        let batch = pb.recv_batch(16).unwrap();
+        assert_eq!(batch.iter().map(|p| p.tag).collect::<Vec<_>>(), [3, 4]);
+        f.crash_node(NodeId(1));
+        assert!(matches!(pb.recv_batch(16), Err(Error::Closed(_))));
+    }
+
+    #[test]
+    fn doorbell_multiplexes_and_disconnects() {
+        let f = fabric();
+        let a = Addr::new(NodeId(0), PortId(1));
+        let b = Addr::new(NodeId(1), PortId(1));
+        let _pa = f.bind(a).unwrap();
+        let pb = f.bind(b).unwrap();
+        f.send(tagged(a, b, 1)).unwrap();
+        f.send(tagged(a, b, 2)).unwrap();
+        // A token is waiting; after taking it, a full drain sees both
+        // packets (tokens are a doorbell, not a packet count).
+        crossbeam::channel::select! {
+            recv(pb.doorbell()) -> tok => assert!(tok.is_ok()),
+        }
+        assert_eq!(pb.drain().len(), 2);
+        f.crash_node(NodeId(1));
+        // Closed port: the doorbell disconnects.
+        assert!(pb.doorbell().recv().is_err());
+        assert!(matches!(pb.try_recv(), Err(Error::Closed(_))));
     }
 
     // ---- link faults -------------------------------------------------------
@@ -1121,5 +1298,39 @@ mod tests {
         f.send(pkt(a, b, 1)).unwrap();
         assert!(pb.recv().is_ok());
         assert_eq!(f.fault_stats().accepted, 0);
+    }
+
+    #[test]
+    fn disjoint_pairs_deliver_concurrently() {
+        // Smoke test for the sharding contract: senders to different
+        // endpoints make progress concurrently (the real perf claim lives
+        // in crates/bench/benches/fabric.rs).
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        for i in 0..4 {
+            f.add_node(NodeId(i));
+        }
+        let mut handles = Vec::new();
+        for i in 0..2u32 {
+            let src = Addr::new(NodeId(i), PortId(1));
+            let dst = Addr::new(NodeId(2 + i), PortId(1));
+            let keep = f.bind(src).unwrap();
+            let port = f.bind(dst).unwrap();
+            let f2 = f.clone();
+            handles.push(std::thread::spawn(move || {
+                let _keep = keep;
+                for tag in 0..500 {
+                    f2.send(tagged(src, dst, tag)).unwrap();
+                }
+            }));
+            handles.push(std::thread::spawn(move || {
+                for tag in 0..500 {
+                    assert_eq!(port.recv().unwrap().tag, tag);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.stats().0, 1000);
     }
 }

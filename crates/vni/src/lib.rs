@@ -23,11 +23,13 @@
 //! (virtual) kernel.
 
 pub mod fabric;
+pub mod inbox;
 pub mod models;
 pub mod packet;
 pub mod polling;
 
 pub use fabric::{Fabric, FabricEvent, FaultStats, LinkFault, NodeStatus, Port};
+pub use inbox::{Inbox, Pop};
 pub use models::{BipMyrinet, Ideal, LayerCosts, NetKind, NetworkModel, ServerNetVia, TcpEthernet};
 pub use packet::{Addr, Packet, PacketKind, PortId, DAEMON_PORT};
 pub use polling::{PollingThread, RecvQueue};

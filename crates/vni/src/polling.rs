@@ -76,6 +76,18 @@ impl RecvQueue {
         self.inner.cond.notify_all();
     }
 
+    /// Enqueue a batch of packets under one lock acquisition, preserving
+    /// order (the polling thread's batched drain lands here).
+    pub fn push_batch(&self, batch: Vec<Packet>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut g = self.inner.q.lock();
+        g.packets.extend(batch);
+        g.publish_depth();
+        self.inner.cond.notify_all();
+    }
+
     /// Mark the queue closed (port gone); waiters wake with `Closed`.
     pub fn close(&self) {
         let mut g = self.inner.q.lock();
@@ -169,18 +181,25 @@ pub struct PollingThread {
 }
 
 impl PollingThread {
+    /// Packets drained from the port per wakeup. Bounds the time the recv
+    /// queue lock is held per batch while amortizing the port lock + condvar
+    /// handshake over many packets under load.
+    pub const DRAIN_BATCH: usize = 64;
+
     /// Spawn the polling thread: moves every packet from `port` into `queue`
-    /// until the port closes. Returns immediately.
+    /// until the port closes. Each wakeup drains up to [`Self::DRAIN_BATCH`]
+    /// packets in one port lock acquisition instead of one packet per
+    /// handshake. Returns immediately.
     pub fn spawn(port: Port, queue: RecvQueue) -> Self {
         let handle = std::thread::Builder::new()
             .name(format!("starfish-poll-{}", port.addr()))
             .spawn(move || {
                 let mut moved = 0u64;
                 loop {
-                    match port.recv() {
-                        Ok(pkt) => {
-                            queue.push(pkt);
-                            moved += 1;
+                    match port.recv_batch(Self::DRAIN_BATCH) {
+                        Ok(batch) => {
+                            moved += batch.len() as u64;
+                            queue.push_batch(batch);
                         }
                         Err(_) => {
                             queue.close();
