@@ -1,0 +1,195 @@
+//! Checkpoint recovery-latency benchmark: modeled stable storage (the
+//! paper-era IDE disk behind NFS) versus the diskless in-memory replica
+//! store, across image sizes. Results go to `BENCH_ckpt.json` at the
+//! workspace root so the disk-vs-replica trajectory shows up in review
+//! diffs and EXPERIMENTS.md.
+//!
+//! Two kinds of numbers live here, deliberately side by side:
+//!
+//! * **virtual-time costs** from the calibrated models — what the simulated
+//!   1999 cluster pays to write a checkpoint and to recover one after
+//!   losing the owner node (`DiskModel::ide_1999` vs
+//!   [`ReplicaStore::put_replicated`]/[`ReplicaStore::fetch`] over the
+//!   `lan_1999` fabric). These are deterministic and machine-independent.
+//! * **wall-clock throughput** of the replica store *implementation*
+//!   (puts+fetches per second on this box), so a regression in the real
+//!   data structure shows up too. `Instant` use is deliberate here — bench
+//!   code is not one of the virtual-time-deterministic crates.
+//!
+//! `BENCH_QUICK=1` shrinks sizes and iteration counts for the CI smoke job.
+
+use std::time::Instant;
+
+use starfish_bench::report;
+use starfish_checkpoint::replica::ReplicaStore;
+use starfish_checkpoint::{CkptImage, CkptLevel, CkptValue, DiskModel, MACHINES};
+use starfish_mpi::replica_net;
+use starfish_util::{AppId, Epoch, NodeId, Rank, VirtualTime};
+
+const APP: AppId = AppId(1);
+const K: u8 = 2;
+const NODES: u32 = 8;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn image(index: u64, bytes: usize) -> CkptImage {
+    CkptImage::capture(
+        APP,
+        Rank(0),
+        Epoch(0),
+        index,
+        CkptLevel::Vm { arch: MACHINES[0] },
+        &CkptValue::Bytes(vec![0x5a; bytes]),
+        vec![],
+        VirtualTime::ZERO,
+    )
+    .expect("capture image")
+}
+
+fn fresh_store() -> ReplicaStore {
+    let s = ReplicaStore::new();
+    s.set_live(&(0..NODES).map(NodeId).collect::<Vec<_>>());
+    s
+}
+
+/// Virtual-time disk-vs-replica comparison at one image size. Returns
+/// `(disk_write, replica_push, disk_read, replica_fetch)` in nanoseconds;
+/// the recovery legs simulate losing the owner node first, so the replica
+/// fetch reassembles the image purely from surviving peers.
+fn recovery_model(bytes: usize) -> (u64, u64, u64, u64) {
+    let disk = DiskModel::ide_1999();
+    let img = image(1, bytes);
+    let total = img.total_bytes();
+    let dw = disk.write_time(total).as_nanos();
+    let dr = disk.read_time(total).as_nanos();
+
+    let store = fresh_store();
+    let net = replica_net();
+    let receipt = store.put_replicated(img, NodeId(0), K, &net);
+    assert!(!receipt.under_replicated);
+    store.node_down(NodeId(0)); // the owner dies with its local state
+    let fetch = store
+        .fetch(APP, Rank(0), 1, NodeId(1), &net)
+        .expect("image must be recoverable from peers after owner loss");
+    assert_eq!(fetch.parity_rebuilds, 0, "k−1 losses never need parity");
+    (dw, receipt.cost.as_nanos(), dr, fetch.cost.as_nanos())
+}
+
+/// Wall-clock throughput of the store implementation: replicated puts and
+/// peer fetches of `bytes`-sized images. Returns (puts/s, fetches/s).
+fn store_ops(bytes: usize, iters: u64) -> (f64, f64) {
+    let store = fresh_store();
+    let net = replica_net();
+    let start = Instant::now();
+    for i in 1..=iters {
+        store.put_replicated(image(i, bytes), NodeId(0), K, &net);
+    }
+    let puts = iters as f64 / start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for i in 1..=iters {
+        store
+            .fetch(APP, Rank(0), i, NodeId(1), &net)
+            .expect("fetch back");
+    }
+    let fetches = iters as f64 / start.elapsed().as_secs_f64();
+    (puts, fetches)
+}
+
+struct Json(String);
+
+impl Json {
+    fn push(&mut self, s: &str) {
+        self.0.push_str(s);
+    }
+}
+
+fn main() {
+    let q = quick();
+    let sizes: &[usize] = if q {
+        &[256 * 1024, 1 << 20]
+    } else {
+        &[256 * 1024, 1 << 20, 4 << 20, 16 << 20]
+    };
+    let iters: u64 = if q { 20 } else { 200 };
+
+    report::print_banner(
+        "Checkpoint recovery: disk vs diskless replica",
+        &format!(
+            "{} mode: k={K}, {NODES} nodes, sizes up to {} MiB, {iters} ops for wall-clock",
+            if q { "quick" } else { "full" },
+            sizes.last().unwrap() >> 20,
+        ),
+    );
+
+    // ---- modeled recovery latency ------------------------------------------
+    let mut rows = Vec::new();
+    let mut model_json = Vec::new();
+    let mut replica_wins = true;
+    for &size in sizes {
+        let (dw, rp, dr, rf) = recovery_model(size);
+        let speedup = dr as f64 / rf as f64;
+        replica_wins &= rf < dr;
+        rows.push(vec![
+            size.to_string(),
+            format!("{:.2}", dw as f64 / 1e6),
+            format!("{:.2}", rp as f64 / 1e6),
+            format!("{:.2}", dr as f64 / 1e6),
+            format!("{:.2}", rf as f64 / 1e6),
+            format!("{speedup:.2}x"),
+        ]);
+        model_json.push((size, dw, rp, dr, rf, speedup));
+    }
+    report::print_table(
+        &[
+            "bytes",
+            "disk write ms",
+            "replica push ms",
+            "disk read ms",
+            "replica fetch ms",
+            "recovery speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "\nreplica recovery {} modeled disk on every size",
+        if replica_wins { "beats" } else { "LOSES TO" }
+    );
+
+    // ---- implementation throughput -----------------------------------------
+    let (puts, fetches) = store_ops(256 * 1024, iters);
+    println!("\nstore ops (256 KiB images): {puts:.0} puts/s, {fetches:.0} fetches/s");
+
+    // ---- JSON report -------------------------------------------------------
+    let mut j = Json(String::new());
+    j.push("{\n  \"bench\": \"ckpt\",\n");
+    j.push(&format!("  \"quick\": {q},\n"));
+    j.push(&format!("  \"k\": {K},\n"));
+    j.push(&format!("  \"nodes\": {NODES},\n"));
+    j.push("  \"recovery_ns\": {\n");
+    for (i, (size, dw, rp, dr, rf, speedup)) in model_json.iter().enumerate() {
+        let comma = if i + 1 == model_json.len() { "" } else { "," };
+        j.push(&format!(
+            "    \"{size}\": {{\"disk_write\": {dw}, \"replica_push\": {rp}, \
+             \"disk_read\": {dr}, \"replica_fetch\": {rf}, \"speedup\": {speedup:.2}}}{comma}\n"
+        ));
+    }
+    j.push("  },\n");
+    j.push(&format!(
+        "  \"replica_recovery_beats_disk\": {replica_wins},\n"
+    ));
+    j.push("  \"store_ops_wallclock\": {\n");
+    j.push(&format!("    \"image_bytes\": {},\n", 256 * 1024));
+    j.push(&format!("    \"puts_per_sec\": {puts:.0},\n"));
+    j.push(&format!("    \"fetches_per_sec\": {fetches:.0}\n"));
+    j.push("  }\n}\n");
+
+    let path = format!("{}/../../BENCH_ckpt.json", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::write(&path, &j.0) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

@@ -219,14 +219,13 @@ fn main() {
         &xover_rows,
     );
     let measured = crossover.is_some();
-    let crossover = crossover.unwrap_or(64 * 1024);
-    if measured {
-        println!("\ncrossover (rndv within 10% of eager): {crossover} bytes");
-    } else {
-        println!(
+    match crossover {
+        Some(c) => println!("\ncrossover (rndv within 10% of eager): {c} bytes"),
+        None => println!(
             "\nno crossover: rendezvous never came within 10% of eager on this \
-             box; keeping the {crossover}-byte fallback threshold"
-        );
+             box; keeping the {}-byte fallback threshold",
+            starfish_mpi::DEFAULT_RNDV_THRESHOLD
+        ),
     }
 
     // ---- JSON report -------------------------------------------------------
@@ -265,7 +264,10 @@ fn main() {
         ));
     }
     j.push("  },\n");
-    j.push(&format!("  \"crossover_bytes\": {crossover},\n"));
+    // An unmeasured crossover is an explicit null, not a smuggled-in
+    // fallback number a consumer could mistake for a measurement.
+    let crossover_json = crossover.map_or_else(|| "null".to_string(), |c| c.to_string());
+    j.push(&format!("  \"crossover_bytes\": {crossover_json},\n"));
     j.push(&format!("  \"crossover_measured\": {measured},\n"));
     j.push(&format!(
         "  \"default_rendezvous_threshold\": {}\n",

@@ -69,6 +69,7 @@ fn bench_wire(c: &mut Criterion) {
             policy: starfish_daemon::FtPolicy::Restart,
             level: starfish_daemon::LevelKind::Vm,
             proto: starfish_daemon::CkptProto::StopAndSync,
+            backend: starfish_checkpoint::CkptBackend::default(),
             owner: "bench".into(),
             token: 99,
         },

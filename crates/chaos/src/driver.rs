@@ -16,9 +16,10 @@
 //! and drains until no data moves for three rounds and no packet is queued
 //! anywhere — at which point the oracles judge the endstate.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
+use starfish_checkpoint::replica::{ReplicaNet, ReplicaStore};
 use starfish_checkpoint::{CkptImage, CkptLevel, CkptStore, CkptValue, MACHINES};
 use starfish_mpi::{CtsCadence, MpiEndpoint, RankDirectory, RecvMode, WORLD_CONTEXT};
 use starfish_trace::{FlightRecorder, ProcTrace};
@@ -76,6 +77,19 @@ pub struct ScenarioReport {
     /// Deliveries whose body did not match the sender's deterministic
     /// fill — a mis-spliced rendezvous DATA merge or torn payload.
     pub payload_corruptions: u64,
+    /// The plan's `replica <k>` directive (`None` = legacy disk store).
+    pub replica_k: Option<u8>,
+    /// Distinct nodes that crashed at least once (a restart brings the
+    /// node back empty, so its pre-crash replicas stay lost).
+    pub nodes_lost: u32,
+    /// Data fragments pushed to peer memory across all checkpoint rounds.
+    pub replica_fragments: u64,
+    /// Per-rank puts that could not reach full `k`-replica strength
+    /// (fewer than `k` live peers at put time).
+    pub replica_under_replicated: u64,
+    /// Parity-group rebuilds needed while proving the final line
+    /// restorable (0 ⇒ every fragment still had a live full copy).
+    pub replica_parity_rebuilds: u64,
 }
 
 /// Replay `plan` deterministically; see the module docs for the schedule.
@@ -102,6 +116,14 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
         fabric.set_link_fault(NodeId(f.src), NodeId(f.dst), f.to_fault());
     }
     let store = CkptStore::new();
+    // Diskless mode: a `replica <k>` directive swaps the stable store for
+    // the in-memory replicated one; node crashes then take checkpoint
+    // fragments with them, which is exactly what the diskless oracles probe.
+    let replica: Option<(ReplicaStore, ReplicaNet, u8)> = plan.replica_k.map(|k| {
+        let rs = ReplicaStore::new();
+        rs.set_live(&(0..plan.nodes).map(NodeId).collect::<Vec<_>>());
+        (rs, ReplicaNet::lan_1999(), k)
+    });
     let placement: Vec<NodeId> = (0..plan.ranks).map(|r| NodeId(r % plan.nodes)).collect();
     let dir = RankDirectory::with_placement(&placement);
     let recorders: Vec<FlightRecorder> = (0..plan.ranks)
@@ -155,6 +177,8 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
     let mut report = ScenarioReport::default();
     let mut next_id: Vec<u64> = vec![0; plan.ranks as usize];
     let mut dead: Vec<bool> = vec![false; plan.ranks as usize];
+    let mut crashed_nodes: BTreeSet<u32> = BTreeSet::new();
+    report.replica_k = plan.replica_k;
 
     for step in 0..plan.steps {
         // The plan-level recorder stamps injections with a step-derived
@@ -168,17 +192,36 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
                 Event::Crash(n) => {
                     fabric.crash_node(NodeId(n));
                     mark_dead(&mut dead, plan, n);
+                    crashed_nodes.insert(n);
+                    if let Some((rs, _, _)) = &replica {
+                        rs.node_down(NodeId(n));
+                    }
                 }
                 Event::SilentCrash(n) => {
                     fabric.crash_node_silently(NodeId(n));
                     mark_dead(&mut dead, plan, n);
+                    crashed_nodes.insert(n);
+                    if let Some((rs, _, _)) = &replica {
+                        rs.node_down(NodeId(n));
+                    }
                 }
                 // Restarting an application rank needs the full runtime's
                 // recovery machinery; the ensemble/cluster family covers
-                // it. Here a restart only revives the node on the wire.
-                Event::Restart(n) => fabric.add_node(NodeId(n)),
+                // it. Here a restart only revives the node on the wire —
+                // with its memory wiped, so any checkpoint fragments it
+                // hosted before the crash stay lost.
+                Event::Restart(n) => {
+                    fabric.add_node(NodeId(n));
+                    if let Some((rs, _, _)) = &replica {
+                        rs.node_wiped(NodeId(n));
+                    }
+                }
                 Event::Corrupt { rank, index } => {
-                    if store.corrupt_image(CHAOS_APP, Rank(rank), index) {
+                    let hit = match &replica {
+                        Some((rs, _, _)) => rs.corrupt_image(CHAOS_APP, Rank(rank), index),
+                        None => store.corrupt_image(CHAOS_APP, Rank(rank), index),
+                    };
+                    if hit {
                         report.corruptions += 1;
                     }
                 }
@@ -238,7 +281,18 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
                     clocks[r as usize].now(),
                 )
                 .expect("capture image");
-                store.put(img);
+                match &replica {
+                    Some((rs, net, k)) => {
+                        let receipt = rs.put_replicated(img, placement[r as usize], *k, net);
+                        report.replica_fragments += u64::from(receipt.fragments);
+                        if receipt.under_replicated {
+                            report.replica_under_replicated += 1;
+                        }
+                    }
+                    None => {
+                        store.put(img);
+                    }
+                }
             }
         }
     }
@@ -298,11 +352,37 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
         .filter(|r| !dead[*r as usize])
         .map(Rank)
         .collect();
-    report.line = store.latest_common_index(CHAOS_APP, &live);
-    report.line_restorable = report.line == 0
-        || live
-            .iter()
-            .all(|r| store.get(CHAOS_APP, *r, report.line).is_some());
+    report.nodes_lost = crashed_nodes.len() as u32;
+    match &replica {
+        Some((rs, net, _)) => {
+            report.line = rs.latest_common_index(CHAOS_APP, &live);
+            // Restorability is proven the hard way: actually reassemble
+            // every live rank's image at the line from surviving peer
+            // memory (parity rebuilds allowed), fetched to a live node.
+            if report.line > 0 {
+                let to = NodeId(live[0].0 % plan.nodes);
+                let mut restorable = true;
+                for r in &live {
+                    match rs.fetch(CHAOS_APP, *r, report.line, to, net) {
+                        Some(f) => {
+                            report.replica_parity_rebuilds += u64::from(f.parity_rebuilds);
+                        }
+                        None => restorable = false,
+                    }
+                }
+                report.line_restorable = restorable;
+            } else {
+                report.line_restorable = true;
+            }
+        }
+        None => {
+            report.line = store.latest_common_index(CHAOS_APP, &live);
+            report.line_restorable = report.line == 0
+                || live
+                    .iter()
+                    .all(|r| store.get(CHAOS_APP, *r, report.line).is_some());
+        }
+    }
     let traces = if traced {
         let mut t: Vec<ProcTrace> = recorders.iter().map(|r| r.dump()).collect();
         t.push(chaos_rec.dump());

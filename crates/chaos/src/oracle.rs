@@ -16,7 +16,10 @@
 //! 5. **quiescence** — the scenario converges to a fixed point at all,
 //!    with no rendezvous transfer left parked awaiting its CTS;
 //! 6. **payload integrity** — every delivered body matches the sender's
-//!    deterministic fill (a mis-spliced rendezvous DATA merge would show).
+//!    deterministic fill (a mis-spliced rendezvous DATA merge would show);
+//! 7. **diskless recovery** — on `replica <k>` plans, losing at most
+//!    `k−1` nodes must leave the full recovery line standing in peer
+//!    memory (no disk exists to fall back on).
 //!
 //! The ensemble family adds **view agreement** and **total order** (see
 //! `tests/ensemble_chaos.rs`). Oracles return violation strings rather
@@ -33,6 +36,7 @@ pub fn check_all(r: &ScenarioReport) -> Vec<String> {
     v.extend(recovery_line(r));
     v.extend(quiescence(r));
     v.extend(payload_integrity(r));
+    v.extend(diskless_recovery(r));
     v
 }
 
@@ -158,6 +162,28 @@ pub fn payload_integrity(r: &ScenarioReport) -> Option<String> {
     None
 }
 
+/// Oracle 7: the diskless store keeps its `k−1`-loss promise. When every
+/// put reached full `k`-replica strength, nothing was torn, and fewer than
+/// `k` distinct nodes crashed, every checkpoint round's images still have
+/// at least one live copy per fragment — so the recovery line must equal
+/// the number of rounds completed (live ranks checkpointed every round).
+/// Restorability-from-peer-memory itself is enforced by oracle 4: for
+/// replica plans the driver computes `line_restorable` by actually
+/// reassembling each image from surviving fragments.
+pub fn diskless_recovery(r: &ScenarioReport) -> Option<String> {
+    let k = r.replica_k?;
+    let promise_in_force =
+        r.nodes_lost < u32::from(k) && r.replica_under_replicated == 0 && r.corruptions == 0;
+    if promise_in_force && r.line < r.ckpt_rounds {
+        return Some(format!(
+            "diskless: {} rounds fully replicated at k={k} and only {} nodes lost, \
+             yet the peer-memory line regressed to {}",
+            r.ckpt_rounds, r.nodes_lost, r.line
+        ));
+    }
+    None
+}
+
 fn diff_summary(want: &[u64], got: &[u64]) -> String {
     let missing: Vec<u64> = want.iter().filter(|w| !got.contains(w)).copied().collect();
     let extra: Vec<u64> = got.iter().filter(|g| !want.contains(g)).copied().collect();
@@ -235,6 +261,38 @@ mod tests {
         r.line = 2; // one torn image may cost one round, not three
         r.line_restorable = true;
         assert!(recovery_line(&r).is_some());
+    }
+
+    #[test]
+    fn diskless_line_regression_is_flagged_within_the_promise() {
+        let mut r = clean_report();
+        r.replica_k = Some(2);
+        r.ckpt_rounds = 4;
+        r.nodes_lost = 1; // k−1: the promise holds
+        r.line = 2;
+        assert!(diskless_recovery(&r).is_some());
+        r.line = 4;
+        assert!(diskless_recovery(&r).is_none());
+    }
+
+    #[test]
+    fn diskless_promise_is_void_beyond_k_minus_1_or_under_replication() {
+        let mut r = clean_report();
+        r.replica_k = Some(2);
+        r.ckpt_rounds = 4;
+        r.line = 0;
+        r.nodes_lost = 2; // ≥ k losses: regression is legitimate
+        assert!(diskless_recovery(&r).is_none());
+        r.nodes_lost = 1;
+        r.replica_under_replicated = 3; // puts never reached strength k
+        assert!(diskless_recovery(&r).is_none());
+        r.replica_under_replicated = 0;
+        r.corruptions = 1; // torn images excuse the line too
+        assert!(diskless_recovery(&r).is_none());
+        // Disk plans are never judged by this oracle.
+        r.replica_k = None;
+        r.corruptions = 0;
+        assert!(diskless_recovery(&r).is_none());
     }
 
     #[test]

@@ -112,6 +112,10 @@ pub struct FaultPlan {
     /// Per-endpoint rendezvous threshold override; `None` leaves the
     /// build default (effectively eager-only at chaos payload sizes).
     pub rndv_threshold: Option<u32>,
+    /// Diskless checkpointing: route images through the in-memory replica
+    /// store with `k` copies per fragment instead of the stable disk store.
+    /// `None` keeps the legacy disk path.
+    pub replica_k: Option<u8>,
     /// Per-link packet faults, armed before the first step.
     pub faults: Vec<LinkFaultSpec>,
     /// Timed events, fired when the driver reaches `step` (plan order
@@ -213,6 +217,7 @@ impl FaultPlan {
             unreliable: false,
             payload: 8,
             rndv_threshold: None,
+            replica_k: None,
             faults,
             events,
         }
@@ -242,6 +247,7 @@ impl FaultPlan {
             unreliable: false,
             payload: 8,
             rndv_threshold: None,
+            replica_k: None,
             faults: Vec::new(),
             events: Vec::new(),
         };
@@ -267,6 +273,13 @@ impl FaultPlan {
                 "unreliable" => plan.unreliable = true,
                 "payload" => plan.payload = scalar(&rest)? as u32,
                 "rendezvous" => plan.rndv_threshold = Some(scalar(&rest)? as u32),
+                "replica" => {
+                    let k = scalar(&rest)?;
+                    if k == 0 || k > u8::MAX as u64 {
+                        return Err(format!("replica k out of range: {line}"));
+                    }
+                    plan.replica_k = Some(k as u8);
+                }
                 "fault" => plan.faults.push(parse_fault(line, &rest)?),
                 k if k.starts_with('@') => {
                     let step: u32 = k[1..].parse().map_err(|e| format!("{line}: {e}"))?;
@@ -370,6 +383,9 @@ impl fmt::Display for FaultPlan {
         if let Some(t) = self.rndv_threshold {
             writeln!(f, "rendezvous {t}")?;
         }
+        if let Some(k) = self.replica_k {
+            writeln!(f, "replica {k}")?;
+        }
         for s in &self.faults {
             writeln!(
                 f,
@@ -449,6 +465,20 @@ mod tests {
         let legacy = FaultPlan::generate(5);
         assert_eq!(legacy.payload, 8);
         assert_eq!(legacy.rndv_threshold, None);
+    }
+
+    #[test]
+    fn replica_directive_roundtrips_and_validates() {
+        let text = "starfish-fault-plan v1\nseed 4\nnodes 4\nranks 4\nsteps 12\nckpt-every 4\nreplica 2\n@6 crash 1\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.replica_k, Some(2));
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+        // k=0 is meaningless (no copies) and rejected at parse time.
+        let bad = text.replace("replica 2", "replica 0");
+        assert!(FaultPlan::parse(&bad).is_err());
+        // Absent directive keeps the legacy disk store.
+        assert_eq!(FaultPlan::generate(6).replica_k, None);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! 2. drop whole link-fault specs;
 //! 3. zero individual fault probabilities (drop/dup/delay/reorder);
 //! 4. truncate the step count (binary descent);
-//! 5. disable checkpointing.
+//! 5. disable checkpointing;
+//! 6. fall back from diskless replication to the disk store.
 //!
 //! Every candidate that still fails replaces the current plan, so the
 //! result is 1-minimal with respect to these operations and — because the
@@ -96,6 +97,17 @@ pub fn minimize(plan: &FaultPlan, fails: impl Fn(&FaultPlan) -> bool) -> FaultPl
         if best.ckpt_every != 0 {
             let mut cand = best.clone();
             cand.ckpt_every = 0;
+            if fails(&cand) {
+                best = cand;
+                progressed = true;
+            }
+        }
+
+        // 6. Try falling back from diskless replication to the disk store
+        // (a violation that survives on disk is not a replication bug).
+        if best.replica_k.is_some() {
+            let mut cand = best.clone();
+            cand.replica_k = None;
             if fails(&cand) {
                 best = cand;
                 progressed = true;

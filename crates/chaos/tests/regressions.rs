@@ -31,6 +31,23 @@ fn committed_regression_plans_pass_all_oracles() {
     }
 }
 
+/// The replica-node-loss plan specifically: pin the diskless endstate so
+/// the file keeps proving the k−1-loss guarantee it was written for.
+#[test]
+fn replica_node_loss_plan_pins_the_peer_memory_line() {
+    let dir = format!("{}/tests/regressions", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(format!("{dir}/replica-node-loss.plan")).unwrap();
+    let plan = FaultPlan::parse(&text).unwrap();
+    assert_eq!(plan.replica_k, Some(2));
+    let report = run_mpi_scenario(&plan);
+    assert_eq!(report.ckpt_rounds, 4);
+    assert_eq!(report.nodes_lost, 1);
+    assert_eq!(report.line, 4, "the full line must survive one node loss");
+    assert!(report.line_restorable, "proven by actual fragment fetches");
+    assert_eq!(report.replica_parity_rebuilds, 0);
+    assert!(oracle::check_all(&report).is_empty());
+}
+
 /// The torn-interior-image plan specifically: pin the endstate shape so
 /// the file keeps describing the scenario it was shrunk from.
 #[test]

@@ -1,0 +1,146 @@
+//! Diskless checkpointing under node loss: the `replica <k>` plan bank.
+//!
+//! The tentpole claim of the replica backend is the `k−1`-loss guarantee:
+//! with every image fragment replicated on `k` distinct peer nodes, losing
+//! *any* `k−1` nodes leaves at least one live copy of every fragment, so
+//! the full recovery line survives in peer memory — no disk anywhere. The
+//! tests here prove it exhaustively for `k = 2` and `k = 3` (every
+//! (k−1)-node-loss subset), exercise the XOR-parity fallback when a full
+//! replica set is gone, pin the honest failure mode beyond tolerance, and
+//! sweep a seeded bank of random schedules forced into replica mode.
+//! Failing seeds are shrunk and persisted like the main scenario bank.
+
+use starfish_chaos::{minimize, oracle, run_mpi_scenario, FaultPlan};
+
+/// A plan that checkpoints every 3 steps into a `replica <k>` store and
+/// crashes `kill` at step 7 — between rounds 2 and 3, so the bank covers
+/// both "fragments placed before the loss" and "placement re-derived from
+/// the shrunken membership" images.
+fn loss_plan(k: u8, nodes: u32, kill: &[u32]) -> FaultPlan {
+    let mut text = format!(
+        "starfish-fault-plan v1\nseed 11\nnodes {nodes}\nranks {nodes}\n\
+         steps 12\nckpt-every 3\nreplica {k}\n"
+    );
+    for n in kill {
+        text.push_str(&format!("@7 crash {n}\n"));
+    }
+    FaultPlan::parse(&text).expect("loss plan parses")
+}
+
+#[test]
+fn losing_any_k_minus_1_nodes_keeps_the_full_line_in_peer_memory() {
+    for (k, nodes) in [(2u8, 5u32), (3, 6)] {
+        let subsets: Vec<Vec<u32>> = match k {
+            2 => (0..nodes).map(|a| vec![a]).collect(),
+            _ => (0..nodes)
+                .flat_map(|a| ((a + 1)..nodes).map(move |b| vec![a, b]))
+                .collect(),
+        };
+        for kill in subsets {
+            let plan = loss_plan(k, nodes, &kill);
+            let report = run_mpi_scenario(&plan);
+            let v = oracle::check_all(&report);
+            assert!(v.is_empty(), "k={k} kill={kill:?}: {v:?}");
+            assert_eq!(report.ckpt_rounds, 4, "k={k} kill={kill:?}");
+            assert_eq!(
+                report.line, 4,
+                "k={k} kill={kill:?}: every round must survive k−1 losses"
+            );
+            assert!(report.line_restorable, "k={k} kill={kill:?}");
+            assert_eq!(
+                report.replica_parity_rebuilds, 0,
+                "k={k} kill={kill:?}: k−1 losses never need the parity group"
+            );
+            assert_eq!(report.replica_under_replicated, 0);
+            assert!(report.replica_fragments > 0);
+        }
+    }
+}
+
+#[test]
+fn parity_group_rebuilds_a_fully_lost_fragment() {
+    // k=1: each fragment has a single replica, so losing the node that
+    // holds rank 0's data fragment leaves only the XOR parity copy. The
+    // crash lands *after* the last round (step 12 of 13; rounds complete at
+    // steps 2/5/8/11), so no later full-strength put papers over the loss.
+    // Placement is the deterministic ring: rank 0 owns node 0, peers are
+    // [1,2,3], its data fragment sits on node 1 and parity on node 2.
+    let plan = FaultPlan::parse(
+        "starfish-fault-plan v1\nseed 11\nnodes 4\nranks 4\nsteps 13\n\
+         ckpt-every 3\nreplica 1\n@12 crash 1\n",
+    )
+    .unwrap();
+    let report = run_mpi_scenario(&plan);
+    let v = oracle::check_all(&report);
+    assert!(v.is_empty(), "{v:?}");
+    assert_eq!(report.ckpt_rounds, 4);
+    assert_eq!(report.line, 4, "the line must survive via the parity group");
+    assert!(report.line_restorable);
+    assert!(
+        report.replica_parity_rebuilds >= 1,
+        "rank 0's image can only be reassembled through a parity rebuild"
+    );
+}
+
+#[test]
+fn losses_beyond_tolerance_fail_honestly_not_silently() {
+    // 3 nodes, k=2: both peers of node 0 hold every copy of rank 0's
+    // fragments (and the parity). Crashing both after the last round
+    // leaves rank 0 alive but its images gone — the store must report
+    // line 0 rather than pretend anything is restorable.
+    let plan = FaultPlan::parse(
+        "starfish-fault-plan v1\nseed 11\nnodes 3\nranks 3\nsteps 13\n\
+         ckpt-every 3\nreplica 2\n@12 crash 1\n@12 crash 2\n",
+    )
+    .unwrap();
+    let report = run_mpi_scenario(&plan);
+    assert_eq!(report.ckpt_rounds, 4);
+    assert_eq!(report.nodes_lost, 2, "k losses: the promise is void");
+    assert_eq!(report.line, 0, "no surviving copy ⇒ no claimed line");
+    assert!(report.line_restorable, "line 0 is trivially restorable");
+    // The honest regression is excused by every oracle (nodes_lost ≥ k).
+    let v = oracle::check_all(&report);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn replica_replays_are_bit_identical() {
+    let plan = loss_plan(2, 5, &[3]);
+    let a = run_mpi_scenario(&plan);
+    let b = run_mpi_scenario(&plan);
+    assert_eq!(a, b, "replica-mode replay diverged");
+    // And the directive genuinely changes the endstate vs. a disk run.
+    let mut disk = plan.clone();
+    disk.replica_k = None;
+    let d = run_mpi_scenario(&disk);
+    assert_eq!(d.replica_fragments, 0);
+    assert_ne!(a, d);
+}
+
+/// Seeded bank: random schedules (crashes, partitions, link faults, torn
+/// images) forced into `replica 2` mode must uphold every oracle,
+/// including the diskless k−1-loss promise. Failures shrink to a small
+/// plan artifact exactly like the main scenario bank.
+#[test]
+fn seeded_replica_scenarios_uphold_all_oracles() {
+    for seed in 0..40u64 {
+        let mut plan = FaultPlan::generate(seed);
+        plan.replica_k = Some(2);
+        let v = oracle::check_all(&run_mpi_scenario(&plan));
+        if !v.is_empty() {
+            let min = minimize(&plan, |p| {
+                !oracle::check_all(&run_mpi_scenario(p)).is_empty()
+            });
+            let why = oracle::check_all(&run_mpi_scenario(&min));
+            let path = format!(
+                "{}/tests/regressions/shrunk-replica-seed-{seed}.plan",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            let note = match std::fs::write(&path, format!("# violations: {why:?}\n{min}")) {
+                Ok(()) => format!("shrunk plan written to {path}"),
+                Err(e) => format!("could not write {path}: {e}"),
+            };
+            panic!("replica seed {seed} violated {v:?}; {note}\nminimized:\n{min}");
+        }
+    }
+}

@@ -22,23 +22,31 @@
 //!   "run multiple C/R protocols side by side" and compare them.
 //! * **Storage and timing** : [`store::CkptStore`] models the cluster's
 //!   stable checkpoint storage; [`disk::DiskModel`] charges virtual time
-//!   calibrated to the paper's Figures 3 and 4 anchor points.
+//!   calibrated to the paper's Figures 3 and 4 anchor points. The
+//!   [`backend`] module makes storage a per-app policy: `disk` (the above)
+//!   or `replica` — the diskless in-memory replicated store of [`replica`],
+//!   with k-way fragment placement over peer nodes and XOR-parity fallback
+//!   (DESIGN.md §6a).
 //! * **Optimizations**: [`incremental`] implements libckpt-style
 //!   incremental checkpoints (only chunks dirtied since the previous image
 //!   are written), quantified by the `ablation_incremental` bench.
 
 pub mod arch;
+pub mod backend;
 pub mod disk;
 pub mod image;
 pub mod incremental;
 pub mod portable;
 pub mod proto;
 pub mod recovery;
+pub mod replica;
 pub mod store;
 pub mod value;
 
 pub use arch::{Arch, Endianness, MACHINES};
+pub use backend::{CheckpointStore, CkptBackend, StoreHub};
 pub use disk::DiskModel;
 pub use image::{ChannelMsg, CkptImage, CkptLevel};
+pub use replica::{ReplicaNet, ReplicaStore};
 pub use store::CkptStore;
 pub use value::CkptValue;

@@ -247,6 +247,58 @@ mod tests {
     }
 
     #[test]
+    fn latest_common_index_on_an_empty_store_is_zero() {
+        let s = CkptStore::new();
+        assert_eq!(s.latest_common_index(AppId(1), &[Rank(0), Rank(1)]), 0);
+        // An empty rank list means "no constraint holders": index 0 (start
+        // from initial state), never a panic.
+        assert_eq!(s.latest_common_index(AppId(1), &[]), 0);
+        // A store with images for a *different* app is still empty here.
+        s.put(img(0, 5));
+        assert_eq!(s.latest_common_index(AppId(2), &[Rank(0)]), 0);
+    }
+
+    #[test]
+    fn latest_common_index_single_rank_is_its_latest_readable() {
+        let s = CkptStore::new();
+        s.put(img(0, 1));
+        s.put(img(0, 4));
+        assert_eq!(s.latest_common_index(AppId(1), &[Rank(0)]), 4);
+        // With the head torn, the single-rank line falls back, matching
+        // `latest_index` exactly.
+        assert!(s.corrupt_image(AppId(1), Rank(0), 4));
+        assert_eq!(s.latest_common_index(AppId(1), &[Rank(0)]), 1);
+        assert_eq!(
+            s.latest_common_index(AppId(1), &[Rank(0)]),
+            s.latest_index(AppId(1), Rank(0))
+        );
+    }
+
+    #[test]
+    fn latest_common_index_interleaved_torn_images() {
+        // Readable sets interleave with no overlap above 1:
+        //   rank 0: {1, 2, 4} (3 torn), rank 1: {1, 3} (2, 4 torn),
+        //   rank 2: {1, 2, 3, 4}.
+        // Pairwise mins and min-of-latest all lie: the only jointly
+        // readable index is 1.
+        let s = CkptStore::new();
+        for r in 0..3 {
+            for i in 1..=4 {
+                s.put(img(r, i));
+            }
+        }
+        assert!(s.corrupt_image(AppId(1), Rank(0), 3));
+        assert!(s.corrupt_image(AppId(1), Rank(1), 2));
+        assert!(s.corrupt_image(AppId(1), Rank(1), 4));
+        let ranks = [Rank(0), Rank(1), Rank(2)];
+        assert_eq!(s.latest_common_index(AppId(1), &ranks), 1);
+        // Healing rank 1's torn index 4 is not enough (rank 1 still lacks
+        // nothing at 4 now, but rank 0 has 4 too — line jumps to 4).
+        s.put(img(1, 4));
+        assert_eq!(s.latest_common_index(AppId(1), &ranks), 4);
+    }
+
+    #[test]
     fn prune_below_garbage_collects() {
         let s = CkptStore::new();
         for i in 1..=4 {

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use std::time::Duration;
 
+use starfish_checkpoint::backend::{CkptBackend, StoreHub};
 use starfish_checkpoint::store::CkptStore;
 use starfish_checkpoint::CkptValue;
 use starfish_daemon::config::{AppSpec, AppStatus, ClusterConfig};
@@ -25,12 +26,13 @@ use crate::ctx::Ctx;
 use crate::host::{AppRegistry, DirRegistry, RuntimeHost, RuntimeKnobs};
 use crate::runtime::Outputs;
 
-/// Per-submission options (policy, checkpoint level, protocol).
+/// Per-submission options (policy, checkpoint level, protocol, store).
 #[derive(Debug, Clone, Copy)]
 pub struct SubmitOpts {
     pub policy: FtPolicy,
     pub level: LevelKind,
     pub proto: CkptProto,
+    pub backend: CkptBackend,
 }
 
 impl Default for SubmitOpts {
@@ -39,6 +41,7 @@ impl Default for SubmitOpts {
             policy: FtPolicy::Restart,
             level: LevelKind::Vm,
             proto: CkptProto::StopAndSync,
+            backend: CkptBackend::Disk,
         }
     }
 }
@@ -55,6 +58,17 @@ impl SubmitOpts {
     pub fn proto(mut self, p: CkptProto) -> Self {
         self.proto = p;
         self
+    }
+    /// Checkpoint store backend: stable disk (default) or the diskless
+    /// peer-memory replica store with `k` copies per fragment.
+    pub fn backend(mut self, b: CkptBackend) -> Self {
+        self.backend = b;
+        self
+    }
+    /// Shorthand for [`backend`](SubmitOpts::backend) with
+    /// `CkptBackend::Replica { k }`.
+    pub fn replica(self, k: u8) -> Self {
+        self.backend(CkptBackend::Replica { k })
     }
 }
 
@@ -178,7 +192,7 @@ impl ClusterBuilder {
         fabric.attach_metrics(metrics.clone());
         self.trace
             .attach_metrics(std::sync::Arc::new(metrics.clone()));
-        let store = CkptStore::new();
+        let store = StoreHub::new();
         let registry = AppRegistry::new();
         let dirs = DirRegistry::default();
         let outputs = Outputs::new();
@@ -257,7 +271,7 @@ impl ClusterBuilder {
 pub struct Cluster {
     fabric: Fabric,
     daemons: parking_lot::Mutex<Vec<Daemon>>,
-    store: CkptStore,
+    store: StoreHub,
     registry: AppRegistry,
     dirs: DirRegistry,
     outputs: Outputs,
@@ -282,8 +296,14 @@ impl Cluster {
         &self.fabric
     }
 
-    /// Shared stable checkpoint storage.
+    /// Shared stable (disk) checkpoint storage — the NFS side of the hub.
     pub fn store(&self) -> &CkptStore {
+        self.store.nfs()
+    }
+
+    /// The full checkpoint store hub: stable disk plus the diskless
+    /// peer-memory replica backend, with per-app routing policies.
+    pub fn ckpt_hub(&self) -> &StoreHub {
         &self.store
     }
 
@@ -337,6 +357,7 @@ impl Cluster {
             policy: opts.policy,
             level: opts.level,
             proto: opts.proto,
+            backend: opts.backend,
             owner: "cluster".to_string(),
             token,
         };

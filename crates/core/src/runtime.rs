@@ -38,12 +38,12 @@ use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
+use starfish_checkpoint::backend::{CkptBackend, StoreHub};
 use starfish_checkpoint::image::{ChannelMsg, CkptImage, CkptLevel};
 use starfish_checkpoint::proto::chandy_lamport::{ChandyLamport, ClPhase};
 use starfish_checkpoint::proto::independent::Independent;
 use starfish_checkpoint::proto::stop_and_sync::StopAndSync;
 use starfish_checkpoint::proto::{CrEffect, CrMsg, SyncCostModel};
-use starfish_checkpoint::store::CkptStore;
 use starfish_checkpoint::{Arch, CkptValue, DiskModel};
 use starfish_daemon::config::AppEntry;
 use starfish_daemon::{CkptProto, LevelKind, ProcDown, ProcUp, RelayKind};
@@ -181,7 +181,7 @@ pub struct ProcessRuntime {
     pub(crate) clock: VClock,
     pub(crate) down_rx: Receiver<ProcDown>,
     pub(crate) up_tx: Sender<(AppId, Rank, ProcUp)>,
-    pub(crate) store: CkptStore,
+    pub(crate) store: StoreHub,
     pub(crate) outputs: Outputs,
     #[allow(dead_code)] // carried for future process-level tracing
     pub(crate) trace: TraceSink,
@@ -240,7 +240,7 @@ impl ProcessRuntime {
         mpi: MpiEndpoint,
         down_rx: Receiver<ProcDown>,
         up_tx: Sender<(AppId, Rank, ProcUp)>,
-        store: CkptStore,
+        store: StoreHub,
         outputs: Outputs,
         trace: TraceSink,
         spawn_vt: VirtualTime,
@@ -727,11 +727,22 @@ impl ProcessRuntime {
             );
         }
         let bytes = img.total_bytes();
-        self.clock.advance(self.disk.write_time(bytes));
-        self.store.put(img);
+        // Disk-backed apps pay the (modeled) stable-storage write; replica
+        // apps instead push fragments to peer memory over the fabric and pay
+        // the serialized NIC cost reported by the replica store.
+        let write_cost = match self.store.put_timed(img) {
+            Some(receipt) => {
+                self.metrics
+                    .add(metric::CKPT_FRAGMENTS_STORED, u64::from(receipt.fragments));
+                self.metrics
+                    .record(metric::CKPT_REPLICATION_BYTES, receipt.replicated_bytes);
+                receipt.cost
+            }
+            None => self.disk.write_time(bytes),
+        };
+        self.clock.advance(write_cost);
         self.metrics.record(metric::CKPT_IMAGE_BYTES, bytes);
-        self.metrics
-            .record_vt(metric::CKPT_WRITE_NS, self.disk.write_time(bytes));
+        self.metrics.record_vt(metric::CKPT_WRITE_NS, write_cost);
         self.metrics.span_record(
             "ckpt.write",
             &format!("index {index}, {bytes} B"),
@@ -827,7 +838,31 @@ impl ProcessRuntime {
             self.mpi.restore_channel(Vec::new(), self.clock.now());
             return;
         }
-        let Some(img) = self.store.get(self.app, self.rank, index) else {
+        // Replica-backed apps reassemble the image from surviving peers at
+        // fabric speed (parallel per-source fetch, parity rebuild if a
+        // fragment was fully lost); disk apps read it back from stable
+        // storage at the modeled disk rate.
+        let replica = matches!(self.store.backend_of(self.app), CkptBackend::Replica { .. });
+        let (img, fetch_cost) = if replica {
+            match self
+                .store
+                .fetch_timed(self.app, self.rank, index, self.node)
+            {
+                Some(f) => {
+                    self.metrics.add(
+                        metric::CKPT_FRAGMENTS_FETCHED,
+                        u64::from(f.fragments_fetched),
+                    );
+                    self.metrics
+                        .add(metric::CKPT_PARITY_REBUILDS, u64::from(f.parity_rebuilds));
+                    (Some(f.img), Some(f.cost))
+                }
+                None => (None, None),
+            }
+        } else {
+            (self.store.get(self.app, self.rank, index), None)
+        };
+        let Some(img) = img else {
             // No such image (e.g. recovery line at 0 for this rank): fresh.
             self.restored = None;
             self.mpi.restore_channel(Vec::new(), self.clock.now());
@@ -837,9 +872,18 @@ impl ProcessRuntime {
         };
         match img.restore_state(self.arch) {
             Ok((value, report)) => {
-                // Restore costs: read the image back, plus representation
-                // conversion when the saving machine differed.
-                self.clock.advance(self.disk.read_time(img.total_bytes()));
+                // Restore costs: read the image back (peer fetch or disk),
+                // plus representation conversion when the saving machine
+                // differed.
+                match fetch_cost {
+                    Some(c) => {
+                        self.clock.advance(c);
+                        self.metrics.record_vt(metric::RECOVERY_FETCH_NS, c);
+                    }
+                    None => {
+                        self.clock.advance(self.disk.read_time(img.total_bytes()));
+                    }
+                }
                 if !report.identical() {
                     self.clock
                         .advance(VirtualTime::transfer(report.body_bytes, CONVERT_BW));

@@ -6,7 +6,7 @@ use std::time::Duration;
 use starfish_checkpoint::CkptValue;
 use starfish_daemon::{CkptProto, FtPolicy, LevelKind};
 use starfish_mpi::ReduceOp;
-use starfish_util::{Rank, VirtualTime};
+use starfish_util::{AppId, Rank, VirtualTime};
 
 use crate::cluster::{Cluster, SubmitOpts};
 use crate::state::CkptValueExt;
@@ -505,6 +505,124 @@ fn checkpoint_with_rendezvous_in_flight_loses_nothing() {
     assert_eq!(cluster.outputs(app, Rank(1)), vec![CkptValue::Int(1)]);
     assert_eq!(cluster.store().latest_index(app, Rank(0)), 1);
     assert_eq!(cluster.store().latest_index(app, Rank(1)), 1);
+}
+
+/// Diskless checkpointing end to end: a replica-backed app checkpoints into
+/// peer memory (nothing touches the stable store), a node dies, and the
+/// recovery line is reassembled entirely from surviving peers.
+#[test]
+fn replica_backend_recovers_from_peer_memory_after_crash() {
+    let cluster = Cluster::builder().nodes(4).build().unwrap();
+    cluster.register_app("diskless", |ctx| {
+        let me = ctx.rank();
+        let (mut iter, mut acc) = match ctx.restored() {
+            Some(v) => {
+                ctx.publish(CkptValue::Str(format!("restored@{}", v.req_int("iter")?)));
+                (v.req_int("iter")?, v.req_int("acc")?)
+            }
+            None => (0, 0),
+        };
+        while iter < 6 {
+            let state = CkptValue::record(vec![
+                ("iter", CkptValue::Int(iter)),
+                ("acc", CkptValue::Int(acc)),
+            ]);
+            if iter == 3 && me.0 == 0 {
+                ctx.checkpoint(&state)?;
+            } else {
+                ctx.safepoint(&state)?;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            let sums = ctx.allreduce_i64(&[me.0 as i64 + 1], ReduceOp::Sum)?;
+            acc += sums[0];
+            iter += 1;
+        }
+        ctx.publish(CkptValue::Int(acc));
+        Ok(())
+    });
+    let app = cluster
+        .submit("diskless", 3, SubmitOpts::default().replica(2))
+        .unwrap();
+    let ranks = [Rank(0), Rank(1), Rank(2)];
+
+    // Wait for the coordinated round to land in peer memory.
+    let deadline = std::time::Instant::now() + T;
+    while cluster.ckpt_hub().latest_common_index(app, &ranks) < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica checkpoint never landed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The stable store saw none of it, and every rank is replicated.
+    for r in ranks {
+        assert_eq!(cluster.store().latest_index(app, r), 0, "disk used for {r}");
+    }
+    let health = cluster.ckpt_hub().replica().health(app);
+    assert_eq!(health.len(), 3);
+    assert!(health.iter().all(|h| h.recoverable && !h.under_replicated));
+
+    let victim = cluster.config().apps[&app].placement[1];
+    cluster.crash_node(victim);
+
+    cluster.wait_app_done(app, T).unwrap();
+    // Same answer as failure-free: 6 iterations × (1+2+3) = 36.
+    for r in ranks {
+        let out = cluster.outputs(app, r);
+        assert!(
+            out.contains(&CkptValue::Int(36)),
+            "rank {r} outputs {out:?}"
+        );
+    }
+    // The restart really came out of peer memory, not from scratch.
+    let restored_seen = ranks.iter().any(|r| {
+        cluster
+            .outputs(app, *r)
+            .iter()
+            .any(|v| matches!(v, CkptValue::Str(s) if s.starts_with("restored@")))
+    });
+    assert!(restored_seen, "no rank restored from the replica store");
+    assert_eq!(cluster.config().apps[&app].epoch.0, 1);
+}
+
+/// The management-protocol spelling of the same policy: `SUBMIT … STORE
+/// replica:2` must route the round into peer memory and `CKPT STATUS`
+/// must show the fragments — the path the paper's GUI drives.
+#[test]
+fn mgmt_submitted_replica_app_lands_fragments_in_peer_memory() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("soak", |ctx| {
+        let state = CkptValue::Unit;
+        for _ in 0..400 {
+            ctx.safepoint(&state)?;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    });
+    let mut s = cluster.session();
+    assert!(s.handle_line("LOGIN USER alice").starts_with("OK"));
+    let resp = s.handle_line("SUBMIT soak 2 POLICY restart LEVEL vm PROTO sync STORE replica:2");
+    assert!(resp.starts_with("OK submitted"), "{resp}");
+    let id = resp.split_whitespace().nth(2).unwrap().to_string();
+    let app = AppId(id.trim_start_matches("app").parse().unwrap());
+    assert!(s.handle_line(&format!("CHECKPOINT {id}")).starts_with("OK"));
+
+    let ranks = [Rank(0), Rank(1)];
+    let deadline = std::time::Instant::now() + T;
+    while cluster.ckpt_hub().latest_common_index(app, &ranks) < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mgmt-submitted replica checkpoint never landed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for r in ranks {
+        assert_eq!(cluster.store().latest_index(app, r), 0, "disk used for {r}");
+    }
+    let status = s.handle_line(&format!("CKPT STATUS {id}"));
+    assert!(status.contains("backend=replica:2"), "{status}");
+    assert!(!status.contains("no fragments"), "{status}");
+    assert!(s.handle_line(&format!("DELETE {id}")).starts_with("OK"));
 }
 
 /// Checkpoint while heavy point-to-point traffic is in flight: nothing is

@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use starfish_checkpoint::arch::{Arch, DEFAULT_ARCH, MACHINES};
+use starfish_checkpoint::backend::CkptBackend;
 use starfish_util::codec::{Decode, Decoder, Encode, Encoder};
 use starfish_util::{AppId, Epoch, Error, NodeId, Rank, Result};
 
@@ -48,6 +49,9 @@ pub struct AppSpec {
     pub policy: FtPolicy,
     pub level: LevelKind,
     pub proto: CkptProto,
+    /// Where this app's checkpoints live: the modeled stable disk, or the
+    /// diskless in-memory replica store (k peer copies per fragment).
+    pub backend: CkptBackend,
     /// Submitting user (for the user-session permission checks).
     pub owner: String,
     /// Client-chosen token so the submitting session can find the assigned
@@ -529,6 +533,7 @@ mod tests {
             policy: FtPolicy::Restart,
             level: LevelKind::Vm,
             proto: CkptProto::StopAndSync,
+            backend: CkptBackend::Replica { k: 2 },
             owner: "alice".into(),
             token: 42,
         }

@@ -19,8 +19,8 @@ use std::time::Duration;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
+use starfish_checkpoint::backend::StoreHub;
 use starfish_checkpoint::recovery::{self};
-use starfish_checkpoint::store::CkptStore;
 use starfish_ensemble::{Endpoint, EndpointConfig, GcEvent, View};
 use starfish_lwgroups::{LwEvent, LwMsg, LwRouter};
 use starfish_telemetry::{metric, Registry};
@@ -87,18 +87,24 @@ pub struct Daemon {
     shared_cfg: Arc<Mutex<ClusterConfig>>,
     stats: StatsHub,
     trace_hub: TraceHub,
+    store: StoreHub,
 }
 
 impl Daemon {
     /// Start a daemon. `contact == None` founds the Starfish group (first
     /// daemon of the cluster); otherwise join via an existing member.
+    ///
+    /// `store` accepts either a bare [`CkptStore`] (lifted into a disk-only
+    /// [`StoreHub`]) or a shared `StoreHub` carrying both the disk and the
+    /// replica (peer-memory) checkpoint backends.
     pub fn start(
         fabric: &Fabric,
         cfg: DaemonConfig,
         contact: Option<NodeId>,
         host: Box<dyn NodeHost>,
-        store: CkptStore,
+        store: impl Into<StoreHub>,
     ) -> Result<Daemon> {
+        let store = store.into();
         let mut cfg = cfg;
         // Share the daemon's recorder with its ensemble endpoint (unless
         // the caller installed a distinct one) and make it discoverable.
@@ -127,7 +133,7 @@ impl Daemon {
             config: ClusterConfig::new(),
             shared_cfg: shared_cfg.clone(),
             host,
-            store,
+            store: store.clone(),
             clock: VClock::new(),
             procs: HashMap::new(),
             up_tx,
@@ -149,6 +155,7 @@ impl Daemon {
             shared_cfg,
             stats,
             trace_hub,
+            store,
         })
     }
 
@@ -199,6 +206,12 @@ impl Daemon {
         &self.trace_hub
     }
 
+    /// The checkpoint store hub this daemon reads recovery lines from (the
+    /// `CKPT` management commands report through it).
+    pub fn ckpt_store(&self) -> &StoreHub {
+        &self.store
+    }
+
     /// Ask the daemon to leave the group and exit.
     pub fn shutdown(&self) {
         let _ = self.cmd_tx.send(DaemonCmd::Shutdown);
@@ -219,7 +232,7 @@ struct Loop {
     config: ClusterConfig,
     shared_cfg: Arc<Mutex<ClusterConfig>>,
     host: Box<dyn NodeHost>,
-    store: CkptStore,
+    store: StoreHub,
     clock: VClock,
     procs: HashMap<(AppId, Rank), Sender<ProcDown>>,
     up_tx: Sender<(AppId, Rank, ProcUp)>,
@@ -367,6 +380,16 @@ impl Loop {
                     return;
                 }
                 let effects = self.config.apply(&cmd);
+                // Peer-memory checkpoint fragments hosted on a dead node are
+                // gone; the replica store must stop counting them before any
+                // recovery-line computation below this point of the total
+                // order. Re-added nodes rejoin the placement ring (their old
+                // fragments do not resurrect — see ReplicaStore::node_up).
+                match &cmd {
+                    CfgCmd::NodeDead { node } => self.store.node_down(*node),
+                    CfgCmd::AddNode { node, .. } => self.store.node_up(*node),
+                    _ => {}
+                }
                 // NotifyView bookkeeping: when a node is recorded dead, ranks
                 // of notify-policy apps on it are lost for good.
                 if let CfgCmd::NodeDead { node } = &cmd {
@@ -407,6 +430,14 @@ impl Loop {
         match eff {
             CfgEffect::AppSubmitted(id) => {
                 let entry = self.config.apps[&id].clone();
+                if std::env::var_os("STARFISH_RT_DEBUG").is_some() {
+                    eprintln!(
+                        "[daemon {}] AppSubmitted {} placement={:?}",
+                        self.node, id, entry.placement
+                    );
+                }
+                self.store
+                    .set_backend(id, entry.spec.backend, entry.placement.clone());
                 self.host.placement_update(&entry);
                 for (r, n) in entry.placement.iter().enumerate() {
                     if *n == self.node {
@@ -421,6 +452,7 @@ impl Loop {
                 replaced,
             } => {
                 let entry = self.config.apps[&app].clone();
+                self.store.update_placement(app, entry.placement.clone());
                 self.host.placement_update(&entry);
                 // Restart replaced ranks that land on this node; if a
                 // replaced rank's *previous* incarnation ran here (a
@@ -974,6 +1006,8 @@ mod tests {
     use super::*;
     use crate::config::{AppSpec, LevelKind};
     use crate::host::NullHost;
+    use starfish_checkpoint::backend::CkptBackend;
+    use starfish_checkpoint::store::CkptStore;
     use starfish_vni::{Ideal, LayerCosts};
 
     type SpawnLog = Arc<Mutex<Vec<(AppId, Rank, NodeId, u64)>>>;
@@ -1010,6 +1044,7 @@ mod tests {
             policy,
             level: LevelKind::Vm,
             proto: CkptProto::StopAndSync,
+            backend: CkptBackend::Disk,
             owner: "t".into(),
             token: 7,
         }

@@ -23,6 +23,7 @@ use crate::config::AppStatus;
 use crate::config::{AppSpec, CkptProto, FtPolicy, LevelKind};
 use crate::daemon::Daemon;
 use crate::msg::CfgCmd;
+use starfish_checkpoint::backend::CkptBackend;
 
 /// Default administrator password; override with `SET admin_password <pw>`.
 pub const DEFAULT_ADMIN_PASSWORD: &str = "starfish";
@@ -50,7 +51,7 @@ pub const COMMAND_USAGE: &[(&str, &str)] = &[
     ("SET", "SET <key> <value> — admin: set a cluster parameter"),
     (
         "SUBMIT",
-        "SUBMIT <name> <size> [POLICY restart|view|kill] [LEVEL native|vm] [PROTO sync|cl|indep]",
+        "SUBMIT <name> <size> [POLICY restart|view|kill] [LEVEL native|vm] [PROTO sync|cl|indep] [STORE disk|replica:<k>]",
     ),
     ("SUSPEND", "SUSPEND <app> — pause an application you own"),
     ("RESUME", "RESUME <app> — resume a suspended application"),
@@ -58,6 +59,10 @@ pub const COMMAND_USAGE: &[(&str, &str)] = &[
     (
         "CHECKPOINT",
         "CHECKPOINT <app> — trigger a coordinated checkpoint",
+    ),
+    (
+        "CKPT",
+        "CKPT STATUS <app> — per-rank fragment placement and replication health",
     ),
     (
         "MIGRATE",
@@ -246,7 +251,7 @@ impl MgmtSession {
             "SUBMIT" => {
                 self.require_login()?;
                 let name = toks.get(1).ok_or(
-                    "ERR usage: SUBMIT <name> <size> [POLICY restart|view|kill] [LEVEL native|vm] [PROTO sync|cl|indep]",
+                    "ERR usage: SUBMIT <name> <size> [POLICY restart|view|kill] [LEVEL native|vm] [PROTO sync|cl|indep] [STORE disk|replica:<k>]",
                 )?;
                 let size: u32 = toks
                     .get(2)
@@ -255,6 +260,7 @@ impl MgmtSession {
                 let mut policy = FtPolicy::Restart;
                 let mut level = LevelKind::Vm;
                 let mut proto = CkptProto::StopAndSync;
+                let mut backend = CkptBackend::Disk;
                 let mut i = 3;
                 while i + 1 < toks.len() + 1 {
                     match toks.get(i).map(|s| s.to_ascii_uppercase()).as_deref() {
@@ -287,6 +293,13 @@ impl MgmtSession {
                             };
                             i += 2;
                         }
+                        Some("STORE") => {
+                            backend = toks
+                                .get(i + 1)
+                                .and_then(|s| CkptBackend::parse(s))
+                                .ok_or("ERR bad STORE (disk|replica|replica:<k>)")?;
+                            i += 2;
+                        }
                         Some(_) => return Err(format!("ERR unknown option {:?}", toks[i])),
                         None => break,
                     }
@@ -299,6 +312,7 @@ impl MgmtSession {
                     policy,
                     level,
                     proto,
+                    backend,
                     owner: self.user().unwrap_or("?").to_string(),
                     token,
                 };
@@ -338,6 +352,68 @@ impl MgmtSession {
                 };
                 self.daemon.issue(c).map_err(|e| format!("ERR {e}"))?;
                 Ok(format!("OK {} {}", cmd.to_ascii_lowercase(), id))
+            }
+            "CKPT" => {
+                self.require_login()?;
+                const USAGE: &str =
+                    "ERR usage: CKPT STATUS <app> — per-rank fragment placement and replication health";
+                match toks.get(1).map(|s| s.to_ascii_uppercase()).as_deref() {
+                    Some("STATUS") if toks.len() == 3 => {
+                        let id = Self::parse_app_id(toks[2]).map_err(|_| USAGE.to_string())?;
+                        let cfg = self.daemon.config();
+                        let entry = cfg
+                            .apps
+                            .get(&id)
+                            .ok_or_else(|| format!("ERR no such application {id}"))?;
+                        let hub = self.daemon.ckpt_store();
+                        let backend = hub.backend_of(id);
+                        let mut out = format!(
+                            "OK ckpt status {id} backend={backend} epoch={}",
+                            entry.epoch
+                        );
+                        match backend {
+                            CkptBackend::Disk => {
+                                for r in 0..entry.spec.size {
+                                    let rank = starfish_util::Rank(r);
+                                    out.push_str(&format!(
+                                        "\nr{r} latest={} store=disk",
+                                        hub.latest_index(id, rank)
+                                    ));
+                                }
+                            }
+                            CkptBackend::Replica { .. } => {
+                                let health = hub.replica().health(id);
+                                if health.is_empty() {
+                                    out.push_str("\n(no fragments stored yet)");
+                                }
+                                for h in health {
+                                    let frags = hub.replica().placement(id, h.rank);
+                                    let map: Vec<String> = frags
+                                        .iter()
+                                        .map(|f| {
+                                            let nodes: Vec<String> =
+                                                f.replicas.iter().map(|n| n.to_string()).collect();
+                                            format!("f{}->[{}]", f.seq, nodes.join(","))
+                                        })
+                                        .collect();
+                                    out.push_str(&format!(
+                                        "\nr{} index={} owner={} frags={} min_live={} parity={} {} {}",
+                                        h.rank.0,
+                                        h.index,
+                                        h.owner,
+                                        h.fragments,
+                                        h.min_live_replicas,
+                                        if h.parity_live { "live" } else { "lost" },
+                                        if h.recoverable { "recoverable" } else { "UNRECOVERABLE" },
+                                        map.join(" ")
+                                    ));
+                                }
+                            }
+                        }
+                        Ok(out)
+                    }
+                    _ => Err(USAGE.into()),
+                }
             }
             "MIGRATE" => {
                 self.require_admin()?;
@@ -746,6 +822,38 @@ mod tests {
             assert!(resp.starts_with("ERR usage:"), "{bad} -> {resp}");
             assert_eq!(resp.lines().count(), 1, "{bad} -> {resp}");
         }
+    }
+
+    #[test]
+    fn ckpt_status_reports_backend_and_rejects_bad_usage() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d.clone(), 13);
+        s.handle_line("LOGIN ADMIN starfish");
+        // Disk-backed app: per-rank latest indices, store=disk.
+        let resp = s.handle_line("SUBMIT diskjob 2 POLICY kill STORE disk");
+        assert!(resp.starts_with("OK submitted"), "{resp}");
+        let id = resp.split_whitespace().nth(2).unwrap().to_string();
+        let status = s.handle_line(&format!("CKPT STATUS {id}"));
+        assert!(status.starts_with("OK ckpt status"), "{status}");
+        assert!(status.contains("backend=disk"), "{status}");
+        assert!(status.contains("store=disk"), "{status}");
+        // Replica-backed app: placement/health report (empty until a round).
+        let resp = s.handle_line("SUBMIT memjob 1 POLICY kill STORE replica:2");
+        assert!(resp.starts_with("OK submitted"), "{resp}");
+        let id2 = resp.split_whitespace().nth(2).unwrap().to_string();
+        let status = s.handle_line(&format!("CKPT STATUS {id2}"));
+        assert!(status.contains("backend=replica:2"), "{status}");
+        assert!(status.contains("no fragments stored yet"), "{status}");
+        // Usage errors are one uniform line.
+        for bad in ["CKPT", "CKPT STATUS", "CKPT STATUS nope", "CKPT BOGUS x"] {
+            let resp = s.handle_line(bad);
+            assert!(resp.starts_with("ERR usage: CKPT"), "{bad} -> {resp}");
+            assert_eq!(resp.lines().count(), 1, "{bad} -> {resp}");
+        }
+        // Bad STORE option is rejected.
+        assert!(s
+            .handle_line("SUBMIT z 1 STORE floppy")
+            .starts_with("ERR bad STORE"));
     }
 
     #[test]

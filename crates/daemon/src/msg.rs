@@ -3,6 +3,7 @@
 
 use bytes::Bytes;
 
+use starfish_checkpoint::backend::CkptBackend;
 use starfish_lwgroups::LwView;
 use starfish_telemetry::Snapshot;
 use starfish_util::codec::{Decode, Decoder, Encode, Encoder};
@@ -149,6 +150,31 @@ fn decode_proto(b: u8) -> Result<CkptProto> {
     })
 }
 
+/// Backend wire form: tag byte then the replica degree (0 for disk, which
+/// has no parameters).
+fn encode_backend(b: CkptBackend, enc: &mut Encoder) {
+    match b {
+        CkptBackend::Disk => {
+            enc.put_u8(0);
+            enc.put_u8(0);
+        }
+        CkptBackend::Replica { k } => {
+            enc.put_u8(1);
+            enc.put_u8(k);
+        }
+    }
+}
+
+fn decode_backend(dec: &mut Decoder<'_>) -> Result<CkptBackend> {
+    let tag = dec.get_u8()?;
+    let k = dec.get_u8()?;
+    Ok(match tag {
+        0 => CkptBackend::Disk,
+        1 if k >= 1 => CkptBackend::Replica { k },
+        _ => return Err(Error::codec(format!("bad backend tag {tag} (k={k})"))),
+    })
+}
+
 impl Encode for AppSpec {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_str(&self.name);
@@ -156,6 +182,7 @@ impl Encode for AppSpec {
         enc.put_u8(encode_policy(self.policy));
         enc.put_u8(encode_level(self.level));
         enc.put_u8(encode_proto(self.proto));
+        encode_backend(self.backend, enc);
         enc.put_str(&self.owner);
         enc.put_u64(self.token);
     }
@@ -169,6 +196,7 @@ impl Decode for AppSpec {
             policy: decode_policy(dec.get_u8()?)?,
             level: decode_level(dec.get_u8()?)?,
             proto: decode_proto(dec.get_u8()?)?,
+            backend: decode_backend(dec)?,
             owner: dec.get_str()?,
             token: dec.get_u64()?,
         })
@@ -514,9 +542,40 @@ mod tests {
             policy: FtPolicy::NotifyView,
             level: LevelKind::Native,
             proto: CkptProto::Independent,
+            backend: CkptBackend::Replica { k: 3 },
             owner: "bob".into(),
             token: 99,
         }
+    }
+
+    #[test]
+    fn appspec_backend_bytes_roundtrip_and_reject_bad_tags() {
+        for b in [
+            CkptBackend::Disk,
+            CkptBackend::Replica { k: 1 },
+            CkptBackend::Replica { k: 2 },
+        ] {
+            let cmd = CfgCmd::Submit {
+                spec: AppSpec {
+                    backend: b,
+                    ..spec()
+                },
+            };
+            assert_eq!(roundtrip(&cmd).unwrap(), cmd);
+        }
+        let mut enc = starfish_util::codec::Encoder::new();
+        enc.put_u8(9); // unknown backend tag
+        enc.put_u8(0);
+        let bytes = enc.into_bytes();
+        let mut dec = starfish_util::codec::Decoder::new(&bytes);
+        assert!(decode_backend(&mut dec).is_err());
+        // Replica with k = 0 is meaningless on the wire.
+        let mut enc = starfish_util::codec::Encoder::new();
+        enc.put_u8(1);
+        enc.put_u8(0);
+        let bytes = enc.into_bytes();
+        let mut dec = starfish_util::codec::Decoder::new(&bytes);
+        assert!(decode_backend(&mut dec).is_err());
     }
 
     #[test]
@@ -620,6 +679,7 @@ mod proptests {
             policy in 0u8..3,
             level in 0u8..2,
             proto in 0u8..3,
+            replica_k in 0u8..8,
             owner in "[a-z]{0,12}",
             token in any::<u64>(),
         ) {
@@ -629,6 +689,10 @@ mod proptests {
                 policy: decode_policy(policy).unwrap(),
                 level: decode_level(level).unwrap(),
                 proto: decode_proto(proto).unwrap(),
+                backend: match replica_k {
+                    0 => CkptBackend::Disk,
+                    k => CkptBackend::Replica { k },
+                },
                 owner,
                 token,
             };

@@ -42,6 +42,20 @@ impl View {
             .filter(|m| other.contains(*m))
             .collect()
     }
+
+    /// Replica peers for diskless checkpointing: the candidate homes for
+    /// `owner`'s checkpoint fragments, i.e. every member except the owner
+    /// itself. Derived from the membership view so the fragment placement
+    /// map (`starfish_checkpoint::replica::ring_placement`) never co-locates
+    /// a fragment's replicas with the rank that produced the image — losing
+    /// the owner node can never take a replica down with it.
+    pub fn replica_peers(&self, owner: NodeId) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|m| *m != owner)
+            .collect()
+    }
 }
 
 impl Encode for View {
@@ -78,6 +92,17 @@ mod tests {
         let a = View::new(ViewId(1), vec![NodeId(1), NodeId(2), NodeId(3)]);
         let b = View::new(ViewId(2), vec![NodeId(2), NodeId(3), NodeId(4)]);
         assert_eq!(a.survivors(&b), vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn replica_peers_excludes_the_owner_and_stays_sorted() {
+        let v = View::new(ViewId(3), vec![NodeId(2), NodeId(0), NodeId(1)]);
+        assert_eq!(v.replica_peers(NodeId(1)), vec![NodeId(0), NodeId(2)]);
+        // An owner outside the view gets every member as a candidate peer.
+        assert_eq!(
+            v.replica_peers(NodeId(9)),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod comm;
 pub mod directory;
 pub mod endpoint;
 pub mod reliability;
+pub mod replication;
 pub mod wire;
 
 pub use collectives::ReduceOp;
@@ -43,4 +44,5 @@ pub use endpoint::{
     CtsCadence, MpiEndpoint, RecvMode, RecvdMsg, Request, ANY_SOURCE, ANY_TAG,
     DEFAULT_RNDV_THRESHOLD, EAGER_CREDIT_BYTES,
 };
+pub use replication::{plan_push, replica_net, FragPath, FragXfer, PushSession};
 pub use wire::{MsgHeader, CTRL_CONTEXT, DATA_PORT_BASE, WORLD_CONTEXT};

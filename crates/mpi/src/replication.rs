@@ -1,0 +1,245 @@
+//! Checkpoint-fragment replication over the MPI transfer paths.
+//!
+//! The diskless replica backend ([`starfish_checkpoint::replica`]) splits a
+//! rank's checkpoint image into fragments and pushes each to `k` peer
+//! nodes. Those pushes ride the same two transfer paths as application
+//! data: fragments under the rendezvous threshold go out eagerly, larger
+//! ones use the RTS/CTS rendezvous handshake — so replication traffic obeys
+//! the same flow control as everything else on the fabric.
+//!
+//! This module is the flow-machinery side of that design: it plans which
+//! path each fragment takes (tied to the *real*
+//! [`DEFAULT_RNDV_THRESHOLD`], not a copy of the constant), builds the
+//! canonical [`ReplicaNet`] cost model from those constants, and tracks the
+//! per-fragment ack state of an in-progress push so a checkpoint round
+//! knows when every replica is durable in peer memory. The ack protocol
+//! itself is model-checked in `crates/verify` (`models/replica.rs`).
+
+use std::collections::BTreeSet;
+
+use starfish_checkpoint::replica::{Fragment, ReplicaNet, DEFAULT_FRAG_BYTES};
+use starfish_util::NodeId;
+
+use crate::endpoint::DEFAULT_RNDV_THRESHOLD;
+
+/// Which transfer path a fragment push takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragPath {
+    /// Small fragment: one eager send, counted against the peer's credit.
+    Eager,
+    /// Large fragment: RTS/CTS rendezvous, payload parked until the peer
+    /// grants the transfer.
+    Rendezvous,
+}
+
+impl FragPath {
+    /// Path selection, same rule the data path uses.
+    pub fn for_bytes(bytes: u64, rndv_threshold: u64) -> FragPath {
+        if bytes >= rndv_threshold {
+            FragPath::Rendezvous
+        } else {
+            FragPath::Eager
+        }
+    }
+}
+
+/// One planned fragment transfer of a push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragXfer {
+    pub seq: u32,
+    pub bytes: u64,
+    pub path: FragPath,
+}
+
+/// Split an image of `image_bytes` into `frag_bytes`-sized transfers and
+/// assign each its path. The tail fragment carries the remainder; a
+/// zero-byte image still yields one (empty, eager) transfer so the ack
+/// machinery has something to complete on.
+pub fn plan_push(image_bytes: u64, frag_bytes: u64) -> Vec<FragXfer> {
+    let frag_bytes = frag_bytes.max(1);
+    let n = image_bytes.div_ceil(frag_bytes).max(1);
+    (0..n)
+        .map(|i| {
+            let bytes = if i == n - 1 {
+                image_bytes - i * frag_bytes
+            } else {
+                frag_bytes
+            };
+            FragXfer {
+                seq: i as u32,
+                bytes,
+                path: FragPath::for_bytes(bytes, DEFAULT_RNDV_THRESHOLD as u64),
+            }
+        })
+        .collect()
+}
+
+/// The canonical replica-push cost model: LAN-era latency/bandwidth with
+/// the rendezvous threshold taken from the live MPI constant, so the
+/// replica store's timing and the data path's flow control never drift
+/// apart.
+pub fn replica_net() -> ReplicaNet {
+    let mut net = ReplicaNet::lan_1999();
+    net.rndv_threshold = DEFAULT_RNDV_THRESHOLD as u64;
+    net.frag_bytes = DEFAULT_FRAG_BYTES;
+    net
+}
+
+/// Ack tracking for one in-progress fragment push: the round may only
+/// commit once every `(fragment, replica)` copy has been acknowledged by
+/// its hosting peer.
+#[derive(Debug, Default, Clone)]
+pub struct PushSession {
+    pending: BTreeSet<(u32, NodeId)>,
+}
+
+impl PushSession {
+    /// Start tracking a push of `frags` (data fragments plus parity, as
+    /// returned by the replica store's placement).
+    pub fn begin(frags: &[Fragment]) -> PushSession {
+        let pending = frags
+            .iter()
+            .flat_map(|f| f.replicas.iter().map(move |n| (f.seq, *n)))
+            .collect();
+        PushSession { pending }
+    }
+
+    /// A peer acknowledged its copy of fragment `seq`. Returns `true` if
+    /// this ack was still outstanding (duplicates are idempotent).
+    pub fn ack(&mut self, seq: u32, from: NodeId) -> bool {
+        self.pending.remove(&(seq, from))
+    }
+
+    /// A peer died mid-push: its outstanding copies will never be acked.
+    /// Returns the fragment seqs that lost a pending copy — the caller
+    /// re-pushes those to substitute peers (or commits under-replicated).
+    pub fn peer_lost(&mut self, node: NodeId) -> Vec<u32> {
+        let lost: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(_, n)| *n == node)
+            .map(|(s, _)| *s)
+            .collect();
+        self.pending.retain(|(_, n)| *n != node);
+        lost
+    }
+
+    /// A substitute copy was pushed after a peer loss: the round must now
+    /// also wait for this peer's ack. Returns `true` if the copy was not
+    /// already pending.
+    pub fn repush(&mut self, seq: u32, to: NodeId) -> bool {
+        self.pending.insert((seq, to))
+    }
+
+    /// Copies still awaiting acknowledgement.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Every copy acked: the checkpoint is durable in peer memory.
+    pub fn complete(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_selection_matches_the_data_path_threshold() {
+        let t = DEFAULT_RNDV_THRESHOLD as u64;
+        assert_eq!(FragPath::for_bytes(t - 1, t), FragPath::Eager);
+        assert_eq!(FragPath::for_bytes(t, t), FragPath::Rendezvous);
+        assert_eq!(FragPath::for_bytes(t + 1, t), FragPath::Rendezvous);
+    }
+
+    #[test]
+    fn plan_covers_every_byte_exactly_once() {
+        for (image, frag) in [(0u64, 256 * 1024u64), (1, 256), (1000, 256), (1024, 256)] {
+            let plan = plan_push(image, frag);
+            assert!(!plan.is_empty());
+            assert_eq!(plan.iter().map(|x| x.bytes).sum::<u64>(), image);
+            // Seqs are dense from zero.
+            for (i, x) in plan.iter().enumerate() {
+                assert_eq!(x.seq, i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn default_fragments_ride_the_rendezvous_path() {
+        // 256 KiB fragments are over the 64 KiB threshold: a full-size
+        // image pushes via rendezvous, only a sub-threshold tail goes eager.
+        let plan = plan_push(544 * 1024, DEFAULT_FRAG_BYTES); // 256 + 256 + 32 KiB
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan[0].path, FragPath::Rendezvous);
+        assert_eq!(plan[1].path, FragPath::Rendezvous);
+        assert_eq!(plan[2].path, FragPath::Eager);
+    }
+
+    #[test]
+    fn replica_net_tracks_the_live_mpi_threshold() {
+        let net = replica_net();
+        assert_eq!(net.rndv_threshold, DEFAULT_RNDV_THRESHOLD as u64);
+        assert_eq!(net.frag_bytes, DEFAULT_FRAG_BYTES);
+    }
+
+    #[test]
+    fn push_session_completes_only_after_every_ack() {
+        let frags = vec![
+            Fragment {
+                seq: 0,
+                bytes: 100,
+                replicas: vec![NodeId(1), NodeId(2)],
+            },
+            Fragment {
+                seq: 1,
+                bytes: 100,
+                replicas: vec![NodeId(2), NodeId(3)],
+            },
+        ];
+        let mut s = PushSession::begin(&frags);
+        assert_eq!(s.outstanding(), 4);
+        assert!(s.ack(0, NodeId(1)));
+        assert!(!s.ack(0, NodeId(1)), "duplicate ack is idempotent");
+        assert!(!s.ack(0, NodeId(3)), "unknown copy ignored");
+        assert!(s.ack(0, NodeId(2)));
+        assert!(!s.complete());
+        assert!(s.ack(1, NodeId(2)));
+        assert!(s.ack(1, NodeId(3)));
+        assert!(s.complete());
+    }
+
+    #[test]
+    fn peer_loss_reports_fragments_needing_repush() {
+        let frags = vec![
+            Fragment {
+                seq: 0,
+                bytes: 100,
+                replicas: vec![NodeId(1), NodeId(2)],
+            },
+            Fragment {
+                seq: 1,
+                bytes: 100,
+                replicas: vec![NodeId(2), NodeId(3)],
+            },
+        ];
+        let mut s = PushSession::begin(&frags);
+        let lost = s.peer_lost(NodeId(2));
+        assert_eq!(lost, vec![0, 1]);
+        assert_eq!(s.outstanding(), 2);
+        // Substitute copies re-arm the session until the new peer acks.
+        for seq in lost {
+            assert!(s.repush(seq, NodeId(4)));
+        }
+        assert_eq!(s.outstanding(), 4);
+        s.ack(0, NodeId(1));
+        s.ack(1, NodeId(3));
+        s.ack(0, NodeId(4));
+        s.ack(1, NodeId(4));
+        assert!(s.complete());
+        // Already-acked copies are not re-reported by a later loss.
+        assert!(s.peer_lost(NodeId(1)).is_empty());
+    }
+}

@@ -136,6 +136,11 @@ metric_table! {
     CKPT_ROUND_NS = ("ckpt.round_ns", Histogram, VirtualNanos, "Quiesce -> commit per checkpoint round");
     RECOVERY_RESTARTS = ("recovery.restarts", Counter, Count, "Application restarts after failures");
     RECOVERY_RESTORE_NS = ("recovery.restore_ns", Histogram, VirtualNanos, "Image load + rollback time per rank");
+    CKPT_FRAGMENTS_STORED = ("ckpt.fragments_stored", Counter, Count, "Checkpoint fragments pushed to peer memory (replica backend)");
+    CKPT_FRAGMENTS_FETCHED = ("ckpt.fragments_fetched", Counter, Count, "Checkpoint fragments pulled from peers during recovery");
+    CKPT_REPLICATION_BYTES = ("ckpt.replication_bytes", Histogram, Bytes, "Bytes replicated to peers per checkpoint image");
+    CKPT_PARITY_REBUILDS = ("ckpt.parity_rebuilds", Counter, Count, "Fragments reconstructed from XOR parity groups");
+    RECOVERY_FETCH_NS = ("recovery.fetch_ns", Histogram, VirtualNanos, "Peer-memory image reassembly time per rank (replica backend)");
 
     // --- Daemon / liveness ----------------------------------------------
     PROCS_RUNNING = ("procs.running", Gauge, Count, "Application processes alive on this node");

@@ -17,6 +17,7 @@ use verify::models::chandy::ChandyModel;
 use verify::models::membership::MembershipModel;
 use verify::models::reliability::ReliabilityModel;
 use verify::models::rendezvous::RendezvousModel;
+use verify::models::replica::ReplicaPushModel;
 use verify::models::stop_sync::StopSyncModel;
 
 fn run<M: Model>(name: &str, nodes: u32, ranks: u32, m: &M, failed: &mut bool) -> Report {
@@ -75,6 +76,22 @@ fn main() -> ExitCode {
             ranks,
             ranks,
             &ChandyModel { ranks, rounds },
+            &mut failed,
+        );
+    }
+
+    println!("== checkpoint: replica placement ==");
+    for (peers, frags, k, crashes) in [(4, 3, 2, 2), (3, 2, 3, 2), (3, 3, 1, 1)] {
+        run(
+            &format!("replica-push peers={peers} frags={frags} k={k} crashes={crashes}"),
+            peers + 1,
+            1,
+            &ReplicaPushModel {
+                peers,
+                frags,
+                k,
+                crashes,
+            },
             &mut failed,
         );
     }

@@ -791,6 +791,30 @@ mod tests {
     }
 
     #[test]
+    fn wall_clock_ban_covers_the_diskless_replica_store() {
+        // The replica backend's virtual-time determinism rests on the
+        // checkpoint crate being policed; pin the crate list so a future
+        // edit cannot silently drop it (or the other deterministic cores).
+        assert!(DETERMINISTIC_CRATES.contains(&"checkpoint"));
+        assert!(DETERMINISTIC_CRATES.contains(&"mpi"));
+        // And the rule has teeth inside a replica.rs-shaped module.
+        let d = tmpdir("wc-replica");
+        fs::write(
+            d.join("src/replica.rs"),
+            concat!(
+                "pub fn put_replicated() {\n",
+                "    let _t0 = std::time::Instant::now();\n",
+                "}\n",
+            ),
+        )
+        .unwrap();
+        let v = wall_clock(&d.join("src"));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "wall-clock");
+        assert!(v[0].file.ends_with("replica.rs"), "{v:?}");
+    }
+
+    #[test]
     fn wall_clock_does_not_match_sub_identifiers() {
         let d = tmpdir("wc3");
         fs::write(

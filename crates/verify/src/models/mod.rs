@@ -23,6 +23,7 @@ pub mod chandy;
 pub mod membership;
 pub mod reliability;
 pub mod rendezvous;
+pub mod replica;
 pub mod stop_sync;
 
 /// Per-link FIFO channel map shared by the checkpoint/membership models.

@@ -71,6 +71,26 @@ fn main() -> Result<()> {
     say(&mut observer, "TIMELINE app1");
     say(&mut observer, "STATS");
 
+    // --- diskless checkpoint backend ----------------------------------------
+    // Per-app store policy (DESIGN.md §6a): this job's images live in peer
+    // memory at k=2 instead of the modeled disk; CKPT STATUS shows per-rank
+    // fragment placement and replication health. n5 was only *registered*
+    // above (no daemon runs there in this in-process harness — see DESIGN.md
+    // §7), so keep it out of the scheduler before submitting.
+    say(&mut admin, "DISABLE n5");
+    say(
+        &mut alice,
+        "SUBMIT soak 2 POLICY restart LEVEL vm PROTO sync STORE replica:2",
+    );
+    std::thread::sleep(Duration::from_millis(100));
+    say(&mut alice, "CHECKPOINT app2");
+    std::thread::sleep(Duration::from_millis(600));
+    say(&mut alice, "CKPT STATUS app2");
+    say(&mut alice, "CKPT STATUS app1"); // disk-backed job: no fragments
+    say(&mut alice, "CKPT STATUS nope"); // unknown app
+    say(&mut alice, "DELETE app2");
+    std::thread::sleep(Duration::from_millis(100));
+
     say(&mut alice, "SUSPEND app1");
     std::thread::sleep(Duration::from_millis(100));
     say(&mut alice, "APPS");
