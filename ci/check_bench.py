@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate on the fabric microbench report (BENCH_fabric.json).
+
+Two modes, keyed off the report's own "quick" flag:
+
+* quick mode (CI smoke runs, BENCH_QUICK=1): numbers are noisy throwaways,
+  so only the schema is enforced — the report must exist, parse, and carry
+  every required field with sane types. A panic or regressed plumbing in
+  the bench shows up here; slow CI containers do not.
+
+* full mode (the committed reference run, or a local quiet-box run): the
+  numbers are the point. The gate fails if the run did not measure a real
+  eager/rendezvous crossover (crossover_measured must be true with a
+  finite crossover_bytes — the zero-copy pipeline regressing back to
+  never-beats-eager is exactly the bug this catches), or if ns_per_msg
+  regressed more than 25% against the committed baseline at any swept
+  size, for either protocol.
+
+Usage: check_bench.py <fresh-report.json> [--baseline <committed.json>]
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = [
+    "bench",
+    "quick",
+    "ping_pong_one_way_ns",
+    "contention_pkts_per_sec",
+    "eager_vs_rendezvous_ns_per_msg",
+    "crossover_measured",
+    "default_rendezvous_threshold",
+]
+
+REGRESSION_TOLERANCE = 1.25
+
+
+def fail(msg):
+    print(f"BENCH GATE: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_schema(r, path):
+    for field in REQUIRED_FIELDS:
+        if field not in r:
+            fail(f"{path}: missing field {field!r}")
+    if r["bench"] != "fabric":
+        fail(f"{path}: bench is {r['bench']!r}, expected 'fabric'")
+    sweep = r["eager_vs_rendezvous_ns_per_msg"]
+    if not isinstance(sweep, dict) or not sweep:
+        fail(f"{path}: empty eager_vs_rendezvous_ns_per_msg sweep")
+    for size, row in sweep.items():
+        if not str(size).isdigit():
+            fail(f"{path}: non-numeric sweep size {size!r}")
+        for proto in ("eager", "rendezvous"):
+            v = row.get(proto)
+            if not isinstance(v, (int, float)) or v <= 0:
+                fail(f"{path}: sweep[{size}].{proto} = {v!r} is not a positive number")
+
+
+def check_full(fresh, baseline, fresh_path):
+    if not fresh["crossover_measured"]:
+        fail(
+            f"{fresh_path}: full-mode run reports crossover_measured: false — "
+            "the rendezvous path no longer beats eager at any swept size"
+        )
+    if not isinstance(fresh.get("crossover_bytes"), int):
+        fail(f"{fresh_path}: crossover_measured is true but crossover_bytes is not an integer")
+    if baseline is None:
+        return
+    base_sweep = baseline["eager_vs_rendezvous_ns_per_msg"]
+    fresh_sweep = fresh["eager_vs_rendezvous_ns_per_msg"]
+    for size in sorted(base_sweep, key=int):
+        if size not in fresh_sweep:
+            fail(f"{fresh_path}: swept size {size} present in baseline but missing from fresh run")
+        for proto in ("eager", "rendezvous"):
+            base, got = base_sweep[size][proto], fresh_sweep[size][proto]
+            if got > base * REGRESSION_TOLERANCE:
+                fail(
+                    f"{fresh_path}: {proto} ns/msg at {size} B regressed "
+                    f"{got / base:.2f}x vs committed baseline ({base} -> {got}, "
+                    f"tolerance {REGRESSION_TOLERANCE}x)"
+                )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="fresh BENCH_fabric.json to gate on")
+    ap.add_argument(
+        "--baseline",
+        help="committed reference report; enables the 25%% regression gate in full mode",
+    )
+    args = ap.parse_args()
+
+    fresh = load(args.report)
+    check_schema(fresh, args.report)
+    if fresh["quick"]:
+        print(f"BENCH GATE: {args.report} quick mode — schema ok, numbers not judged")
+        return
+    baseline = None
+    if args.baseline:
+        baseline = load(args.baseline)
+        check_schema(baseline, args.baseline)
+        if baseline["quick"]:
+            fail(f"{args.baseline}: the committed baseline must be a full-mode run")
+    check_full(fresh, baseline, args.report)
+    mode = "crossover + regression" if baseline else "crossover"
+    print(f"BENCH GATE: {args.report} full mode — {mode} checks passed")
+
+
+if __name__ == "__main__":
+    main()

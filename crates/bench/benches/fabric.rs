@@ -16,7 +16,10 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use starfish_bench::report;
-use starfish_mpi::{MpiEndpoint, RankDirectory, RecvMode, WORLD_CONTEXT};
+use starfish_mpi::{
+    calibrate, measured_crossover, threshold_consistent, MpiEndpoint, RankDirectory, RecvMode,
+    ThresholdCache, WORLD_CONTEXT,
+};
 use starfish_util::trace::TraceSink;
 use starfish_util::{AppId, NodeId, Rank, VClock};
 use starfish_vni::{Addr, Fabric, Ideal, LayerCosts, Packet, PacketKind, PortId};
@@ -103,13 +106,23 @@ fn contention(n_senders: usize, per_sender: usize) -> f64 {
     (n_senders * per_sender) as f64 / elapsed.as_secs_f64()
 }
 
+/// How many transfers the sweep keeps in flight: real MPI codes drive
+/// throughput with windowed isend/wait, and a window this deep hides the
+/// rendezvous CTS round-trip behind neighbouring transfers.
+const SEND_WINDOW: usize = 8;
+
 /// MPI-level one-way transfer cost at `size` bytes, eager vs rendezvous,
-/// measured over real threads (sender + receiver). Returns mean ns per
-/// *delivered* message for the given threshold configuration: the clock
-/// stops when the receiver has drained every message, so eager's
-/// fire-and-forget send doesn't get credit for payloads still sitting in
-/// the receive queue.
-fn mpi_transfer(size: usize, threshold: usize, msgs: usize) -> f64 {
+/// measured over real threads (sender + receiver). Both arms run the same
+/// windowed `isend_world_bytes` pipeline; the clock stops when the receiver
+/// has drained every message, so a fire-and-forget send doesn't get credit
+/// for payloads still sitting in the receive queue.
+///
+/// The eager arm lifts the credit ceiling to `usize::MAX` so it measures
+/// the *pure* eager protocol (sender-side frame copy per message,
+/// unbounded buffering): with the production 1 MiB credit a large-message
+/// eager arm would silently fall back to rendezvous and both columns would
+/// measure the same code path.
+fn mpi_transfer(size: usize, threshold: usize, credit: usize, msgs: usize) -> f64 {
     let fabric = Fabric::new(Box::new(Ideal), LayerCosts::zero());
     fabric.add_node(NodeId(0));
     fabric.add_node(NodeId(1));
@@ -126,11 +139,12 @@ fn mpi_transfer(size: usize, threshold: usize, msgs: usize) -> f64 {
         )
         .unwrap();
         ep.set_rendezvous_threshold(threshold);
+        ep.set_eager_credit(credit);
         ep
     };
     let mut tx = mk(0);
     let mut rx = mk(1);
-    let data = vec![7u8; size];
+    let data = Bytes::from(vec![7u8; size]);
 
     let recv = std::thread::spawn(move || {
         let mut clock = VClock::new();
@@ -141,9 +155,18 @@ fn mpi_transfer(size: usize, threshold: usize, msgs: usize) -> f64 {
     });
     let mut clock = VClock::new();
     let start = Instant::now();
+    let mut inflight = std::collections::VecDeque::new();
     for _ in 0..msgs {
-        tx.send_world(&mut clock, Rank(1), WORLD_CONTEXT, 1, &data)
+        let req = tx
+            .isend_world_bytes(&mut clock, Rank(1), WORLD_CONTEXT, 1, data.clone())
             .unwrap();
+        inflight.push_back(req);
+        if inflight.len() >= SEND_WINDOW {
+            tx.wait(&mut clock, inflight.pop_front().unwrap()).unwrap();
+        }
+    }
+    while let Some(req) = inflight.pop_front() {
+        tx.wait(&mut clock, req).unwrap();
     }
     recv.join().unwrap();
     let elapsed = start.elapsed();
@@ -193,39 +216,66 @@ fn main() {
 
     // ---- eager vs rendezvous crossover ------------------------------------
     // For each payload size, force each path by setting the threshold above
-    // or below the size; the crossover is the smallest size where the
-    // rendezvous cost is within 10% of eager (control RTT amortized).
+    // or below the size; the crossover rule (smallest size where rendezvous
+    // is within CROSSOVER_TOLERANCE of eager) is shared with the threshold
+    // calibration module so the bench and the runtime agree on it.
     let sizes: &[usize] = &[256, 1024, 4096, 16384, 65536, 262144, 1048576];
     let mut xover_rows = Vec::new();
-    let mut xover_json = Vec::new();
-    let mut crossover = None;
+    let mut sweep: Vec<starfish_mpi::threshold::SweepRow> = Vec::new();
     for &size in sizes {
-        let eager_ns = mpi_transfer(size, usize::MAX, msgs);
-        let rndv_ns = mpi_transfer(size, 1, msgs);
-        let ratio = rndv_ns / eager_ns;
-        if crossover.is_none() && ratio <= 1.10 {
-            crossover = Some(size);
-        }
+        let eager_ns = mpi_transfer(size, usize::MAX, usize::MAX, msgs);
+        let rndv_ns = mpi_transfer(size, 1, starfish_mpi::EAGER_CREDIT_BYTES, msgs);
         xover_rows.push(vec![
             size.to_string(),
             format!("{:.0}", eager_ns),
             format!("{:.0}", rndv_ns),
-            format!("{:.2}", ratio),
+            format!("{:.2}", rndv_ns / eager_ns),
         ]);
-        xover_json.push((size, eager_ns, rndv_ns));
+        sweep.push((size, eager_ns, rndv_ns));
     }
     report::print_table(
         &["bytes", "eager ns/msg", "rndv ns/msg", "rndv/eager"],
         &xover_rows,
     );
+    let crossover = measured_crossover(&sweep);
     let measured = crossover.is_some();
+    let calibrated = calibrate(crossover);
     match crossover {
-        Some(c) => println!("\ncrossover (rndv within 10% of eager): {c} bytes"),
+        Some(c) => println!(
+            "\ncrossover (rndv within {:.0}% of eager): {c} bytes -> calibrated \
+             threshold {calibrated}",
+            (starfish_mpi::threshold::CROSSOVER_TOLERANCE - 1.0) * 100.0
+        ),
         None => println!(
-            "\nno crossover: rendezvous never came within 10% of eager on this \
+            "\nno crossover: rendezvous never came within {:.0}% of eager on this \
              box; keeping the {}-byte fallback threshold",
+            (starfish_mpi::threshold::CROSSOVER_TOLERANCE - 1.0) * 100.0,
             starfish_mpi::DEFAULT_RNDV_THRESHOLD
         ),
+    }
+    // Persist the calibration per network model so later runs on this box
+    // start from the measured threshold instead of the static default.
+    let model = Fabric::new(Box::new(Ideal), LayerCosts::zero())
+        .model()
+        .name()
+        .to_string();
+    let cache = ThresholdCache::at(format!(
+        "{}/../../target/threshold-cache.txt",
+        env!("CARGO_MANIFEST_DIR")
+    ));
+    match cache.store(&model, calibrated) {
+        Ok(()) => println!("cached threshold for model '{model}': {calibrated}"),
+        Err(e) => println!("could not persist threshold cache: {e}"),
+    }
+    // In full mode the sweep numbers are real: a calibration inconsistent
+    // with its own fresh measurements means the data path or the calibration
+    // logic regressed, and the bench (and the CI smoke job running it)
+    // should fail loudly rather than write a plausible-looking JSON.
+    if !q {
+        assert!(
+            threshold_consistent(calibrated, &sweep),
+            "calibrated threshold {calibrated} inconsistent with measured sweep {sweep:?}"
+        );
     }
 
     // ---- JSON report -------------------------------------------------------
@@ -257,8 +307,8 @@ fn main() {
     j.push("      \"8\": 16843\n");
     j.push("    }\n  },\n");
     j.push("  \"eager_vs_rendezvous_ns_per_msg\": {\n");
-    for (i, (size, e, r)) in xover_json.iter().enumerate() {
-        let comma = if i + 1 == xover_json.len() { "" } else { "," };
+    for (i, (size, e, r)) in sweep.iter().enumerate() {
+        let comma = if i + 1 == sweep.len() { "" } else { "," };
         j.push(&format!(
             "    \"{size}\": {{\"eager\": {e:.0}, \"rendezvous\": {r:.0}}}{comma}\n"
         ));
@@ -269,6 +319,9 @@ fn main() {
     let crossover_json = crossover.map_or_else(|| "null".to_string(), |c| c.to_string());
     j.push(&format!("  \"crossover_bytes\": {crossover_json},\n"));
     j.push(&format!("  \"crossover_measured\": {measured},\n"));
+    j.push(&format!(
+        "  \"calibrated_rendezvous_threshold\": {calibrated},\n"
+    ));
     j.push(&format!(
         "  \"default_rendezvous_threshold\": {}\n",
         starfish_mpi::DEFAULT_RNDV_THRESHOLD

@@ -159,6 +159,9 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
             if let Some(t) = plan.rndv_threshold {
                 ep.set_rendezvous_threshold(t as usize);
             }
+            if let Some(c) = plan.rndv_chunk {
+                ep.set_rendezvous_chunk_bytes(c as usize);
+            }
             // Wall-clock CTS pacing would make re-grant counts (and thus
             // the fault layer's decision-stream consumption) depend on
             // scheduling; per-encounter pacing keeps replays bit-identical.

@@ -21,6 +21,7 @@
 //! ckpt-every 8
 //! payload 16384
 //! rendezvous 4096
+//! chunk 1024
 //! fault 0->1 seed=7 drop=0.1 dup=0.05 delay=120us@0.1 reorder=0.2
 //! @12 partition 0 2
 //! @20 heal 0 2
@@ -112,6 +113,12 @@ pub struct FaultPlan {
     /// Per-endpoint rendezvous threshold override; `None` leaves the
     /// build default (effectively eager-only at chaos payload sizes).
     pub rndv_threshold: Option<u32>,
+    /// Per-endpoint rendezvous DATA chunk size override; `None` keeps the
+    /// build default (one chunk per transfer at chaos payload sizes).
+    /// Shrinking it below `payload` splits every rendezvous transfer into a
+    /// pipelined chunk train, so the armed link faults hit *individual*
+    /// DATA chunks and the oracles judge the reassembly.
+    pub rndv_chunk: Option<u32>,
     /// Diskless checkpointing: route images through the in-memory replica
     /// store with `k` copies per fragment instead of the stable disk store.
     /// `None` keeps the legacy disk path.
@@ -217,6 +224,7 @@ impl FaultPlan {
             unreliable: false,
             payload: 8,
             rndv_threshold: None,
+            rndv_chunk: None,
             replica_k: None,
             faults,
             events,
@@ -247,6 +255,7 @@ impl FaultPlan {
             unreliable: false,
             payload: 8,
             rndv_threshold: None,
+            rndv_chunk: None,
             replica_k: None,
             faults: Vec::new(),
             events: Vec::new(),
@@ -273,6 +282,13 @@ impl FaultPlan {
                 "unreliable" => plan.unreliable = true,
                 "payload" => plan.payload = scalar(&rest)? as u32,
                 "rendezvous" => plan.rndv_threshold = Some(scalar(&rest)? as u32),
+                "chunk" => {
+                    let c = scalar(&rest)?;
+                    if c == 0 || c > u32::MAX as u64 {
+                        return Err(format!("chunk size out of range: {line}"));
+                    }
+                    plan.rndv_chunk = Some(c as u32);
+                }
                 "replica" => {
                     let k = scalar(&rest)?;
                     if k == 0 || k > u8::MAX as u64 {
@@ -383,6 +399,9 @@ impl fmt::Display for FaultPlan {
         if let Some(t) = self.rndv_threshold {
             writeln!(f, "rendezvous {t}")?;
         }
+        if let Some(c) = self.rndv_chunk {
+            writeln!(f, "chunk {c}")?;
+        }
         if let Some(k) = self.replica_k {
             writeln!(f, "replica {k}")?;
         }
@@ -465,6 +484,19 @@ mod tests {
         let legacy = FaultPlan::generate(5);
         assert_eq!(legacy.payload, 8);
         assert_eq!(legacy.rndv_threshold, None);
+        assert_eq!(legacy.rndv_chunk, None);
+    }
+
+    #[test]
+    fn chunk_directive_roundtrips_and_validates() {
+        let text = "starfish-fault-plan v1\nseed 3\nnodes 2\nranks 2\nsteps 8\nckpt-every 0\npayload 16384\nrendezvous 4096\nchunk 1024\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.rndv_chunk, Some(1024));
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+        // A zero chunk size would make no forward progress: rejected.
+        let bad = text.replace("chunk 1024", "chunk 0");
+        assert!(FaultPlan::parse(&bad).is_err());
     }
 
     #[test]

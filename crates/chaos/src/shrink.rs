@@ -114,6 +114,17 @@ pub fn minimize(plan: &FaultPlan, fails: impl Fn(&FaultPlan) -> bool) -> FaultPl
             }
         }
 
+        // 7. Try reverting to whole-transfer DATA frames (a violation that
+        // survives without chunking is not a chunk-pipeline bug).
+        if best.rndv_chunk.is_some() {
+            let mut cand = best.clone();
+            cand.rndv_chunk = None;
+            if fails(&cand) {
+                best = cand;
+                progressed = true;
+            }
+        }
+
         if !progressed {
             return best;
         }

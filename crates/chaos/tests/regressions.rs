@@ -65,3 +65,27 @@ fn torn_interior_image_plan_pins_the_restorable_line() {
     assert!(report.line_restorable);
     assert!(oracle::check_all(&report).is_empty());
 }
+
+/// The chunked-pipeline plan specifically: pin that it really splits
+/// transfers into chunk trains (the fault layer must see — and drop —
+/// many more frames than the transfer count) and that reassembly stayed
+/// byte-perfect, so the file keeps proving what it was committed for.
+#[test]
+fn rendezvous_chunked_pipeline_plan_pins_chunk_level_faults() {
+    let dir = format!("{}/tests/regressions", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(format!("{dir}/rendezvous-chunked-pipeline.plan")).unwrap();
+    let plan = FaultPlan::parse(&text).unwrap();
+    assert_eq!(plan.rndv_chunk, Some(1024));
+    assert_eq!(plan.payload, 16384, "16 chunks per transfer");
+    let report = run_mpi_scenario(&plan);
+    assert!(oracle::check_all(&report).is_empty());
+    assert_eq!(report.rndv_pending, 0, "no transfer left parked");
+    assert_eq!(report.payload_corruptions, 0, "byte-for-byte reassembly");
+    let sent: usize = report.sent.values().map(Vec::len).sum();
+    assert!(
+        report.stats.dropped as usize > sent,
+        "chunk-level faults must outnumber transfers: {} dropped frames \
+         across {sent} transfers",
+        report.stats.dropped
+    );
+}

@@ -70,3 +70,137 @@ fn payload_contents_survive_the_handshake() {
     assert_eq!(total_sent, total_recv);
     assert!(total_sent > 0);
 }
+
+// ---- chunk-level pipeline chaos --------------------------------------------
+//
+// The tests above force the three-way handshake but each transfer still
+// fits one DATA frame. The plans below shrink the chunk size well under the
+// payload so every transfer becomes a pipelined chunk train and the armed
+// faults drop, duplicate and reorder *individual chunks*; the oracles —
+// payload integrity in particular — then judge the reassembly byte for
+// byte.
+
+use starfish_mpi::{CtsCadence, MpiEndpoint, RankDirectory, RecvMode, WORLD_CONTEXT};
+use starfish_util::trace::TraceSink;
+use starfish_util::{AppId, NodeId, Rank, VClock};
+use starfish_vni::{Fabric, Ideal, LayerCosts, LinkFault};
+
+/// The bank's plan for `seed` with 16 KiB payloads split into 1 KiB DATA
+/// chunks (16 chunks per transfer).
+fn chunked_plan(seed: u64) -> FaultPlan {
+    let mut plan = rendezvous_plan(seed);
+    plan.rndv_chunk = Some(1024);
+    plan
+}
+
+#[test]
+fn chunked_bank_upholds_all_oracles() {
+    for seed in 0..30u64 {
+        let plan = chunked_plan(seed);
+        let r = run_mpi_scenario(&plan);
+        let v = oracle::check_all(&r);
+        assert!(v.is_empty(), "seed {seed} violated {v:?}\n{plan}");
+        assert_eq!(r.rndv_pending, 0, "seed {seed} left transfers parked");
+        assert_eq!(r.payload_corruptions, 0, "seed {seed} mis-reassembled");
+    }
+}
+
+#[test]
+fn chunked_replay_is_deterministic() {
+    for seed in [3u64, 17, 29] {
+        let plan = chunked_plan(seed);
+        assert_eq!(
+            run_mpi_scenario(&plan),
+            run_mpi_scenario(&plan),
+            "seed {seed} diverged between identical runs"
+        );
+    }
+}
+
+/// Chunking must actually multiply the frames the fault layer sees: the
+/// same plan run with 1 KiB chunks consumes more per-packet fault
+/// decisions (and here loses more frames) than the whole-transfer run.
+/// If the chunk directive silently stopped reaching the endpoints, the
+/// two reports would be identical and this test would catch it.
+#[test]
+fn chunk_faults_hit_individual_data_frames() {
+    let text = "starfish-fault-plan v1\nseed 13\nnodes 2\nranks 2\nsteps 10\nckpt-every 0\npayload 16384\nrendezvous 1024\nfault 0->1 seed=5 drop=0.2 dup=0.1 delay=0us@0 reorder=0.2\nfault 1->0 seed=9 drop=0.2 dup=0.1 delay=0us@0 reorder=0.2\n";
+    let whole = FaultPlan::parse(text).unwrap();
+    let mut chunked = whole.clone();
+    chunked.rndv_chunk = Some(1024);
+    let rw = run_mpi_scenario(&whole);
+    let rc = run_mpi_scenario(&chunked);
+    for (r, label) in [(&rw, "whole"), (&rc, "chunked")] {
+        assert!(oracle::check_all(r).is_empty(), "{label} run violated");
+        assert!(r.stats.dropped > 0, "{label} run saw no drops");
+    }
+    assert!(
+        rc.stats.dropped > rw.stats.dropped,
+        "16 chunks per transfer must expose more frames to the drop \
+         stream than one: whole={} chunked={}",
+        rw.stats.dropped,
+        rc.stats.dropped
+    );
+    // And every one of those extra losses was repaired: both runs
+    // delivered the identical id streams.
+    assert_eq!(rw.recv, rc.recv, "chunking changed what was delivered");
+}
+
+/// The checkpoint-safety invariant under chunking, mid-pipeline: a
+/// stop-and-sync round that begins while a rendezvous transfer is
+/// partially streamed (some chunks delivered, some dropped, the tail
+/// still parked awaiting CTS) must not lose the message. The C/R
+/// protocols' `DataMark` effect calls `push_pending_rendezvous` before
+/// emitting flush marks — after that push and the reliability flushes,
+/// the receiver reassembles the payload byte for byte.
+#[test]
+fn datamark_push_covers_partially_streamed_rendezvous() {
+    let app = AppId(7);
+    let fabric = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+    fabric.add_node(NodeId(0));
+    fabric.add_node(NodeId(1));
+    let dir = RankDirectory::with_placement(&[NodeId(0), NodeId(1)]);
+    let mk = |rank: u32| {
+        let mut ep = MpiEndpoint::new(
+            &fabric,
+            app,
+            Rank(rank),
+            dir.clone(),
+            RecvMode::Direct,
+            TraceSink::disabled(),
+        )
+        .expect("bind endpoint");
+        ep.set_rendezvous_threshold(64);
+        ep.set_rendezvous_chunk_bytes(256);
+        ep.set_cts_cadence(CtsCadence::EveryEncounter);
+        ep
+    };
+    let (mut a, mut b) = (mk(0), mk(1));
+    let (mut ca, mut cb) = (VClock::new(), VClock::new());
+    // A lossy forward link tears holes in the chunk train mid-pipeline.
+    fabric.set_link_fault(NodeId(0), NodeId(1), LinkFault::seeded(9).drop(0.5));
+    let payload: Vec<u8> = (0..4096u32)
+        .map(|i| (i.wrapping_mul(31) % 251) as u8)
+        .collect();
+    a.isend_world(&mut ca, Rank(1), WORLD_CONTEXT, 1, &payload)
+        .expect("rts accepted");
+    // The receiver pulls whatever survived the faulty wire: the transfer
+    // is now part-delivered, part-dropped, part-parked at the sender.
+    let _ = b.try_recv_world(&mut cb, WORLD_CONTEXT, None, None);
+    // Stop-and-sync begins: the round quiesces the wire and the DataMark
+    // effect pushes every parked payload ahead of the flush marks.
+    fabric.clear_all_link_faults();
+    a.push_pending_rendezvous(&mut ca);
+    assert_eq!(a.pending_rendezvous(), 0, "push drains the parked queue");
+    let mut got = None;
+    for _ in 0..200 {
+        a.flush_reliable(&mut ca);
+        b.flush_reliable(&mut cb);
+        if let Ok(Some(m)) = b.try_recv_world(&mut cb, WORLD_CONTEXT, None, None) {
+            got = Some(m);
+            break;
+        }
+    }
+    let got = got.expect("the partially-streamed transfer must complete");
+    assert_eq!(&got.data[..], &payload[..], "byte-for-byte reassembly");
+}

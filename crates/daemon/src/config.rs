@@ -95,6 +95,20 @@ pub enum CfgNodeStatus {
 pub struct NodeEntry {
     pub status: CfgNodeStatus,
     pub arch: Arch,
+    /// Whether the node's own daemon has self-announced (an `AddNode` cast
+    /// originated by the node itself). A bare admin `ADDNODE` registers the
+    /// node in the configuration but leaves it unannounced: it shows up in
+    /// `NODES` output and [`ClusterConfig::up_nodes`], but the scheduler
+    /// refuses to place ranks there until the daemon proves it is alive.
+    pub announced: bool,
+}
+
+impl NodeEntry {
+    /// Eligible to run work: administratively `Up` *and* its daemon has
+    /// announced itself on the cast stream.
+    pub fn live(&self) -> bool {
+        self.status == CfgNodeStatus::Up && self.announced
+    }
 }
 
 /// The replicated cluster configuration.
@@ -134,11 +148,22 @@ impl ClusterConfig {
         ClusterConfig::default()
     }
 
-    /// Nodes eligible to run work, sorted by id.
+    /// Administratively `Up` nodes, sorted by id. Includes nodes registered
+    /// by a bare admin `ADDNODE` whose daemon has not announced yet — use
+    /// [`ClusterConfig::live_nodes`] for scheduling decisions.
     pub fn up_nodes(&self) -> Vec<NodeId> {
         self.nodes
             .iter()
             .filter(|(_, e)| e.status == CfgNodeStatus::Up)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Nodes eligible to run work (`Up` and daemon-announced), sorted by id.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|(_, e)| e.live())
             .map(|(n, _)| *n)
             .collect()
     }
@@ -166,7 +191,7 @@ impl ClusterConfig {
     /// Deterministic initial placement: round-robin over up nodes, starting
     /// at the least-loaded one.
     pub fn place_new(&self, size: u32) -> Option<Vec<NodeId>> {
-        let nodes = self.up_nodes();
+        let nodes = self.live_nodes();
         if nodes.is_empty() {
             return None;
         }
@@ -189,18 +214,14 @@ impl ClusterConfig {
     /// choose the node on which a process will be started after a partial
     /// failure").
     pub fn replace_lost(&self, app: &AppEntry) -> Option<Vec<(Rank, NodeId)>> {
-        let nodes = self.up_nodes();
+        let nodes = self.live_nodes();
         if nodes.is_empty() {
             return None;
         }
         let mut load = self.load();
         let mut out = Vec::new();
         for (r, n) in app.placement.iter().enumerate() {
-            let alive = self
-                .nodes
-                .get(n)
-                .map(|e| e.status == CfgNodeStatus::Up)
-                .unwrap_or(false);
+            let alive = self.nodes.get(n).map(|e| e.live()).unwrap_or(false);
             if !alive {
                 let target = *nodes
                     .iter()
@@ -216,19 +237,48 @@ impl ClusterConfig {
         self.apps.values().find(|a| a.spec.token == token)
     }
 
-    /// Apply one totally ordered command; returns the deterministic effects.
+    /// Apply a command as if originated by the node it concerns: an
+    /// `AddNode` applied this way counts as a self-announce. Convenience for
+    /// single-replica state machines and tests; daemons delivering the cast
+    /// stream use [`ClusterConfig::apply_from`] with the real sender.
     pub fn apply(&mut self, cmd: &CfgCmd) -> Vec<CfgEffect> {
+        let from = match cmd {
+            CfgCmd::AddNode { node, .. } => *node,
+            _ => NodeId(u32::MAX),
+        };
+        self.apply_from(from, cmd)
+    }
+
+    /// Apply one totally ordered command originated by `from`; returns the
+    /// deterministic effects. `from` is the cast's sender in the total
+    /// order, so every replica sees the same value: an `AddNode` whose
+    /// sender *is* the added node is a daemon self-announce and marks the
+    /// node live; any other sender (an admin `ADDNODE` relayed by whichever
+    /// daemon served the management connection) merely registers it.
+    pub fn apply_from(&mut self, from: NodeId, cmd: &CfgCmd) -> Vec<CfgEffect> {
         match cmd {
             CfgCmd::AddNode { node, arch_index } => {
                 let arch = MACHINES
                     .get(*arch_index as usize)
                     .copied()
                     .unwrap_or(DEFAULT_ARCH);
+                // Announce survives a benign re-add, but never resurrects
+                // across Dead/Removed: those daemons must announce anew.
+                let announced = from == *node
+                    || self
+                        .nodes
+                        .get(node)
+                        .map(|e| {
+                            e.announced
+                                && matches!(e.status, CfgNodeStatus::Up | CfgNodeStatus::Disabled)
+                        })
+                        .unwrap_or(false);
                 self.nodes.insert(
                     *node,
                     NodeEntry {
                         status: CfgNodeStatus::Up,
                         arch,
+                        announced,
                     },
                 );
                 vec![CfgEffect::NodeChanged(*node)]
@@ -236,6 +286,7 @@ impl ClusterConfig {
             CfgCmd::RemoveNode { node } => {
                 if let Some(e) = self.nodes.get_mut(node) {
                     e.status = CfgNodeStatus::Removed;
+                    e.announced = false;
                 }
                 vec![CfgEffect::NodeChanged(*node)]
             }
@@ -260,6 +311,10 @@ impl ClusterConfig {
                     if e.status != CfgNodeStatus::Removed {
                         e.status = CfgNodeStatus::Dead;
                     }
+                    // A dead daemon's announce is void: after an admin
+                    // re-add (or ENABLE) the restarted daemon must announce
+                    // again before the node is schedulable.
+                    e.announced = false;
                 }
                 vec![CfgEffect::NodeChanged(*node)]
             }
@@ -338,11 +393,7 @@ impl ClusterConfig {
                 node,
                 line,
             } => {
-                let target_up = self
-                    .nodes
-                    .get(node)
-                    .map(|e| e.status == CfgNodeStatus::Up)
-                    .unwrap_or(false);
+                let target_up = self.nodes.get(node).map(|e| e.live()).unwrap_or(false);
                 if !target_up {
                     return Vec::new();
                 }
@@ -481,6 +532,7 @@ impl Encode for ClusterConfig {
             n.encode(enc);
             enc.put_u8(node_status_byte(e.status));
             e.arch.encode(enc);
+            enc.put_u8(e.announced as u8);
         }
         enc.put_u32(self.params.len() as u32);
         for (k, v) in &self.params {
@@ -503,7 +555,15 @@ impl Decode for ClusterConfig {
             let n = NodeId::decode(dec)?;
             let status = node_status_from(dec.get_u8()?)?;
             let arch = Arch::decode(dec)?;
-            cfg.nodes.insert(n, NodeEntry { status, arch });
+            let announced = dec.get_u8()? != 0;
+            cfg.nodes.insert(
+                n,
+                NodeEntry {
+                    status,
+                    arch,
+                    announced,
+                },
+            );
         }
         let n_params = dec.get_u32()? as usize;
         for _ in 0..n_params {
@@ -689,6 +749,71 @@ mod tests {
         // Re-enable and the node is eligible again.
         c.apply(&CfgCmd::EnableNode { node: NodeId(0) });
         assert_eq!(c.up_nodes(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    /// The phantom-node regression at the state-machine level: a bare
+    /// `ADDNODE` (an AddNode cast originated by some *other* daemon) makes
+    /// the node administratively Up but not schedulable; only the node's
+    /// own announce cast does.
+    #[test]
+    fn unannounced_node_gets_no_placement_until_self_announce() {
+        let mut c = with_nodes(1); // NodeId(0): self-announced, live
+        let phantom = NodeId(9);
+        // Admin registers the phantom through whichever daemon served the
+        // management connection — node 0 here, never the phantom itself.
+        c.apply_from(
+            NodeId(0),
+            &CfgCmd::AddNode {
+                node: phantom,
+                arch_index: 0,
+            },
+        );
+        assert_eq!(c.up_nodes(), vec![NodeId(0), phantom], "admin view");
+        assert_eq!(c.live_nodes(), vec![NodeId(0)], "scheduler view");
+        c.apply(&CfgCmd::Submit { spec: spec("a", 4) });
+        let app = &c.apps[&AppId(1)];
+        assert!(
+            app.placement.iter().all(|n| *n == NodeId(0)),
+            "no rank may land on the unannounced node: {:?}",
+            app.placement
+        );
+        // Lost-rank re-placement skips it too.
+        let entry = app.clone();
+        c.apply(&CfgCmd::NodeDead { node: NodeId(0) });
+        assert_eq!(c.replace_lost(&entry), None, "no live node to host ranks");
+        // The phantom's daemon finally boots and announces itself: the
+        // AddNode cast comes from the node itself, upgrading it to live.
+        c.apply_from(
+            phantom,
+            &CfgCmd::AddNode {
+                node: phantom,
+                arch_index: 0,
+            },
+        );
+        assert_eq!(c.live_nodes(), vec![phantom]);
+        c.apply(&CfgCmd::Submit { spec: spec("b", 2) });
+        assert!(c.apps[&AppId(2)].placement.iter().all(|n| *n == phantom));
+    }
+
+    /// Death voids an announce: an admin re-add of a dead node does not
+    /// resurrect liveness, the restarted daemon's own announce does.
+    #[test]
+    fn announce_does_not_survive_death() {
+        let mut c = with_nodes(2);
+        c.apply(&CfgCmd::NodeDead { node: NodeId(1) });
+        c.apply_from(
+            NodeId(0),
+            &CfgCmd::AddNode {
+                node: NodeId(1),
+                arch_index: 0,
+            },
+        );
+        assert_eq!(c.live_nodes(), vec![NodeId(0)], "re-add is not an announce");
+        // Disable/enable of a live node keeps the announce (the daemon
+        // never went away).
+        c.apply(&CfgCmd::DisableNode { node: NodeId(0) });
+        c.apply(&CfgCmd::EnableNode { node: NodeId(0) });
+        assert_eq!(c.live_nodes(), vec![NodeId(0)]);
     }
 
     #[test]

@@ -330,13 +330,16 @@ impl Loop {
                 // announce so the re-add flips it back to Up.
                 if !self.announced {
                     self.announced = true;
-                    let already_up = self
+                    // Up-but-unannounced (a bare admin ADDNODE raced our
+                    // boot) still needs the self-announce: only an AddNode
+                    // cast from the node itself marks it live.
+                    let already_live = self
                         .config
                         .nodes
                         .get(&self.node)
-                        .map(|e| e.status == CfgNodeStatus::Up)
+                        .map(|e| e.live())
                         .unwrap_or(false);
-                    if !already_up {
+                    if !already_live {
                         let _ = self.cast(WireCast::Cfg(CfgCmd::AddNode {
                             node: self.node,
                             arch_index: self.arch_index,
@@ -379,15 +382,17 @@ impl Loop {
                     }
                     return;
                 }
-                let effects = self.config.apply(&cmd);
+                let effects = self.config.apply_from(from, &cmd);
                 // Peer-memory checkpoint fragments hosted on a dead node are
                 // gone; the replica store must stop counting them before any
                 // recovery-line computation below this point of the total
                 // order. Re-added nodes rejoin the placement ring (their old
                 // fragments do not resurrect — see ReplicaStore::node_up).
+                // Only a self-announced AddNode joins the ring: a bare admin
+                // ADDNODE has no daemon to hold fragments.
                 match &cmd {
                     CfgCmd::NodeDead { node } => self.store.node_down(*node),
-                    CfgCmd::AddNode { node, .. } => self.store.node_up(*node),
+                    CfgCmd::AddNode { node, .. } if *node == from => self.store.node_up(*node),
                     _ => {}
                 }
                 // NotifyView bookkeeping: when a node is recorded dead, ranks
@@ -811,13 +816,13 @@ impl Loop {
                 // flips it back to Up.
                 if !self.announced {
                     self.announced = true;
-                    let already_up = self
+                    let already_live = self
                         .config
                         .nodes
                         .get(&self.node)
-                        .map(|e| e.status == CfgNodeStatus::Up)
+                        .map(|e| e.live())
                         .unwrap_or(false);
-                    if !already_up {
+                    if !already_live {
                         let _ = self.cast(WireCast::Cfg(CfgCmd::AddNode {
                             node: self.node,
                             arch_index: self.arch_index,

@@ -749,6 +749,34 @@ mod tests {
         );
     }
 
+    /// The phantom-node regression, end to end over the management
+    /// protocol: a bare ADDNODE registers a node whose daemon never booted;
+    /// a subsequent submission must land every rank on the live node.
+    #[test]
+    fn bare_addnode_is_not_scheduled_until_daemon_announces() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d.clone(), 11);
+        s.handle_line("LOGIN ADMIN starfish");
+        assert!(s.handle_line("ADDNODE 7").starts_with("OK"));
+        let cfg = d
+            .wait_config(Duration::from_secs(5), |c| c.nodes.len() == 2)
+            .unwrap();
+        // Registered and administratively Up, but not live.
+        assert_eq!(cfg.up_nodes(), vec![NodeId(0), NodeId(7)]);
+        assert_eq!(cfg.live_nodes(), vec![NodeId(0)]);
+        let resp = s.handle_line("SUBMIT phantomjob 3");
+        assert!(resp.starts_with("OK submitted"), "{resp}");
+        let cfg = d
+            .wait_config(Duration::from_secs(5), |c| !c.apps.is_empty())
+            .unwrap();
+        let app = cfg.apps.values().next().unwrap();
+        assert_eq!(
+            app.placement,
+            vec![NodeId(0); 3],
+            "no rank may be scheduled onto the never-announced node 7"
+        );
+    }
+
     #[test]
     fn set_param_changes_admin_password() {
         let d = one_node_daemon();

@@ -13,7 +13,7 @@
 //! channel state of a checkpoint (all unconsumed data messages) is captured
 //! and restored here.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,7 +29,7 @@ use starfish_vni::{Addr, Fabric, LayerCosts, Packet, PacketKind, PollingThread, 
 use crate::directory::RankDirectory;
 use crate::reliability::{FlowRx, FlowTx, RxVerdict};
 use crate::wire::{
-    data_port, MsgHeader, RelMsg, RndvEnv, CTRL_CONTEXT, FLAG_RNDV_DATA, FLAG_RNDV_RTS,
+    data_port, MsgHeader, RelMsg, RndvChunk, RndvEnv, CTRL_CONTEXT, FLAG_RNDV_DATA, FLAG_RNDV_RTS,
 };
 
 /// Wildcard source for receives (`MPI_ANY_SOURCE`).
@@ -53,8 +53,34 @@ pub const REL_PING_INTERVAL: Duration = Duration::from_millis(25);
 /// rendezvous (RTS → CTS → DATA). Set from the eager/rendezvous crossover
 /// measured by the fabric microbenchmarks (`starfish-bench`, see
 /// EXPERIMENTS.md): below this the extra control round-trip costs more than
-/// the unexpected-queue buffering it avoids.
+/// the unexpected-queue buffering it avoids. Runtimes that have run the
+/// calibration sweep override it per network model (see
+/// [`crate::threshold`]).
 pub const DEFAULT_RNDV_THRESHOLD: usize = 64 * 1024;
+
+/// Default size of one rendezvous DATA chunk. A transfer larger than this
+/// is shipped as a pipeline of chunk frames so the receiver's placement
+/// copy of chunk *k* overlaps the wire transfer of chunk *k+1*, and so the
+/// CTS round-trip overlaps the early chunks instead of preceding the whole
+/// payload. A transfer that *fits* in one chunk takes the fully zero-copy
+/// path ([`RndvAsm::whole`]): no placement buffer, the receiver delivers
+/// the sender's payload slice as-is. The default equals
+/// [`EAGER_CREDIT_BYTES`] so a single optimistically-streamed chunk never
+/// exposes the receiver to more un-granted bytes than eager credit would.
+pub const RNDV_CHUNK_BYTES: usize = 1 << 20;
+
+/// How many chunks a size-based rendezvous send streams *before* the CTS
+/// arrives (bounded optimism: the receiver buffers at most this many chunks
+/// per transfer it has not granted). The last chunk is never streamed early
+/// — a transfer only completes via CTS or the checkpoint protocols'
+/// unsolicited push — so parking semantics, quiescence accounting and the
+/// receiver-memory bound all survive pipelining. Credit-exhaustion
+/// fallbacks stream nothing early: they exist to bound receiver memory.
+pub const RNDV_EARLY_CHUNKS: usize = 2;
+
+/// Packets drained from the receive source per ingest round: a pipelined
+/// chunk burst is pulled out of the shared queue in one lock acquisition.
+pub const INGEST_BATCH: usize = 64;
 
 /// How a receiver paces CTS re-grants for a rendezvous transfer still
 /// awaiting its DATA. Real deployments throttle on wall time so a blocked
@@ -83,16 +109,21 @@ pub const EAGER_CREDIT_BYTES: usize = 1 << 20;
 pub const CREDIT_BATCH_BYTES: usize = 64 * 1024;
 
 /// Sender-side record retained per reliable message for retransmission:
-/// `(framed payload, model_len, original depart vt, tag)`.
-type SentRecord = (Bytes, usize, VirtualTime, u64);
+/// `(framed envelope, payload segment, model_len, original depart vt, tag)`.
+/// Single-segment messages keep their whole frame in the first field and an
+/// empty second; rendezvous DATA chunks keep the gather envelope in the
+/// first and the zero-copy payload slice in the second — retransmission
+/// clones the `Bytes` handles, it never copies payload bytes.
+type SentRecord = (Bytes, Bytes, usize, VirtualTime, u64);
 
 /// Sender-side state of one reliable flow (this endpoint → one peer).
 type OutFlow = FlowTx<SentRecord>;
 
 /// Receiver-side state of one reliable flow (one peer incarnation → this
 /// endpoint), keyed by `(source rank, source epoch)`. Parked entries keep
-/// the trace context each carried, so delivery records it.
-type InFlow = FlowRx<(MsgHeader, Bytes, VirtualTime, TraceCtx)>;
+/// the body, the gather payload segment (empty for single-segment frames)
+/// and the trace context each carried, so delivery records it.
+type InFlow = FlowRx<(MsgHeader, Bytes, Bytes, VirtualTime, TraceCtx)>;
 
 /// A received, matched message.
 #[derive(Debug, Clone)]
@@ -125,14 +156,93 @@ pub enum Request {
     },
 }
 
+/// Receiver-side reassembly of one chunked rendezvous transfer.
+///
+/// The common case — a transfer that fits in one chunk — is fully
+/// zero-copy: the arriving chunk `Bytes` (a refcounted slice of the
+/// sender's application payload) is kept in `whole` and delivered as-is,
+/// and no assembly buffer is ever allocated. Multi-chunk transfers pay a
+/// *single* placement copy: `buf` is allocated lazily on the first partial
+/// chunk and each chunk is written straight to its offset (the analogue of
+/// RDMA rendezvous placing data directly into the posted receive buffer).
+#[derive(Debug, Clone, Default)]
+struct RndvAsm {
+    /// Total payload size (RTS envelope / chunk descriptors agree on it).
+    total: u64,
+    /// Distinct payload bytes absorbed so far.
+    received: u64,
+    /// Zero-copy fast path: a single chunk covering the entire transfer.
+    whole: Option<Bytes>,
+    /// Placement buffer for multi-chunk transfers (lazily allocated).
+    buf: Vec<u8>,
+    /// Offsets already absorbed: chunk retransmissions are idempotent.
+    got: BTreeSet<u64>,
+}
+
+impl RndvAsm {
+    fn new(total: u64) -> RndvAsm {
+        RndvAsm {
+            total,
+            received: 0,
+            whole: None,
+            buf: Vec::new(),
+            got: BTreeSet::new(),
+        }
+    }
+
+    /// Absorb one chunk. Descriptor-mismatched or out-of-bounds chunks are
+    /// dropped; duplicates are no-ops. Returns completeness.
+    fn absorb(&mut self, c: &RndvChunk, chunk: Bytes) -> bool {
+        let end = c.offset.saturating_add(chunk.len() as u64);
+        if c.total != self.total || end > self.total {
+            return self.is_complete();
+        }
+        if self.got.insert(c.offset) {
+            self.received += chunk.len() as u64;
+            if c.offset == 0 && chunk.len() as u64 == self.total && self.buf.is_empty() {
+                // Single chunk covering the whole transfer: keep the
+                // sender's payload slice, no copy, no buffer.
+                self.whole = Some(chunk);
+            } else {
+                if self.buf.is_empty() {
+                    self.buf = vec![0u8; self.total as usize];
+                    // A whole-transfer chunk may already be parked from the
+                    // fast path (out-of-order arrival of a retransmitted
+                    // split): migrate it into the placement buffer.
+                    if let Some(w) = self.whole.take() {
+                        self.buf[..w.len()].copy_from_slice(&w);
+                    }
+                }
+                self.buf[c.offset as usize..end as usize].copy_from_slice(&chunk);
+            }
+        }
+        self.is_complete()
+    }
+
+    /// Complete when every byte arrived and at least one chunk was seen —
+    /// the second clause makes empty transfers complete on their single
+    /// empty chunk rather than at creation.
+    fn is_complete(&self) -> bool {
+        self.received == self.total && !self.got.is_empty()
+    }
+
+    fn take_bytes(&mut self) -> Bytes {
+        match self.whole.take() {
+            Some(w) => w,
+            None => Bytes::from(std::mem::take(&mut self.buf)),
+        }
+    }
+}
+
 /// The payload slot of an unexpected-queue entry.
 #[derive(Debug, Clone)]
 enum Body {
     /// A fully-arrived message (eager, or rendezvous after its DATA merged).
     Eager(Bytes),
-    /// A rendezvous RTS whose payload has not arrived yet: matchable (so
-    /// MPI non-overtaking order is preserved) but not yet consumable.
-    RndvPending { id: u64, size: u64 },
+    /// A rendezvous RTS whose payload has not fully arrived yet: matchable
+    /// (so MPI non-overtaking order is preserved) but not yet consumable.
+    /// Pipelined chunks accumulate in `asm` until the transfer completes.
+    RndvPending { id: u64, size: u64, asm: RndvAsm },
 }
 
 /// Outcome of scanning the unexpected queue for a posted receive.
@@ -149,11 +259,27 @@ enum Matched {
 }
 
 /// A sender-side rendezvous transfer parked until the receiver's CTS.
+/// `next_chunk` advances as chunks leave: early-streamed chunks move it
+/// before the CTS arrives, the grant (or a checkpoint push) drains the rest.
 struct PendingRndv {
     dst: Rank,
     context: u32,
     tag: u64,
     data: Bytes,
+    /// Chunk size fixed at RTS time: the descriptor schedule must not shift
+    /// if the endpoint's chunk size is re-tuned mid-transfer.
+    chunk_bytes: u64,
+    /// Next chunk index to put on the wire.
+    next_chunk: u64,
+}
+
+impl PendingRndv {
+    /// Chunk count; an empty payload still ships one (empty) chunk so the
+    /// receiver observes an arrival to complete on.
+    fn n_chunks(&self) -> u64 {
+        let len = self.data.len() as u64;
+        len.div_ceil(self.chunk_bytes).max(1)
+    }
 }
 
 /// How the receive side is driven — the polling-thread ablation (§2.2.1).
@@ -238,19 +364,25 @@ pub struct MpiEndpoint {
     in_flows: HashMap<(Rank, Epoch), InFlow>,
     /// Payload size at which sends switch to the rendezvous protocol.
     rndv_threshold: usize,
+    /// Rendezvous DATA chunk size for transfers this endpoint originates.
+    rndv_chunk_bytes: usize,
     /// Rendezvous transfers whose RTS is out but whose payload has not been
-    /// pushed yet (waiting for CTS), keyed by transfer id.
+    /// fully pushed yet (waiting for CTS), keyed by transfer id.
     pending_rndv_tx: HashMap<u64, PendingRndv>,
     /// Next rendezvous transfer id (unique per endpoint incarnation).
     next_rndv_id: u64,
-    /// Rendezvous payloads whose DATA arrived before its RTS placeholder
-    /// (possible outside the reliability layer), keyed by (sender, id).
-    rndv_payloads: HashMap<(Rank, u64), Bytes>,
+    /// Reassembly of rendezvous chunks that arrived before their RTS
+    /// placeholder (possible outside the reliability layer), keyed by
+    /// (sender, id).
+    rndv_payloads: HashMap<(Rank, u64), RndvAsm>,
     /// Last CTS grant per (sender, transfer id): re-grants are paced by
     /// `cts_cadence` so a blocked receive does not flood.
     cts_last: HashMap<(Rank, u64), std::time::Instant>,
     /// CTS re-grant pacing policy.
     cts_cadence: CtsCadence,
+    /// Eager credit ceiling per destination ([`EAGER_CREDIT_BYTES`] unless
+    /// overridden for measurement).
+    eager_credit: usize,
     /// Remaining eager byte budget per destination (credit flow control).
     eager_budget: HashMap<Rank, usize>,
     /// Eager bytes consumed per source, not yet returned as credit.
@@ -305,11 +437,13 @@ impl MpiEndpoint {
             out_flows: HashMap::new(),
             in_flows: HashMap::new(),
             rndv_threshold: DEFAULT_RNDV_THRESHOLD,
+            rndv_chunk_bytes: RNDV_CHUNK_BYTES,
             pending_rndv_tx: HashMap::new(),
             next_rndv_id: 1,
             rndv_payloads: HashMap::new(),
             cts_last: HashMap::new(),
             cts_cadence: CtsCadence::Interval(REL_PING_INTERVAL),
+            eager_credit: EAGER_CREDIT_BYTES,
             eager_budget: HashMap::new(),
             credit_owed: HashMap::new(),
         })
@@ -320,6 +454,25 @@ impl MpiEndpoint {
     /// disables rendezvous entirely.
     pub fn set_rendezvous_threshold(&mut self, bytes: usize) {
         self.rndv_threshold = bytes;
+    }
+
+    /// Override the rendezvous DATA chunk size ([`RNDV_CHUNK_BYTES`] by
+    /// default; values below 1 are clamped). Chaos harnesses shrink it so
+    /// chunk-level faults are cheap to exercise; only transfers started
+    /// after the call use the new size.
+    pub fn set_rendezvous_chunk_bytes(&mut self, bytes: usize) {
+        self.rndv_chunk_bytes = bytes.max(1);
+    }
+
+    /// Override the per-destination eager credit ceiling
+    /// ([`EAGER_CREDIT_BYTES`] by default). The fabric benchmark raises it
+    /// to `usize::MAX` in its eager arm so the sweep measures the *pure*
+    /// eager protocol — unbounded buffering and a sender-side frame copy per
+    /// message — instead of the production credit fallback, which would
+    /// silently route large messages through rendezvous and contaminate the
+    /// comparison. Production endpoints keep the default bound.
+    pub fn set_eager_credit(&mut self, bytes: usize) {
+        self.eager_credit = bytes;
     }
 
     /// Override the CTS re-grant pacing (see [`CtsCadence`]).
@@ -444,10 +597,45 @@ impl MpiEndpoint {
         data: &[u8],
     ) -> Result<()> {
         if context != CTRL_CONTEXT && self.wants_rendezvous(dst, data.len()) {
-            let id = self.start_rendezvous(clock, dst, context, tag, data)?;
-            return self.finish_rendezvous(clock, id);
+            // The one payload copy on the `&[u8]` rendezvous path: from here
+            // to the wire — retransmissions included — only `Bytes` slices
+            // of this buffer travel. Callers that already hold `Bytes` use
+            // [`send_world_bytes`](Self::send_world_bytes) and skip it too.
+            let data = Bytes::copy_from_slice(data);
+            return self.send_rendezvous(clock, dst, context, tag, data);
         }
         self.send_eager(clock, dst, context, tag, data)
+    }
+
+    /// [`send_world`](Self::send_world) without the payload copy: a `Bytes`
+    /// payload travels the rendezvous path as zero-copy slices end-to-end.
+    pub fn send_world_bytes(
+        &mut self,
+        clock: &mut VClock,
+        dst: Rank,
+        context: u32,
+        tag: u64,
+        data: Bytes,
+    ) -> Result<()> {
+        if context != CTRL_CONTEXT && self.wants_rendezvous(dst, data.len()) {
+            return self.send_rendezvous(clock, dst, context, tag, data);
+        }
+        self.send_eager(clock, dst, context, tag, &data)
+    }
+
+    /// Blocking rendezvous send: RTS (plus early chunks when size-based),
+    /// then pump until the receiver's CTS drains the transfer.
+    fn send_rendezvous(
+        &mut self,
+        clock: &mut VClock,
+        dst: Rank,
+        context: u32,
+        tag: u64,
+        data: Bytes,
+    ) -> Result<()> {
+        let pipelined = data.len() >= self.rndv_threshold;
+        let id = self.start_rendezvous(clock, dst, context, tag, data, pipelined)?;
+        self.finish_rendezvous(clock, id)
     }
 
     /// The eager path: the payload leaves immediately, charged against the
@@ -480,10 +668,10 @@ impl MpiEndpoint {
         let (framed, depart) = self.raw_send(clock, dst, header, data)?;
         if seq != 0 {
             let flow = self.out_flows.get_mut(&dst).expect("flow created above");
-            flow.commit(seq, (framed, data.len(), depart, tag));
+            flow.commit(seq, (framed, Bytes::new(), data.len(), depart, tag));
         }
         if context != CTRL_CONTEXT {
-            let budget = self.eager_budget.entry(dst).or_insert(EAGER_CREDIT_BYTES);
+            let budget = self.eager_budget.entry(dst).or_insert(self.eager_credit);
             *budget = budget.saturating_sub(data.len());
         }
         Ok(())
@@ -496,7 +684,7 @@ impl MpiEndpoint {
         if len >= self.rndv_threshold {
             return true;
         }
-        let budget = *self.eager_budget.get(&dst).unwrap_or(&EAGER_CREDIT_BYTES);
+        let budget = *self.eager_budget.get(&dst).unwrap_or(&self.eager_credit);
         if budget < len {
             if let Some(m) = &self.metrics {
                 m.inc(metric::MPI_CREDIT_FALLBACKS);
@@ -506,17 +694,24 @@ impl MpiEndpoint {
         false
     }
 
-    /// Send the RTS of a rendezvous transfer and park the payload until the
-    /// receiver's CTS. The RTS rides the normal data path (sequenced when
-    /// the reliability layer is on, so a lost RTS is repaired like any lost
-    /// data message) with [`FLAG_RNDV_RTS`] set and a [`RndvEnv`] body.
+    /// Send the RTS of a rendezvous transfer and park the payload. The RTS
+    /// rides the normal data path (sequenced when the reliability layer is
+    /// on, so a lost RTS is repaired like any lost data message) with
+    /// [`FLAG_RNDV_RTS`] set and a [`RndvEnv`] body. Size-based transfers
+    /// (`pipelined`) then stream up to [`RNDV_EARLY_CHUNKS`] chunks without
+    /// waiting for the CTS — but never the last chunk, so completion stays
+    /// gated on the grant (or a checkpoint push): parking semantics,
+    /// quiescence accounting and the receiver's memory bound all survive.
+    /// Credit-exhaustion fallbacks stream nothing early — they exist to
+    /// stop filling the receiver.
     fn start_rendezvous(
         &mut self,
         clock: &mut VClock,
         dst: Rank,
         context: u32,
         tag: u64,
-        data: &[u8],
+        data: Bytes,
+        pipelined: bool,
     ) -> Result<u64> {
         let id = self.next_rndv_id;
         let env = RndvEnv {
@@ -540,60 +735,93 @@ impl MpiEndpoint {
         let (framed, depart) = self.raw_send(clock, dst, header, &env.encode())?;
         if seq != 0 {
             let flow = self.out_flows.get_mut(&dst).expect("flow created above");
-            flow.commit(seq, (framed, RndvEnv::LEN, depart, tag));
+            flow.commit(seq, (framed, Bytes::new(), RndvEnv::LEN, depart, tag));
         }
         self.next_rndv_id += 1;
-        self.pending_rndv_tx.insert(
-            id,
-            PendingRndv {
-                dst,
-                context,
-                tag,
-                data: Bytes::copy_from_slice(data),
-            },
-        );
+        let len = data.len();
+        let pending = PendingRndv {
+            dst,
+            context,
+            tag,
+            data,
+            chunk_bytes: self.rndv_chunk_bytes.max(1) as u64,
+            next_chunk: 0,
+        };
+        let n_chunks = pending.n_chunks();
+        self.pending_rndv_tx.insert(id, pending);
         if let Some(m) = &self.metrics {
             m.inc(metric::MPI_RNDV_SENDS);
-            m.record(metric::MPI_RNDV_BYTES, data.len() as u64);
+            m.record(metric::MPI_RNDV_BYTES, len as u64);
+        }
+        if pipelined {
+            let early = n_chunks.saturating_sub(1).min(RNDV_EARLY_CHUNKS as u64);
+            if early > 0 {
+                self.send_rndv_chunks(clock, id, Some(early as usize));
+            }
         }
         Ok(id)
     }
 
-    /// Push a parked rendezvous payload onto the wire: one DATA message,
-    /// [`FLAG_RNDV_DATA`] set, body = transfer id ++ payload, sequenced at
-    /// *this* moment (the flow gap between RTS and DATA stays open no
-    /// longer than the CTS round-trip).
-    fn send_rndv_data(&mut self, clock: &mut VClock, id: u64) {
-        let Some(p) = self.pending_rndv_tx.remove(&id) else {
+    /// Push a parked rendezvous payload onto the wire as a pipeline of DATA
+    /// chunk frames: [`FLAG_RNDV_DATA`], envelope = header ++ [`RndvChunk`]
+    /// descriptor, payload segment = a zero-copy slice of the parked
+    /// `Bytes`. `limit` bounds how many chunks leave now (early streaming);
+    /// `None` drains the transfer. Each chunk is sequenced at the moment it
+    /// leaves, so the flow gap between RTS and the tail chunk stays open no
+    /// longer than the CTS round-trip.
+    fn send_rndv_chunks(&mut self, clock: &mut VClock, id: u64, limit: Option<usize>) {
+        let Some(mut p) = self.pending_rndv_tx.remove(&id) else {
             return; // duplicate CTS: the payload already left
         };
-        let seq = if self.reliable && p.context != CTRL_CONTEXT {
-            self.out_flows.entry(p.dst).or_default().peek_seq()
-        } else {
-            0
-        };
-        let header = MsgHeader {
-            src: self.rank,
-            context: p.context,
-            tag: p.tag,
-            epoch: self.epoch,
-            interval: self.piggyback_interval,
-            seq,
-            flags: FLAG_RNDV_DATA,
-        };
-        match self.raw_send_parts(clock, p.dst, header, &id.to_be_bytes(), &p.data) {
-            Ok((framed, depart)) => {
-                if seq != 0 {
-                    let flow = self.out_flows.get_mut(&p.dst).expect("flow created above");
-                    flow.commit(seq, (framed, p.data.len(), depart, p.tag));
+        let total = p.data.len() as u64;
+        let n_chunks = p.n_chunks();
+        let mut sent = 0usize;
+        while p.next_chunk < n_chunks {
+            if limit.map(|n| sent >= n).unwrap_or(false) {
+                // Early-stream budget spent: park the rest for the CTS.
+                self.pending_rndv_tx.insert(id, p);
+                return;
+            }
+            let off = p.next_chunk * p.chunk_bytes;
+            let end = (off + p.chunk_bytes).min(total);
+            let desc = RndvChunk {
+                id,
+                offset: off,
+                total,
+            };
+            let seg = p.data.slice(off as usize..end as usize);
+            let seq = if self.reliable && p.context != CTRL_CONTEXT {
+                self.out_flows.entry(p.dst).or_default().peek_seq()
+            } else {
+                0
+            };
+            let header = MsgHeader {
+                src: self.rank,
+                context: p.context,
+                tag: p.tag,
+                epoch: self.epoch,
+                interval: self.piggyback_interval,
+                seq,
+                flags: FLAG_RNDV_DATA,
+            };
+            match self.raw_send_gather(clock, p.dst, header, &desc.encode(), seg.clone()) {
+                Ok((envelope, depart)) => {
+                    if seq != 0 {
+                        let flow = self.out_flows.get_mut(&p.dst).expect("flow created above");
+                        flow.commit(seq, (envelope, seg, (end - off) as usize, depart, p.tag));
+                    }
+                    p.next_chunk += 1;
+                    sent += 1;
+                }
+                Err(_) => {
+                    // Peer unreachable right now (mid-restart): park again,
+                    // the next CTS re-grant or quiescence push retries.
+                    self.pending_rndv_tx.insert(id, p);
+                    return;
                 }
             }
-            Err(_) => {
-                // Peer unreachable right now (mid-restart): park again, the
-                // next CTS re-grant or quiescence push retries.
-                self.pending_rndv_tx.insert(id, p);
-            }
         }
+        // Every chunk is on the wire: the transfer is complete sender-side.
     }
 
     /// Complete a blocking rendezvous send: pump the network (servicing
@@ -676,6 +904,53 @@ impl MpiEndpoint {
         Ok((payload, depart))
     }
 
+    /// Frame and send one gather message: the envelope (header ++ `prefix`)
+    /// is the only buffer built here; `seg` rides the packet's separate
+    /// payload segment untouched. The returned envelope plus the caller's
+    /// `seg` handle are everything a retransmission needs — no payload byte
+    /// is copied anywhere on this path.
+    fn raw_send_gather(
+        &mut self,
+        clock: &mut VClock,
+        dst: Rank,
+        header: MsgHeader,
+        prefix: &[u8],
+        seg: Bytes,
+    ) -> Result<(Bytes, VirtualTime)> {
+        let dst_node = self.dir.node_of(dst)?;
+        let app = self.app;
+        let ctx = self
+            .recorder
+            .on_send(clock.now(), dst.0, header.context, header.tag, seg.len());
+        let envelope = header.frame_ext_prefixed(prefix, &[], ctx);
+        self.trace.record(
+            MsgClass::Data,
+            ActorKind::AppProcess,
+            ActorKind::AppProcess,
+            "fast-path",
+            envelope.len() + seg.len(),
+        );
+        let src_node = self.dir.node_of(self.rank)?;
+        let model_len = seg.len();
+        let mut pkt = Packet::gather(
+            Addr::new(src_node, data_port(app, self.rank)),
+            Addr::new(dst_node, data_port(app, dst)),
+            PacketKind::Data,
+            header.tag,
+            envelope.clone(),
+            seg,
+        );
+        // The bandwidth term covers the application payload; the fixed-size
+        // envelope is absorbed by the constant per-layer costs (Figure 6).
+        pkt.model_len = model_len;
+        let depart = clock.now() + self.layers.send_total();
+        pkt.depart_vt = depart;
+        self.fabric.send(pkt)?;
+        clock.advance(self.layers.send_total());
+        self.note_send();
+        Ok((envelope, depart))
+    }
+
     /// Non-blocking send. Eager payloads are on the wire when this returns;
     /// rendezvous payloads leave when the receiver grants CTS (drive with
     /// `wait`, or keep pumping receives and watch `pending_rendezvous`).
@@ -688,14 +963,44 @@ impl MpiEndpoint {
         data: &[u8],
     ) -> Result<Request> {
         if context != CTRL_CONTEXT && self.wants_rendezvous(dst, data.len()) {
-            let id = self.start_rendezvous(clock, dst, context, tag, data)?;
-            return Ok(Request::RndvSend {
-                id,
-                vt: clock.now(),
-            });
+            let data = Bytes::copy_from_slice(data);
+            return self.istart_rendezvous(clock, dst, context, tag, data);
         }
         self.send_eager(clock, dst, context, tag, data)?;
         Ok(Request::Send { vt: clock.now() })
+    }
+
+    /// [`isend_world`](Self::isend_world) without the payload copy (see
+    /// [`send_world_bytes`](Self::send_world_bytes)).
+    pub fn isend_world_bytes(
+        &mut self,
+        clock: &mut VClock,
+        dst: Rank,
+        context: u32,
+        tag: u64,
+        data: Bytes,
+    ) -> Result<Request> {
+        if context != CTRL_CONTEXT && self.wants_rendezvous(dst, data.len()) {
+            return self.istart_rendezvous(clock, dst, context, tag, data);
+        }
+        self.send_eager(clock, dst, context, tag, &data)?;
+        Ok(Request::Send { vt: clock.now() })
+    }
+
+    fn istart_rendezvous(
+        &mut self,
+        clock: &mut VClock,
+        dst: Rank,
+        context: u32,
+        tag: u64,
+        data: Bytes,
+    ) -> Result<Request> {
+        let pipelined = data.len() >= self.rndv_threshold;
+        let id = self.start_rendezvous(clock, dst, context, tag, data, pipelined)?;
+        Ok(Request::RndvSend {
+            id,
+            vt: clock.now(),
+        })
     }
 
     /// Send a C/R mark (flush mark / marker) on the data path: FIFO with
@@ -746,53 +1051,63 @@ impl MpiEndpoint {
             && tag.map(|t| t == h.tag).unwrap_or(true)
     }
 
-    /// Pull one packet from the underlying source into the parsed queues.
-    /// Returns true if something was ingested.
+    /// Pull one *round* of packets from the underlying source into the
+    /// parsed queues: up to [`INGEST_BATCH`] frames drained in one lock
+    /// acquisition, so a pipelined rendezvous burst costs one queue hop.
+    /// Returns true if anything was ingested.
     fn ingest_one(&mut self, clock: &mut VClock, wait: Option<Duration>) -> Result<bool> {
-        let pkt = match &self.source {
+        let batch = match &self.source {
             Source::Polled { queue, .. } => match wait {
-                Some(d) => match queue.wait_matching(|_| true, d) {
-                    Ok(p) => Some(p),
-                    Err(Error::Timeout(_)) => None,
-                    Err(e) => return Err(e),
-                },
-                None => queue.take_matching(|_| true),
+                Some(d) => queue.wait_batch(INGEST_BATCH, d)?,
+                None => queue.take_batch(INGEST_BATCH),
             },
             Source::Direct { port } => {
                 // Without the polling thread every look at the network is a
-                // kernel interaction (paper §2.2.1).
+                // kernel interaction (paper §2.2.1) — one per batched read.
                 clock.advance(SYSCALL_COST);
                 match wait {
-                    Some(d) => match port.recv_timeout(d) {
-                        Ok(p) => Some(p),
-                        Err(Error::Timeout(_)) => None,
-                        Err(e) => return Err(e),
-                    },
-                    None => port.try_recv()?,
+                    Some(d) => port.recv_batch_timeout(INGEST_BATCH, d)?,
+                    None => port.try_recv_batch(INGEST_BATCH),
                 }
             }
         };
-        let Some(pkt) = pkt else {
+        if batch.is_empty() {
             return Ok(false);
-        };
+        }
+        for pkt in batch {
+            self.process_packet(clock, pkt);
+        }
+        Ok(true)
+    }
+
+    /// Route one raw packet into the parsed queues.
+    fn process_packet(&mut self, clock: &mut VClock, pkt: Packet) {
         // Reliability-layer control traffic rides the data port as Control
         // packets: handled here, invisible to everything above.
         if pkt.kind == PacketKind::Control {
             if let Ok(msg) = RelMsg::decode(&pkt.payload) {
                 self.handle_rel_ctrl(clock, msg);
             }
-            return Ok(true);
+            return;
         }
         let arrive = pkt.arrive_vt;
-        let (header, body, ctx) = match MsgHeader::parse_ext(&pkt.payload) {
+        // Gather frames carry the MsgHeader envelope in the head segment and
+        // the (zero-copy) chunk bytes in the payload segment; single-buffer
+        // frames keep everything in the payload.
+        let (envelope, seg) = if pkt.head.is_empty() {
+            (pkt.payload, Bytes::new())
+        } else {
+            (pkt.head, pkt.payload)
+        };
+        let (header, body, ctx) = match MsgHeader::parse_ext(&envelope) {
             Ok(x) => x,
-            Err(_) => return Ok(true), // corrupt: drop, but we did ingest
+            Err(_) => return, // corrupt: drop
         };
         // Stale-epoch traffic (from before a rollback) is discarded;
         // future-epoch traffic (a restarted peer racing ahead of our own
         // rollback) is held until we enter that epoch.
         if header.epoch < self.epoch {
-            return Ok(true);
+            return;
         }
         if header.context == CTRL_CONTEXT {
             // Current-epoch marks are pumped now; future-epoch marks (a
@@ -802,19 +1117,19 @@ impl MpiEndpoint {
                 .on_recv(arrive, header.src.0, CTRL_CONTEXT, 0, body.len(), ctx);
             self.ctrl_marks
                 .push_back((header.src, body, arrive, header.epoch));
-            return Ok(true);
+            return;
         }
         if header.seq == 0 {
             // Unmanaged traffic: delivered as it arrives.
-            self.enqueue_parsed(header, body, arrive, ctx);
-            return Ok(true);
+            self.enqueue_parsed(header, body, seg, arrive, ctx);
+            return;
         }
         // Reliable flow: deliver in sequence order, discard duplicates, park
         // early arrivals and report the gap below them. The sequencing
         // decision itself is the pure `FlowRx` machine.
         let (src, epoch, seq) = (header.src, header.epoch, header.seq);
         let flow = self.in_flows.entry((src, epoch)).or_default();
-        match flow.on_data(seq, (header, body, arrive, ctx)) {
+        match flow.on_data(seq, (header, body, seg, arrive, ctx)) {
             RxVerdict::Duplicate => {
                 if let Some(m) = &self.metrics {
                     m.inc(metric::MPI_DUP_DISCARDS);
@@ -837,24 +1152,26 @@ impl MpiEndpoint {
                 }
             }
             RxVerdict::Deliver(ready) => {
-                for (h, b, at, c) in ready {
-                    self.enqueue_parsed(h, b, at, c);
+                for (h, b, s, at, c) in ready {
+                    self.enqueue_parsed(h, b, s, at, c);
                 }
             }
         }
-        Ok(true)
     }
 
     /// Hand a parsed in-order data message to the matching queues,
     /// dispatching on the rendezvous flags: an RTS becomes a matchable
-    /// placeholder (or completes immediately if its DATA raced ahead), a
-    /// DATA message merges into its placeholder in place (preserving the
-    /// RTS's matching position, i.e. per-sender non-overtaking), and plain
-    /// eager messages are delivered directly.
+    /// placeholder (or completes immediately if its chunks raced ahead), a
+    /// DATA chunk is absorbed into its placeholder's reassembly in place
+    /// (preserving the RTS's matching position, i.e. per-sender
+    /// non-overtaking), and plain eager messages are delivered directly.
+    /// `seg` is the gather payload segment (the chunk bytes); empty for
+    /// single-buffer frames.
     fn enqueue_parsed(
         &mut self,
         header: MsgHeader,
         body: Bytes,
+        seg: Bytes,
         arrive: VirtualTime,
         ctx: TraceCtx,
     ) {
@@ -862,30 +1179,46 @@ impl MpiEndpoint {
             let Ok(env) = RndvEnv::decode(&body) else {
                 return; // corrupt envelope: drop
             };
-            if let Some(payload) = self.rndv_payloads.remove(&(header.src, env.id)) {
-                // DATA overtook the RTS (unsequenced traffic only): the
-                // transfer is complete the moment it becomes matchable.
-                let mut h = header;
-                h.flags = FLAG_RNDV_DATA;
-                self.finish_delivery(h, payload, arrive, ctx);
-            } else {
-                self.unexpected.push_back((
-                    header,
-                    Body::RndvPending {
-                        id: env.id,
-                        size: env.size,
-                    },
-                    arrive,
-                ));
-            }
+            let asm = match self.rndv_payloads.remove(&(header.src, env.id)) {
+                Some(mut asm) if asm.total == env.size => {
+                    if asm.is_complete() {
+                        // Chunks overtook the RTS (unsequenced traffic only):
+                        // the transfer is complete the moment it becomes
+                        // matchable.
+                        let mut h = header;
+                        h.flags = FLAG_RNDV_DATA;
+                        self.finish_delivery(h, asm.take_bytes(), arrive, ctx);
+                        return;
+                    }
+                    asm
+                }
+                // Size mismatch = corrupt stray; start a fresh reassembly.
+                _ => RndvAsm::new(env.size),
+            };
+            self.unexpected.push_back((
+                header,
+                Body::RndvPending {
+                    id: env.id,
+                    size: env.size,
+                    asm,
+                },
+                arrive,
+            ));
             return;
         }
         if header.flags & FLAG_RNDV_DATA != 0 {
-            if body.len() < 8 {
-                return; // corrupt: DATA must carry its transfer id
-            }
-            let id = u64::from_be_bytes(body[..8].try_into().expect("8 bytes"));
-            let payload = body.slice(8..);
+            let Ok(desc) = RndvChunk::decode(&body) else {
+                return; // corrupt: DATA must carry its chunk descriptor
+            };
+            // Gather frames carry the chunk in the payload segment;
+            // single-buffer frames (none currently sent) would carry it
+            // after the descriptor.
+            let chunk = if seg.is_empty() {
+                body.slice(RndvChunk::LEN.min(body.len())..)
+            } else {
+                seg
+            };
+            let id = desc.id;
             let pos = self.unexpected.iter().position(|(h, b, _)| {
                 h.src == header.src
                     && h.epoch == header.epoch
@@ -893,11 +1226,16 @@ impl MpiEndpoint {
             });
             if let Some(i) = pos {
                 let entry = &mut self.unexpected[i];
-                if let Body::RndvPending { size, .. } = entry.1 {
-                    if payload.len() as u64 != size {
-                        return; // truncated/corrupt payload: keep waiting
-                    }
+                let Body::RndvPending { size, asm, .. } = &mut entry.1 else {
+                    unreachable!("position matched RndvPending");
+                };
+                if desc.total != *size {
+                    return; // descriptor disagrees with the RTS: drop
                 }
+                if !asm.absorb(&desc, chunk) {
+                    return; // more chunks to come: placeholder stays parked
+                }
+                let payload = asm.take_bytes();
                 // Keep the DATA flag on the merged header: it marks the
                 // payload as credit-exempt when it is finally consumed.
                 entry.0.flags = FLAG_RNDV_DATA;
@@ -914,7 +1252,12 @@ impl MpiEndpoint {
                     self.recorded.push((h, payload));
                 }
             } else {
-                self.rndv_payloads.insert((header.src, id), payload);
+                // Chunk before its RTS: reassemble aside until the RTS
+                // places it in matching order.
+                self.rndv_payloads
+                    .entry((header.src, id))
+                    .or_insert_with(|| RndvAsm::new(desc.total))
+                    .absorb(&desc, chunk);
             }
             return;
         }
@@ -1019,16 +1362,14 @@ impl MpiEndpoint {
                         .unwrap_or(true),
                     "CTS for transfer {id} from wrong peer"
                 );
-                self.send_rndv_data(clock, id);
+                self.send_rndv_chunks(clock, id, None);
             }
             RelMsg::Credit { from, epoch, bytes } => {
                 if epoch != self.epoch {
                     return;
                 }
-                let budget = self.eager_budget.entry(from).or_insert(EAGER_CREDIT_BYTES);
-                *budget = budget
-                    .saturating_add(bytes as usize)
-                    .min(EAGER_CREDIT_BYTES);
+                let budget = self.eager_budget.entry(from).or_insert(self.eager_credit);
+                *budget = budget.saturating_add(bytes as usize).min(self.eager_credit);
             }
         }
     }
@@ -1045,14 +1386,24 @@ impl MpiEndpoint {
             return;
         };
         let mut resends = Vec::new();
-        for (_seq, (framed, model_len, depart, tag)) in flow.select(seqs) {
-            let mut pkt = Packet::new(
-                Addr::new(src_node, data_port(self.app, self.rank)),
-                Addr::new(dst_node, data_port(self.app, dst)),
-                PacketKind::Data,
-                *tag,
-                framed.clone(),
-            );
+        for (_seq, (framed, seg, model_len, depart, tag)) in flow.select(seqs) {
+            // Rebuilding a gather frame clones the two `Bytes` handles — the
+            // payload bytes of a rendezvous chunk are never copied, even on
+            // the retransmit path.
+            let src_addr = Addr::new(src_node, data_port(self.app, self.rank));
+            let dst_addr = Addr::new(dst_node, data_port(self.app, dst));
+            let mut pkt = if seg.is_empty() {
+                Packet::new(src_addr, dst_addr, PacketKind::Data, *tag, framed.clone())
+            } else {
+                Packet::gather(
+                    src_addr,
+                    dst_addr,
+                    PacketKind::Data,
+                    *tag,
+                    framed.clone(),
+                    seg.clone(),
+                )
+            };
             pkt.model_len = *model_len;
             pkt.depart_vt = *depart;
             resends.push(pkt);
@@ -1363,7 +1714,7 @@ impl MpiEndpoint {
         let mut ids: Vec<u64> = self.pending_rndv_tx.keys().copied().collect();
         ids.sort_unstable();
         for id in ids {
-            self.send_rndv_data(clock, id);
+            self.send_rndv_chunks(clock, id, None);
         }
     }
 
@@ -2097,6 +2448,217 @@ mod tests {
         b.restore_channel(snap, VirtualTime::from_millis(1));
         let m = b.recv_world(&mut cb, 1, ANY_SOURCE, ANY_TAG).unwrap();
         assert_eq!(&m.data[..], &big[..]);
+    }
+
+    /// A pipelined transfer (many chunks, tiny chunk size) reassembles
+    /// byte-for-byte, streams exactly [`RNDV_EARLY_CHUNKS`] chunks before
+    /// any CTS, and never completes sender-side without the grant.
+    #[test]
+    fn pipelined_chunks_reassemble_byte_for_byte() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep_direct(&f, &dir, 0);
+        let mut b = ep_direct(&f, &dir, 1);
+        a.set_rendezvous_threshold(64);
+        a.set_rendezvous_chunk_bytes(100);
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
+        let req = a.isend_world(&mut ca, Rank(1), 1, 5, &payload).unwrap();
+        assert!(matches!(req, Request::RndvSend { .. }));
+        // Early streaming happened, but the transfer must still be parked:
+        // the last chunk only leaves on CTS (or a checkpoint push).
+        assert_eq!(a.pending_rendezvous(), 1);
+        assert_eq!(
+            a.pending_rndv_tx.values().next().unwrap().next_chunk,
+            RNDV_EARLY_CHUNKS as u64,
+            "exactly the early-chunk budget streams before the CTS"
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let got = loop {
+            assert!(std::time::Instant::now() < deadline);
+            if let Some(m) = b.try_recv_world(&mut cb, 1, ANY_SOURCE, Some(5)).unwrap() {
+                break m;
+            }
+            while a.ingest_one(&mut ca, None).unwrap() {}
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(&got.data[..], &payload[..], "chunks reassemble exactly");
+        assert_eq!(a.pending_rendezvous(), 0);
+    }
+
+    /// The receive-side zero-copy pin: a transfer that fits one chunk is
+    /// delivered as a slice of the *sender's* payload allocation — no
+    /// assembly buffer, no placement copy, end-to-end.
+    #[test]
+    fn single_chunk_delivery_is_zero_copy() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep_direct(&f, &dir, 0);
+        let mut b = ep_direct(&f, &dir, 1);
+        a.set_rendezvous_threshold(64);
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        let payload = Bytes::from((0..4000u32).map(|i| (i % 241) as u8).collect::<Vec<u8>>());
+        let range = payload.as_ptr() as usize..payload.as_ptr() as usize + payload.len();
+        let req = a
+            .isend_world_bytes(&mut ca, Rank(1), 1, 9, payload.clone())
+            .unwrap();
+        assert!(matches!(req, Request::RndvSend { .. }));
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let got = loop {
+            assert!(std::time::Instant::now() < deadline);
+            if let Some(m) = b.try_recv_world(&mut cb, 1, ANY_SOURCE, Some(9)).unwrap() {
+                break m;
+            }
+            while a.ingest_one(&mut ca, None).unwrap() {}
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(&got.data[..], &payload[..]);
+        let p = got.data.as_ptr() as usize;
+        assert!(
+            range.contains(&p) && range.contains(&(p + got.data.len() - 1)),
+            "single-chunk delivery must alias the sender's payload buffer"
+        );
+    }
+
+    /// The zero-copy pin: every chunk's retransmit record holds a slice of
+    /// the *original* payload allocation — no payload byte is copied into
+    /// the reliability layer's buffers.
+    #[test]
+    fn retransmit_records_slice_original_payload() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep_direct(&f, &dir, 0);
+        let _b = ep_direct(&f, &dir, 1);
+        a.set_rendezvous_threshold(64);
+        a.set_rendezvous_chunk_bytes(128);
+        let mut ca = VClock::new();
+        let payload = Bytes::from((0..1000u32).map(|i| i as u8).collect::<Vec<u8>>());
+        let range = payload.as_ptr() as usize..payload.as_ptr() as usize + payload.len();
+        let req = a
+            .isend_world_bytes(&mut ca, Rank(1), 1, 1, payload.clone())
+            .unwrap();
+        assert!(matches!(req, Request::RndvSend { .. }));
+        a.push_pending_rendezvous(&mut ca);
+        let flow = a.out_flows.get(&Rank(1)).expect("reliable flow exists");
+        let seqs: Vec<u64> = (1..=flow.highest().unwrap()).collect();
+        let mut chunk_records = 0usize;
+        for (_seq, (_envelope, seg, _len, _vt, _tag)) in flow.select(&seqs) {
+            if seg.is_empty() {
+                continue; // the RTS record has no payload segment
+            }
+            let p = seg.as_ptr() as usize;
+            assert!(
+                range.contains(&p) && range.contains(&(p + seg.len() - 1)),
+                "retransmit segment must alias the original payload buffer"
+            );
+            chunk_records += 1;
+        }
+        assert_eq!(chunk_records, 8, "1000 B / 128 B chunks = 8 records");
+        // The parked payload itself is the caller's buffer, not a copy.
+        assert_eq!(payload.as_ptr(), {
+            let r = &a.pending_rndv_tx;
+            assert!(r.is_empty());
+            payload.as_ptr()
+        });
+    }
+
+    /// Stop-and-sync mid-pipeline: early chunks are on the wire, the CTS
+    /// never comes, and the checkpoint push (`DataMark` semantics) must
+    /// complete the partially-streamed transfer so channel capture sees the
+    /// whole payload.
+    #[test]
+    fn datamark_push_completes_partially_streamed_transfer() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep_direct(&f, &dir, 0);
+        let mut b = ep_direct(&f, &dir, 1);
+        a.set_rendezvous_threshold(64);
+        a.set_rendezvous_chunk_bytes(100);
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        let payload: Vec<u8> = (0..950u32).map(|i| (i * 3 % 251) as u8).collect();
+        let _req = a.isend_world(&mut ca, Rank(1), 1, 2, &payload).unwrap();
+        // The receiver has the placeholder with a partial reassembly; an
+        // unfulfilled transfer must not be captured.
+        let snap = b.snapshot_channel(&mut cb);
+        assert!(snap.is_empty(), "partial reassembly must not be captured");
+        assert_eq!(b.pending_count(), 1, "but it is pending (matchable)");
+        // Quiescence push: the remaining chunks leave without a CTS.
+        a.push_pending_rendezvous(&mut ca);
+        assert_eq!(a.pending_rendezvous(), 0);
+        let snap = b.snapshot_channel(&mut cb);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(&snap[0].1[..], &payload[..], "capture sees every chunk");
+    }
+
+    /// An empty rendezvous payload still completes: the sender ships one
+    /// empty chunk so the receiver observes an arrival.
+    #[test]
+    fn empty_rendezvous_payload_completes() {
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep_direct(&f, &dir, 0);
+        let mut b = ep_direct(&f, &dir, 1);
+        a.set_rendezvous_threshold(0); // everything goes rendezvous
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        let req = a.isend_world(&mut ca, Rank(1), 1, 4, b"").unwrap();
+        assert!(matches!(req, Request::RndvSend { .. }));
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let got = loop {
+            assert!(std::time::Instant::now() < deadline);
+            if let Some(m) = b.try_recv_world(&mut cb, 1, ANY_SOURCE, Some(4)).unwrap() {
+                break m;
+            }
+            while a.ingest_one(&mut ca, None).unwrap() {}
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert!(got.data.is_empty());
+        assert_eq!(a.pending_rendezvous(), 0);
+    }
+
+    /// Chunk-level loss, duplication and reordering on a pipelined transfer:
+    /// the reliability layer repairs individual chunks and the reassembly
+    /// is still byte-exact.
+    #[test]
+    fn pipelined_chunks_survive_chunk_level_faults() {
+        use starfish_util::NodeId;
+        use starfish_vni::LinkFault;
+        let (f, dir) = setup(2, "ideal");
+        let mut a = ep_direct(&f, &dir, 0);
+        let mut b = ep_direct(&f, &dir, 1);
+        a.set_rendezvous_threshold(64);
+        a.set_rendezvous_chunk_bytes(64);
+        let mut ca = VClock::new();
+        let mut cb = VClock::new();
+        f.set_link_fault(
+            NodeId(0),
+            NodeId(1),
+            LinkFault::seeded(21)
+                .drop(0.25)
+                .duplicate(0.25)
+                .reorder(0.3),
+        );
+        f.set_link_fault(NodeId(1), NodeId(0), LinkFault::seeded(22).drop(0.2));
+        let payload: Vec<u8> = (0..4000u32).map(|i| (i * 13 % 255) as u8).collect();
+        let req = a.isend_world(&mut ca, Rank(1), 1, 6, &payload).unwrap();
+        assert!(matches!(req, Request::RndvSend { .. }));
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let got = loop {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "chunked rendezvous did not survive chunk-level faults"
+            );
+            if let Some(m) = b
+                .try_recv_world(&mut cb, 1, Some(Rank(0)), Some(6))
+                .unwrap()
+            {
+                break m;
+            }
+            a.flush_reliable(&mut ca);
+            while a.ingest_one(&mut ca, None).unwrap() {}
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert_eq!(&got.data[..], &payload[..]);
+        assert_eq!(a.pending_rendezvous(), 0);
+        assert!(f.fault_stats().conserved());
     }
 
     /// A tracing sender talking to a peer with no recorder installed: the

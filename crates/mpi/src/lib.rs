@@ -35,6 +35,7 @@ pub mod directory;
 pub mod endpoint;
 pub mod reliability;
 pub mod replication;
+pub mod threshold;
 pub mod wire;
 
 pub use collectives::ReduceOp;
@@ -42,7 +43,8 @@ pub use comm::Comm;
 pub use directory::RankDirectory;
 pub use endpoint::{
     CtsCadence, MpiEndpoint, RecvMode, RecvdMsg, Request, ANY_SOURCE, ANY_TAG,
-    DEFAULT_RNDV_THRESHOLD, EAGER_CREDIT_BYTES,
+    DEFAULT_RNDV_THRESHOLD, EAGER_CREDIT_BYTES, RNDV_CHUNK_BYTES, RNDV_EARLY_CHUNKS,
 };
 pub use replication::{plan_push, replica_net, FragPath, FragXfer, PushSession};
+pub use threshold::{calibrate, measured_crossover, threshold_consistent, ThresholdCache};
 pub use wire::{MsgHeader, CTRL_CONTEXT, DATA_PORT_BASE, WORLD_CONTEXT};

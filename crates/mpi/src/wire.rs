@@ -31,8 +31,10 @@ pub fn data_port(app: AppId, world_rank: Rank) -> PortId {
 /// [`FLAG_RNDV_DATA`] message once the receiver grants a CTS.
 pub const FLAG_RNDV_RTS: u8 = 1 << 0;
 
-/// Header flag: the body is a rendezvous payload, prefixed with the `u64`
-/// transfer id of the RTS it answers.
+/// Header flag: the frame is one rendezvous DATA chunk. The header is
+/// followed by a [`RndvChunk`] descriptor; the chunk bytes ride in the
+/// packet's separate `payload` segment (zero-copy gather framing), or —
+/// for single-buffer frames — directly after the descriptor.
 pub const FLAG_RNDV_DATA: u8 = 1 << 1;
 
 /// The envelope prefixed to every data-path message.
@@ -154,6 +156,54 @@ impl MsgHeader {
             TraceCtx::NONE
         };
         Ok((header, framed.slice(Self::LEN + ext..), ctx))
+    }
+}
+
+/// The descriptor of one rendezvous DATA chunk.
+///
+/// A rendezvous payload is shipped as a pipeline of chunk frames. Each frame
+/// is a *two-segment* (gather) packet: the [`MsgHeader`] (with
+/// [`FLAG_RNDV_DATA`]) plus this 24-byte descriptor travel in the packet's
+/// `head` segment; the chunk bytes themselves are the packet's `payload`
+/// segment — a reference-counted slice of the sender's original buffer,
+/// never copied into the frame. The receiver reassembles chunks
+/// offset-addressed into one contiguous buffer (the transfer's single copy),
+/// so duplicates are idempotent and arrival order does not matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RndvChunk {
+    /// Transfer id of the RTS this chunk answers.
+    pub id: u64,
+    /// Byte offset of this chunk within the transfer.
+    pub offset: u64,
+    /// Total transfer size in bytes (every chunk repeats it, so a chunk
+    /// that overtakes its RTS still sizes the reassembly buffer).
+    pub total: u64,
+}
+
+impl RndvChunk {
+    pub const LEN: usize = 24;
+
+    pub fn encode(&self) -> [u8; Self::LEN] {
+        let mut buf = [0u8; Self::LEN];
+        buf[..8].copy_from_slice(&self.id.to_be_bytes());
+        buf[8..16].copy_from_slice(&self.offset.to_be_bytes());
+        buf[16..].copy_from_slice(&self.total.to_be_bytes());
+        buf
+    }
+
+    pub fn decode(body: &[u8]) -> Result<RndvChunk> {
+        if body.len() < Self::LEN {
+            return Err(starfish_util::Error::codec(format!(
+                "rendezvous chunk descriptor {} bytes, need {}",
+                body.len(),
+                Self::LEN
+            )));
+        }
+        Ok(RndvChunk {
+            id: u64::from_be_bytes(body[..8].try_into().expect("8 bytes")),
+            offset: u64::from_be_bytes(body[8..16].try_into().expect("8 bytes")),
+            total: u64::from_be_bytes(body[16..24].try_into().expect("8 bytes")),
+        })
     }
 }
 
@@ -347,6 +397,21 @@ mod tests {
         let (_, body) = MsgHeader::parse(&framed).unwrap();
         // Same backing allocation.
         assert_eq!(body.as_ptr(), framed[MsgHeader::LEN..].as_ptr());
+    }
+
+    #[test]
+    fn rndv_chunk_roundtrip() {
+        let c = RndvChunk {
+            id: 0x1122_3344_5566_7788,
+            offset: 128 * 1024,
+            total: 1 << 20,
+        };
+        assert_eq!(RndvChunk::decode(&c.encode()).unwrap(), c);
+        // Trailing bytes after the descriptor (single-buffer frames) are fine.
+        let mut buf = c.encode().to_vec();
+        buf.extend_from_slice(b"chunk-bytes");
+        assert_eq!(RndvChunk::decode(&buf).unwrap(), c);
+        assert!(RndvChunk::decode(&buf[..23]).is_err());
     }
 
     #[test]

@@ -124,22 +124,41 @@ fn main() -> ExitCode {
         );
     }
 
-    println!("== mpi: rendezvous ==");
-    for (transfers, drops, dups) in [(2, 2, 1), (3, 1, 0)] {
+    println!("== mpi: rendezvous (pipelined chunks) ==");
+    for (transfers, chunks, drops, dups) in [(2, 2, 2, 1), (2, 3, 1, 0)] {
         run(
-            &format!("rendezvous transfers={transfers} drops={drops} dups={dups}"),
+            &format!("rendezvous transfers={transfers} chunks={chunks} drops={drops} dups={dups}"),
             2,
             2,
             &RendezvousModel {
                 transfers,
+                chunks,
                 max_drops: drops,
                 max_dups: dups,
                 window: 8,
                 broken_cts: false,
+                datamark_push: false,
             },
             &mut failed,
         );
     }
+    // Crash-mid-chunk recovery: the grant path is dead and only the
+    // checkpoint DataMark push can release parked tails — must converge.
+    run(
+        "rendezvous datamark-push no-cts chunks=2",
+        2,
+        2,
+        &RendezvousModel {
+            transfers: 2,
+            chunks: 2,
+            max_drops: 1,
+            max_dups: 0,
+            window: 8,
+            broken_cts: true,
+            datamark_push: true,
+        },
+        &mut failed,
+    );
 
     // The known-bad configuration: raw datagrams lose messages. This one is
     // *expected* to produce a counterexample; it becomes the bridge plan.

@@ -1,23 +1,39 @@
 //! Exhaustive model of the MPI rendezvous protocol
-//! (RTS → CTS → DATA, [`starfish_mpi::endpoint`]) over the same lossy,
-//! reordering, duplicating wire the reliability model uses.
+//! (RTS → CTS → chunked DATA, [`starfish_mpi::endpoint`]) over the same
+//! lossy, reordering, duplicating wire the reliability model uses.
 //!
-//! Fidelity follows the deployed layering exactly. RTS and DATA are
+//! Fidelity follows the deployed layering exactly. RTS and DATA chunks are
 //! *sequenced* messages riding the real [`FlowTx`]/[`FlowRx`] machines —
-//! a lost RTS or DATA is repaired by the same Ping/Flush/NACK machinery as
-//! any data message, and in-order flow delivery is what guarantees a DATA
+//! a lost RTS or chunk is repaired by the same Ping/Flush/NACK machinery as
+//! any data message, and in-order flow delivery is what guarantees a chunk
 //! never reaches matching before its RTS placeholder. CTS is an
 //! *unsequenced* control message (the endpoint's `RelMsg::Cts`): it can be
 //! dropped or duplicated, and its only repair is the receiver's re-grant —
 //! modeled as the always-enabled `SendCts` action, mirroring the cadence
 //! re-grant a blocked receive performs.
 //!
+//! The payload is pipelined as `chunks` DATA frames per transfer. Chunk 0
+//! streams *optimistically* right behind the RTS — before any CTS — which
+//! is the model's one-chunk analogue of the endpoint's `RNDV_EARLY_CHUNKS`
+//! optimistic window, and is what makes the explorer cover every
+//! chunk-interleaved-with-CTS ordering (chunk 0 racing the grant in both
+//! directions). The tail chunks stay parked until a CTS arrives, so the
+//! grant path remains load-bearing. Crash-mid-chunk states — early chunk
+//! out or even delivered, tail still parked, any subset of frames dropped —
+//! are ordinary reachable states here, and the liveness pass proves each
+//! one converges. The `datamark_push` switch adds the recovery path that
+//! covers those states in the deployed system: `PushPending` models
+//! `push_pending_rendezvous` (the checkpoint `DataMark` re-push), blasting
+//! every parked tail without waiting for a grant.
+//!
 //! The safety invariant is MPI non-overtaking end to end: the application
-//! receives transfers in RTS (send) order, each exactly once. The liveness
-//! pass proves every reachable state can still converge to full delivery.
-//! The `broken_cts` mutation disables the grant path and must be caught as
-//! a livelock — the payload parks forever awaiting a CTS that never comes —
-//! proving the pass actually depends on the CTS machinery.
+//! receives transfers in RTS (send) order, each exactly once and fully
+//! reassembled. The liveness pass proves every reachable state can still
+//! converge to full delivery. The `broken_cts` mutation disables the grant
+//! path and must be caught as a livelock — the parked tail chunks can
+//! never leave — proving the pass actually depends on the CTS machinery;
+//! flipping `datamark_push` on top must restore convergence, proving the
+//! DataMark re-push alone can finish a transfer cut down mid-pipeline.
 
 use std::collections::BTreeSet;
 
@@ -30,8 +46,8 @@ use crate::explorer::Model;
 pub enum Msg {
     /// Request-to-send for transfer `id` (the parked payload's envelope).
     Rts(u64),
-    /// The pushed payload of transfer `id`.
-    Data(u64),
+    /// Pipelined payload chunk `c` of transfer `id`.
+    Data(u64, u8),
 }
 
 /// Model parameters.
@@ -39,6 +55,9 @@ pub enum Msg {
 pub struct RendezvousModel {
     /// Rendezvous transfers the sender starts (ids `1..=transfers`).
     pub transfers: u64,
+    /// DATA chunks per transfer (≥ 1). Chunk 0 streams optimistically with
+    /// the RTS; chunks `1..` park until a CTS (or a DataMark push).
+    pub chunks: u8,
     /// Wire drop budget (shared by the data and CTS paths).
     pub max_drops: u32,
     /// Wire duplication budget (shared by the data and CTS paths).
@@ -46,8 +65,13 @@ pub struct RendezvousModel {
     /// Retransmission window for [`FlowTx`]; must cover the in-flight span.
     pub window: usize,
     /// Mutation: the receiver never grants (or re-grants) a CTS. The
-    /// liveness pass must refuse this configuration.
+    /// liveness pass must refuse this configuration unless `datamark_push`
+    /// provides the recovery route.
     pub broken_cts: bool,
+    /// Enable the checkpoint-recovery push: `PushPending` re-pushes every
+    /// parked tail without a grant, exactly as `push_pending_rendezvous`
+    /// does when a `DataMark` effect replays after a crash mid-pipeline.
+    pub datamark_push: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -59,24 +83,25 @@ pub struct RndvState {
     wire: BTreeSet<(u64, Msg)>,
     /// Unsequenced CTS grants in flight, by transfer id.
     cts: BTreeSet<u64>,
-    /// Sender: transfers whose RTS left but whose payload is still parked.
+    /// Sender: transfers whose RTS (and early chunk) left but whose tail
+    /// chunks are still parked.
     pending: BTreeSet<u64>,
     /// Receiver matching queue in arrival (= send) order:
-    /// `(id, data_merged)`.
-    placeholders: Vec<(u64, bool)>,
+    /// `(id, chunks_merged)`.
+    placeholders: Vec<(u64, u8)>,
     /// Transfers the application has received, in match order.
     delivered: Vec<u64>,
     started: u64,
     drops_left: u32,
     dups_left: u32,
-    /// Protocol-impossible observation (e.g. DATA with no placeholder).
+    /// Protocol-impossible observation (e.g. a chunk with no placeholder).
     poison: Option<String>,
 }
 
 #[derive(Clone, Debug)]
 pub enum RndvAction {
-    /// Sender starts the next transfer: RTS committed to the flow, payload
-    /// parked.
+    /// Sender starts the next transfer: RTS and the optimistic chunk 0
+    /// committed to the flow, tail chunks parked.
     Start,
     /// Wire delivers sequenced packet `seq` (consuming it).
     Deliver(u64),
@@ -86,47 +111,48 @@ pub enum RndvAction {
     Drop(u64),
     /// Receiver grants (or re-grants) transfer `id`.
     SendCts(u64),
-    /// Wire delivers the CTS for `id`; the sender pushes DATA (or ignores
-    /// a duplicate grant).
+    /// Wire delivers the CTS for `id`; the sender pushes the tail chunks
+    /// (or ignores a duplicate grant).
     DeliverCts(u64),
     /// Wire duplicates the CTS for `id`.
     DuplicateCts(u64),
     /// Wire drops the CTS for `id` (repair: the receiver re-grants).
     DropCts(u64),
+    /// Checkpoint recovery: every parked tail is pushed without a grant
+    /// (`push_pending_rendezvous` replaying a `DataMark`).
+    PushPending,
     /// Receiver's cumulative ack reaches the sender; unacked retransmit.
     Ping,
     /// Sender's tail-loss probe: receiver NACKs gaps, sender resends.
     Flush,
-    /// Application matches the head of the queue (only once its DATA has
-    /// merged — non-overtaking never lets a later transfer jump it).
+    /// Application matches the head of the queue (only once every chunk
+    /// has merged — non-overtaking never lets a later transfer jump it).
     Receive,
 }
 
 impl RendezvousModel {
-    /// Sender side of a CTS arrival: push DATA for a still-parked transfer,
-    /// ignore a duplicate grant.
-    fn grant(&self, s: &mut RndvState, id: u64) {
+    /// Sender side of releasing a parked tail: push chunks `1..chunks` for
+    /// a still-parked transfer, ignore a transfer already fully streamed
+    /// (duplicate grant, or a grant racing a DataMark push).
+    fn release_tail(&self, s: &mut RndvState, id: u64) {
         if s.pending.remove(&id) {
-            let seq = s.tx.peek_seq();
-            s.tx.commit(seq, Msg::Data(id));
-            s.wire.insert((seq, Msg::Data(id)));
+            for c in 1..self.chunks {
+                let seq = s.tx.peek_seq();
+                s.tx.commit(seq, Msg::Data(id, c));
+                s.wire.insert((seq, Msg::Data(id, c)));
+            }
         }
     }
 
     /// Receiver side of an in-order flow delivery.
     fn deliver_msg(&self, s: &mut RndvState, m: Msg) {
         match m {
-            Msg::Rts(id) => s.placeholders.push((id, false)),
-            Msg::Data(id) => {
-                match s
-                    .placeholders
-                    .iter_mut()
-                    .find(|(p, merged)| *p == id && !*merged)
-                {
-                    Some(entry) => entry.1 = true,
-                    None => s.poison = Some(format!("DATA {id} arrived with no RTS placeholder")),
-                }
-            }
+            Msg::Rts(id) => s.placeholders.push((id, 0)),
+            Msg::Data(id, c) => match s.placeholders.iter_mut().find(|(p, _)| *p == id) {
+                Some((_, merged)) if *merged < self.chunks => *merged += 1,
+                Some(_) => s.poison = Some(format!("chunk {id}.{c} arrived after full reassembly")),
+                None => s.poison = Some(format!("chunk {id}.{c} arrived with no RTS placeholder")),
+            },
         }
     }
 
@@ -154,6 +180,7 @@ impl Model for RendezvousModel {
     type Action = RndvAction;
 
     fn init(&self) -> Vec<RndvState> {
+        assert!(self.chunks >= 1, "a transfer is at least one chunk");
         vec![RndvState {
             tx: FlowTx::new(self.window),
             rx: FlowRx::new(),
@@ -185,7 +212,7 @@ impl Model for RendezvousModel {
         }
         if !self.broken_cts {
             for &(id, merged) in &s.placeholders {
-                if !merged {
+                if merged < self.chunks {
                     acts.push(RndvAction::SendCts(id));
                 }
             }
@@ -199,11 +226,14 @@ impl Model for RendezvousModel {
                 acts.push(RndvAction::DropCts(id));
             }
         }
+        if self.datamark_push && !s.pending.is_empty() {
+            acts.push(RndvAction::PushPending);
+        }
         if s.started > 0 {
             acts.push(RndvAction::Ping);
             acts.push(RndvAction::Flush);
         }
-        if matches!(s.placeholders.first(), Some((_, true))) {
+        if matches!(s.placeholders.first(), Some(&(_, m)) if m == self.chunks) {
             acts.push(RndvAction::Receive);
         }
         acts
@@ -218,7 +248,14 @@ impl Model for RendezvousModel {
                 let seq = s.tx.peek_seq();
                 s.tx.commit(seq, Msg::Rts(id));
                 s.wire.insert((seq, Msg::Rts(id)));
-                s.pending.insert(id);
+                // Chunk 0 streams optimistically right behind the RTS —
+                // the RNDV_EARLY_CHUNKS analogue. Only the tail parks.
+                let seq = s.tx.peek_seq();
+                s.tx.commit(seq, Msg::Data(id, 0));
+                s.wire.insert((seq, Msg::Data(id, 0)));
+                if self.chunks > 1 {
+                    s.pending.insert(id);
+                }
             }
             RndvAction::Deliver(seq) => {
                 if let Some(&(q, m)) = s.wire.iter().find(|(q, _)| q == seq) {
@@ -243,15 +280,21 @@ impl Model for RendezvousModel {
             }
             RndvAction::DeliverCts(id) => {
                 s.cts.remove(id);
-                self.grant(&mut s, *id);
+                self.release_tail(&mut s, *id);
             }
             RndvAction::DuplicateCts(id) => {
                 s.dups_left -= 1;
-                self.grant(&mut s, *id);
+                self.release_tail(&mut s, *id);
             }
             RndvAction::DropCts(id) => {
                 s.cts.remove(id);
                 s.drops_left -= 1;
+            }
+            RndvAction::PushPending => {
+                let parked: Vec<u64> = s.pending.iter().copied().collect();
+                for id in parked {
+                    self.release_tail(&mut s, id);
+                }
             }
             RndvAction::Ping => {
                 let resend = s.tx.on_ping(s.rx.next_expected());
@@ -274,9 +317,11 @@ impl Model for RendezvousModel {
                 }
             }
             RndvAction::Receive => {
-                if let Some((id, true)) = s.placeholders.first().copied() {
-                    s.placeholders.remove(0);
-                    s.delivered.push(id);
+                if let Some(&(id, merged)) = s.placeholders.first() {
+                    if merged == self.chunks {
+                        s.placeholders.remove(0);
+                        s.delivered.push(id);
+                    }
                 }
             }
         }
@@ -289,13 +334,20 @@ impl Model for RendezvousModel {
         }
         // Non-overtaking + exactly-once at every state: the application's
         // receive stream is the exact in-order prefix 1..=k of the send
-        // stream, whatever the wire and the grant path have done so far.
+        // stream, whatever the wire, the chunk pipeline and the grant path
+        // have done so far.
         for (i, id) in s.delivered.iter().enumerate() {
             if *id != i as u64 + 1 {
                 return Err(format!(
                     "receive stream corrupt at position {i}: {:?}",
                     s.delivered
                 ));
+            }
+        }
+        // A placeholder can never merge more chunks than the transfer has.
+        for &(id, merged) in &s.placeholders {
+            if merged > self.chunks {
+                return Err(format!("transfer {id} over-merged: {merged} chunks"));
             }
         }
         Ok(())
@@ -316,53 +368,107 @@ mod tests {
     use super::*;
     use crate::explorer::{explore, Options, ViolationKind};
 
-    /// Two overlapping transfers over a wire that may drop, duplicate and
-    /// reorder both the sequenced path and the CTS path: non-overtaking
-    /// and exactly-once must hold in every reachable state, and every
-    /// reachable state must still be able to converge.
+    /// Two overlapping two-chunk transfers over a wire that may drop,
+    /// duplicate and reorder both the sequenced path and the CTS path.
+    /// Chunk 0 races its own CTS in every ordering (delivered before the
+    /// grant leaves, after it, interleaved between grants of different
+    /// transfers), and any individual chunk can be the one dropped.
+    /// Non-overtaking, exactly-once and full reassembly must hold in
+    /// every reachable state, and every reachable state must still be
+    /// able to converge.
     #[test]
     fn rendezvous_survives_loss_reorder_dup() {
         let m = RendezvousModel {
             transfers: 2,
+            chunks: 2,
             max_drops: 2,
             max_dups: 1,
             window: 8,
             broken_cts: false,
+            datamark_push: false,
         };
         let r = explore(&m, Options::default());
         assert!(r.clean(), "{:?}", r.violation);
         assert!(r.states > 500, "nontrivial space expected: {}", r.states);
     }
 
-    /// The mutation test: disable the CTS grant path and the parked
-    /// payload can never leave — the liveness pass must report a livelock.
-    /// This proves convergence genuinely depends on the CTS machinery
-    /// rather than holding vacuously.
+    /// The mutation test: disable the CTS grant path and the parked tail
+    /// chunk can never leave — the liveness pass must report a livelock.
+    /// The optimistic chunk 0 still streams (that's the point: a transfer
+    /// cut down mid-pipeline), so this proves convergence genuinely
+    /// depends on the CTS machinery rather than holding vacuously.
     #[test]
     fn broken_cts_fails_liveness() {
         let m = RendezvousModel {
             transfers: 1,
+            chunks: 2,
             max_drops: 0,
             max_dups: 0,
             window: 8,
             broken_cts: true,
+            datamark_push: false,
         };
         let r = explore(&m, Options::default());
-        let v = r.violation.expect("no CTS means the payload never leaves");
+        let v = r.violation.expect("no CTS means the tail never leaves");
         assert_eq!(v.kind, ViolationKind::Livelock, "{v:?}");
     }
 
-    /// A duplicated CTS must be idempotent at the sender: the payload
-    /// leaves once, the second grant is ignored. Covered by the clean
-    /// sweep above, but pin the smallest configuration that exercises it.
+    /// Crash-mid-chunk recovery: with the grant path still broken, the
+    /// DataMark push (`push_pending_rendezvous`) must be enough to finish
+    /// every transfer — chunk 0 already streamed, the tail arrives via
+    /// `PushPending`, and the receiver reassembles without ever granting.
+    /// Together with `broken_cts_fails_liveness` this isolates exactly
+    /// which mechanism restores liveness after a checkpoint replay.
+    #[test]
+    fn datamark_push_restores_liveness_without_cts() {
+        let m = RendezvousModel {
+            transfers: 2,
+            chunks: 2,
+            max_drops: 1,
+            max_dups: 0,
+            window: 8,
+            broken_cts: true,
+            datamark_push: true,
+        };
+        let r = explore(&m, Options::default());
+        assert!(r.clean(), "{:?}", r.violation);
+    }
+
+    /// A duplicated CTS must be idempotent at the sender: the tail leaves
+    /// once, the second grant is ignored. With the DataMark push enabled
+    /// as well, a grant racing a push is the same idempotence check from
+    /// the other side. Covered by the clean sweep above, but pin the
+    /// smallest configuration that exercises it.
     #[test]
     fn duplicate_cts_is_idempotent() {
         let m = RendezvousModel {
             transfers: 1,
+            chunks: 2,
             max_drops: 0,
             max_dups: 2,
             window: 8,
             broken_cts: false,
+            datamark_push: true,
+        };
+        let r = explore(&m, Options::default());
+        assert!(r.clean(), "{:?}", r.violation);
+    }
+
+    /// A single-chunk transfer degenerates to the optimistic path: the
+    /// whole payload streams behind the RTS and no CTS is ever needed —
+    /// even with the grant path broken, delivery converges. This pins the
+    /// model's RNDV_EARLY_CHUNKS analogue (and matches the endpoint,
+    /// where a transfer within the early-chunk window never parks).
+    #[test]
+    fn single_chunk_needs_no_cts() {
+        let m = RendezvousModel {
+            transfers: 2,
+            chunks: 1,
+            max_drops: 1,
+            max_dups: 1,
+            window: 8,
+            broken_cts: true,
+            datamark_push: false,
         };
         let r = explore(&m, Options::default());
         assert!(r.clean(), "{:?}", r.violation);

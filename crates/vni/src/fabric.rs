@@ -64,7 +64,7 @@ use starfish_telemetry::{metric, Registry};
 use starfish_util::rng::DetRng;
 use starfish_util::{Error, NodeId, Result, VirtualTime};
 
-use crate::inbox::{Inbox, Pop};
+use crate::inbox::{Inbox, Pop, PopBatch};
 use crate::models::{LayerCosts, NetworkModel};
 use crate::packet::{Addr, Packet, PortId};
 
@@ -813,6 +813,24 @@ impl Port {
         } else {
             Ok(batch)
         }
+    }
+
+    /// Batched receive with a real-time deadline: waits for the first
+    /// packet, then returns up to `max` packets drained in one inbox lock
+    /// acquisition. `Ok(vec![])` on timeout; [`Error::Closed`] once the
+    /// port is closed and drained.
+    pub fn recv_batch_timeout(&self, max: usize, d: Duration) -> Result<Vec<Packet>> {
+        match self.inbox.pop_batch_timeout(max, d) {
+            PopBatch::Packets(b) => Ok(b),
+            PopBatch::TimedOut => Ok(Vec::new()),
+            PopBatch::Closed => Err(Error::closed(format!("port {} closed", self.addr))),
+        }
+    }
+
+    /// Non-blocking batched receive: up to `max` packets in one inbox lock
+    /// acquisition (empty when nothing is queued).
+    pub fn try_recv_batch(&self, max: usize) -> Vec<Packet> {
+        self.inbox.try_pop_batch(max)
     }
 
     /// Non-blocking receive; `Ok(None)` when no packet is waiting.

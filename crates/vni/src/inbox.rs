@@ -37,6 +37,14 @@ pub enum Pop {
     TimedOut,
 }
 
+/// Outcome of a blocking batched pop.
+pub enum PopBatch {
+    /// At least one packet (never an empty vector).
+    Packets(Vec<Packet>),
+    Closed,
+    TimedOut,
+}
+
 struct InboxState {
     packets: VecDeque<Packet>,
     closed: bool,
@@ -138,6 +146,37 @@ impl Inbox {
                 None => self.cond.wait(&mut g),
             }
         }
+    }
+
+    /// Like [`pop_batch_wait`](Self::pop_batch_wait), but bounded by a
+    /// real-time `timeout`: a pipelined burst is still drained in one lock
+    /// acquisition, and an idle wait surfaces as [`PopBatch::TimedOut`]
+    /// instead of blocking forever.
+    pub fn pop_batch_timeout(&self, max: usize, timeout: Duration) -> PopBatch {
+        let start = std::time::Instant::now(); // lint: allow(wall-clock)
+        let mut g = self.q.lock();
+        loop {
+            if !g.packets.is_empty() {
+                let take = g.packets.len().min(max.max(1));
+                return PopBatch::Packets(g.packets.drain(..take).collect());
+            }
+            if g.closed {
+                return PopBatch::Closed;
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= timeout {
+                return PopBatch::TimedOut;
+            }
+            self.cond.wait_for(&mut g, timeout - elapsed);
+        }
+    }
+
+    /// Non-blocking batched pop: take up to `max` queued packets in one lock
+    /// acquisition. An empty result means nothing was queued (closed or not).
+    pub fn try_pop_batch(&self, max: usize) -> Vec<Packet> {
+        let mut g = self.q.lock();
+        let take = g.packets.len().min(max.max(1));
+        g.packets.drain(..take).collect()
     }
 
     /// Blocking batched pop: wait for the first packet, then take up to

@@ -29,7 +29,7 @@ pub mod packet;
 pub mod polling;
 
 pub use fabric::{Fabric, FabricEvent, FaultStats, LinkFault, NodeStatus, Port};
-pub use inbox::{Inbox, Pop};
+pub use inbox::{Inbox, Pop, PopBatch};
 pub use models::{BipMyrinet, Ideal, LayerCosts, NetKind, NetworkModel, ServerNetVia, TcpEthernet};
 pub use packet::{Addr, Packet, PacketKind, PortId, DAEMON_PORT};
 pub use polling::{PollingThread, RecvQueue};

@@ -73,6 +73,12 @@ pub struct Packet {
     pub kind: PacketKind,
     /// Protocol-specific discriminator (MPI tag, control opcode, ...).
     pub tag: u64,
+    /// Optional scatter/gather envelope segment, delivered logically *before*
+    /// `payload`. Empty for ordinary single-segment packets. The rendezvous
+    /// DATA path frames its header + chunk descriptor here so `payload` can
+    /// stay a zero-copy slice of the sender's original buffer — the two
+    /// segments are never concatenated on the send side.
+    pub head: Bytes,
     pub payload: Bytes,
     /// Payload size used by the network model's bandwidth term. Defaults to
     /// the real payload length; protocol layers with their own envelopes set
@@ -96,6 +102,31 @@ impl Packet {
             dst,
             kind,
             tag,
+            head: Bytes::new(),
+            payload,
+            model_len,
+            depart_vt: VirtualTime::ZERO,
+            arrive_vt: VirtualTime::ZERO,
+        }
+    }
+
+    /// Two-segment (gather) packet: `head` carries the protocol envelope,
+    /// `payload` the body. Neither segment is copied.
+    pub fn gather(
+        src: Addr,
+        dst: Addr,
+        kind: PacketKind,
+        tag: u64,
+        head: Bytes,
+        payload: Bytes,
+    ) -> Self {
+        let model_len = head.len() + payload.len();
+        Packet {
+            src,
+            dst,
+            kind,
+            tag,
+            head,
             payload,
             model_len,
             depart_vt: VirtualTime::ZERO,
@@ -104,11 +135,11 @@ impl Packet {
     }
 
     pub fn len(&self) -> usize {
-        self.payload.len()
+        self.head.len() + self.payload.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.payload.is_empty()
+        self.head.is_empty() && self.payload.is_empty()
     }
 }
 
@@ -121,6 +152,27 @@ mod tests {
         let a = Addr::new(NodeId(2), PortId(5));
         assert_eq!(format!("{a}"), "n2:5");
         assert_eq!(Addr::daemon(NodeId(2)).port, DAEMON_PORT);
+    }
+
+    #[test]
+    fn gather_packet_shares_both_segments() {
+        let head = Bytes::from(vec![1u8; 48]);
+        let payload = Bytes::from(vec![7u8; 4096]);
+        let p = Packet::gather(
+            Addr::daemon(NodeId(0)),
+            Addr::daemon(NodeId(1)),
+            PacketKind::Data,
+            3,
+            head.clone(),
+            payload.clone(),
+        );
+        assert_eq!(p.head.as_ptr(), head.as_ptr());
+        assert_eq!(p.payload.as_ptr(), payload.as_ptr());
+        assert_eq!(p.len(), 48 + 4096);
+        assert_eq!(p.model_len, 48 + 4096);
+        let q = p.clone();
+        assert_eq!(q.head.as_ptr(), head.as_ptr());
+        assert_eq!(q.payload.as_ptr(), payload.as_ptr());
     }
 
     #[test]

@@ -107,6 +107,44 @@ impl RecvQueue {
         self.len() == 0
     }
 
+    /// Remove and return up to `max` packets from the front of the queue in
+    /// one lock acquisition (empty when nothing is queued). The MPI module's
+    /// ingest loop drains pipelined rendezvous bursts through here so a
+    /// burst costs one lock hop, not one per frame.
+    pub fn take_batch(&self, max: usize) -> Vec<Packet> {
+        let mut g = self.inner.q.lock();
+        let take = g.packets.len().min(max.max(1));
+        let batch: Vec<Packet> = g.packets.drain(..take).collect();
+        if !batch.is_empty() {
+            g.publish_depth();
+        }
+        batch
+    }
+
+    /// Block until at least one packet is available (or `deadline` passes),
+    /// then remove and return up to `max` packets in one lock acquisition.
+    /// `Ok(vec![])` means the wait timed out with nothing queued.
+    pub fn wait_batch(&self, max: usize, deadline: Duration) -> Result<Vec<Packet>> {
+        let start = std::time::Instant::now(); // lint: allow(wall-clock)
+        let mut g = self.inner.q.lock();
+        loop {
+            if !g.packets.is_empty() {
+                let take = g.packets.len().min(max.max(1));
+                let batch: Vec<Packet> = g.packets.drain(..take).collect();
+                g.publish_depth();
+                return Ok(batch);
+            }
+            if g.closed {
+                return Err(Error::closed("receive queue closed"));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return Ok(Vec::new());
+            }
+            self.inner.cond.wait_for(&mut g, deadline - elapsed);
+        }
+    }
+
     /// Remove and return the first packet matching `pred`, without blocking.
     pub fn take_matching(&self, mut pred: impl FnMut(&Packet) -> bool) -> Option<Packet> {
         let mut g = self.inner.q.lock();

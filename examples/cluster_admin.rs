@@ -75,9 +75,10 @@ fn main() -> Result<()> {
     // Per-app store policy (DESIGN.md §6a): this job's images live in peer
     // memory at k=2 instead of the modeled disk; CKPT STATUS shows per-rank
     // fragment placement and replication health. n5 was only *registered*
-    // above (no daemon runs there in this in-process harness — see DESIGN.md
-    // §7), so keep it out of the scheduler before submitting.
-    say(&mut admin, "DISABLE n5");
+    // above (no daemon runs there in this in-process harness) — scheduling
+    // and the replica ring are gated on daemon self-announce (DESIGN.md §7),
+    // so the unannounced n5 stays enabled in NODES yet receives no ranks
+    // and holds no fragments.
     say(
         &mut alice,
         "SUBMIT soak 2 POLICY restart LEVEL vm PROTO sync STORE replica:2",
