@@ -1,37 +1,76 @@
 #!/usr/bin/env python3
-"""Gate on the fabric microbench report (BENCH_fabric.json).
+"""Gate on the committed benchmark reports (BENCH_*.json).
 
-Two modes, keyed off the report's own "quick" flag:
+One gate, four report kinds — dispatched on the report's own "bench"
+field:
 
-* quick mode (CI smoke runs, BENCH_QUICK=1): numbers are noisy throwaways,
-  so only the schema is enforced — the report must exist, parse, and carry
-  every required field with sane types. A panic or regressed plumbing in
-  the bench shows up here; slow CI containers do not.
+* fabric (BENCH_fabric.json) — schema, plus in full mode the measured
+  eager/rendezvous crossover and a 25% ns/msg regression gate against the
+  committed baseline (--baseline).
+* ckpt (BENCH_ckpt.json) — schema, plus in full mode the headline claim:
+  replica recovery beats the modeled disk at every swept size.
+* trace_overhead (BENCH_trace.json) — schema, plus the per-event budget
+  flag the bench computed (this report has no quick mode; its numbers are
+  only committed from quiet full runs).
+* events (BENCH_events.json) — schema, plus in full mode the publish
+  budget: the event bus must stay under its ns-scale per-publish budget
+  or the always-on forensics layer is too expensive.
+
+Two modes, keyed off the report's "quick" flag (absent == full):
+
+* quick mode (CI smoke runs, BENCH_QUICK=1): numbers are noisy
+  throwaways, so only the schema is enforced — the report must exist,
+  parse, and carry every required field with sane types. A panic or
+  regressed plumbing in the bench shows up here; slow CI containers
+  do not.
 
 * full mode (the committed reference run, or a local quiet-box run): the
-  numbers are the point. The gate fails if the run did not measure a real
-  eager/rendezvous crossover (crossover_measured must be true with a
-  finite crossover_bytes — the zero-copy pipeline regressing back to
-  never-beats-eager is exactly the bug this catches), or if ns_per_msg
-  regressed more than 25% against the committed baseline at any swept
-  size, for either protocol.
+  numbers are the point, and the kind-specific judgments above apply.
 
-Usage: check_bench.py <fresh-report.json> [--baseline <committed.json>]
+Usage: check_bench.py <report.json> [--baseline <committed.json>]
 """
 
 import argparse
 import json
 import sys
 
-REQUIRED_FIELDS = [
-    "bench",
-    "quick",
-    "ping_pong_one_way_ns",
-    "contention_pkts_per_sec",
-    "eager_vs_rendezvous_ns_per_msg",
-    "crossover_measured",
-    "default_rendezvous_threshold",
-]
+REQUIRED_FIELDS = {
+    "fabric": [
+        "bench",
+        "quick",
+        "ping_pong_one_way_ns",
+        "contention_pkts_per_sec",
+        "eager_vs_rendezvous_ns_per_msg",
+        "crossover_measured",
+        "default_rendezvous_threshold",
+    ],
+    "ckpt": [
+        "bench",
+        "quick",
+        "k",
+        "nodes",
+        "recovery_ns",
+        "replica_recovery_beats_disk",
+        "store_ops_wallclock",
+    ],
+    "trace_overhead": [
+        "bench",
+        "events_per_case",
+        "budget_ns_per_event",
+        "within_budget",
+        "cases",
+    ],
+    "events": [
+        "bench",
+        "quick",
+        "publish_ns",
+        "publish_budget_ns",
+        "publish_within_budget",
+        "fanout_ns_per_event",
+        "overflow_publish_ns",
+        "overflow_drops_accounted",
+    ],
+}
 
 REGRESSION_TOLERANCE = 1.25
 
@@ -49,52 +88,103 @@ def load(path):
         fail(f"{path}: {e}")
 
 
+def check_positive_number_map(m, path, what):
+    """A non-empty {label: positive number} map."""
+    if not isinstance(m, dict) or not m:
+        fail(f"{path}: empty {what}")
+    for key, v in m.items():
+        if not isinstance(v, (int, float)) or v <= 0:
+            fail(f"{path}: {what}[{key}] = {v!r} is not a positive number")
+
+
 def check_schema(r, path):
-    for field in REQUIRED_FIELDS:
+    kind = r.get("bench")
+    if kind not in REQUIRED_FIELDS:
+        fail(f"{path}: unknown bench kind {kind!r} (expected one of {sorted(REQUIRED_FIELDS)})")
+    for field in REQUIRED_FIELDS[kind]:
         if field not in r:
             fail(f"{path}: missing field {field!r}")
-    if r["bench"] != "fabric":
-        fail(f"{path}: bench is {r['bench']!r}, expected 'fabric'")
-    sweep = r["eager_vs_rendezvous_ns_per_msg"]
-    if not isinstance(sweep, dict) or not sweep:
-        fail(f"{path}: empty eager_vs_rendezvous_ns_per_msg sweep")
-    for size, row in sweep.items():
-        if not str(size).isdigit():
-            fail(f"{path}: non-numeric sweep size {size!r}")
-        for proto in ("eager", "rendezvous"):
-            v = row.get(proto)
-            if not isinstance(v, (int, float)) or v <= 0:
-                fail(f"{path}: sweep[{size}].{proto} = {v!r} is not a positive number")
+
+    if kind == "fabric":
+        sweep = r["eager_vs_rendezvous_ns_per_msg"]
+        if not isinstance(sweep, dict) or not sweep:
+            fail(f"{path}: empty eager_vs_rendezvous_ns_per_msg sweep")
+        for size, row in sweep.items():
+            if not str(size).isdigit():
+                fail(f"{path}: non-numeric sweep size {size!r}")
+            for proto in ("eager", "rendezvous"):
+                v = row.get(proto)
+                if not isinstance(v, (int, float)) or v <= 0:
+                    fail(f"{path}: sweep[{size}].{proto} = {v!r} is not a positive number")
+    elif kind == "ckpt":
+        rec = r["recovery_ns"]
+        if not isinstance(rec, dict) or not rec:
+            fail(f"{path}: empty recovery_ns sweep")
+        for size, row in rec.items():
+            if not str(size).isdigit():
+                fail(f"{path}: non-numeric image size {size!r}")
+            for leg in ("disk_write", "replica_push", "disk_read", "replica_fetch"):
+                v = row.get(leg) if isinstance(row, dict) else None
+                if not isinstance(v, (int, float)) or v <= 0:
+                    fail(f"{path}: recovery_ns[{size}].{leg} = {v!r} is not a positive number")
+    elif kind == "trace_overhead":
+        check_positive_number_map(r["cases"], path, "cases")
+    elif kind == "events":
+        check_positive_number_map(r["fanout_ns_per_event"], path, "fanout_ns_per_event")
+        for subs in r["fanout_ns_per_event"]:
+            if not str(subs).isdigit():
+                fail(f"{path}: non-numeric subscriber count {subs!r}")
 
 
 def check_full(fresh, baseline, fresh_path):
-    if not fresh["crossover_measured"]:
-        fail(
-            f"{fresh_path}: full-mode run reports crossover_measured: false — "
-            "the rendezvous path no longer beats eager at any swept size"
-        )
-    if not isinstance(fresh.get("crossover_bytes"), int):
-        fail(f"{fresh_path}: crossover_measured is true but crossover_bytes is not an integer")
-    if baseline is None:
-        return
-    base_sweep = baseline["eager_vs_rendezvous_ns_per_msg"]
-    fresh_sweep = fresh["eager_vs_rendezvous_ns_per_msg"]
-    for size in sorted(base_sweep, key=int):
-        if size not in fresh_sweep:
-            fail(f"{fresh_path}: swept size {size} present in baseline but missing from fresh run")
-        for proto in ("eager", "rendezvous"):
-            base, got = base_sweep[size][proto], fresh_sweep[size][proto]
-            if got > base * REGRESSION_TOLERANCE:
-                fail(
-                    f"{fresh_path}: {proto} ns/msg at {size} B regressed "
-                    f"{got / base:.2f}x vs committed baseline ({base} -> {got}, "
-                    f"tolerance {REGRESSION_TOLERANCE}x)"
-                )
+    kind = fresh["bench"]
+    if kind == "fabric":
+        if not fresh["crossover_measured"]:
+            fail(
+                f"{fresh_path}: full-mode run reports crossover_measured: false — "
+                "the rendezvous path no longer beats eager at any swept size"
+            )
+        if not isinstance(fresh.get("crossover_bytes"), int):
+            fail(f"{fresh_path}: crossover_measured is true but crossover_bytes is not an integer")
+        if baseline is None:
+            return
+        base_sweep = baseline["eager_vs_rendezvous_ns_per_msg"]
+        fresh_sweep = fresh["eager_vs_rendezvous_ns_per_msg"]
+        for size in sorted(base_sweep, key=int):
+            if size not in fresh_sweep:
+                fail(f"{fresh_path}: swept size {size} present in baseline but missing from fresh run")
+            for proto in ("eager", "rendezvous"):
+                base, got = base_sweep[size][proto], fresh_sweep[size][proto]
+                if got > base * REGRESSION_TOLERANCE:
+                    fail(
+                        f"{fresh_path}: {proto} ns/msg at {size} B regressed "
+                        f"{got / base:.2f}x vs committed baseline ({base} -> {got}, "
+                        f"tolerance {REGRESSION_TOLERANCE}x)"
+                    )
+    elif kind == "ckpt":
+        if not fresh["replica_recovery_beats_disk"]:
+            fail(
+                f"{fresh_path}: replica_recovery_beats_disk is false — the diskless "
+                "store lost to the modeled 1999 disk at some swept size"
+            )
+    elif kind == "trace_overhead":
+        if not fresh["within_budget"]:
+            fail(
+                f"{fresh_path}: within_budget is false — tracing exceeds "
+                f"{fresh['budget_ns_per_event']} ns/event"
+            )
+    elif kind == "events":
+        if not fresh["publish_within_budget"]:
+            fail(
+                f"{fresh_path}: publish_within_budget is false — event publish "
+                f"({fresh['publish_ns']} ns) exceeds the "
+                f"{fresh['publish_budget_ns']} ns always-on budget"
+            )
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("report", help="fresh BENCH_fabric.json to gate on")
+    ap.add_argument("report", help="fresh BENCH_*.json to gate on")
     ap.add_argument(
         "--baseline",
         help="committed reference report; enables the 25%% regression gate in full mode",
@@ -103,18 +193,21 @@ def main():
 
     fresh = load(args.report)
     check_schema(fresh, args.report)
-    if fresh["quick"]:
-        print(f"BENCH GATE: {args.report} quick mode — schema ok, numbers not judged")
+    kind = fresh["bench"]
+    if fresh.get("quick", False):
+        print(f"BENCH GATE: {args.report} [{kind}] quick mode — schema ok, numbers not judged")
         return
     baseline = None
     if args.baseline:
         baseline = load(args.baseline)
         check_schema(baseline, args.baseline)
-        if baseline["quick"]:
+        if baseline["bench"] != kind:
+            fail(f"{args.baseline}: baseline is {baseline['bench']!r}, report is {kind!r}")
+        if baseline.get("quick", False):
             fail(f"{args.baseline}: the committed baseline must be a full-mode run")
     check_full(fresh, baseline, args.report)
-    mode = "crossover + regression" if baseline else "crossover"
-    print(f"BENCH GATE: {args.report} full mode — {mode} checks passed")
+    mode = "full + baseline regression" if baseline else "full"
+    print(f"BENCH GATE: {args.report} [{kind}] {mode} checks passed")
 
 
 if __name__ == "__main__":

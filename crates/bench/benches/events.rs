@@ -1,0 +1,159 @@
+//! Event-bus overhead benchmark: what the recovery-forensics layer costs
+//! on the hot path. Results go to `BENCH_events.json` at the workspace
+//! root so the observability tax shows up in review diffs.
+//!
+//! The bus sits on every daemon between the ordered cast stream and the
+//! management sessions, so the numbers that matter are all wall-clock:
+//!
+//! * **publish** — appending one `ClusterEvent` to the bounded ring. This
+//!   runs inline under the daemon's ensemble lock, so it carries an
+//!   explicit budget: under a microsecond per event, or the forensics
+//!   layer is too expensive to leave always-on.
+//! * **fan-out** — `n` management subscriptions draining the same ring
+//!   through [`EventCursor::poll`]; cursors share the ring, so cost per
+//!   delivered event should stay flat as subscribers are added.
+//! * **overflow** — publishing far past capacity, to price the drop
+//!   accounting (`EVENT! missed <n>` is bookkeeping, not free memory).
+//!
+//! `BENCH_QUICK=1` shrinks iteration counts for the CI smoke job.
+
+use std::time::Instant;
+
+use starfish_bench::report;
+use starfish_events::{EventBus, EventKind};
+use starfish_util::{AppId, NodeId, Rank, VirtualTime};
+
+/// Per-publish budget: the bus must stay cheap enough to run always-on
+/// inside the daemon's ordered-delivery path.
+const PUBLISH_BUDGET_NS: u64 = 1_000;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// A representative event mix: the commit record is the common case, the
+/// respawn record is the fattest fixed-size variant.
+fn kind(i: u64) -> EventKind {
+    if i.is_multiple_of(4) {
+        EventKind::RecoveryRespawn {
+            app: AppId(1),
+            rank: Rank((i % 16) as u32),
+            node: NodeId((i % 8) as u32),
+        }
+    } else {
+        EventKind::CkptCommit {
+            app: AppId(1),
+            rank: Rank((i % 16) as u32),
+            index: i,
+        }
+    }
+}
+
+/// Mean wall-clock nanoseconds per publish into a ring that never wraps.
+fn publish_ns(iters: u64) -> u64 {
+    let bus = EventBus::with_capacity(iters as usize + 1);
+    let start = Instant::now();
+    for i in 0..iters {
+        bus.publish(NodeId(0), VirtualTime::from_nanos(i), kind(i));
+    }
+    let ns = start.elapsed().as_nanos() as u64 / iters.max(1);
+    assert_eq!(bus.published(), iters);
+    assert_eq!(bus.dropped(), 0);
+    ns
+}
+
+/// Mean nanoseconds per *delivered* event with `subs` cursors draining a
+/// ring that `iters` events flow through in batches.
+fn fanout_ns(subs: usize, iters: u64) -> u64 {
+    let bus = EventBus::new();
+    let mut cursors: Vec<_> = (0..subs).map(|_| bus.subscribe()).collect();
+    let batch = 64u64;
+    let mut delivered = 0u64;
+    let start = Instant::now();
+    let mut i = 0u64;
+    while i < iters {
+        for _ in 0..batch.min(iters - i) {
+            bus.publish(NodeId(0), VirtualTime::from_nanos(i), kind(i));
+            i += 1;
+        }
+        for c in &mut cursors {
+            let p = c.poll();
+            assert_eq!(p.missed, 0, "batch fits the ring, nothing may drop");
+            delivered += p.events.len() as u64;
+        }
+    }
+    start.elapsed().as_nanos() as u64 / delivered.max(1)
+}
+
+/// Mean nanoseconds per publish when every publish past capacity evicts
+/// (the overflow path: ring wrap + drop accounting for lagging cursors).
+fn overflow_ns(iters: u64) -> (u64, u64) {
+    let bus = EventBus::with_capacity(256);
+    let mut lagger = bus.subscribe(); // never polled until the end
+    let start = Instant::now();
+    for i in 0..iters {
+        bus.publish(NodeId(0), VirtualTime::from_nanos(i), kind(i));
+    }
+    let ns = start.elapsed().as_nanos() as u64 / iters.max(1);
+    let missed = lagger.poll().missed;
+    assert_eq!(missed, bus.dropped(), "cursor lag must equal bus drops");
+    (ns, missed)
+}
+
+fn main() {
+    let q = quick();
+    let iters: u64 = if q { 20_000 } else { 400_000 };
+    let fan_iters: u64 = if q { 10_000 } else { 100_000 };
+    let fans: &[usize] = &[1, 4, 16];
+
+    report::print_banner(
+        "Event bus: publish, fan-out, and overflow cost",
+        &format!(
+            "{} mode: {iters} publishes, fan-out at {fans:?} subscribers",
+            if q { "quick" } else { "full" },
+        ),
+    );
+
+    let publish = publish_ns(iters);
+    let within_budget = publish <= PUBLISH_BUDGET_NS;
+    println!(
+        "\npublish: {publish} ns/event (budget {PUBLISH_BUDGET_NS} ns — {})",
+        if within_budget { "ok" } else { "OVER BUDGET" }
+    );
+
+    let mut rows = Vec::new();
+    let mut fan_json = Vec::new();
+    for &subs in fans {
+        let ns = fanout_ns(subs, fan_iters);
+        rows.push(vec![subs.to_string(), format!("{ns}")]);
+        fan_json.push((subs, ns));
+    }
+    report::print_table(&["subscribers", "ns/delivered event"], &rows);
+
+    let (overflow, missed) = overflow_ns(iters);
+    println!("\noverflow publish: {overflow} ns/event ({missed} drops accounted)");
+
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"events\",\n");
+    j.push_str(&format!("  \"quick\": {q},\n"));
+    j.push_str(&format!("  \"publish_ns\": {publish},\n"));
+    j.push_str(&format!("  \"publish_budget_ns\": {PUBLISH_BUDGET_NS},\n"));
+    j.push_str(&format!("  \"publish_within_budget\": {within_budget},\n"));
+    j.push_str("  \"fanout_ns_per_event\": {\n");
+    for (i, (subs, ns)) in fan_json.iter().enumerate() {
+        let comma = if i + 1 == fan_json.len() { "" } else { "," };
+        j.push_str(&format!("    \"{subs}\": {ns}{comma}\n"));
+    }
+    j.push_str("  },\n");
+    j.push_str(&format!("  \"overflow_publish_ns\": {overflow},\n"));
+    j.push_str(&format!("  \"overflow_drops_accounted\": {missed}\n"));
+    j.push_str("}\n");
+
+    let path = format!("{}/../../BENCH_events.json", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::write(&path, &j) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use starfish_checkpoint::replica::{ReplicaNet, ReplicaStore};
 use starfish_checkpoint::{CkptImage, CkptLevel, CkptStore, CkptValue, MACHINES};
+use starfish_events::{ClusterEvent, EventKind, Phase, Postmortem, Rollback};
 use starfish_mpi::{CtsCadence, MpiEndpoint, RankDirectory, RecvMode, WORLD_CONTEXT};
 use starfish_trace::{FlightRecorder, ProcTrace};
 use starfish_util::rng::DetRng;
@@ -90,6 +91,23 @@ pub struct ScenarioReport {
     /// Parity-group rebuilds needed while proving the final line
     /// restorable (0 ⇒ every fragment still had a live full copy).
     pub replica_parity_rebuilds: u64,
+    /// Modeled failure-detection latency of the plan's *first* crash,
+    /// vt-ns: from the crash to the first heartbeat tick at which the
+    /// detector's silence window has expired. Present only when the plan
+    /// declares a `heartbeat` and a node crashed; always bounded by
+    /// `timeout + 2 * interval`.
+    pub detect_ns: Option<u64>,
+    /// Rollback depth a recovery from the final line would take: virtual
+    /// time from the end of the run back to the line's checkpoint round.
+    /// Present when a node crashed.
+    pub rollback_depth_ns: Option<u64>,
+    /// Accepted sends issued after the final line's round — the traffic a
+    /// rollback to that line discards. Present when a node crashed.
+    pub rollback_lost_msgs: Option<u64>,
+    /// Modeled cost of reassembling every live rank's image at the line
+    /// from peer memory (sum of per-rank parallel fetch costs, vt-ns).
+    /// Present for replica-backed plans with a crash and a line > 0.
+    pub restore_ns: Option<u64>,
 }
 
 /// Replay `plan` deterministically; see the module docs for the schedule.
@@ -182,6 +200,12 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
     let mut dead: Vec<bool> = vec![false; plan.ranks as usize];
     let mut crashed_nodes: BTreeSet<u32> = BTreeSet::new();
     report.replica_k = plan.replica_k;
+    // Forensic bookkeeping: when the first node died, and how many sends
+    // had been accepted by the end of each checkpoint round (so the
+    // rollback oracle can count the traffic a restore would discard).
+    let mut first_crash_vt: Option<u64> = None;
+    let mut accepted_total: u64 = 0;
+    let mut sends_at_round: Vec<u64> = Vec::new();
 
     for step in 0..plan.steps {
         // The plan-level recorder stamps injections with a step-derived
@@ -196,6 +220,7 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
                     fabric.crash_node(NodeId(n));
                     mark_dead(&mut dead, plan, n);
                     crashed_nodes.insert(n);
+                    first_crash_vt.get_or_insert(step_vt.as_nanos());
                     if let Some((rs, _, _)) = &replica {
                         rs.node_down(NodeId(n));
                     }
@@ -204,6 +229,7 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
                     fabric.crash_node_silently(NodeId(n));
                     mark_dead(&mut dead, plan, n);
                     crashed_nodes.insert(n);
+                    first_crash_vt.get_or_insert(step_vt.as_nanos());
                     if let Some((rs, _, _)) = &replica {
                         rs.node_down(NodeId(n));
                     }
@@ -256,6 +282,7 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
             match ep.isend_world(clock, Rank(peer), WORLD_CONTEXT, TRAFFIC_TAG, &buf) {
                 Ok(_) => {
                     next_id[r] += 1;
+                    accepted_total += 1;
                     report.sent.entry((r as u32, peer)).or_default().push(id);
                 }
                 Err(_) => report.send_rejects += 1,
@@ -297,6 +324,7 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
                     }
                 }
             }
+            sends_at_round.push(accepted_total);
         }
     }
 
@@ -356,6 +384,7 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
         .map(Rank)
         .collect();
     report.nodes_lost = crashed_nodes.len() as u32;
+    let mut restore_cost_ns: u64 = 0;
     match &replica {
         Some((rs, net, _)) => {
             report.line = rs.latest_common_index(CHAOS_APP, &live);
@@ -369,6 +398,7 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
                     match rs.fetch(CHAOS_APP, *r, report.line, to, net) {
                         Some(f) => {
                             report.replica_parity_rebuilds += u64::from(f.parity_rebuilds);
+                            restore_cost_ns += f.cost.as_nanos();
                         }
                         None => restorable = false,
                     }
@@ -386,6 +416,31 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
                     .all(|r| store.get(CHAOS_APP, *r, report.line).is_some());
         }
     }
+    // ---- recovery forensics: a pure function of (plan, schedule) --------
+    // The model mirrors what the live daemon's forensics module measures,
+    // but on the driver's synthetic clock (step s fires at (s+1) µs): the
+    // numbers are exact, so the forensic oracles can assert equalities.
+    if let Some(crash_vt) = first_crash_vt {
+        if let Some((interval_us, timeout_us)) = plan.heartbeat {
+            report.detect_ns = Some(modeled_detect_ns(
+                crash_vt,
+                interval_us * 1_000,
+                timeout_us * 1_000,
+            ));
+        }
+        let end_vt = plan.steps as u64 * 1_000;
+        let line_vt = report.line * plan.ckpt_every as u64 * 1_000;
+        report.rollback_depth_ns = Some(end_vt.saturating_sub(line_vt));
+        let at_line = if report.line > 0 {
+            sends_at_round[report.line as usize - 1]
+        } else {
+            0
+        };
+        report.rollback_lost_msgs = Some(accepted_total - at_line);
+        if plan.replica_k.is_some() && report.line > 0 && report.line_restorable {
+            report.restore_ns = Some(restore_cost_ns);
+        }
+    }
     let traces = if traced {
         let mut t: Vec<ProcTrace> = recorders.iter().map(|r| r.dump()).collect();
         t.push(chaos_rec.dump());
@@ -394,6 +449,170 @@ fn run_scenario_inner(plan: &FaultPlan, traced: bool) -> (ScenarioReport, Vec<Pr
         Vec::new()
     };
     (report, traces)
+}
+
+/// The heartbeat detector model: beacons fire at every multiple of
+/// `interval_ns`; the crash silences them after the tick at or before
+/// `crash_vt`; suspicion fires at the first later tick by which the node
+/// has been silent longer than `timeout_ns`. Worst case over crash phase:
+/// `timeout + 2 * interval`.
+fn modeled_detect_ns(crash_vt: u64, interval_ns: u64, timeout_ns: u64) -> u64 {
+    let last_beacon = (crash_vt / interval_ns) * interval_ns;
+    let suspect = ((last_beacon + timeout_ns) / interval_ns + 1) * interval_ns;
+    suspect - crash_vt
+}
+
+/// Assemble the postmortem bundle for a completed scenario run: the same
+/// JSON shape the live daemon writes on a recovery, but fed entirely by
+/// the driver's deterministic model, so two replays of one plan yield
+/// byte-identical bundles. `None` when the plan crashed no node — there
+/// was nothing to recover from.
+pub fn postmortem(plan: &FaultPlan, report: &ScenarioReport) -> Option<Postmortem> {
+    let crashes: Vec<(u64, u32, bool)> = plan
+        .events
+        .iter()
+        .filter_map(|te| {
+            let vt = (te.step as u64 + 1) * 1_000;
+            match te.event {
+                Event::Crash(n) => Some((vt, n, false)),
+                Event::SilentCrash(n) => Some((vt, n, true)),
+                _ => None,
+            }
+        })
+        .collect();
+    let &(crash_vt, first_node, silent) = crashes.first()?;
+    let end_vt = plan.steps as u64 * 1_000;
+    // With a modeled heartbeat the death declaration may land *after* the
+    // last step (the detector's silence window outlives a short run); the
+    // recovery window extends to cover it.
+    let dead_vt = crash_vt + report.detect_ns.unwrap_or(0);
+    let complete_vt = end_vt.max(dead_vt);
+    let live_ranks = plan.ranks as usize - report.dead_ranks.len();
+
+    let mut pm = Postmortem::new(CHAOS_APP.to_string());
+    pm.epoch = u64::from(report.nodes_lost);
+    pm.store_backend = match plan.replica_k {
+        Some(k) => format!("replica:{k}"),
+        None => "disk".into(),
+    };
+    pm.trigger = format!(
+        "node n{first_node} dead ({})",
+        if silent && plan.heartbeat.is_some() {
+            "heartbeat timeout"
+        } else {
+            "fail-stop"
+        }
+    );
+    pm.begin_vt_ns = crash_vt;
+    pm.complete_vt_ns = complete_vt;
+    if let Some(d) = report.detect_ns {
+        pm.phases.push(Phase::virt("detect", d));
+    }
+    if let Some(r) = report.restore_ns {
+        pm.phases.push(Phase::virt("restore", r));
+    }
+    pm.phases.push(Phase::virt(
+        "respawn-window",
+        complete_vt.saturating_sub(crash_vt),
+    ));
+    pm.rollback = Rollback {
+        line: vec![report.line; live_ranks],
+        depth_vt_ns: report.rollback_depth_ns.unwrap_or(0),
+        messages_lost: report.rollback_lost_msgs.unwrap_or(0),
+    };
+
+    // The modeled event sequence, in the order the live bus would carry it.
+    let mut kinds: Vec<(u64, EventKind)> = Vec::new();
+    for &(vt, n, s) in &crashes {
+        kinds.push((
+            vt,
+            EventKind::FaultInjected {
+                desc: format!("{} n{n}", if s { "silent-crash" } else { "crash" }),
+            },
+        ));
+    }
+    if let (Some(d), Some((interval_us, _))) = (report.detect_ns, plan.heartbeat) {
+        // At suspicion the node has been silent since its last beacon.
+        let i = interval_us * 1_000;
+        let last_beacon = (crash_vt / i) * i;
+        kinds.push((
+            dead_vt,
+            EventKind::NodeSuspected {
+                node: NodeId(first_node),
+                silent_ns: crash_vt + d - last_beacon,
+            },
+        ));
+    }
+    kinds.push((
+        dead_vt,
+        EventKind::NodeDead {
+            node: NodeId(first_node),
+        },
+    ));
+    kinds.push((
+        dead_vt,
+        EventKind::RecoveryBegin {
+            app: CHAOS_APP,
+            dead: vec![NodeId(first_node)],
+        },
+    ));
+    kinds.push((
+        dead_vt,
+        EventKind::RecoveryRestore {
+            app: CHAOS_APP,
+            epoch: Epoch(report.nodes_lost),
+            line: vec![report.line; live_ranks],
+        },
+    ));
+    kinds.push((
+        complete_vt,
+        EventKind::RecoveryComplete {
+            app: CHAOS_APP,
+            epoch: Epoch(report.nodes_lost),
+        },
+    ));
+    kinds.sort_by_key(|(vt, _)| *vt);
+    pm.events = kinds
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (vt, kind))| ClusterEvent {
+            seq: seq as u64,
+            vt: VirtualTime::from_nanos(vt),
+            origin: NodeId(0),
+            kind,
+        })
+        .collect();
+    // Causal slice: the plan's full injection schedule (what the chaos
+    // flight recorder logs during a traced run).
+    pm.trace = plan
+        .events
+        .iter()
+        .map(|te| format!("chaos: @{} {:?}", te.step, te.event))
+        .collect();
+    Some(pm)
+}
+
+/// Where chaos bundles land (mirrors the daemon's postmortem directory):
+/// `$STARFISH_POSTMORTEM_DIR`, else `target/postmortems/` at the workspace
+/// root.
+pub fn postmortem_dir() -> std::path::PathBuf {
+    match std::env::var_os("STARFISH_POSTMORTEM_DIR") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::path::PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/postmortems"
+        )),
+    }
+}
+
+/// Write the bundle for this plan under [`postmortem_dir`] as
+/// `chaos-seed<seed>-e<epoch>.json`; returns the path.
+pub fn write_postmortem(plan: &FaultPlan, pm: &Postmortem) -> std::io::Result<std::path::PathBuf> {
+    let dir = postmortem_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("chaos-seed{}-e{}.json", plan.seed, pm.epoch));
+    std::fs::write(&path, pm.to_json())?;
+    Ok(path)
 }
 
 /// Mark every rank placed on node `n` dead.

@@ -28,6 +28,9 @@ pub mod oracle;
 pub mod plan;
 pub mod shrink;
 
-pub use driver::{run_mpi_scenario, run_mpi_scenario_traced, ScenarioReport, CHAOS_APP};
+pub use driver::{
+    postmortem, postmortem_dir, run_mpi_scenario, run_mpi_scenario_traced, write_postmortem,
+    ScenarioReport, CHAOS_APP,
+};
 pub use plan::{Event, FaultPlan, LinkFaultSpec, TimedEvent};
 pub use shrink::minimize;

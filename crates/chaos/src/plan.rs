@@ -123,6 +123,13 @@ pub struct FaultPlan {
     /// store with `k` copies per fragment instead of the stable disk store.
     /// `None` keeps the legacy disk path.
     pub replica_k: Option<u8>,
+    /// Modeled failure-detector configuration `(interval, timeout)` in
+    /// microseconds of virtual time. When set, the driver models heartbeat
+    /// detection of the plan's first crash and reports the detection
+    /// latency in [`crate::driver::ScenarioReport::detect_ns`]; the modeled
+    /// latency is bounded by `timeout + 2 * interval`. `None` leaves the
+    /// detector out of the forensic model (fail-stop semantics only).
+    pub heartbeat: Option<(u64, u64)>,
     /// Per-link packet faults, armed before the first step.
     pub faults: Vec<LinkFaultSpec>,
     /// Timed events, fired when the driver reaches `step` (plan order
@@ -226,6 +233,7 @@ impl FaultPlan {
             rndv_threshold: None,
             rndv_chunk: None,
             replica_k: None,
+            heartbeat: None,
             faults,
             events,
         }
@@ -257,6 +265,7 @@ impl FaultPlan {
             rndv_threshold: None,
             rndv_chunk: None,
             replica_k: None,
+            heartbeat: None,
             faults: Vec::new(),
             events: Vec::new(),
         };
@@ -295,6 +304,20 @@ impl FaultPlan {
                         return Err(format!("replica k out of range: {line}"));
                     }
                     plan.replica_k = Some(k as u8);
+                }
+                "heartbeat" => {
+                    let interval = scalar(&rest)?;
+                    let timeout = rest
+                        .get(1)
+                        .ok_or_else(|| format!("heartbeat needs <interval> <timeout>: {line}"))?
+                        .parse::<u64>()
+                        .map_err(|e| format!("{line}: {e}"))?;
+                    if interval == 0 || timeout < interval {
+                        return Err(format!(
+                            "heartbeat needs interval > 0 and timeout >= interval: {line}"
+                        ));
+                    }
+                    plan.heartbeat = Some((interval, timeout));
                 }
                 "fault" => plan.faults.push(parse_fault(line, &rest)?),
                 k if k.starts_with('@') => {
@@ -405,6 +428,9 @@ impl fmt::Display for FaultPlan {
         if let Some(k) = self.replica_k {
             writeln!(f, "replica {k}")?;
         }
+        if let Some((interval, timeout)) = self.heartbeat {
+            writeln!(f, "heartbeat {interval} {timeout}")?;
+        }
         for s in &self.faults {
             writeln!(
                 f,
@@ -511,6 +537,22 @@ mod tests {
         assert!(FaultPlan::parse(&bad).is_err());
         // Absent directive keeps the legacy disk store.
         assert_eq!(FaultPlan::generate(6).replica_k, None);
+    }
+
+    #[test]
+    fn heartbeat_directive_roundtrips_and_validates() {
+        let text = "starfish-fault-plan v1\nseed 5\nnodes 3\nranks 3\nsteps 16\nckpt-every 4\nreplica 2\nheartbeat 200 800\n@9 silent-crash 1\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.heartbeat, Some((200, 800)));
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+        // A zero interval or a timeout shorter than the interval cannot
+        // model a detector: rejected at parse time.
+        assert!(FaultPlan::parse(&text.replace("heartbeat 200 800", "heartbeat 0 800")).is_err());
+        assert!(FaultPlan::parse(&text.replace("heartbeat 200 800", "heartbeat 200 100")).is_err());
+        assert!(FaultPlan::parse(&text.replace("heartbeat 200 800", "heartbeat 200")).is_err());
+        // Absent directive keeps fail-stop-only forensic semantics.
+        assert_eq!(FaultPlan::generate(8).heartbeat, None);
     }
 
     #[test]

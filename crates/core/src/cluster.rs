@@ -17,6 +17,7 @@ use starfish_checkpoint::CkptValue;
 use starfish_daemon::config::{AppSpec, AppStatus, ClusterConfig};
 use starfish_daemon::{CfgCmd, CkptProto, Daemon, DaemonConfig, FtPolicy, LevelKind, MgmtSession};
 use starfish_ensemble::{HeartbeatCfg, HeartbeatChaos};
+use starfish_events::{EventBus, EventKind};
 use starfish_mpi::RankDirectory;
 use starfish_util::trace::TraceSink;
 use starfish_util::{AppId, Error, NodeId, Rank, Result};
@@ -82,6 +83,8 @@ pub struct ClusterBuilder {
     heartbeat: Option<HeartbeatCfg>,
     heartbeat_chaos: Option<HeartbeatChaos>,
     trace_cap: usize,
+    /// Event-bus ring capacity per daemon; 0 disables the bus.
+    events_cap: usize,
 }
 
 impl Default for ClusterBuilder {
@@ -95,6 +98,7 @@ impl Default for ClusterBuilder {
             heartbeat: None,
             heartbeat_chaos: None,
             trace_cap: starfish_trace::DEFAULT_CAPACITY,
+            events_cap: starfish_events::bus::DEFAULT_CAPACITY,
         }
     }
 }
@@ -165,6 +169,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Ring capacity of each daemon's cluster event bus (events retained
+    /// for `EVENTS TAIL` / postmortem slices; drops are counted exactly).
+    /// The bus is on by default; see
+    /// [`no_event_bus`](ClusterBuilder::no_event_bus).
+    pub fn event_bus(mut self, capacity: usize) -> Self {
+        self.events_cap = capacity;
+        self
+    }
+
+    /// Disable the cluster event bus entirely (publishes become no-ops;
+    /// postmortem bundles lose their event slice).
+    pub fn no_event_bus(mut self) -> Self {
+        self.events_cap = 0;
+        self
+    }
+
     /// Enable heartbeat failure detection on every daemon's ensemble stack
     /// (needed to notice *silent* crashes, which emit no fabric event).
     pub fn heartbeat(mut self, interval: Duration, timeout: Duration) -> Self {
@@ -230,6 +250,11 @@ impl ClusterBuilder {
                 dc.recorder =
                     starfish_trace::FlightRecorder::new(&format!("{node}"), self.trace_cap);
             }
+            dc.events = if self.events_cap > 0 {
+                EventBus::with_capacity(self.events_cap)
+            } else {
+                EventBus::disabled()
+            };
             dc.trace_hub = trace_hub.clone();
             let d = Daemon::start(
                 &fabric,
@@ -261,6 +286,7 @@ impl ClusterBuilder {
             heartbeat_chaos: self.heartbeat_chaos,
             trace_hub,
             trace_cap: self.trace_cap,
+            events_cap: self.events_cap,
             next_token: AtomicU64::new(1),
             next_node: AtomicU32::new(n),
         })
@@ -282,6 +308,7 @@ pub struct Cluster {
     heartbeat_chaos: Option<HeartbeatChaos>,
     trace_hub: starfish_trace::TraceHub,
     trace_cap: usize,
+    events_cap: usize,
     next_token: AtomicU64,
     next_node: AtomicU32,
 }
@@ -486,9 +513,14 @@ impl Cluster {
         })
     }
 
-    /// Crash a node (fail-stop fault injection).
+    /// Crash a node (fail-stop fault injection). The injection itself is
+    /// published to the event bus via a surviving daemon, so postmortems
+    /// can correlate recoveries with the faults that caused them.
     pub fn crash_node(&self, node: NodeId) {
         self.fabric.crash_node(node);
+        let _ = self.daemon().publish_event(EventKind::FaultInjected {
+            desc: format!("crash {node}"),
+        });
     }
 
     /// Administratively disable / enable a node.
@@ -533,6 +565,9 @@ impl Cluster {
             .unwrap_or(0) as u8;
         // Drop the dead daemon handle before booting its replacement.
         self.daemons.lock().retain(|d| d.node() != node);
+        let _ = self.daemon().publish_event(EventKind::FaultInjected {
+            desc: format!("restart {node}"),
+        });
         self.boot_daemon(node, arch_index)
     }
 
@@ -568,6 +603,11 @@ impl Cluster {
         if self.trace_cap > 0 {
             dc.recorder = starfish_trace::FlightRecorder::new(&format!("{node}"), self.trace_cap);
         }
+        dc.events = if self.events_cap > 0 {
+            EventBus::with_capacity(self.events_cap)
+        } else {
+            EventBus::disabled()
+        };
         dc.trace_hub = self.trace_hub.clone();
         let contact = self.daemon().node();
         let d = Daemon::start(
@@ -630,6 +670,20 @@ impl Cluster {
     pub fn stats(&self) -> starfish_daemon::StatsHub {
         let d = self.daemon();
         d.stats().clone()
+    }
+
+    /// The cluster event bus of a live daemon: the sequenced record of
+    /// membership, checkpoint and recovery events (`EVENTS` over mgmt, or
+    /// subscribe with [`EventBus::subscribe`]).
+    pub fn events(&self) -> EventBus {
+        self.daemon().events().clone()
+    }
+
+    /// The recovery postmortem bundle of `app` on a live daemon, if one has
+    /// been assembled (also served by the `POSTMORTEM` mgmt command and
+    /// written to `target/postmortems/` by the view coordinator).
+    pub fn postmortem(&self, app: AppId) -> Option<starfish_events::Postmortem> {
+        self.daemon().postmortem(app)
     }
 }
 

@@ -146,6 +146,7 @@ impl Ctx<'_> {
     /// `ProcessRuntime::cached_state`).
     pub fn send(&mut self, dst: Rank, tag: u64, data: &[u8]) -> Result<()> {
         self.hold_while_stopped()?;
+        self.rt.note_first_send();
         let deadline = std::time::Instant::now() + SEND_GRACE;
         loop {
             match self
@@ -279,6 +280,7 @@ impl Ctx<'_> {
     /// backing cached-state checkpoints, the uncoordinated-C/R dependency
     /// log, and the fast-path-ablation bus charge.
     fn note_receive(&mut self, context: u32, m: &RecvdMsg) {
+        self.rt.consumed_total += 1;
         self.rt.consumed_log.push((
             starfish_mpi::wire::MsgHeader {
                 src: m.src,

@@ -225,6 +225,16 @@ pub struct ProcessRuntime {
     /// Virtual time this incarnation's current checkpoint round began
     /// (set at local capture, cleared at commit/resume).
     pub(crate) round_started: Option<VirtualTime>,
+    /// Forensic baselines: `(vt, consumed-message count)` at each committed
+    /// checkpoint index. A rollback to index `i` is measured against these
+    /// — rollback depth in virtual time, and messages consumed past the
+    /// line that the rollback discards.
+    pub(crate) ckpt_marks: std::collections::BTreeMap<u64, (VirtualTime, u64)>,
+    /// Monotone count of data messages consumed since the last restore.
+    pub(crate) consumed_total: u64,
+    /// Set when a restore completes; taken by the first outbound send (the
+    /// respawn-to-first-send forensic phase).
+    pub(crate) restored_at: Option<VirtualTime>,
 }
 
 /// How often blocking loops wake to service interrupts (real time).
@@ -296,6 +306,21 @@ impl ProcessRuntime {
             pending_marks: Vec::new(),
             metrics,
             round_started: None,
+            ckpt_marks: std::collections::BTreeMap::from([(0, (spawn_vt, 0))]),
+            consumed_total: 0,
+            restored_at: None,
+        }
+    }
+
+    /// First outbound send after a restore closes the respawn-to-first-send
+    /// forensic window (no-op on every later send).
+    pub(crate) fn note_first_send(&mut self) {
+        if let Some(t) = self.restored_at.take() {
+            let now = self.clock.now();
+            self.metrics
+                .record_vt(metric::RECOVERY_RESPAWN_SEND_NS, now - t);
+            self.metrics
+                .span_record("recovery.respawn_send", "", t, now);
         }
     }
 
@@ -447,6 +472,20 @@ impl ProcessRuntime {
             }
             ProcDown::Rollback { index, epoch, vt } => {
                 self.clock.merge(vt);
+                // Rollback depth: virtual time and consumed messages past
+                // the recovery line that this rollback discards.
+                let now = self.clock.now();
+                let (line_vt, line_consumed) = self
+                    .ckpt_marks
+                    .get(&index)
+                    .copied()
+                    .unwrap_or((VirtualTime::ZERO, 0));
+                self.metrics
+                    .record_vt(metric::RECOVERY_ROLLBACK_VT_NS, now - line_vt);
+                self.metrics.record(
+                    metric::RECOVERY_LOST_MSGS,
+                    self.consumed_total.saturating_sub(line_consumed),
+                );
                 self.pending_epoch = Some(epoch);
                 self.restart_to = Some(index);
                 self.bus.clear();
@@ -594,6 +633,8 @@ impl ProcessRuntime {
                         "ckpt.committed",
                         &format!("index {index}"),
                     );
+                    self.ckpt_marks
+                        .insert(index, (self.clock.now(), self.consumed_total));
                     self.send_up(ProcUp::CkptCommitted {
                         index,
                         vt: self.clock.now(),
@@ -827,6 +868,10 @@ impl ProcessRuntime {
         self.cached_state = None;
         self.consumed_log.clear();
         self.pending_marks.clear();
+        // Drop forensic marks past the restored line and rewind the
+        // consumed counter to the line's value.
+        self.ckpt_marks.split_off(&(index + 1));
+        self.consumed_total = self.ckpt_marks.get(&index).map(|m| m.1).unwrap_or(0);
         if let Some(e) = self.pending_epoch.take() {
             self.mpi.set_epoch(e);
         }
@@ -962,6 +1007,7 @@ pub(crate) fn process_main(mut rt: ProcessRuntime, run: Arc<crate::host::AppFn>)
             rt.metrics
                 .span_record("recovery.restore", &format!("to index {idx}"), started, now);
             rt.mpi.recorder().phase_end(now, "recovery.restore");
+            rt.restored_at = Some(now);
             rt.flush_stats();
         }
         if dbg {

@@ -12,7 +12,8 @@
 //! relaying to local processes) is derived from that shared state plus the
 //! daemon's own node id.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,7 +22,8 @@ use parking_lot::Mutex;
 
 use starfish_checkpoint::backend::StoreHub;
 use starfish_checkpoint::recovery::{self};
-use starfish_ensemble::{Endpoint, EndpointConfig, GcEvent, View};
+use starfish_ensemble::{Endpoint, EndpointConfig, GcEvent, HeartbeatAges, View};
+use starfish_events::{ClusterEvent, EventBus, EventKind as BusEventKind, Postmortem};
 use starfish_lwgroups::{LwEvent, LwMsg, LwRouter};
 use starfish_telemetry::{metric, Registry};
 use starfish_trace::{FlightRecorder, TraceHub};
@@ -33,6 +35,7 @@ use starfish_vni::Fabric;
 use crate::config::{
     AppEntry, AppStatus, CfgEffect, CfgNodeStatus, CkptProto, ClusterConfig, FtPolicy,
 };
+use crate::forensics::Forensics;
 use crate::host::{NodeHost, ProcSpec};
 use crate::msg::{AppRelay, CfgCmd, P2pMsg, ProcDown, ProcUp, RelayKind, WireCast};
 use crate::stats::StatsHub;
@@ -57,6 +60,10 @@ pub struct DaemonConfig {
     /// recorder here at start; the runtime host registers one per spawned
     /// process; the `TRACE` management commands read it.
     pub trace_hub: TraceHub,
+    /// This daemon's cluster event bus. Enabled by default (events are
+    /// control-plane volume; the bench pins publish cost at ns scale);
+    /// pass [`EventBus::disabled`] to opt out entirely.
+    pub events: EventBus,
 }
 
 impl DaemonConfig {
@@ -69,12 +76,16 @@ impl DaemonConfig {
             metrics: None,
             recorder: FlightRecorder::disabled(),
             trace_hub: TraceHub::new(),
+            events: EventBus::new(),
         }
     }
 }
 
 enum DaemonCmd {
     Issue(CfgCmd),
+    /// Publish a locally observed cluster event (rides the ordered cast
+    /// path so every daemon's bus assigns it the same sequence number).
+    Emit(BusEventKind),
     Shutdown,
 }
 
@@ -88,6 +99,9 @@ pub struct Daemon {
     stats: StatsHub,
     trace_hub: TraceHub,
     store: StoreHub,
+    events: EventBus,
+    postmortems: Arc<Mutex<BTreeMap<AppId, Postmortem>>>,
+    liveness: HeartbeatAges,
 }
 
 impl Daemon {
@@ -122,6 +136,9 @@ impl Daemon {
         let stats = StatsHub::new();
         let trace_hub = cfg.trace_hub.clone();
         let node = cfg.node;
+        let events = cfg.events.clone();
+        let postmortems = Arc::new(Mutex::new(BTreeMap::new()));
+        let liveness = ep.liveness();
         let state = Loop {
             node,
             arch_index: cfg.arch_index,
@@ -144,6 +161,11 @@ impl Daemon {
             requested_state: false,
             cast_buffer: Vec::new(),
             view: None,
+            events: events.clone(),
+            forensics: Forensics::new(),
+            postmortems: postmortems.clone(),
+            events_dropped_seen: 0,
+            trace_hub: trace_hub.clone(),
         };
         std::thread::Builder::new()
             .name(format!("starfishd-{node}"))
@@ -156,6 +178,9 @@ impl Daemon {
             stats,
             trace_hub,
             store,
+            events,
+            postmortems,
+            liveness,
         })
     }
 
@@ -212,9 +237,52 @@ impl Daemon {
         &self.store
     }
 
+    /// This daemon's cluster event bus (sequenced over the ordered cast
+    /// path; the `EVENTS` management commands read it).
+    pub fn events(&self) -> &EventBus {
+        &self.events
+    }
+
+    /// Publish a locally observed cluster event (e.g. an injected fault).
+    /// Rides the ordered cast path, so all daemons sequence it identically.
+    pub fn publish_event(&self, kind: BusEventKind) -> Result<()> {
+        self.cmd_tx
+            .send(DaemonCmd::Emit(kind))
+            .map_err(|_| Error::closed("daemon gone"))
+    }
+
+    /// The postmortem bundle of the most recent completed recovery of
+    /// `app`, if any (the `POSTMORTEM` management command reads it).
+    pub fn postmortem(&self, app: AppId) -> Option<Postmortem> {
+        self.postmortems.lock().get(&app).cloned()
+    }
+
+    /// Apps with a completed recovery bundle available.
+    pub fn postmortem_apps(&self) -> Vec<AppId> {
+        self.postmortems.lock().keys().copied().collect()
+    }
+
+    /// Failure-detector liveness: `(peer, time since last heard)` per peer
+    /// (the `HEALTH` management command's heartbeat-age column).
+    pub fn heartbeat_ages(&self) -> Vec<(NodeId, Duration)> {
+        self.liveness.ages()
+    }
+
     /// Ask the daemon to leave the group and exit.
     pub fn shutdown(&self) {
         let _ = self.cmd_tx.send(DaemonCmd::Shutdown);
+    }
+}
+
+/// Directory recovery postmortem bundles are written to by the view
+/// coordinator. `STARFISH_POSTMORTEM_DIR` overrides it (tests, CI).
+pub fn postmortem_dir() -> PathBuf {
+    match std::env::var_os("STARFISH_POSTMORTEM_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/postmortems"
+        )),
     }
 }
 
@@ -247,6 +315,16 @@ struct Loop {
     cast_buffer: Vec<CfgCmd>,
     /// Latest installed main-group view.
     view: Option<View>,
+    /// Cluster event bus: all appends happen while applying the totally
+    /// ordered stream (or are the stream), so every bootstrapped daemon
+    /// assigns identical sequence numbers.
+    events: EventBus,
+    forensics: Forensics,
+    postmortems: Arc<Mutex<BTreeMap<AppId, Postmortem>>>,
+    /// Bus drop count already mirrored into the EVENTS_DROPPED metric.
+    events_dropped_seen: u64,
+    /// Local flight recorders, for the postmortem causal slice.
+    trace_hub: TraceHub,
 }
 
 impl Loop {
@@ -261,8 +339,22 @@ impl Loop {
                     Ok(GcEvent::Cast { from, payload, vt, .. }) => {
                         self.clock.merge(vt);
                         if let Ok(wc) = WireCast::decode_from_bytes(&payload) {
-                            self.on_cast(from, wc);
+                            self.on_cast(from, wc, vt);
                         }
+                    }
+                    Ok(GcEvent::Suspected { node, silent_for, vt }) => {
+                        self.clock.merge(vt);
+                        // Local failure-detector observation: cast it so the
+                        // suspicion (and its measured detection latency)
+                        // lands on every daemon's bus in the total order.
+                        let _ = self.cast(WireCast::Event {
+                            origin: self.node,
+                            vt: self.clock.now(),
+                            kind: BusEventKind::NodeSuspected {
+                                node,
+                                silent_ns: silent_for.as_nanos() as u64,
+                            },
+                        });
                     }
                     Ok(GcEvent::P2p { from: _, payload, vt }) => {
                         self.clock.merge(vt);
@@ -279,6 +371,13 @@ impl Loop {
                 recv(cmd_rx) -> cmd => match cmd {
                     Ok(DaemonCmd::Issue(c)) => {
                         let _ = self.cast(WireCast::Cfg(c));
+                    }
+                    Ok(DaemonCmd::Emit(kind)) => {
+                        let _ = self.cast(WireCast::Event {
+                            origin: self.node,
+                            vt: self.clock.now(),
+                            kind,
+                        });
                     }
                     Ok(DaemonCmd::Shutdown) | Err(_) => {
                         let _ = self.ep.leave();
@@ -322,7 +421,8 @@ impl Loop {
                 // Replay the casts that arrived after our snapshot point.
                 let buffered = std::mem::take(&mut self.cast_buffer);
                 for cmd in buffered {
-                    self.on_cast(self.node, WireCast::Cfg(cmd));
+                    let vt = self.clock.now();
+                    self.on_cast(self.node, WireCast::Cfg(cmd), vt);
                 }
                 self.sync_lw_groups();
                 // Now announce ourselves. A restarted daemon finds its node
@@ -350,7 +450,11 @@ impl Loop {
         }
     }
 
-    fn on_cast(&mut self, from: NodeId, wc: WireCast) {
+    /// Apply one totally ordered cast. `vt` is this daemon's delivery
+    /// timestamp, used to stamp derived bus events: event *content and
+    /// order* agree across daemons (they come from the total order), while
+    /// timestamps are each daemon's own observation.
+    fn on_cast(&mut self, from: NodeId, wc: WireCast, vt: VirtualTime) {
         match wc {
             WireCast::Cfg(cmd) => {
                 if !self.bootstrapped {
@@ -382,6 +486,13 @@ impl Loop {
                     }
                     return;
                 }
+                // RestartApp: capture the dead set from the *pre-apply*
+                // placement (the NodeDead casts precede the restart in the
+                // total order, so the status map already knows them).
+                let restart_dead = match &cmd {
+                    CfgCmd::RestartApp { app, .. } => Some(self.dead_in_placement(*app)),
+                    _ => None,
+                };
                 let effects = self.config.apply_from(from, &cmd);
                 // Peer-memory checkpoint fragments hosted on a dead node are
                 // gone; the replica store must stop counting them before any
@@ -411,6 +522,7 @@ impl Loop {
                     }
                 }
                 self.publish_config();
+                self.derive_events(from, &cmd, restart_dead, &effects, vt);
                 for eff in effects {
                     self.on_effect(eff);
                 }
@@ -427,8 +539,215 @@ impl Loop {
                 // Cumulative snapshot: total order makes every hub converge
                 // on the same latest-per-scope table.
                 self.stats.update(&scope, snap);
+                // Timestamped history ring: rates/deltas stay queryable
+                // after the fact (`STATS HISTORY`).
+                self.stats.record_history(vt);
+            }
+            WireCast::Event {
+                origin,
+                vt: event_vt,
+                kind,
+            } => {
+                // Cast-carried event (a local observation some daemon
+                // published): every bootstrapped bus appends it at this
+                // stream point with the publisher's origin and timestamp.
+                if self.bootstrapped {
+                    self.record_event(origin, event_vt, kind);
+                }
             }
         }
+    }
+
+    /// Nodes of `app`'s current placement that the replicated configuration
+    /// has recorded dead (or forgotten entirely).
+    fn dead_in_placement(&self, app: AppId) -> Vec<NodeId> {
+        let Some(entry) = self.config.apps.get(&app) else {
+            return Vec::new();
+        };
+        let mut dead: Vec<NodeId> = entry
+            .placement
+            .iter()
+            .filter(|n| {
+                self.config
+                    .nodes
+                    .get(n)
+                    .map(|e| e.status == CfgNodeStatus::Dead)
+                    .unwrap_or(true)
+            })
+            .copied()
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
+    /// Bus events derivable from the ordered configuration stream itself:
+    /// appended directly (no extra casts) at the same stream point on every
+    /// bootstrapped daemon, stamped with the cast's local delivery `vt`
+    /// and the cast sender as origin — so all buses tell the same story
+    /// in the same order (timestamps and seqs are per-daemon).
+    fn derive_events(
+        &mut self,
+        from: NodeId,
+        cmd: &CfgCmd,
+        restart_dead: Option<Vec<NodeId>>,
+        effects: &[CfgEffect],
+        vt: VirtualTime,
+    ) {
+        match cmd {
+            // Only a self-announced AddNode proves a live daemon (the
+            // phantom-node rule); a bare admin registration is not "up".
+            CfgCmd::AddNode { node, .. } if *node == from => {
+                self.record_event(from, vt, BusEventKind::NodeUp { node: *node });
+            }
+            CfgCmd::NodeDead { node } => {
+                self.record_event(from, vt, BusEventKind::NodeDead { node: *node });
+            }
+            CfgCmd::TriggerCkpt { app } => {
+                self.record_event(from, vt, BusEventKind::CkptRoundBegin { app: *app });
+            }
+            CfgCmd::RestartApp { app, line } => {
+                let dead = restart_dead.unwrap_or_default();
+                self.record_event(from, vt, BusEventKind::RecoveryBegin { app: *app, dead });
+                let epoch = self
+                    .config
+                    .apps
+                    .get(app)
+                    .map(|a| a.epoch)
+                    .unwrap_or_default();
+                self.record_event(
+                    from,
+                    vt,
+                    BusEventKind::RecoveryRestore {
+                        app: *app,
+                        epoch,
+                        line: line.clone(),
+                    },
+                );
+                let replaced_n = effects
+                    .iter()
+                    .find_map(|e| match e {
+                        CfgEffect::AppRestarted {
+                            app: a, replaced, ..
+                        } if a == app => Some(replaced.len()),
+                        _ => None,
+                    })
+                    .unwrap_or(0);
+                self.forensics.expect_respawns(*app, replaced_n);
+                if replaced_n == 0 {
+                    // Pure rollback, no replacement ranks: complete at once.
+                    self.record_event(
+                        from,
+                        vt,
+                        BusEventKind::RecoveryComplete { app: *app, epoch },
+                    );
+                    self.finalize_postmortem(*app, vt);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Append a bus event at the current point of the ordered stream and
+    /// run the forensics state machine over it. When the event completes a
+    /// recovery, synthesizes the `recovery-complete` event (every daemon
+    /// does so at the same stream point) and finalizes the bundle.
+    fn record_event(&mut self, origin: NodeId, vt: VirtualTime, kind: BusEventKind) {
+        let Some(seq) = self.events.publish(origin, vt, kind.clone()) else {
+            return;
+        };
+        if let Some(m) = &self.metrics {
+            m.inc(metric::EVENTS_PUBLISHED);
+            let dropped = self.events.dropped();
+            if dropped > self.events_dropped_seen {
+                m.add(metric::EVENTS_DROPPED, dropped - self.events_dropped_seen);
+                self.events_dropped_seen = dropped;
+            }
+        }
+        let ev = ClusterEvent {
+            seq,
+            vt,
+            origin,
+            kind,
+        };
+        let stats = self.stats.clone();
+        let completed = self.forensics.observe(&ev, move || stats.merged());
+        if let Some(app) = completed {
+            let epoch = self
+                .config
+                .apps
+                .get(&app)
+                .map(|a| a.epoch)
+                .unwrap_or_default();
+            self.record_event(origin, vt, BusEventKind::RecoveryComplete { app, epoch });
+            self.finalize_postmortem(app, vt);
+        }
+    }
+
+    /// Assemble the recovery bundle of `app`, store it for `POSTMORTEM`,
+    /// and (coordinator only) write it to [`postmortem_dir`].
+    fn finalize_postmortem(&mut self, app: AppId, complete_vt: VirtualTime) {
+        let start_vt = self.forensics.window_start_vt(app).unwrap_or(0);
+        let window: Vec<ClusterEvent> = self
+            .events
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.vt.as_nanos() >= start_vt && e.vt.as_nanos() <= complete_vt.as_nanos())
+            .collect();
+        let name = format!("{app}");
+        let backend = self
+            .config
+            .apps
+            .get(&app)
+            .map(|a| a.spec.backend.to_string())
+            .unwrap_or_else(|| "disk".into());
+        let trace = self.trace_slice(start_vt, complete_vt.as_nanos());
+        let stats_after = self.stats.merged();
+        let Some(pm) = self.forensics.finalize(
+            app,
+            crate::forensics::BundleInputs {
+                app_name: &name,
+                store_backend: &backend,
+                complete_vt_ns: complete_vt.as_nanos(),
+                events: window,
+                stats_after: &stats_after,
+                trace,
+            },
+        ) else {
+            return;
+        };
+        let is_coord = self
+            .view
+            .as_ref()
+            .map(|v| v.coordinator() == self.node)
+            .unwrap_or(false);
+        if is_coord {
+            let dir = postmortem_dir();
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let path = dir.join(format!("{}-e{}.json", name, pm.epoch));
+                let _ = std::fs::write(path, pm.to_json());
+            }
+        }
+        self.postmortems.lock().insert(app, pm);
+    }
+
+    /// Flight-recorder summaries inside the recovery window, for the
+    /// bundle's causal slice. Bounded; local to this daemon's recorders.
+    fn trace_slice(&self, from_ns: u64, to_ns: u64) -> Vec<String> {
+        const MAX: usize = 256;
+        let mut out = Vec::new();
+        for pt in self.trace_hub.dump_all() {
+            for ev in &pt.events {
+                let t = ev.vt.as_nanos();
+                if t >= from_ns && t <= to_ns {
+                    out.push(format!("{}: {}", pt.scope, ev.summary()));
+                    if out.len() >= MAX {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn on_effect(&mut self, eff: CfgEffect) {
@@ -483,6 +802,18 @@ impl Loop {
                     if *node == self.node {
                         let from = line.get(rank.index()).copied().unwrap_or(0);
                         self.spawn_proc(&entry, *rank, from);
+                        // Observation, not derivation: only the hosting
+                        // daemon knows the spawn happened, so it casts the
+                        // respawn event into the total order.
+                        let _ = self.cast(WireCast::Event {
+                            origin: self.node,
+                            vt: self.clock.now(),
+                            kind: BusEventKind::RecoveryRespawn {
+                                app,
+                                rank: *rank,
+                                node: *node,
+                            },
+                        });
                     }
                 }
                 // Roll back the survivors hosted here. A survivor whose
@@ -563,7 +894,19 @@ impl Loop {
                     }
                 }
             }
-            CfgEffect::NodeChanged(_) | CfgEffect::ParamSet(_) => {}
+            CfgEffect::ParamSet(key) => {
+                if key == "stats_history" {
+                    if let Some(n) = self
+                        .config
+                        .params
+                        .get("stats_history")
+                        .and_then(|v| v.parse::<usize>().ok())
+                    {
+                        self.stats.set_retention(n);
+                    }
+                }
+            }
+            CfgEffect::NodeChanged(_) => {}
         }
     }
 
@@ -844,6 +1187,16 @@ impl Loop {
         if !self.bootstrapped || view.coordinator() != self.node {
             return;
         }
+        // One view-change event per installed view, cast by the coordinator
+        // so it lands in the total order ahead of any NodeDead response.
+        let _ = self.cast(WireCast::Event {
+            origin: self.node,
+            vt: self.clock.now(),
+            kind: BusEventKind::ViewChange {
+                view: view.id.raw(),
+                members: view.members.clone(),
+            },
+        });
         let dead: Vec<NodeId> = self
             .config
             .nodes
@@ -984,6 +1337,11 @@ impl Loop {
             }
             ProcUp::CkptCommitted { index, vt } => {
                 self.clock.merge(vt);
+                let _ = self.cast(WireCast::Event {
+                    origin: self.node,
+                    vt: self.clock.now(),
+                    kind: BusEventKind::CkptCommit { app, rank, index },
+                });
                 if index > 1 {
                     self.store.prune_below(app, index);
                 }
@@ -1177,6 +1535,94 @@ mod tests {
             restarted.iter().any(|(_, _, n, _)| *n != dead),
             "rank 1 respawned on a survivor: {restarted:?}"
         );
+    }
+
+    #[test]
+    fn recovery_publishes_event_sequence_and_postmortem() {
+        let f = fabric(3);
+        let (daemons, _spawns) = start_cluster(&f, 3);
+        daemons[0]
+            .issue(CfgCmd::Submit {
+                spec: spec("app", 3, FtPolicy::Restart),
+            })
+            .unwrap();
+        daemons[0]
+            .wait_config(Duration::from_secs(10), |c| !c.apps.is_empty())
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let entry = daemons[0].config().apps.values().next().unwrap().clone();
+        let app = entry.id;
+        let dead = entry.placement[1];
+        f.crash_node(dead);
+        // Every survivor assembles the same bundle for the recovered app.
+        let survivors: Vec<&Daemon> = daemons.iter().filter(|d| d.node() != dead).collect();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let bundles: Vec<Postmortem> = survivors
+            .iter()
+            .map(|d| loop {
+                if let Some(pm) = d.postmortem(app) {
+                    break pm;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "daemon {} produced no postmortem",
+                    d.node()
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            })
+            .collect();
+        let pm = &bundles[0];
+        assert_eq!(pm.epoch, 1);
+        assert_eq!(pm.store_backend, "disk");
+        // No checkpoint committed: the recovery line is all-zeros.
+        assert_eq!(pm.rollback.line, vec![0, 0, 0]);
+        // The bundle's event slice tells the recovery story in order.
+        let labels: Vec<&str> = pm.events.iter().map(|e| e.kind.label()).collect();
+        for need in [
+            "node-dead",
+            "recovery-begin",
+            "recovery-restore",
+            "recovery-respawn",
+            "recovery-complete",
+        ] {
+            assert!(labels.contains(&need), "missing {need} in {labels:?}");
+        }
+        let pos = |l: &str| labels.iter().position(|x| *x == l).unwrap();
+        assert!(pos("node-dead") < pos("recovery-begin"));
+        assert!(pos("recovery-begin") < pos("recovery-restore"));
+        assert!(pos("recovery-restore") < pos("recovery-respawn"));
+        assert!(pos("recovery-respawn") < pos("recovery-complete"));
+        // Detection phase exists (fabric crash = fail-stop detector here).
+        assert!(pm.complete_vt_ns >= pm.begin_vt_ns);
+        // Every survivor tells the same story: the event *content and order*
+        // come from the totally ordered stream, so they must agree.
+        // Per-daemon observables legitimately differ — absolute sequence
+        // numbers (joiners bootstrap later, so their buses start shorter)
+        // and virtual timestamps (delivery vt is the receiver's own clock).
+        let norm = |pm: &Postmortem| {
+            let evs: Vec<String> = pm
+                .events
+                .iter()
+                .map(|e| format!("{} {}", e.origin, e.kind.label()))
+                .collect();
+            (pm.epoch, pm.trigger.clone(), pm.rollback.clone(), evs)
+        };
+        for other in &bundles[1..] {
+            assert_eq!(norm(pm), norm(other));
+        }
+        // The live bus carries the same story a subscriber would stream.
+        let bus_labels: Vec<String> = survivors[0]
+            .events()
+            .snapshot()
+            .iter()
+            .map(|e| e.kind.label().to_string())
+            .collect();
+        for need in ["node-up", "node-dead", "recovery-complete"] {
+            assert!(
+                bus_labels.iter().any(|l| l == need),
+                "bus missing {need}: {bus_labels:?}"
+            );
+        }
     }
 
     #[test]

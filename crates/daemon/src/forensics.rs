@@ -1,0 +1,476 @@
+//! Recovery forensics: a deterministic observer of the ordered event
+//! stream that assembles one [`Postmortem`] bundle per application
+//! recovery.
+//!
+//! The tracker is driven exclusively by the daemon's event bus — every
+//! input is a [`ClusterEvent`] that either rode the totally ordered cast
+//! path or was derived deterministically from it, so all daemons observing
+//! the same stream assemble byte-identical bundles.
+//!
+//! Lifecycle of one recovery:
+//!
+//! ```text
+//! node-suspected ──► node-dead ──► recovery-begin ──► recovery-restore
+//!      (wall age)      (vt)           (opens bundle)    (line, epoch)
+//!                 ──► recovery-respawn × replaced ──► recovery-complete
+//!                        (per replacement rank)        (synthesized on the
+//!                                                       last respawn)
+//! ```
+//!
+//! The per-phase timings mix clock domains deliberately and say so:
+//! detection latency is the failure detector's wall clock (carried inside
+//! the `node-suspected` event), everything downstream is virtual time.
+
+use std::collections::BTreeMap;
+
+use starfish_events::{ClusterEvent, EventKind, MetricDelta, Phase, Postmortem, Rollback};
+use starfish_telemetry::{metric, MetricKind, Snapshot};
+use starfish_util::{AppId, NodeId};
+
+/// One in-flight recovery, keyed by app.
+struct InFlight {
+    begin_seq: u64,
+    begin_vt_ns: u64,
+    dead: Vec<NodeId>,
+    /// Wall-clock silent-time of the first suspicion of the first dead
+    /// node, if the failure was detected by heartbeat (fail-stop fabric
+    /// events skip suspicion).
+    detect_wall_ns: Option<u64>,
+    /// Virtual time between first suspicion and the dead declaration.
+    suspect_to_dead_vt_ns: Option<u64>,
+    line: Vec<u64>,
+    epoch: u64,
+    expected_respawns: Option<usize>,
+    respawns_seen: usize,
+    /// Cluster-wide metrics at recovery begin (for the delta section).
+    stats_before: Snapshot,
+}
+
+/// Everything [`Forensics::finalize`] needs besides its own record: the
+/// bus window to embed (the caller slices from [`Forensics::begin_seq`]),
+/// the cluster-wide metrics at completion, a causal trace slice around
+/// the crash, and the recovery line's backend label.
+pub struct BundleInputs<'a> {
+    pub app_name: &'a str,
+    pub store_backend: &'a str,
+    pub complete_vt_ns: u64,
+    pub events: Vec<ClusterEvent>,
+    pub stats_after: &'a Snapshot,
+    pub trace: Vec<String>,
+}
+
+/// Deterministic recovery observer. One per daemon loop.
+#[derive(Default)]
+pub struct Forensics {
+    /// Latest suspicion per node: `(event vt ns, wall silent ns)`.
+    suspects: BTreeMap<NodeId, (u64, u64)>,
+    /// When the cluster declared each node dead (event vt ns).
+    dead_at: BTreeMap<NodeId, u64>,
+    inflight: BTreeMap<AppId, InFlight>,
+}
+
+impl Forensics {
+    pub fn new() -> Self {
+        Forensics::default()
+    }
+
+    /// Tell the tracker how many replacement ranks the recovery of `app`
+    /// will respawn (known when the `RestartApp` effect is applied). The
+    /// recovery completes when that many `recovery-respawn` events have
+    /// been observed.
+    pub fn expect_respawns(&mut self, app: AppId, n: usize) {
+        if let Some(f) = self.inflight.get_mut(&app) {
+            f.expected_respawns = Some(n);
+        }
+    }
+
+    /// Whether a recovery of `app` is currently being assembled.
+    pub fn in_flight(&self, app: AppId) -> bool {
+        self.inflight.contains_key(&app)
+    }
+
+    /// Feed one bus event. Returns `Some(app)` when this event completed a
+    /// recovery: the caller should synthesize the `recovery-complete` event,
+    /// feed it back through here, and then call [`Forensics::finalize`].
+    ///
+    /// `stats_now` is only read when a recovery *begins* (cheap closure so
+    /// the common path never snapshots).
+    pub fn observe(
+        &mut self,
+        ev: &ClusterEvent,
+        stats_now: impl FnOnce() -> Snapshot,
+    ) -> Option<AppId> {
+        match &ev.kind {
+            EventKind::NodeSuspected { node, silent_ns } => {
+                self.suspects
+                    .entry(*node)
+                    .or_insert((ev.vt.as_nanos(), *silent_ns));
+            }
+            EventKind::NodeUp { node } => {
+                // A re-announced node starts a fresh detector history.
+                self.suspects.remove(node);
+                self.dead_at.remove(node);
+            }
+            EventKind::NodeDead { node } => {
+                self.dead_at.entry(*node).or_insert(ev.vt.as_nanos());
+            }
+            EventKind::RecoveryBegin { app, dead } => {
+                let first_dead = dead.first();
+                let detect = first_dead.and_then(|n| self.suspects.get(n)).copied();
+                let suspect_to_dead = first_dead.and_then(|n| {
+                    let (s_vt, _) = self.suspects.get(n)?;
+                    let d_vt = self.dead_at.get(n)?;
+                    Some(d_vt.saturating_sub(*s_vt))
+                });
+                self.inflight.insert(
+                    *app,
+                    InFlight {
+                        begin_seq: ev.seq,
+                        begin_vt_ns: ev.vt.as_nanos(),
+                        dead: dead.clone(),
+                        detect_wall_ns: detect.map(|(_, silent)| silent),
+                        suspect_to_dead_vt_ns: suspect_to_dead,
+                        line: Vec::new(),
+                        epoch: 0,
+                        expected_respawns: None,
+                        respawns_seen: 0,
+                        stats_before: stats_now(),
+                    },
+                );
+            }
+            EventKind::RecoveryRestore { app, epoch, line } => {
+                if let Some(f) = self.inflight.get_mut(app) {
+                    f.line = line.clone();
+                    f.epoch = epoch.raw() as u64;
+                }
+            }
+            EventKind::RecoveryRespawn { app, .. } => {
+                if let Some(f) = self.inflight.get_mut(app) {
+                    f.respawns_seen += 1;
+                    if Some(f.respawns_seen) == f.expected_respawns {
+                        return Some(*app);
+                    }
+                }
+            }
+            _ => {}
+        }
+        None
+    }
+
+    /// Build the bundle for `app` and close its in-flight record.
+    pub fn finalize(&mut self, app: AppId, inputs: BundleInputs<'_>) -> Option<Postmortem> {
+        let BundleInputs {
+            app_name,
+            store_backend,
+            complete_vt_ns,
+            events,
+            stats_after,
+            trace,
+        } = inputs;
+        let f = self.inflight.remove(&app)?;
+        let mut pm = Postmortem::new(app_name);
+        pm.epoch = f.epoch;
+        pm.store_backend = store_backend.to_string();
+        pm.begin_vt_ns = f.begin_vt_ns;
+        pm.complete_vt_ns = complete_vt_ns;
+        let dead: Vec<String> = f.dead.iter().map(|n| n.to_string()).collect();
+        pm.trigger = if f.detect_wall_ns.is_some() {
+            format!("node {} dead (heartbeat timeout)", dead.join(" "))
+        } else {
+            format!("node {} dead (fail-stop)", dead.join(" "))
+        };
+        if let Some(d) = f.detect_wall_ns {
+            pm.phases.push(Phase::wall("detect", d));
+        }
+        if let Some(d) = f.suspect_to_dead_vt_ns {
+            pm.phases.push(Phase::virt("suspect-to-dead", d));
+        }
+        // Restore latency is recorded by the restarted ranks themselves
+        // (recovery.restore_ns / recovery.fetch_ns histograms); at bundle
+        // time the window delta is the best available daemon-side view.
+        let restore_delta =
+            hist_sum_delta(&f.stats_before, stats_after, metric::RECOVERY_RESTORE_NS);
+        if restore_delta > 0 {
+            pm.phases.push(Phase::virt("restore", restore_delta));
+        }
+        pm.phases.push(Phase::virt(
+            "respawn-window",
+            complete_vt_ns.saturating_sub(f.begin_vt_ns),
+        ));
+        let depth = hist_sum_delta(
+            &f.stats_before,
+            stats_after,
+            metric::RECOVERY_ROLLBACK_VT_NS,
+        );
+        let lost = hist_sum_delta(&f.stats_before, stats_after, metric::RECOVERY_LOST_MSGS);
+        pm.rollback = Rollback {
+            line: f.line,
+            depth_vt_ns: depth,
+            messages_lost: lost,
+        };
+        pm.events = events;
+        pm.trace = trace;
+        pm.metrics = metrics_delta(&f.stats_before, stats_after);
+        Some(pm)
+    }
+
+    /// The bus seq at which the recovery of `app` opened (for slicing the
+    /// event window). The window should start at the first suspicion or
+    /// death of any involved node, whichever the bus still retains.
+    pub fn begin_seq(&self, app: AppId) -> Option<u64> {
+        self.inflight.get(&app).map(|f| f.begin_seq)
+    }
+
+    /// First event seq worth embedding: walks back from the recovery's dead
+    /// set to the earliest suspicion/death the tracker saw. Conservative —
+    /// returns `begin_seq` when no earlier anchor exists.
+    pub fn window_start_vt(&self, app: AppId) -> Option<u64> {
+        let f = self.inflight.get(&app)?;
+        let mut start = f.begin_vt_ns;
+        for n in &f.dead {
+            if let Some((vt, _)) = self.suspects.get(n) {
+                start = start.min(*vt);
+            }
+            if let Some(vt) = self.dead_at.get(n) {
+                start = start.min(*vt);
+            }
+        }
+        Some(start)
+    }
+}
+
+/// Counters that moved between two cluster-wide snapshots, by metric name.
+fn metrics_delta(before: &Snapshot, after: &Snapshot) -> Vec<MetricDelta> {
+    let mut out = Vec::new();
+    for id in metric::all() {
+        match id.kind() {
+            MetricKind::Counter => {
+                let d = after.counter(id) as i64 - before.counter(id) as i64;
+                if d != 0 {
+                    out.push(MetricDelta {
+                        name: id.name().to_string(),
+                        delta: d,
+                    });
+                }
+            }
+            MetricKind::Histogram => {
+                let b = before.hist(id).map(|h| h.count).unwrap_or(0);
+                let a = after.hist(id).map(|h| h.count).unwrap_or(0);
+                if a != b {
+                    out.push(MetricDelta {
+                        name: id.name().to_string(),
+                        delta: a as i64 - b as i64,
+                    });
+                }
+            }
+            MetricKind::Gauge => {}
+        }
+    }
+    out
+}
+
+fn hist_sum_delta(before: &Snapshot, after: &Snapshot, id: starfish_telemetry::MetricId) -> u64 {
+    let b = before.hist(id).map(|h| h.sum).unwrap_or(0);
+    let a = after.hist(id).map(|h| h.sum).unwrap_or(0);
+    a.saturating_sub(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use starfish_util::{Epoch, Rank, VirtualTime};
+
+    fn ev(seq: u64, vt_ns: u64, kind: EventKind) -> ClusterEvent {
+        ClusterEvent {
+            seq,
+            vt: VirtualTime::from_nanos(vt_ns),
+            origin: NodeId(0),
+            kind,
+        }
+    }
+
+    fn drive_recovery(fx: &mut Forensics) -> Vec<ClusterEvent> {
+        let app = AppId(1);
+        let events = vec![
+            ev(
+                0,
+                1_000,
+                EventKind::NodeSuspected {
+                    node: NodeId(2),
+                    silent_ns: 450_000_000,
+                },
+            ),
+            ev(1, 2_000, EventKind::NodeDead { node: NodeId(2) }),
+            ev(
+                2,
+                3_000,
+                EventKind::RecoveryBegin {
+                    app,
+                    dead: vec![NodeId(2)],
+                },
+            ),
+            ev(
+                3,
+                3_500,
+                EventKind::RecoveryRestore {
+                    app,
+                    epoch: Epoch(2),
+                    line: vec![4, 4, 4],
+                },
+            ),
+            ev(
+                4,
+                4_000,
+                EventKind::RecoveryRespawn {
+                    app,
+                    rank: Rank(1),
+                    node: NodeId(0),
+                },
+            ),
+        ];
+        for (i, e) in events.iter().enumerate() {
+            let done = fx.observe(e, Snapshot::default);
+            if matches!(e.kind, EventKind::RecoveryBegin { .. }) {
+                fx.expect_respawns(app, 1);
+            }
+            if i == events.len() - 1 {
+                assert_eq!(done, Some(app), "last respawn completes the recovery");
+            } else {
+                assert_eq!(done, None);
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn full_lifecycle_builds_a_bundle() {
+        let mut fx = Forensics::new();
+        let events = drive_recovery(&mut fx);
+        assert!(fx.in_flight(AppId(1)));
+        assert_eq!(fx.begin_seq(AppId(1)), Some(2));
+        // Window walks back to the suspicion.
+        assert_eq!(fx.window_start_vt(AppId(1)), Some(1_000));
+        let pm = fx
+            .finalize(
+                AppId(1),
+                BundleInputs {
+                    app_name: "app1",
+                    store_backend: "replica:2",
+                    complete_vt_ns: 5_000,
+                    events,
+                    stats_after: &Snapshot::default(),
+                    trace: vec![],
+                },
+            )
+            .unwrap();
+        assert!(!fx.in_flight(AppId(1)));
+        assert_eq!(pm.epoch, 2);
+        assert_eq!(pm.rollback.line, vec![4, 4, 4]);
+        assert_eq!(pm.phase_ns("detect"), Some(450_000_000));
+        assert_eq!(pm.phase_ns("suspect-to-dead"), Some(1_000));
+        assert_eq!(pm.phase_ns("respawn-window"), Some(2_000));
+        assert!(pm.trigger.contains("heartbeat timeout"), "{}", pm.trigger);
+        assert_eq!(pm.events.len(), 5);
+    }
+
+    #[test]
+    fn fail_stop_without_suspicion_is_labelled() {
+        let mut fx = Forensics::new();
+        let app = AppId(3);
+        fx.observe(
+            &ev(0, 100, EventKind::NodeDead { node: NodeId(1) }),
+            Snapshot::default,
+        );
+        fx.observe(
+            &ev(
+                1,
+                200,
+                EventKind::RecoveryBegin {
+                    app,
+                    dead: vec![NodeId(1)],
+                },
+            ),
+            Snapshot::default,
+        );
+        fx.expect_respawns(app, 0);
+        let pm = fx
+            .finalize(
+                app,
+                BundleInputs {
+                    app_name: "app3",
+                    store_backend: "disk",
+                    complete_vt_ns: 300,
+                    events: vec![],
+                    stats_after: &Snapshot::default(),
+                    trace: vec![],
+                },
+            )
+            .unwrap();
+        assert!(pm.trigger.contains("fail-stop"), "{}", pm.trigger);
+        assert_eq!(pm.phase_ns("detect"), None);
+    }
+
+    #[test]
+    fn reannounce_resets_detector_history() {
+        let mut fx = Forensics::new();
+        fx.observe(
+            &ev(
+                0,
+                100,
+                EventKind::NodeSuspected {
+                    node: NodeId(2),
+                    silent_ns: 7,
+                },
+            ),
+            Snapshot::default,
+        );
+        fx.observe(
+            &ev(1, 200, EventKind::NodeUp { node: NodeId(2) }),
+            Snapshot::default,
+        );
+        fx.observe(
+            &ev(
+                2,
+                300,
+                EventKind::RecoveryBegin {
+                    app: AppId(1),
+                    dead: vec![NodeId(2)],
+                },
+            ),
+            Snapshot::default,
+        );
+        let pm = fx
+            .finalize(
+                AppId(1),
+                BundleInputs {
+                    app_name: "app1",
+                    store_backend: "disk",
+                    complete_vt_ns: 400,
+                    events: vec![],
+                    stats_after: &Snapshot::default(),
+                    trace: vec![],
+                },
+            )
+            .unwrap();
+        // The stale pre-rejoin suspicion must not masquerade as detection.
+        assert_eq!(pm.phase_ns("detect"), None);
+    }
+
+    #[test]
+    fn finalize_unknown_app_is_none() {
+        let mut fx = Forensics::new();
+        assert!(fx
+            .finalize(
+                AppId(9),
+                BundleInputs {
+                    app_name: "app9",
+                    store_backend: "disk",
+                    complete_vt_ns: 0,
+                    events: vec![],
+                    stats_after: &Snapshot::default(),
+                    trace: vec![],
+                },
+            )
+            .is_none());
+    }
+}

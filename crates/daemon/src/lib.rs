@@ -33,13 +33,15 @@
 
 pub mod config;
 pub mod daemon;
+pub mod forensics;
 pub mod host;
 pub mod mgmt;
 pub mod msg;
 pub mod stats;
 
 pub use config::{AppEntry, AppSpec, AppStatus, CkptProto, ClusterConfig, FtPolicy, LevelKind};
-pub use daemon::{Daemon, DaemonConfig};
+pub use daemon::{postmortem_dir, Daemon, DaemonConfig};
+pub use forensics::Forensics;
 pub use host::{NodeHost, ProcSpec};
 pub use mgmt::MgmtSession;
 pub use msg::{CfgCmd, ProcDown, ProcUp, RelayKind};

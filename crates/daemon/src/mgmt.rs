@@ -14,16 +14,18 @@
 //! presentation layer over exactly this protocol and is intentionally not
 //! reproduced.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use starfish_util::{AppId, NodeId};
 
 #[cfg(test)]
 use crate::config::AppStatus;
-use crate::config::{AppSpec, CkptProto, FtPolicy, LevelKind};
+use crate::config::{AppSpec, CfgNodeStatus, CkptProto, FtPolicy, LevelKind};
 use crate::daemon::Daemon;
 use crate::msg::CfgCmd;
 use starfish_checkpoint::backend::CkptBackend;
+use starfish_events::{EventCursor, Poll};
 
 /// Default administrator password; override with `SET admin_password <pw>`.
 pub const DEFAULT_ADMIN_PASSWORD: &str = "starfish";
@@ -69,12 +71,26 @@ pub const COMMAND_USAGE: &[(&str, &str)] = &[
         "MIGRATE <app> <rank> <node> — admin: move a rank (cold)",
     ),
     ("NODES", "NODES — list nodes and their status"),
-    ("STATS", "STATS — merged cluster telemetry counters"),
-    ("HEALTH", "HEALTH — node status plus key health metrics"),
+    (
+        "STATS",
+        "STATS | STATS SUBSCRIBE <interval_ms> | STATS HISTORY [n] — merged cluster telemetry",
+    ),
+    (
+        "HEALTH",
+        "HEALTH — per-node liveness (announce state, heartbeat age) plus key health metrics",
+    ),
     ("TIMELINE", "TIMELINE <app> — per-rank event timeline"),
     (
         "TRACE",
-        "TRACE SCOPES | TRACE DUMP [scope] | TRACE TAIL <n> [scope] | TRACE PATH <app>",
+        "TRACE SCOPES | TRACE DUMP [scope] | TRACE TAIL <n> [scope] | TRACE PATH <app> | TRACE FOLLOW <scope>",
+    ),
+    (
+        "EVENTS",
+        "EVENTS [TAIL <n>] | EVENTS SUBSCRIBE [filter] — cluster event bus",
+    ),
+    (
+        "POSTMORTEM",
+        "POSTMORTEM <app> — recovery forensics bundle (JSON)",
     ),
     ("APPS", "APPS — list applications (alias: STATUS)"),
     ("STATUS", "STATUS — list applications (alias: APPS)"),
@@ -86,12 +102,31 @@ enum Role {
     User(String),
 }
 
+/// The streaming state a `SUBSCRIBE`/`FOLLOW` command arms on a session.
+/// One subscription per session; a new one replaces the old.
+enum Subscription {
+    Events {
+        cursor: EventCursor,
+        /// Substring match against the event label (e.g. "recovery").
+        filter: Option<String>,
+    },
+    Stats {
+        interval_ms: u64,
+        last_emit: Option<std::time::Instant>,
+    },
+    Trace {
+        scope: String,
+        next_seq: u64,
+    },
+}
+
 /// One management or user session against a daemon.
 pub struct MgmtSession {
     daemon: Daemon,
     role: Option<Role>,
     /// Token source for submissions (deterministic per session).
     next_token: u64,
+    subscription: Option<Subscription>,
 }
 
 impl MgmtSession {
@@ -102,7 +137,73 @@ impl MgmtSession {
             daemon,
             role: None,
             next_token: session_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            subscription: None,
         }
+    }
+
+    /// Whether a `SUBSCRIBE`/`FOLLOW` is armed on this session.
+    pub fn subscribed(&self) -> bool {
+        self.subscription.is_some()
+    }
+
+    /// Drop the active subscription (client disconnected or issued a new
+    /// command that replaces it).
+    pub fn unsubscribe(&mut self) {
+        self.subscription = None;
+    }
+
+    /// Drain the push frames the active subscription owes the client. The
+    /// serving loop calls this between request lines (and on a timer for
+    /// `STATS SUBSCRIBE`); with no subscription armed it returns nothing.
+    pub fn poll_frames(&mut self) -> Vec<String> {
+        let mut frames = Vec::new();
+        match &mut self.subscription {
+            None => {}
+            Some(Subscription::Events { cursor, filter }) => {
+                let Poll { events, missed } = cursor.poll();
+                if missed > 0 {
+                    frames.push(format!("EVENT! missed {missed}"));
+                }
+                for ev in events {
+                    if let Some(f) = filter {
+                        if !ev.kind.label().contains(f.as_str()) {
+                            continue;
+                        }
+                    }
+                    frames.push(format!("EVENT {}", ev.summary()));
+                }
+            }
+            Some(Subscription::Stats {
+                interval_ms,
+                last_emit,
+            }) => {
+                let due = match (*interval_ms, &*last_emit) {
+                    (0, _) => true,
+                    (_, None) => true,
+                    (ms, Some(t)) => t.elapsed() >= Duration::from_millis(ms),
+                };
+                if due {
+                    *last_emit = Some(std::time::Instant::now());
+                    let snap = self.daemon.stats().merged();
+                    let mut f = String::from("STATS");
+                    for line in starfish_telemetry::render_stats(&snap).lines() {
+                        f.push('\n');
+                        f.push_str(line);
+                    }
+                    frames.push(f);
+                }
+            }
+            Some(Subscription::Trace { scope, next_seq }) => {
+                if let Some(r) = self.daemon.trace_hub().get(scope) {
+                    let from = *next_seq;
+                    for ev in r.dump().events.iter().filter(|e| e.seq >= from) {
+                        frames.push(format!("TRACE {scope} {}", ev.summary()));
+                        *next_seq = ev.seq + 1;
+                    }
+                }
+            }
+        }
+        frames
     }
 
     fn is_admin(&self) -> bool {
@@ -460,24 +561,81 @@ impl MgmtSession {
             }
             "STATS" => {
                 self.require_login()?;
-                let snap = self.daemon.stats().merged();
-                if snap.is_empty() {
-                    return Ok("OK stats (no data)".into());
+                const USAGE: &str =
+                    "ERR usage: STATS | STATS SUBSCRIBE <interval_ms> | STATS HISTORY [n]";
+                match toks.get(1).map(|s| s.to_ascii_uppercase()).as_deref() {
+                    None => {
+                        let snap = self.daemon.stats().merged();
+                        if snap.is_empty() {
+                            return Ok("OK stats (no data)".into());
+                        }
+                        let mut out = String::from("OK stats");
+                        for line in starfish_telemetry::render_stats(&snap).lines() {
+                            out.push('\n');
+                            out.push_str(line);
+                        }
+                        Ok(out)
+                    }
+                    Some("SUBSCRIBE") if toks.len() == 3 => {
+                        let ms: u64 = toks[2].parse().map_err(|_| USAGE.to_string())?;
+                        self.subscription = Some(Subscription::Stats {
+                            interval_ms: ms,
+                            last_emit: None,
+                        });
+                        Ok(format!("OK subscribed stats interval={ms}ms"))
+                    }
+                    Some("HISTORY") if toks.len() <= 3 => {
+                        let n: usize = match toks.get(2) {
+                            Some(t) => t.parse().map_err(|_| USAGE.to_string())?,
+                            None => usize::MAX,
+                        };
+                        let hist = self.daemon.stats().history();
+                        let skip = hist.len().saturating_sub(n);
+                        let mut out = format!("OK stats history {}", hist.len() - skip);
+                        let mut prev: Option<u64> = None;
+                        for (vt, snap) in hist.iter().skip(skip) {
+                            let total: u64 = snap.counters.iter().map(|(_, v)| *v).sum();
+                            let delta = match prev {
+                                Some(p) => total.saturating_sub(p),
+                                None => total,
+                            };
+                            prev = Some(total);
+                            out.push_str(&format!(
+                                "\n@{} total={total} delta={delta}",
+                                vt.as_nanos()
+                            ));
+                        }
+                        Ok(out)
+                    }
+                    _ => Err(USAGE.into()),
                 }
-                let mut out = String::from("OK stats");
-                for line in starfish_telemetry::render_stats(&snap).lines() {
-                    out.push('\n');
-                    out.push_str(line);
-                }
-                Ok(out)
             }
             "HEALTH" => {
                 self.require_login()?;
                 let cfg = self.daemon.config();
                 let snap = self.daemon.stats().merged();
+                let ages: BTreeMap<NodeId, Duration> =
+                    self.daemon.heartbeat_ages().into_iter().collect();
                 let mut out = String::from("OK health");
                 for (n, e) in &cfg.nodes {
-                    out.push_str(&format!("\n{n} {:?}", e.status));
+                    // Registered-but-unannounced is *not* "up": the daemon
+                    // never proved it is alive (the phantom-node rule).
+                    let state = match e.status {
+                        CfgNodeStatus::Up if e.announced => "up",
+                        CfgNodeStatus::Up => "registered",
+                        CfgNodeStatus::Disabled => "disabled",
+                        CfgNodeStatus::Dead => "dead",
+                        CfgNodeStatus::Removed => "removed",
+                    };
+                    let hb = if *n == self.daemon.node() {
+                        "self".to_string()
+                    } else {
+                        match ages.get(n) {
+                            Some(d) => format!("{}ms", d.as_millis()),
+                            None => "-".to_string(),
+                        }
+                    };
+                    out.push_str(&format!("\n{n} {state} hb_age={hb}"));
                 }
                 out.push_str(&format!(
                     "\nprocs.running {}",
@@ -523,7 +681,7 @@ impl MgmtSession {
             }
             "TRACE" => {
                 self.require_login()?;
-                const USAGE: &str = "ERR usage: TRACE SCOPES | TRACE DUMP [scope] | TRACE TAIL <n> [scope] | TRACE PATH <app>";
+                const USAGE: &str = "ERR usage: TRACE SCOPES | TRACE DUMP [scope] | TRACE TAIL <n> [scope] | TRACE PATH <app> | TRACE FOLLOW <scope>";
                 let hub = self.daemon.trace_hub();
                 match toks.get(1).map(|s| s.to_ascii_uppercase()).as_deref() {
                     Some("SCOPES") if toks.len() == 2 => {
@@ -576,6 +734,19 @@ impl MgmtSession {
                         }
                         Ok(out)
                     }
+                    Some("FOLLOW") if toks.len() == 3 => {
+                        let scope = toks[2].to_string();
+                        let Some(r) = hub.get(&scope) else {
+                            return Err(format!("ERR no such scope {scope:?}"));
+                        };
+                        // Live edge: only events recorded after this line.
+                        let next_seq = r.dump().events.last().map(|e| e.seq + 1).unwrap_or(0);
+                        self.subscription = Some(Subscription::Trace {
+                            scope: scope.clone(),
+                            next_seq,
+                        });
+                        Ok(format!("OK following trace {scope}"))
+                    }
                     Some("PATH") if toks.len() == 3 => {
                         let id = Self::parse_app_id(toks[2]).map_err(|_| USAGE.to_string())?;
                         let dumps = hub.dump_prefix(&format!("{id}.r"));
@@ -593,6 +764,62 @@ impl MgmtSession {
                         Ok(out)
                     }
                     _ => Err(USAGE.into()),
+                }
+            }
+            "EVENTS" => {
+                self.require_login()?;
+                const USAGE: &str = "ERR usage: EVENTS [TAIL <n>] | EVENTS SUBSCRIBE [filter]";
+                let tail = |n: usize| {
+                    let bus = self.daemon.events();
+                    let mut out = format!(
+                        "OK events published={} dropped={}",
+                        bus.published(),
+                        bus.dropped()
+                    );
+                    for ev in bus.tail(n) {
+                        out.push('\n');
+                        out.push_str(&ev.summary());
+                    }
+                    out
+                };
+                match toks.get(1).map(|s| s.to_ascii_uppercase()).as_deref() {
+                    None => Ok(tail(10)),
+                    Some("TAIL") if toks.len() == 3 => {
+                        let n: usize = toks[2].parse().map_err(|_| USAGE.to_string())?;
+                        Ok(tail(n))
+                    }
+                    Some("SUBSCRIBE") if toks.len() <= 3 => {
+                        let filter = toks.get(2).map(|s| s.to_string());
+                        self.subscription = Some(Subscription::Events {
+                            cursor: self.daemon.events().subscribe(),
+                            filter,
+                        });
+                        Ok("OK subscribed events".into())
+                    }
+                    _ => Err(USAGE.into()),
+                }
+            }
+            "POSTMORTEM" => {
+                self.require_login()?;
+                const USAGE: &str = "ERR usage: POSTMORTEM <app>";
+                if toks.len() != 2 {
+                    return Err(USAGE.into());
+                }
+                let id = Self::parse_app_id(toks[1]).map_err(|_| USAGE.to_string())?;
+                match self.daemon.postmortem(id) {
+                    Some(pm) => Ok(format!("OK postmortem {id}\n{}", pm.to_json())),
+                    None => {
+                        let have: Vec<String> = self
+                            .daemon
+                            .postmortem_apps()
+                            .iter()
+                            .map(|a| a.to_string())
+                            .collect();
+                        Err(format!(
+                            "ERR no postmortem for {id} (have: [{}])",
+                            have.join(",")
+                        ))
+                    }
                 }
             }
             "APPS" | "STATUS" => {
@@ -882,6 +1109,169 @@ mod tests {
         assert!(s
             .handle_line("SUBMIT z 1 STORE floppy")
             .starts_with("ERR bad STORE"));
+    }
+
+    #[test]
+    fn events_tail_and_subscribe_stream_frames() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d.clone(), 20);
+        s.handle_line("LOGIN ADMIN starfish");
+        // The bus already carries the founder's own node-up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let out = s.handle_line("EVENTS");
+            assert!(out.starts_with("OK events published="), "{out}");
+            if out.contains("node-up") {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no node-up: {out}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Subscribe at the live edge, then publish an observation.
+        assert_eq!(s.handle_line("EVENTS SUBSCRIBE"), "OK subscribed events");
+        assert!(s.subscribed());
+        d.publish_event(starfish_events::EventKind::FaultInjected {
+            desc: "test kill".into(),
+        })
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let frames = loop {
+            let frames = s.poll_frames();
+            if !frames.is_empty() {
+                break frames;
+            }
+            assert!(std::time::Instant::now() < deadline, "no frames");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(
+            frames
+                .iter()
+                .any(|f| f.starts_with("EVENT ") && f.contains("fault-injected")),
+            "{frames:?}"
+        );
+        // A label filter suppresses non-matching events.
+        assert_eq!(
+            s.handle_line("EVENTS SUBSCRIBE recovery"),
+            "OK subscribed events"
+        );
+        d.publish_event(starfish_events::EventKind::FaultInjected {
+            desc: "filtered".into(),
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(s.poll_frames().is_empty());
+        s.unsubscribe();
+        assert!(!s.subscribed());
+        // Pull form with explicit count.
+        let out = s.handle_line("EVENTS TAIL 1");
+        assert_eq!(out.lines().count(), 2, "{out}");
+    }
+
+    #[test]
+    fn stats_subscribe_and_history_over_the_protocol() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d, 21);
+        s.handle_line("LOGIN ADMIN starfish");
+        // Interval 0: a frame on every poll (no wall clock involved).
+        assert!(s
+            .handle_line("STATS SUBSCRIBE 0")
+            .starts_with("OK subscribed stats"));
+        let f1 = s.poll_frames();
+        assert_eq!(f1.len(), 1);
+        assert!(f1[0].starts_with("STATS"), "{f1:?}");
+        assert_eq!(s.poll_frames().len(), 1);
+        // History is served even when empty (no app flushed stats yet).
+        let h = s.handle_line("STATS HISTORY");
+        assert!(h.starts_with("OK stats history"), "{h}");
+        let h = s.handle_line("STATS HISTORY 3");
+        assert!(h.starts_with("OK stats history"), "{h}");
+    }
+
+    #[test]
+    fn trace_follow_streams_only_new_events() {
+        let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+        f.add_node(NodeId(0));
+        let mut cfg = DaemonConfig::new(NodeId(0));
+        cfg.recorder = starfish_trace::FlightRecorder::new("n0", 64);
+        let d = Daemon::start(&f, cfg, None, Box::new(NullHost), CkptStore::new()).unwrap();
+        d.wait_config(Duration::from_secs(5), |c| c.up_nodes().len() == 1)
+            .unwrap();
+        let mut s = MgmtSession::connect(d.clone(), 22);
+        s.handle_line("LOGIN ADMIN starfish");
+        assert_eq!(s.handle_line("TRACE FOLLOW n0"), "OK following trace n0");
+        // Nothing new yet: the follow starts at the live edge, not history.
+        assert!(s.poll_frames().is_empty());
+        // New ensemble traffic shows up as frames.
+        d.issue(CfgCmd::SetParam {
+            key: "k".into(),
+            value: "v".into(),
+        })
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let frames = loop {
+            let frames = s.poll_frames();
+            if !frames.is_empty() {
+                break frames;
+            }
+            assert!(std::time::Instant::now() < deadline, "no trace frames");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(frames[0].starts_with("TRACE n0 "), "{frames:?}");
+        assert!(s
+            .handle_line("TRACE FOLLOW nosuch")
+            .starts_with("ERR no such scope"));
+    }
+
+    /// Satellite: HEALTH distinguishes a registered-but-unannounced node
+    /// from a live one, and surfaces per-peer heartbeat age.
+    #[test]
+    fn health_reports_announce_state_and_heartbeat_age() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d.clone(), 23);
+        s.handle_line("LOGIN ADMIN starfish");
+        s.handle_line("ADDNODE 7");
+        d.wait_config(Duration::from_secs(5), |c| c.nodes.len() == 2)
+            .unwrap();
+        let out = s.handle_line("HEALTH");
+        assert!(out.starts_with("OK health"), "{out}");
+        // Our own daemon announced itself; node 7's daemon never booted.
+        assert!(out.contains("n0 up hb_age=self"), "{out}");
+        assert!(out.contains("n7 registered hb_age=-"), "{out}");
+    }
+
+    /// Satellite: every malformed subscription/forensics line comes back as
+    /// one uniform `ERR usage:` line.
+    #[test]
+    fn subscription_and_postmortem_usage_errors_are_one_line() {
+        let d = one_node_daemon();
+        let mut s = MgmtSession::connect(d, 24);
+        s.handle_line("LOGIN ADMIN starfish");
+        for bad in [
+            "EVENTS BOGUS",
+            "EVENTS TAIL",
+            "EVENTS TAIL nope",
+            "EVENTS TAIL 3 extra",
+            "EVENTS SUBSCRIBE f extra",
+            "STATS SUBSCRIBE",
+            "STATS SUBSCRIBE nope",
+            "STATS SUBSCRIBE 5 extra",
+            "STATS HISTORY nope",
+            "STATS BOGUS",
+            "TRACE FOLLOW",
+            "TRACE FOLLOW a b",
+            "POSTMORTEM",
+            "POSTMORTEM nope",
+            "POSTMORTEM app1 extra",
+        ] {
+            let resp = s.handle_line(bad);
+            assert!(resp.starts_with("ERR usage:"), "{bad} -> {resp}");
+            assert_eq!(resp.lines().count(), 1, "{bad} -> {resp}");
+        }
+        // A well-formed query for a recovery that never happened names the
+        // bundles that do exist.
+        assert!(s
+            .handle_line("POSTMORTEM app9")
+            .starts_with("ERR no postmortem for app9"));
     }
 
     #[test]

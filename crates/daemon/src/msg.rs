@@ -459,6 +459,16 @@ pub enum WireCast {
         scope: String,
         snap: Snapshot,
     },
+    /// A structured cluster event observed locally (suspicion, checkpoint
+    /// commit, respawn, injected fault) published onto every daemon's event
+    /// bus through the total order, so all buses agree on sequence.
+    /// Events derivable from the `Cfg` stream itself are *not* cast — each
+    /// daemon appends those deterministically while applying the command.
+    Event {
+        origin: NodeId,
+        vt: VirtualTime,
+        kind: starfish_events::EventKind,
+    },
 }
 
 impl Encode for WireCast {
@@ -477,6 +487,12 @@ impl Encode for WireCast {
                 enc.put_str(scope);
                 snap.encode(enc);
             }
+            WireCast::Event { origin, vt, kind } => {
+                enc.put_u8(3);
+                origin.encode(enc);
+                enc.put_u64(vt.as_nanos());
+                kind.encode(enc);
+            }
         }
     }
 }
@@ -489,6 +505,11 @@ impl Decode for WireCast {
             2 => WireCast::Stats {
                 scope: dec.get_str()?,
                 snap: Snapshot::decode(dec)?,
+            },
+            3 => WireCast::Event {
+                origin: NodeId::decode(dec)?,
+                vt: VirtualTime::from_nanos(dec.get_u64()?),
+                kind: starfish_events::EventKind::decode(dec)?,
             },
             t => return Err(Error::codec(format!("unknown WireCast tag {t}"))),
         })
@@ -627,6 +648,15 @@ mod tests {
         let w = WireCast::Stats {
             scope: "app1.r0".into(),
             snap: reg.snapshot(),
+        };
+        assert_eq!(roundtrip(&w).unwrap(), w);
+        let w = WireCast::Event {
+            origin: NodeId(1),
+            vt: VirtualTime::from_nanos(42_000),
+            kind: starfish_events::EventKind::NodeSuspected {
+                node: NodeId(2),
+                silent_ns: 450_000_000,
+            },
         };
         assert_eq!(roundtrip(&w).unwrap(), w);
     }

@@ -12,17 +12,28 @@
 //! Snapshots are **cumulative**, so a newer snapshot for a scope *replaces*
 //! the previous one; snapshots of *different* scopes merge additively.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use starfish_telemetry::{Snapshot, TimelineEvent};
+use starfish_util::VirtualTime;
+
+/// Default number of timestamped history snapshots retained.
+pub const DEFAULT_HISTORY_RETENTION: usize = 64;
+
+#[derive(Default)]
+struct History {
+    retention: usize,
+    ring: VecDeque<(VirtualTime, Snapshot)>,
+}
 
 /// Shared table of the latest snapshot per scope. Cheap to clone.
 #[derive(Clone, Default)]
 pub struct StatsHub {
     inner: Arc<Mutex<BTreeMap<String, Snapshot>>>,
+    history: Arc<Mutex<History>>,
 }
 
 impl StatsHub {
@@ -54,6 +65,40 @@ impl StatsHub {
             out.merge(snap);
         }
         out
+    }
+
+    /// Append a timestamped snapshot of the current cluster-wide merge to
+    /// the history ring (called while applying ordered `Stats` casts, so
+    /// all daemons record the same sequence).
+    pub fn record_history(&self, vt: VirtualTime) {
+        let snap = self.merged();
+        let mut h = self.history.lock();
+        if h.retention == 0 {
+            h.retention = DEFAULT_HISTORY_RETENTION;
+        }
+        // Same ordered-stream point twice (e.g. the per-rank cast followed
+        // by its "cluster" piggyback) collapses into one sample.
+        if h.ring.back().map(|(t, _)| *t) == Some(vt) {
+            h.ring.pop_back();
+        }
+        h.ring.push_back((vt, snap));
+        while h.ring.len() > h.retention {
+            h.ring.pop_front();
+        }
+    }
+
+    /// Set how many history snapshots are retained (`SET stats_history <n>`).
+    pub fn set_retention(&self, n: usize) {
+        let mut h = self.history.lock();
+        h.retention = n.max(1);
+        while h.ring.len() > h.retention {
+            h.ring.pop_front();
+        }
+    }
+
+    /// Oldest-first timestamped history snapshots.
+    pub fn history(&self) -> Vec<(VirtualTime, Snapshot)> {
+        self.history.lock().ring.iter().cloned().collect()
     }
 
     /// Timeline events of every scope starting with `prefix` (e.g.
@@ -90,6 +135,28 @@ mod tests {
         hub.update("b", r2.snapshot());
         assert_eq!(hub.merged().counter(metric::ENSEMBLE_CASTS), 3);
         assert_eq!(hub.scopes(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn history_ring_dedups_vt_and_respects_retention() {
+        let hub = StatsHub::new();
+        let r = Registry::new();
+        for i in 0..5u64 {
+            r.inc(metric::ENSEMBLE_CASTS);
+            hub.update("a", r.snapshot());
+            hub.record_history(starfish_util::VirtualTime(i * 100));
+        }
+        assert_eq!(hub.history().len(), 5);
+        // Same vt replaces the last sample instead of duplicating it.
+        hub.record_history(starfish_util::VirtualTime(400));
+        assert_eq!(hub.history().len(), 5);
+        hub.set_retention(2);
+        let h = hub.history();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].0, starfish_util::VirtualTime(300));
+        // New samples keep honouring the tighter retention.
+        hub.record_history(starfish_util::VirtualTime(500));
+        assert_eq!(hub.history().len(), 2);
     }
 
     #[test]

@@ -103,6 +103,15 @@ impl Default for EndpointConfig {
 pub enum GcEvent {
     /// A new view was installed.
     View { view: View, vt: VirtualTime },
+    /// The failure detector stopped hearing heartbeats from a member.
+    /// Advisory: the member is about to be excluded through the normal
+    /// failure path (a `View` follows); `silent_for` is how long the member
+    /// had been silent when suspicion fired — the detection latency.
+    Suspected {
+        node: NodeId,
+        silent_for: Duration,
+        vt: VirtualTime,
+    },
     /// A totally ordered cast.
     Cast {
         from: NodeId,
@@ -120,6 +129,25 @@ pub enum GcEvent {
     /// This endpoint has left the group (gracefully or because it was
     /// excluded); no further events follow.
     Left,
+}
+
+/// Shared read view of an endpoint's per-peer last-heard instants (see
+/// [`Endpoint::liveness`]). Defaults to an empty, never-updated table.
+#[derive(Clone, Default)]
+pub struct HeartbeatAges {
+    last_seen: Arc<Mutex<BTreeMap<NodeId, std::time::Instant>>>,
+}
+
+impl HeartbeatAges {
+    /// `(peer, time since last heard)` for every peer ever heard from.
+    pub fn ages(&self) -> Vec<(NodeId, Duration)> {
+        let now = std::time::Instant::now(); // lint: allow(wall-clock)
+        self.last_seen
+            .lock()
+            .iter()
+            .map(|(n, seen)| (*n, now.saturating_duration_since(*seen)))
+            .collect()
+    }
 }
 
 enum Cmd {
@@ -141,6 +169,7 @@ pub struct Endpoint {
     cmd_tx: Sender<Cmd>,
     events_rx: Receiver<GcEvent>,
     shared_view: Arc<Mutex<Option<View>>>,
+    last_seen: Arc<Mutex<BTreeMap<NodeId, std::time::Instant>>>,
 }
 
 impl Endpoint {
@@ -171,6 +200,7 @@ impl Endpoint {
         let (cmd_tx, cmd_rx) = channel::unbounded();
         let (events_tx, events_rx) = channel::unbounded();
         let shared_view = Arc::new(Mutex::new(None));
+        let last_seen = Arc::new(Mutex::new(BTreeMap::new()));
         let chaos_rng = cfg
             .chaos
             .map(|c| starfish_util::rng::DetRng::new(c.seed).derive(node.0 as u64));
@@ -197,7 +227,7 @@ impl Endpoint {
             flushing: false,
             leaving: false,
             dead: false,
-            last_seen: BTreeMap::new(),
+            last_seen: last_seen.clone(),
             last_beacon: std::time::Instant::now(), // lint: allow(wall-clock)
             change_started: None,
         };
@@ -210,6 +240,7 @@ impl Endpoint {
             cmd_tx,
             events_rx,
             shared_view,
+            last_seen,
         })
     }
 
@@ -247,6 +278,22 @@ impl Endpoint {
     /// The delivery stream.
     pub fn events(&self) -> &Receiver<GcEvent> {
         &self.events_rx
+    }
+
+    /// Failure-detector view of peer liveness: for every peer this endpoint
+    /// has heard from, how long ago (wall-clock) the last packet — heartbeat
+    /// or otherwise — arrived. Empty when heartbeats are disabled and no
+    /// traffic has flowed. Powers the mgmt `HEALTH` last-heartbeat column.
+    pub fn heartbeat_ages(&self) -> Vec<(NodeId, Duration)> {
+        self.liveness().ages()
+    }
+
+    /// Cheap clonable handle onto the failure detector's last-heard table,
+    /// usable after the endpoint itself moves into its owner's loop.
+    pub fn liveness(&self) -> HeartbeatAges {
+        HeartbeatAges {
+            last_seen: self.last_seen.clone(),
+        }
     }
 
     /// Test/bootstrap helper: block until a view containing `expect_members`
@@ -320,7 +367,7 @@ struct Stack {
     dead: bool,
     /// Heartbeat failure detection: last real-time instant each member was
     /// heard from.
-    last_seen: BTreeMap<NodeId, std::time::Instant>,
+    last_seen: Arc<Mutex<BTreeMap<NodeId, std::time::Instant>>>,
     last_beacon: std::time::Instant,
     /// Per-node beacon-skip decision stream (chaos layer), derived from the
     /// configured seed so every node perturbs independently but replayably.
@@ -494,6 +541,7 @@ impl Stack {
                     || self.pending_joins.contains(node)
         );
         self.last_seen
+            .lock()
             .insert(pkt.src.node, std::time::Instant::now()); // lint: allow(wall-clock)
         if matches!(msg, GcMsg::Heartbeat { .. }) {
             // Pure liveness beacon: refreshing `last_seen` is its whole job.
@@ -1001,20 +1049,32 @@ impl Stack {
             }
         }
         let mut newly_suspected = Vec::new();
-        for m in &view.members {
-            if *m == self.node || self.suspects.contains(m) {
-                continue;
-            }
-            let seen = *self.last_seen.entry(*m).or_insert(now);
-            if now.duration_since(seen) > hb.timeout {
-                newly_suspected.push(*m);
+        {
+            let mut seen_map = self.last_seen.lock();
+            for m in &view.members {
+                if *m == self.node || self.suspects.contains(m) {
+                    continue;
+                }
+                let seen = *seen_map.entry(*m).or_insert(now);
+                if now.duration_since(seen) > hb.timeout {
+                    newly_suspected.push((*m, now.duration_since(seen)));
+                }
             }
         }
-        for m in newly_suspected {
+        for (m, silent_for) in newly_suspected {
             self.dbg(&format!("heartbeat timeout: suspecting {m}"));
             if let Some(reg) = &self.cfg.metrics {
                 reg.inc(metric::ENSEMBLE_HEARTBEAT_MISSES);
+                // Detection latency: how long the member had actually been
+                // silent when the detector fired (>= timeout by at most one
+                // tick — the detector's wall-clock resolution).
+                reg.record(metric::RECOVERY_DETECT_NS, silent_for.as_nanos() as u64);
             }
+            self.emit(GcEvent::Suspected {
+                node: m,
+                silent_for,
+                vt: self.clock.now(),
+            });
             self.on_member_failure(m);
         }
     }

@@ -45,7 +45,7 @@ pub mod msg;
 pub mod view;
 
 pub use endpoint::{
-    Endpoint, EndpointConfig, GcEvent, HeartbeatCfg, HeartbeatChaos, ENSEMBLE_PORT,
+    Endpoint, EndpointConfig, GcEvent, HeartbeatAges, HeartbeatCfg, HeartbeatChaos, ENSEMBLE_PORT,
 };
 pub use msg::GcMsg;
 pub use view::View;

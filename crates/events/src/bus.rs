@@ -1,0 +1,347 @@
+//! Bounded, sequenced event ring with exact drop accounting and cursor
+//! subscriptions — the flight-recorder discipline applied to cluster events.
+//!
+//! Like the trace `FlightRecorder`, the bus is an `Option<Arc<...>>`: a
+//! disabled bus is one branch per publish and allocates nothing. Sequence
+//! numbers keep counting across evictions, so a cursor that fell behind can
+//! tell *exactly* how many events it missed instead of silently skipping.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use starfish_util::{NodeId, VirtualTime};
+
+use crate::event::{ClusterEvent, EventKind};
+
+/// Default ring capacity: enough for every event of a sizeable recovery with
+/// checkpoint traffic around it, small enough to never matter in memory.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+struct State {
+    /// Next sequence number to assign. Monotone; never reset.
+    next_seq: u64,
+    events: VecDeque<ClusterEvent>,
+}
+
+struct Inner {
+    cap: usize,
+    /// Events evicted from the ring before anyone read them through a
+    /// snapshot is not knowable; `dropped` counts ring evictions exactly.
+    dropped: AtomicU64,
+    state: Mutex<State>,
+}
+
+/// Handle to one bus. Cheap to clone; all clones share the ring.
+#[derive(Clone)]
+pub struct EventBus {
+    inner: Option<Arc<Inner>>,
+}
+
+impl EventBus {
+    /// An enabled bus with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        EventBus {
+            inner: Some(Arc::new(Inner {
+                cap: cap.max(1),
+                dropped: AtomicU64::new(0),
+                state: Mutex::new(State {
+                    next_seq: 0,
+                    events: VecDeque::new(),
+                }),
+            })),
+        }
+    }
+
+    /// A disabled bus: `publish` is a single branch, everything reads empty.
+    pub fn disabled() -> Self {
+        EventBus { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Append an event, assigning its sequence number. Returns the assigned
+    /// seq, or `None` on a disabled bus.
+    pub fn publish(&self, origin: NodeId, vt: VirtualTime, kind: EventKind) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let mut st = inner.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        if st.events.len() == inner.cap {
+            st.events.pop_front();
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        st.events.push_back(ClusterEvent {
+            seq,
+            vt,
+            origin,
+            kind,
+        });
+        Some(seq)
+    }
+
+    /// Re-append an event that already carries a sequence number (a
+    /// cast-carried event sequenced by the publisher's bus). The ring keeps
+    /// local monotonicity by still assigning the local seq; used only by
+    /// consumers that mirror a remote bus verbatim.
+    pub fn publish_event(&self, ev: ClusterEvent) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let mut st = inner.state.lock();
+        st.next_seq = st.next_seq.max(ev.seq + 1);
+        if st.events.len() == inner.cap {
+            st.events.pop_front();
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        st.events.push_back(ev);
+    }
+
+    /// Total events ever published (== next seq to assign).
+    pub fn published(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.state.lock().next_seq)
+    }
+
+    /// Exact count of events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of the current ring contents, oldest first.
+    pub fn snapshot(&self) -> Vec<ClusterEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            i.state.lock().events.iter().cloned().collect()
+        })
+    }
+
+    /// The last `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<ClusterEvent> {
+        let snap = self.snapshot();
+        let skip = snap.len().saturating_sub(n);
+        snap.into_iter().skip(skip).collect()
+    }
+
+    /// Events with `seq >= from`, oldest first, plus how many events in that
+    /// range were already evicted (the gap a late reader can never see).
+    pub fn since(&self, from: u64) -> (Vec<ClusterEvent>, u64) {
+        let Some(inner) = self.inner.as_ref() else {
+            return (Vec::new(), 0);
+        };
+        let st = inner.state.lock();
+        let oldest = st.events.front().map(|e| e.seq).unwrap_or(st.next_seq);
+        let missed = oldest.saturating_sub(from);
+        let evs = st
+            .events
+            .iter()
+            .filter(|e| e.seq >= from)
+            .cloned()
+            .collect();
+        (evs, missed)
+    }
+
+    /// A cursor starting at the *next* event to be published: an
+    /// `EVENTS SUBSCRIBE` sees only what happens after it subscribed.
+    pub fn subscribe(&self) -> EventCursor {
+        EventCursor {
+            bus: self.clone(),
+            next: self.published(),
+        }
+    }
+
+    /// A cursor positioned at the oldest retained event (replays the ring).
+    pub fn subscribe_from_start(&self) -> EventCursor {
+        let next = self
+            .inner
+            .as_ref()
+            .and_then(|i| i.state.lock().events.front().map(|e| e.seq))
+            .unwrap_or(0);
+        EventCursor {
+            bus: self.clone(),
+            next,
+        }
+    }
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        EventBus::new()
+    }
+}
+
+/// What one `EventCursor::poll` saw.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poll {
+    /// New events since the last poll, oldest first.
+    pub events: Vec<ClusterEvent>,
+    /// Events that were evicted before this cursor read them. Non-zero means
+    /// the subscriber fell more than one ring behind the publishers.
+    pub missed: u64,
+}
+
+/// A pull-based subscription position. Polling advances the cursor; gaps
+/// caused by ring eviction are reported exactly, never silently skipped.
+#[derive(Clone)]
+pub struct EventCursor {
+    bus: EventBus,
+    next: u64,
+}
+
+impl EventCursor {
+    /// Drain everything published since the last poll.
+    pub fn poll(&mut self) -> Poll {
+        let (events, missed) = self.bus.since(self.next);
+        if let Some(last) = events.last() {
+            self.next = last.seq + 1;
+        } else {
+            // Nothing retained at/after `next`: if events were evicted past
+            // us, jump to the live edge so the gap is charged once.
+            self.next = self.next.max(self.bus.published());
+        }
+        Poll { events, missed }
+    }
+
+    /// The next sequence number this cursor will read.
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u32) -> EventKind {
+        EventKind::NodeUp { node: NodeId(n) }
+    }
+
+    fn bus_with(n: u64, cap: usize) -> EventBus {
+        let bus = EventBus::with_capacity(cap);
+        for i in 0..n {
+            bus.publish(NodeId(0), VirtualTime::from_nanos(i * 10), ev(i as u32));
+        }
+        bus
+    }
+
+    #[test]
+    fn seqs_are_dense_and_survive_eviction() {
+        let bus = bus_with(10, 4);
+        assert_eq!(bus.published(), 10);
+        assert_eq!(bus.dropped(), 6);
+        let snap = bus.snapshot();
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_bus_is_inert() {
+        let bus = EventBus::disabled();
+        assert_eq!(bus.publish(NodeId(0), VirtualTime::ZERO, ev(1)), None);
+        assert_eq!(bus.published(), 0);
+        assert_eq!(bus.dropped(), 0);
+        assert!(bus.snapshot().is_empty());
+        let mut cur = bus.subscribe();
+        assert_eq!(cur.poll(), Poll::default());
+    }
+
+    #[test]
+    fn cursor_sees_only_post_subscribe_events() {
+        let bus = bus_with(3, 64);
+        let mut cur = bus.subscribe();
+        assert_eq!(cur.poll(), Poll::default());
+        bus.publish(NodeId(1), VirtualTime::from_nanos(99), ev(42));
+        let p = cur.poll();
+        assert_eq!(p.missed, 0);
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].seq, 3);
+        assert_eq!(p.events[0].origin, NodeId(1));
+        // Drained: next poll is empty.
+        assert_eq!(cur.poll(), Poll::default());
+    }
+
+    #[test]
+    fn cursor_reports_exact_gap_when_lapped() {
+        let bus = EventBus::with_capacity(4);
+        let mut cur = bus.subscribe();
+        for i in 0..10 {
+            bus.publish(NodeId(0), VirtualTime::ZERO, ev(i));
+        }
+        let p = cur.poll();
+        // Ring holds seqs 6..10; cursor wanted from 0 → missed exactly 6.
+        assert_eq!(p.missed, 6);
+        assert_eq!(p.events.len(), 4);
+        assert_eq!(p.events[0].seq, 6);
+        // Gap charged once: a further poll with no publishes misses nothing.
+        assert_eq!(cur.poll(), Poll::default());
+    }
+
+    #[test]
+    fn tail_returns_newest_n_oldest_first() {
+        let bus = bus_with(5, 64);
+        let t = bus.tail(2);
+        assert_eq!(t.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(bus.tail(100).len(), 5);
+    }
+
+    #[test]
+    fn subscribe_from_start_replays_ring() {
+        let bus = bus_with(3, 64);
+        let mut cur = bus.subscribe_from_start();
+        let p = cur.poll();
+        assert_eq!(p.events.len(), 3);
+        assert_eq!(p.missed, 0);
+    }
+
+    #[test]
+    fn publish_event_mirrors_remote_seq() {
+        let bus = EventBus::with_capacity(8);
+        bus.publish_event(ClusterEvent {
+            seq: 5,
+            vt: VirtualTime::from_nanos(1),
+            origin: NodeId(2),
+            kind: ev(2),
+        });
+        assert_eq!(bus.published(), 6);
+        // Local publishes continue after the mirrored seq.
+        let s = bus.publish(NodeId(0), VirtualTime::ZERO, ev(0)).unwrap();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn concurrent_publishers_never_lose_a_seq() {
+        let bus = EventBus::with_capacity(128);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let b = bus.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    b.publish(
+                        NodeId(t),
+                        VirtualTime::from_nanos(i),
+                        EventKind::CkptRoundBegin {
+                            app: starfish_util::AppId(t),
+                        },
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bus.published(), 400);
+        assert_eq!(bus.dropped() as usize + bus.snapshot().len(), 400);
+        // Retained window is dense and sorted.
+        let snap = bus.snapshot();
+        for w in snap.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+    }
+}

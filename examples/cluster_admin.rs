@@ -22,7 +22,7 @@ fn say(session: &mut starfish::MgmtSession, line: &str) {
 }
 
 fn main() -> Result<()> {
-    let cluster = Cluster::builder().nodes(2).network_tcp().build()?;
+    let cluster = Cluster::builder().nodes(3).network_tcp().build()?;
     cluster.register_app("soak", |ctx| {
         let state = CkptValue::Unit;
         for _ in 0..2000 {
@@ -101,6 +101,43 @@ fn main() -> Result<()> {
     let mut bob = cluster.session();
     say(&mut bob, "LOGIN USER bob");
     say(&mut bob, "DELETE app1");
+
+    // --- recovery forensics over the protocol --------------------------------
+    // Subscribe to the cluster event bus, script a node kill, watch the
+    // failure → recovery sequence stream in, then pull the postmortem
+    // bundle the coordinator assembled — all through the same ASCII
+    // protocol a GUI or `nc` session would use.
+    say(
+        &mut alice,
+        "SUBMIT soak 2 POLICY restart LEVEL vm PROTO sync STORE replica:2",
+    );
+    std::thread::sleep(Duration::from_millis(100));
+    say(&mut alice, "CHECKPOINT app3");
+    std::thread::sleep(Duration::from_millis(600));
+    say(&mut observer, "EVENTS SUBSCRIBE");
+    // Kill a node hosting app3 — but not n0, where our sessions live.
+    let victim = *cluster.config().apps[&starfish::AppId(3)]
+        .placement
+        .iter()
+        .find(|n| n.0 != 0)
+        .expect("app3 has a rank off n0");
+    println!("-- killing {victim} (hosts an app3 rank) --");
+    cluster.crash_node(victim);
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    'frames: while std::time::Instant::now() < deadline {
+        for frame in observer.poll_frames() {
+            println!("< {frame}");
+            if frame.contains("recovery-complete") {
+                break 'frames;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    say(&mut observer, "EVENTS"); // pull form: tail + drop accounting
+    say(&mut observer, "POSTMORTEM app3"); // the full JSON bundle
+    say(&mut observer, "HEALTH"); // the dead node shows as such
+    say(&mut alice, "DELETE app3");
+    std::thread::sleep(Duration::from_millis(100));
 
     say(&mut alice, "DELETE app1");
     std::thread::sleep(Duration::from_millis(100));

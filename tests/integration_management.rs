@@ -193,3 +193,99 @@ fn migrate_command_moves_a_rank() {
         .handle_line(&format!("MIGRATE {id_tok} r0 n0"))
         .starts_with("ERR admin"));
 }
+
+/// The ISSUE-8 acceptance path: an `EVENTS SUBSCRIBE` stream opened before
+/// a node kill must deliver the same event sequence the recovery's
+/// postmortem bundle embeds — the live view and the forensic record are two
+/// projections of one ordered bus.
+#[test]
+fn events_subscribe_stream_matches_postmortem_bundle() {
+    let cluster = Cluster::builder().nodes(3).build().unwrap();
+    cluster.register_app("forensic", |ctx| {
+        let mut iter = ctx
+            .restored()
+            .and_then(|v| v.field("iter").and_then(|f| f.as_int()))
+            .unwrap_or(0);
+        while iter < 200 {
+            let state = CkptValue::record(vec![("iter", CkptValue::Int(iter))]);
+            if iter == 5 && ctx.rank().0 == 0 {
+                ctx.checkpoint(&state)?;
+            } else {
+                ctx.safepoint(&state)?;
+            }
+            std::thread::sleep(Duration::from_millis(8));
+            ctx.barrier()?;
+            iter += 1;
+        }
+        Ok(())
+    });
+    let app = cluster
+        .submit("forensic", 3, starfish::SubmitOpts::default().replica(2))
+        .unwrap();
+    let ranks = [Rank(0), Rank(1), Rank(2)];
+    let deadline = std::time::Instant::now() + T;
+    while cluster.ckpt_hub().latest_common_index(app, &ranks) < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no replica checkpoint"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Stream from the n0 daemon (sessions bind to the first live daemon);
+    // kill a different node so the subscription survives the crash.
+    let mut s = cluster.session();
+    ok(&s.handle_line("LOGIN USER watcher"));
+    ok(&s.handle_line("EVENTS SUBSCRIBE"));
+    let victim = *cluster.config().apps[&app]
+        .placement
+        .iter()
+        .find(|n| n.0 != 0)
+        .expect("a rank off n0");
+    cluster.crash_node(victim);
+
+    let mut streamed: Vec<String> = Vec::new();
+    let deadline = std::time::Instant::now() + T;
+    'stream: while std::time::Instant::now() < deadline {
+        for frame in s.poll_frames() {
+            assert!(
+                !frame.starts_with("EVENT! missed"),
+                "bus wrapped under test load: {frame}"
+            );
+            let done = frame.contains("recovery-complete");
+            streamed.push(frame.trim_start_matches("EVENT ").to_string());
+            if done {
+                break 'stream;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        streamed.iter().any(|f| f.contains("recovery-complete")),
+        "recovery never completed on the stream: {streamed:?}"
+    );
+
+    // The bundle (finalized on the same daemon, microseconds after the
+    // complete event hit the bus).
+    let deadline = std::time::Instant::now() + T;
+    let pm = loop {
+        if let Some(pm) = cluster.postmortem(app) {
+            break pm;
+        }
+        assert!(std::time::Instant::now() < deadline, "no postmortem bundle");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(!pm.events.is_empty(), "bundle embeds no events");
+
+    // Every bundle event must appear in the stream, in the same order and
+    // with the same seq/vt/origin/detail (summary is the full projection).
+    let mut at = 0usize;
+    for ev in &pm.events {
+        let want = ev.summary();
+        match streamed[at..].iter().position(|f| *f == want) {
+            Some(off) => at += off + 1,
+            None => panic!("bundle event {want:?} missing from stream {streamed:?}"),
+        }
+    }
+    cluster.wait_app_done(app, T).unwrap();
+}
