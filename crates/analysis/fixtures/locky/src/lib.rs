@@ -1,0 +1,38 @@
+//! Lock-graph snapshot fixture: three lock classes forming one 3-cycle,
+//! with one interprocedural hop (`ab` reaches `b` only through `grab_b`).
+//! `tests/lock_graph.rs` snapshots the extracted graph and proves the
+//! cycle report dies when one edge is removed (the mutation test). Not a
+//! workspace member; scanned textually, never compiled.
+
+pub struct Hub {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+}
+
+impl Hub {
+    /// `a` then (via a call) `b`.
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock();
+        *ga + self.grab_b()
+    }
+
+    fn grab_b(&self) -> u32 {
+        let gb = self.b.lock();
+        *gb
+    }
+
+    /// `b` then `c`.
+    pub fn bc(&self) -> u32 {
+        let gb = self.b.lock();
+        let gc = self.c.lock();
+        *gb + *gc
+    }
+
+    /// `c` then `a` — closes the cycle.
+    pub fn ca(&self) -> u32 {
+        let gc = self.c.lock();
+        let ga = self.a.lock();
+        *gc + *ga
+    }
+}

@@ -1,915 +1,10 @@
-//! `starfish-lint`: repo-specific static checks that `clippy` cannot
-//! express. Hand-rolled line scanner (no `syn` offline) with enough Rust
-//! lexing — nested block comments, string/raw-string/char literals,
-//! `#[cfg(test)]` regions — to make token judgments sound.
-//!
-//! Three rules:
-//!
-//! 1. **wall-clock** — crates whose behavior must be a pure function of
-//!    virtual time and seeds (`vni`, `mpi`, `ensemble`, `checkpoint`,
-//!    `chaos`) must not call `Instant::now`, `SystemTime::now` or
-//!    `thread_rng` outside test code. Real-time escape hatches (blocking
-//!    receive deadlines, hang watchdogs) carry an explicit
-//!    `// lint: allow(wall-clock)` on the same or preceding line.
-//! 2. **wire-enum-coverage** — every enum with an `Encode` *and* `Decode`
-//!    implementation (trait or inherent) must have each variant named in
-//!    the crate's test code: a variant no roundtrip test mentions is a
-//!    wire-format change nothing guards.
-//! 3. **mgmt-usage** — every command arm of the management console's
-//!    dispatch must have a one-line usage entry in `COMMAND_USAGE` (served
-//!    by `HELP`), and the table must not advertise commands that have no
-//!    arm.
+//! Compatibility shim: the repo lint grew from a 3-rule line scanner into
+//! the multi-pass `starfish_analysis` framework (lock-order graph,
+//! blocking-while-locked, panic-surface audit, plus the original
+//! wall-clock / wire-enum-coverage / mgmt-usage rules). The passes live in
+//! `crates/analysis`; this module re-exports the drivers so existing
+//! `verify::lint::*` callers and the `starfish-lint` binary keep working.
 
-use std::fmt;
-use std::fs;
-use std::path::{Path, PathBuf};
-
-/// Tokens rule 1 forbids in deterministic crates.
-pub const WALL_CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime::now", "thread_rng"];
-
-/// The escape-hatch marker for rule 1.
-pub const ALLOW_WALL_CLOCK: &str = "lint: allow(wall-clock)";
-
-/// Crates (by directory name under `crates/`) whose `src/` must stay
-/// virtual-time deterministic.
-pub const DETERMINISTIC_CRATES: &[&str] = &["vni", "mpi", "ensemble", "checkpoint", "chaos"];
-
-/// One finding.
-#[derive(Debug, Clone)]
-pub struct Violation {
-    pub file: PathBuf,
-    pub line: usize,
-    pub rule: &'static str,
-    pub msg: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.msg
-        )
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Scanner
-// ---------------------------------------------------------------------------
-
-/// A file prepared for token judgments.
-struct Scan {
-    path: PathBuf,
-    /// Raw source lines (for `allow` markers and reporting).
-    raw: Vec<String>,
-    /// Comments *and* string/char literal bodies blanked.
-    code: Vec<String>,
-    /// Comments blanked, string literals kept (for literal extraction).
-    code_str: Vec<String>,
-    /// Line lies inside a `#[cfg(test)]` item.
-    in_test: Vec<bool>,
-}
-
-/// Blank comments (and optionally literal bodies) out of `text`,
-/// preserving line structure so line numbers survive.
-fn blank(text: &str, blank_literals: bool) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Block(u32),
-        Str,
-        RawStr(u32),
-    }
-    let mut st = St::Code;
-    let bytes: Vec<char> = text.chars().collect();
-    let mut out = String::with_capacity(text.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        match st {
-            St::Code => match c {
-                '/' if next == Some('/') => {
-                    // Line comment: blank to end of line.
-                    while i < bytes.len() && bytes[i] != '\n' {
-                        out.push(' ');
-                        i += 1;
-                    }
-                    continue;
-                }
-                '/' if next == Some('*') => {
-                    st = St::Block(1);
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                'r' if next == Some('"') || (next == Some('#')) => {
-                    // Possible raw string r"…" / r#"…"#.
-                    let mut j = i + 1;
-                    let mut hashes = 0;
-                    while bytes.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if bytes.get(j) == Some(&'"') {
-                        // Emit (or blank) the opening `r##"` delimiters.
-                        while i <= j {
-                            out.push(if blank_literals { ' ' } else { bytes[i] });
-                            i += 1;
-                        }
-                        st = St::RawStr(hashes);
-                        continue;
-                    }
-                    out.push(c);
-                    i += 1;
-                }
-                '"' => {
-                    out.push('"');
-                    st = St::Str;
-                    i += 1;
-                }
-                '\'' => {
-                    // Char literal vs lifetime.
-                    if next == Some('\\') {
-                        // '\x7f' style: blank until closing quote.
-                        out.push('\'');
-                        i += 2;
-                        out.push(' ');
-                        while i < bytes.len() && bytes[i] != '\'' {
-                            out.push(if bytes[i] == '\n' { '\n' } else { ' ' });
-                            i += 1;
-                        }
-                        if i < bytes.len() {
-                            out.push('\'');
-                            i += 1;
-                        }
-                    } else if bytes.get(i + 2) == Some(&'\'') {
-                        out.push('\'');
-                        out.push(if blank_literals {
-                            ' '
-                        } else {
-                            next.unwrap_or(' ')
-                        });
-                        out.push('\'');
-                        i += 3;
-                    } else {
-                        out.push('\''); // lifetime
-                        i += 1;
-                    }
-                }
-                _ => {
-                    out.push(c);
-                    i += 1;
-                }
-            },
-            St::Block(depth) => {
-                if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::Block(depth - 1)
-                    };
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    st = St::Block(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            St::Str => match c {
-                '\\' => {
-                    out.push(if blank_literals { ' ' } else { c });
-                    if let Some(n) = next {
-                        out.push(if blank_literals && n != '\n' { ' ' } else { n });
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                '"' => {
-                    out.push('"');
-                    st = St::Code;
-                    i += 1;
-                }
-                '\n' => {
-                    out.push('\n');
-                    i += 1;
-                }
-                _ => {
-                    out.push(if blank_literals { ' ' } else { c });
-                    i += 1;
-                }
-            },
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let mut ok = true;
-                    for h in 0..hashes {
-                        if bytes.get(i + 1 + h as usize) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        for _ in 0..=hashes {
-                            out.push(' ');
-                            i += 1;
-                        }
-                        st = St::Code;
-                        continue;
-                    }
-                }
-                out.push(if c == '\n' { '\n' } else { ' ' });
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-/// Mark lines belonging to `#[cfg(test)]` items by brace tracking.
-fn test_regions(code: &[String]) -> Vec<bool> {
-    let mut in_test = vec![false; code.len()];
-    let mut i = 0;
-    while i < code.len() {
-        if code[i].contains("#[cfg(test)]") {
-            // Find the item's opening brace, then its extent.
-            let mut depth = 0i32;
-            let mut opened = false;
-            let mut j = i;
-            while j < code.len() {
-                in_test[j] = true;
-                for c in code[j].chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    in_test
-}
-
-fn scan_file(path: &Path) -> Option<Scan> {
-    let text = fs::read_to_string(path).ok()?;
-    let code_text = blank(&text, true);
-    let code_str_text = blank(&text, false);
-    let code: Vec<String> = code_text.lines().map(str::to_string).collect();
-    let in_test = test_regions(&code);
-    Some(Scan {
-        path: path.to_path_buf(),
-        raw: text.lines().map(str::to_string).collect(),
-        code,
-        code_str: code_str_text.lines().map(str::to_string).collect(),
-        in_test,
-    })
-}
-
-/// All `.rs` files under `dir`, recursively, sorted for stable output.
-fn rs_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(rd) = fs::read_dir(&d) else { continue };
-        for e in rd.flatten() {
-            let p = e.path();
-            if p.is_dir() {
-                stack.push(p);
-            } else if p.extension().is_some_and(|x| x == "rs") {
-                out.push(p);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// `needle` occurs in `hay` as a whole token (not a sub-identifier).
-fn token_in(hay: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        let before = hay[..start].chars().next_back();
-        let after = hay[end..].chars().next();
-        let is_ident = |c: Option<char>| c.is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if !is_ident(before) && !is_ident(after) {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-// ---------------------------------------------------------------------------
-// Rule 1: wall-clock
-// ---------------------------------------------------------------------------
-
-/// Check one crate's `src/` for forbidden wall-clock/entropy tokens.
-pub fn wall_clock(src_dir: &Path) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for f in rs_files(src_dir) {
-        let Some(scan) = scan_file(&f) else { continue };
-        for (i, code) in scan.code.iter().enumerate() {
-            if scan.in_test[i] {
-                continue;
-            }
-            for tok in WALL_CLOCK_TOKENS {
-                if !token_in(code, tok) {
-                    continue;
-                }
-                let here = scan.raw[i].contains(ALLOW_WALL_CLOCK);
-                let above = i > 0 && scan.raw[i - 1].contains(ALLOW_WALL_CLOCK);
-                if !(here || above) {
-                    out.push(Violation {
-                        file: scan.path.clone(),
-                        line: i + 1,
-                        rule: "wall-clock",
-                        msg: format!(
-                            "`{tok}` in a virtual-time-deterministic crate \
-                             (annotate `// {ALLOW_WALL_CLOCK}` if this is a real-time escape hatch)"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Rule 2: wire-enum coverage
-// ---------------------------------------------------------------------------
-
-#[derive(Debug)]
-struct EnumDef {
-    name: String,
-    variants: Vec<String>,
-    file: PathBuf,
-    line: usize,
-}
-
-fn leading_ident(s: &str) -> Option<String> {
-    let t = s.trim_start();
-    let id: String = t
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    if id.is_empty() || !t.starts_with(id.chars().next().unwrap()) {
-        None
-    } else {
-        Some(id)
-    }
-}
-
-/// Parse enum definitions (names + variant identifiers) from scanned code.
-fn enums_in(scan: &Scan) -> Vec<EnumDef> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < scan.code.len() {
-        let line = &scan.code[i];
-        if scan.in_test[i] {
-            i += 1;
-            continue;
-        }
-        if let Some(pos) = line.find("enum ") {
-            let valid_prefix = line[..pos]
-                .split_whitespace()
-                .all(|w| matches!(w, "pub" | "pub(crate)" | "pub(super)"));
-            if !valid_prefix {
-                i += 1;
-                continue;
-            }
-            let name: String = line[pos + 5..]
-                .trim_start()
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if name.is_empty() {
-                i += 1;
-                continue;
-            }
-            // Walk the enum body, collecting depth-1 variant identifiers.
-            let mut depth = 0i32;
-            let mut opened = false;
-            let mut variants = Vec::new();
-            let start = i;
-            let mut j = i;
-            'body: while j < scan.code.len() {
-                let l = &scan.code[j];
-                // A depth-1 line opening a variant.
-                if opened && depth == 1 {
-                    if let Some(id) = leading_ident(l) {
-                        variants.push(id);
-                    }
-                }
-                for c in l.chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => {
-                            depth -= 1;
-                            if opened && depth == 0 {
-                                break 'body;
-                            }
-                        }
-                        ';' if !opened => break 'body, // `enum Foo;` impossible, but stay safe
-                        _ => {}
-                    }
-                }
-                j += 1;
-            }
-            out.push(EnumDef {
-                name,
-                variants,
-                file: scan.path.clone(),
-                line: start + 1,
-            });
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    out
-}
-
-/// Names with an `impl Encode for X` / `impl Decode for X`, or an inherent
-/// impl block containing both `fn encode` and `fn decode`.
-fn codec_types(scans: &[Scan]) -> Vec<String> {
-    let mut enc = Vec::new();
-    let mut dec = Vec::new();
-    for scan in scans {
-        let mut i = 0;
-        while i < scan.code.len() {
-            let line = scan.code[i].trim().to_string();
-            if let Some(rest) = line.strip_prefix("impl Encode for ") {
-                if let Some(n) = leading_ident(rest) {
-                    enc.push(n);
-                }
-            } else if let Some(rest) = line.strip_prefix("impl Decode for ") {
-                if let Some(n) = leading_ident(rest) {
-                    dec.push(n);
-                }
-            } else if line.starts_with("impl ") && !line.contains(" for ") {
-                // Inherent impl: scope out the block, look for both fns.
-                let name = leading_ident(line.trim_start_matches("impl ").trim_start_matches(
-                    |c: char| c == '<' || c.is_alphanumeric() || c == '_' || c == '>' || c == ',',
-                ))
-                .or_else(|| {
-                    // `impl Foo {` or `impl<T> Foo<T> {`: take the first
-                    // identifier after stripping a generic parameter list.
-                    let after = line.trim_start_matches("impl").trim_start();
-                    let after = if after.starts_with('<') {
-                        match after.find('>') {
-                            Some(g) => after[g + 1..].trim_start(),
-                            None => after,
-                        }
-                    } else {
-                        after
-                    };
-                    leading_ident(after)
-                });
-                if let Some(name) = name {
-                    let mut depth = 0i32;
-                    let mut opened = false;
-                    let (mut has_enc, mut has_dec) = (false, false);
-                    let mut j = i;
-                    'blk: while j < scan.code.len() {
-                        let l = &scan.code[j];
-                        if token_in(l, "fn") && (l.contains("fn encode") || l.contains("fn decode"))
-                        {
-                            has_enc |= l.contains("fn encode(") || l.contains("fn encode<");
-                            has_dec |= l.contains("fn decode(")
-                                || l.contains("fn decode<")
-                                || l.contains("fn decode_from");
-                        }
-                        for c in l.chars() {
-                            match c {
-                                '{' => {
-                                    depth += 1;
-                                    opened = true;
-                                }
-                                '}' => {
-                                    depth -= 1;
-                                    if opened && depth == 0 {
-                                        break 'blk;
-                                    }
-                                }
-                                _ => {}
-                            }
-                        }
-                        j += 1;
-                    }
-                    if has_enc && has_dec {
-                        enc.push(name.clone());
-                        dec.push(name);
-                    }
-                    i = j + 1;
-                    continue;
-                }
-            }
-            i += 1;
-        }
-    }
-    enc.retain(|n| dec.contains(n));
-    enc.sort();
-    enc.dedup();
-    enc
-}
-
-/// Check one crate directory (containing `src/`, optionally `tests/`).
-pub fn wire_enum_coverage(crate_dir: &Path) -> Vec<Violation> {
-    let scans: Vec<Scan> = rs_files(&crate_dir.join("src"))
-        .iter()
-        .filter_map(|f| scan_file(f))
-        .collect();
-    let codecs = codec_types(&scans);
-    if codecs.is_empty() {
-        return Vec::new();
-    }
-    // Test corpus: #[cfg(test)] regions of src plus everything in tests/.
-    let mut corpus = String::new();
-    for s in &scans {
-        for (i, l) in s.raw.iter().enumerate() {
-            if s.in_test[i] {
-                corpus.push_str(l);
-                corpus.push('\n');
-            }
-        }
-    }
-    for f in rs_files(&crate_dir.join("tests")) {
-        if let Ok(t) = fs::read_to_string(&f) {
-            corpus.push_str(&t);
-            corpus.push('\n');
-        }
-    }
-
-    let mut out = Vec::new();
-    for s in &scans {
-        for e in enums_in(s) {
-            if !codecs.contains(&e.name) {
-                continue;
-            }
-            for v in &e.variants {
-                if !token_in(&corpus, v) {
-                    out.push(Violation {
-                        file: e.file.clone(),
-                        line: e.line,
-                        rule: "wire-enum-coverage",
-                        msg: format!(
-                            "wire enum `{}` variant `{v}` is never mentioned in this crate's \
-                             tests — add it to the codec roundtrip test",
-                            e.name
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Rule 3: mgmt usage
-// ---------------------------------------------------------------------------
-
-/// Extract `"CAPS"` literals from a code_str line.
-fn caps_literals(line: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut rest = line;
-    while let Some(a) = rest.find('"') {
-        let Some(b) = rest[a + 1..].find('"') else {
-            break;
-        };
-        let lit = &rest[a + 1..a + 1 + b];
-        if !lit.is_empty() && lit.chars().all(|c| c.is_ascii_uppercase()) {
-            out.push(lit.to_string());
-        }
-        rest = &rest[a + b + 2..];
-    }
-    out
-}
-
-/// Check the management console source for usage-table completeness.
-pub fn mgmt_usage(mgmt_rs: &Path) -> Vec<Violation> {
-    let Some(scan) = scan_file(mgmt_rs) else {
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-
-    // Commands: depth-1 literal arms of the `match cmd.to_ascii_uppercase()`
-    // dispatch.
-    let mut commands: Vec<(String, usize)> = Vec::new();
-    let mut i = 0;
-    while i < scan.code.len() {
-        if scan.code[i].contains("match cmd.to_ascii_uppercase()") && !scan.in_test[i] {
-            let mut depth = 0i32;
-            let mut j = i;
-            loop {
-                if j >= scan.code.len() {
-                    break;
-                }
-                if j > i && depth == 1 {
-                    let t = scan.code_str[j].trim();
-                    if t.starts_with('"') {
-                        for c in caps_literals(&scan.code_str[j]) {
-                            commands.push((c, j + 1));
-                        }
-                    }
-                }
-                for c in scan.code[j].chars() {
-                    match c {
-                        '{' => depth += 1,
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if j > i && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-
-    // Table entries: first CAPS literal of each line of COMMAND_USAGE.
-    let mut table: Vec<String> = Vec::new();
-    let mut in_table = false;
-    for (i, l) in scan.code.iter().enumerate() {
-        if l.contains("COMMAND_USAGE") && l.contains('[') {
-            in_table = true;
-            continue;
-        }
-        if in_table {
-            if l.contains("];") {
-                break;
-            }
-            if let Some(first) = caps_literals(&scan.code_str[i]).into_iter().next() {
-                table.push(first);
-            }
-        }
-    }
-
-    if commands.is_empty() {
-        out.push(Violation {
-            file: mgmt_rs.to_path_buf(),
-            line: 1,
-            rule: "mgmt-usage",
-            msg: "no command dispatch found (expected `match cmd.to_ascii_uppercase()`)".into(),
-        });
-        return out;
-    }
-    for (cmd, line) in &commands {
-        if !table.contains(cmd) {
-            out.push(Violation {
-                file: mgmt_rs.to_path_buf(),
-                line: *line,
-                rule: "mgmt-usage",
-                msg: format!("command {cmd:?} has no COMMAND_USAGE entry (HELP will not list it)"),
-            });
-        }
-    }
-    for t in &table {
-        if !commands.iter().any(|(c, _)| c == t) {
-            out.push(Violation {
-                file: mgmt_rs.to_path_buf(),
-                line: 1,
-                rule: "mgmt-usage",
-                msg: format!("COMMAND_USAGE advertises {t:?} but no dispatch arm handles it"),
-            });
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Drivers
-// ---------------------------------------------------------------------------
-
-/// Lint a whole workspace rooted at `root` (expects `crates/<name>/…`).
-pub fn lint_workspace(root: &Path) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for name in DETERMINISTIC_CRATES {
-        out.extend(wall_clock(&root.join("crates").join(name).join("src")));
-    }
-    let crates = root.join("crates");
-    if let Ok(rd) = fs::read_dir(&crates) {
-        let mut dirs: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
-        dirs.sort();
-        for d in dirs {
-            if d.is_dir() {
-                out.extend(wire_enum_coverage(&d));
-            }
-        }
-    }
-    out.extend(mgmt_usage(&root.join("crates/daemon/src/mgmt.rs")));
-    out
-}
-
-/// Lint a single crate directory (fixture mode): all rules apply.
-pub fn lint_crate(dir: &Path) -> Vec<Violation> {
-    let mut out = Vec::new();
-    out.extend(wall_clock(&dir.join("src")));
-    out.extend(wire_enum_coverage(dir));
-    let mgmt = dir.join("src/mgmt.rs");
-    if mgmt.exists() {
-        out.extend(mgmt_usage(&mgmt));
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tmpdir(name: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("starfish-lint-test-{name}"));
-        let _ = fs::remove_dir_all(&d);
-        fs::create_dir_all(d.join("src")).unwrap();
-        d
-    }
-
-    #[test]
-    fn wall_clock_flags_bare_instant_now() {
-        let d = tmpdir("wc1");
-        fs::write(
-            d.join("src/lib.rs"),
-            "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
-        )
-        .unwrap();
-        let v = wall_clock(&d.join("src"));
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].rule, "wall-clock");
-        assert_eq!(v[0].line, 1);
-    }
-
-    #[test]
-    fn wall_clock_honors_allow_and_tests_and_comments() {
-        let d = tmpdir("wc2");
-        fs::write(
-            d.join("src/lib.rs"),
-            concat!(
-                "pub fn ok() {\n",
-                "    let _ = std::time::Instant::now(); // lint: allow(wall-clock)\n",
-                "    // lint: allow(wall-clock)\n",
-                "    let _ = std::time::Instant::now();\n",
-                "    // a comment mentioning Instant::now() is fine\n",
-                "    let _ = \"Instant::now() in a string is fine\";\n",
-                "}\n",
-                "#[cfg(test)]\n",
-                "mod tests {\n",
-                "    fn t() { let _ = std::time::Instant::now(); }\n",
-                "}\n",
-            ),
-        )
-        .unwrap();
-        let v = wall_clock(&d.join("src"));
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn wall_clock_ban_covers_the_diskless_replica_store() {
-        // The replica backend's virtual-time determinism rests on the
-        // checkpoint crate being policed; pin the crate list so a future
-        // edit cannot silently drop it (or the other deterministic cores).
-        assert!(DETERMINISTIC_CRATES.contains(&"checkpoint"));
-        assert!(DETERMINISTIC_CRATES.contains(&"mpi"));
-        // And the rule has teeth inside a replica.rs-shaped module.
-        let d = tmpdir("wc-replica");
-        fs::write(
-            d.join("src/replica.rs"),
-            concat!(
-                "pub fn put_replicated() {\n",
-                "    let _t0 = std::time::Instant::now();\n",
-                "}\n",
-            ),
-        )
-        .unwrap();
-        let v = wall_clock(&d.join("src"));
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].rule, "wall-clock");
-        assert!(v[0].file.ends_with("replica.rs"), "{v:?}");
-    }
-
-    #[test]
-    fn wall_clock_does_not_match_sub_identifiers() {
-        let d = tmpdir("wc3");
-        fs::write(
-            d.join("src/lib.rs"),
-            "pub fn f(x: u64) -> u64 { my_thread_rng_seed(x) }\nfn my_thread_rng_seed(x: u64) -> u64 { x }\n",
-        )
-        .unwrap();
-        assert!(wall_clock(&d.join("src")).is_empty());
-    }
-
-    #[test]
-    fn enum_coverage_flags_untested_variant() {
-        let d = tmpdir("enum1");
-        fs::write(
-            d.join("src/lib.rs"),
-            concat!(
-                "pub enum Wire {\n",
-                "    Ping,\n",
-                "    Pong,\n",
-                "    Forgotten,\n",
-                "}\n",
-                "pub trait Encode {}\n",
-                "pub trait Decode {}\n",
-                "impl Encode for Wire {}\n",
-                "impl Decode for Wire {}\n",
-                "#[cfg(test)]\n",
-                "mod tests {\n",
-                "    #[test]\n",
-                "    fn roundtrip() { /* Ping Pong */ let _ = (\"Ping\", \"Pong\"); }\n",
-                "}\n",
-            ),
-        )
-        .unwrap();
-        let v = wire_enum_coverage(&d);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].msg.contains("Forgotten"), "{}", v[0].msg);
-    }
-
-    #[test]
-    fn enum_without_codec_impls_is_ignored() {
-        let d = tmpdir("enum2");
-        fs::write(
-            d.join("src/lib.rs"),
-            "pub enum Internal { NeverOnTheWire }\n",
-        )
-        .unwrap();
-        assert!(wire_enum_coverage(&d).is_empty());
-    }
-
-    #[test]
-    fn inherent_codec_counts_as_wire_enum() {
-        let d = tmpdir("enum3");
-        fs::write(
-            d.join("src/lib.rs"),
-            concat!(
-                "pub enum Rel {\n",
-                "    Nack,\n",
-                "    Quiet,\n",
-                "}\n",
-                "impl Rel {\n",
-                "    pub fn encode(&self) -> Vec<u8> { Vec::new() }\n",
-                "    pub fn decode(_b: &[u8]) -> Option<Rel> { None }\n",
-                "}\n",
-            ),
-        )
-        .unwrap();
-        let v = wire_enum_coverage(&d);
-        assert_eq!(v.len(), 2, "{v:?}"); // no tests at all: both flagged
-    }
-
-    #[test]
-    fn mgmt_usage_requires_table_entries_both_ways() {
-        let d = tmpdir("mgmt1");
-        fs::write(
-            d.join("src/mgmt.rs"),
-            concat!(
-                "pub const COMMAND_USAGE: &[(&str, &str)] = &[\n",
-                "    (\"LOGIN\", \"LOGIN ADMIN <password>\"),\n",
-                "    (\"GHOST\", \"GHOST — not actually handled\"),\n",
-                "];\n",
-                "fn try_handle(cmd: &str) -> String {\n",
-                "    match cmd.to_ascii_uppercase().as_str() {\n",
-                "        \"LOGIN\" => \"ok\".into(),\n",
-                "        \"STATS\" | \"HEALTH\" => \"ok\".into(),\n",
-                "        other => format!(\"ERR unknown command {other:?}\"),\n",
-                "    }\n",
-                "}\n",
-            ),
-        )
-        .unwrap();
-        let v = mgmt_usage(&d.join("src/mgmt.rs"));
-        let msgs: Vec<&str> = v.iter().map(|x| x.msg.as_str()).collect();
-        assert_eq!(v.len(), 3, "{msgs:?}");
-        assert!(msgs.iter().any(|m| m.contains("\"STATS\"")));
-        assert!(msgs.iter().any(|m| m.contains("\"HEALTH\"")));
-        assert!(msgs.iter().any(|m| m.contains("\"GHOST\"")));
-    }
-}
+pub use starfish_analysis::{
+    analyze_crate, analyze_workspace, Baseline, CrateModel, Finding, LockGraph, Report, Watched,
+};
