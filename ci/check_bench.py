@@ -15,6 +15,11 @@ field:
 * events (BENCH_events.json) — schema, plus in full mode the publish
   budget: the event bus must stay under its ns-scale per-publish budget
   or the always-on forensics layer is too expensive.
+* collectives (BENCH_collectives.json) — schema, plus in full mode the
+  headline claim (ring allreduce >= 4x faster than the legacy
+  reduce+bcast composition at the largest size x rank cell), measured
+  (not defaulted) selector thresholds, and a 25% virtual-time regression
+  gate against the committed baseline (--baseline).
 
 Two modes, keyed off the report's "quick" flag (absent == full):
 
@@ -70,7 +75,23 @@ REQUIRED_FIELDS = {
         "overflow_publish_ns",
         "overflow_drops_accounted",
     ],
+    "collectives": [
+        "bench",
+        "quick",
+        "allreduce_vt_ns",
+        "ring_speedup_largest",
+        "scaling_allreduce_65536_vt_ns",
+        "allgather_vt_ns",
+        "bcast_vt_ns",
+        "selector_thresholds",
+        "thresholds_measured",
+    ],
 }
+
+# The headline collectives claim: at the largest (bytes, ranks) cell the
+# bandwidth-optimal ring allreduce must beat the legacy reduce+bcast
+# composition by at least this factor.
+RING_SPEEDUP_FLOOR = 4.0
 
 REGRESSION_TOLERANCE = 1.25
 
@@ -134,6 +155,44 @@ def check_schema(r, path):
         for subs in r["fanout_ns_per_event"]:
             if not str(subs).isdigit():
                 fail(f"{path}: non-numeric subscriber count {subs!r}")
+    elif kind == "collectives":
+        sweep = r["allreduce_vt_ns"]
+        if not isinstance(sweep, dict) or not sweep:
+            fail(f"{path}: empty allreduce_vt_ns sweep")
+        for model, per_ranks in sweep.items():
+            if not isinstance(per_ranks, dict) or not per_ranks:
+                fail(f"{path}: allreduce_vt_ns[{model}] is empty")
+            for ranks, rows in per_ranks.items():
+                if not str(ranks).isdigit():
+                    fail(f"{path}: non-numeric rank count {ranks!r}")
+                for size, cell in rows.items():
+                    if not str(size).isdigit():
+                        fail(f"{path}: non-numeric sweep size {size!r}")
+                    for algo in ("reduce_bcast", "rdouble", "ring"):
+                        v = cell.get(algo) if isinstance(cell, dict) else None
+                        if not isinstance(v, (int, float)) or v <= 0:
+                            fail(
+                                f"{path}: allreduce_vt_ns[{model}][{ranks}][{size}]"
+                                f".{algo} = {v!r} is not a positive number"
+                            )
+        head = r["ring_speedup_largest"]
+        if not isinstance(head, dict) or not isinstance(
+            head.get("speedup"), (int, float)
+        ):
+            fail(f"{path}: ring_speedup_largest.speedup missing or non-numeric")
+        th = r["selector_thresholds"]
+        if not isinstance(th, dict) or not th:
+            fail(f"{path}: empty selector_thresholds")
+        for op, per_model in th.items():
+            for model, entry in per_model.items():
+                if not isinstance(entry, dict) or "measured" not in entry:
+                    fail(f"{path}: selector_thresholds[{op}][{model}] malformed")
+                cal = entry.get("calibrated")
+                if not isinstance(cal, int) or cal <= 0:
+                    fail(
+                        f"{path}: selector_thresholds[{op}][{model}].calibrated "
+                        f"= {cal!r} is not a positive integer"
+                    )
 
 
 def check_full(fresh, baseline, fresh_path):
@@ -180,6 +239,42 @@ def check_full(fresh, baseline, fresh_path):
                 f"({fresh['publish_ns']} ns) exceeds the "
                 f"{fresh['publish_budget_ns']} ns always-on budget"
             )
+    elif kind == "collectives":
+        head = fresh["ring_speedup_largest"]
+        if head["speedup"] < RING_SPEEDUP_FLOOR:
+            fail(
+                f"{fresh_path}: ring allreduce speedup {head['speedup']}x at "
+                f"{head.get('bytes')} B x {head.get('ranks')} ranks is below the "
+                f"{RING_SPEEDUP_FLOOR}x floor — the bandwidth-optimal path lost its edge"
+            )
+        if not fresh["thresholds_measured"]:
+            fail(
+                f"{fresh_path}: thresholds_measured is false — some selector "
+                "threshold fell back to a default instead of a measured crossover"
+            )
+        if baseline is None:
+            return
+        base_sweep = baseline["allreduce_vt_ns"]
+        fresh_sweep = fresh["allreduce_vt_ns"]
+        for model, per_ranks in base_sweep.items():
+            if model not in fresh_sweep:
+                fail(f"{fresh_path}: model {model} present in baseline but missing from fresh run")
+            for ranks, rows in per_ranks.items():
+                for size, cell in rows.items():
+                    fresh_cell = fresh_sweep[model].get(ranks, {}).get(size)
+                    if fresh_cell is None:
+                        fail(
+                            f"{fresh_path}: allreduce cell [{model}][{ranks}][{size}] "
+                            "present in baseline but missing from fresh run"
+                        )
+                    for algo in ("reduce_bcast", "rdouble", "ring"):
+                        base, got = cell[algo], fresh_cell[algo]
+                        if got > base * REGRESSION_TOLERANCE:
+                            fail(
+                                f"{fresh_path}: {algo} virtual time at [{model}][{ranks}]"
+                                f"[{size}] regressed {got / base:.2f}x vs committed "
+                                f"baseline ({base} -> {got}, tolerance {REGRESSION_TOLERANCE}x)"
+                            )
 
 
 def main():

@@ -200,11 +200,17 @@ fn main() {
     println!("\nping-pong one-way: {pp_ns:.0} ns");
 
     // ---- N-sender contention sweep ----------------------------------------
+    // Best-of-N: each cell is wall-clock over OS threads, so one unlucky
+    // scheduling hiccup (a sender descheduled mid-burst) can halve a
+    // reading. Max over trials keeps the fabric's real capacity.
+    let trials = if q { 1 } else { 3 };
     let sweep: &[usize] = &[1, 2, 4, 8];
     let mut contention_rows = Vec::new();
     let mut contention_json = Vec::new();
     for &n in sweep {
-        let pps = contention(n, per_sender);
+        let pps = (0..trials)
+            .map(|_| contention(n, per_sender))
+            .fold(0.0f64, f64::max);
         contention_rows.push(vec![
             n.to_string(),
             format!("{:.0}", pps),

@@ -130,6 +130,13 @@ pub struct FaultPlan {
     /// latency is bounded by `timeout + 2 * interval`. `None` leaves the
     /// detector out of the forensic model (fail-stop semantics only).
     pub heartbeat: Option<(u64, u64)>,
+    /// Collective-traffic mode: instead of the point-to-point traffic
+    /// pattern, every step runs one instance of the named collective (e.g.
+    /// `allreduce-ring`, `allgather-ring`) across all ranks, with the armed
+    /// link faults hitting the algorithm's ring/doubling exchanges. `None`
+    /// keeps the classic point-to-point traffic. The name is a single
+    /// token; the ring-collective fault bank interprets it.
+    pub collective: Option<String>,
     /// Per-link packet faults, armed before the first step.
     pub faults: Vec<LinkFaultSpec>,
     /// Timed events, fired when the driver reaches `step` (plan order
@@ -234,6 +241,7 @@ impl FaultPlan {
             rndv_chunk: None,
             replica_k: None,
             heartbeat: None,
+            collective: None,
             faults,
             events,
         }
@@ -266,6 +274,7 @@ impl FaultPlan {
             rndv_chunk: None,
             replica_k: None,
             heartbeat: None,
+            collective: None,
             faults: Vec::new(),
             events: Vec::new(),
         };
@@ -318,6 +327,12 @@ impl FaultPlan {
                         ));
                     }
                     plan.heartbeat = Some((interval, timeout));
+                }
+                "collective" => {
+                    let name = rest
+                        .first()
+                        .ok_or_else(|| format!("collective needs a name: {line}"))?;
+                    plan.collective = Some((*name).to_string());
                 }
                 "fault" => plan.faults.push(parse_fault(line, &rest)?),
                 k if k.starts_with('@') => {
@@ -430,6 +445,9 @@ impl fmt::Display for FaultPlan {
         }
         if let Some((interval, timeout)) = self.heartbeat {
             writeln!(f, "heartbeat {interval} {timeout}")?;
+        }
+        if let Some(c) = &self.collective {
+            writeln!(f, "collective {c}")?;
         }
         for s in &self.faults {
             writeln!(
@@ -553,6 +571,21 @@ mod tests {
         assert!(FaultPlan::parse(&text.replace("heartbeat 200 800", "heartbeat 200")).is_err());
         // Absent directive keeps fail-stop-only forensic semantics.
         assert_eq!(FaultPlan::generate(8).heartbeat, None);
+    }
+
+    #[test]
+    fn collective_directive_roundtrips_and_validates() {
+        let text = "starfish-fault-plan v1\nseed 7\nnodes 3\nranks 3\nsteps 10\nckpt-every 0\ncollective allreduce-ring\nfault 0->1 seed=9 drop=0.2 dup=0.1 delay=0us@0 reorder=0.2\n";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.collective.as_deref(), Some("allreduce-ring"));
+        let back = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, back);
+        // A bare directive names nothing to run: rejected.
+        assert!(
+            FaultPlan::parse(&text.replace("collective allreduce-ring", "collective")).is_err()
+        );
+        // Absent directive keeps point-to-point traffic.
+        assert_eq!(FaultPlan::generate(9).collective, None);
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! The ring-collective fault bank: bandwidth-optimal ring collectives
+//! (reduce-scatter + ring-allgather pipelines) under seeded drop /
+//! duplicate / reorder faults armed on the ring links themselves, plus a
+//! crash mid-sequence. The oracles are exactly-once arithmetic — the
+//! closed-form expected sums, where a duplicated or lost block
+//! contribution is silent corruption, not an error — and byte-for-byte
+//! payload integrity of every gathered block. The harness mirrors
+//! `collectives_faults.rs`: endpoints bind before faults arm, ranks run on
+//! their own threads, and everyone keeps pumping briefly after finishing
+//! so a peer's retransmission probes can still be served.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use starfish_chaos::FaultPlan;
+use starfish_mpi::collectives::{allgather_with, allreduce_with};
+use starfish_mpi::{
+    AllgatherAlgo, AllreduceAlgo, Comm, MpiEndpoint, RankDirectory, RecvMode, ReduceOp,
+};
+use starfish_util::trace::TraceSink;
+use starfish_util::{AppId, NodeId, Rank, VClock};
+use starfish_vni::{Fabric, Ideal, LayerCosts, LinkFault};
+
+const APP: AppId = AppId(9);
+
+fn fabric(n: u32) -> Fabric {
+    let f = Fabric::new(Box::new(Ideal), LayerCosts::zero());
+    for i in 0..n {
+        f.add_node(NodeId(i));
+    }
+    f
+}
+
+/// Bind one reliable endpoint per rank (rank r on node r) before any rank
+/// runs, so faults armed on the fabric hit application traffic, not setup.
+fn bind_ranks(fabric: &Fabric, n: u32, recv_timeout: Duration) -> Vec<MpiEndpoint> {
+    let dir = RankDirectory::with_placement(&(0..n).map(NodeId).collect::<Vec<_>>());
+    (0..n)
+        .map(|r| {
+            let mut ep = MpiEndpoint::new(
+                fabric,
+                APP,
+                Rank(r),
+                dir.clone(),
+                RecvMode::Polled,
+                TraceSink::disabled(),
+            )
+            .unwrap();
+            ep.set_reliable(true);
+            ep.set_blocking_timeout(recv_timeout);
+            ep
+        })
+        .collect()
+}
+
+/// Run `f(rank, endpoint, comm, clock)` on one thread per bound endpoint,
+/// collecting results in rank order, then keep pumping each endpoint for a
+/// short window so peers still blocked on a retransmission can be served.
+fn run_bound<T: Send + 'static>(
+    eps: Vec<MpiEndpoint>,
+    pump: Duration,
+    f: impl Fn(u32, &mut MpiEndpoint, &mut Comm, &mut VClock) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let n = eps.len() as u32;
+    let f = std::sync::Arc::new(f);
+    let mut handles = Vec::new();
+    for (r, mut ep) in eps.into_iter().enumerate() {
+        let f = f.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut comm = Comm::world(n, Rank(r as u32));
+            let mut clock = VClock::new();
+            let out = f(r as u32, &mut ep, &mut comm, &mut clock);
+            let quiesce = std::time::Instant::now() + pump;
+            while std::time::Instant::now() < quiesce {
+                ep.flush_reliable(&mut clock);
+                let _ = ep.try_recv_world(&mut clock, starfish_mpi::WORLD_CONTEXT, None, None);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            out
+        }));
+    }
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+fn run_ranks<T: Send + 'static>(
+    fabric: &Fabric,
+    n: u32,
+    recv_timeout: Duration,
+    f: impl Fn(u32, &mut MpiEndpoint, &mut Comm, &mut VClock) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let eps = bind_ranks(fabric, n, recv_timeout);
+    run_bound(eps, Duration::from_millis(500), f)
+}
+
+/// Arm `mk(i)` on every directed data link of the ring, `i -> (i+1) % n`.
+/// Both ring phases (reduce-scatter and allgather) push blocks along
+/// exactly these edges; the reverse edges carry only acks.
+fn arm_ring(f: &Fabric, n: u32, mk: impl Fn(u32) -> LinkFault) {
+    for i in 0..n {
+        f.set_link_fault(NodeId(i), NodeId((i + 1) % n), mk(i));
+    }
+}
+
+/// Rank `r`'s allreduce contribution: element `i` is `(r+1)*(i+1)`, so the
+/// elementwise sum has the closed form `(i+1) * n(n+1)/2` and any block
+/// delivered twice (or a lost retransmission papered over with zeros)
+/// breaks the arithmetic instead of hiding in it.
+fn contribution(r: u32, elems: usize) -> Vec<u64> {
+    (0..elems)
+        .map(|i| (r as u64 + 1) * (i as u64 + 1))
+        .collect()
+}
+
+fn expected_sum(n: u32, elems: usize) -> Vec<u64> {
+    let ranks: u64 = (1..=n as u64).sum();
+    (0..elems).map(|i| ranks * (i as u64 + 1)).collect()
+}
+
+/// Rank `k`'s allgather block: a position-and-origin-dependent byte
+/// pattern, so a block delivered into the wrong slot (or assembled from a
+/// duplicated segment) fails byte-for-byte comparison.
+fn block_pattern(r: u32, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((r as usize * 131 + i * 7) & 0xff) as u8)
+        .collect()
+}
+
+#[test]
+fn ring_allreduce_is_exact_over_faulty_ring_links() {
+    // Every data edge of the 5-ring drops, duplicates and reorders; every
+    // ack edge loses a fifth of its acks. 257 elements (prime, not
+    // divisible by 5) forces ragged blocks through both phases. The
+    // reliable layer must absorb all of it: the sums are checked exactly.
+    let n = 5;
+    let f = fabric(n);
+    arm_ring(&f, n, |i| {
+        LinkFault::seeded(13 + 2 * i as u64)
+            .drop(0.3)
+            .duplicate(0.3)
+            .reorder(0.25)
+    });
+    for i in 0..n {
+        f.set_link_fault(
+            NodeId((i + 1) % n),
+            NodeId(i),
+            LinkFault::seeded(101 + i as u64).drop(0.2),
+        );
+    }
+    let out = run_ranks(&f, n, Duration::from_secs(20), |r, ep, comm, clock| {
+        allreduce_with(
+            ep,
+            comm,
+            clock,
+            &contribution(r, 257),
+            ReduceOp::Sum,
+            AllreduceAlgo::Ring,
+        )
+        .unwrap()
+    });
+    let want = expected_sum(n, 257);
+    for (r, o) in out.iter().enumerate() {
+        assert_eq!(o, &want, "rank {r} finished with a wrong sum");
+    }
+    let stats = f.fault_stats();
+    assert!(stats.dropped >= 1, "the drop faults must actually fire");
+    assert!(stats.duplicated >= 1, "the dup faults must actually fire");
+}
+
+#[test]
+fn segmented_ring_survives_chunk_level_faults() {
+    // Shrink the segment size to 64 B so each ring block (1 KiB at 512
+    // elements over 4 ranks) becomes a 16-segment train, then drop and
+    // reorder on every data edge: the armed faults hit individual
+    // segments mid-reduce-scatter, not whole blocks. Reassembly must stay
+    // exact, and the fault layer must have eaten segment-scale frame
+    // counts — proof the pipeline actually split the transfers.
+    let n = 4;
+    let f = fabric(n);
+    arm_ring(&f, n, |i| {
+        LinkFault::seeded(7 + 3 * i as u64).drop(0.4).reorder(0.3)
+    });
+    let out = run_ranks(&f, n, Duration::from_secs(20), |r, ep, comm, clock| {
+        ep.set_rendezvous_chunk_bytes(64);
+        allreduce_with(
+            ep,
+            comm,
+            clock,
+            &contribution(r, 512),
+            ReduceOp::Sum,
+            AllreduceAlgo::Ring,
+        )
+        .unwrap()
+    });
+    let want = expected_sum(n, 512);
+    for (r, o) in out.iter().enumerate() {
+        assert_eq!(o, &want, "rank {r} finished with a wrong sum");
+    }
+    assert!(
+        f.fault_stats().dropped >= 16,
+        "segment-level faults must outnumber the block count: {} dropped",
+        f.fault_stats().dropped
+    );
+}
+
+#[test]
+fn ring_allgather_preserves_every_block_byte_for_byte() {
+    // Each rank contributes a distinct 4 KiB pattern; the ring circulates
+    // every block through every faulty edge (a block born on rank 0
+    // crosses all n-1 data links to reach rank 1's final slot). Any
+    // mis-slotted, torn or duplicate-assembled block fails the
+    // byte-for-byte oracle on some rank.
+    let n = 5;
+    let f = fabric(n);
+    arm_ring(&f, n, |i| {
+        LinkFault::seeded(41 + i as u64)
+            .drop(0.25)
+            .duplicate(0.35)
+            .reorder(0.25)
+    });
+    let out = run_ranks(&f, n, Duration::from_secs(20), |r, ep, comm, clock| {
+        allgather_with(
+            ep,
+            comm,
+            clock,
+            &block_pattern(r, 4096),
+            AllgatherAlgo::Ring,
+        )
+        .unwrap()
+    });
+    for (r, view) in out.iter().enumerate() {
+        assert_eq!(view.len(), n as usize, "rank {r} gathered a short world");
+        for (k, block) in view.iter().enumerate() {
+            assert_eq!(
+                &block[..],
+                &block_pattern(k as u32, 4096)[..],
+                "rank {r}'s copy of rank {k}'s block is corrupt"
+            );
+        }
+    }
+    assert!(f.fault_stats().duplicated >= 1, "the dup faults must fire");
+}
+
+#[test]
+fn crash_mid_ring_sequence_stops_every_rank_with_an_error() {
+    // Stop-and-sync: the first ring allreduce completes exactly; then
+    // node 2 crashes — strictly between the two collectives, enforced by
+    // a two-phase barrier with the crasher thread — and the second ring
+    // allreduce must stop every rank with a clean error inside its
+    // receive timeout. No rank may hang waiting on the dead ring segment,
+    // and no rank may return a torn sum.
+    let n = 4;
+    let f = fabric(n);
+    let eps = bind_ranks(&f, n, Duration::from_millis(500));
+    let gate = Arc::new(Barrier::new(n as usize + 1));
+    let crasher = {
+        let f = f.clone();
+        let gate = gate.clone();
+        std::thread::spawn(move || {
+            gate.wait();
+            f.crash_node(NodeId(2));
+            gate.wait();
+        })
+    };
+    let out = run_bound(
+        eps,
+        Duration::from_millis(100),
+        move |r, ep, comm, clock| {
+            let first = allreduce_with(
+                ep,
+                comm,
+                clock,
+                &contribution(r, 64),
+                ReduceOp::Sum,
+                AllreduceAlgo::Ring,
+            )
+            .unwrap();
+            gate.wait();
+            gate.wait();
+            let second = allreduce_with(
+                ep,
+                comm,
+                clock,
+                &contribution(r, 64),
+                ReduceOp::Sum,
+                AllreduceAlgo::Ring,
+            )
+            .err()
+            .map(|e| e.to_string());
+            (first, second)
+        },
+    );
+    crasher.join().unwrap();
+    let want = expected_sum(n, 64);
+    for (r, (first, second)) in out.iter().enumerate() {
+        assert_eq!(first, &want, "rank {r}'s pre-crash allreduce must be exact");
+        assert!(
+            second.is_some(),
+            "rank {r} must surface an error after the crash, got success"
+        );
+    }
+}
+
+#[test]
+fn committed_ring_plan_replays_the_shrunk_fault_bank() {
+    // The committed shrunk plan is the authoritative description of the
+    // ring scenario: this test re-arms exactly the faults it pins around
+    // the collective it names and re-checks the closed-form sums, so the
+    // file keeps reproducing the fault bank it was shrunk from. (The
+    // generic regression replay in regressions.rs also drives the same
+    // plan's faulty links with the standard point-to-point schedule.)
+    let dir = format!("{}/tests/regressions", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(format!("{dir}/ring-collective-faulty-links.plan")).unwrap();
+    let plan = FaultPlan::parse(&text).unwrap();
+    assert_eq!(plan.collective.as_deref(), Some("allreduce-ring"));
+    assert_eq!(plan.nodes, plan.ranks, "ring placement is rank r on node r");
+    assert_eq!(plan.payload % 8, 0, "payload must be whole u64 elements");
+    for i in 0..plan.nodes {
+        assert!(
+            plan.faults
+                .iter()
+                .any(|s| s.src == i && s.dst == (i + 1) % plan.nodes),
+            "the plan must fault every data edge of the ring (missing {i})"
+        );
+    }
+    let n = plan.nodes;
+    let elems = plan.payload as usize / 8;
+    let f = fabric(n);
+    for s in &plan.faults {
+        f.set_link_fault(NodeId(s.src), NodeId(s.dst), s.to_fault());
+    }
+    let out = run_ranks(&f, n, Duration::from_secs(20), move |r, ep, comm, clock| {
+        allreduce_with(
+            ep,
+            comm,
+            clock,
+            &contribution(r, elems),
+            ReduceOp::Sum,
+            AllreduceAlgo::Ring,
+        )
+        .unwrap()
+    });
+    let want = expected_sum(n, elems);
+    for (r, o) in out.iter().enumerate() {
+        assert_eq!(o, &want, "rank {r} regressed on the committed plan");
+    }
+    assert!(f.fault_stats().dropped >= 1, "the plan's faults must fire");
+}

@@ -177,6 +177,12 @@ struct RndvAsm {
     buf: Vec<u8>,
     /// Offsets already absorbed: chunk retransmissions are idempotent.
     got: BTreeSet<u64>,
+    /// Latest virtual arrival over the absorbed chunks. The chunk that
+    /// *completes* reassembly is whichever the fabric processed last, and
+    /// with per-packet bandwidth charging a tiny tail chunk can carry a
+    /// much earlier timestamp than the big chunk before it — so the
+    /// transfer's delivery time is this watermark, not the last chunk's.
+    latest: VirtualTime,
 }
 
 impl RndvAsm {
@@ -187,17 +193,22 @@ impl RndvAsm {
             whole: None,
             buf: Vec::new(),
             got: BTreeSet::new(),
+            latest: VirtualTime::default(),
         }
     }
 
     /// Absorb one chunk. Descriptor-mismatched or out-of-bounds chunks are
     /// dropped; duplicates are no-ops. Returns completeness.
-    fn absorb(&mut self, c: &RndvChunk, chunk: Bytes) -> bool {
+    fn absorb(&mut self, c: &RndvChunk, chunk: Bytes, arrive: VirtualTime) -> bool {
         let end = c.offset.saturating_add(chunk.len() as u64);
         if c.total != self.total || end > self.total {
             return self.is_complete();
         }
         if self.got.insert(c.offset) {
+            // First arrival of this chunk only: duplicates are retransmission
+            // traffic, which costs no virtual time by the reliability layer's
+            // convention.
+            self.latest = self.latest.max(arrive);
             self.received += chunk.len() as u64;
             if c.offset == 0 && chunk.len() as u64 == self.total && self.buf.is_empty() {
                 // Single chunk covering the whole transfer: keep the
@@ -387,6 +398,9 @@ pub struct MpiEndpoint {
     eager_budget: HashMap<Rank, usize>,
     /// Eager bytes consumed per source, not yet returned as credit.
     credit_owed: HashMap<Rank, usize>,
+    /// Per-call collective algorithm selection policy (thresholds keyed on
+    /// message size and group size; see `collectives::selector`).
+    coll_selector: crate::collectives::CollAlgoSelector,
 }
 
 impl MpiEndpoint {
@@ -446,7 +460,20 @@ impl MpiEndpoint {
             eager_credit: EAGER_CREDIT_BYTES,
             eager_budget: HashMap::new(),
             credit_owed: HashMap::new(),
+            coll_selector: crate::collectives::CollAlgoSelector::default(),
         })
+    }
+
+    /// Install a calibrated collective algorithm selector (the static
+    /// defaults otherwise). Benches calibrate one from measured sweeps via
+    /// [`crate::collectives::CollAlgoSelector::from_cache`].
+    pub fn set_coll_selector(&mut self, sel: crate::collectives::CollAlgoSelector) {
+        self.coll_selector = sel;
+    }
+
+    /// The collective algorithm selection policy in force.
+    pub fn coll_selector(&self) -> &crate::collectives::CollAlgoSelector {
+        &self.coll_selector
     }
 
     /// Override the payload size at which sends switch from eager to
@@ -462,6 +489,19 @@ impl MpiEndpoint {
     /// after the call use the new size.
     pub fn set_rendezvous_chunk_bytes(&mut self, bytes: usize) {
         self.rndv_chunk_bytes = bytes.max(1);
+    }
+
+    /// The rendezvous DATA chunk size in force. Collective phases align
+    /// their segments to this so every large-message leg rides the
+    /// pipelined rendezvous path in whole chunks.
+    pub fn rendezvous_chunk_bytes(&self) -> usize {
+        self.rndv_chunk_bytes
+    }
+
+    /// Registry handle for same-crate layers (collectives) that account
+    /// their own traffic and selection decisions.
+    pub(crate) fn metrics_handle(&self) -> Option<&Registry> {
+        self.metrics.as_ref()
     }
 
     /// Override the per-destination eager credit ceiling
@@ -1184,10 +1224,11 @@ impl MpiEndpoint {
                     if asm.is_complete() {
                         // Chunks overtook the RTS (unsequenced traffic only):
                         // the transfer is complete the moment it becomes
-                        // matchable.
+                        // matchable, stamped with the latest chunk arrival.
                         let mut h = header;
                         h.flags = FLAG_RNDV_DATA;
-                        self.finish_delivery(h, asm.take_bytes(), arrive, ctx);
+                        let at = arrive.max(asm.latest);
+                        self.finish_delivery(h, asm.take_bytes(), at, ctx);
                         return;
                     }
                     asm
@@ -1232,22 +1273,27 @@ impl MpiEndpoint {
                 if desc.total != *size {
                     return; // descriptor disagrees with the RTS: drop
                 }
-                if !asm.absorb(&desc, chunk) {
+                if !asm.absorb(&desc, chunk, arrive) {
                     return; // more chunks to come: placeholder stays parked
                 }
+                // The transfer is delivered at the latest chunk arrival (or
+                // the RTS's, parked in the entry), not the completing chunk's
+                // timestamp: a tiny tail chunk can carry an earlier virtual
+                // time than the big chunk before it.
+                let at = arrive.max(asm.latest).max(entry.2);
                 let payload = asm.take_bytes();
                 // Keep the DATA flag on the merged header: it marks the
                 // payload as credit-exempt when it is finally consumed.
                 entry.0.flags = FLAG_RNDV_DATA;
                 entry.0.interval = header.interval;
                 entry.1 = Body::Eager(payload.clone());
-                entry.2 = arrive;
+                entry.2 = at;
                 let h = entry.0;
                 self.cts_last.remove(&(h.src, id));
                 // The transfer completes *here*: record the receive (and
                 // any Chandy–Lamport channel recording) at merge time.
                 self.recorder
-                    .on_recv(arrive, h.src.0, h.context, h.tag, payload.len(), ctx);
+                    .on_recv(at, h.src.0, h.context, h.tag, payload.len(), ctx);
                 if self.recording.contains(&h.src) {
                     self.recorded.push((h, payload));
                 }
@@ -1257,7 +1303,7 @@ impl MpiEndpoint {
                 self.rndv_payloads
                     .entry((header.src, id))
                     .or_insert_with(|| RndvAsm::new(desc.total))
-                    .absorb(&desc, chunk);
+                    .absorb(&desc, chunk, arrive);
             }
             return;
         }
@@ -2284,6 +2330,39 @@ mod tests {
         assert_eq!(&m.data[..], &expect[..]);
         assert_eq!(m.src, Rank(0));
         assert_eq!(m.tag, 7);
+    }
+
+    /// A multi-chunk rendezvous delivery is stamped with the *latest* chunk
+    /// arrival, not the completing chunk's. With per-packet bandwidth
+    /// charging the tiny tail chunk of a 256 KiB + 16 B transfer carries a
+    /// microsecond-scale timestamp while the big chunk carries ~2.1 ms;
+    /// the receiver's clock must reflect the big chunk's serialization.
+    #[test]
+    fn rendezvous_delivery_time_covers_all_chunks() {
+        let (f, dir) = setup(2, "bip");
+        let mut a = ep(&f, &dir, 0);
+        let mut b = ep(&f, &dir, 1);
+        a.set_rendezvous_threshold(1024);
+        a.set_rendezvous_chunk_bytes(256 * 1024);
+        let payload = vec![0x5Au8; 256 * 1024 + 16];
+        let t = std::thread::spawn(move || {
+            let mut cb = VClock::new();
+            let m = b.recv_world(&mut cb, 1, Some(Rank(0)), Some(7)).unwrap();
+            (m.data.len(), cb.now())
+        });
+        let mut ca = VClock::new();
+        a.send_world(&mut ca, Rank(1), 1, 7, &payload).unwrap();
+        let (len, vt) = t.join().unwrap();
+        assert_eq!(len, 256 * 1024 + 16);
+        // BIP/Myrinet moves 125 MB/s = 8 ns/B: the 256 KiB chunk alone is
+        // ~2.1 ms on the wire.
+        let serialization = VirtualTime::from_nanos(256 * 1024 * 8);
+        assert!(
+            vt >= serialization,
+            "receiver clock {:?} lost the big chunk's serialization ({:?})",
+            vt,
+            serialization
+        );
     }
 
     /// A rendezvous transfer across a link that drops, duplicates and

@@ -38,7 +38,10 @@ pub mod replication;
 pub mod threshold;
 pub mod wire;
 
-pub use collectives::ReduceOp;
+pub use collectives::{
+    AllgatherAlgo, AllreduceAlgo, BcastAlgo, CollAlgoSelector, ReduceOp, COLL_TAG_BASE,
+    MAX_COLL_RANKS,
+};
 pub use comm::Comm;
 pub use directory::RankDirectory;
 pub use endpoint::{

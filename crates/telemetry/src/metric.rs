@@ -123,6 +123,22 @@ metric_table! {
     MPI_CTS_RESENDS = ("mpi.cts_resends", Counter, Count, "CTS grants re-sent while awaiting rendezvous data");
     MPI_CREDIT_FALLBACKS = ("mpi.credit_fallbacks", Counter, Count, "Eager sends forced to rendezvous by exhausted credit");
 
+    // --- Collectives: algorithm selection + traffic accounting -----------
+    // One counter per (operation, algorithm) pair so STATS shows the
+    // selector's decisions directly; kept contiguous so the rendered
+    // output groups them. The mapping lives with the selector
+    // (starfish-mpi), which tests pin against these ids.
+    COLL_ALGO_ALLREDUCE_REDUCE_BCAST = ("coll.algo.allreduce.reduce-bcast", Counter, Count, "Allreduce calls routed through the legacy reduce+bcast composition");
+    COLL_ALGO_ALLREDUCE_RDOUBLE = ("coll.algo.allreduce.recursive-doubling", Counter, Count, "Allreduce calls routed through recursive doubling");
+    COLL_ALGO_ALLREDUCE_RING = ("coll.algo.allreduce.ring", Counter, Count, "Allreduce calls routed through ring reduce-scatter + ring allgather");
+    COLL_ALGO_ALLGATHER_GATHER_BCAST = ("coll.algo.allgather.gather-bcast", Counter, Count, "Allgather calls routed through the legacy gather+bcast composition");
+    COLL_ALGO_ALLGATHER_BRUCK = ("coll.algo.allgather.bruck", Counter, Count, "Allgather calls routed through the Bruck log-step algorithm");
+    COLL_ALGO_ALLGATHER_RING = ("coll.algo.allgather.ring", Counter, Count, "Allgather calls routed through the bandwidth-optimal ring");
+    COLL_ALGO_BCAST_BINOMIAL = ("coll.algo.bcast.binomial", Counter, Count, "Bcast calls routed through the binomial tree");
+    COLL_ALGO_BCAST_SCATTER_ALLGATHER = ("coll.algo.bcast.scatter-allgather", Counter, Count, "Bcast calls routed through scatter + ring allgather (van de Geijn)");
+    COLL_BYTES_MOVED = ("coll.bytes_moved", Counter, Bytes, "Payload bytes this process placed on the wire inside collectives");
+    COLL_SEGMENTS = ("coll.segments", Counter, Count, "Wire messages sent by chunk-aligned segmented collective phases");
+
     // --- Ensemble / membership ------------------------------------------
     ENSEMBLE_VIEW_CHANGES = ("ensemble.view_changes", Counter, Count, "Views installed by the main group");
     ENSEMBLE_VIEW_CHANGE_NS = ("ensemble.view_change_ns", Histogram, WallNanos, "Suspicion -> new view installation");
@@ -221,6 +237,22 @@ mod tests {
             assert!(counts.insert(msg_count(class)), "mapping must be injective");
             assert!(bytes.insert(msg_bytes(class)), "mapping must be injective");
         }
+    }
+
+    /// The collective counters must stay one contiguous block: `STATS`
+    /// renders in DEFS order, so contiguity is what groups them in the
+    /// management output.
+    #[test]
+    fn coll_metrics_form_one_contiguous_block() {
+        let ids: Vec<u16> = (0..DEFS.len() as u16)
+            .filter(|i| DEFS[*i as usize].name.starts_with("coll."))
+            .collect();
+        assert_eq!(ids.len(), 10, "expected the full coll.* block");
+        for w in ids.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "coll.* block must be contiguous");
+        }
+        assert_eq!(COLL_ALGO_ALLREDUCE_REDUCE_BCAST.0, ids[0]);
+        assert_eq!(COLL_SEGMENTS.0, *ids.last().unwrap());
     }
 
     #[test]

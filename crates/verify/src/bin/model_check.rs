@@ -18,6 +18,7 @@ use verify::models::membership::MembershipModel;
 use verify::models::reliability::ReliabilityModel;
 use verify::models::rendezvous::RendezvousModel;
 use verify::models::replica::ReplicaPushModel;
+use verify::models::ring::RingModel;
 use verify::models::stop_sync::StopSyncModel;
 
 fn run<M: Model>(name: &str, nodes: u32, ranks: u32, m: &M, failed: &mut bool) -> Report {
@@ -159,6 +160,22 @@ fn main() -> ExitCode {
         },
         &mut failed,
     );
+
+    println!("== mpi: ring reduce-scatter ==");
+    for (drops, dups) in [(1, 1), (2, 0)] {
+        run(
+            &format!("ring-reduce-scatter ranks=3 drops={drops} dups={dups}"),
+            3,
+            3,
+            &RingModel {
+                ranks: 3,
+                max_drops: drops,
+                max_dups: dups,
+                window: 8,
+            },
+            &mut failed,
+        );
+    }
 
     // The known-bad configuration: raw datagrams lose messages. This one is
     // *expected* to produce a counterexample; it becomes the bridge plan.

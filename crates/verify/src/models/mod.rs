@@ -24,6 +24,7 @@ pub mod membership;
 pub mod reliability;
 pub mod rendezvous;
 pub mod replica;
+pub mod ring;
 pub mod stop_sync;
 
 /// Per-link FIFO channel map shared by the checkpoint/membership models.
